@@ -1,0 +1,92 @@
+// E17 — Aggregate keyword answers (tutorial slides 16, 164-167: table
+// analysis [Zhou & Pei EDBT 09] and text-cube TopCells [Ding et al.
+// ICDE 10]).
+//
+// Series 1: the slide-16 reproduction — the aggregate groups found for
+// {motorcycle, pool, american food} over (month, state) as noise grows:
+// the planted (dec, tx) and (*, mi) groups must survive arbitrary noise.
+// Series 2: TopCells latency/quality across cube dimensionality and
+// minimum support. Expected shape: group discovery cost grows with the
+// subset lattice; higher min-support prunes cells.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/analyze/aggregate.h"
+#include "relational/shop.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+void RunExperiment() {
+  kws::bench::Banner("E17", "aggregate keyword answers (slide 16) + TopCells");
+  kws::bench::TablePrinter table({"noise_rows", "groups", "dec_tx",
+                                  "star_mi", "ms"});
+  for (size_t noise : {50, 500, 5000}) {
+    kws::relational::ShopDatabase events =
+        kws::relational::MakeEventsDatabase(7, noise);
+    kws::Stopwatch sw;
+    auto groups = kws::analyze::AggregateKeywordSearch(
+        *events.db, events.product, {1, 2},
+        {"motorcycle", "pool", "american", "food"});
+    const double ms = sw.ElapsedMillis();
+    bool dec_tx = false, star_mi = false;
+    for (const auto& g : groups) {
+      const bool month = g.shared_values[0].has_value();
+      const bool state = g.shared_values[1].has_value();
+      dec_tx |= month && state && g.shared_values[0]->AsText() == "dec" &&
+                g.shared_values[1]->AsText() == "tx";
+      star_mi |= !month && state && g.shared_values[1]->AsText() == "mi";
+    }
+    table.Row({Fmt(noise), Fmt(groups.size()), dec_tx ? "yes" : "NO",
+               star_mi ? "yes" : "NO", Fmt(ms)});
+  }
+
+  kws::bench::Banner("E17b", "TopCells: dimensionality and support sweep");
+  kws::relational::ShopDatabase shop =
+      kws::relational::MakeShopDatabase({.seed = 2, .num_products = 3000});
+  kws::bench::TablePrinter cells({"dims", "min_support", "cells", "ms",
+                                  "top_relevance"});
+  const std::vector<std::vector<kws::relational::ColumnId>> dim_sets = {
+      {2}, {2, 3}, {2, 3, 6}};
+  for (const auto& dims : dim_sets) {
+    for (size_t min_support : {5, 50}) {
+      kws::Stopwatch sw;
+      auto top = kws::analyze::TopCells(*shop.db, shop.product, dims,
+                                        "powerful laptop", 10, min_support);
+      cells.Row({Fmt(dims.size()), Fmt(min_support), Fmt(top.size()),
+                 Fmt(sw.ElapsedMillis()),
+                 top.empty() ? "-" : Fmt(top[0].avg_relevance)});
+    }
+  }
+}
+
+void BM_Aggregate(benchmark::State& state) {
+  static kws::relational::ShopDatabase events =
+      kws::relational::MakeEventsDatabase(7, 500);
+  for (auto _ : state) {
+    auto groups = kws::analyze::AggregateKeywordSearch(
+        *events.db, events.product, {1, 2},
+        {"motorcycle", "pool", "american", "food"});
+    benchmark::DoNotOptimize(groups);
+  }
+}
+BENCHMARK(BM_Aggregate);
+
+void BM_TopCells(benchmark::State& state) {
+  static kws::relational::ShopDatabase shop =
+      kws::relational::MakeShopDatabase({.seed = 2, .num_products = 1000});
+  for (auto _ : state) {
+    auto cells = kws::analyze::TopCells(*shop.db, shop.product, {2, 3},
+                                        "powerful laptop", 10, 5);
+    benchmark::DoNotOptimize(cells);
+  }
+}
+BENCHMARK(BM_TopCells);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,212 @@
+// E14 — Axiomatic evaluation and INEX-style metrics (tutorial slides
+// 104-109: Liu et al.'s four axioms; INEX precision/recall/gP/AgP).
+//
+// Series 1: axiom violations per result semantics (SLCA vs ELCA vs
+// root-only) over a sweep of query/data perturbations. Expected shape:
+// ELCA satisfies query consistency in cases where coarse semantics fail;
+// the root-only strawman violates query consistency; SLCA can violate
+// data monotonicity (a new deep node steals an old result).
+//
+// Series 2: planted-ground-truth retrieval quality: per-result F, gP@k
+// and AgP for SLCA vs ELCA vs root-only on queries with known intent.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/eval/axioms.h"
+#include "core/eval/metrics.h"
+#include "core/lca/slca.h"
+#include "text/tokenizer.h"
+#include "xml/bibgen.h"
+
+namespace {
+
+using kws::bench::Fmt;
+using kws::eval::XmlSearchFn;
+using kws::xml::XmlNodeId;
+using kws::xml::XmlTree;
+
+std::vector<XmlNodeId> RunSlca(const XmlTree& t,
+                               const std::vector<std::string>& q) {
+  auto lists = kws::lca::MatchLists(t, q);
+  if (lists.empty()) return {};
+  return kws::lca::SlcaBruteForce(t, lists);
+}
+
+std::vector<XmlNodeId> RunElca(const XmlTree& t,
+                               const std::vector<std::string>& q) {
+  auto lists = kws::lca::MatchLists(t, q);
+  if (lists.empty()) return {};
+  return kws::lca::ElcaBruteForce(t, lists);
+}
+
+std::vector<XmlNodeId> RunRootOnly(const XmlTree& t,
+                                   const std::vector<std::string>& q) {
+  // Strawman: return the document root whenever every keyword occurs
+  // anywhere (ignores structure entirely).
+  for (const std::string& k : q) {
+    if (t.MatchNodes(k).empty()) return {};
+  }
+  return {0};
+}
+
+std::vector<XmlNodeId> RunOrMatches(const XmlTree& t,
+                                    const std::vector<std::string>& q) {
+  // Text-search style OR semantics: every match node of any keyword is a
+  // result. Adding a keyword *adds* results — the query-monotonicity
+  // violation the axioms framework flags for OR engines.
+  std::vector<XmlNodeId> out;
+  for (const std::string& k : q) {
+    for (XmlNodeId m : t.MatchNodes(k)) out.push_back(m);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// SLCA with a result-size cap (a snippet-budget-style design): results
+/// whose subtree outgrows the cap are silently dropped. Growing the data
+/// can push an old result over the cap — a data-monotonicity violation.
+XmlSearchFn MakeSizeCappedSlca(XmlNodeId max_subtree) {
+  return [max_subtree](const XmlTree& t, const std::vector<std::string>& q) {
+    std::vector<XmlNodeId> out;
+    for (XmlNodeId n : RunSlca(t, q)) {
+      if (t.SubtreeEnd(n) - n + 1 <= max_subtree) out.push_back(n);
+    }
+    return out;
+  };
+}
+
+void RunExperiment() {
+  kws::bench::Banner("E14", "axiomatic evaluation of result semantics");
+  kws::xml::BibDocument doc = kws::xml::MakeBibDocument(
+      {.seed = 5, .num_venues = 20, .papers_per_venue = 10});
+  // The rightmost root path (where data appends are legal) and the
+  // rightmost paper, used by the targeted data perturbation below.
+  std::vector<XmlNodeId> rightmost = {0};
+  while (!doc.tree.children(rightmost.back()).empty()) {
+    rightmost.push_back(doc.tree.children(rightmost.back()).back());
+  }
+  const XmlNodeId rightmost_paper = rightmost[rightmost.size() - 2];
+  const XmlNodeId paper_size =
+      doc.tree.SubtreeEnd(rightmost_paper) - rightmost_paper + 1;
+  const std::vector<std::pair<const char*, XmlSearchFn>> engines = {
+      {"slca", RunSlca},
+      {"elca", RunElca},
+      {"root-only", RunRootOnly},
+      {"or-matches", RunOrMatches},
+      {"size-capped", MakeSizeCappedSlca(paper_size)}};
+
+  kws::bench::TablePrinter table({"engine", "q_mono", "q_cons", "d_mono",
+                                  "d_cons", "checks"});
+  for (const auto& [name, fn] : engines) {
+    size_t q_mono = 0, q_cons = 0, d_mono = 0, d_cons = 0, checks = 0;
+    // Query perturbations: add each of several keywords to base queries.
+    for (size_t base = 0; base < 6; ++base) {
+      for (size_t extra = 6; extra < 12; ++extra) {
+        ++checks;
+        for (const auto& v : kws::eval::CheckQueryAxioms(
+                 fn, doc.tree, {doc.vocabulary[base]},
+                 doc.vocabulary[extra])) {
+          q_mono += (v.axiom == "query-monotonicity");
+          q_cons += (v.axiom == "query-consistency");
+        }
+      }
+    }
+    // Data perturbations: append a matching leaf under rightmost-path
+    // nodes. The rightmost path: root, last venue, last paper.
+    for (XmlNodeId parent : rightmost) {
+      for (size_t k = 0; k < 4; ++k) {
+        ++checks;
+        for (const auto& v : kws::eval::CheckDataAxioms(
+                 fn, doc.tree, parent, "note",
+                 doc.vocabulary[k] + " " + doc.vocabulary[k + 1],
+                 {doc.vocabulary[k], doc.vocabulary[k + 1]})) {
+          d_mono += (v.axiom == "data-monotonicity");
+          d_cons += (v.axiom == "data-consistency");
+        }
+      }
+    }
+    // Targeted data perturbation: grow an existing result with a
+    // keyword-free leaf (query = the rightmost paper's own title terms).
+    // This is exactly the edit that pushes size-capped results over
+    // their budget.
+    {
+      // Query = one title token + one author token of the rightmost
+      // paper, so the paper itself is a result; the appended keyword-free
+      // leaf grows it past the size cap.
+      auto title_tokens = kws::text::Tokenizer().Tokenize(
+          doc.tree.text(doc.tree.children(rightmost_paper)[0]));
+      auto author_tokens = kws::text::Tokenizer().Tokenize(
+          doc.tree.text(doc.tree.children(rightmost_paper)[1]));
+      if (!title_tokens.empty() && !author_tokens.empty()) {
+        ++checks;
+        for (const auto& v : kws::eval::CheckDataAxioms(
+                 fn, doc.tree, rightmost_paper, "note", "filler remark",
+                 {title_tokens[0], author_tokens[0]})) {
+          d_mono += (v.axiom == "data-monotonicity");
+          d_cons += (v.axiom == "data-consistency");
+        }
+      }
+    }
+    table.Row({name, Fmt(q_mono), Fmt(q_cons), Fmt(d_mono), Fmt(d_cons),
+               Fmt(checks)});
+  }
+
+  // ---- INEX-style quality with planted ground truth ----
+  kws::bench::Banner("E14b", "INEX metrics vs planted ground truth");
+  kws::bench::TablePrinter quality({"engine", "mean_f", "gP@5", "AgP"});
+  // Ground truth: for a two-term title query, the relevant nodes are the
+  // paper subtrees whose own title contains both terms.
+  const std::string k1 = doc.vocabulary[0];
+  const std::string k2 = doc.vocabulary[1];
+  std::vector<XmlNodeId> relevant;
+  for (XmlNodeId n = 0; n < doc.tree.size(); ++n) {
+    if (doc.tree.tag(n) != "title") continue;
+    const std::string& text = doc.tree.text(n);
+    if (text.find(k1) != std::string::npos &&
+        text.find(k2) != std::string::npos) {
+      const XmlNodeId paper = doc.tree.parent(n);
+      for (XmlNodeId m = paper; m <= doc.tree.SubtreeEnd(paper); ++m) {
+        relevant.push_back(m);
+      }
+    }
+  }
+  if (!relevant.empty()) {
+    for (const auto& [name, fn] : engines) {
+      const std::vector<XmlNodeId> results = fn(doc.tree, {k1, k2});
+      std::vector<double> scores;
+      double mean_f = 0;
+      for (XmlNodeId r : results) {
+        const kws::eval::Prf prf =
+            kws::eval::ScoreResult(doc.tree, r, relevant);
+        scores.push_back(prf.f);
+        mean_f += prf.f;
+      }
+      if (!results.empty()) mean_f /= static_cast<double>(results.size());
+      quality.Row({name, Fmt(mean_f),
+                   Fmt(kws::eval::GeneralizedPrecision(scores, 5)),
+                   Fmt(kws::eval::AverageGeneralizedPrecision(scores))});
+    }
+  } else {
+    std::printf("(no paper title contains both %s and %s in this corpus)\n",
+                k1.c_str(), k2.c_str());
+  }
+}
+
+void BM_AxiomCheck(benchmark::State& state) {
+  static kws::xml::BibDocument doc = kws::xml::MakeBibDocument({.seed = 5});
+  for (auto _ : state) {
+    auto v = kws::eval::CheckQueryAxioms(RunSlca, doc.tree,
+                                         {doc.vocabulary[0]},
+                                         doc.vocabulary[1]);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_AxiomCheck);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,108 @@
+// E8 — Graph distance indexes for keyword search (tutorial slides
+// 121-124: BLINKS/SLINKS node-to-keyword distances [He et al. SIGMOD 07],
+// Goldman et al.'s hub index [VLDB 98], D-radius capping [Markowetz et
+// al. ICDE 09]).
+//
+// Series: build time, storage and per-query latency of (a) on-the-fly
+// Dijkstra, (b) the keyword-distance index, (c) the hub distance oracle,
+// plus the effect of the D cap on index size. Expected shape: index
+// lookups are orders of magnitude faster than Dijkstra; the cap trades
+// coverage for space; more hubs shrink the per-node neighborhoods.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "graph/blinks_index.h"
+#include "graph/hub_index.h"
+#include "graph/shortest_path.h"
+#include "relational/dblp.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+void RunExperiment() {
+  kws::bench::Banner("E8", "distance indexes: dijkstra vs BLINKS vs hubs");
+  kws::bench::TablePrinter table({"nodes", "method", "build_ms",
+                                  "storage", "query_us"});
+  for (size_t papers : {1000, 4000}) {
+    kws::relational::DblpOptions opts;
+    opts.num_papers = papers;
+    opts.num_authors = papers / 2;
+    kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+    kws::graph::RelationalGraph rg = kws::graph::BuildDataGraph(*dblp.db);
+    const std::string term = "keyword";
+    const size_t queries = 200;
+
+    // (a) On-the-fly: one backward Dijkstra per query keyword.
+    {
+      kws::Stopwatch sw;
+      for (size_t q = 0; q < queries; ++q) {
+        auto sp = kws::graph::Dijkstra(rg.graph, rg.graph.MatchNodes(term),
+                           kws::graph::Direction::kBackward);
+        benchmark::DoNotOptimize(sp);
+      }
+      table.Row({Fmt(rg.graph.num_nodes()), "dijkstra", "0", "0",
+                 Fmt(sw.ElapsedMicros() / queries)});
+    }
+    // (b) Keyword-distance index (BLINKS-style), uncapped and capped.
+    for (double radius : {-1.0, 3.0}) {
+      kws::Stopwatch build;
+      kws::graph::KeywordDistanceIndex index(
+          rg.graph, radius < 0 ? kws::graph::kInfDist : radius);
+      index.IndexTerm(term);
+      const double build_ms = build.ElapsedMillis();
+      kws::Stopwatch sw;
+      double sink = 0;
+      for (size_t q = 0; q < queries; ++q) {
+        sink += index.Distance(
+            static_cast<kws::graph::NodeId>(q % rg.graph.num_nodes()), term);
+      }
+      benchmark::DoNotOptimize(sink);
+      table.Row({Fmt(rg.graph.num_nodes()),
+                 radius < 0 ? "blinks" : "blinks(D=3)", Fmt(build_ms),
+                 Fmt(rg.graph.num_nodes()), Fmt(sw.ElapsedMicros() / queries)});
+    }
+    // (c) Hub oracle for node-to-node distances (proximity search).
+    if (papers <= 1000) {
+      kws::graph::HubDistanceIndex::Options hopts;
+      hopts.num_hubs = 32;
+      kws::Stopwatch build;
+      kws::graph::HubDistanceIndex hub(rg.graph, hopts);
+      const double build_ms = build.ElapsedMillis();
+      kws::Stopwatch sw;
+      double sink = 0;
+      for (size_t q = 0; q < queries; ++q) {
+        sink += hub.Distance(
+            static_cast<kws::graph::NodeId>(q % rg.graph.num_nodes()),
+            static_cast<kws::graph::NodeId>((q * 7) % rg.graph.num_nodes()));
+      }
+      benchmark::DoNotOptimize(sink);
+      table.Row({Fmt(rg.graph.num_nodes()), "hub(32)", Fmt(build_ms),
+                 Fmt(hub.StorageEntries()), Fmt(sw.ElapsedMicros() / queries)});
+    }
+  }
+}
+
+void BM_IndexLookup(benchmark::State& state) {
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 1000;
+  static kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  static kws::graph::RelationalGraph rg = kws::graph::BuildDataGraph(*dblp.db);
+  static kws::graph::KeywordDistanceIndex index = [] {
+    kws::graph::KeywordDistanceIndex idx(rg.graph);
+    idx.IndexTerm("keyword");
+    return idx;
+  }();
+  kws::graph::NodeId n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Distance(n, "keyword"));
+    n = (n + 1) % rg.graph.num_nodes();
+  }
+}
+BENCHMARK(BM_IndexLookup);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

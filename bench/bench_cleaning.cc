@@ -1,0 +1,127 @@
+// E9 — Keyword query cleaning (tutorial slides 66-70: Pu & Yu's noisy
+// channel + segmentation; XClean's non-empty-result guarantee).
+//
+// Series: correction accuracy as the typo rate grows, with and without
+// the XClean requirement, plus per-query latency. Expected shape:
+// accuracy degrades gracefully with error rate; the result-guaranteed
+// variant fixes the cases where the locally-best correction has no
+// co-occurring results (the "adventuresome rävel dairy" failure of
+// slide 70), so its end-to-end accuracy is at least as high.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/clean/cleaner.h"
+#include "relational/dblp.h"
+#include "text/inverted_index.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+/// Applies `edits` random character edits to a copy of `word`.
+std::string Corrupt(const std::string& word, size_t edits, kws::Rng& rng) {
+  std::string out = word;
+  for (size_t e = 0; e < edits && !out.empty(); ++e) {
+    const size_t pos = rng.Index(out.size());
+    switch (rng.Index(3)) {
+      case 0:  // substitute
+        out[pos] = static_cast<char>('a' + rng.Index(26));
+        break;
+      case 1:  // delete
+        out.erase(pos, 1);
+        break;
+      default:  // insert
+        out.insert(pos, 1, static_cast<char>('a' + rng.Index(26)));
+    }
+  }
+  return out;
+}
+
+void RunExperiment() {
+  kws::bench::Banner("E9", "query cleaning accuracy (noisy channel + XClean)");
+  // Corpus: DBLP paper titles.
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 1500;
+  kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  kws::text::InvertedIndex index;
+  const kws::relational::Table& paper = dblp.db->table(dblp.paper);
+  for (kws::relational::RowId r = 0; r < paper.num_rows(); ++r) {
+    index.AddDocument(r, paper.cell(r, 1).AsText());
+  }
+
+  kws::bench::TablePrinter table({"typo_prob", "variant", "token_acc",
+                                  "nonempty_rate", "ms_per_query"});
+  kws::Rng rng(99);
+  // Query workload: 2-token queries sampled from real titles (so the
+  // clean query always has results).
+  std::vector<std::vector<std::string>> queries;
+  for (int q = 0; q < 120; ++q) {
+    const kws::relational::RowId r =
+        static_cast<kws::relational::RowId>(rng.Index(paper.num_rows()));
+    auto tokens = index.tokenizer().Tokenize(paper.cell(r, 1).AsText());
+    if (tokens.size() < 2) continue;
+    queries.push_back({tokens[0], tokens[1]});
+  }
+
+  for (double typo_prob : {0.3, 0.6, 0.9}) {
+    for (bool require_results : {false, true}) {
+      kws::clean::CleanerOptions copts;
+      copts.require_results = require_results;
+      kws::clean::QueryCleaner cleaner(index, copts);
+      size_t correct_tokens = 0, total_tokens = 0, nonempty = 0;
+      kws::Rng noise(7);
+      kws::Stopwatch sw;
+      for (const auto& q : queries) {
+        std::string raw;
+        for (const std::string& tok : q) {
+          if (!raw.empty()) raw += ' ';
+          // Half of the corruptions are double edits: those can land on
+          // (or nearer to) a *different* vocabulary word, which is where
+          // the two variants separate.
+          const size_t edits = noise.Chance(0.5) ? 2 : 1;
+          raw += noise.Chance(typo_prob) ? Corrupt(tok, edits, noise) : tok;
+        }
+        kws::clean::CleanedQuery cleaned = cleaner.Clean(raw);
+        nonempty += cleaned.has_results;
+        for (size_t i = 0; i < q.size(); ++i) {
+          ++total_tokens;
+          correct_tokens +=
+              (i < cleaned.tokens.size() && cleaned.tokens[i] == q[i]);
+        }
+      }
+      table.Row({Fmt(typo_prob),
+                 require_results ? "xclean" : "noisy-channel",
+                 Fmt(static_cast<double>(correct_tokens) / total_tokens),
+                 Fmt(static_cast<double>(nonempty) / queries.size()),
+                 Fmt(sw.ElapsedMillis() / queries.size())});
+    }
+  }
+}
+
+void BM_Clean(benchmark::State& state) {
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 800;
+  static kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  static kws::text::InvertedIndex index = [] {
+    kws::text::InvertedIndex idx;
+    const kws::relational::Table& paper = dblp.db->table(dblp.paper);
+    for (kws::relational::RowId r = 0; r < paper.num_rows(); ++r) {
+      idx.AddDocument(r, paper.cell(r, 1).AsText());
+    }
+    return idx;
+  }();
+  static kws::clean::QueryCleaner cleaner(index);
+  for (auto _ : state) {
+    auto cleaned = cleaner.Clean("keywrd serch");
+    benchmark::DoNotOptimize(cleaned);
+  }
+}
+BENCHMARK(BM_Clean);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,114 @@
+// E2 — Top-k CN evaluation strategies (tutorial slide 116; DISCOVER2,
+// Hristidis et al. VLDB 03).
+//
+// Series: per-strategy latency and work counters (CNs evaluated, joined
+// trees materialized, FK probes) for top-k keyword search on growing DBLP
+// instances. Expected shape: Naive evaluates every CN and materializes
+// everything; Sparse stops after the high-bound CNs; the Global Pipeline
+// verifies only the candidate combinations whose bound can still win —
+// Naive >> Sparse >= Pipeline in work, with identical top-k scores.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/cn/search.h"
+#include "core/cn/semijoin.h"
+#include "relational/dblp.h"
+
+namespace {
+
+using kws::bench::Fmt;
+using kws::cn::Strategy;
+
+kws::relational::DblpDatabase MakeDb(size_t papers) {
+  kws::relational::DblpOptions opts;
+  opts.num_papers = papers;
+  opts.num_authors = papers / 2;
+  opts.num_conferences = 12;
+  return MakeDblpDatabase(opts);
+}
+
+void RunExperiment() {
+  kws::bench::Banner("E2", "top-k CN evaluation: naive / sparse / pipeline");
+  kws::bench::TablePrinter table({"papers", "strategy", "ms", "cns_eval",
+                                  "results_mat", "join_lookups", "top1"});
+  for (size_t papers : {500, 2000, 5000}) {
+    kws::relational::DblpDatabase dblp = MakeDb(papers);
+    kws::cn::CnKeywordSearch search(*dblp.db);
+    for (Strategy s : {Strategy::kNaive, Strategy::kSparse,
+                       Strategy::kGlobalPipeline}) {
+      kws::cn::SearchOptions opts;
+      opts.k = 10;
+      opts.max_cn_size = 4;
+      opts.strategy = s;
+      kws::cn::SearchStats stats;
+      kws::Stopwatch sw;
+      auto results = search.Search("keyword search", opts, nullptr, &stats);
+      const double ms = sw.ElapsedMillis();
+      table.Row({Fmt(papers), kws::cn::StrategyToString(s), Fmt(ms),
+                 Fmt(stats.cns_evaluated), Fmt(stats.results_materialized),
+                 Fmt(stats.join_lookups),
+                 results.empty() ? "-" : Fmt(results[0].score)});
+    }
+  }
+
+  // E2b: the semijoin full reducer ("the power of RDBMS", slides
+  // 126-127) on a *selective* query where most candidate tuples never
+  // join: dead-end probes vanish.
+  kws::bench::Banner("E2b", "semijoin full reduction on a selective query");
+  kws::bench::TablePrinter reducer({"papers", "method", "ms",
+                                    "join_lookups", "rows_kept_pct"});
+  for (size_t papers : {500, 2000, 5000}) {
+    kws::relational::DblpDatabase dblp = MakeDb(papers);
+    kws::cn::TupleSets ts(*dblp.db, {"james", "keyword"});
+    auto cns = kws::cn::EnumerateCandidateNetworks(
+        *dblp.db, ts.table_masks(), ts.full_mask(), {.max_size = 4});
+    {
+      kws::cn::ExecStats es;
+      kws::Stopwatch sw;
+      size_t results = 0;
+      for (const auto& network : cns) {
+        results += ExecuteCn(*dblp.db, network, ts, {}, SIZE_MAX, &es).size();
+      }
+      benchmark::DoNotOptimize(results);
+      reducer.Row({Fmt(papers), "plain", Fmt(sw.ElapsedMillis()),
+                   Fmt(es.join_lookups), "100.000"});
+    }
+    {
+      kws::cn::SemiJoinStats sj;
+      kws::cn::ExecStats es;
+      kws::Stopwatch sw;
+      size_t results = 0;
+      for (const auto& network : cns) {
+        results += ExecuteCnSemiJoin(*dblp.db, network, ts, &sj, &es).size();
+      }
+      benchmark::DoNotOptimize(results);
+      reducer.Row({Fmt(papers), "semijoin", Fmt(sw.ElapsedMillis()),
+                   Fmt(es.join_lookups),
+                   Fmt(100.0 * static_cast<double>(sj.rows_after) /
+                       std::max<uint64_t>(sj.rows_before, 1))});
+    }
+  }
+}
+
+void BM_CnSearch(benchmark::State& state) {
+  static kws::relational::DblpDatabase dblp = MakeDb(2000);
+  kws::cn::CnKeywordSearch search(*dblp.db);
+  kws::cn::SearchOptions opts;
+  opts.k = 10;
+  opts.max_cn_size = 4;
+  opts.strategy = static_cast<Strategy>(state.range(0));
+  for (auto _ : state) {
+    auto results = search.Search("keyword search", opts, nullptr);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetLabel(kws::cn::StrategyToString(opts.strategy));
+}
+BENCHMARK(BM_CnSearch)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,79 @@
+// E10 — Type-ahead search (tutorial slides 71-73: TASTIER [Li et al.
+// SIGMOD 09] and error-tolerant completion [Chaudhuri & Kaushik
+// SIGMOD 09]).
+//
+// Series: per-keystroke latency as the last keyword's prefix grows, for
+// exact and fuzzy matching, plus candidate filtering effectiveness of the
+// delta-step forward index. Expected shape: longer prefixes narrow the
+// trie range so keystrokes get *cheaper*; the forward index prunes most
+// widened candidates; fuzzy matching costs a small constant factor.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/complete/tastier.h"
+#include "relational/dblp.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+void RunExperiment() {
+  kws::bench::Banner("E10", "TASTIER type-ahead per-keystroke cost");
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 2000;
+  opts.num_authors = 1000;
+  kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  kws::graph::RelationalGraph rg = kws::graph::BuildDataGraph(*dblp.db);
+  kws::Stopwatch build;
+  kws::complete::TastierIndex index(rg.graph, 1);
+  std::printf("vocabulary=%zu nodes=%zu build_ms=%.1f\n",
+              index.vocabulary_size(), rg.graph.num_nodes(),
+              build.ElapsedMillis());
+
+  // Simulate typing "james" + "key|yw|ywo|..." keystroke by keystroke.
+  const std::string target = "keyword";
+  kws::bench::TablePrinter table({"prefix", "mode", "us", "candidates",
+                                  "after_filter"});
+  for (size_t len = 1; len <= target.size(); ++len) {
+    const std::string prefix = target.substr(0, len);
+    for (bool fuzzy : {false, true}) {
+      kws::complete::TypeAheadStats stats;
+      kws::Stopwatch sw;
+      std::vector<kws::graph::NodeId> c;
+      for (int rep = 0; rep < 20; ++rep) {
+        stats = {};
+        c = fuzzy ? index.FuzzyCandidates({"james", prefix}, 1, &stats)
+                  : index.Candidates({"james", prefix}, &stats);
+      }
+      benchmark::DoNotOptimize(c);
+      table.Row({prefix, fuzzy ? "fuzzy" : "exact",
+                 Fmt(sw.ElapsedMicros() / 20),
+                 Fmt(stats.candidates_before_filter),
+                 Fmt(stats.candidates_after_filter)});
+    }
+  }
+}
+
+void BM_Keystroke(benchmark::State& state) {
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 1000;
+  static kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  static kws::graph::RelationalGraph rg = kws::graph::BuildDataGraph(*dblp.db);
+  static kws::complete::TastierIndex index(rg.graph, 1);
+  const std::string prefix = "keyw";
+  for (auto _ : state) {
+    auto c = state.range(0) == 0
+                 ? index.Candidates({"james", prefix})
+                 : index.FuzzyCandidates({"james", prefix}, 1);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetLabel(state.range(0) == 0 ? "exact" : "fuzzy");
+}
+BENCHMARK(BM_Keystroke)->Arg(0)->Arg(1);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

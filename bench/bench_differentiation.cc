@@ -1,0 +1,97 @@
+// E12 — Result differentiation (tutorial slides 149-153: Liu et al.
+// VLDB 09: pick up to B features per result maximizing the degree of
+// differentiation; the exact problem is NP-hard).
+//
+// Series: DoD achieved by the top-features summary baseline vs the
+// swap-based local search across feature bounds, plus latency. Expected
+// shape: the local search strictly improves DoD at every bound until the
+// bound is large enough to fit every feature.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/analyze/differentiation.h"
+#include "relational/dblp.h"
+
+namespace {
+
+using kws::analyze::Feature;
+using kws::analyze::FeatureSet;
+using kws::bench::Fmt;
+
+/// Feature sets of "ICDE-style" results: each result is a conference with
+/// year and paper-title-term features (slide 151).
+std::vector<FeatureSet> MakeResults(size_t n) {
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 800;
+  opts.num_conferences = n;
+  kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  const kws::relational::Table& conf = dblp.db->table(dblp.conference);
+  const kws::relational::Table& paper = dblp.db->table(dblp.paper);
+  std::vector<FeatureSet> results(conf.num_rows());
+  for (kws::relational::RowId r = 0; r < conf.num_rows(); ++r) {
+    results[r].push_back(
+        Feature{"conf:year", conf.cell(r, 2).ToString()});
+    results[r].push_back(Feature{"conf:name", conf.cell(r, 1).AsText()});
+  }
+  kws::text::Tokenizer tokenizer;
+  for (kws::relational::RowId p = 0; p < paper.num_rows(); ++p) {
+    const size_t cid = static_cast<size_t>(paper.cell(p, 2).AsInt());
+    for (const std::string& t :
+         tokenizer.Tokenize(paper.cell(p, 1).AsText())) {
+      if (results[cid].size() < 12) {
+        results[cid].push_back(Feature{"paper:title", t});
+      }
+    }
+  }
+  return results;
+}
+
+void RunExperiment() {
+  kws::bench::Banner("E12", "result differentiation: DoD vs feature bound");
+  auto results = MakeResults(10);
+  kws::bench::TablePrinter table({"max_features", "algorithm", "dod", "ms"});
+  for (size_t bound : {1, 2, 3, 4}) {
+    kws::analyze::DifferentiationOptions opts;
+    opts.max_features = bound;
+    {
+      kws::Stopwatch sw;
+      auto sel = kws::analyze::SelectTopFeatures(results, opts);
+      table.Row({Fmt(bound), "top-features",
+                 Fmt(kws::analyze::DegreeOfDifferentiation(sel)),
+                 Fmt(sw.ElapsedMillis())});
+    }
+    {
+      kws::Stopwatch sw;
+      auto sel = kws::analyze::SelectDifferentiatingFeatures(results, opts);
+      table.Row({Fmt(bound), "swap-local-opt",
+                 Fmt(kws::analyze::DegreeOfDifferentiation(sel)),
+                 Fmt(sw.ElapsedMillis())});
+    }
+    {
+      kws::Stopwatch sw;
+      auto sel = kws::analyze::SelectStrongLocalOptimal(results, opts);
+      table.Row({Fmt(bound), "strong-local-opt",
+                 Fmt(kws::analyze::DegreeOfDifferentiation(sel)),
+                 Fmt(sw.ElapsedMillis())});
+    }
+  }
+}
+
+void BM_SwapSearch(benchmark::State& state) {
+  static auto results = MakeResults(10);
+  kws::analyze::DifferentiationOptions opts;
+  opts.max_features = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto sel = kws::analyze::SelectDifferentiatingFeatures(results, opts);
+    benchmark::DoNotOptimize(sel);
+  }
+}
+BENCHMARK(BM_SwapSearch)->Arg(2)->Arg(3);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,80 @@
+// E7 — ELCA computation (tutorial slide 140: Index-Stack [Xu &
+// Papakonstantinou EDBT 08] vs the DIL-style scan of XRank [Guo et al.
+// SIGMOD 03]).
+//
+// Series: latency and work for the subtree-count scan vs the indexed
+// candidate+verify algorithm, across document sizes. Expected shape: the
+// scan's work tracks total matches x depth (DIL: O(k d |Smax|)); the
+// indexed algorithm tracks the rare list with log factors
+// (O(k d |Smin| log |Smax|)). Both return identical ELCA sets, which are
+// supersets of the SLCA sets.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/lca/slca.h"
+#include "xml/bibgen.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+void RunExperiment() {
+  kws::bench::Banner("E7", "ELCA: DIL-style scan vs index-stack style");
+  kws::bench::TablePrinter table({"nodes", "algorithm", "ms", "work",
+                                  "elcas", "slcas"});
+  for (size_t venues : {50, 200, 800}) {
+    kws::xml::BibOptions opts;
+    opts.num_venues = venues;
+    opts.papers_per_venue = 20;
+    kws::xml::BibDocument doc = kws::xml::MakeBibDocument(opts);
+    auto lists = kws::lca::MatchLists(
+        doc.tree, {doc.vocabulary[10], doc.vocabulary[0]});
+    if (lists.empty()) continue;
+    const size_t slcas = kws::lca::SlcaBruteForce(doc.tree, lists).size();
+    {
+      kws::lca::LcaStats stats;
+      kws::Stopwatch sw;
+      auto r = kws::lca::ElcaBruteForce(doc.tree, lists, &stats);
+      table.Row({Fmt(doc.tree.size()), "dil-scan", Fmt(sw.ElapsedMillis()),
+                 Fmt(stats.nodes_visited), Fmt(r.size()), Fmt(slcas)});
+    }
+    {
+      kws::lca::LcaStats stats;
+      kws::Stopwatch sw;
+      auto r = kws::lca::ElcaIndexed(doc.tree, lists, &stats);
+      table.Row({Fmt(doc.tree.size()), "index-stack", Fmt(sw.ElapsedMillis()),
+                 Fmt(stats.binary_searches + stats.lca_computations),
+                 Fmt(r.size()), Fmt(slcas)});
+    }
+    {
+      kws::lca::LcaStats stats;
+      kws::Stopwatch sw;
+      auto r = kws::lca::ElcaDeweyJoin(doc.tree, lists, &stats);
+      table.Row({Fmt(doc.tree.size()), "jdewey-join", Fmt(sw.ElapsedMillis()),
+                 Fmt(stats.nodes_visited + stats.binary_searches),
+                 Fmt(r.size()), Fmt(slcas)});
+    }
+  }
+}
+
+void BM_Elca(benchmark::State& state) {
+  kws::xml::BibOptions opts;
+  opts.num_venues = 200;
+  opts.papers_per_venue = 20;
+  static kws::xml::BibDocument doc = kws::xml::MakeBibDocument(opts);
+  static auto lists = kws::lca::MatchLists(
+      doc.tree, {doc.vocabulary[10], doc.vocabulary[0]});
+  for (auto _ : state) {
+    auto r = state.range(0) == 0 ? kws::lca::ElcaBruteForce(doc.tree, lists)
+                                 : kws::lca::ElcaIndexed(doc.tree, lists);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(state.range(0) == 0 ? "dil-scan" : "index-stack");
+}
+BENCHMARK(BM_Elca)->Arg(0)->Arg(1);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,104 @@
+// E11 — Faceted navigation cost (tutorial slides 84-93: Chakrabarti et
+// al.'s cost-model-driven categorization, FACeTOR).
+//
+// Series: expected navigation cost (the slide-88 model, probabilities
+// estimated from the query log) for the greedy cost-driven tree vs fixed
+// attribute orders vs no tree at all (scan the flat result list), plus
+// build time. Expected shape: greedy <= any fixed order << flat scan.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/refine/facets.h"
+#include "relational/query_log.h"
+#include "relational/shop.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+void RunExperiment() {
+  kws::bench::Banner("E11", "faceted navigation cost: greedy vs baselines");
+  kws::relational::ShopDatabase shop =
+      kws::relational::MakeShopDatabase({.seed = 1, .num_products = 3000});
+  kws::relational::QueryLog log = kws::relational::MakeQueryLog(
+      *shop.db, shop.product, {.seed = 2, .num_queries = 1500});
+  kws::refine::FacetedNavigator nav(*shop.db, shop.product, log);
+
+  // "Query result": all laptops.
+  std::vector<kws::relational::RowId> rows;
+  const kws::relational::Table& product = shop.db->table(shop.product);
+  for (kws::relational::RowId r = 0; r < product.num_rows(); ++r) {
+    if (product.cell(r, 3).AsText() == "laptop") rows.push_back(r);
+  }
+  std::printf("result rows: %zu\n", rows.size());
+
+  kws::refine::FacetTreeOptions opts;
+  opts.max_depth = 3;
+  kws::bench::TablePrinter table({"tree", "expected_cost", "build_ms"});
+  {
+    table.Row({"flat-list", Fmt(static_cast<double>(rows.size())), "0"});
+  }
+  {
+    kws::Stopwatch sw;
+    auto tree = nav.BuildGreedy(rows, opts);
+    table.Row({"greedy-cost", Fmt(nav.ExpectedCost(tree)),
+               Fmt(sw.ElapsedMillis())});
+  }
+  // Fixed orders: name-first (pathological), brand/price (reasonable).
+  const std::vector<std::pair<const char*,
+                              std::vector<kws::relational::ColumnId>>>
+      fixed = {{"fixed(name,desc,year)", {1, 7, 6}},
+               {"fixed(brand,price,screen)", {2, 5, 4}},
+               {"fixed(year,name,price)", {6, 1, 5}}};
+  for (const auto& [name, order] : fixed) {
+    kws::Stopwatch sw;
+    auto tree = nav.BuildFixedOrder(rows, order, opts);
+    table.Row({name, Fmt(nav.ExpectedCost(tree)), Fmt(sw.ElapsedMillis())});
+  }
+
+  // E11b: the same comparison under the FACeTOR cost model (slides
+  // 92-93): p(showRes) shrinks with result size and paging facet
+  // conditions charges SHOWMORE actions.
+  kws::bench::Banner("E11b", "FACeTOR cost model");
+  kws::refine::FacetTreeOptions fac = opts;
+  fac.cost_model = kws::refine::FacetCostModel::kFacetor;
+  kws::bench::TablePrinter table2({"tree", "expected_cost", "build_ms"});
+  table2.Row({"flat-list", Fmt(static_cast<double>(rows.size())), "0"});
+  {
+    kws::Stopwatch sw;
+    auto tree = nav.BuildGreedy(rows, fac);
+    table2.Row({"greedy-facetor", Fmt(nav.ExpectedCost(tree, fac)),
+                Fmt(sw.ElapsedMillis())});
+  }
+  for (const auto& [name, order] : fixed) {
+    kws::Stopwatch sw;
+    auto tree = nav.BuildFixedOrder(rows, order, fac);
+    table2.Row({name, Fmt(nav.ExpectedCost(tree, fac)),
+                Fmt(sw.ElapsedMillis())});
+  }
+}
+
+void BM_BuildGreedy(benchmark::State& state) {
+  static kws::relational::ShopDatabase shop =
+      kws::relational::MakeShopDatabase({.seed = 1, .num_products = 1000});
+  static kws::relational::QueryLog log = kws::relational::MakeQueryLog(
+      *shop.db, shop.product, {.seed = 2, .num_queries = 500});
+  kws::refine::FacetedNavigator nav(*shop.db, shop.product, log);
+  std::vector<kws::relational::RowId> rows;
+  for (kws::relational::RowId r = 0;
+       r < shop.db->table(shop.product).num_rows(); ++r) {
+    rows.push_back(r);
+  }
+  for (auto _ : state) {
+    auto tree = nav.BuildGreedy(rows, {.max_depth = 2});
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_BuildGreedy);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,96 @@
+// E4 — Data-graph search algorithms (tutorial slides 113-114: exact
+// Steiner DP [Ding et al. ICDE 07], BANKS I backward expansion
+// [Bhalotia et al. ICDE 02], BANKS II bidirectional [Kacholia et al.
+// VLDB 05]).
+//
+// Series: latency, PQ pops and top-1 cost across graph sizes, plus the
+// frequent-keyword scenario that motivates BANKS II: when one keyword
+// matches thousands of nodes, backward expansion from it explodes while
+// the bidirectional strategy probes forward from the rare keyword's
+// neighborhood. Expected shape: DP is exact but slowest and memory-bound;
+// BANKS II pops far fewer entries than BANKS I on skewed queries; all
+// agree on the distinct-root cost.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/steiner/banks.h"
+#include "core/steiner/steiner_dp.h"
+#include "graph/data_graph.h"
+#include "relational/dblp.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+kws::graph::RelationalGraph MakeGraph(size_t papers) {
+  kws::relational::DblpOptions opts;
+  opts.num_papers = papers;
+  opts.num_authors = papers / 2;
+  opts.num_conferences = 15;
+  kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  return kws::graph::BuildDataGraph(*dblp.db);
+}
+
+void RunExperiment() {
+  kws::bench::Banner("E4", "BANKS I vs BANKS II vs exact Steiner DP");
+  kws::bench::TablePrinter table({"nodes", "algorithm", "ms", "pops",
+                                  "fwd_probes", "top1_cost"});
+  for (size_t papers : {500, 2000, 8000}) {
+    kws::graph::RelationalGraph rg = MakeGraph(papers);
+    // "james" matches a handful of author names; "keyword" matches
+    // thousands of titles — the skewed scenario BANKS II targets. No
+    // single node matches both, so answers are real join trees.
+    const std::vector<std::string> query = {"james", "keyword"};
+
+    {
+      kws::steiner::BanksOptions opts;
+      opts.k = 10;
+      kws::steiner::BanksStats stats;
+      kws::Stopwatch sw;
+      auto results = kws::steiner::BanksSearch(rg.graph, query, opts, &stats);
+      table.Row({Fmt(rg.graph.num_nodes()), "banks-1", Fmt(sw.ElapsedMillis()),
+                 Fmt(stats.pops), Fmt(stats.forward_probes),
+                 results.empty() ? "-" : Fmt(results[0].cost)});
+    }
+    {
+      kws::steiner::BanksOptions opts;
+      opts.k = 10;
+      opts.bidirectional = true;
+      opts.frequent_threshold = 50;
+      kws::steiner::BanksStats stats;
+      kws::Stopwatch sw;
+      auto results = kws::steiner::BanksSearch(rg.graph, query, opts, &stats);
+      table.Row({Fmt(rg.graph.num_nodes()), "banks-2", Fmt(sw.ElapsedMillis()),
+                 Fmt(stats.pops), Fmt(stats.forward_probes),
+                 results.empty() ? "-" : Fmt(results[0].cost)});
+    }
+    if (papers <= 2000) {  // DP memory: 2^K * V doubles
+      kws::Stopwatch sw;
+      auto result = kws::steiner::GroupSteinerTop1(rg.graph, query);
+      table.Row({Fmt(rg.graph.num_nodes()), "steiner-dp",
+                 Fmt(sw.ElapsedMillis()), "-", "-",
+                 result.ok() ? Fmt(result.value().cost) : "-"});
+    }
+  }
+}
+
+void BM_Banks(benchmark::State& state) {
+  static kws::graph::RelationalGraph rg = MakeGraph(2000);
+  kws::steiner::BanksOptions opts;
+  opts.k = 10;
+  opts.bidirectional = state.range(0) != 0;
+  opts.frequent_threshold = 50;
+  for (auto _ : state) {
+    auto results =
+        kws::steiner::BanksSearch(rg.graph, {"james", "keyword"}, opts);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetLabel(opts.bidirectional ? "banks-2" : "banks-1");
+}
+BENCHMARK(BM_Banks)->Arg(0)->Arg(1);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,119 @@
+// E18 — Structure-inference quality (tutorial slides 37-48: XReal return
+// types, Petkova-style probabilistic XPath generation, IQP keyword
+// bindings).
+//
+// Series 1: return-type inference accuracy with planted intent — queries
+// are drawn from known paper titles, so the right answer is a paper-ish
+// path; we measure how often XReal's top type and the top generated
+// XPath query hit it, vs a root-only baseline.
+// Series 2: IQP binding accuracy on the product catalog — brand words
+// must bind to the brand column, category words to category.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/infer/iqp.h"
+#include "core/infer/xpath_gen.h"
+#include "core/lca/xreal.h"
+#include "relational/query_log.h"
+#include "relational/shop.h"
+#include "text/tokenizer.h"
+#include "xml/bibgen.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+void RunExperiment() {
+  kws::bench::Banner("E18", "return-type / binding inference quality");
+  kws::xml::BibDocument doc = kws::xml::MakeBibDocument(
+      {.seed = 21, .num_venues = 30, .papers_per_venue = 15});
+  kws::Rng rng(5);
+  kws::text::Tokenizer tokenizer;
+
+  // Planted-intent queries: two tokens of one paper title.
+  std::vector<std::vector<std::string>> queries;
+  std::vector<kws::xml::XmlNodeId> titles;
+  for (kws::xml::XmlNodeId n = 0; n < doc.tree.size(); ++n) {
+    if (doc.tree.tag(n) == "title") titles.push_back(n);
+  }
+  for (int q = 0; q < 60; ++q) {
+    const auto toks =
+        tokenizer.Tokenize(doc.tree.text(titles[rng.Index(titles.size())]));
+    if (toks.size() >= 2) queries.push_back({toks[0], toks[1]});
+  }
+
+  kws::Stopwatch sketch_build;
+  kws::lca::ReturnTypeSketch sketch(doc.tree);
+  const double sketch_build_ms = sketch_build.ElapsedMillis();
+  size_t xreal_hits = 0, xpath_hits = 0, sketch_hits = 0, total = 0;
+  double xreal_ms = 0, xpath_ms = 0, sketch_ms = 0;
+  for (const auto& q : queries) {
+    ++total;
+    kws::Stopwatch sw1;
+    auto types = kws::lca::InferReturnTypes(doc.tree, q);
+    xreal_ms += sw1.ElapsedMillis();
+    if (!types.empty() &&
+        types[0].label_path.find("paper") != std::string::npos) {
+      ++xreal_hits;
+    }
+    kws::Stopwatch sw3;
+    auto sketched = sketch.Infer(q);
+    sketch_ms += sw3.ElapsedMillis();
+    if (!sketched.empty() &&
+        sketched[0].label_path.find("paper") != std::string::npos) {
+      ++sketch_hits;
+    }
+    kws::Stopwatch sw2;
+    auto xpaths = kws::infer::GenerateXPathQueries(doc.tree, q);
+    xpath_ms += sw2.ElapsedMillis();
+    if (!xpaths.empty() &&
+        xpaths[0].target_path.find("paper") != std::string::npos) {
+      ++xpath_hits;
+    }
+  }
+  kws::bench::TablePrinter table({"method", "top1_paperish", "ms_per_query"});
+  table.Row({"xreal", Fmt(static_cast<double>(xreal_hits) / total),
+             Fmt(xreal_ms / total)});
+  table.Row({"xbridge-sketch", Fmt(static_cast<double>(sketch_hits) / total),
+             Fmt(sketch_ms / total)});
+  table.Row({"xpath-gen", Fmt(static_cast<double>(xpath_hits) / total),
+             Fmt(xpath_ms / total)});
+  table.Row({"root-only", "0.000", "0.000"});  // the strawman never does
+  std::printf("(sketch: %zu entries, built in %.1f ms)\n", sketch.entries(),
+              sketch_build_ms);
+
+  kws::bench::Banner("E18b", "IQP binding accuracy (brand/category words)");
+  kws::relational::ShopDatabase shop =
+      kws::relational::MakeShopDatabase({.seed = 9, .num_products = 500});
+  kws::relational::QueryLog log = kws::relational::MakeQueryLog(
+      *shop.db, shop.product, {.seed = 10, .num_queries = 300});
+  kws::infer::IqpRanker ranker(*shop.db, shop.product, log);
+  const std::vector<std::pair<std::string, kws::relational::ColumnId>>
+      probes = {{"lenovo", 2}, {"asus", 2},   {"apple", 2},
+                {"laptop", 3}, {"tablet", 3}, {"car", 3}};
+  size_t hits = 0;
+  for (const auto& [word, want_col] : probes) {
+    auto interps = ranker.Rank({word}, 1);
+    hits += !interps.empty() && interps[0].bindings[0] == want_col;
+  }
+  std::printf("binding accuracy: %zu / %zu\n", hits, probes.size());
+}
+
+void BM_XReal(benchmark::State& state) {
+  static kws::xml::BibDocument doc = kws::xml::MakeBibDocument(
+      {.seed = 21, .num_venues = 30, .papers_per_venue = 15});
+  for (auto _ : state) {
+    auto types = kws::lca::InferReturnTypes(
+        doc.tree, {doc.vocabulary[0], doc.vocabulary[1]});
+    benchmark::DoNotOptimize(types);
+  }
+}
+BENCHMARK(BM_XReal);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

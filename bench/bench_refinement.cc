@@ -1,0 +1,82 @@
+// E13 — Refinement term suggestion (tutorial slides 76-78: Data Clouds
+// [Koutrika et al. EDBT 09] and frequent co-occurring terms without
+// result generation [Tao & Yu EDBT 09]).
+//
+// Series: latency and postings scanned for the naive full-vocabulary
+// scorer vs the df-ordered early-terminating variant, both producing the
+// same top-k; plus popularity- vs relevance-ranked suggestion lists.
+// Expected shape: early termination touches a fraction of the postings
+// once the top-k stabilizes within the high-df prefix of the vocabulary.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/refine/data_clouds.h"
+#include "relational/dblp.h"
+#include "text/inverted_index.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+kws::text::InvertedIndex MakeIndex(size_t papers) {
+  kws::relational::DblpOptions opts;
+  opts.num_papers = papers;
+  kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  kws::text::InvertedIndex index;
+  const kws::relational::Table& paper = dblp.db->table(dblp.paper);
+  for (kws::relational::RowId r = 0; r < paper.num_rows(); ++r) {
+    index.AddDocument(r, paper.cell(r, 1).AsText());
+  }
+  return index;
+}
+
+void RunExperiment() {
+  kws::bench::Banner("E13", "term suggestion: naive vs early-terminating");
+  kws::bench::TablePrinter table({"docs", "method", "ms", "postings",
+                                  "top_term"});
+  for (size_t papers : {1000, 5000, 20000}) {
+    kws::text::InvertedIndex index = MakeIndex(papers);
+    const std::string query = "keyword";
+    {
+      kws::Stopwatch sw;
+      auto terms = kws::refine::SuggestTerms(index, query,
+                                kws::refine::TermRanking::kPopularity, 8);
+      table.Row({Fmt(index.num_docs()), "naive", Fmt(sw.ElapsedMillis()),
+                 "-", terms.empty() ? "-" : terms[0].term});
+    }
+    {
+      uint64_t scanned = 0;
+      kws::Stopwatch sw;
+      auto terms = kws::refine::FrequentCoOccurringTerms(index, query, 8, &scanned);
+      table.Row({Fmt(index.num_docs()), "early-term", Fmt(sw.ElapsedMillis()),
+                 Fmt(scanned), terms.empty() ? "-" : terms[0].term});
+    }
+    {
+      kws::Stopwatch sw;
+      auto terms = kws::refine::SuggestTerms(index, query,
+                                kws::refine::TermRanking::kRelevance, 8);
+      table.Row({Fmt(index.num_docs()), "relevance", Fmt(sw.ElapsedMillis()),
+                 "-", terms.empty() ? "-" : terms[0].term});
+    }
+  }
+}
+
+void BM_Suggest(benchmark::State& state) {
+  static kws::text::InvertedIndex index = MakeIndex(5000);
+  for (auto _ : state) {
+    auto terms =
+        state.range(0) == 0
+            ? kws::refine::SuggestTerms(index, "keyword",
+                           kws::refine::TermRanking::kPopularity, 8)
+            : kws::refine::FrequentCoOccurringTerms(index, "keyword", 8);
+    benchmark::DoNotOptimize(terms);
+  }
+  state.SetLabel(state.range(0) == 0 ? "naive" : "early-term");
+}
+BENCHMARK(BM_Suggest)->Arg(0)->Arg(1);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,100 @@
+// E5 — Answer-semantics comparison (tutorial slides 29-31): group Steiner
+// tree, distinct-root, distinct-core and r-radius Steiner answers on the
+// same data graph and query.
+//
+// Series: answer count, mean tree size and mean cost per semantics.
+// Expected shape: distinct-root produces the most (one per root, many
+// sharing the same matched tuples); distinct-core collapses same-core
+// roots; r-radius drops far-flung centers; the exact Steiner tree is a
+// single cheapest answer whose cost lower-bounds everything.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/steiner/banks.h"
+#include "core/steiner/semantics.h"
+#include "core/steiner/steiner_dp.h"
+#include "graph/blinks_index.h"
+#include "relational/dblp.h"
+
+namespace {
+
+using kws::bench::Fmt;
+using kws::steiner::AnswerTree;
+
+void Summarize(const kws::bench::TablePrinter& table, const char* name,
+               const std::vector<AnswerTree>& answers, double ms) {
+  double size = 0, cost = 0;
+  for (const AnswerTree& t : answers) {
+    size += static_cast<double>(t.nodes.size());
+    cost += t.cost;
+  }
+  const double n = std::max<size_t>(answers.size(), 1);
+  table.Row({name, Fmt(answers.size()), Fmt(size / n), Fmt(cost / n),
+             Fmt(ms)});
+}
+
+void RunExperiment() {
+  kws::bench::Banner("E5", "GST vs distinct-root vs distinct-core vs r-radius");
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 2000;
+  opts.num_authors = 1000;
+  kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  kws::graph::RelationalGraph rg = kws::graph::BuildDataGraph(*dblp.db);
+  // A rare author name x a mid-frequency title term: few cheap pairs, so
+  // the top answers span several costs and the semantics separate.
+  const std::vector<std::string> query = {"patricia", dblp.vocabulary[80]};
+  kws::bench::TablePrinter table(
+      {"semantics", "answers", "avg_size", "avg_cost", "ms"});
+
+  {
+    kws::Stopwatch sw;
+    auto gst = kws::steiner::GroupSteinerTop1(rg.graph, query);
+    std::vector<AnswerTree> answers;
+    if (gst.ok()) answers.push_back(gst.value());
+    Summarize(table, "steiner-top1", answers, sw.ElapsedMillis());
+  }
+  {
+    kws::Stopwatch sw;
+    auto answers = kws::steiner::GroupSteinerTopK(rg.graph, query, 300);
+    Summarize(table, "steiner-topk", answers, sw.ElapsedMillis());
+  }
+  kws::graph::KeywordDistanceIndex index(rg.graph);
+  {
+    kws::Stopwatch sw;
+    auto answers = kws::steiner::DistinctRootSearch(rg.graph, index, query, 300);
+    Summarize(table, "distinct-root", answers, sw.ElapsedMillis());
+  }
+  {
+    kws::Stopwatch sw;
+    auto answers = kws::steiner::DistinctCoreSearch(rg.graph, index, query, 300);
+    Summarize(table, "distinct-core", answers, sw.ElapsedMillis());
+  }
+  for (double radius : {2.0, 4.0}) {
+    kws::Stopwatch sw;
+    auto answers =
+        kws::steiner::RRadiusSteinerSearch(rg.graph, index, query, radius, 300);
+    const std::string name = "r-radius(r=" + std::to_string(int(radius)) + ")";
+    Summarize(table, name.c_str(), answers, sw.ElapsedMillis());
+  }
+}
+
+void BM_DistinctRoot(benchmark::State& state) {
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 1000;
+  static kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  static kws::graph::RelationalGraph rg = kws::graph::BuildDataGraph(*dblp.db);
+  for (auto _ : state) {
+    kws::graph::KeywordDistanceIndex index(rg.graph);
+    auto answers = kws::steiner::DistinctRootSearch(
+        rg.graph, index, {"keyword", "search"}, 20);
+    benchmark::DoNotOptimize(answers);
+  }
+}
+BENCHMARK(BM_DistinctRoot);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

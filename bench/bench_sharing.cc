@@ -1,0 +1,105 @@
+// E15 — CN sharing ablation (tutorial slides 129-135: operator mesh
+// [Markowetz et al. SIGMOD 07], SPARK2 partition graph [Luo et al. TKDE],
+// parallel sharing-aware scheduling [Qin et al. VLDB 10]).
+//
+// Series: how much of a CN workload's join work a shared execution plan
+// could reuse — distinct vs total single-join expressions, distinct vs
+// total mesh sub-expressions, and the fraction of CNs composable from
+// sub-CNs shared with other CNs. Expected shape: sharing ratios grow with
+// Tmax and keyword count; at realistic workloads the large majority of
+// CNs are composable from shared parts ("many CNs overlap substantially").
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/cn/candidate_network.h"
+#include "core/cn/sharing.h"
+#include "core/cn/tuple_sets.h"
+#include "text/tokenizer.h"
+#include "relational/dblp.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+void RunExperiment() {
+  kws::bench::Banner("E15", "CN sharing: operator mesh / partition graph");
+  kws::relational::DblpOptions dopts;
+  dopts.num_papers = 100;
+  kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(dopts);
+  const kws::relational::Database& db = *dblp.db;
+  kws::bench::TablePrinter table({"keywords", "max_size", "cns",
+                                  "edge_share", "subtree_share",
+                                  "composable"});
+  for (size_t nk : {2, 3}) {
+    const kws::cn::KeywordMask full = (1u << nk) - 1;
+    std::vector<kws::cn::KeywordMask> masks(db.num_tables(), 0);
+    masks[dblp.author] = full;
+    masks[dblp.paper] = full;
+    masks[dblp.conference] = full;
+    for (size_t max_size : {4, 5}) {
+      auto cns = kws::cn::EnumerateCandidateNetworks(db, masks, full,
+                                                     {.max_size = max_size});
+      kws::cn::SharingStats stats = kws::cn::AnalyzeSharing(cns);
+      table.Row({Fmt(nk), Fmt(max_size), Fmt(stats.total_cns),
+                 Fmt(stats.EdgeSharingRatio()),
+                 Fmt(stats.SubtreeSharingRatio()),
+                 Fmt(static_cast<double>(stats.composable_cns) /
+                     std::max<size_t>(stats.total_cns, 1))});
+    }
+  }
+
+  // E15b: shared vs independent evaluation of the whole workload
+  // (result counting with memoized sub-expressions vs from scratch).
+  kws::bench::Banner("E15b", "shared vs independent workload evaluation");
+  kws::relational::DblpOptions eopts;
+  eopts.num_papers = 2000;
+  eopts.num_authors = 1000;
+  kws::relational::DblpDatabase edblp =
+      kws::relational::MakeDblpDatabase(eopts);
+  const auto keywords = kws::text::Tokenizer().Tokenize("keyword search");
+  kws::cn::TupleSets ts(*edblp.db, keywords);
+  auto workload = kws::cn::EnumerateCandidateNetworks(
+      *edblp.db, ts.table_masks(), ts.full_mask(), {.max_size = 5});
+  kws::bench::TablePrinter exec({"mode", "cns", "ms", "join_lookups",
+                                 "memo_hits"});
+  {
+    kws::cn::SharedExecStats st;
+    kws::Stopwatch sw;
+    auto counts = SharedCountAll(*edblp.db, workload, ts, false, &st);
+    benchmark::DoNotOptimize(counts);
+    exec.Row({"independent", Fmt(workload.size()), Fmt(sw.ElapsedMillis()),
+              Fmt(st.join_lookups), Fmt(st.memo_hits)});
+  }
+  {
+    kws::cn::SharedExecStats st;
+    kws::Stopwatch sw;
+    auto counts = SharedCountAll(*edblp.db, workload, ts, true, &st);
+    benchmark::DoNotOptimize(counts);
+    exec.Row({"shared", Fmt(workload.size()), Fmt(sw.ElapsedMillis()),
+              Fmt(st.join_lookups), Fmt(st.memo_hits)});
+  }
+}
+
+void BM_AnalyzeSharing(benchmark::State& state) {
+  kws::relational::DblpOptions dopts;
+  dopts.num_papers = 100;
+  static kws::relational::DblpDatabase dblp =
+      kws::relational::MakeDblpDatabase(dopts);
+  std::vector<kws::cn::KeywordMask> masks(dblp.db->num_tables(), 0);
+  masks[dblp.author] = 3;
+  masks[dblp.paper] = 3;
+  masks[dblp.conference] = 3;
+  static auto cns = kws::cn::EnumerateCandidateNetworks(*dblp.db, masks, 3,
+                                                        {.max_size = 5});
+  for (auto _ : state) {
+    auto stats = kws::cn::AnalyzeSharing(cns);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_AnalyzeSharing);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

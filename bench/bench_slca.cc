@@ -1,0 +1,125 @@
+// E6 — SLCA algorithms (tutorial slides 138-139: XKSearch's
+// Indexed-Lookup-Eager is O(k d |Smin| log |Smax|); Multiway-SLCA skips
+// whole regions by re-anchoring on the max head).
+//
+// Series: latency and work counters for scan (brute force), ILE and
+// Multiway across document sizes and keyword-selectivity ratios.
+// Expected shape: the scan baseline scales with the document; ILE scales
+// with the rare list and wins big when |S1| << |S2|; Multiway's anchor
+// count drops below ILE's when matches cluster.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/lca/slca.h"
+#include "xml/bibgen.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+kws::xml::BibDocument MakeDoc(size_t venues) {
+  kws::xml::BibOptions opts;
+  opts.num_venues = venues;
+  opts.papers_per_venue = 20;
+  return MakeBibDocument(opts);
+}
+
+void RunExperiment() {
+  kws::bench::Banner("E6", "SLCA: scan vs indexed-lookup-eager vs multiway");
+  kws::bench::TablePrinter table({"nodes", "|S_rare|", "|S_freq|",
+                                  "algorithm", "ms", "work", "slcas"});
+  for (size_t venues : {50, 200, 800}) {
+    kws::xml::BibDocument doc = MakeDoc(venues);
+    // rare term: tail of the Zipf vocabulary; frequent: rank 0.
+    std::string rare;
+    for (size_t i = doc.vocabulary.size(); i > 0; --i) {
+      if (!doc.tree.MatchNodes(doc.vocabulary[i - 1]).empty()) {
+        rare = doc.vocabulary[i - 1];
+        break;
+      }
+    }
+    const std::string frequent = doc.vocabulary[0];
+    auto lists = kws::lca::MatchLists(doc.tree, {rare, frequent});
+    if (lists.empty()) continue;
+    const size_t s_rare = lists[0].size();
+    const size_t s_freq = lists[1].size();
+
+    {
+      kws::lca::LcaStats stats;
+      kws::Stopwatch sw;
+      auto r = kws::lca::SlcaBruteForce(doc.tree, lists, &stats);
+      table.Row({Fmt(doc.tree.size()), Fmt(s_rare), Fmt(s_freq), "scan",
+                 Fmt(sw.ElapsedMillis()), Fmt(stats.nodes_visited),
+                 Fmt(r.size())});
+    }
+    {
+      kws::lca::LcaStats stats;
+      kws::Stopwatch sw;
+      auto r = kws::lca::SlcaIndexedLookupEager(doc.tree, lists, &stats);
+      table.Row({Fmt(doc.tree.size()), Fmt(s_rare), Fmt(s_freq), "ile",
+                 Fmt(sw.ElapsedMillis()),
+                 Fmt(stats.lca_computations + stats.binary_searches),
+                 Fmt(r.size())});
+    }
+    {
+      kws::lca::LcaStats stats;
+      kws::Stopwatch sw;
+      auto r = kws::lca::SlcaMultiway(doc.tree, lists, &stats);
+      table.Row({Fmt(doc.tree.size()), Fmt(s_rare), Fmt(s_freq), "multiway",
+                 Fmt(sw.ElapsedMillis()),
+                 Fmt(stats.lca_computations + stats.binary_searches),
+                 Fmt(r.size())});
+    }
+  }
+  // Balanced-lists crossover: two frequent keywords — ILE loses its edge.
+  kws::bench::Banner("E6b", "balanced lists (two frequent keywords)");
+  kws::xml::BibDocument doc = MakeDoc(400);
+  auto lists = kws::lca::MatchLists(
+      doc.tree, {doc.vocabulary[0], doc.vocabulary[1]});
+  if (!lists.empty()) {
+    kws::bench::TablePrinter table2({"algorithm", "ms", "work"});
+    kws::lca::LcaStats s1, s2, s3;
+    kws::Stopwatch sw1;
+    kws::lca::SlcaBruteForce(doc.tree, lists, &s1);
+    table2.Row({"scan", Fmt(sw1.ElapsedMillis()), Fmt(s1.nodes_visited)});
+    kws::Stopwatch sw2;
+    kws::lca::SlcaIndexedLookupEager(doc.tree, lists, &s2);
+    table2.Row({"ile", Fmt(sw2.ElapsedMillis()),
+                Fmt(s2.lca_computations + s2.binary_searches)});
+    kws::Stopwatch sw3;
+    kws::lca::SlcaMultiway(doc.tree, lists, &s3);
+    table2.Row({"multiway", Fmt(sw3.ElapsedMillis()),
+                Fmt(s3.lca_computations + s3.binary_searches)});
+  }
+}
+
+void BM_Slca(benchmark::State& state) {
+  static kws::xml::BibDocument doc = MakeDoc(200);
+  static auto lists = kws::lca::MatchLists(
+      doc.tree, {doc.vocabulary[20], doc.vocabulary[0]});
+  for (auto _ : state) {
+    std::vector<kws::xml::XmlNodeId> r;
+    switch (state.range(0)) {
+      case 0:
+        r = kws::lca::SlcaBruteForce(doc.tree, lists);
+        break;
+      case 1:
+        r = kws::lca::SlcaIndexedLookupEager(doc.tree, lists);
+        break;
+      default:
+        r = kws::lca::SlcaMultiway(doc.tree, lists);
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(state.range(0) == 0   ? "scan"
+                 : state.range(0) == 1 ? "ile"
+                                       : "multiway");
+}
+BENCHMARK(BM_Slca)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,67 @@
+// E3 — SPARK's non-monotonic scoring algorithms (tutorial slide 117;
+// Luo et al. SIGMOD 07).
+//
+// Series: exact-score computations (the expensive step, each implying a
+// join verification) and latency for Naive vs Skyline-Sweep vs
+// Block-Pipeline, identical top-k outputs. Expected shape: both bounded
+// algorithms score a small fraction of what Naive scores; block-pipeline
+// trades more scoring for far fewer queue operations.
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/cn/spark.h"
+#include "relational/dblp.h"
+
+namespace {
+
+using kws::bench::Fmt;
+using kws::cn::SparkAlgorithm;
+
+kws::relational::DblpDatabase MakeDb() {
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 3000;
+  opts.num_authors = 1500;
+  return MakeDblpDatabase(opts);
+}
+
+void RunExperiment() {
+  kws::bench::Banner("E3", "SPARK: naive / skyline-sweep / block-pipeline");
+  kws::relational::DblpDatabase dblp = MakeDb();
+  kws::cn::SparkSearch search(*dblp.db);
+  kws::bench::TablePrinter table({"algorithm", "ms", "scored", "queue_pops",
+                                  "join_lookups", "top1"});
+  for (SparkAlgorithm a : {SparkAlgorithm::kNaive,
+                           SparkAlgorithm::kSkylineSweep,
+                           SparkAlgorithm::kBlockPipeline}) {
+    kws::cn::SparkOptions opts;
+    opts.k = 10;
+    opts.max_cn_size = 4;
+    opts.algorithm = a;
+    kws::cn::SparkStats stats;
+    kws::Stopwatch sw;
+    auto results = search.Search("keyword search", opts, nullptr, &stats);
+    table.Row({kws::cn::SparkAlgorithmToString(a), Fmt(sw.ElapsedMillis()),
+               Fmt(stats.candidates_scored), Fmt(stats.queue_pops),
+               Fmt(stats.join_lookups),
+               results.empty() ? "-" : Fmt(results[0].score)});
+  }
+}
+
+void BM_Spark(benchmark::State& state) {
+  static kws::relational::DblpDatabase dblp = MakeDb();
+  kws::cn::SparkSearch search(*dblp.db);
+  kws::cn::SparkOptions opts;
+  opts.k = 10;
+  opts.max_cn_size = 4;
+  opts.algorithm = static_cast<SparkAlgorithm>(state.range(0));
+  for (auto _ : state) {
+    auto results = search.Search("keyword search", opts, nullptr);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetLabel(kws::cn::SparkAlgorithmToString(opts.algorithm));
+}
+BENCHMARK(BM_Spark)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

@@ -1,0 +1,104 @@
+// E16 — Keyword search on relational tuple streams (tutorial slides 115,
+// 134: Markowetz et al., SIGMOD 07: "no CNs can be pruned" — the whole
+// workload stays live and results are emitted as tuples arrive).
+//
+// Series: per-arrival cost (probes, join lookups) and emission curve for
+// streaming evaluation, vs the one-shot batch evaluation of the same
+// workload. Expected shape: streaming pays a small per-arrival probe
+// cost; its total emitted results equal the batch results exactly; most
+// arrivals emit nothing (results cluster on the last-arriving tuples).
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "core/cn/stream.h"
+#include "relational/dblp.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using kws::bench::Fmt;
+
+void RunExperiment() {
+  kws::bench::Banner("E16", "keyword search over tuple streams");
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 400;
+  opts.num_authors = 200;
+  kws::relational::DblpDatabase dblp = kws::relational::MakeDblpDatabase(opts);
+  const auto keywords = kws::text::Tokenizer().Tokenize("keyword search");
+  kws::cn::TupleSets ts(*dblp.db, keywords);
+  auto cns = kws::cn::EnumerateCandidateNetworks(
+      *dblp.db, ts.table_masks(), ts.full_mask(), {.max_size = 4});
+
+  // Batch reference.
+  size_t batch_results = 0;
+  kws::Stopwatch batch_sw;
+  for (const auto& cn : cns) {
+    batch_results += ExecuteCn(*dblp.db, cn, ts).size();
+  }
+  const double batch_ms = batch_sw.ElapsedMillis();
+
+  // Stream all tuples in shuffled order; report the emission curve.
+  std::vector<kws::relational::TupleId> order;
+  for (kws::relational::TableId t = 0; t < dblp.db->num_tables(); ++t) {
+    for (kws::relational::RowId r = 0; r < dblp.db->table(t).num_rows();
+         ++r) {
+      order.push_back({t, r});
+    }
+  }
+  kws::Rng rng(11);
+  rng.Shuffle(order);
+
+  kws::cn::StreamEvaluator eval(*dblp.db, cns, ts);
+  kws::cn::StreamStats stats;
+  kws::Stopwatch sw;
+  size_t emitted = 0, arrivals_with_results = 0;
+  kws::bench::TablePrinter curve({"arrived_pct", "emitted", "probes",
+                                  "join_lookups"});
+  size_t next_report = order.size() / 4;
+  size_t fed = 0;
+  for (const auto& tuple : order) {
+    const auto results = eval.OnArrival(tuple, &stats);
+    emitted += results.size();
+    arrivals_with_results += !results.empty();
+    if (++fed >= next_report) {
+      curve.Row({Fmt(100.0 * fed / order.size()), Fmt(emitted),
+                 Fmt(stats.probes), Fmt(stats.join_lookups)});
+      next_report += order.size() / 4;
+    }
+  }
+  const double stream_ms = sw.ElapsedMillis();
+  std::printf(
+      "\nbatch: %zu results in %.2f ms; stream: %zu results in %.2f ms "
+      "(%zu of %zu arrivals emitted something)\n",
+      batch_results, batch_ms, emitted, stream_ms, arrivals_with_results,
+      order.size());
+}
+
+void BM_Arrival(benchmark::State& state) {
+  kws::relational::DblpOptions opts;
+  opts.num_papers = 200;
+  static kws::relational::DblpDatabase dblp =
+      kws::relational::MakeDblpDatabase(opts);
+  static const auto keywords =
+      kws::text::Tokenizer().Tokenize("keyword search");
+  static kws::cn::TupleSets ts(*dblp.db, keywords);
+  static auto cns = kws::cn::EnumerateCandidateNetworks(
+      *dblp.db, ts.table_masks(), ts.full_mask(), {.max_size = 4});
+  kws::cn::StreamEvaluator eval(*dblp.db, cns, ts);
+  kws::relational::RowId r = 0;
+  const size_t rows = dblp.db->table(2).num_rows();
+  for (auto _ : state) {
+    auto out = eval.OnArrival({2, r});
+    benchmark::DoNotOptimize(out);
+    r = (r + 1) % static_cast<kws::relational::RowId>(rows);
+  }
+}
+BENCHMARK(BM_Arrival);
+
+}  // namespace
+
+KWDB_BENCH_MAIN(RunExperiment)

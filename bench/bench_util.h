@@ -1,0 +1,64 @@
+#ifndef KWDB_BENCH_BENCH_UTIL_H_
+#define KWDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+namespace kws::bench {
+
+/// Fixed-width table printer for the experiment series each bench
+/// regenerates (the "rows the paper reports"); google-benchmark handles
+/// the timing side.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const std::string& h : headers_) {
+      std::printf("%-18s", h.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size(); ++i) std::printf("%-18s", "---");
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) const {
+    for (const std::string& c : cells) std::printf("%-18s", c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+};
+
+inline std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+inline std::string Fmt(uint64_t v) { return std::to_string(v); }
+
+inline std::string Fmt(int v) { return std::to_string(v); }
+
+/// Prints the experiment banner.
+inline void Banner(const char* id, const char* title) {
+  std::printf("\n=== %s: %s ===\n", id, title);
+}
+
+}  // namespace kws::bench
+
+/// Shared main: print the custom experiment tables (defined by each bench
+/// as RunExperiment), then run any registered google-benchmark timers.
+#define KWDB_BENCH_MAIN(RunExperiment)                        \
+  int main(int argc, char** argv) {                           \
+    RunExperiment();                                          \
+    ::benchmark::Initialize(&argc, argv);                     \
+    ::benchmark::RunSpecifiedBenchmarks();                    \
+    ::benchmark::Shutdown();                                  \
+    return 0;                                                 \
+  }
+
+#endif  // KWDB_BENCH_BENCH_UTIL_H_

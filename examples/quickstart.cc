@@ -1,0 +1,66 @@
+// Quickstart: build a synthetic bibliographic database, run keyword
+// queries through the full pipeline (cleaning -> candidate-network search
+// -> ranking -> refinement suggestions), and try type-ahead completion.
+//
+//   ./example_quickstart [query...]
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine/engine.h"
+#include "relational/dblp.h"
+
+int main(int argc, char** argv) {
+  // 1. A small DBLP-like database: conference / author / paper / writes /
+  //    cite, with Zipf-skewed title vocabulary.
+  kws::relational::DblpOptions opts;
+  opts.num_authors = 120;
+  opts.num_papers = 300;
+  opts.num_conferences = 10;
+  kws::relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  std::printf("database: %zu tables, %zu rows\n", dblp.db->num_tables(),
+              dblp.db->TotalRows());
+
+  // 2. The engine wires every stage together.
+  kws::engine::KeywordSearchEngine engine(*dblp.db);
+
+  std::string query = "keywrd search";  // note the typo
+  if (argc > 1) {
+    query.clear();
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) query += ' ';
+      query += argv[i];
+    }
+  }
+  std::printf("\nquery: \"%s\"\n", query.c_str());
+
+  kws::engine::EngineOptions eopts;
+  eopts.k = 5;
+  kws::engine::EngineResponse response = engine.Search(query, eopts);
+  if (response.query_was_corrected) {
+    std::printf("did you mean:");
+    for (const std::string& t : response.cleaned_query) {
+      std::printf(" %s", t.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\ntop results (joined tuple trees):\n");
+  for (const kws::engine::EngineResult& r : response.results) {
+    std::printf("  [%.3f] %s\n", r.score, r.description.c_str());
+  }
+  if (!response.suggestions.empty()) {
+    std::printf("\nrefine with:");
+    for (const std::string& s : response.suggestions) {
+      std::printf(" %s", s.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // 3. Type-ahead: completions of a partially typed keyword.
+  std::printf("\ntype-ahead for \"que\":");
+  for (const std::string& c : engine.Complete("que")) {
+    std::printf(" %s", c.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

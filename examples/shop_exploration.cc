@@ -1,0 +1,98 @@
+// shop_exploration: the exploration side of the tutorial on a product
+// catalog — faceted navigation with a log-driven cost model, Keyword++
+// keyword-to-predicate translation, aggregate keyword search over an
+// events table (slide 16), and text-cube TopCells.
+//
+//   ./example_shop_exploration
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/analyze/aggregate.h"
+#include "core/refine/facets.h"
+#include "core/rewrite/keyword_pp.h"
+#include "core/rewrite/related_queries.h"
+#include "relational/query_log.h"
+#include "relational/shop.h"
+
+namespace {
+
+void PrintFacetTree(const kws::refine::FacetNode& node,
+                    const kws::relational::TableSchema& schema, int depth) {
+  if (node.condition.has_value()) {
+    std::printf("%*s%s (%zu rows)\n", depth * 2, "",
+                node.condition->ToString(schema).c_str(), node.rows.size());
+  }
+  size_t shown = 0;
+  for (const auto& child : node.children) {
+    if (++shown > 4) {
+      std::printf("%*s...\n", (depth + 1) * 2, "");
+      break;
+    }
+    PrintFacetTree(child, schema, depth + 1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  kws::relational::ShopDatabase shop =
+      kws::relational::MakeShopDatabase({.seed = 3, .num_products = 800});
+  kws::relational::QueryLog log = MakeQueryLog(
+      *shop.db, shop.product, {.seed = 4, .num_queries = 500});
+
+  // --- Keyword++: translate a vague query into structured SQL ---------
+  kws::rewrite::KeywordPlusPlus kpp(*shop.db, shop.product, log);
+  for (const std::string query : {"small ibm laptop", "cheap civic car"}) {
+    kws::rewrite::TranslatedQuery tq = kpp.Translate(query);
+    std::printf("keyword++  \"%s\"\n  -> %s\n", query.c_str(),
+                tq.sql.c_str());
+  }
+
+  // --- Data-only rewriting: which brands are like honda? --------------
+  std::printf("\nvalues related to brand 'honda' (data only):\n");
+  for (const auto& [value, sim] : kws::rewrite::RelatedValues(
+           *shop.db, shop.product, 2, kws::relational::Value::Text("honda"),
+           3)) {
+    std::printf("  %-10s %.3f\n", value.ToString().c_str(), sim);
+  }
+
+  // --- Faceted navigation over the "laptop" result set ----------------
+  std::vector<kws::relational::RowId> laptops;
+  const kws::relational::Table& product = shop.db->table(shop.product);
+  for (kws::relational::RowId r = 0; r < product.num_rows(); ++r) {
+    if (product.cell(r, 3).AsText() == "laptop") laptops.push_back(r);
+  }
+  kws::refine::FacetedNavigator nav(*shop.db, shop.product, log);
+  kws::refine::FacetTreeOptions fopts;
+  fopts.max_depth = 2;
+  const kws::refine::FacetNode tree = nav.BuildGreedy(laptops, fopts);
+  std::printf("\nfaceted navigation over %zu laptops (expected cost %.1f"
+              " vs flat %zu):\n",
+              laptops.size(), nav.ExpectedCost(tree), laptops.size());
+  PrintFacetTree(tree, product.schema(), 0);
+
+  // --- Aggregate keyword search on the events table (slide 16) --------
+  kws::relational::ShopDatabase events =
+      kws::relational::MakeEventsDatabase(7, 80);
+  std::printf("\naggregate search {motorcycle, pool, american food} by"
+              " (month, state):\n");
+  for (const auto& g : kws::analyze::AggregateKeywordSearch(
+           *events.db, events.product, {1, 2},
+           {"motorcycle", "pool", "american", "food"})) {
+    std::printf("  %s\n",
+                g.ToString(*events.db, events.product, {1, 2}).c_str());
+  }
+
+  // --- Text-cube TopCells ----------------------------------------------
+  std::printf("\ntop cells for \"powerful laptop\" over (brand, category):\n");
+  for (const auto& cell : kws::analyze::TopCells(*shop.db, shop.product,
+                                                 {2, 3}, "powerful laptop",
+                                                 4, 5)) {
+    std::printf("  %-36s support=%zu relevance=%.3f\n",
+                cell.ToString(*shop.db, shop.product, {2, 3}).c_str(),
+                cell.support, cell.avg_relevance);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#ifndef KWDB_COMMON_RANDOM_H_
+#define KWDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kws {
+
+/// Deterministic pseudo-random generator (xorshift128+). All workload
+/// generators in the library are seeded through this class so that every
+/// test, example and benchmark is reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds produce equal streams.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw: true with probability `p` (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Picks a uniformly random element index for a container of `size`
+  /// elements. `size` must be positive.
+  size_t Index(size_t size);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipf-distributed sampler over ranks {0, 1, ..., n-1} with skew `theta`
+/// (theta = 0 is uniform; theta ~ 1 matches natural-language term skew).
+/// Used to give the synthetic DBLP corpus a realistic term frequency curve.
+class ZipfSampler {
+ public:
+  /// Precomputes the CDF for `n` ranks with exponent `theta`.
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws a rank in [0, n). Rank 0 is the most frequent.
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace kws
+
+#endif  // KWDB_COMMON_RANDOM_H_

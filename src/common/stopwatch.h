@@ -1,0 +1,33 @@
+#ifndef KWDB_COMMON_STOPWATCH_H_
+#define KWDB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace kws {
+
+/// Wall-clock stopwatch used by the benchmark harness for custom
+/// (non-google-benchmark) series such as per-phase breakdowns.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset, in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kws
+
+#endif  // KWDB_COMMON_STOPWATCH_H_

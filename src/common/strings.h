@@ -1,0 +1,27 @@
+#ifndef KWDB_COMMON_STRINGS_H_
+#define KWDB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kws {
+
+/// Returns `s` lower-cased (ASCII only; the corpus generators emit ASCII).
+std::string ToLower(std::string_view s);
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, std::string_view delims);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+}  // namespace kws
+
+#endif  // KWDB_COMMON_STRINGS_H_

@@ -1,0 +1,93 @@
+#ifndef KWDB_COMMON_TOPK_H_
+#define KWDB_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace kws {
+
+/// Bounded max-score collector: keeps the `k` items with the highest
+/// score seen so far. Used by every top-k search algorithm in the library
+/// (CN pipelines, BANKS, SLCA top-k, ...).
+///
+/// Internally a min-heap on score, so the threshold (k-th best score) is
+/// available in O(1) for early-termination tests.
+template <typename T>
+class TopK {
+ public:
+  /// `k` must be positive.
+  explicit TopK(size_t k) : k_(k) {}
+
+  /// Offers an item; keeps it only if it beats the current k-th score or
+  /// the collector is not yet full. Returns true when the item was kept.
+  bool Offer(double score, T item) {
+    if (heap_.size() < k_) {
+      heap_.push(Entry{score, seq_++, std::move(item)});
+      return true;
+    }
+    if (score > heap_.top().score) {
+      heap_.pop();
+      heap_.push(Entry{score, seq_++, std::move(item)});
+      return true;
+    }
+    return false;
+  }
+
+  /// True when `score` could not enter the collector (full and not better
+  /// than the current k-th best). Lets producers stop early when their
+  /// remaining candidates are score-bounded.
+  bool WouldReject(double score) const {
+    return Full() && score <= heap_.top().score;
+  }
+
+  bool Full() const { return heap_.size() >= k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// Smallest retained score; only meaningful when non-empty.
+  double Threshold() const { return heap_.empty() ? 0.0 : heap_.top().score; }
+
+  /// Extracts items ordered by descending score (ties broken by insertion
+  /// order, earliest first). The collector is emptied.
+  std::vector<std::pair<double, T>> TakeSorted() {
+    std::vector<Entry> entries;
+    entries.reserve(heap_.size());
+    while (!heap_.empty()) {
+      // priority_queue::top returns const ref; copy then pop.
+      entries.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.seq < b.seq;
+    });
+    std::vector<std::pair<double, T>> out;
+    out.reserve(entries.size());
+    for (auto& e : entries) out.emplace_back(e.score, std::move(e.item));
+    return out;
+  }
+
+ private:
+  struct Entry {
+    double score;
+    uint64_t seq;
+    T item;
+  };
+  struct MinOrder {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.score != b.score) return a.score > b.score;  // min-heap on score
+      return a.seq < b.seq;  // among equal scores evict the newest first
+    }
+  };
+
+  size_t k_;
+  uint64_t seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, MinOrder> heap_;
+};
+
+}  // namespace kws
+
+#endif  // KWDB_COMMON_TOPK_H_

@@ -1,0 +1,62 @@
+#ifndef KWDB_CORE_ANALYZE_AGGREGATE_H_
+#define KWDB_CORE_ANALYZE_AGGREGATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "text/inverted_index.h"
+
+namespace kws::analyze {
+
+/// One aggregate answer (tutorial slides 16, 164-165): a group of tuples
+/// sharing values on a subset of the user's interesting attributes, whose
+/// union of text covers every query keyword.
+struct AggregateGroup {
+  /// One optional value per interesting attribute; unset renders as "*".
+  std::vector<std::optional<relational::Value>> shared_values;
+  std::vector<relational::RowId> rows;
+  /// Number of bound (non-*) attributes — higher is more specific.
+  size_t specificity = 0;
+
+  std::string ToString(const relational::Database& db,
+                       relational::TableId table,
+                       const std::vector<relational::ColumnId>& columns) const;
+};
+
+/// Table analysis (Zhou & Pei, EDBT 09): clusters the table's rows by
+/// every subset of `interesting_columns` and keeps the groups covering
+/// all keywords, pruning dominated groups — a group is dominated when a
+/// strictly more specific group covers the keywords with a subset of its
+/// rows' attribute bindings. Most specific groups first; within equal
+/// specificity, smaller groups first.
+std::vector<AggregateGroup> AggregateKeywordSearch(
+    const relational::Database& db, relational::TableId table,
+    const std::vector<relational::ColumnId>& interesting_columns,
+    const std::vector<std::string>& keywords);
+
+/// A text-cube cell (Ding et al., ICDE 10; slides 166-167): a partial
+/// assignment of dimension values plus its aggregated documents.
+struct CubeCell {
+  std::vector<std::optional<relational::Value>> dims;
+  std::vector<relational::RowId> rows;
+  size_t support = 0;
+  double avg_relevance = 0;
+
+  std::string ToString(const relational::Database& db,
+                       relational::TableId table,
+                       const std::vector<relational::ColumnId>& columns) const;
+};
+
+/// TopCells keyword search on a text cube: the top-k cells over the given
+/// dimensions with support >= `min_support`, ranked by the average
+/// relevance of their rows' text to the query.
+std::vector<CubeCell> TopCells(
+    const relational::Database& db, relational::TableId table,
+    const std::vector<relational::ColumnId>& dimensions,
+    const std::string& query, size_t k, size_t min_support = 2);
+
+}  // namespace kws::analyze
+
+#endif  // KWDB_CORE_ANALYZE_AGGREGATE_H_

@@ -1,0 +1,213 @@
+#include "core/analyze/differentiation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace kws::analyze {
+
+namespace {
+
+/// Per-type values of one selection (a result never selects two values of
+/// the same type here; if it does, the set comparison still works).
+std::map<std::string, std::set<std::string>> ByType(const FeatureSet& fs) {
+  std::map<std::string, std::set<std::string>> m;
+  for (const Feature& f : fs) m[f.type].insert(f.value);
+  return m;
+}
+
+double PairDod(const FeatureSet& a, const FeatureSet& b) {
+  const auto ma = ByType(a);
+  const auto mb = ByType(b);
+  std::set<std::string> types;
+  for (const auto& [t, v] : ma) types.insert(t);
+  for (const auto& [t, v] : mb) types.insert(t);
+  double dod = 0;
+  for (const std::string& t : types) {
+    auto ia = ma.find(t);
+    auto ib = mb.find(t);
+    if (ia == ma.end() || ib == mb.end()) {
+      dod += 1;  // present in one only
+    } else if (ia->second != ib->second) {
+      dod += 1;  // both present, different values
+    }
+  }
+  return dod;
+}
+
+}  // namespace
+
+double DegreeOfDifferentiation(const std::vector<FeatureSet>& selection) {
+  double total = 0;
+  for (size_t i = 0; i < selection.size(); ++i) {
+    for (size_t j = i + 1; j < selection.size(); ++j) {
+      total += PairDod(selection[i], selection[j]);
+    }
+  }
+  return total;
+}
+
+std::vector<FeatureSet> SelectTopFeatures(
+    const std::vector<FeatureSet>& results,
+    const DifferentiationOptions& options) {
+  // Global feature frequency.
+  std::map<Feature, size_t> freq;
+  for (const FeatureSet& fs : results) {
+    for (const Feature& f : fs) ++freq[f];
+  }
+  std::vector<FeatureSet> out;
+  for (const FeatureSet& fs : results) {
+    FeatureSet sorted = fs;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](const Feature& a, const Feature& b) {
+                const size_t fa = freq[a], fb = freq[b];
+                if (fa != fb) return fa > fb;
+                return a < b;
+              });
+    if (sorted.size() > options.max_features) {
+      sorted.resize(options.max_features);
+    }
+    out.push_back(std::move(sorted));
+  }
+  return out;
+}
+
+std::vector<FeatureSet> SelectDifferentiatingFeatures(
+    const std::vector<FeatureSet>& results,
+    const DifferentiationOptions& options) {
+  std::vector<FeatureSet> selection = SelectTopFeatures(results, options);
+  // DoD contribution of result i against all others.
+  auto dod_of = [&](size_t i) {
+    double d = 0;
+    for (size_t j = 0; j < selection.size(); ++j) {
+      if (j != i) d += PairDod(selection[i], selection[j]);
+    }
+    return d;
+  };
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    bool improved = false;
+    for (size_t i = 0; i < results.size(); ++i) {
+      double current = dod_of(i);
+      // Try replacing each selected feature with each unselected one.
+      for (size_t s = 0; s < selection[i].size(); ++s) {
+        for (const Feature& candidate : results[i]) {
+          if (std::find(selection[i].begin(), selection[i].end(),
+                        candidate) != selection[i].end()) {
+            continue;
+          }
+          const Feature old = selection[i][s];
+          selection[i][s] = candidate;
+          const double with_swap = dod_of(i);
+          if (with_swap > current + 1e-12) {
+            current = with_swap;
+            improved = true;
+          } else {
+            selection[i][s] = old;
+          }
+        }
+      }
+      // Results with spare capacity may also add features.
+      if (selection[i].size() < options.max_features) {
+        for (const Feature& candidate : results[i]) {
+          if (selection[i].size() >= options.max_features) break;
+          if (std::find(selection[i].begin(), selection[i].end(),
+                        candidate) != selection[i].end()) {
+            continue;
+          }
+          selection[i].push_back(candidate);
+          const double with_add = dod_of(i);
+          if (with_add > current + 1e-12) {
+            current = with_add;
+            improved = true;
+          } else {
+            selection[i].pop_back();
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return selection;
+}
+
+std::vector<FeatureSet> SelectStrongLocalOptimal(
+    const std::vector<FeatureSet>& results,
+    const DifferentiationOptions& options, size_t max_pool) {
+  // Start from the (weakly optimal) swap solution.
+  std::vector<FeatureSet> selection =
+      SelectDifferentiatingFeatures(results, options);
+  auto dod_of = [&](size_t i) {
+    double d = 0;
+    for (size_t j = 0; j < selection.size(); ++j) {
+      if (j != i) d += PairDod(selection[i], selection[j]);
+    }
+    return d;
+  };
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    bool improved = false;
+    for (size_t i = 0; i < results.size(); ++i) {
+      FeatureSet pool = results[i];
+      if (pool.size() > max_pool) pool.resize(max_pool);
+      const size_t n = pool.size();
+      if (n > 20) continue;  // subset enumeration guard
+      double best = dod_of(i);
+      FeatureSet best_set = selection[i];
+      // All subsets of size <= max_features.
+      for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+        if (static_cast<size_t>(__builtin_popcount(mask)) >
+            options.max_features) {
+          continue;
+        }
+        FeatureSet candidate;
+        for (size_t b = 0; b < n; ++b) {
+          if ((mask >> b) & 1u) candidate.push_back(pool[b]);
+        }
+        selection[i] = candidate;
+        const double d = dod_of(i);
+        if (d > best + 1e-12) {
+          best = d;
+          best_set = std::move(candidate);
+          improved = true;
+        }
+      }
+      selection[i] = std::move(best_set);
+    }
+    if (!improved) break;
+  }
+  return selection;
+}
+
+std::string RenderComparisonTable(const std::vector<FeatureSet>& selection,
+                                  const std::vector<std::string>& headers) {
+  // Collect all feature types, then per result the values per type.
+  std::set<std::string> types;
+  for (const FeatureSet& fs : selection) {
+    for (const Feature& f : fs) types.insert(f.type);
+  }
+  auto cell = [&](size_t result, const std::string& type) {
+    std::string value;
+    for (const Feature& f : selection[result]) {
+      if (f.type != type) continue;
+      if (!value.empty()) value += ", ";
+      value += f.value;
+    }
+    return value.empty() ? std::string("-") : value;
+  };
+  std::string out = "feature";
+  for (size_t r = 0; r < selection.size(); ++r) {
+    out += " | ";
+    out += r < headers.size() ? headers[r]
+                              : "result " + std::to_string(r + 1);
+  }
+  out += '\n';
+  for (const std::string& type : types) {
+    out += type;
+    for (size_t r = 0; r < selection.size(); ++r) {
+      out += " | " + cell(r, type);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace kws::analyze

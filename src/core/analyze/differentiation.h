@@ -1,0 +1,69 @@
+#ifndef KWDB_CORE_ANALYZE_DIFFERENTIATION_H_
+#define KWDB_CORE_ANALYZE_DIFFERENTIATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kws::analyze {
+
+/// A feature of a result: a typed name ("paper:title") and a value.
+struct Feature {
+  std::string type;
+  std::string value;
+
+  bool operator==(const Feature& o) const {
+    return type == o.type && value == o.value;
+  }
+  bool operator<(const Feature& o) const {
+    return type != o.type ? type < o.type : value < o.value;
+  }
+};
+
+/// One result's full feature set (input) or selected subset (output).
+using FeatureSet = std::vector<Feature>;
+
+/// Degree of Differentiation of a selection (one FeatureSet per result):
+/// over all result pairs, the number of feature types where the two
+/// selections differ — either different values or presence vs absence
+/// (Liu et al., VLDB 09; tutorial slides 149-153).
+double DegreeOfDifferentiation(const std::vector<FeatureSet>& selection);
+
+struct DifferentiationOptions {
+  /// Maximum features kept per result (the "concise" bound).
+  size_t max_features = 3;
+  /// Swap-improvement rounds for the local-search algorithm.
+  size_t max_rounds = 8;
+};
+
+/// Baseline: each result keeps its `max_features` most frequent features
+/// (a summary, but not necessarily differentiating).
+std::vector<FeatureSet> SelectTopFeatures(
+    const std::vector<FeatureSet>& results,
+    const DifferentiationOptions& options = {});
+
+/// Swap-based local search achieving weak local optimality: starting from
+/// the baseline, repeatedly replace one selected feature of one result by
+/// an unselected one when that increases the DoD; stops at a fixed point
+/// or after max_rounds. (The exact optimum is NP-hard.)
+std::vector<FeatureSet> SelectDifferentiatingFeatures(
+    const std::vector<FeatureSet>& results,
+    const DifferentiationOptions& options = {});
+
+/// Strong local optimality (Liu et al.'s stronger guarantee): no result
+/// can improve the DoD by replacing its whole selection with ANY other
+/// <= max_features subset of its features (exhaustive per result, holding
+/// the others fixed); iterated to a fixed point. Feature pools are capped
+/// at `max_pool` per result to bound the subset enumeration.
+std::vector<FeatureSet> SelectStrongLocalOptimal(
+    const std::vector<FeatureSet>& results,
+    const DifferentiationOptions& options = {}, size_t max_pool = 12);
+
+/// Renders a selection as the slide-151 comparison table: one row per
+/// feature type, one column per result, "-" for absent values.
+std::string RenderComparisonTable(const std::vector<FeatureSet>& selection,
+                                  const std::vector<std::string>& headers);
+
+}  // namespace kws::analyze
+
+#endif  // KWDB_CORE_ANALYZE_DIFFERENTIATION_H_

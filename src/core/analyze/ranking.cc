@@ -1,0 +1,58 @@
+#include "core/analyze/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace kws::analyze {
+
+std::vector<RankedAnswer> RankAnswers(
+    const graph::DataGraph& g, std::vector<steiner::AnswerTree> trees,
+    const std::vector<std::string>& keywords,
+    const std::vector<double>& pagerank, const RankWeights& weights) {
+  const double n = static_cast<double>(g.num_nodes());
+  double max_pr = 1e-12;
+  for (double p : pagerank) max_pr = std::max(max_pr, p);
+  text::Tokenizer tokenizer;
+
+  std::vector<RankedAnswer> out;
+  out.reserve(trees.size());
+  for (steiner::AnswerTree& tree : trees) {
+    RankedAnswer ra;
+    // Content: per keyword, tf aggregated over the answer's nodes.
+    for (const std::string& k : keywords) {
+      uint64_t tf = 0;
+      for (graph::NodeId node : tree.nodes) {
+        for (const std::string& tok : tokenizer.Tokenize(g.text(node))) {
+          tf += (tok == k);
+        }
+      }
+      if (tf > 0) {
+        const double df =
+            std::max<size_t>(g.MatchNodes(k).size(), 1);
+        ra.content += std::log(1.0 + static_cast<double>(tf)) *
+                      std::log(1.0 + n / df);
+      }
+    }
+    ra.proximity = 1.0 / (1.0 + tree.cost);
+    if (!pagerank.empty()) {
+      double sum = 0;
+      for (graph::NodeId node : tree.nodes) sum += pagerank[node];
+      ra.authority = sum / (static_cast<double>(tree.nodes.size()) * max_pr);
+    }
+    ra.total = weights.content * ra.content +
+               weights.proximity * ra.proximity +
+               weights.authority * ra.authority;
+    ra.tree = std::move(tree);
+    out.push_back(std::move(ra));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankedAnswer& a, const RankedAnswer& b) {
+              if (a.total != b.total) return a.total > b.total;
+              return a.tree.root < b.tree.root;
+            });
+  return out;
+}
+
+}  // namespace kws::analyze

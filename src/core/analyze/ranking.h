@@ -1,0 +1,46 @@
+#ifndef KWDB_CORE_ANALYZE_RANKING_H_
+#define KWDB_CORE_ANALYZE_RANKING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/steiner/answer_tree.h"
+#include "graph/data_graph.h"
+
+namespace kws::analyze {
+
+/// Weights of the three ranking-factor families the tutorial surveys
+/// (slides 144-145): content (TF-IDF over the answer's node texts),
+/// proximity (compactness of the answer tree), and authority
+/// (PageRank-style node prestige).
+struct RankWeights {
+  double content = 1.0;
+  double proximity = 1.0;
+  double authority = 0.5;
+};
+
+/// A composite-scored answer.
+struct RankedAnswer {
+  steiner::AnswerTree tree;
+  double content = 0;
+  double proximity = 0;
+  double authority = 0;
+  double total = 0;
+};
+
+/// Composite ranking of graph answers:
+///  - content: sum over query keywords of ln(1+tf) * ln(1+N/df) over the
+///    answer's nodes (the vector-space adaptation of slide 144);
+///  - proximity: 1 / (1 + cost) (slide 145's weighted tree size);
+///  - authority: mean PageRank of the answer's nodes, normalized by the
+///    graph's max (slide 145's adaptation of PageRank).
+/// Results are returned best-first.
+std::vector<RankedAnswer> RankAnswers(const graph::DataGraph& g,
+                                      std::vector<steiner::AnswerTree> trees,
+                                      const std::vector<std::string>& keywords,
+                                      const std::vector<double>& pagerank,
+                                      const RankWeights& weights = {});
+
+}  // namespace kws::analyze
+
+#endif  // KWDB_CORE_ANALYZE_RANKING_H_

@@ -1,0 +1,164 @@
+#include "core/clean/cleaner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/edit_distance.h"
+
+namespace kws::clean {
+
+QueryCleaner::QueryCleaner(const text::InvertedIndex& index,
+                           CleanerOptions options)
+    : index_(index), options_(options) {
+  for (const std::string& w : index_.Vocabulary()) {
+    trie_.Insert(w);
+    for (const text::Posting& p : index_.GetPostings(w)) {
+      total_tokens_ += p.tf;
+    }
+  }
+  trie_.Freeze();
+}
+
+std::vector<std::pair<std::string, double>> QueryCleaner::ConfusionSet(
+    const std::string& token) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (uint32_t id = 0; id < trie_.size(); ++id) {
+    const std::string& w = trie_.Word(id);
+    const size_t d =
+        text::BoundedEditDistance(token, w, options_.max_edits);
+    if (d > options_.max_edits) continue;
+    double freq = 0;
+    for (const text::Posting& p : index_.GetPostings(w)) freq += p.tf;
+    const double prior =
+        std::log((freq + 0.5) / (total_tokens_ + 1.0));
+    out.emplace_back(w, options_.edit_log_penalty * static_cast<double>(d) +
+                            prior);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > options_.max_candidates) {
+    out.resize(options_.max_candidates);
+  }
+  return out;
+}
+
+size_t QueryCleaner::ConjunctiveCount(
+    const std::vector<std::string>& tokens) const {
+  if (tokens.empty()) return 0;
+  std::vector<text::DocId> docs;
+  for (const text::Posting& p : index_.GetPostings(tokens[0])) {
+    docs.push_back(p.doc);
+  }
+  for (size_t i = 1; i < tokens.size() && !docs.empty(); ++i) {
+    const auto& plist = index_.GetPostings(tokens[i]);
+    std::vector<text::DocId> kept;
+    size_t j = 0;
+    for (text::DocId d : docs) {
+      while (j < plist.size() && plist[j].doc < d) ++j;
+      if (j < plist.size() && plist[j].doc == d) kept.push_back(d);
+    }
+    docs.swap(kept);
+  }
+  return docs.size();
+}
+
+CleanedQuery QueryCleaner::Clean(const std::string& raw_query) const {
+  CleanedQuery best_overall;
+  const std::vector<std::string> raw_tokens =
+      index_.tokenizer().Tokenize(raw_query);
+  if (raw_tokens.empty()) return best_overall;
+
+  // --- Stage 1: beam over per-token confusion sets (noisy channel). ----
+  struct Hypothesis {
+    std::vector<std::string> tokens;
+    double log_prob = 0;
+  };
+  std::vector<Hypothesis> beam = {{{}, 0.0}};
+  constexpr size_t kBeamWidth = 32;
+  for (const std::string& tok : raw_tokens) {
+    std::vector<std::pair<std::string, double>> cands = ConfusionSet(tok);
+    if (cands.empty()) {
+      // Out-of-vocabulary token: keep verbatim with a flat penalty.
+      cands.emplace_back(tok, options_.edit_log_penalty *
+                                  static_cast<double>(options_.max_edits + 1));
+    }
+    std::vector<Hypothesis> next;
+    for (const Hypothesis& h : beam) {
+      for (const auto& [word, score] : cands) {
+        Hypothesis n = h;
+        n.tokens.push_back(word);
+        n.log_prob += score;
+        next.push_back(std::move(n));
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const Hypothesis& a, const Hypothesis& b) {
+                return a.log_prob > b.log_prob;
+              });
+    if (next.size() > kBeamWidth) next.resize(kBeamWidth);
+    beam = std::move(next);
+  }
+
+  // --- Stage 2: segment each hypothesis (Pu & Yu DP) and apply the
+  // XClean non-empty-result requirement. -------------------------------
+  auto segment = [&](const std::vector<std::string>& tokens,
+                     std::vector<std::pair<size_t, size_t>>* segments) {
+    const size_t n = tokens.size();
+    // dp[i] = best log score of segmenting tokens[0..i).
+    std::vector<double> dp(n + 1, -1e18);
+    std::vector<size_t> from(n + 1, 0);
+    dp[0] = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (dp[i] == -1e18) continue;
+      for (size_t len = 1; len <= options_.max_segment_len && i + len <= n;
+           ++len) {
+        const std::vector<std::string> seg(tokens.begin() + i,
+                                           tokens.begin() + i + len);
+        const size_t support = ConjunctiveCount(seg);
+        if (len > 1 && support == 0) continue;  // segment must be DB-backed
+        // Longer supported segments score better than the same tokens
+        // fragmented (slide 68: "prevent fragmentation").
+        const double seg_score =
+            std::log((static_cast<double>(support) + 0.5) /
+                     (static_cast<double>(index_.num_docs()) + 1.0)) /
+            static_cast<double>(len);
+        if (dp[i] + seg_score > dp[i + len]) {
+          dp[i + len] = dp[i] + seg_score;
+          from[i + len] = i;
+        }
+      }
+    }
+    if (segments != nullptr) {
+      segments->clear();
+      size_t cur = n;
+      while (cur > 0) {
+        const size_t prev = from[cur];
+        segments->emplace_back(prev, cur - prev);
+        cur = prev;
+      }
+      std::reverse(segments->begin(), segments->end());
+    }
+    return dp[n];
+  };
+
+  bool have_any = false;
+  for (const Hypothesis& h : beam) {
+    CleanedQuery cq;
+    cq.tokens = h.tokens;
+    cq.log_prob = h.log_prob + segment(h.tokens, &cq.segments);
+    cq.has_results = ConjunctiveCount(h.tokens) > 0;
+    if (!have_any) {
+      best_overall = cq;
+      have_any = true;
+    }
+    if (options_.require_results && cq.has_results) {
+      return cq;  // beam is score-ordered: first valid is best valid
+    }
+    if (!options_.require_results) return cq;
+  }
+  return best_overall;
+}
+
+}  // namespace kws::clean

@@ -1,0 +1,71 @@
+#ifndef KWDB_CORE_CLEAN_CLEANER_H_
+#define KWDB_CORE_CLEAN_CLEANER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/inverted_index.h"
+#include "text/trie.h"
+
+namespace kws::clean {
+
+/// One candidate interpretation of a raw query under the noisy-channel
+/// model (tutorial slides 66-70): cleaned tokens, their segmentation into
+/// DB-backed segments, and the posterior log-probability.
+struct CleanedQuery {
+  std::vector<std::string> tokens;
+  /// segments[i] = (first token index, length); segments tile the tokens.
+  std::vector<std::pair<size_t, size_t>> segments;
+  double log_prob = 0;
+  /// True when the cleaned query has at least one conjunctive result in
+  /// the collection (the XClean guarantee).
+  bool has_results = false;
+};
+
+struct CleanerOptions {
+  /// Maximum edit distance for confusion sets.
+  size_t max_edits = 2;
+  /// Per-edit log penalty of the error model.
+  double edit_log_penalty = -4.0;
+  /// Confusion-set cap per token (keep the most frequent candidates).
+  size_t max_candidates = 12;
+  /// Longest segment (n-gram) considered by the segmentation DP.
+  size_t max_segment_len = 3;
+  /// Require the cleaned query to have non-empty conjunctive results
+  /// (XClean, Lu et al. ICDE 11). When no candidate qualifies, the best
+  /// unconstrained cleaning is returned with has_results == false.
+  bool require_results = true;
+};
+
+/// Keyword query cleaner over a document collection's vocabulary
+/// (Pu & Yu VLDB 08 segmentation + XClean's non-empty-result guarantee).
+class QueryCleaner {
+ public:
+  /// Builds the vocabulary (with frequencies) from `index`. The index must
+  /// outlive the cleaner.
+  explicit QueryCleaner(const text::InvertedIndex& index,
+                        CleanerOptions options = {});
+
+  /// Cleans a raw query. Tokens are normalized with the index's tokenizer
+  /// (stopwords retained as-is may vanish; that matches search behavior).
+  CleanedQuery Clean(const std::string& raw_query) const;
+
+  /// Confusion set of `token`: (vocabulary word, log prior+error score),
+  /// best first. Exposed for tests and the E9 benchmark.
+  std::vector<std::pair<std::string, double>> ConfusionSet(
+      const std::string& token) const;
+
+ private:
+  /// Number of documents containing every token of `tokens` (> 0 check is
+  /// used both for segment support and the XClean guarantee).
+  size_t ConjunctiveCount(const std::vector<std::string>& tokens) const;
+
+  const text::InvertedIndex& index_;
+  CleanerOptions options_;
+  text::Trie trie_;
+  double total_tokens_ = 0;
+};
+
+}  // namespace kws::clean
+
+#endif  // KWDB_CORE_CLEAN_CLEANER_H_

@@ -1,0 +1,205 @@
+#include "core/cn/candidate_network.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace kws::cn {
+
+namespace {
+
+struct AdjEntry {
+  uint32_t neighbor = 0;
+  uint32_t fk = 0;
+  /// True when the neighbor (child when rooted) is the referencing side.
+  bool child_referencing = false;
+};
+
+std::vector<std::vector<AdjEntry>> BuildAdjacency(
+    const CandidateNetwork& cn) {
+  std::vector<std::vector<AdjEntry>> adj(cn.nodes.size());
+  for (const CnEdge& e : cn.edges) {
+    // forward: `from` is referencing. Seen from `from`, the child `to`
+    // is the referenced side, and vice versa.
+    adj[e.from].push_back(AdjEntry{e.to, e.fk, !e.forward});
+    adj[e.to].push_back(AdjEntry{e.from, e.fk, e.forward});
+  }
+  return adj;
+}
+
+std::string EncodeRooted(const CandidateNetwork& cn,
+                         const std::vector<std::vector<AdjEntry>>& adj,
+                         uint32_t node, uint32_t parent) {
+  std::string label = "T" + std::to_string(cn.nodes[node].table) + "K" +
+                      std::to_string(cn.nodes[node].mask);
+  std::vector<std::string> child_codes;
+  for (const AdjEntry& e : adj[node]) {
+    if (e.neighbor == parent) continue;
+    std::string code = "F" + std::to_string(e.fk) +
+                       (e.child_referencing ? "r" : "d") +
+                       EncodeRooted(cn, adj, e.neighbor, node);
+    child_codes.push_back(std::move(code));
+  }
+  std::sort(child_codes.begin(), child_codes.end());
+  std::string out = "(" + label;
+  for (const std::string& c : child_codes) out += c;
+  out += ")";
+  return out;
+}
+
+/// True if `node` already acts as the referencing side of `fk` on some
+/// edge of `cn` (a tuple has a single FK value, so a second such join
+/// would force a duplicate tuple in every result).
+bool UsesFkAsReferencing(const CandidateNetwork& cn, uint32_t node,
+                         uint32_t fk) {
+  for (const CnEdge& e : cn.edges) {
+    const uint32_t referencing = e.forward ? e.from : e.to;
+    if (referencing == node && e.fk == fk) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> NodeDegrees(const CandidateNetwork& cn) {
+  std::vector<size_t> deg(cn.nodes.size(), 0);
+  for (const CnEdge& e : cn.edges) {
+    ++deg[e.from];
+    ++deg[e.to];
+  }
+  return deg;
+}
+
+/// A CN is a final answer template when all keywords are covered, every
+/// leaf is a keyword node, and every leaf's mask is necessary.
+bool IsValidFinal(const CandidateNetwork& cn, KeywordMask full_mask) {
+  if (cn.Coverage() != full_mask) return false;
+  const std::vector<size_t> deg = NodeDegrees(cn);
+  for (uint32_t i = 0; i < cn.nodes.size(); ++i) {
+    const bool leaf = (cn.nodes.size() == 1) || deg[i] == 1;
+    if (!leaf) continue;
+    if (cn.nodes[i].free()) return false;
+    KeywordMask others = 0;
+    for (uint32_t j = 0; j < cn.nodes.size(); ++j) {
+      if (j != i) others |= cn.nodes[j].mask;
+    }
+    if ((others | cn.nodes[i].mask) == others) return false;  // redundant leaf
+  }
+  return true;
+}
+
+/// All nonzero submasks of `mask`, smallest first.
+std::vector<KeywordMask> Submasks(KeywordMask mask) {
+  std::vector<KeywordMask> out;
+  for (KeywordMask s = mask; s != 0; s = (s - 1) & mask) out.push_back(s);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+KeywordMask CandidateNetwork::Coverage() const {
+  KeywordMask m = 0;
+  for (const CnNode& n : nodes) m |= n.mask;
+  return m;
+}
+
+std::string CandidateNetwork::CanonicalKey() const {
+  const auto adj = BuildAdjacency(*this);
+  std::string best;
+  for (uint32_t root = 0; root < nodes.size(); ++root) {
+    std::string code = EncodeRooted(*this, adj, root, UINT32_MAX);
+    if (best.empty() || code < best) best = std::move(code);
+  }
+  return best;
+}
+
+std::string CandidateNetwork::RootedKey(uint32_t root,
+                                        uint32_t parent) const {
+  const auto adj = BuildAdjacency(*this);
+  return EncodeRooted(*this, adj, root, parent);
+}
+
+std::string CandidateNetwork::ToString(
+    const relational::Database& db,
+    const std::vector<std::string>& keywords) const {
+  std::string out;
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += db.table(nodes[i].table).name();
+    if (!nodes[i].free()) {
+      out += '{';
+      bool first = true;
+      for (size_t k = 0; k < keywords.size(); ++k) {
+        if ((nodes[i].mask >> k) & 1u) {
+          if (!first) out += ' ';
+          out += keywords[k];
+          first = false;
+        }
+      }
+      out += '}';
+    }
+  }
+  for (const CnEdge& e : edges) {
+    out += "; " + std::to_string(e.from) + (e.forward ? "->" : "<-") +
+           std::to_string(e.to);
+  }
+  return out;
+}
+
+std::vector<CandidateNetwork> EnumerateCandidateNetworks(
+    const relational::Database& db, const std::vector<KeywordMask>& table_masks,
+    KeywordMask full_mask, const CnEnumOptions& options) {
+  std::vector<CandidateNetwork> result;
+  if (full_mask == 0) return result;
+  std::unordered_set<std::string> seen;
+  std::unordered_set<std::string> emitted;
+  std::deque<CandidateNetwork> queue;
+
+  // Seeds: every single keyword node.
+  for (relational::TableId t = 0; t < db.num_tables(); ++t) {
+    for (KeywordMask m : Submasks(table_masks[t] & full_mask)) {
+      CandidateNetwork cn;
+      cn.nodes.push_back(CnNode{t, m});
+      if (seen.insert(cn.CanonicalKey()).second) queue.push_back(cn);
+    }
+  }
+
+  while (!queue.empty()) {
+    CandidateNetwork cn = std::move(queue.front());
+    queue.pop_front();
+    if (IsValidFinal(cn, full_mask)) {
+      if (emitted.insert(cn.CanonicalKey()).second) result.push_back(cn);
+    }
+    if (cn.size() >= options.max_size) continue;
+    // Expand: attach one new node to any existing node via a schema edge.
+    for (uint32_t i = 0; i < cn.nodes.size(); ++i) {
+      for (const relational::SchemaEdge& se :
+           db.SchemaNeighbors(cn.nodes[i].table)) {
+        // FK-uniqueness: the referencing endpoint of this new edge must
+        // not already use this FK.
+        if (se.forward && UsesFkAsReferencing(cn, i, se.fk)) continue;
+        std::vector<KeywordMask> masks = {0};
+        for (KeywordMask m : Submasks(table_masks[se.other] & full_mask)) {
+          masks.push_back(m);
+        }
+        for (KeywordMask m : masks) {
+          CandidateNetwork next = cn;
+          const uint32_t j = static_cast<uint32_t>(next.nodes.size());
+          next.nodes.push_back(CnNode{se.other, m});
+          next.edges.push_back(CnEdge{i, j, se.fk, se.forward});
+          if (seen.insert(next.CanonicalKey()).second) {
+            queue.push_back(std::move(next));
+          }
+        }
+      }
+    }
+  }
+  // Order by size then canonical key for deterministic output.
+  std::sort(result.begin(), result.end(),
+            [](const CandidateNetwork& a, const CandidateNetwork& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a.CanonicalKey() < b.CanonicalKey();
+            });
+  return result;
+}
+
+}  // namespace kws::cn

@@ -1,0 +1,163 @@
+#include "core/cn/execute.h"
+
+#include <algorithm>
+
+namespace kws::cn {
+
+namespace {
+
+/// DFS visit order over the CN tree rooted at `root`: each visited node
+/// (except the root) records the edge connecting it to its already-visited
+/// parent.
+struct VisitStep {
+  uint32_t node = 0;
+  /// Index into cn.edges, or -1 for the root.
+  int32_t via_edge = -1;
+  /// The already-visited endpoint of via_edge.
+  uint32_t parent = 0;
+};
+
+std::vector<VisitStep> PlanVisit(const CandidateNetwork& cn, uint32_t root) {
+  std::vector<VisitStep> plan;
+  std::vector<bool> visited(cn.nodes.size(), false);
+  plan.push_back(VisitStep{root, -1, 0});
+  visited[root] = true;
+  // Repeatedly attach any edge with exactly one visited endpoint.
+  for (size_t added = 1; added < cn.nodes.size();) {
+    for (int32_t e = 0; e < static_cast<int32_t>(cn.edges.size()); ++e) {
+      const CnEdge& edge = cn.edges[e];
+      if (visited[edge.from] && !visited[edge.to]) {
+        plan.push_back(VisitStep{edge.to, e, edge.from});
+        visited[edge.to] = true;
+        ++added;
+      } else if (visited[edge.to] && !visited[edge.from]) {
+        plan.push_back(VisitStep{edge.from, e, edge.to});
+        visited[edge.from] = true;
+        ++added;
+      }
+    }
+  }
+  return plan;
+}
+
+/// Chooses the root: a fixed node if any (cheapest start), otherwise the
+/// non-free node with the smallest tuple set.
+uint32_t ChooseRoot(const CandidateNetwork& cn, const TupleSets& ts,
+                    const std::vector<std::optional<relational::RowId>>& fixed) {
+  for (uint32_t i = 0; i < cn.nodes.size(); ++i) {
+    if (i < fixed.size() && fixed[i].has_value()) return i;
+  }
+  uint32_t best = 0;
+  size_t best_size = SIZE_MAX;
+  for (uint32_t i = 0; i < cn.nodes.size(); ++i) {
+    if (cn.nodes[i].free()) continue;
+    const size_t sz = ts.Get(cn.nodes[i].table, cn.nodes[i].mask).size();
+    if (sz < best_size) {
+      best_size = sz;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<JoinedTree> ExecuteCn(
+    const relational::Database& db, const CandidateNetwork& cn,
+    const TupleSets& ts,
+    const std::vector<std::optional<relational::RowId>>& fixed, size_t limit,
+    ExecStats* stats, const RowFilter* filter) {
+  std::vector<JoinedTree> out;
+  auto admitted = [&](relational::TableId t, relational::RowId r) {
+    return filter == nullptr || (*filter)[t][r];
+  };
+  if (cn.nodes.empty() || limit == 0) return out;
+  const uint32_t root = ChooseRoot(cn, ts, fixed);
+  const std::vector<VisitStep> plan = PlanVisit(cn, root);
+
+  // Root candidates.
+  std::vector<relational::RowId> root_rows;
+  const CnNode& root_node = cn.nodes[root];
+  if (root < fixed.size() && fixed[root].has_value()) {
+    if (ts.Matches(root_node.table, *fixed[root], root_node.mask) &&
+        admitted(root_node.table, *fixed[root])) {
+      root_rows.push_back(*fixed[root]);
+    }
+  } else if (!root_node.free()) {
+    for (const ScoredRow& sr : ts.Get(root_node.table, root_node.mask)) {
+      if (admitted(root_node.table, sr.row)) root_rows.push_back(sr.row);
+    }
+  } else {
+    // Free root only occurs for degenerate fully-free CNs, which the
+    // enumerator never emits; scan as a fallback.
+    for (relational::RowId r = 0; r < db.table(root_node.table).num_rows();
+         ++r) {
+      if (ts.Matches(root_node.table, r, 0) &&
+          admitted(root_node.table, r)) {
+        root_rows.push_back(r);
+      }
+    }
+  }
+
+  std::vector<relational::RowId> assignment(cn.nodes.size(), 0);
+  // Recursive expansion over the visit plan.
+  auto expand = [&](auto&& self, size_t step) -> void {
+    if (out.size() >= limit) return;
+    if (step == plan.size()) {
+      JoinedTree jt;
+      jt.rows = assignment;
+      double sum = 0;
+      for (uint32_t i = 0; i < cn.nodes.size(); ++i) {
+        if (!cn.nodes[i].free()) {
+          sum += ts.RowScore(cn.nodes[i].table, assignment[i]);
+        }
+      }
+      jt.score = sum / static_cast<double>(cn.nodes.size());
+      out.push_back(std::move(jt));
+      if (stats != nullptr) ++stats->results;
+      return;
+    }
+    const VisitStep& vs = plan[step];
+    const CnNode& node = cn.nodes[vs.node];
+    const CnEdge& edge = cn.edges[vs.via_edge];
+    // Parent is the referencing side iff (parent == edge.from) == forward.
+    const bool from_referencing = (vs.parent == edge.from) == edge.forward;
+    const relational::TupleId parent_tuple{cn.nodes[vs.parent].table,
+                                           assignment[vs.parent]};
+    if (stats != nullptr) ++stats->join_lookups;
+    for (const relational::TupleId& cand :
+         db.JoinedRows(edge.fk, parent_tuple, from_referencing)) {
+      if (!ts.Matches(node.table, cand.row, node.mask)) continue;
+      if (!admitted(node.table, cand.row)) continue;
+      if (vs.node < fixed.size() && fixed[vs.node].has_value() &&
+          *fixed[vs.node] != cand.row) {
+        continue;
+      }
+      assignment[vs.node] = cand.row;
+      if (stats != nullptr) ++stats->partial_states;
+      self(self, step + 1);
+      if (out.size() >= limit) return;
+    }
+  };
+
+  for (relational::RowId r : root_rows) {
+    assignment[root] = r;
+    if (stats != nullptr) ++stats->partial_states;
+    expand(expand, 1);
+    if (out.size() >= limit) break;
+  }
+  return out;
+}
+
+double CnScoreBound(const CandidateNetwork& cn, const TupleSets& ts) {
+  double sum = 0;
+  for (const CnNode& n : cn.nodes) {
+    if (n.free()) continue;
+    const double best = ts.MaxScore(n.table, n.mask);
+    if (best == 0 && ts.Get(n.table, n.mask).empty()) return 0;  // no rows
+    sum += best;
+  }
+  return sum / static_cast<double>(cn.nodes.size());
+}
+
+}  // namespace kws::cn

@@ -1,0 +1,51 @@
+#ifndef KWDB_CORE_CN_EXECUTE_H_
+#define KWDB_CORE_CN_EXECUTE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cn/candidate_network.h"
+#include "core/cn/tuple_sets.h"
+
+namespace kws::cn {
+
+/// One joined answer: a tuple per CN node, plus the monotonic
+/// (DISCOVER2-style) score: sum of per-tuple scores / CN size.
+struct JoinedTree {
+  std::vector<relational::RowId> rows;  // indexed by CN node
+  double score = 0;
+};
+
+/// Execution counters used by the E2/E3 benchmarks.
+struct ExecStats {
+  uint64_t join_lookups = 0;    // FK index probes
+  uint64_t results = 0;         // complete joined trees materialized
+  uint64_t partial_states = 0;  // partial assignments explored
+};
+
+/// Optional row filter: rows[t][r] == false excludes row r of table t
+/// (used by the stream evaluator to restrict joins to already-arrived
+/// tuples). A null pointer admits everything.
+using RowFilter = std::vector<std::vector<bool>>;
+
+/// Enumerates joined trees of `cn`. Every node's tuple must belong to its
+/// exact tuple set (free nodes take keyword-less tuples only). `fixed`
+/// optionally pins some nodes to specific rows (used by the pipelined
+/// top-k strategies to verify one candidate combination); pass an empty
+/// vector to leave all nodes unconstrained. At most `limit` results.
+std::vector<JoinedTree> ExecuteCn(
+    const relational::Database& db, const CandidateNetwork& cn,
+    const TupleSets& ts,
+    const std::vector<std::optional<relational::RowId>>& fixed = {},
+    size_t limit = SIZE_MAX, ExecStats* stats = nullptr,
+    const RowFilter* filter = nullptr);
+
+/// Upper bound on the monotonic score of any result of `cn`: sum of the
+/// best tuple-set scores divided by CN size (the MPS bound driving the
+/// Sparse and pipelined strategies).
+double CnScoreBound(const CandidateNetwork& cn, const TupleSets& ts);
+
+}  // namespace kws::cn
+
+#endif  // KWDB_CORE_CN_EXECUTE_H_

@@ -1,0 +1,209 @@
+#include "core/cn/search.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/topk.h"
+#include "text/tokenizer.h"
+
+namespace kws::cn {
+
+namespace {
+
+/// Converts one joined tree into a SearchResult.
+SearchResult MakeResult(size_t cn_index, const CandidateNetwork& cn,
+                        const JoinedTree& jt) {
+  SearchResult r;
+  r.cn_index = cn_index;
+  r.score = jt.score;
+  r.tuples.reserve(cn.nodes.size());
+  for (uint32_t i = 0; i < cn.nodes.size(); ++i) {
+    r.tuples.push_back(
+        relational::TupleId{cn.nodes[i].table, jt.rows[i]});
+  }
+  return r;
+}
+
+std::vector<SearchResult> Finish(TopK<SearchResult>& top) {
+  std::vector<SearchResult> out;
+  for (auto& [score, result] : top.TakeSorted()) {
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+void RunNaive(const relational::Database& db,
+              const std::vector<CandidateNetwork>& cns, const TupleSets& ts,
+              size_t k, TopK<SearchResult>& top, SearchStats* stats) {
+  for (size_t i = 0; i < cns.size(); ++i) {
+    ExecStats es;
+    auto results = ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es);
+    if (stats != nullptr) {
+      ++stats->cns_evaluated;
+      stats->join_lookups += es.join_lookups;
+      stats->results_materialized += es.results;
+    }
+    for (const JoinedTree& jt : results) {
+      top.Offer(jt.score, MakeResult(i, cns[i], jt));
+    }
+  }
+  (void)k;
+}
+
+void RunSparse(const relational::Database& db,
+               const std::vector<CandidateNetwork>& cns, const TupleSets& ts,
+               size_t k, TopK<SearchResult>& top, SearchStats* stats) {
+  std::vector<std::pair<double, size_t>> order;
+  for (size_t i = 0; i < cns.size(); ++i) {
+    const double bound = CnScoreBound(cns[i], ts);
+    if (bound > 0) order.emplace_back(bound, i);
+  }
+  std::sort(order.rbegin(), order.rend());
+  for (const auto& [bound, i] : order) {
+    if (top.size() >= k && top.WouldReject(bound)) break;
+    ExecStats es;
+    auto results = ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es);
+    if (stats != nullptr) {
+      ++stats->cns_evaluated;
+      stats->join_lookups += es.join_lookups;
+      stats->results_materialized += es.results;
+    }
+    for (const JoinedTree& jt : results) {
+      top.Offer(jt.score, MakeResult(i, cns[i], jt));
+    }
+  }
+}
+
+void RunGlobalPipeline(const relational::Database& db,
+                       const std::vector<CandidateNetwork>& cns,
+                       const TupleSets& ts, size_t k,
+                       TopK<SearchResult>& top, SearchStats* stats) {
+  // Per-CN pipeline state: the keyword-node lists and visited index
+  // combinations.
+  struct CnState {
+    std::vector<uint32_t> kw_nodes;
+    std::vector<const std::vector<ScoredRow>*> lists;
+    std::set<std::vector<size_t>> visited;
+  };
+  std::vector<CnState> states(cns.size());
+  struct QueueItem {
+    double bound;
+    size_t cn;
+    std::vector<size_t> idx;
+    bool operator<(const QueueItem& o) const { return bound < o.bound; }
+  };
+  std::priority_queue<QueueItem> pq;
+
+  for (size_t i = 0; i < cns.size(); ++i) {
+    CnState& st = states[i];
+    bool dead = false;
+    for (uint32_t n = 0; n < cns[i].nodes.size(); ++n) {
+      if (cns[i].nodes[n].free()) continue;
+      const auto& list = ts.Get(cns[i].nodes[n].table, cns[i].nodes[n].mask);
+      if (list.empty()) {
+        dead = true;
+        break;
+      }
+      st.kw_nodes.push_back(n);
+      st.lists.push_back(&list);
+    }
+    if (dead || st.kw_nodes.empty()) continue;
+    std::vector<size_t> zero(st.kw_nodes.size(), 0);
+    double bound = 0;
+    for (size_t d = 0; d < st.lists.size(); ++d) {
+      bound += (*st.lists[d])[0].score;
+    }
+    bound /= static_cast<double>(cns[i].size());
+    st.visited.insert(zero);
+    pq.push(QueueItem{bound, i, std::move(zero)});
+  }
+
+  while (!pq.empty()) {
+    QueueItem item = pq.top();
+    pq.pop();
+    if (top.size() >= k && top.WouldReject(item.bound)) break;
+    const CandidateNetwork& cn = cns[item.cn];
+    CnState& st = states[item.cn];
+    // Verify this combination: pin the keyword nodes, join the rest.
+    std::vector<std::optional<relational::RowId>> fixed(cn.nodes.size());
+    for (size_t d = 0; d < st.kw_nodes.size(); ++d) {
+      fixed[st.kw_nodes[d]] = (*st.lists[d])[item.idx[d]].row;
+    }
+    ExecStats es;
+    auto results = ExecuteCn(db, cn, ts, fixed, SIZE_MAX, &es);
+    if (stats != nullptr) {
+      ++stats->candidates_verified;
+      stats->join_lookups += es.join_lookups;
+      stats->results_materialized += es.results;
+    }
+    for (const JoinedTree& jt : results) {
+      top.Offer(jt.score, MakeResult(item.cn, cn, jt));
+    }
+    // Successors: advance one dimension each.
+    for (size_t d = 0; d < item.idx.size(); ++d) {
+      if (item.idx[d] + 1 >= st.lists[d]->size()) continue;
+      std::vector<size_t> next = item.idx;
+      ++next[d];
+      if (!st.visited.insert(next).second) continue;
+      double bound = 0;
+      for (size_t d2 = 0; d2 < next.size(); ++d2) {
+        bound += (*st.lists[d2])[next[d2]].score;
+      }
+      bound /= static_cast<double>(cn.size());
+      pq.push(QueueItem{bound, item.cn, std::move(next)});
+    }
+  }
+  if (stats != nullptr) {
+    for (const CnState& st : states) {
+      stats->cns_evaluated += !st.kw_nodes.empty();
+    }
+  }
+}
+
+}  // namespace
+
+const char* StrategyToString(Strategy s) {
+  switch (s) {
+    case Strategy::kNaive:
+      return "naive";
+    case Strategy::kSparse:
+      return "sparse";
+    case Strategy::kGlobalPipeline:
+      return "global-pipeline";
+  }
+  return "?";
+}
+
+std::vector<SearchResult> CnKeywordSearch::Search(
+    const std::string& query, const SearchOptions& options,
+    std::vector<CandidateNetwork>* cns_out, SearchStats* stats) const {
+  text::Tokenizer tokenizer;
+  std::vector<std::string> keywords = tokenizer.Tokenize(query);
+  if (keywords.size() > 16) keywords.resize(16);
+  if (keywords.empty()) return {};
+
+  TupleSets ts(db_, keywords);
+  CnEnumOptions enum_opts;
+  enum_opts.max_size = options.max_cn_size;
+  std::vector<CandidateNetwork> cns = EnumerateCandidateNetworks(
+      db_, ts.table_masks(), ts.full_mask(), enum_opts);
+  if (stats != nullptr) stats->cns_enumerated = cns.size();
+
+  TopK<SearchResult> top(options.k);
+  switch (options.strategy) {
+    case Strategy::kNaive:
+      RunNaive(db_, cns, ts, options.k, top, stats);
+      break;
+    case Strategy::kSparse:
+      RunSparse(db_, cns, ts, options.k, top, stats);
+      break;
+    case Strategy::kGlobalPipeline:
+      RunGlobalPipeline(db_, cns, ts, options.k, top, stats);
+      break;
+  }
+  if (cns_out != nullptr) *cns_out = std::move(cns);
+  return Finish(top);
+}
+
+}  // namespace kws::cn

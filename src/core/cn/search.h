@@ -1,0 +1,74 @@
+#ifndef KWDB_CORE_CN_SEARCH_H_
+#define KWDB_CORE_CN_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cn/candidate_network.h"
+#include "core/cn/execute.h"
+#include "core/cn/tuple_sets.h"
+#include "relational/database.h"
+
+namespace kws::cn {
+
+/// Top-k evaluation strategies over the enumerated CNs (DISCOVER2,
+/// Hristidis et al. VLDB 03; tutorial slide 116).
+enum class Strategy {
+  /// Evaluate every CN fully, then sort.
+  kNaive,
+  /// Evaluate CNs in decreasing score-bound order; stop as soon as the
+  /// next CN's bound cannot beat the current k-th result.
+  kSparse,
+  /// One shared priority queue of candidate tuple combinations across all
+  /// CNs, verified lazily (the global-pipeline idea).
+  kGlobalPipeline,
+};
+
+const char* StrategyToString(Strategy s);
+
+/// A final ranked answer.
+struct SearchResult {
+  /// Index into the CN list returned alongside the results.
+  size_t cn_index = 0;
+  std::vector<relational::TupleId> tuples;  // one per CN node
+  double score = 0;
+};
+
+struct SearchOptions {
+  size_t k = 10;
+  size_t max_cn_size = 5;
+  Strategy strategy = Strategy::kSparse;
+};
+
+/// Counters for the E2 benchmark.
+struct SearchStats {
+  size_t cns_enumerated = 0;
+  size_t cns_evaluated = 0;       // CNs actually joined (fully or partially)
+  uint64_t results_materialized = 0;
+  uint64_t join_lookups = 0;
+  uint64_t candidates_verified = 0;  // pipeline combination checks
+};
+
+/// Schema-based relational keyword search (the DISCOVER / DISCOVER2 /
+/// SPARK family's front half): enumerate CNs once per query, then answer
+/// top-k under a chosen strategy.
+class CnKeywordSearch {
+ public:
+  explicit CnKeywordSearch(const relational::Database& db) : db_(db) {}
+
+  /// Runs `query` (free text) and returns ranked results, best first,
+  /// under the monotonic DISCOVER2 score. `cns_out`, when non-null,
+  /// receives the enumerated CN list that `SearchResult::cn_index`
+  /// refers to.
+  std::vector<SearchResult> Search(const std::string& query,
+                                   const SearchOptions& options,
+                                   std::vector<CandidateNetwork>* cns_out,
+                                   SearchStats* stats = nullptr) const;
+
+ private:
+  const relational::Database& db_;
+};
+
+}  // namespace kws::cn
+
+#endif  // KWDB_CORE_CN_SEARCH_H_

@@ -1,0 +1,177 @@
+#include "core/cn/semijoin.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace kws::cn {
+
+namespace {
+
+using relational::RowId;
+using relational::Value;
+using relational::ValueHash;
+
+/// Rooted orientation of the CN tree: parent[] and a BFS order.
+struct Orientation {
+  std::vector<int32_t> parent_edge;  // edge index to parent, -1 at root
+  std::vector<uint32_t> order;       // BFS order from the root
+};
+
+Orientation Orient(const CandidateNetwork& cn) {
+  Orientation o;
+  o.parent_edge.assign(cn.nodes.size(), -1);
+  std::vector<bool> visited(cn.nodes.size(), false);
+  o.order.push_back(0);
+  visited[0] = true;
+  for (size_t i = 0; i < o.order.size(); ++i) {
+    const uint32_t u = o.order[i];
+    for (size_t e = 0; e < cn.edges.size(); ++e) {
+      const CnEdge& edge = cn.edges[e];
+      uint32_t other;
+      if (edge.from == u) {
+        other = edge.to;
+      } else if (edge.to == u) {
+        other = edge.from;
+      } else {
+        continue;
+      }
+      if (visited[other]) continue;
+      visited[other] = true;
+      o.parent_edge[other] = static_cast<int32_t>(e);
+      o.order.push_back(other);
+    }
+  }
+  return o;
+}
+
+/// Keeps the rows of `keep_node` that join at least one row of
+/// `other_rows` through `edge`.
+void SemiJoinFilter(const relational::Database& db, const CnEdge& edge,
+                    uint32_t keep_node, const CandidateNetwork& cn,
+                    std::vector<RowId>& keep_rows,
+                    const std::vector<RowId>& other_rows,
+                    SemiJoinStats* stats) {
+  if (stats != nullptr) ++stats->semijoin_passes;
+  const relational::ForeignKey& fk = db.foreign_keys()[edge.fk];
+  const bool keep_is_referencing =
+      (keep_node == edge.from) == edge.forward;
+  const relational::TableId keep_table = cn.nodes[keep_node].table;
+  const relational::TableId other_table =
+      cn.nodes[keep_node == edge.from ? edge.to : edge.from].table;
+  // Values visible from the other side.
+  std::unordered_set<Value, ValueHash> other_values;
+  for (RowId r : other_rows) {
+    const Value& v = keep_is_referencing
+                         ? db.table(other_table).cell(r, fk.ref_column)
+                         : db.table(other_table).cell(r, fk.column);
+    if (!v.is_null()) other_values.insert(v);
+  }
+  std::vector<RowId> kept;
+  kept.reserve(keep_rows.size());
+  for (RowId r : keep_rows) {
+    const Value& v = keep_is_referencing
+                         ? db.table(keep_table).cell(r, fk.column)
+                         : db.table(keep_table).cell(r, fk.ref_column);
+    if (!v.is_null() && other_values.count(v) > 0) kept.push_back(r);
+  }
+  keep_rows.swap(kept);
+}
+
+}  // namespace
+
+std::vector<std::vector<RowId>> SemiJoinReduce(
+    const relational::Database& db, const CandidateNetwork& cn,
+    const TupleSets& ts, SemiJoinStats* stats) {
+  std::vector<std::vector<RowId>> sets(cn.nodes.size());
+  for (uint32_t i = 0; i < cn.nodes.size(); ++i) {
+    const CnNode& node = cn.nodes[i];
+    if (node.free()) {
+      for (RowId r = 0; r < db.table(node.table).num_rows(); ++r) {
+        if (ts.Matches(node.table, r, 0)) sets[i].push_back(r);
+      }
+    } else {
+      for (const ScoredRow& sr : ts.Get(node.table, node.mask)) {
+        sets[i].push_back(sr.row);
+      }
+      std::sort(sets[i].begin(), sets[i].end());
+    }
+    if (stats != nullptr) stats->rows_before += sets[i].size();
+  }
+  const Orientation o = Orient(cn);
+  // Leaf-to-root pass: each parent keeps rows joining every child.
+  for (size_t i = o.order.size(); i-- > 1;) {
+    const uint32_t child = o.order[i];
+    const CnEdge& edge = cn.edges[o.parent_edge[child]];
+    const uint32_t parent = (edge.from == child) ? edge.to : edge.from;
+    SemiJoinFilter(db, edge, parent, cn, sets[parent], sets[child], stats);
+  }
+  // Root-to-leaf pass: each child keeps rows joining its (now reduced)
+  // parent.
+  for (size_t i = 1; i < o.order.size(); ++i) {
+    const uint32_t child = o.order[i];
+    const CnEdge& edge = cn.edges[o.parent_edge[child]];
+    const uint32_t parent = (edge.from == child) ? edge.to : edge.from;
+    SemiJoinFilter(db, edge, child, cn, sets[child], sets[parent], stats);
+  }
+  if (stats != nullptr) {
+    for (const auto& s : sets) stats->rows_after += s.size();
+  }
+  return sets;
+}
+
+std::vector<JoinedTree> ExecuteCnSemiJoin(const relational::Database& db,
+                                          const CandidateNetwork& cn,
+                                          const TupleSets& ts,
+                                          SemiJoinStats* sj_stats,
+                                          ExecStats* exec_stats) {
+  std::vector<JoinedTree> out;
+  if (cn.nodes.empty()) return out;
+  const std::vector<std::vector<RowId>> sets =
+      SemiJoinReduce(db, cn, ts, sj_stats);
+  for (const auto& s : sets) {
+    if (s.empty()) return out;  // no complete tree exists
+  }
+  const Orientation o = Orient(cn);
+  auto admitted = [&](uint32_t node, RowId r) {
+    return std::binary_search(sets[node].begin(), sets[node].end(), r);
+  };
+  std::vector<RowId> assignment(cn.nodes.size(), 0);
+  auto expand = [&](auto&& self, size_t step) -> void {
+    if (step == o.order.size()) {
+      JoinedTree jt;
+      jt.rows = assignment;
+      double sum = 0;
+      for (uint32_t i = 0; i < cn.nodes.size(); ++i) {
+        if (!cn.nodes[i].free()) {
+          sum += ts.RowScore(cn.nodes[i].table, assignment[i]);
+        }
+      }
+      jt.score = sum / static_cast<double>(cn.nodes.size());
+      out.push_back(std::move(jt));
+      if (exec_stats != nullptr) ++exec_stats->results;
+      return;
+    }
+    const uint32_t node = o.order[step];
+    const CnEdge& edge = cn.edges[o.parent_edge[node]];
+    const uint32_t parent = (edge.from == node) ? edge.to : edge.from;
+    const bool from_referencing = (parent == edge.from) == edge.forward;
+    if (exec_stats != nullptr) ++exec_stats->join_lookups;
+    for (const relational::TupleId& cand : db.JoinedRows(
+             edge.fk,
+             relational::TupleId{cn.nodes[parent].table, assignment[parent]},
+             from_referencing)) {
+      if (!admitted(node, cand.row)) continue;
+      assignment[node] = cand.row;
+      if (exec_stats != nullptr) ++exec_stats->partial_states;
+      self(self, step + 1);
+    }
+  };
+  for (RowId r : sets[0]) {
+    assignment[0] = r;
+    if (exec_stats != nullptr) ++exec_stats->partial_states;
+    expand(expand, 1);
+  }
+  return out;
+}
+
+}  // namespace kws::cn

@@ -1,0 +1,43 @@
+#ifndef KWDB_CORE_CN_SEMIJOIN_H_
+#define KWDB_CORE_CN_SEMIJOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cn/candidate_network.h"
+#include "core/cn/execute.h"
+#include "core/cn/tuple_sets.h"
+
+namespace kws::cn {
+
+/// Counters for the semijoin reduction (E2's extra row).
+struct SemiJoinStats {
+  uint64_t rows_before = 0;
+  uint64_t rows_after = 0;
+  uint64_t semijoin_passes = 0;
+};
+
+/// Full semijoin reduction of a CN ("the power of RDBMS", Qin et al.
+/// SIGMOD 09; tutorial slides 126-127): every CN node starts with its
+/// tuple-set rows (free nodes with the keyword-less rows); one leaf-to-
+/// root and one root-to-leaf semijoin pass then discard every row that
+/// cannot participate in ANY complete joined tree. On the acyclic CN
+/// this is a full reducer: the surviving sets are exactly the
+/// participating rows.
+///
+/// Returns per-node admissible row lists (indexed like cn.nodes).
+std::vector<std::vector<relational::RowId>> SemiJoinReduce(
+    const relational::Database& db, const CandidateNetwork& cn,
+    const TupleSets& ts, SemiJoinStats* stats = nullptr);
+
+/// Executes `cn` after semijoin reduction: identical results to
+/// ExecuteCn, with dead-end join probes eliminated up front.
+std::vector<JoinedTree> ExecuteCnSemiJoin(const relational::Database& db,
+                                          const CandidateNetwork& cn,
+                                          const TupleSets& ts,
+                                          SemiJoinStats* sj_stats = nullptr,
+                                          ExecStats* exec_stats = nullptr);
+
+}  // namespace kws::cn
+
+#endif  // KWDB_CORE_CN_SEMIJOIN_H_

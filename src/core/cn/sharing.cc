@@ -1,0 +1,195 @@
+#include "core/cn/sharing.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "relational/database.h"
+
+namespace kws::cn {
+
+namespace {
+
+/// The connected component of `start` in `cn` with edge `skip` removed,
+/// extracted as a standalone CandidateNetwork (canonicalizable).
+CandidateNetwork Component(const CandidateNetwork& cn, uint32_t start,
+                           size_t skip) {
+  std::map<uint32_t, uint32_t> remap;
+  CandidateNetwork part;
+  std::vector<uint32_t> stack = {start};
+  remap.emplace(start, 0);
+  part.nodes.push_back(cn.nodes[start]);
+  while (!stack.empty()) {
+    const uint32_t u = stack.back();
+    stack.pop_back();
+    for (size_t e = 0; e < cn.edges.size(); ++e) {
+      if (e == skip) continue;
+      const CnEdge& edge = cn.edges[e];
+      uint32_t other;
+      if (edge.from == u) {
+        other = edge.to;
+      } else if (edge.to == u) {
+        other = edge.from;
+      } else {
+        continue;
+      }
+      auto [it, inserted] =
+          remap.emplace(other, static_cast<uint32_t>(part.nodes.size()));
+      if (inserted) {
+        part.nodes.push_back(cn.nodes[other]);
+        stack.push_back(other);
+      }
+      // Add the edge once, when visiting its lower-remapped endpoint
+      // first; dedup via a set below would be overkill — instead add it
+      // when we traverse it from u and `other` was just inserted, or when
+      // both ends known and u == edge.from (one canonical direction).
+      if (inserted) {
+        CnEdge mapped = edge;
+        mapped.from = remap.at(edge.from);
+        mapped.to = remap.at(edge.to);
+        part.edges.push_back(mapped);
+      }
+    }
+  }
+  return part;
+}
+
+}  // namespace
+
+SharingStats AnalyzeSharing(const std::vector<CandidateNetwork>& cns) {
+  SharingStats stats;
+  stats.total_cns = cns.size();
+  std::set<std::string> edge_keys;
+  std::set<std::string> subtree_keys;
+  // Occurrence counts of split-parts, to detect cross-CN composability.
+  std::map<std::string, std::set<size_t>> part_owners;
+
+  for (size_t i = 0; i < cns.size(); ++i) {
+    const CandidateNetwork& cn = cns[i];
+    stats.total_join_edges += cn.edges.size();
+    for (size_t e = 0; e < cn.edges.size(); ++e) {
+      const CnEdge& edge = cn.edges[e];
+      CandidateNetwork single;
+      single.nodes = {cn.nodes[edge.from], cn.nodes[edge.to]};
+      single.edges = {CnEdge{0, 1, edge.fk, edge.forward}};
+      edge_keys.insert(single.CanonicalKey());
+      // Split parts.
+      for (uint32_t side : {edge.from, edge.to}) {
+        const CandidateNetwork part = Component(cn, side, e);
+        const std::string key = part.CanonicalKey();
+        subtree_keys.insert(key);
+        part_owners[key].insert(i);
+        ++stats.total_subtrees;
+      }
+    }
+  }
+  stats.distinct_join_edges = edge_keys.size();
+  stats.distinct_subtrees = subtree_keys.size();
+
+  // Composability: some split of the CN has both halves shared with
+  // other CNs' splits.
+  for (size_t i = 0; i < cns.size(); ++i) {
+    const CandidateNetwork& cn = cns[i];
+    bool composable = false;
+    for (size_t e = 0; e < cn.edges.size() && !composable; ++e) {
+      const CandidateNetwork a = Component(cn, cn.edges[e].from, e);
+      const CandidateNetwork b = Component(cn, cn.edges[e].to, e);
+      auto shared_elsewhere = [&](const CandidateNetwork& part) {
+        auto it = part_owners.find(part.CanonicalKey());
+        if (it == part_owners.end()) return false;
+        for (size_t owner : it->second) {
+          if (owner != i) return true;
+        }
+        return false;
+      };
+      composable = shared_elsewhere(a) && shared_elsewhere(b);
+    }
+    stats.composable_cns += composable;
+  }
+  return stats;
+}
+
+std::vector<uint64_t> SharedCountAll(const relational::Database& db,
+                                     const std::vector<CandidateNetwork>& cns,
+                                     const TupleSets& ts, bool share,
+                                     SharedExecStats* stats) {
+  // Memo: rooted sub-expression key -> per-row result counts.
+  using CountTable = std::unordered_map<relational::RowId, uint64_t>;
+  std::unordered_map<std::string, std::shared_ptr<CountTable>> memo;
+
+  std::vector<uint64_t> out;
+  for (const CandidateNetwork& cn : cns) {
+    // Adjacency (node -> (neighbor, edge index)).
+    std::vector<std::vector<std::pair<uint32_t, size_t>>> adj(
+        cn.nodes.size());
+    for (size_t e = 0; e < cn.edges.size(); ++e) {
+      adj[cn.edges[e].from].push_back({cn.edges[e].to, e});
+      adj[cn.edges[e].to].push_back({cn.edges[e].from, e});
+    }
+    // count(node, parent): per-row counts of the subtree away from parent.
+    auto count = [&](auto&& self, uint32_t node,
+                     uint32_t parent) -> std::shared_ptr<CountTable> {
+      const std::string key = cn.RootedKey(node, parent);
+      if (share) {
+        auto it = memo.find(key);
+        if (it != memo.end()) {
+          if (stats != nullptr) ++stats->memo_hits;
+          return it->second;
+        }
+      }
+      if (stats != nullptr) ++stats->memo_misses;
+      // Child tables first.
+      std::vector<std::shared_ptr<CountTable>> child_tables;
+      std::vector<size_t> child_edges;
+      std::vector<uint32_t> child_nodes;
+      for (const auto& [other, e] : adj[node]) {
+        if (other == parent) continue;
+        child_tables.push_back(self(self, other, node));
+        child_edges.push_back(e);
+        child_nodes.push_back(other);
+      }
+      auto table = std::make_shared<CountTable>();
+      const CnNode& n = cn.nodes[node];
+      // Candidate rows of this node.
+      std::vector<relational::RowId> rows;
+      if (n.free()) {
+        for (relational::RowId r = 0; r < db.table(n.table).num_rows();
+             ++r) {
+          if (ts.Matches(n.table, r, 0)) rows.push_back(r);
+        }
+      } else {
+        for (const ScoredRow& sr : ts.Get(n.table, n.mask)) {
+          rows.push_back(sr.row);
+        }
+      }
+      for (relational::RowId r : rows) {
+        uint64_t c = 1;
+        for (size_t i = 0; i < child_edges.size() && c > 0; ++i) {
+          const CnEdge& edge = cn.edges[child_edges[i]];
+          const bool from_referencing = (node == edge.from) == edge.forward;
+          if (stats != nullptr) ++stats->join_lookups;
+          uint64_t sum = 0;
+          for (const relational::TupleId& t : db.JoinedRows(
+                   edge.fk, relational::TupleId{n.table, r},
+                   from_referencing)) {
+            auto it = child_tables[i]->find(t.row);
+            if (it != child_tables[i]->end()) sum += it->second;
+          }
+          c *= sum;
+        }
+        if (c > 0) (*table)[r] = c;
+      }
+      if (share) memo.emplace(key, table);
+      return table;
+    };
+    const auto root_table = count(count, 0, UINT32_MAX);
+    uint64_t total = 0;
+    for (const auto& [row, c] : *root_table) total += c;
+    out.push_back(total);
+  }
+  return out;
+}
+
+}  // namespace kws::cn

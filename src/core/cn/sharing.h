@@ -1,0 +1,73 @@
+#ifndef KWDB_CORE_CN_SHARING_H_
+#define KWDB_CORE_CN_SHARING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cn/candidate_network.h"
+#include "core/cn/tuple_sets.h"
+
+namespace kws::cn {
+
+/// Sharing structure of a CN workload (tutorial slides 129-135: the
+/// operator mesh of Markowetz et al. and SPARK2's partition graph exploit
+/// that "many CNs overlap substantially with each other").
+struct SharingStats {
+  size_t total_cns = 0;
+  /// Sum over CNs of their edge counts — the join work of evaluating each
+  /// CN independently.
+  size_t total_join_edges = 0;
+  /// Distinct canonical single-join expressions — the join work after
+  /// perfect single-edge sharing.
+  size_t distinct_join_edges = 0;
+  /// All split-parts: every edge split of every CN yields two rooted
+  /// subtrees (the sub-expressions a mesh node could materialize).
+  size_t total_subtrees = 0;
+  /// Distinct canonical split-parts — the mesh size.
+  size_t distinct_subtrees = 0;
+  /// CNs (size > 1) with at least one edge split whose BOTH parts occur
+  /// as split-parts of other CNs too — SPARK2's "CN obtainable by joining
+  /// two shared sub-CNs".
+  size_t composable_cns = 0;
+
+  double EdgeSharingRatio() const {
+    return total_join_edges == 0
+               ? 0
+               : 1.0 - static_cast<double>(distinct_join_edges) /
+                           static_cast<double>(total_join_edges);
+  }
+  double SubtreeSharingRatio() const {
+    return total_subtrees == 0
+               ? 0
+               : 1.0 - static_cast<double>(distinct_subtrees) /
+                           static_cast<double>(total_subtrees);
+  }
+};
+
+/// Analyzes how much computation a shared execution plan (operator mesh /
+/// partition graph) could reuse across `cns`.
+SharingStats AnalyzeSharing(const std::vector<CandidateNetwork>& cns);
+
+/// Counters for the shared counting execution.
+struct SharedExecStats {
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  uint64_t join_lookups = 0;
+};
+
+/// Counts every CN's results with partition-graph style sharing: the
+/// per-row result-count table of each rooted sub-expression (keyed by
+/// CandidateNetwork::RootedKey) is computed once and reused across all
+/// CNs containing an isomorphic subtree. With `share == false` the same
+/// recursion runs without the memo — the independent-evaluation baseline
+/// the E15 benchmark compares against.
+///
+/// Returns, per CN, exactly ExecuteCn(...).size().
+std::vector<uint64_t> SharedCountAll(const relational::Database& db,
+                                     const std::vector<CandidateNetwork>& cns,
+                                     const TupleSets& ts, bool share = true,
+                                     SharedExecStats* stats = nullptr);
+
+}  // namespace kws::cn
+
+#endif  // KWDB_CORE_CN_SHARING_H_

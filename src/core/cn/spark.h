@@ -1,0 +1,83 @@
+#ifndef KWDB_CORE_CN_SPARK_H_
+#define KWDB_CORE_CN_SPARK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cn/candidate_network.h"
+#include "core/cn/execute.h"
+#include "core/cn/search.h"
+#include "core/cn/tuple_sets.h"
+
+namespace kws::cn {
+
+/// SPARK's virtual-document score (Luo et al., SIGMOD 07; tutorial
+/// slide 117): the joined tree is treated as ONE document, so term
+/// frequencies are summed across its tuples *before* the sub-linear
+/// 1+ln(.) dampening — which makes the score non-monotonic in per-tuple
+/// scores — then a size penalty is applied:
+///
+///   score(T) = [ sum_k (1 + ln tf_T(k)) * idf_k  over matched k ]
+///              / (1 + lambda * (|T| - 1))
+double SparkScore(const CandidateNetwork& cn, const TupleSets& ts,
+                  const std::vector<relational::RowId>& rows,
+                  double lambda = 0.2);
+
+/// Monotonic upper bound on SparkScore for a combination of keyword-node
+/// tuples: since ln(1+a+b) <= ln(1+a) + ln(1+b), the sum of per-tuple
+/// dampened scores dominates the virtual-document score. This is the
+/// bound that lets the skyline-sweep and block-pipeline algorithms stop
+/// early despite non-monotonicity.
+double SparkUpperBound(const CandidateNetwork& cn, const TupleSets& ts,
+                       const std::vector<uint32_t>& kw_nodes,
+                       const std::vector<double>& node_scores,
+                       double lambda = 0.2);
+
+/// Evaluation algorithms for the non-monotonic score.
+enum class SparkAlgorithm {
+  /// Materialize everything, score, sort.
+  kNaive,
+  /// Dominance-ordered sweep over the sorted tuple lists (SPARK's
+  /// skyline-sweeping algorithm).
+  kSkylineSweep,
+  /// Skyline sweep over fixed-size blocks: combinations inside one block
+  /// pair are verified together, trading bound tightness for fewer queue
+  /// operations (SPARK's block-pipeline algorithm).
+  kBlockPipeline,
+};
+
+const char* SparkAlgorithmToString(SparkAlgorithm a);
+
+struct SparkOptions {
+  size_t k = 10;
+  size_t max_cn_size = 5;
+  double lambda = 0.2;
+  SparkAlgorithm algorithm = SparkAlgorithm::kSkylineSweep;
+  /// Block edge length for kBlockPipeline.
+  size_t block_size = 8;
+};
+
+struct SparkStats {
+  size_t cns_enumerated = 0;
+  uint64_t candidates_scored = 0;   // exact score computations
+  uint64_t join_lookups = 0;
+  uint64_t queue_pops = 0;
+};
+
+/// Top-k relational keyword search under the SPARK score.
+class SparkSearch {
+ public:
+  explicit SparkSearch(const relational::Database& db) : db_(db) {}
+
+  std::vector<SearchResult> Search(const std::string& query,
+                                   const SparkOptions& options,
+                                   std::vector<CandidateNetwork>* cns_out,
+                                   SparkStats* stats = nullptr) const;
+
+ private:
+  const relational::Database& db_;
+};
+
+}  // namespace kws::cn
+
+#endif  // KWDB_CORE_CN_SPARK_H_

@@ -1,0 +1,60 @@
+#include "core/cn/stream.h"
+
+#include <set>
+
+namespace kws::cn {
+
+StreamEvaluator::StreamEvaluator(const relational::Database& db,
+                                 std::vector<CandidateNetwork> cns,
+                                 TupleSets ts)
+    : db_(db), cns_(std::move(cns)), ts_(std::move(ts)) {
+  arrived_.resize(db.num_tables());
+  for (relational::TableId t = 0; t < db.num_tables(); ++t) {
+    arrived_[t].assign(db.table(t).num_rows(), false);
+  }
+}
+
+std::vector<SearchResult> StreamEvaluator::OnArrival(
+    relational::TupleId tuple, StreamStats* stats) {
+  std::vector<SearchResult> out;
+  if (arrived_[tuple.table][tuple.row]) return out;  // duplicate arrival
+  arrived_[tuple.table][tuple.row] = true;
+  ++arrived_count_;
+  if (stats != nullptr) ++stats->arrivals;
+  const KeywordMask mask = ts_.RowMask(tuple.table, tuple.row);
+
+  for (size_t c = 0; c < cns_.size(); ++c) {
+    const CandidateNetwork& cn = cns_[c];
+    // Within one arrival the same tree can be found through different
+    // node positions the new tuple occupies; dedup by row vector.
+    std::set<std::vector<relational::RowId>> seen;
+    for (uint32_t i = 0; i < cn.nodes.size(); ++i) {
+      if (cn.nodes[i].table != tuple.table) continue;
+      if (cn.nodes[i].mask != mask) continue;  // exact tuple-set semantics
+      std::vector<std::optional<relational::RowId>> fixed(cn.nodes.size());
+      fixed[i] = tuple.row;
+      ExecStats es;
+      auto results =
+          ExecuteCn(db_, cn, ts_, fixed, SIZE_MAX, &es, &arrived_);
+      if (stats != nullptr) {
+        ++stats->probes;
+        stats->join_lookups += es.join_lookups;
+      }
+      for (const JoinedTree& jt : results) {
+        if (!seen.insert(jt.rows).second) continue;
+        SearchResult r;
+        r.cn_index = c;
+        r.score = jt.score;
+        for (uint32_t n = 0; n < cn.nodes.size(); ++n) {
+          r.tuples.push_back(
+              relational::TupleId{cn.nodes[n].table, jt.rows[n]});
+        }
+        out.push_back(std::move(r));
+        if (stats != nullptr) ++stats->results_emitted;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace kws::cn

@@ -1,0 +1,58 @@
+#ifndef KWDB_CORE_CN_STREAM_H_
+#define KWDB_CORE_CN_STREAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cn/candidate_network.h"
+#include "core/cn/execute.h"
+#include "core/cn/search.h"
+#include "core/cn/tuple_sets.h"
+
+namespace kws::cn {
+
+/// Counters for the E16 benchmark.
+struct StreamStats {
+  uint64_t arrivals = 0;
+  uint64_t probes = 0;          // constrained CN executions attempted
+  uint64_t results_emitted = 0;
+  uint64_t join_lookups = 0;
+};
+
+/// Incremental keyword search over a relational tuple stream (Markowetz
+/// et al., SIGMOD 07; tutorial slides 115, 134): the CN workload is fixed
+/// up front (no CN can be pruned), tuples arrive one at a time, and every
+/// joined tree is emitted exactly once — at the arrival of its LAST
+/// tuple.
+///
+/// The simulator view: the database already holds all tuples; the
+/// evaluator tracks which have "arrived" and restricts joins to them. On
+/// each arrival it probes, for every CN and every node position the new
+/// tuple can occupy, the joins completed by that tuple.
+class StreamEvaluator {
+ public:
+  /// `cns` is the fixed workload (typically EnumerateCandidateNetworks
+  /// output for the query's keywords); `ts` the matching tuple sets.
+  /// Both are copied. The database must outlive the evaluator.
+  StreamEvaluator(const relational::Database& db,
+                  std::vector<CandidateNetwork> cns, TupleSets ts);
+
+  /// Feeds one tuple; returns the joined trees completed by it (each
+  /// result's tuples have all arrived, and the new tuple participates).
+  std::vector<SearchResult> OnArrival(relational::TupleId tuple,
+                                      StreamStats* stats = nullptr);
+
+  /// Number of tuples arrived so far.
+  uint64_t arrived_count() const { return arrived_count_; }
+
+ private:
+  const relational::Database& db_;
+  std::vector<CandidateNetwork> cns_;
+  TupleSets ts_;
+  RowFilter arrived_;
+  uint64_t arrived_count_ = 0;
+};
+
+}  // namespace kws::cn
+
+#endif  // KWDB_CORE_CN_STREAM_H_

@@ -1,0 +1,96 @@
+#include "core/cn/tuple_sets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kws::cn {
+
+TupleSets::TupleSets(const relational::Database& db,
+                     std::vector<std::string> keywords)
+    : keywords_(std::move(keywords)) {
+  const size_t num_tables = db.num_tables();
+  const size_t nk = keywords_.size();
+  table_masks_.assign(num_tables, 0);
+  row_info_.resize(num_tables);
+  sets_.resize(num_tables);
+
+  // Global document frequencies for IDF.
+  size_t total_rows = 0;
+  std::vector<size_t> df(nk, 0);
+  for (relational::TableId t = 0; t < num_tables; ++t) {
+    total_rows += db.table(t).num_rows();
+    for (size_t k = 0; k < nk; ++k) {
+      df[k] += db.TextIndex(t).DocFreq(keywords_[k]);
+    }
+  }
+  idf_.resize(nk);
+  for (size_t k = 0; k < nk; ++k) {
+    idf_[k] = std::log(1.0 + static_cast<double>(total_rows) /
+                                 (1.0 + static_cast<double>(df[k])));
+  }
+
+  for (relational::TableId t = 0; t < num_tables; ++t) {
+    auto& info = row_info_[t];
+    for (size_t k = 0; k < nk; ++k) {
+      for (const text::Posting& p : db.TextIndex(t).GetPostings(keywords_[k])) {
+        RowInfo& ri = info[p.doc];
+        if (ri.tf.empty()) ri.tf.assign(nk, 0);
+        ri.mask |= (1u << k);
+        ri.tf[k] = p.tf;
+        table_masks_[t] |= (1u << k);
+      }
+    }
+    // Monotonic per-tuple score: sum over matched keywords of
+    // (1 + ln tf) * idf, normalized by sqrt(doc length).
+    for (auto& [row, ri] : info) {
+      const double len =
+          std::max<uint32_t>(db.TextIndex(t).DocLength(row), 1);
+      double score = 0;
+      for (size_t k = 0; k < nk; ++k) {
+        if (ri.tf[k] > 0) {
+          score += (1.0 + std::log(static_cast<double>(ri.tf[k]))) * idf_[k];
+        }
+      }
+      ri.score = score / std::sqrt(len);
+      sets_[t][ri.mask].push_back(ScoredRow{row, ri.score});
+    }
+    for (auto& [mask, rows] : sets_[t]) {
+      std::sort(rows.begin(), rows.end(),
+                [](const ScoredRow& a, const ScoredRow& b) {
+                  if (a.score != b.score) return a.score > b.score;
+                  return a.row < b.row;
+                });
+    }
+  }
+}
+
+const std::vector<ScoredRow>& TupleSets::Get(relational::TableId t,
+                                             KeywordMask mask) const {
+  auto it = sets_[t].find(mask);
+  return it == sets_[t].end() ? empty_ : it->second;
+}
+
+KeywordMask TupleSets::RowMask(relational::TableId t,
+                               relational::RowId r) const {
+  auto it = row_info_[t].find(r);
+  return it == row_info_[t].end() ? 0 : it->second.mask;
+}
+
+double TupleSets::RowScore(relational::TableId t, relational::RowId r) const {
+  auto it = row_info_[t].find(r);
+  return it == row_info_[t].end() ? 0 : it->second.score;
+}
+
+uint32_t TupleSets::RowTf(relational::TableId t, relational::RowId r,
+                          size_t k) const {
+  auto it = row_info_[t].find(r);
+  if (it == row_info_[t].end() || it->second.tf.size() <= k) return 0;
+  return it->second.tf[k];
+}
+
+double TupleSets::MaxScore(relational::TableId t, KeywordMask mask) const {
+  const std::vector<ScoredRow>& rows = Get(t, mask);
+  return rows.empty() ? 0 : rows.front().score;
+}
+
+}  // namespace kws::cn

@@ -1,0 +1,95 @@
+#ifndef KWDB_CORE_CN_TUPLE_SETS_H_
+#define KWDB_CORE_CN_TUPLE_SETS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cn/candidate_network.h"
+#include "relational/database.h"
+
+namespace kws::cn {
+
+/// One tuple with its precomputed relevance score.
+struct ScoredRow {
+  relational::RowId row = 0;
+  double score = 0;
+};
+
+/// The query-dependent tuple sets R^Q_K of DISCOVER (tutorial slide 28),
+/// under exact semantics: Get(T, K) holds the rows of T containing exactly
+/// the query keywords in K (so tuple sets partition each table and CN
+/// results are duplicate-free).
+///
+/// Each row carries two scores:
+///  - a monotonic per-tuple TF-IDF score (DISCOVER2-style, summed across
+///    the CN's tuples), and
+///  - per-keyword term frequencies for SPARK's non-monotonic virtual-
+///    document score.
+class TupleSets {
+ public:
+  /// `keywords` must already be normalized tokens.
+  TupleSets(const relational::Database& db,
+            std::vector<std::string> keywords);
+
+  const std::vector<std::string>& keywords() const { return keywords_; }
+  size_t num_keywords() const { return keywords_.size(); }
+  KeywordMask full_mask() const {
+    return static_cast<KeywordMask>((1u << keywords_.size()) - 1);
+  }
+
+  /// Keywords table `t` matches at all (union of its rows' masks).
+  KeywordMask table_mask(relational::TableId t) const {
+    return table_masks_[t];
+  }
+  /// table_mask for every table, indexed by TableId.
+  const std::vector<KeywordMask>& table_masks() const { return table_masks_; }
+
+  /// Rows of `t` whose keyword set is exactly `mask`, sorted by descending
+  /// monotonic score. `mask` must be nonzero (free sets are not
+  /// materialized; use Matches for membership).
+  const std::vector<ScoredRow>& Get(relational::TableId t,
+                                    KeywordMask mask) const;
+
+  /// Exact keyword mask of a row (0 when it matches no query keyword).
+  KeywordMask RowMask(relational::TableId t, relational::RowId r) const;
+
+  /// True when row r belongs to tuple set (t, mask) — including mask == 0,
+  /// the free set of keyword-less tuples.
+  bool Matches(relational::TableId t, relational::RowId r,
+               KeywordMask mask) const {
+    return RowMask(t, r) == mask;
+  }
+
+  /// Monotonic score of a row (0 for keyword-less rows).
+  double RowScore(relational::TableId t, relational::RowId r) const;
+
+  /// Term frequency of query keyword `k` in row r (0 when absent).
+  uint32_t RowTf(relational::TableId t, relational::RowId r, size_t k) const;
+
+  /// Highest monotonic score in tuple set (t, mask); 0 when empty.
+  double MaxScore(relational::TableId t, KeywordMask mask) const;
+
+  /// Global smoothed IDF of keyword `k` over all tables.
+  double Idf(size_t k) const { return idf_[k]; }
+
+ private:
+  struct RowInfo {
+    KeywordMask mask = 0;
+    double score = 0;
+    std::vector<uint32_t> tf;  // per keyword
+  };
+
+  std::vector<std::string> keywords_;
+  std::vector<KeywordMask> table_masks_;
+  /// Per table: info for rows matching >= 1 keyword.
+  std::vector<std::unordered_map<relational::RowId, RowInfo>> row_info_;
+  /// Per table: mask -> sorted scored rows.
+  std::vector<std::unordered_map<KeywordMask, std::vector<ScoredRow>>> sets_;
+  std::vector<double> idf_;
+  std::vector<ScoredRow> empty_;
+};
+
+}  // namespace kws::cn
+
+#endif  // KWDB_CORE_CN_TUPLE_SETS_H_

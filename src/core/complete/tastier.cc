@@ -1,0 +1,166 @@
+#include "core/complete/tastier.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "text/tokenizer.h"
+
+namespace kws::complete {
+
+using graph::NodeId;
+using text::WordRange;
+
+TastierIndex::TastierIndex(const graph::DataGraph& g, size_t delta)
+    : graph_(g), delta_(delta) {
+  text::Tokenizer tokenizer;
+  // Vocabulary and per-node own tokens.
+  std::vector<std::vector<std::string>> own(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    own[n] = tokenizer.Tokenize(g.text(n));
+    for (const std::string& t : own[n]) trie_.Insert(t);
+  }
+  trie_.Freeze();
+  // delta-step forward index: BFS out to `delta` hops collecting word ids.
+  forward_.resize(g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    std::set<uint32_t> words;
+    std::set<NodeId> visited = {n};
+    std::deque<std::pair<NodeId, size_t>> queue = {{n, 0}};
+    while (!queue.empty()) {
+      auto [u, hops] = queue.front();
+      queue.pop_front();
+      for (const std::string& t : own[u]) {
+        words.insert(*trie_.Find(t));
+      }
+      if (hops == delta) continue;
+      for (const graph::Edge& e : g.Out(u)) {
+        if (visited.insert(e.to).second) queue.push_back({e.to, hops + 1});
+      }
+    }
+    forward_[n].assign(words.begin(), words.end());
+  }
+}
+
+std::set<NodeId> TastierIndex::WidenByDelta(
+    const std::set<NodeId>& seed) const {
+  std::set<NodeId> out = seed;
+  std::set<NodeId> frontier = seed;
+  for (size_t step = 0; step < delta_; ++step) {
+    std::set<NodeId> next;
+    for (NodeId c : frontier) {
+      for (const graph::Edge& e : graph_.In(c)) {
+        if (out.insert(e.to).second) next.insert(e.to);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return out;
+}
+
+bool TastierIndex::NodeMatchesRanges(
+    NodeId n, const std::vector<WordRange>& ranges) const {
+  const std::vector<uint32_t>& words = forward_[n];
+  for (const WordRange& r : ranges) {
+    auto it = std::lower_bound(words.begin(), words.end(), r.lo);
+    if (it != words.end() && *it < r.hi) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> TastierIndex::Candidates(
+    const std::vector<std::string>& prefixes, TypeAheadStats* stats) const {
+  std::vector<NodeId> out;
+  if (prefixes.empty()) return out;
+  // Resolve each prefix to its trie range; pick the most selective one to
+  // seed candidates.
+  std::vector<WordRange> ranges;
+  for (const std::string& p : prefixes) {
+    if (stats != nullptr) ++stats->range_lookups;
+    const WordRange r = trie_.PrefixRange(p);
+    if (r.empty()) return out;  // some prefix has no completion at all
+    ranges.push_back(r);
+  }
+  size_t seed = 0;
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    if (ranges[i].size() < ranges[seed].size()) seed = i;
+  }
+  // Seed candidates: nodes whose forward index intersects the seed range.
+  std::set<NodeId> candidates;
+  for (uint32_t id = ranges[seed].lo; id < ranges[seed].hi; ++id) {
+    for (NodeId m : graph_.MatchNodes(trie_.Word(id))) {
+      candidates.insert(m);
+    }
+  }
+  // Keyword matches give nodes *containing* the word; any node within
+  // delta in-steps of a match may also hold it in its forward index.
+  std::set<NodeId> widened = WidenByDelta(candidates);
+  if (stats != nullptr) stats->candidates_before_filter += widened.size();
+  for (NodeId c : widened) {
+    bool all = true;
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      if (!NodeMatchesRanges(c, {ranges[i]})) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(c);
+  }
+  if (stats != nullptr) stats->candidates_after_filter += out.size();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> TastierIndex::FuzzyCandidates(
+    const std::vector<std::string>& prefixes, size_t max_edits,
+    TypeAheadStats* stats) const {
+  std::vector<NodeId> out;
+  if (prefixes.empty()) return out;
+  // Exact ranges for all but the last prefix; fuzzy ranges for the last
+  // (the keyword being typed).
+  std::vector<std::vector<WordRange>> range_sets;
+  for (size_t i = 0; i + 1 < prefixes.size(); ++i) {
+    if (stats != nullptr) ++stats->range_lookups;
+    const WordRange r = trie_.PrefixRange(prefixes[i]);
+    if (r.empty()) return out;
+    range_sets.push_back({r});
+  }
+  if (stats != nullptr) ++stats->range_lookups;
+  std::vector<WordRange> fuzzy =
+      trie_.FuzzyPrefixRanges(prefixes.back(), max_edits);
+  if (fuzzy.empty()) return out;
+  range_sets.push_back(std::move(fuzzy));
+
+  // Seed from the first range set's words.
+  std::set<NodeId> candidates;
+  for (const WordRange& r : range_sets[0]) {
+    for (uint32_t id = r.lo; id < r.hi; ++id) {
+      for (NodeId m : graph_.MatchNodes(trie_.Word(id))) {
+        candidates.insert(m);
+      }
+    }
+  }
+  std::set<NodeId> widened = WidenByDelta(candidates);
+  if (stats != nullptr) stats->candidates_before_filter += widened.size();
+  for (NodeId c : widened) {
+    bool all = true;
+    for (const auto& rs : range_sets) {
+      if (!NodeMatchesRanges(c, rs)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(c);
+  }
+  if (stats != nullptr) stats->candidates_after_filter += out.size();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> TastierIndex::Complete(const std::string& prefix,
+                                                size_t limit) const {
+  return trie_.Complete(prefix, limit);
+}
+
+}  // namespace kws::complete

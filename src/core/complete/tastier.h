@@ -1,0 +1,71 @@
+#ifndef KWDB_CORE_COMPLETE_TASTIER_H_
+#define KWDB_CORE_COMPLETE_TASTIER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "text/trie.h"
+
+namespace kws::complete {
+
+/// Per-keystroke statistics for the E10 benchmark.
+struct TypeAheadStats {
+  uint64_t range_lookups = 0;
+  uint64_t candidates_before_filter = 0;
+  uint64_t candidates_after_filter = 0;
+};
+
+/// TASTIER-style type-ahead search over a data graph (Li et al.,
+/// SIGMOD 09; tutorial slides 72-73): every token is indexed in a trie so
+/// a prefix maps to one contiguous word-id range, and each node carries a
+/// "delta-step forward index" — the sorted word ids reachable within delta
+/// steps — so prefix containment is a range probe instead of string work.
+class TastierIndex {
+ public:
+  /// Builds the trie and the delta-step forward index (delta = 0 indexes
+  /// only the node's own tokens).
+  TastierIndex(const graph::DataGraph& g, size_t delta);
+
+  /// Nodes that can reach, within delta steps, a completion of every
+  /// prefix in `prefixes` (each keyword treated as a prefix — the
+  /// TASTIER query semantics). Candidates are seeded from the most
+  /// selective prefix and filtered with the forward index.
+  std::vector<graph::NodeId> Candidates(
+      const std::vector<std::string>& prefixes,
+      TypeAheadStats* stats = nullptr) const;
+
+  /// Error-tolerant variant of the last keyword (Chaudhuri & Kaushik;
+  /// slide 71): the final prefix may contain up to `max_edits` typos.
+  std::vector<graph::NodeId> FuzzyCandidates(
+      const std::vector<std::string>& prefixes, size_t max_edits,
+      TypeAheadStats* stats = nullptr) const;
+
+  /// Top `limit` completions of `prefix` from the graph's vocabulary.
+  std::vector<std::string> Complete(const std::string& prefix,
+                                    size_t limit) const;
+
+  size_t vocabulary_size() const { return trie_.size(); }
+
+ private:
+  /// True when node `n` has some forward-index word id inside any of the
+  /// given ranges.
+  bool NodeMatchesRanges(graph::NodeId n,
+                         const std::vector<text::WordRange>& ranges) const;
+
+  /// Widens a node set by in-neighbors, delta times: the nodes whose
+  /// delta-step forward index could contain a word held by the set.
+  std::set<graph::NodeId> WidenByDelta(
+      const std::set<graph::NodeId>& seed) const;
+
+  const graph::DataGraph& graph_;
+  size_t delta_;
+  text::Trie trie_;
+  /// forward_[n] = sorted word ids reachable from n within delta steps.
+  std::vector<std::vector<uint32_t>> forward_;
+};
+
+}  // namespace kws::complete
+
+#endif  // KWDB_CORE_COMPLETE_TASTIER_H_

@@ -1,0 +1,82 @@
+#include "core/engine/engine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "core/refine/data_clouds.h"
+
+namespace kws::engine {
+
+KeywordSearchEngine::KeywordSearchEngine(const relational::Database& db)
+    : db_(db), graph_(graph::BuildDataGraph(db)) {
+  for (graph::NodeId n = 0; n < graph_.graph.num_nodes(); ++n) {
+    const std::string& text = graph_.graph.text(n);
+    if (!text.empty()) combined_index_.AddDocument(n, text);
+  }
+  cleaner_ = std::make_unique<clean::QueryCleaner>(combined_index_);
+  completer_ = std::make_unique<complete::TastierIndex>(graph_.graph, 1);
+}
+
+EngineResponse KeywordSearchEngine::Search(const std::string& query,
+                                           const EngineOptions& options) const {
+  EngineResponse response;
+  std::vector<std::string> tokens =
+      combined_index_.tokenizer().Tokenize(query);
+  if (options.clean_query) {
+    clean::CleanedQuery cleaned = cleaner_->Clean(query);
+    if (!cleaned.tokens.empty()) {
+      response.query_was_corrected = (cleaned.tokens != tokens);
+      tokens = cleaned.tokens;
+    }
+  }
+  response.cleaned_query = tokens;
+  if (tokens.empty()) return response;
+  const std::string normalized = Join(tokens, " ");
+
+  if (options.backend == Backend::kCandidateNetworks) {
+    cn::CnKeywordSearch search(db_);
+    cn::SearchOptions so;
+    so.k = options.k;
+    so.max_cn_size = options.max_cn_size;
+    std::vector<cn::CandidateNetwork> cns;
+    for (const cn::SearchResult& r : search.Search(normalized, so, &cns)) {
+      EngineResult er;
+      er.score = r.score;
+      er.tuples = r.tuples;
+      for (size_t i = 0; i < r.tuples.size(); ++i) {
+        if (i > 0) er.description += " -- ";
+        er.description += db_.TupleToString(r.tuples[i]);
+      }
+      response.results.push_back(std::move(er));
+    }
+  } else {
+    steiner::BanksOptions bo;
+    bo.k = options.k;
+    for (const steiner::AnswerTree& t :
+         steiner::BanksSearch(graph_.graph, tokens, bo)) {
+      EngineResult er;
+      er.score = t.score();
+      for (graph::NodeId n : t.nodes) {
+        er.tuples.push_back(graph_.node_to_tuple[n]);
+      }
+      er.description = t.ToString(graph_.graph);
+      response.results.push_back(std::move(er));
+    }
+  }
+
+  if (options.num_suggestions > 0 && !response.results.empty()) {
+    for (const refine::SuggestedTerm& s : refine::SuggestTerms(
+             combined_index_, normalized, refine::TermRanking::kRelevance,
+             options.num_suggestions)) {
+      response.suggestions.push_back(s.term);
+    }
+  }
+  return response;
+}
+
+std::vector<std::string> KeywordSearchEngine::Complete(
+    const std::string& prefix, size_t limit) const {
+  return completer_->Complete(prefix, limit);
+}
+
+}  // namespace kws::engine

@@ -1,0 +1,85 @@
+#ifndef KWDB_CORE_ENGINE_ENGINE_H_
+#define KWDB_CORE_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/clean/cleaner.h"
+#include "core/cn/search.h"
+#include "core/complete/tastier.h"
+#include "core/steiner/banks.h"
+#include "graph/data_graph.h"
+#include "relational/database.h"
+
+namespace kws::engine {
+
+/// Which search backend answers the query.
+enum class Backend {
+  /// Schema-graph candidate networks (DISCOVER family).
+  kCandidateNetworks,
+  /// Data-graph backward expanding search (BANKS family).
+  kDataGraph,
+};
+
+struct EngineOptions {
+  size_t k = 10;
+  Backend backend = Backend::kCandidateNetworks;
+  /// Run the noisy-channel cleaner before searching.
+  bool clean_query = true;
+  /// Attach refinement term suggestions to the response.
+  size_t num_suggestions = 5;
+  size_t max_cn_size = 5;
+};
+
+/// One answer, rendered for display.
+struct EngineResult {
+  double score = 0;
+  std::vector<relational::TupleId> tuples;
+  std::string description;
+};
+
+/// The full response of one query round-trip.
+struct EngineResponse {
+  /// The query as cleaned (equals the input tokens when cleaning is off
+  /// or found nothing better).
+  std::vector<std::string> cleaned_query;
+  bool query_was_corrected = false;
+  std::vector<EngineResult> results;
+  /// Data-Clouds style refinement suggestions.
+  std::vector<std::string> suggestions;
+};
+
+/// The facade wiring the tutorial's pipeline end to end: query cleaning ->
+/// structure search (CN or data graph) -> result rendering -> refinement
+/// suggestions. This is the one-stop API the examples use.
+class KeywordSearchEngine {
+ public:
+  /// Builds all derived structures (data graph, combined text index,
+  /// cleaner). The database must outlive the engine and must already have
+  /// text indexes built.
+  explicit KeywordSearchEngine(const relational::Database& db);
+
+  /// Runs a keyword query through the pipeline.
+  EngineResponse Search(const std::string& query,
+                        const EngineOptions& options = {}) const;
+
+  /// Type-ahead completions for a partially typed last keyword.
+  std::vector<std::string> Complete(const std::string& prefix,
+                                    size_t limit = 8) const;
+
+  const graph::RelationalGraph& data_graph() const { return graph_; }
+
+ private:
+  const relational::Database& db_;
+  graph::RelationalGraph graph_;
+  /// Union full-text index across all tables (docs = dense node ids), for
+  /// cleaning and suggestions.
+  text::InvertedIndex combined_index_;
+  std::unique_ptr<clean::QueryCleaner> cleaner_;
+  std::unique_ptr<complete::TastierIndex> completer_;
+};
+
+}  // namespace kws::engine
+
+#endif  // KWDB_CORE_ENGINE_ENGINE_H_

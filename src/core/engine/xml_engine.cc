@@ -1,0 +1,51 @@
+#include "core/engine/xml_engine.h"
+
+#include "core/lca/slca.h"
+#include "core/lca/xrank.h"
+#include "text/tokenizer.h"
+
+namespace kws::engine {
+
+XmlKeywordSearch::XmlKeywordSearch(const xml::XmlTree& tree)
+    : tree_(tree),
+      stats_(xml::ComputePathStatistics(tree)),
+      elem_rank_(lca::ElemRank(tree)) {}
+
+XmlResponse XmlKeywordSearch::Search(const std::string& query,
+                                     const XmlEngineOptions& options) const {
+  XmlResponse response;
+  const std::vector<std::string> keywords =
+      text::Tokenizer().Tokenize(query);
+  if (keywords.empty()) return response;
+  const auto lists = lca::MatchLists(tree_, keywords);
+  if (lists.empty()) return response;
+
+  std::vector<xml::XmlNodeId> anchors =
+      options.semantics == XmlSemantics::kSlca
+          ? lca::SlcaIndexedLookupEager(tree_, lists)
+          : lca::ElcaIndexed(tree_, lists);
+
+  // Rank, truncate, render.
+  const auto ranked =
+      lca::RankXmlResults(tree_, anchors, keywords, elem_rank_);
+  for (const lca::ScoredXmlResult& sr : ranked) {
+    if (response.results.size() >= options.k) break;
+    XmlResult r;
+    r.anchor = sr.root;
+    r.score = sr.score;
+    const lca::XSeekResult xr =
+        lca::InferReturnNodes(tree_, stats_, keywords, sr.root);
+    r.display_root = xr.result_root;
+    r.snippet = analyze::SnippetToString(
+        tree_, analyze::GenerateSnippet(tree_, stats_, r.display_root,
+                                        keywords,
+                                        {.max_items = options.snippet_items}));
+    response.results.push_back(std::move(r));
+  }
+  if (options.cluster) {
+    response.clusters = analyze::ClusterByContext(tree_, anchors, keywords);
+  }
+  return response;
+}
+
+}  // namespace kws::engine

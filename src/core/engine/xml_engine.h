@@ -1,0 +1,61 @@
+#ifndef KWDB_CORE_ENGINE_XML_ENGINE_H_
+#define KWDB_CORE_ENGINE_XML_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/analyze/clustering.h"
+#include "core/analyze/snippet.h"
+#include "core/lca/xseek.h"
+#include "xml/stats.h"
+#include "xml/tree.h"
+
+namespace kws::engine {
+
+/// Which LCA-family semantics the XML engine answers with.
+enum class XmlSemantics { kSlca, kElca };
+
+struct XmlEngineOptions {
+  size_t k = 10;
+  XmlSemantics semantics = XmlSemantics::kSlca;
+  /// Items per snippet.
+  size_t snippet_items = 4;
+  /// Attach context clusters to the response.
+  bool cluster = true;
+};
+
+/// One ranked XML answer: the matched subtree, the XSeek display root,
+/// and a query-biased snippet.
+struct XmlResult {
+  xml::XmlNodeId anchor = 0;       // the SLCA/ELCA node
+  xml::XmlNodeId display_root = 0; // XSeek-inferred result root
+  double score = 0;                // XRank-style
+  std::string snippet;
+};
+
+struct XmlResponse {
+  std::vector<XmlResult> results;
+  std::vector<analyze::ResultCluster> clusters;
+};
+
+/// The XML pipeline facade (tutorial's XSeek demo, slides 17-18): SLCA or
+/// ELCA retrieval -> ElemRank scoring -> XSeek return-node inference ->
+/// snippets -> context clustering.
+class XmlKeywordSearch {
+ public:
+  /// Precomputes ElemRank and path statistics. `tree` must outlive the
+  /// engine and must have its keyword index built.
+  explicit XmlKeywordSearch(const xml::XmlTree& tree);
+
+  XmlResponse Search(const std::string& query,
+                     const XmlEngineOptions& options = {}) const;
+
+ private:
+  const xml::XmlTree& tree_;
+  xml::PathStatistics stats_;
+  std::vector<double> elem_rank_;
+};
+
+}  // namespace kws::engine
+
+#endif  // KWDB_CORE_ENGINE_XML_ENGINE_H_

@@ -1,0 +1,56 @@
+#ifndef KWDB_CORE_EVAL_AXIOMS_H_
+#define KWDB_CORE_EVAL_AXIOMS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace kws::eval {
+
+/// A pluggable XML keyword search engine: query keywords in, result
+/// subtree roots out.
+using XmlSearchFn = std::function<std::vector<xml::XmlNodeId>(
+    const xml::XmlTree&, const std::vector<std::string>&)>;
+
+/// One detected axiom violation.
+struct AxiomViolation {
+  std::string axiom;
+  std::string detail;
+};
+
+/// The four axioms of Liu et al. (VLDB 08; tutorial slides 108-109),
+/// AND semantics assumed:
+///  - query monotonicity: adding a keyword must not increase the number
+///    of results;
+///  - query consistency: every NEW result after adding a keyword must
+///    contain that keyword;
+///  - data monotonicity: adding a node matching a query keyword must not
+///    decrease the number of results;
+///  - data consistency: every NEW result after adding a node must contain
+///    the new node.
+
+/// Checks the query axioms by comparing fn(tree, q) with
+/// fn(tree, q + extra).
+std::vector<AxiomViolation> CheckQueryAxioms(
+    const XmlSearchFn& fn, const xml::XmlTree& tree,
+    const std::vector<std::string>& query, const std::string& extra);
+
+/// Checks the data axioms: builds a copy of `tree` with one extra leaf
+/// (tag `tag`, text `text`) appended under `parent`, which must lie on
+/// the rightmost root path so existing node ids keep their document
+/// order, then compares fn on the two documents.
+std::vector<AxiomViolation> CheckDataAxioms(
+    const XmlSearchFn& fn, const xml::XmlTree& tree, xml::XmlNodeId parent,
+    const std::string& tag, const std::string& text,
+    const std::vector<std::string>& query);
+
+/// Returns a copy of `tree` with the extra leaf appended (exposed for
+/// tests). `parent` must be on the rightmost root path.
+xml::XmlTree AppendLeafCopy(const xml::XmlTree& tree, xml::XmlNodeId parent,
+                            const std::string& tag, const std::string& text);
+
+}  // namespace kws::eval
+
+#endif  // KWDB_CORE_EVAL_AXIOMS_H_

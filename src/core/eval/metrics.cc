@@ -1,0 +1,73 @@
+#include "core/eval/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace kws::eval {
+
+Prf ScoreResult(const xml::XmlTree& tree, xml::XmlNodeId result_root,
+                const std::vector<xml::XmlNodeId>& relevant) {
+  Prf out;
+  const xml::XmlNodeId end = tree.SubtreeEnd(result_root);
+  const size_t result_size = end - result_root + 1;
+  if (relevant.empty() || result_size == 0) return out;
+  size_t hits = 0;
+  for (xml::XmlNodeId r : relevant) {
+    hits += (r >= result_root && r <= end);
+  }
+  out.precision = static_cast<double>(hits) / static_cast<double>(result_size);
+  out.recall = static_cast<double>(hits) / static_cast<double>(relevant.size());
+  if (out.precision + out.recall > 0) {
+    out.f = 2 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+double GeneralizedPrecision(const std::vector<double>& scores, size_t k) {
+  if (scores.empty() || k == 0) return 0;
+  k = std::min(k, scores.size());
+  double sum = 0;
+  for (size_t i = 0; i < k; ++i) sum += scores[i];
+  return sum / static_cast<double>(k);
+}
+
+double AverageGeneralizedPrecision(const std::vector<double>& scores) {
+  if (scores.empty()) return 0;
+  double sum = 0;
+  for (size_t k = 1; k <= scores.size(); ++k) {
+    sum += GeneralizedPrecision(scores, k);
+  }
+  return sum / static_cast<double>(scores.size());
+}
+
+double ToleranceToIrrelevance(const std::vector<double>& scores,
+                              size_t tolerance) {
+  if (scores.empty()) return 0;
+  double sum = 0;
+  size_t read = 0;
+  size_t consecutive_zero = 0;
+  for (double s : scores) {
+    ++read;
+    sum += s;
+    consecutive_zero = (s <= 0) ? consecutive_zero + 1 : 0;
+    if (consecutive_zero > tolerance) break;
+  }
+  return sum / static_cast<double>(read);
+}
+
+Prf SetPrf(const std::vector<xml::XmlNodeId>& retrieved,
+           const std::vector<xml::XmlNodeId>& relevant) {
+  Prf out;
+  if (retrieved.empty() || relevant.empty()) return out;
+  std::set<xml::XmlNodeId> rel(relevant.begin(), relevant.end());
+  size_t hits = 0;
+  for (xml::XmlNodeId r : retrieved) hits += rel.count(r);
+  out.precision = static_cast<double>(hits) / retrieved.size();
+  out.recall = static_cast<double>(hits) / rel.size();
+  if (out.precision + out.recall > 0) {
+    out.f = 2 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+}  // namespace kws::eval

@@ -1,0 +1,47 @@
+#ifndef KWDB_CORE_EVAL_METRICS_H_
+#define KWDB_CORE_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace kws::eval {
+
+/// Precision / recall / F-measure triple.
+struct Prf {
+  double precision = 0;
+  double recall = 0;
+  double f = 0;
+};
+
+/// INEX-style score of ONE result subtree against highlighted ground
+/// truth (tutorial slide 105), at node granularity: precision = fraction
+/// of the result subtree's nodes that are relevant, recall = fraction of
+/// the relevant nodes the subtree retrieves.
+Prf ScoreResult(const xml::XmlTree& tree, xml::XmlNodeId result_root,
+                const std::vector<xml::XmlNodeId>& relevant);
+
+/// Generalized precision at rank k: mean of the first k per-result
+/// F-scores (slide 106). `scores` are per-result F-measures in rank
+/// order; k is clamped to the list size; 0 for an empty list.
+double GeneralizedPrecision(const std::vector<double>& scores, size_t k);
+
+/// Average generalized precision: mean of gP(k) over every rank k.
+double AverageGeneralizedPrecision(const std::vector<double>& scores);
+
+/// INEX's tolerance-to-irrelevance reading model (slide 105: "the user
+/// stops reading after too many consecutive non-relevant fragments"):
+/// walks the ranked list, stops after `tolerance` consecutive zero
+/// scores, and returns the mean score of what was read (0 for an empty
+/// list).
+double ToleranceToIrrelevance(const std::vector<double>& scores,
+                              size_t tolerance);
+
+/// Set-based precision/recall/F for flat result lists (used by the E14
+/// harness for ranking comparisons).
+Prf SetPrf(const std::vector<xml::XmlNodeId>& retrieved,
+           const std::vector<xml::XmlNodeId>& relevant);
+
+}  // namespace kws::eval
+
+#endif  // KWDB_CORE_EVAL_METRICS_H_

@@ -1,0 +1,100 @@
+#ifndef KWDB_CORE_FORMS_FORMS_H_
+#define KWDB_CORE_FORMS_FORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "text/inverted_index.h"
+
+namespace kws::forms {
+
+/// SQL operator classes a form field can expose (tutorial slide 63).
+enum class FormOperator { kSelect, kProject, kOrderBy, kAggregate };
+
+/// One predicate field of a query form.
+struct FormField {
+  relational::TableId table = 0;
+  relational::ColumnId column = 0;
+  FormOperator op = FormOperator::kSelect;
+  double queriability = 0;
+};
+
+/// A query form: a skeleton template (joined tables; slide 56) plus
+/// predicate fields whose operator/expression the user fills in.
+struct QueryForm {
+  /// Tables of the skeleton (each at most once).
+  std::vector<relational::TableId> tables;
+  /// Foreign keys joining them (tables.size() - 1 entries).
+  std::vector<uint32_t> fks;
+  std::vector<FormField> fields;
+  /// Canonical skeleton identity, used for grouping (slide 58).
+  std::string skeleton_key;
+  double queriability = 0;
+
+  /// "author JOIN writes JOIN paper (author.name, paper.title)" rendering.
+  std::string ToString(const relational::Database& db) const;
+};
+
+struct FormGenOptions {
+  size_t max_tables = 3;
+  size_t max_fields = 4;
+  size_t max_forms = 128;
+};
+
+/// Entity queriability per table (slide 60): weighted PageRank over the
+/// schema graph with participation-ratio edge weights — entities that
+/// navigation reaches often are likely to be queried.
+std::vector<double> EntityQueriability(const relational::Database& db);
+
+/// Attribute queriability (slide 62): fraction of non-null occurrences.
+double AttributeQueriability(const relational::Database& db,
+                             relational::TableId table,
+                             relational::ColumnId column);
+
+/// Operator-specific queriability (slide 63): highly selective attributes
+/// suit selection, text fields suit projection, numeric fields suit
+/// order-by/aggregation.
+double OperatorQueriability(const relational::Database& db,
+                            relational::TableId table,
+                            relational::ColumnId column, FormOperator op);
+
+/// Offline form generation (Chu et al. SIGMOD 09 / Jayapandian & Jagadish
+/// PVLDB 08; slides 54-63): enumerate skeleton templates (connected
+/// acyclic table subsets), keep the most queriable, attach the most
+/// queriable fields with their best operators.
+std::vector<QueryForm> GenerateForms(const relational::Database& db,
+                                     const FormGenOptions& options = {});
+
+/// Online form selection (slide 57-58): forms indexed as documents over
+/// their table and column names; keyword queries are expanded by
+/// replacing data-matching keywords with the names of the tables whose
+/// rows match them, and the union of all variants' hits is ranked.
+class FormIndex {
+ public:
+  struct RankedForm {
+    size_t form = 0;  // index into forms()
+    double score = 0;
+  };
+
+  FormIndex(const relational::Database& db, std::vector<QueryForm> forms);
+
+  const std::vector<QueryForm>& forms() const { return forms_; }
+
+  /// Top-k relevant forms for a keyword query.
+  std::vector<RankedForm> Search(const std::string& query, size_t k) const;
+
+  /// Groups ranked forms by skeleton (slide 58), preserving rank order of
+  /// the best member in each group.
+  std::vector<std::vector<RankedForm>> GroupBySkeleton(
+      const std::vector<RankedForm>& ranked) const;
+
+ private:
+  const relational::Database& db_;
+  std::vector<QueryForm> forms_;
+  text::InvertedIndex index_;
+};
+
+}  // namespace kws::forms
+
+#endif  // KWDB_CORE_FORMS_FORMS_H_

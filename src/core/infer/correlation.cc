@@ -1,0 +1,119 @@
+#include "core/infer/correlation.h"
+
+#include <cmath>
+#include <set>
+
+namespace kws::infer {
+
+double Entropy(const std::vector<double>& counts) {
+  double total = 0;
+  for (double c : counts) total += c;
+  if (total <= 0) return 0;
+  double h = 0;
+  for (double c : counts) {
+    if (c <= 0) continue;
+    const double p = c / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+namespace {
+
+/// Marginal entropy of variable `i` and joint entropy of the whole vector.
+double MarginalEntropy(const std::vector<JointObservation>& joint, size_t i) {
+  std::map<std::string, double> counts;
+  for (const JointObservation& o : joint) counts[o[i]] += 1;
+  std::vector<double> c;
+  for (const auto& [k, v] : counts) c.push_back(v);
+  return Entropy(c);
+}
+
+double JointEntropy(const std::vector<JointObservation>& joint) {
+  std::map<std::vector<std::string>, double> counts;
+  for (const JointObservation& o : joint) counts[o] += 1;
+  std::vector<double> c;
+  for (const auto& [k, v] : counts) c.push_back(v);
+  return Entropy(c);
+}
+
+}  // namespace
+
+double TotalCorrelation(const std::vector<JointObservation>& joint) {
+  if (joint.empty()) return 0;
+  const size_t n = joint[0].size();
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += MarginalEntropy(joint, i);
+  return sum - JointEntropy(joint);
+}
+
+double NormalizedTotalCorrelation(
+    const std::vector<JointObservation>& joint) {
+  if (joint.empty()) return 0;
+  const size_t n = joint[0].size();
+  if (n < 2) return 0;
+  const double h = JointEntropy(joint);
+  if (h <= 0) return 0;
+  const double f = (static_cast<double>(n) * static_cast<double>(n)) /
+                   (static_cast<double>(n - 1) * static_cast<double>(n - 1));
+  return f * TotalCorrelation(joint) / h;
+}
+
+std::vector<JointObservation> JoinObservations(
+    const relational::Database& db,
+    const std::vector<relational::TableId>& chain,
+    const std::vector<uint32_t>& fk_chain) {
+  std::vector<JointObservation> out;
+  if (chain.empty() || fk_chain.size() + 1 != chain.size()) return out;
+  // Seed with every row of the first table, then expand along the chain.
+  std::vector<std::vector<relational::TupleId>> partials;
+  for (relational::RowId r = 0; r < db.table(chain[0]).num_rows(); ++r) {
+    partials.push_back({relational::TupleId{chain[0], r}});
+  }
+  for (size_t step = 0; step < fk_chain.size(); ++step) {
+    const relational::ForeignKey& fk = db.foreign_keys()[fk_chain[step]];
+    const bool from_referencing = (fk.table == chain[step]);
+    std::vector<std::vector<relational::TupleId>> next;
+    for (const auto& partial : partials) {
+      for (const relational::TupleId& t :
+           db.JoinedRows(fk_chain[step], partial.back(), from_referencing)) {
+        if (t.table != chain[step + 1]) continue;
+        auto extended = partial;
+        extended.push_back(t);
+        next.push_back(std::move(extended));
+      }
+    }
+    partials = std::move(next);
+  }
+  for (const auto& p : partials) {
+    JointObservation o;
+    for (const relational::TupleId& t : p) {
+      o.push_back(std::to_string(t.table) + ":" + std::to_string(t.row));
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+double ParticipationRatio(const relational::Database& db, uint32_t fk_index,
+                          bool from_referencing) {
+  const relational::ForeignKey& fk = db.foreign_keys()[fk_index];
+  const relational::TableId from = from_referencing ? fk.table : fk.ref_table;
+  const relational::Table& table = db.table(from);
+  if (table.num_rows() == 0) return 0;
+  size_t connected = 0;
+  for (relational::RowId r = 0; r < table.num_rows(); ++r) {
+    connected += !db.JoinedRows(fk_index, relational::TupleId{from, r},
+                                from_referencing)
+                      .empty();
+  }
+  return static_cast<double>(connected) /
+         static_cast<double>(table.num_rows());
+}
+
+double Relatedness(const relational::Database& db, uint32_t fk_index) {
+  return 0.5 * (ParticipationRatio(db, fk_index, true) +
+                ParticipationRatio(db, fk_index, false));
+}
+
+}  // namespace kws::infer

@@ -1,0 +1,51 @@
+#ifndef KWDB_CORE_INFER_CORRELATION_H_
+#define KWDB_CORE_INFER_CORRELATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace kws::infer {
+
+/// Entropy of a discrete distribution given by counts.
+double Entropy(const std::vector<double>& counts);
+
+/// A joined sample: one categorical symbol per joined variable. The NTC
+/// machinery treats each CN node (or table position) as a random variable
+/// and each joined instance as one joint observation (tutorial
+/// slides 42-43).
+using JointObservation = std::vector<std::string>;
+
+/// Total correlation I(P) = sum_i H(P_i) - H(P_1..P_n): the amount of
+/// information the variables share. I ~= 0 means statistically unrelated.
+double TotalCorrelation(const std::vector<JointObservation>& joint);
+
+/// NTC's normalized form I*(P) = f(n) * I(P) / H(P_1..P_n) with
+/// f(n) = n^2 / (n-1)^2 (Termehchy & Winslett, CIKM 09).
+double NormalizedTotalCorrelation(const std::vector<JointObservation>& joint);
+
+/// Builds joint observations for a chain of tables joined through the
+/// given foreign keys: each observation is the tuple-id string of the
+/// participating rows. `fk_chain[i]` must connect chain table i and i+1
+/// (either direction). This is what NTC ranks join templates by.
+std::vector<JointObservation> JoinObservations(
+    const relational::Database& db,
+    const std::vector<relational::TableId>& chain,
+    const std::vector<uint32_t>& fk_chain);
+
+/// Participation ratio P(E1 -> E2): the fraction of rows of `from` that
+/// join at least one row of the other side of foreign key `fk`
+/// (Jayapandian & Jagadish, VLDB 08; slide 40). `from_referencing` selects
+/// the direction.
+double ParticipationRatio(const relational::Database& db, uint32_t fk,
+                          bool from_referencing);
+
+/// Relatedness of the two entity types joined by `fk`:
+/// [P(E1->E2) + P(E2->E1)] / 2.
+double Relatedness(const relational::Database& db, uint32_t fk);
+
+}  // namespace kws::infer
+
+#endif  // KWDB_CORE_INFER_CORRELATION_H_

@@ -1,0 +1,52 @@
+#ifndef KWDB_CORE_INFER_IQP_H_
+#define KWDB_CORE_INFER_IQP_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/query_log.h"
+
+namespace kws::infer {
+
+/// A structured interpretation of a keyword query: a template (which
+/// column each keyword binds to) scored as Pr[A, T | Q] ∝ Pr[T] * ∏
+/// Pr[A_i | T] (IQP, Demidova et al. TKDE 11; tutorial slide 46).
+struct Interpretation {
+  /// binding[i] = the column keyword i binds to.
+  std::vector<relational::ColumnId> bindings;
+  double probability = 0;
+
+  std::string ToString(const relational::TableSchema& schema,
+                       const std::vector<std::string>& keywords) const;
+};
+
+/// IQP-style probabilistic interpretation ranking over one table.
+/// Template priors Pr[T] and binding likelihoods Pr[A_i | T] are both
+/// estimated from the query log (keyword-to-column evidence comes from
+/// which logged keywords occur in which columns' values); when the log is
+/// empty, flat priors with data-driven likelihoods are used.
+class IqpRanker {
+ public:
+  IqpRanker(const relational::Database& db, relational::TableId table,
+            const relational::QueryLog& log);
+
+  /// Top-k interpretations of `keywords`, best first.
+  std::vector<Interpretation> Rank(const std::vector<std::string>& keywords,
+                                   size_t k) const;
+
+  /// Pr[keyword binds to column]: fraction of the keyword's data
+  /// occurrences that fall in that column, smoothed.
+  double BindingProbability(const std::string& keyword,
+                            relational::ColumnId column) const;
+
+ private:
+  const relational::Database& db_;
+  relational::TableId table_;
+  /// Per column: log-derived popularity weight (Pr[T] factor).
+  std::vector<double> column_prior_;
+};
+
+}  // namespace kws::infer
+
+#endif  // KWDB_CORE_INFER_IQP_H_

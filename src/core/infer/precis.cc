@@ -1,0 +1,114 @@
+#include "core/infer/precis.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/infer/correlation.h"
+
+namespace kws::infer {
+
+using relational::ColumnId;
+using relational::RowId;
+using relational::TableId;
+
+SchemaWeights SchemaWeights::FromParticipation(
+    const relational::Database& db) {
+  SchemaWeights w;
+  for (uint32_t fk = 0; fk < db.foreign_keys().size(); ++fk) {
+    w.Set(fk, true, ParticipationRatio(db, fk, true));
+    w.Set(fk, false, ParticipationRatio(db, fk, false));
+  }
+  return w;
+}
+
+std::vector<PrecisAttribute> PrecisAnswerSchema(
+    const relational::Database& db, TableId focal,
+    const SchemaWeights& weights, const PrecisOptions& options) {
+  // BFS over the schema graph accumulating multiplied path weights;
+  // keep the best weight per reached table.
+  struct Reach {
+    TableId table;
+    double weight;
+    std::vector<std::pair<uint32_t, bool>> path;
+  };
+  std::vector<Reach> reached = {{focal, 1.0, {}}};
+  std::deque<Reach> queue = {reached[0]};
+  std::unordered_map<TableId, double> best_weight = {{focal, 1.0}};
+  while (!queue.empty()) {
+    Reach cur = std::move(queue.front());
+    queue.pop_front();
+    if (cur.path.size() >= options.max_path_edges) continue;
+    for (const relational::SchemaEdge& e : db.SchemaNeighbors(cur.table)) {
+      const double w = cur.weight * weights.Get(e.fk, e.forward);
+      if (w < options.min_weight) continue;
+      auto it = best_weight.find(e.other);
+      if (it != best_weight.end() && it->second >= w) continue;
+      best_weight[e.other] = w;
+      Reach next{e.other, w, cur.path};
+      next.path.emplace_back(e.fk, e.forward);
+      reached.push_back(next);
+      queue.push_back(std::move(next));
+    }
+  }
+  // Expand reached tables into attributes (non-key columns).
+  std::vector<PrecisAttribute> attrs;
+  for (const Reach& r : reached) {
+    if (best_weight[r.table] != r.weight) continue;  // dominated path
+    const relational::TableSchema& schema = db.table(r.table).schema();
+    for (ColumnId c = 0; c < schema.columns.size(); ++c) {
+      if (c == schema.primary_key) continue;
+      PrecisAttribute a;
+      a.table = r.table;
+      a.column = c;
+      a.path = r.path;
+      a.weight = r.weight;
+      attrs.push_back(std::move(a));
+    }
+  }
+  std::sort(attrs.begin(), attrs.end(),
+            [](const PrecisAttribute& a, const PrecisAttribute& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.table != b.table) return a.table < b.table;
+              return a.column < b.column;
+            });
+  if (attrs.size() > options.max_attributes) {
+    attrs.resize(options.max_attributes);
+  }
+  return attrs;
+}
+
+std::string ExpandPrecisAnswer(const relational::Database& db, TableId focal,
+                               RowId row,
+                               const std::vector<PrecisAttribute>& schema) {
+  std::string out;
+  for (const PrecisAttribute& attr : schema) {
+    // Follow the FK path collecting reachable tuples.
+    std::vector<relational::TupleId> frontier = {{focal, row}};
+    for (const auto& [fk, forward] : attr.path) {
+      std::vector<relational::TupleId> next;
+      for (const relational::TupleId& t : frontier) {
+        for (const relational::TupleId& joined :
+             db.JoinedRows(fk, t, forward)) {
+          next.push_back(joined);
+        }
+      }
+      frontier = std::move(next);
+    }
+    if (frontier.empty()) continue;
+    if (!out.empty()) out += "; ";
+    out += db.table(attr.table).name() + "." +
+           db.table(attr.table).schema().columns[attr.column].name + "=";
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      if (i > 0) out += ",";
+      out += db.table(attr.table).cell(frontier[i].row, attr.column)
+                 .ToString();
+      if (i >= 2 && frontier.size() > 3) {
+        out += ",...";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace kws::infer

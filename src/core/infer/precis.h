@@ -1,0 +1,76 @@
+#ifndef KWDB_CORE_INFER_PRECIS_H_
+#define KWDB_CORE_INFER_PRECIS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace kws::infer {
+
+/// Edge weights of the Précis weighted schema graph (Koutrika et al.,
+/// ICDE 06; tutorial slide 52): how strongly each FK direction binds the
+/// two tables, in [0, 1]. Key: (fk index, direction), direction true =
+/// referencing -> referenced.
+class SchemaWeights {
+ public:
+  /// Uniform default weight 1.0 for every edge.
+  SchemaWeights() = default;
+
+  void Set(uint32_t fk, bool forward, double weight) {
+    weights_[Key(fk, forward)] = weight;
+  }
+  double Get(uint32_t fk, bool forward) const {
+    auto it = weights_.find(Key(fk, forward));
+    return it == weights_.end() ? 1.0 : it->second;
+  }
+
+  /// Weights derived from participation ratios (data-driven default).
+  static SchemaWeights FromParticipation(const relational::Database& db);
+
+ private:
+  static uint64_t Key(uint32_t fk, bool forward) {
+    return (static_cast<uint64_t>(fk) << 1) | (forward ? 1 : 0);
+  }
+  std::unordered_map<uint64_t, double> weights_;
+};
+
+/// One attribute selected into a Précis answer: the table it lives in,
+/// the FK path from the focal table, and the accumulated path weight.
+struct PrecisAttribute {
+  relational::TableId table = 0;
+  relational::ColumnId column = 0;
+  /// FK edges (index, forward) from the focal table to `table`.
+  std::vector<std::pair<uint32_t, bool>> path;
+  double weight = 0;
+};
+
+struct PrecisOptions {
+  /// Maximum number of attributes in a result (slide 52 constraint 1).
+  size_t max_attributes = 8;
+  /// Minimum path weight for an attribute to qualify (constraint 2).
+  double min_weight = 0.4;
+  /// Path length cap (the schema graph may be cyclic).
+  size_t max_path_edges = 3;
+};
+
+/// Computes the Précis answer schema for results anchored at `focal`:
+/// the attributes of the focal table plus attributes of related tables
+/// whose multiplied path weight clears `min_weight`, best-weighted first,
+/// capped at `max_attributes`.
+std::vector<PrecisAttribute> PrecisAnswerSchema(
+    const relational::Database& db, relational::TableId focal,
+    const SchemaWeights& weights, const PrecisOptions& options = {});
+
+/// Materializes one tuple's Précis answer: for each schema attribute,
+/// follows its FK path from `row` and renders "table.column=value" parts
+/// (multiple reachable rows are all included, comma-separated).
+std::string ExpandPrecisAnswer(const relational::Database& db,
+                               relational::TableId focal,
+                               relational::RowId row,
+                               const std::vector<PrecisAttribute>& schema);
+
+}  // namespace kws::infer
+
+#endif  // KWDB_CORE_INFER_PRECIS_H_

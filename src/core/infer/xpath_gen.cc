@@ -1,0 +1,180 @@
+#include "core/infer/xpath_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace kws::infer {
+
+using xml::XmlNodeId;
+using xml::XmlTree;
+
+std::string XPathQuery::ToString(
+    const std::vector<std::string>& keywords) const {
+  std::string out = target_path;
+  for (size_t i = 0; i < binding_paths.size() && i < keywords.size(); ++i) {
+    // Render the binding relative to the target.
+    std::string rel = binding_paths[i];
+    if (rel.size() > target_path.size() &&
+        rel.compare(0, target_path.size(), target_path) == 0) {
+      rel = rel.substr(target_path.size() + 1);
+    } else if (rel == target_path) {
+      rel = ".";
+    }
+    out += "[" + rel + " ~ '" + keywords[i] + "']";
+  }
+  return out;
+}
+
+namespace {
+
+/// Longest common label-path prefix at segment granularity.
+std::string CommonPathPrefix(const std::string& a, const std::string& b) {
+  const std::vector<std::string> sa = kws::Split(a, "/");
+  const std::vector<std::string> sb = kws::Split(b, "/");
+  std::string out;
+  for (size_t i = 0; i < std::min(sa.size(), sb.size()); ++i) {
+    if (sa[i] != sb[i]) break;
+    out += "/" + sa[i];
+  }
+  return out;
+}
+
+/// Ancestor of `n` at depth `d` (d <= depth(n)).
+XmlNodeId AncestorAtDepth(const XmlTree& tree, XmlNodeId n, uint32_t d) {
+  while (tree.depth(n) > d) n = tree.parent(n);
+  return n;
+}
+
+struct Binding {
+  std::string path;
+  double prob = 0;
+};
+
+}  // namespace
+
+std::vector<XPathQuery> GenerateXPathQueries(
+    const XmlTree& tree, const std::vector<std::string>& keywords,
+    const XPathGenOptions& options) {
+  std::vector<XPathQuery> out;
+  if (keywords.empty()) return out;
+  // Instance counts per label path.
+  std::map<std::string, size_t> path_count;
+  for (XmlNodeId n = 0; n < tree.size(); ++n) {
+    ++path_count[tree.LabelPath(n)];
+  }
+  // Per-keyword bindings: paths of the match nodes themselves, scored by
+  // the smoothed containment ratio (the language-model factor).
+  std::vector<std::vector<Binding>> bindings(keywords.size());
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    std::map<std::string, size_t> hits;
+    for (XmlNodeId m : tree.MatchNodes(keywords[i])) {
+      ++hits[tree.LabelPath(m)];
+    }
+    for (const auto& [path, f] : hits) {
+      const double p = (static_cast<double>(f) + 0.5) /
+                       (static_cast<double>(path_count[path]) + 1.0);
+      bindings[i].push_back(Binding{path, p});
+    }
+    std::sort(bindings[i].begin(), bindings[i].end(),
+              [](const Binding& a, const Binding& b) {
+                if (a.prob != b.prob) return a.prob > b.prob;
+                return a.path < b.path;
+              });
+    if (bindings[i].size() > options.bindings_per_keyword) {
+      bindings[i].resize(options.bindings_per_keyword);
+    }
+    if (bindings[i].empty()) return out;  // unmatched keyword
+  }
+  // Combine: one binding per keyword, nested under the common ancestor
+  // path; joint satisfaction ratio is the structural factor.
+  std::set<std::string> seen;
+  std::vector<size_t> pick(keywords.size(), 0);
+  auto evaluate = [&]() {
+    std::string target = bindings[0][pick[0]].path;
+    double prob = 1.0;
+    for (size_t i = 0; i < keywords.size(); ++i) {
+      target = CommonPathPrefix(target, bindings[i][pick[i]].path);
+      prob *= bindings[i][pick[i]].prob;
+    }
+    if (target.empty()) return;
+    XPathQuery q;
+    q.target_path = target;
+    for (size_t i = 0; i < keywords.size(); ++i) {
+      q.binding_paths.push_back(bindings[i][pick[i]].path);
+    }
+    std::string key = target;
+    for (const std::string& b : q.binding_paths) key += "|" + b;
+    if (!seen.insert(key).second) return;
+    // Joint results: target instances containing a binding-path match of
+    // every keyword.
+    const uint32_t target_depth = static_cast<uint32_t>(
+        kws::Split(target, "/").size());
+    std::set<XmlNodeId> joint;
+    std::vector<size_t> sat(keywords.size(), 0);
+    for (size_t i = 0; i < keywords.size(); ++i) {
+      std::set<XmlNodeId> instances;
+      for (XmlNodeId m : tree.MatchNodes(keywords[i])) {
+        if (tree.LabelPath(m) != q.binding_paths[i]) continue;
+        instances.insert(AncestorAtDepth(tree, m, target_depth - 1));
+      }
+      sat[i] = instances.size();
+      if (i == 0) {
+        joint = std::move(instances);
+      } else {
+        std::set<XmlNodeId> kept;
+        for (XmlNodeId n : joint) {
+          if (instances.count(n) > 0) kept.insert(n);
+        }
+        joint = std::move(kept);
+      }
+      if (joint.empty()) return;  // discard empty queries
+    }
+    // Verify the joint instances really are target-path instances.
+    for (XmlNodeId n : joint) {
+      if (tree.LabelPath(n) == q.target_path) q.results.push_back(n);
+    }
+    if (q.results.empty()) return;
+    // Structural factor: the LIFT of the co-occurrence — how much more
+    // often the predicates co-occur under the target than independence
+    // predicts (Petkova's information-gain role). A trivial nesting
+    // under the root has lift 1; a genuine structural relation (both
+    // predicates in ONE paper) has lift >> 1.
+    const double total =
+        static_cast<double>(path_count[q.target_path]);
+    double expected = total;
+    for (size_t i = 0; i < keywords.size(); ++i) {
+      expected *= static_cast<double>(sat[i]) / total;
+    }
+    const double lift =
+        std::min(static_cast<double>(q.results.size()) /
+                     std::max(expected, 1e-9),
+                 1e3);
+    q.probability = prob * lift;
+    out.push_back(std::move(q));
+  };
+  auto enumerate = [&](auto&& self, size_t i) -> void {
+    if (i == keywords.size()) {
+      evaluate();
+      return;
+    }
+    for (size_t b = 0; b < bindings[i].size(); ++b) {
+      pick[i] = b;
+      self(self, i + 1);
+    }
+  };
+  enumerate(enumerate, 0);
+  std::sort(out.begin(), out.end(),
+            [](const XPathQuery& a, const XPathQuery& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.target_path < b.target_path;
+            });
+  if (out.size() > options.k) out.resize(options.k);
+  return out;
+}
+
+}  // namespace kws::infer

@@ -1,0 +1,48 @@
+#ifndef KWDB_CORE_INFER_XPATH_GEN_H_
+#define KWDB_CORE_INFER_XPATH_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace kws::infer {
+
+/// A generated content-and-structure query (Petkova et al., ECIR 09;
+/// tutorial slides 47-48): a target label path with one content predicate
+/// per keyword, plus its posterior probability and the matching target
+/// instances.
+struct XPathQuery {
+  /// The return path, e.g. "/bib/conference/paper".
+  std::string target_path;
+  /// Per keyword: the label path its predicate binds to (a descendant-or-
+  /// self of target_path).
+  std::vector<std::string> binding_paths;
+  double probability = 0;
+  /// Instances of target_path whose subtree satisfies every predicate.
+  std::vector<xml::XmlNodeId> results;
+
+  /// "/bib/conference/paper[title ~ 'xml'][author ~ 'widom']" rendering.
+  std::string ToString(const std::vector<std::string>& keywords) const;
+};
+
+struct XPathGenOptions {
+  /// Bindings kept per keyword before combination.
+  size_t bindings_per_keyword = 4;
+  /// Queries returned.
+  size_t k = 5;
+};
+
+/// Generates the top-k most probable structured queries for a keyword
+/// query: per-keyword bindings are scored with a smoothed language model
+/// P(kw | instances of path); combinations are reduced to a valid query
+/// by nesting both predicates under their deepest common ancestor path,
+/// with the joint satisfaction ratio as the structural factor. Queries
+/// with no results are discarded (every returned query is non-empty).
+std::vector<XPathQuery> GenerateXPathQueries(
+    const xml::XmlTree& tree, const std::vector<std::string>& keywords,
+    const XPathGenOptions& options = {});
+
+}  // namespace kws::infer
+
+#endif  // KWDB_CORE_INFER_XPATH_GEN_H_

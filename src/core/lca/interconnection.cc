@@ -1,0 +1,105 @@
+#include "core/lca/interconnection.h"
+
+#include <algorithm>
+#include <set>
+
+namespace kws::lca {
+
+using xml::XmlNodeId;
+using xml::XmlTree;
+
+bool Interconnected(const XmlTree& tree, XmlNodeId a, XmlNodeId b) {
+  if (a == b) return true;
+  const XmlNodeId lca = tree.Lca(a, b);
+  // Collect the tags along a..lca..b; two distinct interior nodes sharing
+  // a tag make the relationship ambiguous. The endpoints themselves are
+  // allowed to share a tag (two <author>s of one paper are fine: the
+  // interior path is author-(paper)-author).
+  std::set<std::string> seen;
+  bool clash = false;
+  auto walk = [&](XmlNodeId from) {
+    XmlNodeId cur = from;
+    while (cur != lca && !clash) {
+      if (cur != from) {
+        if (!seen.insert(tree.tag(cur)).second) clash = true;
+      }
+      cur = tree.parent(cur);
+    }
+  };
+  walk(a);
+  walk(b);
+  // The LCA is interior unless it is one of the endpoints.
+  if (!clash && lca != a && lca != b &&
+      !seen.insert(tree.tag(lca)).second) {
+    clash = true;
+  }
+  // Endpoint tags: allowed to equal each other, but an endpoint equal to
+  // an interior tag is a clash (e.g. author under author).
+  if (!clash && seen.count(tree.tag(a)) > 0) clash = true;
+  if (!clash && a != b && seen.count(tree.tag(b)) > 0) clash = true;
+  return !clash;
+}
+
+std::vector<InterconnectedAnswer> AllPairsInterconnectedSearch(
+    const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
+    size_t limit) {
+  std::vector<InterconnectedAnswer> out;
+  if (lists.empty() || limit == 0) return out;
+  size_t anchor_list = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[anchor_list].size()) anchor_list = i;
+  }
+  std::set<std::vector<XmlNodeId>> seen;
+  for (XmlNodeId anchor : lists[anchor_list]) {
+    if (out.size() >= limit) break;
+    // Candidates per keyword: the nearest matches around the anchor (and
+    // the anchor's own position for its list).
+    std::vector<std::vector<XmlNodeId>> candidates(lists.size());
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (i == anchor_list) {
+        candidates[i] = {anchor};
+        continue;
+      }
+      const auto& list = lists[i];
+      auto it = std::lower_bound(list.begin(), list.end(), anchor);
+      // Up to two neighbors each side.
+      for (int d = -2; d <= 1; ++d) {
+        auto jt = it + d;
+        if (jt >= list.begin() && jt < list.end()) {
+          candidates[i].push_back(*jt);
+        }
+      }
+      if (candidates[i].empty()) return out;  // keyword unmatched nearby
+    }
+    // Enumerate the small candidate product, checking pairwise
+    // interconnection.
+    std::vector<XmlNodeId> pick(lists.size());
+    auto enumerate = [&](auto&& self, size_t i) -> void {
+      if (out.size() >= limit) return;
+      if (i == lists.size()) {
+        std::vector<XmlNodeId> key = pick;
+        std::sort(key.begin(), key.end());
+        if (!seen.insert(key).second) return;
+        InterconnectedAnswer ans;
+        ans.matches = pick;
+        ans.root = pick[0];
+        for (XmlNodeId m : pick) ans.root = tree.Lca(ans.root, m);
+        out.push_back(std::move(ans));
+        return;
+      }
+      for (XmlNodeId cand : candidates[i]) {
+        bool ok = true;
+        for (size_t j = 0; j < i && ok; ++j) {
+          ok = Interconnected(tree, pick[j], cand);
+        }
+        if (!ok) continue;
+        pick[i] = cand;
+        self(self, i + 1);
+      }
+    };
+    enumerate(enumerate, 0);
+  }
+  return out;
+}
+
+}  // namespace kws::lca

@@ -1,0 +1,38 @@
+#ifndef KWDB_CORE_LCA_INTERCONNECTION_H_
+#define KWDB_CORE_LCA_INTERCONNECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace kws::lca {
+
+/// XSEarch's interconnection relationship (Cohen et al., VLDB 03;
+/// tutorial slide 34): two nodes are meaningfully related when the tree
+/// path between them contains no two distinct nodes with the same tag —
+/// e.g. two <author> nodes of *different* papers are connected through
+/// paper–conf–paper, whose two <paper> nodes signal an accidental pairing.
+bool Interconnected(const xml::XmlTree& tree, xml::XmlNodeId a,
+                    xml::XmlNodeId b);
+
+/// One all-pairs interconnected answer.
+struct InterconnectedAnswer {
+  /// LCA of the match nodes (the answer root).
+  xml::XmlNodeId root = 0;
+  /// One match node per query keyword.
+  std::vector<xml::XmlNodeId> matches;
+};
+
+/// All-pairs interconnection search: combinations of keyword matches
+/// (one per keyword) that are pairwise interconnected. Anchored on the
+/// smallest match list with nearest-match candidates per remaining
+/// keyword (a pragmatic cap on the exponential combination space); at
+/// most `limit` answers, document order by anchor.
+std::vector<InterconnectedAnswer> AllPairsInterconnectedSearch(
+    const xml::XmlTree& tree,
+    const std::vector<std::vector<xml::XmlNodeId>>& lists, size_t limit);
+
+}  // namespace kws::lca
+
+#endif  // KWDB_CORE_LCA_INTERCONNECTION_H_

@@ -1,0 +1,330 @@
+#include "core/lca/slca.h"
+
+#include <algorithm>
+
+namespace kws::lca {
+
+namespace {
+
+using xml::XmlNodeId;
+using xml::XmlTree;
+
+/// Index of the smallest list (the anchor list).
+size_t SmallestList(const std::vector<std::vector<XmlNodeId>>& lists) {
+  size_t best = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[best].size()) best = i;
+  }
+  return best;
+}
+
+/// Lowest ancestor of `anchor` containing a match of every list: for each
+/// list take the closest match left/right of the anchor (binary search),
+/// keep the deeper of the two LCAs, then the shallowest across lists.
+XmlNodeId LowestCaAncestor(const XmlTree& tree,
+                           const std::vector<std::vector<XmlNodeId>>& lists,
+                           size_t anchor_list, XmlNodeId anchor,
+                           LcaStats* stats) {
+  XmlNodeId candidate = anchor;
+  uint32_t candidate_depth = tree.depth(anchor);
+  bool first = true;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (i == anchor_list) continue;
+    const std::vector<XmlNodeId>& list = lists[i];
+    auto it = std::lower_bound(list.begin(), list.end(), anchor);
+    if (stats != nullptr) ++stats->binary_searches;
+    XmlNodeId best = xml::kNoXmlNode;
+    uint32_t best_depth = 0;
+    if (it != list.end()) {
+      const XmlNodeId x = tree.Lca(anchor, *it);
+      if (stats != nullptr) ++stats->lca_computations;
+      best = x;
+      best_depth = tree.depth(x);
+    }
+    if (it != list.begin()) {
+      const XmlNodeId x = tree.Lca(anchor, *(it - 1));
+      if (stats != nullptr) ++stats->lca_computations;
+      if (best == xml::kNoXmlNode || tree.depth(x) > best_depth) {
+        best = x;
+        best_depth = tree.depth(x);
+      }
+    }
+    // best is the lowest ancestor of anchor containing a match of list i.
+    if (first || best_depth < candidate_depth) {
+      candidate = best;
+      candidate_depth = best_depth;
+    }
+    first = false;
+  }
+  return candidate;
+}
+
+/// Minimal elements (no candidate is an ancestor of a kept one) of a
+/// candidate multiset, in document order.
+std::vector<XmlNodeId> AntiChain(const XmlTree& tree,
+                                 std::vector<XmlNodeId> candidates) {
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<XmlNodeId> stack;
+  for (XmlNodeId c : candidates) {
+    while (!stack.empty() && tree.IsAncestorOrSelf(stack.back(), c)) {
+      stack.pop_back();
+    }
+    stack.push_back(c);
+  }
+  return stack;
+}
+
+/// Per-node per-keyword subtree match counts (the brute-force substrate).
+std::vector<uint32_t> SubtreeCounts(
+    const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
+    LcaStats* stats) {
+  const size_t k = lists.size();
+  std::vector<uint32_t> counts(tree.size() * k, 0);
+  for (size_t i = 0; i < k; ++i) {
+    for (XmlNodeId m : lists[i]) {
+      XmlNodeId cur = m;
+      for (;;) {
+        ++counts[static_cast<size_t>(cur) * k + i];
+        if (stats != nullptr) ++stats->nodes_visited;
+        if (cur == 0) break;
+        cur = tree.parent(cur);
+      }
+    }
+  }
+  return counts;
+}
+
+/// Matches of list i inside subtree(v), by binary search on the sorted
+/// match list.
+uint32_t RangeCount(const XmlTree& tree, const std::vector<XmlNodeId>& list,
+                    XmlNodeId v, LcaStats* stats) {
+  if (stats != nullptr) ++stats->binary_searches;
+  auto lo = std::lower_bound(list.begin(), list.end(), v);
+  auto hi = std::upper_bound(list.begin(), list.end(), tree.SubtreeEnd(v));
+  return static_cast<uint32_t>(hi - lo);
+}
+
+}  // namespace
+
+std::vector<std::vector<XmlNodeId>> MatchLists(
+    const XmlTree& tree, const std::vector<std::string>& keywords) {
+  std::vector<std::vector<XmlNodeId>> lists;
+  for (const std::string& k : keywords) {
+    const std::vector<XmlNodeId>& l = tree.MatchNodes(k);
+    if (l.empty()) return {};
+    lists.push_back(l);
+  }
+  return lists;
+}
+
+std::vector<XmlNodeId> SlcaBruteForce(
+    const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
+    LcaStats* stats) {
+  if (lists.empty()) return {};
+  const size_t k = lists.size();
+  const std::vector<uint32_t> counts = SubtreeCounts(tree, lists, stats);
+  std::vector<XmlNodeId> out;
+  for (XmlNodeId v = 0; v < tree.size(); ++v) {
+    if (stats != nullptr) ++stats->nodes_visited;
+    bool ca = true;
+    for (size_t i = 0; i < k && ca; ++i) {
+      ca = counts[static_cast<size_t>(v) * k + i] > 0;
+    }
+    if (!ca) continue;
+    bool child_ca = false;
+    for (XmlNodeId c : tree.children(v)) {
+      bool cca = true;
+      for (size_t i = 0; i < k && cca; ++i) {
+        cca = counts[static_cast<size_t>(c) * k + i] > 0;
+      }
+      child_ca |= cca;
+      if (child_ca) break;
+    }
+    if (!child_ca) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<XmlNodeId> SlcaIndexedLookupEager(
+    const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
+    LcaStats* stats) {
+  if (lists.empty()) return {};
+  const size_t anchor_list = SmallestList(lists);
+  std::vector<XmlNodeId> candidates;
+  for (XmlNodeId v : lists[anchor_list]) {
+    candidates.push_back(
+        LowestCaAncestor(tree, lists, anchor_list, v, stats));
+  }
+  return AntiChain(tree, std::move(candidates));
+}
+
+std::vector<XmlNodeId> SlcaMultiway(
+    const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
+    LcaStats* stats) {
+  if (lists.empty()) return {};
+  const size_t k = lists.size();
+  std::vector<size_t> head(k, 0);
+  std::vector<XmlNodeId> candidates;
+  for (;;) {
+    // Anchor: the maximum of the current heads.
+    XmlNodeId anchor = 0;
+    size_t anchor_list = 0;
+    bool exhausted = false;
+    for (size_t i = 0; i < k; ++i) {
+      if (head[i] >= lists[i].size()) {
+        exhausted = true;
+        break;
+      }
+      if (lists[i][head[i]] >= anchor) {
+        anchor = lists[i][head[i]];
+        anchor_list = i;
+      }
+    }
+    if (exhausted) break;
+    candidates.push_back(
+        LowestCaAncestor(tree, lists, anchor_list, anchor, stats));
+    // Advance every head to the first match after the anchor.
+    for (size_t i = 0; i < k; ++i) {
+      if (stats != nullptr) ++stats->binary_searches;
+      head[i] = static_cast<size_t>(
+          std::upper_bound(lists[i].begin() + static_cast<long>(head[i]),
+                           lists[i].end(), anchor) -
+          lists[i].begin());
+    }
+  }
+  return AntiChain(tree, std::move(candidates));
+}
+
+std::vector<XmlNodeId> ElcaBruteForce(
+    const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
+    LcaStats* stats) {
+  if (lists.empty()) return {};
+  const size_t k = lists.size();
+  const std::vector<uint32_t> counts = SubtreeCounts(tree, lists, stats);
+  auto is_ca = [&](XmlNodeId v) {
+    for (size_t i = 0; i < k; ++i) {
+      if (counts[static_cast<size_t>(v) * k + i] == 0) return false;
+    }
+    return true;
+  };
+  std::vector<XmlNodeId> out;
+  for (XmlNodeId v = 0; v < tree.size(); ++v) {
+    if (stats != nullptr) ++stats->nodes_visited;
+    if (!is_ca(v)) continue;
+    // Exclude matches inside CA children; v must keep a witness of every
+    // keyword.
+    bool elca = true;
+    for (size_t i = 0; i < k && elca; ++i) {
+      uint32_t remaining = counts[static_cast<size_t>(v) * k + i];
+      for (XmlNodeId c : tree.children(v)) {
+        if (is_ca(c)) remaining -= counts[static_cast<size_t>(c) * k + i];
+      }
+      elca = remaining > 0;
+    }
+    if (elca) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<XmlNodeId> ElcaIndexed(
+    const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
+    LcaStats* stats) {
+  if (lists.empty()) return {};
+  const size_t k = lists.size();
+  const size_t anchor_list = SmallestList(lists);
+  std::vector<XmlNodeId> candidates;
+  for (XmlNodeId v : lists[anchor_list]) {
+    candidates.push_back(
+        LowestCaAncestor(tree, lists, anchor_list, v, stats));
+  }
+  // Candidates anchored on one list miss ELCAs whose anchor-list witness
+  // sits under a CA child; add the ancestors of candidates that are CA —
+  // ELCAs are always CA, and every ELCA is the lowest CA ancestor of one
+  // of ITS witnesses, which for the anchor keyword is a match v whose
+  // lowest CA ancestor is exactly the ELCA. (See slca.h.) So the anchor
+  // pass suffices; dedup and verify each.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  auto is_ca = [&](XmlNodeId v) {
+    for (size_t i = 0; i < k; ++i) {
+      if (RangeCount(tree, lists[i], v, stats) == 0) return false;
+    }
+    return true;
+  };
+  std::vector<XmlNodeId> out;
+  for (XmlNodeId v : candidates) {
+    bool elca = true;
+    // CA children of v, found once.
+    std::vector<XmlNodeId> ca_children;
+    for (XmlNodeId c : tree.children(v)) {
+      if (is_ca(c)) ca_children.push_back(c);
+    }
+    for (size_t i = 0; i < k && elca; ++i) {
+      uint32_t remaining = RangeCount(tree, lists[i], v, stats);
+      for (XmlNodeId c : ca_children) {
+        remaining -= RangeCount(tree, lists[i], c, stats);
+      }
+      elca = remaining > 0;
+    }
+    if (elca) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<XmlNodeId> ElcaDeweyJoin(
+    const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
+    LcaStats* stats) {
+  if (lists.empty()) return {};
+  const size_t k = lists.size();
+  // Ancestor closure per keyword: every Dewey prefix of every match.
+  std::vector<std::vector<XmlNodeId>> closures(k);
+  for (size_t i = 0; i < k; ++i) {
+    for (XmlNodeId m : lists[i]) {
+      XmlNodeId cur = m;
+      for (;;) {
+        closures[i].push_back(cur);
+        if (stats != nullptr) ++stats->nodes_visited;
+        if (cur == 0) break;
+        cur = tree.parent(cur);
+      }
+    }
+    std::sort(closures[i].begin(), closures[i].end());
+    closures[i].erase(std::unique(closures[i].begin(), closures[i].end()),
+                      closures[i].end());
+  }
+  // CA set: the k-way merge intersection of the closures.
+  std::vector<XmlNodeId> ca = closures[0];
+  for (size_t i = 1; i < k; ++i) {
+    std::vector<XmlNodeId> kept;
+    std::set_intersection(ca.begin(), ca.end(), closures[i].begin(),
+                          closures[i].end(), std::back_inserter(kept));
+    ca = std::move(kept);
+  }
+  auto is_ca = [&](XmlNodeId v) {
+    return std::binary_search(ca.begin(), ca.end(), v);
+  };
+  // ELCA verification via range counts, as in ElcaIndexed.
+  std::vector<XmlNodeId> out;
+  for (XmlNodeId v : ca) {
+    std::vector<XmlNodeId> ca_children;
+    for (XmlNodeId c : tree.children(v)) {
+      if (is_ca(c)) ca_children.push_back(c);
+    }
+    bool elca = true;
+    for (size_t i = 0; i < k && elca; ++i) {
+      uint32_t remaining = RangeCount(tree, lists[i], v, stats);
+      for (XmlNodeId c : ca_children) {
+        remaining -= RangeCount(tree, lists[i], c, stats);
+      }
+      elca = remaining > 0;
+    }
+    if (elca) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace kws::lca

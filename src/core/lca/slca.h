@@ -1,0 +1,80 @@
+#ifndef KWDB_CORE_LCA_SLCA_H_
+#define KWDB_CORE_LCA_SLCA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace kws::lca {
+
+/// Instrumentation for the E6/E7 benchmarks.
+struct LcaStats {
+  uint64_t lca_computations = 0;
+  uint64_t binary_searches = 0;
+  uint64_t nodes_visited = 0;  // brute-force sweeps
+};
+
+/// Resolves keywords to match lists via the tree's keyword index; returns
+/// an empty optional-like empty vector-of-vectors if any keyword has no
+/// match (AND semantics: result set is then empty).
+std::vector<std::vector<xml::XmlNodeId>> MatchLists(
+    const xml::XmlTree& tree, const std::vector<std::string>& keywords);
+
+/// Reference SLCA (smallest lowest common ancestors, Xu & Papakonstantinou
+/// SIGMOD 05; tutorial slide 33): subtree roots containing every keyword,
+/// with no descendant also containing every keyword. Brute-force O(N * k)
+/// subtree-count sweep — the correctness oracle and the "scan" baseline
+/// of experiment E6.
+std::vector<xml::XmlNodeId> SlcaBruteForce(
+    const xml::XmlTree& tree,
+    const std::vector<std::vector<xml::XmlNodeId>>& lists,
+    LcaStats* stats = nullptr);
+
+/// Indexed-Lookup-Eager SLCA: anchors on the smallest list, binary-searches
+/// the others, O(k * d * |Smin| * log |Smax|) (tutorial slide 138).
+std::vector<xml::XmlNodeId> SlcaIndexedLookupEager(
+    const xml::XmlTree& tree,
+    const std::vector<std::vector<xml::XmlNodeId>>& lists,
+    LcaStats* stats = nullptr);
+
+/// Multiway SLCA (Sun et al., WWW 07; tutorial slide 139): like ILE but the
+/// anchor is re-chosen as the maximum of the current heads each round and
+/// whole subtrees are skipped after each candidate, reducing anchor count
+/// when matches cluster.
+std::vector<xml::XmlNodeId> SlcaMultiway(
+    const xml::XmlTree& tree,
+    const std::vector<std::vector<xml::XmlNodeId>>& lists,
+    LcaStats* stats = nullptr);
+
+/// Reference ELCA (XRank, Guo et al. SIGMOD 03; tutorial slide 34): nodes
+/// that still contain every keyword after excluding the keyword matches
+/// lying inside descendant nodes that themselves contain every keyword.
+std::vector<xml::XmlNodeId> ElcaBruteForce(
+    const xml::XmlTree& tree,
+    const std::vector<std::vector<xml::XmlNodeId>>& lists,
+    LcaStats* stats = nullptr);
+
+/// Index-Stack-style ELCA (Xu & Papakonstantinou, EDBT 08; tutorial
+/// slide 140): candidates are slca({v}, S2..Sk) for v in the smallest
+/// list; each candidate is verified with O(log) range counts on the match
+/// lists instead of subtree sweeps.
+std::vector<xml::XmlNodeId> ElcaIndexed(
+    const xml::XmlTree& tree,
+    const std::vector<std::vector<xml::XmlNodeId>>& lists,
+    LcaStats* stats = nullptr);
+
+/// JDewey-join-style ELCA (Chen & Papakonstantinou, ICDE 10; tutorial
+/// slide 141): computed bottom-up from the matches' ancestor chains
+/// (Dewey prefixes) — the CA set is the intersection of the per-keyword
+/// ancestor closures, verified with range counts. O(sum |Si| * d) work to
+/// build the closures, independent of document size.
+std::vector<xml::XmlNodeId> ElcaDeweyJoin(
+    const xml::XmlTree& tree,
+    const std::vector<std::vector<xml::XmlNodeId>>& lists,
+    LcaStats* stats = nullptr);
+
+}  // namespace kws::lca
+
+#endif  // KWDB_CORE_LCA_SLCA_H_

@@ -1,0 +1,113 @@
+#include "core/lca/xreal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+namespace kws::lca {
+
+std::vector<ReturnType> InferReturnTypes(
+    const xml::XmlTree& tree, const std::vector<std::string>& keywords,
+    size_t min_instances) {
+  const size_t k = keywords.size();
+  // f(path, keyword): number of path-instances whose subtree contains the
+  // keyword. Computed by walking ancestors of each match, counting each
+  // (instance, keyword) pair once.
+  std::unordered_map<std::string, std::vector<size_t>> f;
+  for (size_t i = 0; i < k; ++i) {
+    std::set<xml::XmlNodeId> counted;
+    for (xml::XmlNodeId m : tree.MatchNodes(keywords[i])) {
+      xml::XmlNodeId cur = m;
+      for (;;) {
+        if (counted.insert(cur).second) {
+          auto& row = f[tree.LabelPath(cur)];
+          if (row.empty()) row.assign(k, 0);
+          ++row[i];
+        }
+        if (cur == 0) break;
+        cur = tree.parent(cur);
+      }
+    }
+  }
+  // Instance counts per path.
+  std::unordered_map<std::string, size_t> instances;
+  for (xml::XmlNodeId n = 0; n < tree.size(); ++n) {
+    ++instances[tree.LabelPath(n)];
+  }
+  std::vector<ReturnType> out;
+  for (const auto& [path, row] : f) {
+    if (instances[path] < min_instances) continue;
+    double score = 0;
+    bool all = true;
+    for (size_t i = 0; i < k; ++i) {
+      if (row[i] == 0) {
+        all = false;
+        break;
+      }
+      score += std::log(1.0 + static_cast<double>(row[i]));
+    }
+    if (!all) continue;  // no potential to match every keyword
+    out.push_back(ReturnType{path, score});
+  }
+  std::sort(out.begin(), out.end(), [](const ReturnType& a,
+                                       const ReturnType& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.label_path < b.label_path;
+  });
+  return out;
+}
+
+ReturnTypeSketch::ReturnTypeSketch(const xml::XmlTree& tree) {
+  for (xml::XmlNodeId n = 0; n < tree.size(); ++n) {
+    ++instances_[tree.LabelPath(n)];
+  }
+  for (const std::string& term : tree.Vocabulary()) {
+    std::set<xml::XmlNodeId> counted;
+    for (xml::XmlNodeId m : tree.MatchNodes(term)) {
+      xml::XmlNodeId cur = m;
+      for (;;) {
+        if (counted.insert(cur).second) {
+          ++f_[tree.LabelPath(cur)][term];
+        }
+        if (cur == 0) break;
+        cur = tree.parent(cur);
+      }
+    }
+  }
+}
+
+std::vector<ReturnType> ReturnTypeSketch::Infer(
+    const std::vector<std::string>& keywords, size_t min_instances) const {
+  std::vector<ReturnType> out;
+  for (const auto& [path, terms] : f_) {
+    auto iit = instances_.find(path);
+    if (iit == instances_.end() || iit->second < min_instances) continue;
+    double score = 0;
+    bool all = true;
+    for (const std::string& k : keywords) {
+      auto tit = terms.find(k);
+      if (tit == terms.end()) {
+        all = false;
+        break;
+      }
+      score += std::log(1.0 + static_cast<double>(tit->second));
+    }
+    if (!all) continue;
+    out.push_back(ReturnType{path, score});
+  }
+  std::sort(out.begin(), out.end(), [](const ReturnType& a,
+                                       const ReturnType& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.label_path < b.label_path;
+  });
+  return out;
+}
+
+size_t ReturnTypeSketch::entries() const {
+  size_t total = 0;
+  for (const auto& [path, terms] : f_) total += terms.size();
+  return total;
+}
+
+}  // namespace kws::lca

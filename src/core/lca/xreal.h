@@ -1,0 +1,58 @@
+#ifndef KWDB_CORE_LCA_XREAL_H_
+#define KWDB_CORE_LCA_XREAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace kws::lca {
+
+/// A candidate search-for node type with its confidence score.
+struct ReturnType {
+  std::string label_path;
+  double score = 0;
+};
+
+/// XReal's search-for-node-type inference (Bao et al., ICDE 09; tutorial
+/// slides 37-38): rank element types T by
+///
+///   score(T) = sum_k log(1 + f(T, k))
+///
+/// where f(T, k) counts T-instances whose subtree contains keyword k —
+/// zeroing T when some keyword never occurs under it ("T must have the
+/// potential to match all query keywords"). Only repeatable-ish types with
+/// at least `min_instances` instances are considered (a type with one
+/// instance, e.g. the root, explains nothing).
+std::vector<ReturnType> InferReturnTypes(
+    const xml::XmlTree& tree, const std::vector<std::string>& keywords,
+    size_t min_instances = 2);
+
+/// XBridge's offline alternative (Li et al., EDBT 10; tutorial slide 38):
+/// a precomputed structure+value sketch — f(path, term) for every term —
+/// so query-time inference is pure lookup instead of per-query ancestor
+/// walks. Produces exactly InferReturnTypes' ranking.
+class ReturnTypeSketch {
+ public:
+  /// Builds the sketch: one pass per indexed term (O(total matches * d)).
+  explicit ReturnTypeSketch(const xml::XmlTree& tree);
+
+  /// Same contract as InferReturnTypes, answered from the sketch.
+  std::vector<ReturnType> Infer(const std::vector<std::string>& keywords,
+                                size_t min_instances = 2) const;
+
+  /// Sketch size in (path, term) entries — the space cost the E18
+  /// benchmark reports.
+  size_t entries() const;
+
+ private:
+  /// f[path][term] = number of path-instances containing term.
+  std::unordered_map<std::string, std::unordered_map<std::string, size_t>>
+      f_;
+  std::unordered_map<std::string, size_t> instances_;
+};
+
+}  // namespace kws::lca
+
+#endif  // KWDB_CORE_LCA_XREAL_H_

@@ -1,0 +1,95 @@
+#include "core/lca/xseek.h"
+
+#include <unordered_set>
+
+namespace kws::lca {
+
+using xml::XmlNodeId;
+using xml::XmlTree;
+
+NodeCategory Classify(const xml::PathStatistics& stats,
+                      const std::string& label_path, bool has_text,
+                      bool is_leaf) {
+  auto it = stats.path_repeatable.find(label_path);
+  const bool repeatable = it != stats.path_repeatable.end() && it->second;
+  if (repeatable && !is_leaf) return NodeCategory::kEntity;
+  if (repeatable && is_leaf && !has_text) return NodeCategory::kEntity;
+  if (!repeatable && is_leaf && has_text) return NodeCategory::kAttribute;
+  if (repeatable) return NodeCategory::kEntity;
+  return NodeCategory::kConnection;
+}
+
+std::vector<KeywordRole> ClassifyKeywords(
+    const XmlTree& tree, const std::vector<std::string>& keywords) {
+  std::unordered_set<std::string> tags;
+  for (XmlNodeId n = 0; n < tree.size(); ++n) tags.insert(tree.tag(n));
+  std::vector<KeywordRole> roles;
+  for (const std::string& k : keywords) {
+    roles.push_back(KeywordRole{k, tags.count(k) > 0});
+  }
+  return roles;
+}
+
+XSeekResult InferReturnNodes(const XmlTree& tree,
+                             const xml::PathStatistics& stats,
+                             const std::vector<std::string>& keywords,
+                             XmlNodeId anchor) {
+  XSeekResult out;
+  const std::vector<KeywordRole> roles = ClassifyKeywords(tree, keywords);
+
+  // Result root: the nearest entity ancestor-or-self of the anchor.
+  XmlNodeId root = anchor;
+  XmlNodeId cur = anchor;
+  bool found_entity = false;
+  for (;;) {
+    const NodeCategory cat =
+        Classify(stats, tree.LabelPath(cur), !tree.text(cur).empty(),
+                 tree.children(cur).empty());
+    if (cat == NodeCategory::kEntity) {
+      root = cur;
+      found_entity = true;
+      break;
+    }
+    if (cur == 0) break;
+    cur = tree.parent(cur);
+  }
+  if (!found_entity) root = anchor;
+  out.result_root = root;
+
+  // Explicit return nodes: keywords that name tags select the matching
+  // descendants of the result root; when the nearest entity does not
+  // contain such a node (e.g. query "mark, title" anchored at an author),
+  // widen to enclosing ancestors until one does.
+  bool has_tag_keyword = false;
+  for (const KeywordRole& role : roles) has_tag_keyword |= role.is_tag_name;
+  if (has_tag_keyword) {
+    XmlNodeId scope = root;
+    for (;;) {
+      const XmlNodeId end = tree.SubtreeEnd(scope);
+      for (const KeywordRole& role : roles) {
+        if (!role.is_tag_name) continue;
+        for (XmlNodeId n = scope; n <= end; ++n) {
+          if (tree.tag(n) == role.keyword) out.return_nodes.push_back(n);
+        }
+      }
+      if (!out.return_nodes.empty()) {
+        out.result_root = scope;
+        return out;
+      }
+      if (scope == 0) break;
+      scope = tree.parent(scope);
+    }
+  }
+
+  // Implicit: the entity itself plus its attribute children.
+  out.return_nodes.push_back(root);
+  for (XmlNodeId c : tree.children(root)) {
+    const NodeCategory cat =
+        Classify(stats, tree.LabelPath(c), !tree.text(c).empty(),
+                 tree.children(c).empty());
+    if (cat == NodeCategory::kAttribute) out.return_nodes.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace kws::lca

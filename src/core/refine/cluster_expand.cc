@@ -1,0 +1,109 @@
+#include "core/refine/cluster_expand.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace kws::refine {
+
+namespace {
+
+/// Docs (from `universe`) containing every term of `terms`.
+std::vector<text::DocId> Retrieve(const text::InvertedIndex& index,
+                                  const std::vector<std::string>& terms,
+                                  const std::vector<text::DocId>& universe) {
+  std::vector<text::DocId> docs = universe;  // sorted
+  for (const std::string& t : terms) {
+    const auto& plist = index.GetPostings(t);
+    std::vector<text::DocId> kept;
+    size_t j = 0;
+    for (text::DocId d : docs) {
+      while (j < plist.size() && plist[j].doc < d) ++j;
+      if (j < plist.size() && plist[j].doc == d) kept.push_back(d);
+    }
+    docs.swap(kept);
+  }
+  return docs;
+}
+
+struct PrfScores {
+  double precision = 0, recall = 0, f = 0;
+};
+
+PrfScores Score(const std::vector<text::DocId>& retrieved,
+                const std::unordered_set<text::DocId>& cluster) {
+  PrfScores s;
+  if (retrieved.empty() || cluster.empty()) return s;
+  size_t hits = 0;
+  for (text::DocId d : retrieved) hits += cluster.count(d);
+  s.precision = static_cast<double>(hits) / retrieved.size();
+  s.recall = static_cast<double>(hits) / cluster.size();
+  if (s.precision + s.recall > 0) {
+    s.f = 2 * s.precision * s.recall / (s.precision + s.recall);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<ExpandedQuery> ExpandQueriesForClusters(
+    const text::InvertedIndex& index, const std::string& query,
+    const std::vector<std::vector<text::DocId>>& clusters,
+    size_t max_extra_terms) {
+  std::vector<ExpandedQuery> out;
+  const std::vector<std::string> base_terms =
+      index.tokenizer().Tokenize(query);
+  // Universe: union of all clusters (the original result set).
+  std::set<text::DocId> universe_set;
+  for (const auto& c : clusters) universe_set.insert(c.begin(), c.end());
+  const std::vector<text::DocId> universe(universe_set.begin(),
+                                          universe_set.end());
+
+  for (const std::vector<text::DocId>& cluster_docs : clusters) {
+    const std::unordered_set<text::DocId> cluster(cluster_docs.begin(),
+                                                  cluster_docs.end());
+    ExpandedQuery eq;
+    eq.terms = base_terms;
+    std::vector<text::DocId> retrieved =
+        Retrieve(index, eq.terms, universe);
+    PrfScores best = Score(retrieved, cluster);
+    // Candidate expansion terms: anything occurring in the cluster.
+    std::set<std::string> candidates;
+    {
+      std::unordered_set<text::DocId> cluster_set = cluster;
+      for (const std::string& term : index.Vocabulary()) {
+        for (const text::Posting& p : index.GetPostings(term)) {
+          if (cluster_set.count(p.doc) > 0) {
+            candidates.insert(term);
+            break;
+          }
+        }
+      }
+      for (const std::string& t : base_terms) candidates.erase(t);
+    }
+    for (size_t round = 0; round < max_extra_terms; ++round) {
+      std::string best_term;
+      PrfScores best_round = best;
+      for (const std::string& cand : candidates) {
+        std::vector<std::string> trial = eq.terms;
+        trial.push_back(cand);
+        PrfScores s = Score(Retrieve(index, trial, universe), cluster);
+        if (s.f > best_round.f + 1e-12) {
+          best_round = s;
+          best_term = cand;
+        }
+      }
+      if (best_term.empty()) break;  // no term improves F
+      eq.terms.push_back(best_term);
+      candidates.erase(best_term);
+      best = best_round;
+    }
+    eq.precision = best.precision;
+    eq.recall = best.recall;
+    eq.f_measure = best.f;
+    out.push_back(std::move(eq));
+  }
+  return out;
+}
+
+}  // namespace kws::refine

@@ -1,0 +1,37 @@
+#ifndef KWDB_CORE_REFINE_CLUSTER_EXPAND_H_
+#define KWDB_CORE_REFINE_CLUSTER_EXPAND_H_
+
+#include <string>
+#include <vector>
+
+#include "text/inverted_index.h"
+
+namespace kws::refine {
+
+/// One expanded query for one result cluster.
+struct ExpandedQuery {
+  /// Original query terms plus the added discriminating terms.
+  std::vector<std::string> terms;
+  double precision = 0;
+  double recall = 0;
+  double f_measure = 0;
+};
+
+/// Query expansion using clusters (Liu et al.; tutorial slides 80-82):
+/// given the original query and a clustering of its results, produce one
+/// expanded query per cluster that maximally retrieves that cluster
+/// (recall) while minimally retrieving the others (precision) — i.e.
+/// greedily maximizes F-measure. The exact problem is APX-hard; this is
+/// the greedy heuristic: repeatedly add the co-occurring term with the
+/// best F-gain until no term improves it.
+///
+/// `clusters[i]` lists the docs of cluster i; all docs must be results of
+/// `query` under conjunctive semantics.
+std::vector<ExpandedQuery> ExpandQueriesForClusters(
+    const text::InvertedIndex& index, const std::string& query,
+    const std::vector<std::vector<text::DocId>>& clusters,
+    size_t max_extra_terms = 3);
+
+}  // namespace kws::refine
+
+#endif  // KWDB_CORE_REFINE_CLUSTER_EXPAND_H_

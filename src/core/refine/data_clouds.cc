@@ -1,0 +1,109 @@
+#include "core/refine/data_clouds.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/topk.h"
+
+namespace kws::refine {
+
+namespace {
+
+/// All conjunctive result docs of `query`, sorted, plus per-doc scores.
+std::vector<text::ScoredDoc> AllResults(const text::InvertedIndex& index,
+                                        const std::string& query) {
+  std::vector<text::ScoredDoc> results =
+      index.SearchConjunctive(query, index.num_docs());
+  std::sort(results.begin(), results.end(),
+            [](const text::ScoredDoc& a, const text::ScoredDoc& b) {
+              return a.doc < b.doc;
+            });
+  return results;
+}
+
+/// Sum of tf (kPopularity) or score-weighted tf*idf (kRelevance) of
+/// `term` over the result docs. Returns the number of postings touched.
+double TermWeight(const text::InvertedIndex& index, const std::string& term,
+                  const std::vector<text::ScoredDoc>& results,
+                  TermRanking ranking, uint64_t* scanned) {
+  const std::vector<text::Posting>& plist = index.GetPostings(term);
+  double weight = 0;
+  size_t i = 0;
+  for (const text::Posting& p : plist) {
+    if (scanned != nullptr) ++*scanned;
+    while (i < results.size() && results[i].doc < p.doc) ++i;
+    if (i == results.size()) break;
+    if (results[i].doc != p.doc) continue;
+    if (ranking == TermRanking::kPopularity) {
+      weight += 1;  // result-document count; df-bounded for early stop
+    } else {
+      weight += results[i].score * p.tf * index.Idf(term);
+    }
+  }
+  return weight;
+}
+
+std::vector<SuggestedTerm> TakeTop(TopK<std::string>& top) {
+  std::vector<SuggestedTerm> out;
+  for (auto& [score, term] : top.TakeSorted()) {
+    out.push_back(SuggestedTerm{std::move(term), score});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SuggestedTerm> SuggestTerms(const text::InvertedIndex& index,
+                                        const std::string& query,
+                                        TermRanking ranking, size_t k) {
+  const std::vector<text::ScoredDoc> results = AllResults(index, query);
+  if (results.empty() || k == 0) return {};
+  std::unordered_set<std::string> query_terms;
+  for (const std::string& t : index.tokenizer().Tokenize(query)) {
+    query_terms.insert(t);
+  }
+  TopK<std::string> top(k);
+  for (const std::string& term : index.Vocabulary()) {
+    if (query_terms.count(term) > 0) continue;
+    const double w = TermWeight(index, term, results, ranking, nullptr);
+    if (w > 0) top.Offer(w, term);
+  }
+  return TakeTop(top);
+}
+
+std::vector<SuggestedTerm> FrequentCoOccurringTerms(
+    const text::InvertedIndex& index, const std::string& query, size_t k,
+    uint64_t* postings_scanned) {
+  const std::vector<text::ScoredDoc> results = AllResults(index, query);
+  if (results.empty() || k == 0) return {};
+  std::unordered_set<std::string> query_terms;
+  for (const std::string& t : index.tokenizer().Tokenize(query)) {
+    query_terms.insert(t);
+  }
+  // Candidates ordered by document frequency, descending: df bounds the
+  // achievable co-occurrence weight, enabling early termination.
+  std::vector<std::string> vocab = index.Vocabulary();
+  std::sort(vocab.begin(), vocab.end(),
+            [&](const std::string& a, const std::string& b) {
+              const size_t da = index.DocFreq(a), db = index.DocFreq(b);
+              if (da != db) return da > db;
+              return a < b;
+            });
+  TopK<std::string> top(k);
+  for (const std::string& term : vocab) {
+    // Upper bound: a term cannot co-occur in more result rows than its
+    // total document frequency (tf >= 1 per doc).
+    if (top.Full() &&
+        top.WouldReject(static_cast<double>(index.DocFreq(term)))) {
+      break;  // all remaining terms have even smaller df
+    }
+    if (query_terms.count(term) > 0) continue;
+    const double w = TermWeight(index, term, results,
+                                TermRanking::kPopularity, postings_scanned);
+    if (w > 0) top.Offer(w, term);
+  }
+  return TakeTop(top);
+}
+
+}  // namespace kws::refine

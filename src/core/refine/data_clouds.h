@@ -1,0 +1,47 @@
+#ifndef KWDB_CORE_REFINE_DATA_CLOUDS_H_
+#define KWDB_CORE_REFINE_DATA_CLOUDS_H_
+
+#include <string>
+#include <vector>
+
+#include "text/inverted_index.h"
+
+namespace kws::refine {
+
+/// A suggested refinement term with its weight.
+struct SuggestedTerm {
+  std::string term;
+  double score = 0;
+};
+
+/// How Data Clouds weighs terms found in the current result set
+/// (Koutrika et al., EDBT 09; tutorial slides 76-77).
+enum class TermRanking {
+  /// Raw popularity: number of results containing the term. Simple but
+  /// favors overly general words.
+  kPopularity,
+  /// Relevance-weighted: term frequency weighted by each result's query
+  /// relevance score, dampened by the term's collection frequency (IDF).
+  kRelevance,
+};
+
+/// Suggests up to `k` expansion terms from the results of `query`
+/// (conjunctive retrieval over `index`), excluding the query's own terms.
+std::vector<SuggestedTerm> SuggestTerms(const text::InvertedIndex& index,
+                                        const std::string& query,
+                                        TermRanking ranking, size_t k);
+
+/// Frequent co-occurring terms (Tao & Yu, EDBT 09; slide 78): the same
+/// top-k by frequency, but computed by merging postings without
+/// materializing result documents — the posting list of each candidate
+/// term is intersected with the query's result ids with early termination
+/// once the running upper bound cannot reach the current top-k. Returns
+/// the same terms as kPopularity; `postings_scanned`, when provided,
+/// receives the work counter the E13 benchmark reports.
+std::vector<SuggestedTerm> FrequentCoOccurringTerms(
+    const text::InvertedIndex& index, const std::string& query, size_t k,
+    uint64_t* postings_scanned = nullptr);
+
+}  // namespace kws::refine
+
+#endif  // KWDB_CORE_REFINE_DATA_CLOUDS_H_

@@ -1,0 +1,313 @@
+#include "core/refine/facets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace kws::refine {
+
+using relational::ColumnId;
+using relational::QueryLog;
+using relational::RowId;
+using relational::Table;
+using relational::Value;
+using relational::ValueType;
+
+bool FacetCondition::Matches(const Table& table, RowId row) const {
+  const Value& v = table.cell(row, column);
+  if (equals.has_value()) return v == *equals;
+  const double x = v.AsNumber();
+  if (lo.has_value() && x < *lo) return false;
+  if (hi.has_value() && x >= *hi) return false;
+  return true;
+}
+
+std::string FacetCondition::ToString(
+    const relational::TableSchema& schema) const {
+  const std::string& name = schema.columns[column].name;
+  if (equals.has_value()) return name + " = " + equals->ToString();
+  std::string out = name + " in [";
+  out += lo.has_value() ? std::to_string(*lo) : "-inf";
+  out += ", ";
+  out += hi.has_value() ? std::to_string(*hi) : "+inf";
+  out += ")";
+  return out;
+}
+
+FacetedNavigator::FacetedNavigator(const relational::Database& db,
+                                   relational::TableId table,
+                                   const QueryLog& log)
+    : db_(db), table_(table), log_(log) {}
+
+double FacetedNavigator::AttributeInterest(ColumnId column) const {
+  if (log_.empty()) return 0.5;
+  double hits = 0, total = 0;
+  for (const relational::LoggedQuery& q : log_) {
+    total += q.count;
+    for (const relational::LoggedPredicate& p : q.predicates) {
+      if (p.column == column) {
+        hits += q.count;
+        break;
+      }
+    }
+  }
+  // Laplace smoothing keeps unseen attributes expandable.
+  return (hits + 1.0) / (total + 2.0);
+}
+
+double FacetedNavigator::ConditionRelevance(
+    const FacetCondition& condition) const {
+  if (log_.empty()) return 0.5;
+  double hits = 0, total = 0;
+  for (const relational::LoggedQuery& q : log_) {
+    total += q.count;
+    for (const relational::LoggedPredicate& p : q.predicates) {
+      if (p.column != condition.column) continue;
+      bool overlap = false;
+      if (condition.equals.has_value()) {
+        overlap = p.equals.has_value() && *p.equals == *condition.equals;
+      } else if (p.lo.has_value() && p.hi.has_value()) {
+        const double lo = condition.lo.value_or(
+            -std::numeric_limits<double>::infinity());
+        const double hi = condition.hi.value_or(
+            std::numeric_limits<double>::infinity());
+        overlap = *p.hi >= lo && *p.lo < hi;
+      }
+      if (overlap) {
+        hits += q.count;
+        break;
+      }
+    }
+  }
+  return (hits + 1.0) / (total + 2.0);
+}
+
+std::vector<FacetCondition> FacetedNavigator::ConditionsFor(
+    ColumnId column, const std::vector<RowId>& rows,
+    const FacetTreeOptions& options) const {
+  const Table& table = db_.table(table_);
+  const ValueType type = table.schema().columns[column].type;
+  std::vector<FacetCondition> out;
+  if (type == ValueType::kText) {
+    // Categorical: one condition per value, most frequent first
+    // (slide 85: "ordered based on how many queries hit each value" —
+    // we order by result frequency then log relevance).
+    std::map<Value, size_t> counts;
+    for (RowId r : rows) ++counts[table.cell(r, column)];
+    std::vector<std::pair<size_t, Value>> ordered;
+    for (const auto& [v, c] : counts) ordered.emplace_back(c, v);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (const auto& [c, v] : ordered) {
+      if (out.size() >= options.max_conditions) break;
+      FacetCondition fc;
+      fc.column = column;
+      fc.equals = v;
+      out.push_back(std::move(fc));
+    }
+  } else {
+    // Numeric: partition at the boundaries historical queries used
+    // (slide 85: "if many queries start or end at x, partition at x").
+    std::map<double, size_t> boundary_votes;
+    for (const relational::LoggedQuery& q : log_) {
+      for (const relational::LoggedPredicate& p : q.predicates) {
+        if (p.column != column) continue;
+        if (p.lo.has_value()) boundary_votes[*p.lo] += q.count;
+        if (p.hi.has_value()) boundary_votes[*p.hi] += q.count;
+      }
+    }
+    std::vector<std::pair<size_t, double>> ranked;
+    for (const auto& [x, votes] : boundary_votes) {
+      ranked.emplace_back(votes, x);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::vector<double> cuts;
+    for (const auto& [votes, x] : ranked) {
+      if (cuts.size() + 1 >= options.numeric_buckets) break;
+      cuts.push_back(x);
+    }
+    if (cuts.empty()) {
+      // No history: equi-width over the observed range.
+      double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+      for (RowId r : rows) {
+        const double x = table.cell(r, column).AsNumber();
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+      if (lo < hi) {
+        for (size_t i = 1; i < options.numeric_buckets; ++i) {
+          cuts.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                                  static_cast<double>(options.numeric_buckets));
+        }
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    double prev = -std::numeric_limits<double>::infinity();
+    for (double c : cuts) {
+      FacetCondition fc;
+      fc.column = column;
+      if (std::isfinite(prev)) fc.lo = prev;
+      fc.hi = c;
+      out.push_back(std::move(fc));
+      prev = c;
+    }
+    FacetCondition last;
+    last.column = column;
+    if (std::isfinite(prev)) last.lo = prev;
+    out.push_back(std::move(last));
+  }
+  return out;
+}
+
+std::vector<ColumnId> FacetedNavigator::CandidateColumns() const {
+  const Table& table = db_.table(table_);
+  std::vector<ColumnId> out;
+  for (ColumnId c = 0; c < table.schema().columns.size(); ++c) {
+    if (c == table.schema().primary_key) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+void FacetedNavigator::Expand(FacetNode& node,
+                              std::vector<ColumnId> remaining, bool greedy,
+                              size_t depth,
+                              const FacetTreeOptions& options) const {
+  if (depth >= options.max_depth || remaining.empty() ||
+      node.rows.size() <= options.min_rows_to_expand) {
+    return;
+  }
+  const Table& table = db_.table(table_);
+  // Pick the column: first remaining (fixed order) or cost-greedy.
+  size_t pick = 0;
+  if (greedy) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const ColumnId col = remaining[i];
+      const auto conditions = ConditionsFor(col, node.rows, options);
+      if (conditions.empty()) continue;
+      // One-level lookahead cost: showRes cost + expected child scans.
+      double p_expand;
+      if (options.cost_model == FacetCostModel::kQueryLog) {
+        p_expand = AttributeInterest(col);
+      } else {
+        const double p_show = options.facetor_show_threshold /
+                              (options.facetor_show_threshold +
+                               static_cast<double>(node.rows.size()));
+        p_expand = 1.0 - p_show;
+      }
+      double child_cost = 0;
+      size_t covered = 0;
+      for (RowId r : node.rows) {
+        bool any = false;
+        for (const FacetCondition& fc : conditions) any |= fc.Matches(table, r);
+        covered += any;
+      }
+      for (const FacetCondition& fc : conditions) {
+        size_t child_rows = 0;
+        for (RowId r : node.rows) child_rows += fc.Matches(table, r);
+        child_cost += ConditionRelevance(fc) *
+                      (1.0 + static_cast<double>(child_rows));
+      }
+      // Rows not covered by any shown condition must still be scanned.
+      child_cost += static_cast<double>(node.rows.size() - covered);
+      const double cost = (1 - p_expand) * static_cast<double>(
+                                               node.rows.size()) +
+                          p_expand * child_cost;
+      if (cost < best) {
+        best = cost;
+        pick = i;
+      }
+    }
+  }
+  const ColumnId col = remaining[pick];
+  remaining.erase(remaining.begin() + static_cast<long>(pick));
+  const auto conditions = ConditionsFor(col, node.rows, options);
+  if (conditions.empty()) return;
+  node.facet_column = col;
+  for (const FacetCondition& fc : conditions) {
+    FacetNode child;
+    child.condition = fc;
+    for (RowId r : node.rows) {
+      if (fc.Matches(table, r)) child.rows.push_back(r);
+    }
+    if (child.rows.empty()) continue;
+    node.children.push_back(std::move(child));
+  }
+  for (FacetNode& child : node.children) {
+    Expand(child, remaining, greedy, depth + 1, options);
+  }
+}
+
+FacetNode FacetedNavigator::BuildGreedy(const std::vector<RowId>& rows,
+                                        const FacetTreeOptions& options) const {
+  FacetNode root;
+  root.rows = rows;
+  Expand(root, CandidateColumns(), /*greedy=*/true, 0, options);
+  return root;
+}
+
+FacetNode FacetedNavigator::BuildFixedOrder(
+    const std::vector<RowId>& rows, const std::vector<ColumnId>& order,
+    const FacetTreeOptions& options) const {
+  FacetNode root;
+  root.rows = rows;
+  Expand(root, order, /*greedy=*/false, 0, options);
+  return root;
+}
+
+double FacetedNavigator::ExpectedCost(const FacetNode& node,
+                                      const FacetTreeOptions& options) const {
+  if (node.children.empty()) {
+    return static_cast<double>(node.rows.size());
+  }
+  const relational::Table& table = db_.table(table_);
+  const double n = static_cast<double>(node.rows.size());
+  double p_expand;
+  if (options.cost_model == FacetCostModel::kQueryLog) {
+    p_expand = AttributeInterest(node.facet_column);
+  } else {
+    // FACeTOR: the larger the result set, the less attractive reading it
+    // raw is, so expansion gets likelier.
+    const double p_show =
+        options.facetor_show_threshold / (options.facetor_show_threshold + n);
+    p_expand = 1.0 - p_show;
+  }
+  double child_cost = 0;
+  size_t covered = 0;
+  for (RowId r : node.rows) {
+    bool any = false;
+    for (const FacetNode& child : node.children) {
+      any |= child.condition->Matches(table, r);
+    }
+    covered += any;
+  }
+  for (const FacetNode& child : node.children) {
+    double p_proc;
+    if (options.cost_model == FacetCostModel::kQueryLog) {
+      p_proc = ConditionRelevance(*child.condition);
+    } else {
+      // FACeTOR: condition popularity among the current results, scaled
+      // by the column's log interestingness.
+      p_proc = (static_cast<double>(child.rows.size()) / std::max(n, 1.0)) *
+               AttributeInterest(node.facet_column);
+    }
+    child_cost += p_proc * (1.0 + ExpectedCost(child, options));
+  }
+  // Rows the shown conditions miss still cost a scan.
+  child_cost += static_cast<double>(node.rows.size() - covered);
+  if (options.cost_model == FacetCostModel::kFacetor &&
+      node.children.size() > options.facetor_page_size) {
+    // SHOWMORE: each extra page of facet conditions is one more action.
+    child_cost += static_cast<double>(
+        (node.children.size() - 1) / options.facetor_page_size);
+  }
+  return (1 - p_expand) * n + p_expand * child_cost;
+}
+
+}  // namespace kws::refine

@@ -1,0 +1,125 @@
+#ifndef KWDB_CORE_REFINE_FACETS_H_
+#define KWDB_CORE_REFINE_FACETS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/query_log.h"
+
+namespace kws::refine {
+
+/// One facet condition: an equality on a categorical column or a numeric
+/// bucket [lo, hi) (tutorial slides 84-85).
+struct FacetCondition {
+  relational::ColumnId column = 0;
+  std::optional<relational::Value> equals;
+  std::optional<double> lo;
+  std::optional<double> hi;
+
+  bool Matches(const relational::Table& table, relational::RowId row) const;
+  std::string ToString(const relational::TableSchema& schema) const;
+};
+
+/// A node of the navigation tree: the rows satisfying the path's
+/// conditions, and one child per condition of the facet expanded here.
+struct FacetNode {
+  /// Condition selecting this node from its parent (none at the root).
+  std::optional<FacetCondition> condition;
+  /// Column of the facet expanded at this node (valid when children
+  /// non-empty).
+  relational::ColumnId facet_column = 0;
+  std::vector<relational::RowId> rows;
+  std::vector<FacetNode> children;
+};
+
+/// Which probability/cost model drives ExpectedCost (and the greedy
+/// builder's lookahead).
+enum class FacetCostModel {
+  /// Chakrabarti et al. 04 (slides 87-90): p(expand) from query-log
+  /// attribute frequency, p(child relevant) from condition overlap.
+  kQueryLog,
+  /// FACeTOR-style (slides 92-93): p(showRes) grows as the result set
+  /// shrinks, p(expand) follows per-column interestingness, and paging
+  /// through facet conditions charges a SHOWMORE cost per extra page.
+  kFacetor,
+};
+
+struct FacetTreeOptions {
+  size_t max_depth = 3;
+  /// Cap on conditions per facet (top values by result frequency).
+  size_t max_conditions = 8;
+  /// Numeric buckets per column.
+  size_t numeric_buckets = 4;
+  /// Nodes with at most this many rows are not expanded further.
+  size_t min_rows_to_expand = 4;
+  FacetCostModel cost_model = FacetCostModel::kQueryLog;
+  /// kFacetor: conditions shown per "page"; each further page costs one
+  /// SHOWMORE action.
+  size_t facetor_page_size = 4;
+  /// kFacetor: result-set size at which showing results is as likely as
+  /// expanding.
+  double facetor_show_threshold = 10.0;
+};
+
+/// Builds and costs faceted navigation trees over a query's result rows
+/// (Chakrabarti et al. 04 / FACeTOR; tutorial slides 84-93). All
+/// probability estimates come from the query log:
+///  - p(expand facet F at N): fraction of logged queries with a predicate
+///    on F's column;
+///  - p(child relevant): fraction of logged queries whose condition
+///    overlaps the child's facet condition.
+class FacetedNavigator {
+ public:
+  /// `log` supplies the probability estimates; the table must outlive the
+  /// navigator.
+  FacetedNavigator(const relational::Database& db, relational::TableId table,
+                   const relational::QueryLog& log);
+
+  /// Greedy top-down construction: at each level pick the unused column
+  /// minimizing the (one-level lookahead) expected navigation cost.
+  FacetNode BuildGreedy(const std::vector<relational::RowId>& rows,
+                        const FacetTreeOptions& options = {}) const;
+
+  /// Baseline: expand columns in the given fixed order regardless of cost.
+  FacetNode BuildFixedOrder(const std::vector<relational::RowId>& rows,
+                            const std::vector<relational::ColumnId>& order,
+                            const FacetTreeOptions& options = {}) const;
+
+  /// Expected navigation cost of a tree under the slide-88 model:
+  ///   cost(N) = p(showRes) * |rows(N)|
+  ///           + p(expand) * sum_child p(proc child) * (1 + cost(child))
+  /// with the probabilities chosen by options.cost_model (the FACeTOR
+  /// model additionally charges SHOWMORE for paged facet conditions).
+  double ExpectedCost(const FacetNode& node,
+                      const FacetTreeOptions& options = {}) const;
+
+  /// p(expand) estimate for a column.
+  double AttributeInterest(relational::ColumnId column) const;
+
+  /// p(child relevant) estimate for a condition.
+  double ConditionRelevance(const FacetCondition& condition) const;
+
+  /// The facet conditions a column induces over `rows` (top categorical
+  /// values, or log-driven numeric buckets).
+  std::vector<FacetCondition> ConditionsFor(
+      relational::ColumnId column, const std::vector<relational::RowId>& rows,
+      const FacetTreeOptions& options) const;
+
+ private:
+  void Expand(FacetNode& node, std::vector<relational::ColumnId> remaining,
+              bool greedy, size_t depth,
+              const FacetTreeOptions& options) const;
+
+  /// Candidate facet columns: every non-key column.
+  std::vector<relational::ColumnId> CandidateColumns() const;
+
+  const relational::Database& db_;
+  relational::TableId table_;
+  const relational::QueryLog& log_;
+};
+
+}  // namespace kws::refine
+
+#endif  // KWDB_CORE_REFINE_FACETS_H_

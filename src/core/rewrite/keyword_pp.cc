@@ -1,0 +1,271 @@
+#include "core/rewrite/keyword_pp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace kws::rewrite {
+
+using relational::ColumnId;
+using relational::RowId;
+using relational::Table;
+using relational::Value;
+using relational::ValueType;
+
+std::string MappedPredicate::ToString(
+    const relational::TableSchema& schema) const {
+  const std::string& name = schema.columns[column].name;
+  switch (kind) {
+    case Kind::kEquals:
+      return name + " = '" + value->ToString() + "'";
+    case Kind::kOrderAsc:
+      return "ORDER BY " + name + " ASC";
+    case Kind::kOrderDesc:
+      return "ORDER BY " + name + " DESC";
+    case Kind::kContains:
+      return "text LIKE '%" + (value ? value->ToString() : "") + "%'";
+  }
+  return "?";
+}
+
+KeywordPlusPlus::KeywordPlusPlus(const relational::Database& db,
+                                 relational::TableId table,
+                                 const relational::QueryLog& log)
+    : db_(db), table_(table), log_(log) {}
+
+std::vector<RowId> KeywordPlusPlus::Results(
+    const std::vector<std::string>& terms) const {
+  const Table& table = db_.table(table_);
+  if (terms.empty()) {
+    std::vector<RowId> all(table.num_rows());
+    for (RowId r = 0; r < table.num_rows(); ++r) all[r] = r;
+    return all;
+  }
+  std::vector<RowId> rows = db_.MatchRows(table_, terms[0]);
+  for (size_t i = 1; i < terms.size() && !rows.empty(); ++i) {
+    const std::vector<RowId> other = db_.MatchRows(table_, terms[i]);
+    std::vector<RowId> kept;
+    std::set_intersection(rows.begin(), rows.end(), other.begin(),
+                          other.end(), std::back_inserter(kept));
+    rows.swap(kept);
+  }
+  return rows;
+}
+
+namespace {
+
+/// Categorical distribution of a column over a row set.
+std::map<Value, double> Distribution(const Table& table, ColumnId col,
+                                     const std::vector<RowId>& rows) {
+  std::map<Value, double> d;
+  for (RowId r : rows) d[table.cell(r, col)] += 1;
+  for (auto& [v, p] : d) p /= static_cast<double>(rows.size());
+  return d;
+}
+
+struct Moments {
+  double mean = 0, stddev = 0;
+};
+
+Moments NumericMoments(const Table& table, ColumnId col,
+                       const std::vector<RowId>& rows) {
+  Moments m;
+  if (rows.empty()) return m;
+  for (RowId r : rows) m.mean += table.cell(r, col).AsNumber();
+  m.mean /= static_cast<double>(rows.size());
+  for (RowId r : rows) {
+    const double d = table.cell(r, col).AsNumber() - m.mean;
+    m.stddev += d * d;
+  }
+  m.stddev = std::sqrt(m.stddev / static_cast<double>(rows.size()));
+  return m;
+}
+
+}  // namespace
+
+MappedPredicate KeywordPlusPlus::AnalyzeDqp(
+    const std::vector<std::string>& background,
+    const std::string& keyword) const {
+  MappedPredicate best;
+  best.kind = MappedPredicate::Kind::kContains;
+  best.value = Value::Text(keyword);
+  best.score = 0;
+  std::vector<std::string> fg = background;
+  fg.push_back(keyword);
+  const std::vector<RowId> f_rows = Results(fg);
+  const std::vector<RowId> b_rows = Results(background);
+  if (f_rows.empty() || b_rows.size() < 2) return best;
+  const Table& table = db_.table(table_);
+  for (ColumnId c = 0; c < table.schema().columns.size(); ++c) {
+    if (c == table.schema().primary_key) continue;
+    const ValueType type = table.schema().columns[c].type;
+    if (type == ValueType::kText) {
+      // Categorical: the value whose foreground mass rises the most.
+      const auto fd = Distribution(table, c, f_rows);
+      const auto bd = Distribution(table, c, b_rows);
+      for (const auto& [v, pf] : fd) {
+        auto it = bd.find(v);
+        const double pb = it == bd.end() ? 0 : it->second;
+        const double score = pf * (pf - pb);
+        if (score > best.score) {
+          best.kind = MappedPredicate::Kind::kEquals;
+          best.column = c;
+          best.value = v;
+          best.score = score;
+        }
+      }
+    } else {
+      // Numeric: a significant mean shift maps to an ORDER BY direction
+      // (the 1-D earth-mover surrogate of slide 99).
+      const Moments fm = NumericMoments(table, c, f_rows);
+      const Moments bm = NumericMoments(table, c, b_rows);
+      if (bm.stddev <= 1e-12) continue;
+      const double shift = (fm.mean - bm.mean) / bm.stddev;
+      const double score = std::min(1.0, std::abs(shift)) * 0.6;
+      if (score > best.score) {
+        best.kind = shift < 0 ? MappedPredicate::Kind::kOrderAsc
+                              : MappedPredicate::Kind::kOrderDesc;
+        best.column = c;
+        best.value.reset();
+        best.score = score;
+      }
+    }
+  }
+  if (best.score < min_score_) {
+    best.kind = MappedPredicate::Kind::kContains;
+    best.column = 0;
+    best.value = Value::Text(keyword);
+    best.score = 0;
+  }
+  return best;
+}
+
+MappedPredicate KeywordPlusPlus::MapKeyword(const std::string& keyword) const {
+  // DQPs: logged queries containing the keyword give (background =
+  // the other keywords); always include the synthetic empty background.
+  std::set<std::vector<std::string>> backgrounds = {{}};
+  for (const relational::LoggedQuery& q : log_) {
+    if (backgrounds.size() >= 8) break;
+    if (std::find(q.keywords.begin(), q.keywords.end(), keyword) ==
+        q.keywords.end()) {
+      continue;
+    }
+    std::vector<std::string> bg;
+    for (const std::string& k : q.keywords) {
+      if (k != keyword) bg.push_back(k);
+    }
+    std::sort(bg.begin(), bg.end());
+    bg.erase(std::unique(bg.begin(), bg.end()), bg.end());
+    backgrounds.insert(std::move(bg));
+  }
+  // Average the significance of identical mappings across DQPs; pick the
+  // mapping with the best average.
+  struct Agg {
+    MappedPredicate pred;
+    double total = 0;
+    size_t count = 0;
+  };
+  std::map<std::string, Agg> agg;
+  for (const auto& bg : backgrounds) {
+    MappedPredicate p = AnalyzeDqp(bg, keyword);
+    if (p.kind == MappedPredicate::Kind::kContains) continue;
+    std::string key = std::to_string(static_cast<int>(p.kind)) + ":" +
+                      std::to_string(p.column) + ":" +
+                      (p.value ? p.value->ToString() : "");
+    Agg& a = agg[key];
+    a.pred = p;
+    a.total += p.score;
+    ++a.count;
+  }
+  MappedPredicate best;
+  best.kind = MappedPredicate::Kind::kContains;
+  best.value = Value::Text(keyword);
+  double best_avg = min_score_;
+  for (const auto& [key, a] : agg) {
+    const double avg = a.total / static_cast<double>(a.count);
+    if (avg >= best_avg) {
+      best = a.pred;
+      best.score = avg;
+      best_avg = avg;
+    }
+  }
+  return best;
+}
+
+TranslatedQuery KeywordPlusPlus::Translate(const std::string& query) const {
+  TranslatedQuery out;
+  const std::vector<std::string> tokens =
+      db_.TextIndex(table_).tokenizer().Tokenize(query);
+  if (tokens.empty()) return out;
+  // 1-/2-gram segmentation DP (slide 100): prefer segments whose mapping
+  // is significant.
+  const size_t n = tokens.size();
+  struct Cell {
+    double score = -1;
+    size_t from = 0;
+    MappedPredicate pred;
+  };
+  std::vector<Cell> dp(n + 1);
+  dp[0].score = 0;
+  auto map_segment = [&](size_t i, size_t len) {
+    // Single tokens map through the DQP machinery; 2-grams are mapped by
+    // treating both tokens as one foreground delta with the first as
+    // context.
+    if (len == 1) return MapKeyword(tokens[i]);
+    MappedPredicate p = AnalyzeDqp({tokens[i]}, tokens[i + 1]);
+    return p;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (dp[i].score < 0) continue;
+    for (size_t len = 1; len <= 2 && i + len <= n; ++len) {
+      MappedPredicate p = map_segment(i, len);
+      const double seg_score =
+          p.kind == MappedPredicate::Kind::kContains ? 0.05 : p.score;
+      if (dp[i].score + seg_score > dp[i + len].score) {
+        dp[i + len].score = dp[i].score + seg_score;
+        dp[i + len].from = i;
+        dp[i + len].pred = p;
+      }
+    }
+  }
+  // Reconstruct.
+  std::vector<std::pair<size_t, size_t>> spans;
+  size_t cur = n;
+  while (cur > 0) {
+    const size_t from = dp[cur].from;
+    spans.emplace_back(from, cur - from);
+    cur = from;
+  }
+  std::reverse(spans.begin(), spans.end());
+  const relational::TableSchema& schema = db_.table(table_).schema();
+  std::string where;
+  std::string order;
+  for (const auto& [from, len] : spans) {
+    std::vector<std::string> seg_tokens(tokens.begin() + from,
+                                        tokens.begin() + from + len);
+    out.segments.push_back(Join(seg_tokens, " "));
+    MappedPredicate p = dp[from + len].pred;
+    if (p.kind == MappedPredicate::Kind::kContains) {
+      p.value = Value::Text(out.segments.back());
+    }
+    if (p.kind == MappedPredicate::Kind::kOrderAsc ||
+        p.kind == MappedPredicate::Kind::kOrderDesc) {
+      if (!order.empty()) order += ", ";
+      order += schema.columns[p.column].name;
+      order += p.kind == MappedPredicate::Kind::kOrderAsc ? " ASC" : " DESC";
+    } else {
+      if (!where.empty()) where += " AND ";
+      where += p.ToString(schema);
+    }
+    out.predicates.push_back(std::move(p));
+  }
+  out.sql = "SELECT * FROM " + schema.name;
+  if (!where.empty()) out.sql += " WHERE " + where;
+  if (!order.empty()) out.sql += " ORDER BY " + order;
+  return out;
+}
+
+}  // namespace kws::rewrite

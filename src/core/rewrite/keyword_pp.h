@@ -1,0 +1,77 @@
+#ifndef KWDB_CORE_REWRITE_KEYWORD_PP_H_
+#define KWDB_CORE_REWRITE_KEYWORD_PP_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/query_log.h"
+
+namespace kws::rewrite {
+
+/// A structured predicate a keyword maps to (Keyword++, Xin et al.
+/// VLDB 10; tutorial slides 95-100).
+struct MappedPredicate {
+  enum class Kind {
+    kEquals,     // categorical: column = value
+    kOrderAsc,   // non-quantitative "small": ORDER BY column ASC
+    kOrderDesc,  // non-quantitative "large": ORDER BY column DESC
+    kContains,   // fall back to full-text LIKE
+  };
+  Kind kind = Kind::kContains;
+  relational::ColumnId column = 0;
+  std::optional<relational::Value> value;
+  /// Differential significance (higher = stronger mapping).
+  double score = 0;
+
+  std::string ToString(const relational::TableSchema& schema) const;
+};
+
+/// The translated query: one predicate per query segment plus the CNF
+/// SQL-style rendering of slide 96.
+struct TranslatedQuery {
+  std::vector<std::string> segments;  // surface form per predicate
+  std::vector<MappedPredicate> predicates;
+  std::string sql;
+};
+
+/// Keyword-to-predicate mapper over one entity table. Mappings are learned
+/// from differential query pairs (DQPs): for keyword k, compare the
+/// attribute-value distributions of results of queries with and without k
+/// — KL divergence for categorical columns, mean shift (a 1-D
+/// earth-mover surrogate) for numeric columns.
+class KeywordPlusPlus {
+ public:
+  /// Learns mappings for every keyword appearing in `log` (and lazily for
+  /// unseen keywords at translation time, using the single synthetic DQP
+  /// (Qb = {}, Qf = {k})).
+  KeywordPlusPlus(const relational::Database& db, relational::TableId table,
+                  const relational::QueryLog& log);
+
+  /// Best mapping for one keyword; kContains when nothing is significant.
+  MappedPredicate MapKeyword(const std::string& keyword) const;
+
+  /// Translates a whole keyword query: dynamic-programming segmentation
+  /// over 1- and 2-grams (slide 100), then one predicate per segment.
+  TranslatedQuery Translate(const std::string& query) const;
+
+ private:
+  /// Result rows of a conjunctive keyword query on the table.
+  std::vector<relational::RowId> Results(
+      const std::vector<std::string>& terms) const;
+
+  /// Differential analysis of one DQP for `keyword`.
+  MappedPredicate AnalyzeDqp(const std::vector<std::string>& background,
+                             const std::string& keyword) const;
+
+  const relational::Database& db_;
+  relational::TableId table_;
+  const relational::QueryLog& log_;
+  /// Minimum significance for a non-kContains mapping.
+  double min_score_ = 0.15;
+};
+
+}  // namespace kws::rewrite
+
+#endif  // KWDB_CORE_REWRITE_KEYWORD_PP_H_

@@ -1,0 +1,135 @@
+#include "core/rewrite/related_queries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace kws::rewrite {
+
+using relational::ColumnId;
+using relational::RowId;
+using relational::Table;
+using relational::Value;
+using relational::ValueType;
+
+std::vector<RelatedQuery> RelatedByClicks(
+    const std::vector<ClickRecord>& click_log, const std::string& query,
+    double min_similarity) {
+  // Ground truth of the probe query: union of its click sets in the log.
+  std::set<text::DocId> mine;
+  for (const ClickRecord& r : click_log) {
+    if (r.query == query) mine.insert(r.clicked.begin(), r.clicked.end());
+  }
+  std::vector<RelatedQuery> out;
+  if (mine.empty()) return out;
+  // Aggregate other queries' click sets and compare.
+  std::map<std::string, std::set<text::DocId>> others;
+  for (const ClickRecord& r : click_log) {
+    if (r.query == query) continue;
+    others[r.query].insert(r.clicked.begin(), r.clicked.end());
+  }
+  for (const auto& [q, clicks] : others) {
+    size_t inter = 0;
+    for (text::DocId d : clicks) inter += mine.count(d);
+    const size_t uni = mine.size() + clicks.size() - inter;
+    const double sim =
+        uni == 0 ? 0 : static_cast<double>(inter) / static_cast<double>(uni);
+    if (sim >= min_similarity) out.push_back(RelatedQuery{q, sim});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RelatedQuery& a, const RelatedQuery& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.query < b.query;
+            });
+  return out;
+}
+
+namespace {
+
+/// Histogram of `column` over the rows selecting `value` in
+/// `select_column`. Numeric columns are bucketed by value decile over the
+/// whole table.
+std::map<std::string, double> ProfileColumn(const Table& table,
+                                            ColumnId select_column,
+                                            const Value& value,
+                                            ColumnId column) {
+  std::map<std::string, double> hist;
+  double total = 0;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (!(table.cell(r, select_column) == value)) continue;
+    const Value& v = table.cell(r, column);
+    std::string key;
+    if (v.type() == ValueType::kText) {
+      key = v.AsText();
+    } else {
+      // Coarse log-scale bucket keeps numeric profiles comparable.
+      const double x = v.AsNumber();
+      key = "b" + std::to_string(static_cast<int>(
+                      std::floor(std::log10(std::abs(x) + 1.0) * 4)));
+    }
+    hist[key] += 1;
+    total += 1;
+  }
+  for (auto& [k, p] : hist) p /= std::max(total, 1.0);
+  return hist;
+}
+
+double HistogramOverlap(const std::map<std::string, double>& a,
+                        const std::map<std::string, double>& b) {
+  double overlap = 0;
+  for (const auto& [k, pa] : a) {
+    auto it = b.find(k);
+    if (it != b.end()) overlap += std::min(pa, it->second);
+  }
+  return overlap;
+}
+
+}  // namespace
+
+std::vector<std::pair<Value, double>> RelatedValues(
+    const relational::Database& db, relational::TableId table_id,
+    ColumnId column, const Value& value, size_t k) {
+  const Table& table = db.table(table_id);
+  // Candidate values: the distinct values of the column.
+  std::set<Value> values;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    values.insert(table.cell(r, column));
+  }
+  // Profile = per-other-column histograms of the selecting tuples.
+  std::vector<ColumnId> other_cols;
+  for (ColumnId c = 0; c < table.schema().columns.size(); ++c) {
+    if (c != column && c != table.schema().primary_key) {
+      other_cols.push_back(c);
+    }
+  }
+  auto profile = [&](const Value& v) {
+    std::vector<std::map<std::string, double>> p;
+    for (ColumnId c : other_cols) {
+      p.push_back(ProfileColumn(table, column, v, c));
+    }
+    return p;
+  };
+  const auto mine = profile(value);
+  std::vector<std::pair<Value, double>> out;
+  for (const Value& v : values) {
+    if (v == value) continue;
+    const auto theirs = profile(v);
+    double sim = 0;
+    for (size_t i = 0; i < other_cols.size(); ++i) {
+      sim += HistogramOverlap(mine[i], theirs[i]);
+    }
+    if (!other_cols.empty()) sim /= static_cast<double>(other_cols.size());
+    out.emplace_back(v, sim);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace kws::rewrite

@@ -1,0 +1,46 @@
+#ifndef KWDB_CORE_REWRITE_RELATED_QUERIES_H_
+#define KWDB_CORE_REWRITE_RELATED_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "text/inverted_index.h"
+
+namespace kws::rewrite {
+
+/// One click-log record: a query and the documents users clicked for it.
+struct ClickRecord {
+  std::string query;
+  std::vector<text::DocId> clicked;
+};
+
+/// A related query with its overlap strength.
+struct RelatedQuery {
+  std::string query;
+  double similarity = 0;
+};
+
+/// Click-log query rewriting (Cheng et al., ICDE 10; tutorial slide 101):
+/// historical queries whose clicked results significantly overlap the
+/// clicks of `query` are its synonyms/hypernyms ("indiana jones iv" vs
+/// "indiana jones 4"). Similarity = Jaccard of click sets; results above
+/// `min_similarity`, best first.
+std::vector<RelatedQuery> RelatedByClicks(
+    const std::vector<ClickRecord>& click_log, const std::string& query,
+    double min_similarity = 0.2);
+
+/// Data-only value rewriting (Nambiar & Kambhampati, ICDE 06; slide 102):
+/// two values of `column` (e.g. "honda" and "toyota") are similar when the
+/// tuples selecting them have similar distributions over the OTHER
+/// columns. Similarity = average per-column distribution overlap
+/// (Jaccard-weighted histogram intersection). Returns values related to
+/// `value`, best first.
+std::vector<std::pair<relational::Value, double>> RelatedValues(
+    const relational::Database& db, relational::TableId table,
+    relational::ColumnId column, const relational::Value& value,
+    size_t k = 5);
+
+}  // namespace kws::rewrite
+
+#endif  // KWDB_CORE_REWRITE_RELATED_QUERIES_H_

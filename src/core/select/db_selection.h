@@ -1,0 +1,68 @@
+#ifndef KWDB_CORE_SELECT_DB_SELECTION_H_
+#define KWDB_CORE_SELECT_DB_SELECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/blinks_index.h"
+#include "graph/data_graph.h"
+#include "relational/database.h"
+
+namespace kws::select {
+
+/// Per-database score breakdown.
+struct DatabaseScore {
+  std::string name;
+  double score = 0;
+  /// Coverage part: how many query keywords match at all.
+  size_t keywords_covered = 0;
+  /// Relationship part: how many keyword pairs are joinable within the
+  /// distance bound.
+  size_t joinable_pairs = 0;
+};
+
+struct SelectorOptions {
+  /// Maximum join distance for two keywords to count as related (the
+  /// keyword-relationship radius of Yu et al.).
+  double max_distance = 4.0;
+  /// Weight of the relationship part vs the coverage part.
+  double relationship_weight = 2.0;
+};
+
+/// Keyword-based selection of relational databases (Yu et al.,
+/// SIGMOD 07; tutorial slide 168): in a multi-database setting, rank the
+/// databases most likely to answer a keyword query — not merely the ones
+/// *containing* the keywords, but the ones where the keywords are
+/// *joinably related*. Scores combine idf-weighted keyword coverage with
+/// a keyword-relationship measure: the number of keyword pairs connected
+/// within a distance bound in the database's data graph.
+class DatabaseSelector {
+ public:
+  explicit DatabaseSelector(SelectorOptions options = {})
+      : options_(options) {}
+
+  /// Registers a database (must outlive the selector); builds its data
+  /// graph and distance machinery.
+  void AddDatabase(const std::string& name, const relational::Database* db);
+
+  /// Ranks all registered databases for `query`, best first.
+  std::vector<DatabaseScore> Rank(const std::string& query) const;
+
+  size_t num_databases() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    const relational::Database* db = nullptr;
+    graph::RelationalGraph graph;
+    std::unique_ptr<graph::KeywordDistanceIndex> index;
+  };
+
+  SelectorOptions options_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace kws::select
+
+#endif  // KWDB_CORE_SELECT_DB_SELECTION_H_

@@ -1,0 +1,67 @@
+#include "core/steiner/answer_tree.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kws::steiner {
+
+std::string AnswerTree::ToString(const graph::DataGraph& g) const {
+  std::string out = g.label(root) + " -> {";
+  for (size_t i = 0; i < keyword_nodes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += g.label(keyword_nodes[i]);
+  }
+  out += "} (cost " + std::to_string(cost) + ")";
+  return out;
+}
+
+std::vector<graph::NodeId> AnswerTree::Core() const {
+  std::vector<graph::NodeId> core = keyword_nodes;
+  std::sort(core.begin(), core.end());
+  core.erase(std::unique(core.begin(), core.end()), core.end());
+  return core;
+}
+
+bool IsWellFormed(const AnswerTree& tree, const graph::DataGraph& g) {
+  if (tree.nodes.empty()) return false;
+  std::unordered_set<graph::NodeId> node_set(tree.nodes.begin(),
+                                             tree.nodes.end());
+  if (node_set.size() != tree.nodes.size()) return false;  // duplicates
+  if (node_set.count(tree.root) == 0) return false;
+  if (tree.edges.size() + 1 != tree.nodes.size()) return false;  // tree shape
+  for (const auto& [u, v] : tree.edges) {
+    if (node_set.count(u) == 0 || node_set.count(v) == 0) return false;
+    // The edge must exist in the graph (u -> v).
+    bool exists = false;
+    for (const graph::Edge& e : g.Out(u)) exists |= (e.to == v);
+    if (!exists) return false;
+  }
+  // Every non-root node has exactly one parent; the root none.
+  std::unordered_map<graph::NodeId, size_t> parents;
+  for (const auto& [u, v] : tree.edges) ++parents[v];
+  for (graph::NodeId n : tree.nodes) {
+    const size_t p = parents.count(n) ? parents[n] : 0;
+    if (n == tree.root ? p != 0 : p != 1) return false;
+  }
+  for (graph::NodeId k : tree.keyword_nodes) {
+    if (node_set.count(k) == 0) return false;
+  }
+  // Connectivity: every node reachable from the root along tree edges
+  // (parent counts alone admit cycles off to the side).
+  std::unordered_map<graph::NodeId, std::vector<graph::NodeId>> children;
+  for (const auto& [u, v] : tree.edges) children[u].push_back(v);
+  std::unordered_set<graph::NodeId> reached = {tree.root};
+  std::vector<graph::NodeId> stack = {tree.root};
+  while (!stack.empty()) {
+    const graph::NodeId u = stack.back();
+    stack.pop_back();
+    for (graph::NodeId v : children[u]) {
+      if (reached.insert(v).second) stack.push_back(v);
+    }
+  }
+  return reached.size() == tree.nodes.size();
+}
+
+}  // namespace kws::steiner

@@ -1,0 +1,41 @@
+#ifndef KWDB_CORE_STEINER_ANSWER_TREE_H_
+#define KWDB_CORE_STEINER_ANSWER_TREE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace kws::steiner {
+
+/// One graph-search answer: a connected subtree of the data graph whose
+/// leaves cover the query keywords (tutorial slides 29-31). Lower cost is
+/// better; `score()` maps cost to a descending-is-better scale.
+struct AnswerTree {
+  graph::NodeId root = 0;
+  /// All tree nodes (root included), no duplicates.
+  std::vector<graph::NodeId> nodes;
+  /// Tree edges as (parent, child) pairs, directed away from the root.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  /// The keyword match node chosen for each query keyword, by position.
+  std::vector<graph::NodeId> keyword_nodes;
+  double cost = 0;
+
+  double score() const { return 1.0 / (1.0 + cost); }
+
+  /// "root -> {a, b, c} (cost 3.0)" rendering with node labels.
+  std::string ToString(const graph::DataGraph& g) const;
+
+  /// Sorted deduplicated keyword_nodes — the "core" used by the
+  /// distinct-core semantics.
+  std::vector<graph::NodeId> Core() const;
+};
+
+/// Validates structural invariants (connected, acyclic, keyword nodes
+/// inside the tree). Used by tests and the axiomatic checker.
+bool IsWellFormed(const AnswerTree& tree, const graph::DataGraph& g);
+
+}  // namespace kws::steiner
+
+#endif  // KWDB_CORE_STEINER_ANSWER_TREE_H_

@@ -1,0 +1,265 @@
+#include "core/steiner/banks.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+namespace kws::steiner {
+
+namespace {
+
+using graph::DataGraph;
+using graph::Edge;
+using graph::kInfDist;
+using graph::NodeId;
+
+/// Forward Dijkstra from `root` that stops once one node of every target
+/// group has been settled. Returns per-group (distance, path root..match);
+/// distance kInfDist when unreachable.
+struct ForwardHit {
+  double dist = kInfDist;
+  std::vector<NodeId> path;
+};
+
+std::vector<ForwardHit> ForwardProbe(
+    const DataGraph& g, NodeId root, size_t num_groups,
+    const std::unordered_map<NodeId, uint32_t>& member, double max_dist,
+    BanksStats* stats) {
+  std::vector<ForwardHit> hits(num_groups);
+  if (num_groups == 0) return hits;
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_map<NodeId, NodeId> parent;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[root] = 0;
+  pq.push({0, root});
+  uint32_t remaining = (1u << num_groups) - 1;
+  while (!pq.empty() && remaining != 0) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    auto it = dist.find(u);
+    if (it != dist.end() && d > it->second) continue;
+    auto mit = member.find(u);
+    if (mit != member.end() && (mit->second & remaining) != 0) {
+      // Settle every not-yet-hit group u matches.
+      std::vector<NodeId> path = {u};
+      NodeId cur = u;
+      while (cur != root) {
+        cur = parent.at(cur);
+        path.push_back(cur);
+      }
+      std::reverse(path.begin(), path.end());
+      for (size_t i = 0; i < num_groups; ++i) {
+        if ((mit->second & remaining & (1u << i)) != 0) {
+          hits[i].dist = d;
+          hits[i].path = path;
+        }
+      }
+      remaining &= ~mit->second;
+    }
+    for (const Edge& e : g.Out(u)) {
+      const double nd = d + e.weight;
+      if (nd > max_dist) continue;  // beyond the top-k budget
+      auto [vit, inserted] = dist.emplace(e.to, nd);
+      if (!inserted) {
+        if (nd >= vit->second) continue;
+        vit->second = nd;
+      }
+      parent[e.to] = u;
+      pq.push({nd, e.to});
+    }
+  }
+  if (stats != nullptr) ++stats->forward_probes;
+  return hits;
+}
+
+}  // namespace
+
+std::vector<AnswerTree> BanksSearch(const DataGraph& g,
+                                    const std::vector<std::string>& keywords,
+                                    const BanksOptions& options,
+                                    BanksStats* stats) {
+  const size_t nk = keywords.size();
+  std::vector<const std::vector<NodeId>*> groups;
+  for (const std::string& k : keywords) {
+    groups.push_back(&g.MatchNodes(k));
+    if (groups.back()->empty()) return {};
+  }
+  if (nk == 0) return {};
+
+  // Split groups into backward-expanded and forward-probed (BANKS II).
+  std::vector<size_t> backward_ids, forward_ids;
+  for (size_t i = 0; i < nk; ++i) {
+    if (options.bidirectional &&
+        groups[i]->size() > options.frequent_threshold) {
+      forward_ids.push_back(i);
+    } else {
+      backward_ids.push_back(i);
+    }
+  }
+  if (backward_ids.empty()) {
+    // Everything frequent: still expand the smallest group backward.
+    size_t smallest = 0;
+    for (size_t i = 1; i < nk; ++i) {
+      if (groups[i]->size() < groups[smallest]->size()) smallest = i;
+    }
+    backward_ids.push_back(smallest);
+    forward_ids.erase(
+        std::find(forward_ids.begin(), forward_ids.end(), smallest));
+  }
+
+  const size_t n = g.num_nodes();
+  const size_t nb = backward_ids.size();
+  std::vector<std::vector<double>> dist(nb, std::vector<double>(n, kInfDist));
+  std::vector<std::vector<NodeId>> next_hop(
+      nb, std::vector<NodeId>(n, graph::NodeId(0)));
+  std::vector<std::vector<NodeId>> origin(
+      nb, std::vector<NodeId>(n, graph::NodeId(0)));
+  // Bit b set when node is *settled* (popped with final distance) for
+  // backward group b; completion fires only on fully-settled nodes so the
+  // candidate cost uses final Dijkstra distances.
+  std::vector<uint32_t> settled(n, 0);
+  const uint32_t all_settled = nb >= 32 ? ~0u : ((1u << nb) - 1);
+  std::vector<bool> done(n, false);
+  // Forward-probe membership (node -> bitmask of frequent groups), built
+  // once per search: probes happen per candidate root.
+  std::unordered_map<NodeId, uint32_t> forward_member;
+  for (size_t f = 0; f < forward_ids.size(); ++f) {
+    for (NodeId m : *groups[forward_ids[f]]) {
+      forward_member[m] |= (1u << f);
+    }
+  }
+
+  struct Item {
+    double dist;
+    uint32_t group;  // index into backward_ids
+    NodeId node;
+    bool operator>(const Item& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  for (size_t b = 0; b < nb; ++b) {
+    for (NodeId m : *groups[backward_ids[b]]) {
+      if (dist[b][m] != kInfDist) continue;  // duplicate match
+      dist[b][m] = 0;
+      next_hop[b][m] = m;
+      origin[b][m] = m;
+      pq.push(Item{0, static_cast<uint32_t>(b), m});
+    }
+  }
+
+  // Candidate collection: trees by cost, k smallest kept.
+  struct Candidate {
+    double cost;
+    AnswerTree tree;
+  };
+  std::vector<Candidate> kept;
+  auto kth_cost = [&]() {
+    return kept.size() < options.k ? kInfDist : kept.back().cost;
+  };
+  auto keep = [&](Candidate c) {
+    auto pos = std::lower_bound(
+        kept.begin(), kept.end(), c.cost,
+        [](const Candidate& a, double cost) { return a.cost < cost; });
+    kept.insert(pos, std::move(c));
+    if (kept.size() > options.k) kept.pop_back();
+  };
+
+  auto try_complete = [&](NodeId u) {
+    if (done[u] || settled[u] != all_settled) return;
+    done[u] = true;
+    if (stats != nullptr) ++stats->candidates;
+    double cost = 0;
+    for (size_t b = 0; b < nb; ++b) cost += dist[b][u];
+    if (cost >= kth_cost()) {
+      // Backward part alone already loses (forward adds >= 0)...
+      // unless we still need forward hits to even know feasibility; a
+      // losing candidate can be dropped either way.
+      return;
+    }
+    // Resolve frequent groups by forward probing. The probe only needs
+    // matches within the remaining top-k budget: anything farther cannot
+    // beat the current k-th answer.
+    const double budget = kth_cost() == kInfDist ? kInfDist : kth_cost() - cost;
+    std::vector<ForwardHit> hits = ForwardProbe(g, u, forward_ids.size(),
+                                                forward_member, budget, stats);
+    for (const ForwardHit& h : hits) {
+      if (h.dist == kInfDist) return;  // not an answer root
+      cost += h.dist;
+    }
+    if (cost >= kth_cost()) return;
+
+    // Assemble the tree: union of root->keyword paths.
+    Candidate cand;
+    cand.cost = cost;
+    AnswerTree& tree = cand.tree;
+    tree.root = u;
+    tree.cost = cost;
+    tree.keyword_nodes.assign(nk, u);
+    std::set<NodeId> nodes = {u};
+    std::set<NodeId> parented;
+    auto add_edge = [&](NodeId a, NodeId b) {
+      nodes.insert(a);
+      nodes.insert(b);
+      if (b != u && parented.insert(b).second) tree.edges.emplace_back(a, b);
+    };
+    for (size_t b = 0; b < nb; ++b) {
+      NodeId cur = u;
+      while (cur != origin[b][cur]) {
+        // next_hop points one step along the directed root->match path.
+        const NodeId nxt = next_hop[b][cur];
+        add_edge(cur, nxt);
+        cur = nxt;
+      }
+      nodes.insert(cur);
+      tree.keyword_nodes[backward_ids[b]] = origin[b][u];
+    }
+    for (size_t f = 0; f < forward_ids.size(); ++f) {
+      const std::vector<NodeId>& path = hits[f].path;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        add_edge(path[i], path[i + 1]);
+      }
+      if (!path.empty()) nodes.insert(path.back());
+      tree.keyword_nodes[forward_ids[f]] =
+          path.empty() ? u : path.back();
+    }
+    tree.nodes.assign(nodes.begin(), nodes.end());
+    keep(std::move(cand));
+  };
+
+  uint64_t pops = 0;
+  while (!pq.empty()) {
+    Item item = pq.top();
+    pq.pop();
+    if (++pops > options.max_pops) break;
+    if (stats != nullptr) ++stats->pops;
+    const size_t b = item.group;
+    if (item.dist > dist[b][item.node]) continue;  // stale entry
+    if ((settled[item.node] & (1u << b)) != 0) continue;
+    settled[item.node] |= (1u << b);
+    // Sound termination: any future candidate completes on a pop with
+    // dist >= item.dist, and its total cost >= that dist.
+    if (kept.size() >= options.k && item.dist > kth_cost()) break;
+    try_complete(item.node);
+    // Relax backwards: an in-edge u -> node means a root at u can reach
+    // the keyword through node.
+    for (const Edge& e : g.In(item.node)) {
+      if (stats != nullptr) ++stats->edges_relaxed;
+      const NodeId u = e.to;
+      const double nd = item.dist + e.weight;
+      if (nd < dist[b][u]) {
+        dist[b][u] = nd;
+        next_hop[b][u] = item.node;
+        origin[b][u] = origin[b][item.node];
+        pq.push(Item{nd, static_cast<uint32_t>(b), u});
+      }
+    }
+  }
+
+  std::vector<AnswerTree> out;
+  out.reserve(kept.size());
+  for (Candidate& c : kept) out.push_back(std::move(c.tree));
+  return out;
+}
+
+}  // namespace kws::steiner

@@ -1,0 +1,49 @@
+#ifndef KWDB_CORE_STEINER_BANKS_H_
+#define KWDB_CORE_STEINER_BANKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/steiner/answer_tree.h"
+#include "graph/data_graph.h"
+
+namespace kws::steiner {
+
+/// Options for the BANKS family of backward expanding searches
+/// (Bhalotia et al. ICDE 02; Kacholia et al. VLDB 05; tutorial
+/// slide 114). Answers follow the distinct-root cost model: a tree rooted
+/// at r with cost = sum over keywords of the shortest directed r->match
+/// path length.
+struct BanksOptions {
+  size_t k = 10;
+  /// kBidirectional: keyword groups with more than `frequent_threshold`
+  /// matches are NOT expanded backward; candidate roots found by the rare
+  /// groups probe them with bounded *forward* search instead — BANKS II's
+  /// remedy for frontier explosion on frequent keywords.
+  bool bidirectional = false;
+  size_t frequent_threshold = 1000;
+  /// Safety cap on total priority-queue pops.
+  uint64_t max_pops = 50'000'000;
+};
+
+/// Instrumentation for the E4 benchmark.
+struct BanksStats {
+  uint64_t pops = 0;            // backward PQ pops
+  uint64_t edges_relaxed = 0;
+  uint64_t forward_probes = 0;  // bidirectional-only forward Dijkstras
+  uint64_t candidates = 0;      // completed candidate roots
+};
+
+/// Backward expanding keyword search. `keywords` are normalized tokens
+/// looked up in the graph's keyword index. Results sorted by ascending
+/// cost; provably the true top-k under the distinct-root cost model
+/// (unless the pop cap is hit).
+std::vector<AnswerTree> BanksSearch(const graph::DataGraph& g,
+                                    const std::vector<std::string>& keywords,
+                                    const BanksOptions& options = {},
+                                    BanksStats* stats = nullptr);
+
+}  // namespace kws::steiner
+
+#endif  // KWDB_CORE_STEINER_BANKS_H_

@@ -1,0 +1,132 @@
+#include "core/steiner/semantics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace kws::steiner {
+
+namespace {
+
+using graph::DataGraph;
+using graph::Edge;
+using graph::kInfDist;
+using graph::KeywordDistanceIndex;
+using graph::NodeId;
+
+/// Walks the shortest root->match path for `term` by greedy descent on the
+/// index distances (at every step some out-edge satisfies
+/// w + dist(v) == dist(u) by Dijkstra optimality).
+std::vector<NodeId> DescendPath(const DataGraph& g,
+                                const KeywordDistanceIndex& index,
+                                NodeId root, const std::string& term) {
+  std::vector<NodeId> path = {root};
+  NodeId cur = root;
+  double d = index.Distance(cur, term);
+  constexpr double kEps = 1e-9;
+  while (d > kEps) {
+    bool advanced = false;
+    for (const Edge& e : g.Out(cur)) {
+      const double dv = index.Distance(e.to, term);
+      if (dv != kInfDist && e.weight + dv <= d + kEps) {
+        cur = e.to;
+        d = dv;
+        path.push_back(cur);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;  // defensive: inconsistent index
+  }
+  return path;
+}
+
+/// Union of per-keyword root paths as a well-formed tree.
+AnswerTree BuildTree(const DataGraph& g, const KeywordDistanceIndex& index,
+                     const std::vector<std::string>& keywords, NodeId root,
+                     double cost) {
+  AnswerTree tree;
+  tree.root = root;
+  tree.cost = cost;
+  std::set<NodeId> nodes = {root};
+  std::set<NodeId> parented;
+  for (const std::string& term : keywords) {
+    const std::vector<NodeId> path = DescendPath(g, index, root, term);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      nodes.insert(path[i]);
+      nodes.insert(path[i + 1]);
+      if (path[i + 1] != root && parented.insert(path[i + 1]).second) {
+        tree.edges.emplace_back(path[i], path[i + 1]);
+      }
+    }
+    nodes.insert(path.back());
+    tree.keyword_nodes.push_back(path.back());
+  }
+  tree.nodes.assign(nodes.begin(), nodes.end());
+  return tree;
+}
+
+void IndexAll(KeywordDistanceIndex& index,
+              const std::vector<std::string>& keywords) {
+  for (const std::string& k : keywords) index.IndexTerm(k);
+}
+
+}  // namespace
+
+std::vector<AnswerTree> DistinctRootSearch(
+    const DataGraph& g, KeywordDistanceIndex& index,
+    const std::vector<std::string>& keywords, size_t k) {
+  std::vector<AnswerTree> out;
+  if (keywords.empty()) return out;
+  IndexAll(index, keywords);
+  auto roots = index.CandidateRoots(keywords);
+  for (const auto& [root, cost] : roots) {
+    if (out.size() >= k) break;
+    out.push_back(BuildTree(g, index, keywords, root, cost));
+  }
+  return out;
+}
+
+std::vector<AnswerTree> DistinctCoreSearch(
+    const DataGraph& g, KeywordDistanceIndex& index,
+    const std::vector<std::string>& keywords, size_t k) {
+  std::vector<AnswerTree> out;
+  if (keywords.empty()) return out;
+  IndexAll(index, keywords);
+  std::set<std::vector<NodeId>> seen_cores;
+  for (const auto& [root, cost] : index.CandidateRoots(keywords)) {
+    if (out.size() >= k) break;
+    AnswerTree tree = BuildTree(g, index, keywords, root, cost);
+    if (seen_cores.insert(tree.Core()).second) {
+      out.push_back(std::move(tree));
+    }
+  }
+  return out;
+}
+
+std::vector<AnswerTree> RRadiusSteinerSearch(
+    const DataGraph& g, KeywordDistanceIndex& index,
+    const std::vector<std::string>& keywords, double radius, size_t k) {
+  std::vector<AnswerTree> out;
+  if (keywords.empty()) return out;
+  IndexAll(index, keywords);
+  std::set<std::vector<NodeId>> seen_cores;
+  for (const auto& [root, cost] : index.CandidateRoots(keywords)) {
+    if (out.size() >= k) break;
+    // Radius condition: every keyword within `radius` of the center.
+    bool ok = true;
+    for (const std::string& term : keywords) {
+      if (index.Distance(root, term) > radius) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    AnswerTree tree = BuildTree(g, index, keywords, root, cost);
+    if (seen_cores.insert(tree.Core()).second) {
+      out.push_back(std::move(tree));
+    }
+  }
+  return out;
+}
+
+}  // namespace kws::steiner

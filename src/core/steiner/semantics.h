@@ -1,0 +1,41 @@
+#ifndef KWDB_CORE_STEINER_SEMANTICS_H_
+#define KWDB_CORE_STEINER_SEMANTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/steiner/answer_tree.h"
+#include "graph/blinks_index.h"
+#include "graph/data_graph.h"
+
+namespace kws::steiner {
+
+/// Alternative answer semantics surveyed on tutorial slides 29-31. All
+/// three operate on the same distance machinery (one backward Dijkstra per
+/// keyword, shared through a KeywordDistanceIndex).
+
+/// Distinct-root semantics (Kacholia et al. VLDB 05, He et al. SIGMOD 07):
+/// at most one answer per root r, cost(T_r) = sum_i dist(r, match_i).
+/// Returns the k cheapest roots with their path-union trees.
+std::vector<AnswerTree> DistinctRootSearch(
+    const graph::DataGraph& g, graph::KeywordDistanceIndex& index,
+    const std::vector<std::string>& keywords, size_t k);
+
+/// Distinct-core semantics (Qin et al. ICDE 09): answers are grouped by
+/// the distinct combination of keyword matches (the "core"); each core
+/// keeps its cheapest tree. Returns the k cheapest cores.
+std::vector<AnswerTree> DistinctCoreSearch(
+    const graph::DataGraph& g, graph::KeywordDistanceIndex& index,
+    const std::vector<std::string>& keywords, size_t k);
+
+/// r-radius Steiner semantics (EASE, Li et al. SIGMOD 08): answers are
+/// centered subgraphs of radius <= r containing every keyword; the
+/// returned tree is the Steiner part (paths from the center to the
+/// matches), which drops the unnecessary nodes of the full r-ball.
+std::vector<AnswerTree> RRadiusSteinerSearch(
+    const graph::DataGraph& g, graph::KeywordDistanceIndex& index,
+    const std::vector<std::string>& keywords, double radius, size_t k);
+
+}  // namespace kws::steiner
+
+#endif  // KWDB_CORE_STEINER_SEMANTICS_H_

@@ -1,0 +1,211 @@
+#include "core/steiner/steiner_dp.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+
+namespace kws::steiner {
+
+namespace {
+
+/// How dp[mask][v] was obtained, for tree reconstruction.
+struct Choice {
+  enum Kind : uint8_t { kNone, kLeaf, kEdge, kMerge } kind = kNone;
+  /// kEdge: the child node the root attaches to. kMerge: unused.
+  graph::NodeId via = 0;
+  /// kMerge: one side of the split (the other is mask ^ submask).
+  uint32_t submask = 0;
+};
+
+/// The full Dreyfus-Wagner table: dp[mask][v] plus the choice trace.
+struct DpTables {
+  std::vector<std::vector<double>> dp;
+  std::vector<std::vector<Choice>> choice;
+  uint32_t full = 0;
+};
+
+/// Builds the DP (see the header for the recurrence and complexity).
+DpTables BuildDp(const graph::DataGraph& g,
+                 const std::vector<std::vector<graph::NodeId>>& groups) {
+  const size_t num_groups = groups.size();
+  const size_t n = g.num_nodes();
+  DpTables t;
+  t.full = (1u << num_groups) - 1;
+  t.dp.assign(t.full + 1, std::vector<double>(n, graph::kInfDist));
+  t.choice.assign(t.full + 1, std::vector<Choice>(n));
+
+  for (size_t i = 0; i < num_groups; ++i) {
+    for (graph::NodeId v : groups[i]) {
+      t.dp[1u << i][v] = 0;
+      t.choice[1u << i][v].kind = Choice::kLeaf;
+    }
+  }
+
+  using Item = std::pair<double, graph::NodeId>;
+  for (uint32_t mask = 1; mask <= t.full; ++mask) {
+    // Merge two disjoint covered subsets at the same root.
+    for (uint32_t s = (mask - 1) & mask; s != 0; s = (s - 1) & mask) {
+      const uint32_t other = mask ^ s;
+      if (s > other) continue;  // each split once
+      for (graph::NodeId v = 0; v < n; ++v) {
+        if (t.dp[s][v] == graph::kInfDist ||
+            t.dp[other][v] == graph::kInfDist) {
+          continue;
+        }
+        const double c = t.dp[s][v] + t.dp[other][v];
+        if (c < t.dp[mask][v]) {
+          t.dp[mask][v] = c;
+          t.choice[mask][v] = Choice{Choice::kMerge, 0, s};
+        }
+      }
+    }
+    // Grow along edges: a new root u attaches to child v via edge u -> v.
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (t.dp[mask][v] != graph::kInfDist) pq.push({t.dp[mask][v], v});
+    }
+    while (!pq.empty()) {
+      auto [d, v] = pq.top();
+      pq.pop();
+      if (d > t.dp[mask][v]) continue;
+      for (const graph::Edge& e : g.In(v)) {
+        const graph::NodeId u = e.to;
+        const double c = d + e.weight;
+        if (c < t.dp[mask][u]) {
+          t.dp[mask][u] = c;
+          t.choice[mask][u] = Choice{Choice::kEdge, v, 0};
+          pq.push({c, u});
+        }
+      }
+    }
+  }
+  return t;
+}
+
+/// Reconstructs the optimal tree rooted at `root` from the DP trace.
+AnswerTree Reconstruct(const DpTables& t,
+                       const std::vector<std::vector<graph::NodeId>>& groups,
+                       graph::NodeId root) {
+  const size_t num_groups = groups.size();
+  AnswerTree tree;
+  tree.root = root;
+  tree.cost = t.dp[t.full][root];
+  tree.keyword_nodes.assign(num_groups, root);
+  std::set<graph::NodeId> nodes;
+  std::set<std::pair<graph::NodeId, graph::NodeId>> edges;
+  // Equal-cost DP ties can route two branches through the same node; keep
+  // the first parent so the union stays a tree.
+  std::set<graph::NodeId> parented;
+  auto emit = [&](auto&& self, uint32_t mask, graph::NodeId v) -> void {
+    nodes.insert(v);
+    const Choice& c = t.choice[mask][v];
+    switch (c.kind) {
+      case Choice::kLeaf: {
+        for (size_t i = 0; i < num_groups; ++i) {
+          if (mask == (1u << i)) tree.keyword_nodes[i] = v;
+        }
+        return;
+      }
+      case Choice::kEdge: {
+        if (c.via != root && parented.insert(c.via).second) {
+          edges.emplace(v, c.via);
+        }
+        self(self, mask, c.via);
+        return;
+      }
+      case Choice::kMerge: {
+        self(self, c.submask, v);
+        self(self, mask ^ c.submask, v);
+        return;
+      }
+      case Choice::kNone:
+        return;
+    }
+  };
+  emit(emit, t.full, root);
+  tree.nodes.assign(nodes.begin(), nodes.end());
+  tree.edges.assign(edges.begin(), edges.end());
+  return tree;
+}
+
+Status ValidateGroups(
+    const std::vector<std::vector<graph::NodeId>>& groups) {
+  if (groups.empty()) {
+    return Status::InvalidArgument("no keyword groups");
+  }
+  if (groups.size() > 10) {
+    return Status::InvalidArgument("too many groups for exact DP");
+  }
+  for (const auto& group : groups) {
+    if (group.empty()) {
+      return Status::NotFound("a keyword matches no node");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<graph::NodeId>> LookupGroups(
+    const graph::DataGraph& g, const std::vector<std::string>& keywords) {
+  std::vector<std::vector<graph::NodeId>> groups;
+  for (const std::string& k : keywords) {
+    groups.push_back(g.MatchNodes(k));
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<AnswerTree> GroupSteinerTop1(
+    const graph::DataGraph& g,
+    const std::vector<std::vector<graph::NodeId>>& groups) {
+  KWS_RETURN_IF_ERROR(ValidateGroups(groups));
+  const DpTables t = BuildDp(g, groups);
+  graph::NodeId best = 0;
+  double best_cost = graph::kInfDist;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (t.dp[t.full][v] < best_cost) {
+      best_cost = t.dp[t.full][v];
+      best = v;
+    }
+  }
+  if (best_cost == graph::kInfDist) {
+    return Status::NotFound("keywords are not connected in the graph");
+  }
+  return Reconstruct(t, groups, best);
+}
+
+Result<AnswerTree> GroupSteinerTop1(
+    const graph::DataGraph& g, const std::vector<std::string>& keywords) {
+  return GroupSteinerTop1(g, LookupGroups(g, keywords));
+}
+
+std::vector<AnswerTree> GroupSteinerTopK(
+    const graph::DataGraph& g,
+    const std::vector<std::vector<graph::NodeId>>& groups, size_t k) {
+  if (!ValidateGroups(groups).ok() || k == 0) return {};
+  const DpTables t = BuildDp(g, groups);
+  // The k cheapest roots.
+  std::vector<std::pair<double, graph::NodeId>> roots;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (t.dp[t.full][v] != graph::kInfDist) {
+      roots.emplace_back(t.dp[t.full][v], v);
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  if (roots.size() > k) roots.resize(k);
+  std::vector<AnswerTree> out;
+  out.reserve(roots.size());
+  for (const auto& [cost, root] : roots) {
+    out.push_back(Reconstruct(t, groups, root));
+  }
+  return out;
+}
+
+std::vector<AnswerTree> GroupSteinerTopK(
+    const graph::DataGraph& g, const std::vector<std::string>& keywords,
+    size_t k) {
+  return GroupSteinerTopK(g, LookupGroups(g, keywords), k);
+}
+
+}  // namespace kws::steiner

@@ -1,0 +1,48 @@
+#ifndef KWDB_CORE_STEINER_STEINER_DP_H_
+#define KWDB_CORE_STEINER_STEINER_DP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/steiner/answer_tree.h"
+#include "graph/data_graph.h"
+
+namespace kws::steiner {
+
+/// Exact top-1 group Steiner tree by dynamic programming over terminal
+/// subsets (Dreyfus-Wagner / [Ding et al., ICDE 07]; tutorial slides 30 and
+/// 113): dp[S][v] = cheapest tree rooted at v spanning one node of each
+/// group in S; grow transitions alternate subset merges at v with Dijkstra
+/// relaxations along the graph's edges.
+///
+/// Exponential in the number of groups (tractable for the <= 6 keywords
+/// real queries have), O(3^K V + 2^K E log V) time, O(2^K V) space.
+///
+/// `groups[i]` is the set of nodes matching keyword i; all must be
+/// non-empty. Returns NotFound when no connected tree covers all groups.
+Result<AnswerTree> GroupSteinerTop1(
+    const graph::DataGraph& g,
+    const std::vector<std::vector<graph::NodeId>>& groups);
+
+/// Convenience overload: groups looked up from the graph's keyword index.
+Result<AnswerTree> GroupSteinerTop1(const graph::DataGraph& g,
+                                    const std::vector<std::string>& keywords);
+
+/// Top-k min-cost connected trees under distinct-root semantics
+/// (Ding et al., ICDE 07; tutorial slide 113): the same DP table yields,
+/// for EVERY root v, the cheapest tree rooted at v covering all groups;
+/// the k cheapest roots are returned with their (per-root optimal) trees,
+/// ascending cost. results[0] equals GroupSteinerTop1's answer.
+std::vector<AnswerTree> GroupSteinerTopK(
+    const graph::DataGraph& g,
+    const std::vector<std::vector<graph::NodeId>>& groups, size_t k);
+
+/// Convenience overload resolving keywords through the keyword index.
+std::vector<AnswerTree> GroupSteinerTopK(
+    const graph::DataGraph& g, const std::vector<std::string>& keywords,
+    size_t k);
+
+}  // namespace kws::steiner
+
+#endif  // KWDB_CORE_STEINER_STEINER_DP_H_

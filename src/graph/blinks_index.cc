@@ -1,0 +1,53 @@
+#include "graph/blinks_index.h"
+
+#include <algorithm>
+
+#include "graph/shortest_path.h"
+
+namespace kws::graph {
+
+void KeywordDistanceIndex::IndexTerm(const std::string& term) {
+  if (distances_.count(term) > 0) return;
+  const std::vector<NodeId>& matches = graph_.MatchNodes(term);
+  // Distance *from* any node *to* a match equals the backward distance
+  // from the matches over in-edges.
+  ShortestPaths sp =
+      Dijkstra(graph_, matches, Direction::kBackward, max_radius_);
+  distances_.emplace(term, std::move(sp.dist));
+}
+
+void KeywordDistanceIndex::IndexAllTerms(
+    const std::vector<std::string>& vocabulary) {
+  for (const std::string& term : vocabulary) IndexTerm(term);
+}
+
+double KeywordDistanceIndex::Distance(NodeId node,
+                                      const std::string& term) const {
+  auto it = distances_.find(term);
+  if (it == distances_.end()) return kInfDist;
+  return it->second[node];
+}
+
+std::vector<std::pair<NodeId, double>> KeywordDistanceIndex::CandidateRoots(
+    const std::vector<std::string>& terms) const {
+  std::vector<std::pair<NodeId, double>> out;
+  if (terms.empty()) return out;
+  for (NodeId n = 0; n < graph_.num_nodes(); ++n) {
+    double total = 0;
+    bool ok = true;
+    for (const std::string& t : terms) {
+      const double d = Distance(n, t);
+      if (d == kInfDist) {
+        ok = false;
+        break;
+      }
+      total += d;
+    }
+    if (ok) out.emplace_back(n, total);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
+}
+
+}  // namespace kws::graph

@@ -1,0 +1,61 @@
+#ifndef KWDB_GRAPH_BLINKS_INDEX_H_
+#define KWDB_GRAPH_BLINKS_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace kws::graph {
+
+/// Node-to-keyword distance index in the spirit of BLINKS / SLINKS
+/// (He et al., SIGMOD 07; tutorial slide 123): for each indexed keyword,
+/// the distance from every node to its nearest occurrence, following the
+/// graph's directed edges (a node "reaches" a keyword through its
+/// out-edges, matching the distinct-root cost cost(r, match_i)).
+///
+/// Space is O(K * V) for K indexed keywords, which is why real systems cap
+/// K or the radius; both caps are exposed here.
+class KeywordDistanceIndex {
+ public:
+  /// `max_radius` caps stored distances (farther = not stored, queried as
+  /// kInfDist): this is the D-threshold idea of the reachability indexes
+  /// of Markowetz et al. (tutorial slide 124).
+  explicit KeywordDistanceIndex(const DataGraph& g,
+                                double max_radius = kInfDist)
+      : graph_(g), max_radius_(max_radius) {}
+
+  /// Indexes `term`: one multi-source backward Dijkstra from its matches.
+  /// No-op when already indexed.
+  void IndexTerm(const std::string& term);
+
+  /// Indexes every term in the graph's keyword index... intended for small
+  /// vocabularies; cost is one Dijkstra per term.
+  void IndexAllTerms(const std::vector<std::string>& vocabulary);
+
+  bool HasTerm(const std::string& term) const {
+    return distances_.count(term) > 0;
+  }
+
+  /// Distance from `node` to the nearest match of `term` (kInfDist when
+  /// unreachable, beyond the radius, or term not indexed).
+  double Distance(NodeId node, const std::string& term) const;
+
+  /// Nodes that can reach every term of `terms` within the radius, i.e.
+  /// candidate distinct roots, with the summed distance as cost. Sorted by
+  /// ascending cost.
+  std::vector<std::pair<NodeId, double>> CandidateRoots(
+      const std::vector<std::string>& terms) const;
+
+  size_t num_indexed_terms() const { return distances_.size(); }
+
+ private:
+  const DataGraph& graph_;
+  double max_radius_;
+  std::unordered_map<std::string, std::vector<double>> distances_;
+};
+
+}  // namespace kws::graph
+
+#endif  // KWDB_GRAPH_BLINKS_INDEX_H_

@@ -1,0 +1,96 @@
+#include "graph/data_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kws::graph {
+
+NodeId DataGraph::AddNode(std::string label, std::string text) {
+  const NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(std::move(label));
+  texts_.push_back(std::move(text));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+void DataGraph::AddEdge(NodeId u, NodeId v, double weight,
+                        double back_weight) {
+  out_[u].push_back(Edge{v, weight});
+  in_[v].push_back(Edge{u, weight});
+  ++num_edges_;
+  if (back_weight > 0) {
+    out_[v].push_back(Edge{u, back_weight});
+    in_[u].push_back(Edge{v, back_weight});
+    ++num_edges_;
+  }
+}
+
+void DataGraph::BuildKeywordIndex() {
+  keyword_index_.clear();
+  for (NodeId n = 0; n < texts_.size(); ++n) {
+    for (const std::string& t : tokenizer_.Tokenize(texts_[n])) {
+      std::vector<NodeId>& nodes = keyword_index_[t];
+      if (nodes.empty() || nodes.back() != n) nodes.push_back(n);
+    }
+  }
+}
+
+const std::vector<NodeId>& DataGraph::MatchNodes(
+    const std::string& term) const {
+  auto it = keyword_index_.find(term);
+  return it == keyword_index_.end() ? empty_ : it->second;
+}
+
+RelationalGraph BuildDataGraph(const relational::Database& db,
+                               const GraphBuildOptions& options) {
+  RelationalGraph out;
+  // Nodes: every tuple of every table.
+  for (relational::TableId t = 0; t < db.num_tables(); ++t) {
+    const relational::Table& table = db.table(t);
+    for (relational::RowId r = 0; r < table.num_rows(); ++r) {
+      const relational::TupleId tid{t, r};
+      const NodeId n = out.graph.AddNode(db.TupleToString(tid),
+                                         table.SearchableText(r));
+      out.node_to_tuple.push_back(tid);
+      out.tuple_to_node.emplace(tid, n);
+    }
+  }
+  // Edges: every FK instance pair, referencing -> referenced.
+  for (uint32_t fk_index = 0; fk_index < db.foreign_keys().size();
+       ++fk_index) {
+    const relational::ForeignKey& fk = db.foreign_keys()[fk_index];
+    const relational::Table& from = db.table(fk.table);
+    for (relational::RowId r = 0; r < from.num_rows(); ++r) {
+      const relational::TupleId src{fk.table, r};
+      for (const relational::TupleId& dst :
+           db.JoinedRows(fk_index, src, /*from_referencing=*/true)) {
+        const NodeId u = out.tuple_to_node.at(src);
+        const NodeId v = out.tuple_to_node.at(dst);
+        out.graph.AddEdge(u, v, options.forward_weight, /*back_weight=*/0);
+      }
+    }
+  }
+  // Backward edges, weighted by the in-degree of the *referenced* node as
+  // in BANKS II (popular nodes are expensive to traverse backwards).
+  const size_t n = out.graph.num_nodes();
+  std::vector<std::vector<Edge>> backward(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Edge& e : out.graph.In(v)) {
+      const double w = options.degree_weighted_backward
+                           ? std::log2(1.0 + static_cast<double>(
+                                                 out.graph.InDegree(v)))
+                           : options.forward_weight;
+      backward[v].push_back(Edge{e.to, std::max(w, 1e-9)});
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Edge& e : backward[v]) {
+      out.graph.AddEdge(v, e.to, e.weight, /*back_weight=*/0);
+    }
+  }
+  out.graph.BuildKeywordIndex();
+  return out;
+}
+
+}  // namespace kws::graph

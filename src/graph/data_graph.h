@@ -1,0 +1,119 @@
+#ifndef KWDB_GRAPH_DATA_GRAPH_H_
+#define KWDB_GRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/schema.h"
+#include "text/tokenizer.h"
+
+namespace kws::graph {
+
+/// Node id in a data graph (dense, 0-based).
+using NodeId = uint32_t;
+
+constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// One directed edge.
+struct Edge {
+  NodeId to = 0;
+  double weight = 1.0;
+};
+
+/// The data-graph model of tutorial slide 29: each tuple (or arbitrary
+/// object) is a node, each foreign-key pair is an edge. Directed edges are
+/// stored with both out- and in-adjacency so that backward expanding
+/// search (BANKS) is O(in-degree).
+///
+/// A keyword index maps each normalized term to the nodes whose text
+/// contains it.
+class DataGraph {
+ public:
+  DataGraph() = default;
+
+  /// Adds a node with display `label` and searchable `text`; returns its id.
+  NodeId AddNode(std::string label, std::string text);
+
+  /// Adds a directed edge u -> v with `weight`, plus (by convention of the
+  /// BANKS family) a backward edge v -> u with `back_weight`. Pass
+  /// back_weight = 0 to suppress the reverse edge.
+  void AddEdge(NodeId u, NodeId v, double weight, double back_weight);
+
+  /// Convenience: undirected edge (same weight both ways).
+  void AddUndirectedEdge(NodeId u, NodeId v, double weight) {
+    AddEdge(u, v, weight, weight);
+  }
+
+  size_t num_nodes() const { return labels_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  const std::string& label(NodeId n) const { return labels_[n]; }
+  const std::string& text(NodeId n) const { return texts_[n]; }
+
+  /// Outgoing edges of `n`.
+  const std::vector<Edge>& Out(NodeId n) const { return out_[n]; }
+  /// Incoming edges of `n` (as edges pointing to the source).
+  const std::vector<Edge>& In(NodeId n) const { return in_[n]; }
+
+  size_t OutDegree(NodeId n) const { return out_[n].size(); }
+  size_t InDegree(NodeId n) const { return in_[n].size(); }
+
+  /// Builds the keyword -> nodes index from node texts. Call after all
+  /// nodes are added and before MatchNodes.
+  void BuildKeywordIndex();
+
+  /// Nodes whose text contains `term` (normalized token), sorted.
+  const std::vector<NodeId>& MatchNodes(const std::string& term) const;
+
+  /// Per-node PageRank-style prestige, if ComputePrestige was called
+  /// (used by BANKS node scoring); defaults to 1.0.
+  double prestige(NodeId n) const {
+    return prestige_.empty() ? 1.0 : prestige_[n];
+  }
+  void set_prestige(std::vector<double> prestige) {
+    prestige_ = std::move(prestige);
+  }
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::string> texts_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  std::unordered_map<std::string, std::vector<NodeId>> keyword_index_;
+  std::vector<double> prestige_;
+  std::vector<NodeId> empty_;
+  size_t num_edges_ = 0;
+  text::Tokenizer tokenizer_;
+};
+
+/// Result of building a graph from a relational database: the graph plus
+/// the tuple <-> node correspondence.
+struct RelationalGraph {
+  DataGraph graph;
+  std::vector<relational::TupleId> node_to_tuple;
+  std::unordered_map<relational::TupleId, NodeId, relational::TupleIdHash>
+      tuple_to_node;
+};
+
+/// Options controlling edge weights when building from a database.
+struct GraphBuildOptions {
+  /// Weight of the FK edge (referencing -> referenced).
+  double forward_weight = 1.0;
+  /// Backward edges are weighted log2(1 + indegree(v)) as in BANKS II when
+  /// true; fixed at forward_weight otherwise.
+  bool degree_weighted_backward = true;
+};
+
+/// Materializes the data graph of `db` (tutorial slide 29): one node per
+/// tuple, one edge pair per foreign-key pair. Keyword index is built.
+RelationalGraph BuildDataGraph(const relational::Database& db,
+                               const GraphBuildOptions& options = {});
+
+}  // namespace kws::graph
+
+#endif  // KWDB_GRAPH_DATA_GRAPH_H_

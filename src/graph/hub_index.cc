@@ -1,0 +1,129 @@
+#include "graph/hub_index.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace kws::graph {
+
+namespace {
+
+/// Dijkstra over Out edges that never *expands* a node in `blocked`
+/// (blocked nodes can still be reached as endpoints). Bounded by
+/// `max_radius`. Returns (node, dist) pairs sorted by node id.
+std::vector<std::pair<NodeId, double>> BlockedDijkstra(
+    const DataGraph& g, NodeId source, const std::vector<int32_t>& hub_rank,
+    double max_radius) {
+  std::unordered_map<NodeId, double> dist;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[source] = 0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    auto it = dist.find(u);
+    if (it != dist.end() && d > it->second) continue;
+    // Hubs are frontier endpoints: never expand through them (except when
+    // the hub is the source itself).
+    if (u != source && hub_rank[u] >= 0) continue;
+    for (const Edge& e : g.Out(u)) {
+      const double nd = d + e.weight;
+      if (nd > max_radius) continue;
+      auto [vit, inserted] = dist.emplace(e.to, nd);
+      if (!inserted) {
+        if (nd >= vit->second) continue;
+        vit->second = nd;
+      }
+      pq.push({nd, e.to});
+    }
+  }
+  std::vector<std::pair<NodeId, double>> out(dist.begin(), dist.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+HubDistanceIndex::HubDistanceIndex(const DataGraph& g, const Options& options)
+    : graph_(g) {
+  const size_t n = g.num_nodes();
+  // Hubs: highest total degree.
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const size_t da = g.OutDegree(a) + g.InDegree(a);
+    const size_t db = g.OutDegree(b) + g.InDegree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  const size_t num_hubs = std::min(options.num_hubs, n);
+  hubs_.assign(order.begin(), order.begin() + num_hubs);
+  hub_rank_.assign(n, -1);
+  for (size_t h = 0; h < hubs_.size(); ++h) {
+    hub_rank_[hubs_[h]] = static_cast<int32_t>(h);
+  }
+  // Per-node local (non-hub-crossing) distance rows.
+  local_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    local_[u] = BlockedDijkstra(g, u, hub_rank_, options.max_radius);
+  }
+  // Hub-to-hub exact distances (full Dijkstra from each hub).
+  hub_dist_.assign(num_hubs * num_hubs, kInfDist);
+  for (size_t h = 0; h < num_hubs; ++h) {
+    // Full (unblocked) Dijkstra over Out edges.
+    std::vector<double> dist(n, kInfDist);
+    using Item = std::pair<double, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    dist[hubs_[h]] = 0;
+    pq.push({0.0, hubs_[h]});
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (const Edge& e : g.Out(u)) {
+        if (d + e.weight < dist[e.to]) {
+          dist[e.to] = d + e.weight;
+          pq.push({d + e.weight, e.to});
+        }
+      }
+    }
+    for (size_t h2 = 0; h2 < num_hubs; ++h2) {
+      hub_dist_[h * num_hubs + h2] = dist[hubs_[h2]];
+    }
+  }
+}
+
+double HubDistanceIndex::Local(NodeId u, NodeId v) const {
+  const auto& row = local_[u];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), v,
+      [](const std::pair<NodeId, double>& p, NodeId key) {
+        return p.first < key;
+      });
+  if (it != row.end() && it->first == v) return it->second;
+  return kInfDist;
+}
+
+double HubDistanceIndex::Distance(NodeId x, NodeId y) const {
+  double best = Local(x, y);
+  const size_t num_hubs = hubs_.size();
+  for (size_t a = 0; a < num_hubs; ++a) {
+    const double dxa = Local(x, hubs_[a]);
+    if (dxa == kInfDist) continue;
+    for (size_t b = 0; b < num_hubs; ++b) {
+      const double dby = Local(y, hubs_[b]);  // undirected symmetry
+      if (dby == kInfDist) continue;
+      const double via = dxa + hub_dist_[a * num_hubs + b] + dby;
+      best = std::min(best, via);
+    }
+  }
+  return best;
+}
+
+size_t HubDistanceIndex::StorageEntries() const {
+  size_t total = hub_dist_.size();
+  for (const auto& row : local_) total += row.size();
+  return total;
+}
+
+}  // namespace kws::graph

@@ -1,0 +1,60 @@
+#ifndef KWDB_GRAPH_HUB_INDEX_H_
+#define KWDB_GRAPH_HUB_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace kws::graph {
+
+/// Hub-based distance oracle after Goldman et al.'s proximity search
+/// (VLDB 98; tutorial slide 122). Hubs are high-degree nodes; for every
+/// node we store d*(u, v): shortest distances that do not pass *through*
+/// a hub (hubs may be endpoints), which keeps per-node neighborhoods
+/// small, plus a dense hub-to-hub distance matrix. Then
+///
+///   d(x, y) = min( d*(x, y),
+///                  min_{A,B hubs} d*(x, A) + dH(A, B) + d*(B, y) ).
+///
+/// Treats the graph as undirected (uses Out-edges both ways as built by
+/// BuildDataGraph, which materializes both directions).
+class HubDistanceIndex {
+ public:
+  struct Options {
+    /// Number of hubs (top in-degree nodes).
+    size_t num_hubs = 16;
+    /// Cap on stored non-hub-crossing distances.
+    double max_radius = kInfDist;
+  };
+
+  /// Builds the index: one bounded Dijkstra per node (not relaxing through
+  /// hubs) and one per hub.
+  HubDistanceIndex(const DataGraph& g, const Options& options);
+
+  /// Estimated shortest distance; exact whenever the true shortest path
+  /// crosses at most the chosen hub set in the indexed pattern, otherwise
+  /// an upper bound (or kInfDist when no certificate exists).
+  double Distance(NodeId x, NodeId y) const;
+
+  const std::vector<NodeId>& hubs() const { return hubs_; }
+
+  /// Total number of stored (node, node, dist) entries — the space cost
+  /// reported by the E8 benchmark.
+  size_t StorageEntries() const;
+
+ private:
+  const DataGraph& graph_;
+  std::vector<NodeId> hubs_;
+  std::vector<int32_t> hub_rank_;  // -1 when not a hub
+  /// d*(u, .) sparse rows: pairs (node, dist), sorted by node.
+  std::vector<std::vector<std::pair<NodeId, double>>> local_;
+  /// Dense hub-to-hub distances, row-major num_hubs x num_hubs.
+  std::vector<double> hub_dist_;
+
+  double Local(NodeId u, NodeId v) const;
+};
+
+}  // namespace kws::graph
+
+#endif  // KWDB_GRAPH_HUB_INDEX_H_

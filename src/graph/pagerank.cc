@@ -1,0 +1,66 @@
+#include "graph/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace kws::graph {
+
+namespace {
+
+std::vector<double> RunPageRank(const DataGraph& g,
+                                const PageRankOptions& options,
+                                bool weighted) {
+  const size_t n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  std::vector<double> out_weight(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (weighted) {
+      for (const Edge& e : g.Out(u)) out_weight[u] += e.weight;
+    } else {
+      out_weight[u] = static_cast<double>(g.OutDegree(u));
+    }
+  }
+  const double base = (1.0 - options.damping) / static_cast<double>(n);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (out_weight[u] <= 0) {
+        dangling += rank[u];
+        continue;
+      }
+      for (const Edge& e : g.Out(u)) {
+        const double share = weighted ? e.weight / out_weight[u]
+                                      : 1.0 / out_weight[u];
+        next[e.to] += options.damping * rank[u] * share;
+      }
+    }
+    const double dangling_share =
+        options.damping * dangling / static_cast<double>(n);
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] += base + dangling_share;
+      delta += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace
+
+std::vector<double> PageRank(const DataGraph& g,
+                             const PageRankOptions& options) {
+  return RunPageRank(g, options, /*weighted=*/false);
+}
+
+std::vector<double> WeightedPageRank(const DataGraph& g,
+                                     const PageRankOptions& options) {
+  return RunPageRank(g, options, /*weighted=*/true);
+}
+
+}  // namespace kws::graph

@@ -1,0 +1,32 @@
+#ifndef KWDB_GRAPH_PAGERANK_H_
+#define KWDB_GRAPH_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace kws::graph {
+
+/// PageRank parameters. The tutorial adapts PageRank twice: as node
+/// authority for ranking (slide 145) and as entity "queriability" for form
+/// generation (slide 60); both use this routine.
+struct PageRankOptions {
+  double damping = 0.85;
+  size_t max_iterations = 50;
+  double tolerance = 1e-9;
+};
+
+/// Standard power-iteration PageRank over the graph's directed edges.
+/// Scores sum to 1. Dangling mass is redistributed uniformly.
+std::vector<double> PageRank(const DataGraph& g,
+                             const PageRankOptions& options = {});
+
+/// Weighted PageRank: a node spreads score to out-neighbors proportionally
+/// to edge weight (used by the form-generation queriability model, where
+/// weights encode average participation).
+std::vector<double> WeightedPageRank(const DataGraph& g,
+                                     const PageRankOptions& options = {});
+
+}  // namespace kws::graph
+
+#endif  // KWDB_GRAPH_PAGERANK_H_

@@ -1,0 +1,83 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace kws::graph {
+
+std::vector<NodeId> ShortestPaths::PathTo(NodeId n) const {
+  if (!Reachable(n)) return {};
+  std::vector<NodeId> path;
+  int32_t cur = static_cast<int32_t>(n);
+  while (cur >= 0) {
+    path.push_back(static_cast<NodeId>(cur));
+    cur = parent[cur];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPaths Dijkstra(const DataGraph& g, const std::vector<NodeId>& sources,
+                       Direction direction, double max_dist) {
+  ShortestPaths out;
+  out.dist.assign(g.num_nodes(), kInfDist);
+  out.parent.assign(g.num_nodes(), -1);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  for (NodeId s : sources) {
+    if (out.dist[s] > 0) {
+      out.dist[s] = 0;
+      pq.push({0.0, s});
+    }
+  }
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > out.dist[u]) continue;
+    const std::vector<Edge>& edges =
+        direction == Direction::kForward ? g.Out(u) : g.In(u);
+    for (const Edge& e : edges) {
+      const double nd = d + e.weight;
+      if (nd > max_dist) continue;
+      if (nd < out.dist[e.to]) {
+        out.dist[e.to] = nd;
+        out.parent[e.to] = static_cast<int32_t>(u);
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  return out;
+}
+
+ShortestPaths Bfs(const DataGraph& g, const std::vector<NodeId>& sources,
+                  Direction direction, double max_dist) {
+  ShortestPaths out;
+  out.dist.assign(g.num_nodes(), kInfDist);
+  out.parent.assign(g.num_nodes(), -1);
+  std::deque<NodeId> queue;
+  for (NodeId s : sources) {
+    if (out.dist[s] != 0) {
+      out.dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const double nd = out.dist[u] + 1;
+    if (nd > max_dist) continue;
+    const std::vector<Edge>& edges =
+        direction == Direction::kForward ? g.Out(u) : g.In(u);
+    for (const Edge& e : edges) {
+      if (out.dist[e.to] == kInfDist) {
+        out.dist[e.to] = nd;
+        out.parent[e.to] = static_cast<int32_t>(u);
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace kws::graph

@@ -1,0 +1,42 @@
+#ifndef KWDB_GRAPH_SHORTEST_PATH_H_
+#define KWDB_GRAPH_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace kws::graph {
+
+/// Output of a single-source shortest-path computation: distance and
+/// predecessor per node (kInfDist / -1 when unreachable).
+struct ShortestPaths {
+  std::vector<double> dist;
+  std::vector<int32_t> parent;
+
+  bool Reachable(NodeId n) const { return dist[n] != kInfDist; }
+
+  /// Reconstructs the path source..n (inclusive); empty when unreachable.
+  std::vector<NodeId> PathTo(NodeId n) const;
+};
+
+/// Direction of traversal relative to the stored edges.
+enum class Direction {
+  kForward,   // follow Out()
+  kBackward,  // follow In() (i.e., shortest path *to* the sources)
+};
+
+/// Dijkstra from `sources` (multi-source: distance is to the nearest
+/// source). `max_dist` prunes the search frontier; nodes farther than it
+/// keep kInfDist.
+ShortestPaths Dijkstra(const DataGraph& g, const std::vector<NodeId>& sources,
+                       Direction direction = Direction::kForward,
+                       double max_dist = kInfDist);
+
+/// Unweighted BFS hop counts from `sources` (hops in `dist`).
+ShortestPaths Bfs(const DataGraph& g, const std::vector<NodeId>& sources,
+                  Direction direction = Direction::kForward,
+                  double max_dist = kInfDist);
+
+}  // namespace kws::graph
+
+#endif  // KWDB_GRAPH_SHORTEST_PATH_H_

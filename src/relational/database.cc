@@ -1,0 +1,135 @@
+#include "relational/database.h"
+
+namespace kws::relational {
+
+Result<TableId> Database::CreateTable(TableSchema schema) {
+  if (table_names_.count(schema.name) > 0) {
+    return Status::AlreadyExists("table " + schema.name + " already exists");
+  }
+  if (schema.columns.empty()) {
+    return Status::InvalidArgument("table " + schema.name + " has no columns");
+  }
+  if (schema.primary_key >= schema.columns.size()) {
+    return Status::InvalidArgument("primary key column out of range in " +
+                                   schema.name);
+  }
+  const TableId id = static_cast<TableId>(tables_.size());
+  table_names_.emplace(schema.name, id);
+  tables_.push_back(std::make_unique<Table>(std::move(schema)));
+  schema_adjacency_.emplace_back();
+  return id;
+}
+
+Status Database::AddForeignKey(const std::string& table,
+                               const std::string& column,
+                               const std::string& ref_table,
+                               const std::string& ref_column) {
+  Result<TableId> from = FindTable(table);
+  if (!from.ok()) return from.status();
+  Result<TableId> to = FindTable(ref_table);
+  if (!to.ok()) return to.status();
+  const int from_col = tables_[from.value()]->schema().FindColumn(column);
+  if (from_col < 0) {
+    return Status::NotFound("column " + column + " in table " + table);
+  }
+  const int to_col = tables_[to.value()]->schema().FindColumn(ref_column);
+  if (to_col < 0) {
+    return Status::NotFound("column " + ref_column + " in table " + ref_table);
+  }
+  if (static_cast<ColumnId>(to_col) !=
+      tables_[to.value()]->schema().primary_key) {
+    return Status::InvalidArgument("foreign key must reference primary key of " +
+                                   ref_table);
+  }
+  ForeignKey fk;
+  fk.table = from.value();
+  fk.column = static_cast<ColumnId>(from_col);
+  fk.ref_table = to.value();
+  fk.ref_column = static_cast<ColumnId>(to_col);
+  const uint32_t fk_index = static_cast<uint32_t>(fks_.size());
+  fks_.push_back(fk);
+  schema_adjacency_[fk.table].push_back(
+      SchemaEdge{fk_index, fk.ref_table, /*forward=*/true});
+  schema_adjacency_[fk.ref_table].push_back(
+      SchemaEdge{fk_index, fk.table, /*forward=*/false});
+  tables_[fk.table]->BuildColumnIndex(fk.column);
+  return Status::OK();
+}
+
+Result<TableId> Database::FindTable(const std::string& name) const {
+  auto it = table_names_.find(name);
+  if (it == table_names_.end()) {
+    return Status::NotFound("table " + name + " not found");
+  }
+  return it->second;
+}
+
+const std::vector<SchemaEdge>& Database::SchemaNeighbors(
+    TableId table_id) const {
+  return schema_adjacency_[table_id];
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t->num_rows();
+  return total;
+}
+
+void Database::BuildTextIndexes() {
+  text_indexes_.clear();
+  for (const auto& t : tables_) {
+    auto index = std::make_unique<text::InvertedIndex>();
+    for (RowId r = 0; r < t->num_rows(); ++r) {
+      const std::string content = t->SearchableText(r);
+      if (!content.empty()) index->AddDocument(r, content);
+    }
+    text_indexes_.push_back(std::move(index));
+  }
+}
+
+std::vector<RowId> Database::MatchRows(TableId table_id,
+                                       const std::string& term) const {
+  std::vector<RowId> out;
+  for (const text::Posting& p : text_indexes_[table_id]->GetPostings(term)) {
+    out.push_back(p.doc);
+  }
+  return out;
+}
+
+std::vector<TupleId> Database::JoinedRows(uint32_t fk_index, TupleId tuple,
+                                          bool from_referencing) const {
+  const ForeignKey& fk = fks_[fk_index];
+  std::vector<TupleId> out;
+  if (from_referencing) {
+    // tuple is in fk.table; follow the FK value to the referenced row.
+    const Value& v = tables_[fk.table]->cell(tuple.row, fk.column);
+    if (v.is_null()) return out;
+    Result<RowId> target = tables_[fk.ref_table]->FindByKey(v);
+    if (target.ok()) out.push_back(TupleId{fk.ref_table, target.value()});
+  } else {
+    // tuple is in fk.ref_table; collect all referencing rows.
+    const Value& key = tables_[fk.ref_table]->cell(tuple.row,
+                                                   fk.ref_column);
+    for (RowId r : tables_[fk.table]->FindByValue(fk.column, key)) {
+      out.push_back(TupleId{fk.table, r});
+    }
+  }
+  return out;
+}
+
+std::string Database::TupleToString(TupleId t) const {
+  const Table& tab = *tables_[t.table];
+  std::string out = tab.name();
+  out += '(';
+  const Row& row = tab.row(t.row);
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) out += ", ";
+    out += tab.schema().columns[c].name;
+    out += '=';
+    out += row[c].ToString();
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace kws::relational

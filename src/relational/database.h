@@ -1,0 +1,97 @@
+#ifndef KWDB_RELATIONAL_DATABASE_H_
+#define KWDB_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "text/inverted_index.h"
+
+namespace kws::relational {
+
+/// An undirected view of one foreign key, used when walking the schema
+/// graph (candidate networks traverse FK edges in both directions).
+struct SchemaEdge {
+  /// Index into Database::foreign_keys().
+  uint32_t fk = 0;
+  /// The table on the other side of the edge from the table being expanded.
+  TableId other = 0;
+  /// True when the expanded table is the referencing side of the FK.
+  bool forward = false;
+};
+
+/// The embedded database: catalog of tables, foreign keys, the schema
+/// graph, and per-table full-text indexes over searchable columns.
+///
+/// This substitutes for the commercial RDBMS the surveyed systems sat on
+/// top of; see DESIGN.md ("Substitutions").
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Registers a new table; name must be unique. Returns its TableId.
+  Result<TableId> CreateTable(TableSchema schema);
+
+  /// Declares a foreign key; both sides must name existing columns, and
+  /// the referenced column must be its table's primary key. Builds the
+  /// join index on the referencing column.
+  Status AddForeignKey(const std::string& table, const std::string& column,
+                       const std::string& ref_table,
+                       const std::string& ref_column);
+
+  size_t num_tables() const { return tables_.size(); }
+  Table& table(TableId id) { return *tables_[id]; }
+  const Table& table(TableId id) const { return *tables_[id]; }
+
+  /// Table by name.
+  Result<TableId> FindTable(const std::string& name) const;
+
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+
+  /// Schema-graph neighbors of `table_id`: one edge per FK touching it
+  /// (both directions).
+  const std::vector<SchemaEdge>& SchemaNeighbors(TableId table_id) const;
+
+  /// Total number of rows across all tables.
+  size_t TotalRows() const;
+
+  /// (Re)builds the per-table full-text indexes. Must be called after
+  /// loading data and before keyword queries.
+  void BuildTextIndexes();
+
+  /// Full-text index of `table_id` (BuildTextIndexes must have run).
+  const text::InvertedIndex& TextIndex(TableId table_id) const {
+    return *text_indexes_[table_id];
+  }
+
+  /// Rows of `table_id` whose searchable text contains `term`
+  /// (a single normalized token).
+  std::vector<RowId> MatchRows(TableId table_id, const std::string& term) const;
+
+  /// Rows joined to `(table,row)` through foreign key `fk_index`, starting
+  /// from the side indicated by `from_referencing`:
+  ///  - from the referencing side: the single referenced row (or empty);
+  ///  - from the referenced side: all referencing rows.
+  std::vector<TupleId> JoinedRows(uint32_t fk_index, TupleId tuple,
+                                  bool from_referencing) const;
+
+  /// Human-readable rendering "table(col=val, ...)" of one tuple.
+  std::string TupleToString(TupleId t) const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, TableId> table_names_;
+  std::vector<ForeignKey> fks_;
+  std::vector<std::vector<SchemaEdge>> schema_adjacency_;
+  std::vector<std::unique_ptr<text::InvertedIndex>> text_indexes_;
+};
+
+}  // namespace kws::relational
+
+#endif  // KWDB_RELATIONAL_DATABASE_H_

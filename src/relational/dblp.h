@@ -1,0 +1,71 @@
+#ifndef KWDB_RELATIONAL_DBLP_H_
+#define KWDB_RELATIONAL_DBLP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "relational/database.h"
+
+namespace kws::relational {
+
+/// Parameters of the synthetic bibliographic database. Defaults give a
+/// small corpus suitable for unit tests; benchmarks scale them up.
+struct DblpOptions {
+  uint64_t seed = 42;
+  size_t num_conferences = 20;
+  size_t num_authors = 200;
+  size_t num_papers = 500;
+  /// Mean number of authors per paper (>=1; sampled 1..2*mean-1).
+  size_t authors_per_paper = 2;
+  /// Mean citations out of each paper.
+  size_t cites_per_paper = 2;
+  /// Number of distinct title vocabulary terms.
+  size_t vocab_size = 400;
+  /// Zipf skew of term usage in titles (1.0 ~ natural language).
+  double zipf_theta = 1.0;
+  /// Terms per paper title (uniform in [min,max]).
+  size_t title_terms_min = 3;
+  size_t title_terms_max = 7;
+};
+
+/// The generated database plus the ids of its tables, so callers do not
+/// have to look them up by name.
+struct DblpDatabase {
+  std::unique_ptr<Database> db;
+  TableId conference = 0;
+  TableId author = 0;
+  TableId paper = 0;
+  TableId writes = 0;
+  TableId cite = 0;
+  /// The title vocabulary, most-frequent first (rank order of the Zipf
+  /// sampler). Useful for building queries with known selectivity.
+  std::vector<std::string> vocabulary;
+};
+
+/// Generates the DBLP-like database described in DESIGN.md:
+///
+///   conference(cid, name, year)
+///   author(aid, name)
+///   paper(pid, title, cid -> conference)
+///   writes(wid, aid -> author, pid -> paper)
+///   cite(clid, citing -> paper, cited -> paper)
+///
+/// The schema graph is the one used throughout the tutorial's examples
+/// (author -- writes -- paper -- conference, with a self-referencing cycle
+/// through cite). Text indexes are built before returning.
+DblpDatabase MakeDblpDatabase(const DblpOptions& options = {});
+
+/// The synthetic title vocabulary: `n` distinct lower-case terms, the
+/// first ~130 being real database-conference words (so examples read
+/// naturally), the rest generated from syllables. Deterministic.
+std::vector<std::string> MakeVocabulary(size_t n);
+
+/// A pool of synthetic person names ("james chen" style); deterministic,
+/// size `n`, all distinct.
+std::vector<std::string> MakePersonNames(size_t n);
+
+}  // namespace kws::relational
+
+#endif  // KWDB_RELATIONAL_DBLP_H_

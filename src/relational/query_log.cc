@@ -1,0 +1,53 @@
+#include "relational/query_log.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kws::relational {
+
+QueryLog MakeQueryLog(const Database& db, TableId table_id,
+                      const QueryLogOptions& options) {
+  QueryLog log;
+  const Table& table = db.table(table_id);
+  if (table.num_rows() == 0) return log;
+  Rng rng(options.seed);
+  ZipfSampler row_sampler(table.num_rows(), options.row_zipf_theta);
+  const TableSchema& schema = table.schema();
+
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    const RowId row = static_cast<RowId>(row_sampler.Sample(rng));
+    LoggedQuery lq;
+    for (ColumnId c = 0; c < schema.columns.size(); ++c) {
+      if (c == schema.primary_key) continue;
+      if (!rng.Chance(options.predicate_prob)) continue;
+      const Value& v = table.cell(row, c);
+      if (v.is_null()) continue;
+      LoggedPredicate p;
+      p.column = c;
+      if (v.type() == ValueType::kText) {
+        p.equals = v;
+      } else {
+        // Bracket the numeric value into a range around it.
+        const double x = v.AsNumber();
+        const double width = std::max(1.0, std::abs(x) * 0.2);
+        p.lo = x - width;
+        p.hi = x + width;
+      }
+      lq.predicates.push_back(std::move(p));
+    }
+    // Keywords: 1-3 tokens from the row's text.
+    const std::vector<std::string> tokens =
+        db.TextIndex(table_id).tokenizer().Tokenize(
+            table.SearchableText(row));
+    if (!tokens.empty()) {
+      const size_t n = 1 + rng.Index(std::min<size_t>(3, tokens.size()));
+      for (size_t i = 0; i < n; ++i) {
+        lq.keywords.push_back(tokens[rng.Index(tokens.size())]);
+      }
+    }
+    log.push_back(std::move(lq));
+  }
+  return log;
+}
+
+}  // namespace kws::relational

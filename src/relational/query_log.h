@@ -1,0 +1,57 @@
+#ifndef KWDB_RELATIONAL_QUERY_LOG_H_
+#define KWDB_RELATIONAL_QUERY_LOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "relational/database.h"
+
+namespace kws::relational {
+
+/// One selection condition recorded in a logged query: either an equality
+/// on a categorical column or a numeric range.
+struct LoggedPredicate {
+  ColumnId column = 0;
+  /// Equality target (categorical); unset for range predicates.
+  std::optional<Value> equals;
+  /// Range bounds (numeric); either may be open.
+  std::optional<double> lo;
+  std::optional<double> hi;
+};
+
+/// One historical query: free-text keywords plus structured predicates.
+/// This is the input the faceted-search cost model, IQP binding estimator
+/// and Keyword++ DQP analysis consume.
+struct LoggedQuery {
+  std::vector<std::string> keywords;
+  std::vector<LoggedPredicate> predicates;
+  /// How many times this query was issued (weight in estimators).
+  uint32_t count = 1;
+};
+
+using QueryLog = std::vector<LoggedQuery>;
+
+/// Options for the synthetic query-log generator.
+struct QueryLogOptions {
+  uint64_t seed = 42;
+  size_t num_queries = 500;
+  /// Probability a query carries a predicate on any given column.
+  double predicate_prob = 0.4;
+  /// Zipf skew over rows when sampling which entities are asked about.
+  double row_zipf_theta = 0.8;
+};
+
+/// Generates a query log against `table_id` of `db`: each logged query
+/// targets a (Zipf-sampled) row, copies some of its categorical values as
+/// equality predicates, brackets some numeric values into ranges, and
+/// draws keywords from the row's searchable text. This reproduces the
+/// statistical structure real logs give the surveyed estimators: popular
+/// entities are queried more, predicates correlate with data values.
+QueryLog MakeQueryLog(const Database& db, TableId table_id,
+                      const QueryLogOptions& options = {});
+
+}  // namespace kws::relational
+
+#endif  // KWDB_RELATIONAL_QUERY_LOG_H_

@@ -1,0 +1,76 @@
+#ifndef KWDB_RELATIONAL_SCHEMA_H_
+#define KWDB_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace kws::relational {
+
+/// Index of a table in the database catalog.
+using TableId = uint32_t;
+/// Index of a row within one table.
+using RowId = uint32_t;
+/// Index of a column within one table.
+using ColumnId = uint32_t;
+
+/// A tuple anywhere in the database: (table, row). This is the node
+/// identity used by the data-graph substrate and by candidate-network
+/// results.
+struct TupleId {
+  TableId table = 0;
+  RowId row = 0;
+
+  bool operator==(const TupleId& o) const {
+    return table == o.table && row == o.row;
+  }
+  bool operator<(const TupleId& o) const {
+    return table != o.table ? table < o.table : row < o.row;
+  }
+};
+
+struct TupleIdHash {
+  size_t operator()(const TupleId& t) const {
+    return (static_cast<size_t>(t.table) << 32) ^ t.row;
+  }
+};
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kText;
+  /// TEXT columns with this flag set are covered by the full-text index
+  /// (keyword matching). Key columns are typically excluded.
+  bool searchable = false;
+};
+
+/// A foreign-key edge in the schema graph: `table.column` references
+/// `ref_table.ref_column` (the referenced column is a key).
+struct ForeignKey {
+  TableId table = 0;
+  ColumnId column = 0;
+  TableId ref_table = 0;
+  ColumnId ref_column = 0;
+};
+
+/// Table definition: name, columns, primary key.
+struct TableSchema {
+  std::string name;
+  std::vector<Column> columns;
+  /// Column holding the primary key (single-column keys only).
+  ColumnId primary_key = 0;
+
+  /// Index of the column called `name`, or -1.
+  int FindColumn(const std::string& column_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace kws::relational
+
+#endif  // KWDB_RELATIONAL_SCHEMA_H_

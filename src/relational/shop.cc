@@ -1,0 +1,137 @@
+#include "relational/shop.h"
+
+#include <cassert>
+#include <iterator>
+
+#include "common/random.h"
+
+namespace kws::relational {
+
+namespace {
+
+struct BrandInfo {
+  const char* brand;
+  const char* synonym;      // a word users type that means this brand
+  const char* model_stem;
+};
+
+constexpr BrandInfo kBrands[] = {
+    {"lenovo", "ibm", "thinkpad"},   {"asus", "eee", "zenbook"},
+    {"apple", "mac", "macbook"},     {"dell", "alienware", "latitude"},
+    {"acer", "aspire", "aoa"},       {"toyota", "corolla", "camry"},
+    {"honda", "civic", "accord"}};
+
+constexpr const char* kCategories[] = {"laptop", "tablet", "phone", "car"};
+
+constexpr const char* kMonths[] = {"jan", "feb", "mar", "apr", "may", "jun",
+                                   "jul", "aug", "sep", "oct", "nov", "dec"};
+constexpr const char* kStates[] = {"tx", "mi", "ca", "ny", "wa"};
+constexpr const char* kCities[] = {"houston", "dallas", "austin",  "detroit",
+                                   "flint",   "lansing", "seattle", "albany"};
+
+}  // namespace
+
+ShopDatabase MakeShopDatabase(const ShopOptions& options) {
+  ShopDatabase out;
+  out.db = std::make_unique<Database>();
+  Database& db = *out.db;
+  Rng rng(options.seed);
+
+  TableSchema schema;
+  schema.name = "product";
+  schema.columns = {{"id", ValueType::kInt, false},
+                    {"name", ValueType::kText, true},
+                    {"brand", ValueType::kText, true},
+                    {"category", ValueType::kText, true},
+                    {"screen", ValueType::kReal, false},
+                    {"price", ValueType::kReal, false},
+                    {"year", ValueType::kInt, false},
+                    {"description", ValueType::kText, true}};
+  schema.primary_key = 0;
+  out.product = db.CreateTable(schema).value();
+
+  Table& product = db.table(out.product);
+  const size_t nb = std::size(kBrands);
+  for (size_t i = 0; i < options.num_products; ++i) {
+    const BrandInfo& b = kBrands[rng.Index(nb)];
+    const bool is_car = (b.brand == std::string("toyota") ||
+                         b.brand == std::string("honda"));
+    const char* category =
+        is_car ? "car" : kCategories[rng.Index(std::size(kCategories) - 1)];
+    const double screen = is_car ? 0.0 : 10.0 + rng.Index(8);
+    const double price =
+        is_car ? 2000.0 + rng.Index(30000) : 200.0 + rng.Index(2800);
+    const int64_t year = 2000 + static_cast<int64_t>(rng.Index(11));
+
+    std::string name = std::string(b.model_stem) + " " +
+                       std::to_string(100 + rng.Index(900));
+    // Plant the Keyword++ correlations: descriptions mention the brand's
+    // synonym keyword and size adjectives tied to the screen attribute.
+    std::string desc = std::string("the ") + b.synonym + " " + category;
+    if (!is_car && screen <= 12.0) desc += " small portable lightweight";
+    if (!is_car && screen >= 16.0) desc += " large widescreen desktop replacement";
+    if (price < 800) desc += " cheap budget value";
+    if (price > 15000) desc += " premium luxury";
+    if (rng.Chance(0.3)) desc += " powerful fast processor";
+    if (rng.Chance(0.3)) desc += " business travel";
+
+    product
+        .Append({Value::Int(static_cast<int64_t>(i)), Value::Text(name),
+                 Value::Text(b.brand), Value::Text(category),
+                 Value::Real(screen), Value::Real(price), Value::Int(year),
+                 Value::Text(desc)})
+        .value();
+  }
+  db.BuildTextIndexes();
+  return out;
+}
+
+ShopDatabase MakeEventsDatabase(uint64_t seed, size_t noise_rows) {
+  ShopDatabase out;
+  out.db = std::make_unique<Database>();
+  Database& db = *out.db;
+  Rng rng(seed);
+
+  TableSchema schema;
+  schema.name = "event";
+  schema.columns = {{"id", ValueType::kInt, false},
+                    {"month", ValueType::kText, true},
+                    {"state", ValueType::kText, true},
+                    {"city", ValueType::kText, true},
+                    {"name", ValueType::kText, true},
+                    {"description", ValueType::kText, true}};
+  schema.primary_key = 0;
+  out.product = db.CreateTable(schema).value();
+  Table& event = db.table(out.product);
+
+  int64_t id = 0;
+  auto add = [&](const char* month, const char* state, const char* city,
+                 const char* name, const char* desc) {
+    event
+        .Append({Value::Int(id++), Value::Text(month), Value::Text(state),
+                 Value::Text(city), Value::Text(name), Value::Text(desc)})
+        .value();
+  };
+  // Planted rows from tutorial slide 16 (lower-cased).
+  add("dec", "tx", "houston", "us open pool", "best of 19 ranking");
+  add("dec", "tx", "dallas", "cowboys dream run", "motorcycle beer");
+  add("dec", "tx", "austin", "spam museum party", "classical american food");
+  add("oct", "mi", "detroit", "motorcycle rallies", "tournament round robin");
+  add("oct", "mi", "flint", "michigan pool", "exhibition non ranking 2 days");
+  add("sep", "mi", "lansing", "american food history", "best food from usa");
+  // Noise rows: random attributes, descriptions that never contain all
+  // three query keywords at once.
+  constexpr const char* kNoiseDescs[] = {
+      "jazz concert outdoors", "city marathon run",  "beer festival local",
+      "charity auction gala",  "film screening night", "farmers market"};
+  for (size_t i = 0; i < noise_rows; ++i) {
+    add(kMonths[rng.Index(std::size(kMonths))],
+        kStates[rng.Index(std::size(kStates))],
+        kCities[rng.Index(std::size(kCities))], "community event",
+        kNoiseDescs[rng.Index(std::size(kNoiseDescs))]);
+  }
+  db.BuildTextIndexes();
+  return out;
+}
+
+}  // namespace kws::relational

@@ -1,0 +1,47 @@
+#ifndef KWDB_RELATIONAL_SHOP_H_
+#define KWDB_RELATIONAL_SHOP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace kws::relational {
+
+/// Parameters for the synthetic product catalog used by the faceted-search
+/// and Keyword++ experiments (tutorial slides 84-99).
+struct ShopOptions {
+  uint64_t seed = 42;
+  size_t num_products = 1000;
+};
+
+/// The generated catalog plus its single table id.
+struct ShopDatabase {
+  std::unique_ptr<Database> db;
+  TableId product = 0;
+};
+
+/// Generates
+///
+///   product(id, name, brand, category, screen, price, year, description)
+///
+/// with correlated attributes: e.g. brand "lenovo" products mention "ibm"
+/// and "thinkpad" in their description (the Keyword++ synonym scenario),
+/// and small-screen laptops say "small" or "portable" (the non-quantitative
+/// predicate scenario). Text indexes are built before returning.
+ShopDatabase MakeShopDatabase(const ShopOptions& options = {});
+
+/// Generates the events table of tutorial slide 16:
+///
+///   event(id, month, state, city, name, description)
+///
+/// with planted clusters so that the aggregate keyword query
+/// {motorcycle, pool, american food} is covered by (Dec, TX) and (*, MI)
+/// exactly as in the slide. Extra noise rows are added around the planted
+/// ones. Used by the table-analysis module.
+ShopDatabase MakeEventsDatabase(uint64_t seed = 42, size_t noise_rows = 100);
+
+}  // namespace kws::relational
+
+#endif  // KWDB_RELATIONAL_SHOP_H_

@@ -1,0 +1,70 @@
+#include "relational/table.h"
+
+namespace kws::relational {
+
+Result<RowId> Table::Append(Row row) {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument("row arity mismatch for table " +
+                                   schema_.name);
+  }
+  const Value& key = row[schema_.primary_key];
+  if (!key.is_null()) {
+    auto [it, inserted] =
+        pk_index_.emplace(key, static_cast<RowId>(rows_.size()));
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate primary key " + key.ToString() +
+                                   " in table " + schema_.name);
+    }
+  }
+  const RowId id = static_cast<RowId>(rows_.size());
+  // Maintain any secondary indexes built before this append.
+  for (auto& [col, index] : column_indexes_) {
+    index[row[col]].push_back(id);
+  }
+  rows_.push_back(std::move(row));
+  return id;
+}
+
+Result<RowId> Table::FindByKey(const Value& key) const {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) {
+    return Status::NotFound("key " + key.ToString() + " not in table " +
+                            schema_.name);
+  }
+  return it->second;
+}
+
+std::vector<RowId> Table::FindByValue(ColumnId col, const Value& value) const {
+  auto idx_it = column_indexes_.find(col);
+  if (idx_it != column_indexes_.end()) {
+    auto it = idx_it->second.find(value);
+    return it == idx_it->second.end() ? std::vector<RowId>{} : it->second;
+  }
+  std::vector<RowId> out;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (rows_[id][col] == value) out.push_back(id);
+  }
+  return out;
+}
+
+void Table::BuildColumnIndex(ColumnId col) {
+  auto& index = column_indexes_[col];
+  index.clear();
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index[rows_[id][col]].push_back(id);
+  }
+}
+
+std::string Table::SearchableText(RowId id) const {
+  std::string out;
+  const Row& r = rows_[id];
+  for (size_t c = 0; c < schema_.columns.size(); ++c) {
+    if (!schema_.columns[c].searchable) continue;
+    if (r[c].type() != ValueType::kText) continue;
+    if (!out.empty()) out += ' ';
+    out += r[c].AsText();
+  }
+  return out;
+}
+
+}  // namespace kws::relational

@@ -1,0 +1,59 @@
+#ifndef KWDB_RELATIONAL_TABLE_H_
+#define KWDB_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace kws::relational {
+
+/// A row is one Value per column of the owning table's schema.
+using Row = std::vector<Value>;
+
+/// In-memory, append-only table. Maintains a primary-key hash index.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.columns.size(); }
+
+  /// Appends `row`; it must match the schema arity and the primary key
+  /// must be unique. Returns the new row id.
+  Result<RowId> Append(Row row);
+
+  const Row& row(RowId id) const { return rows_[id]; }
+  const Value& cell(RowId id, ColumnId col) const { return rows_[id][col]; }
+
+  /// Row whose primary key equals `key`, if any.
+  Result<RowId> FindByKey(const Value& key) const;
+
+  /// All rows where column `col` equals `value` (hash lookup when an index
+  /// was built with BuildColumnIndex, scan otherwise).
+  std::vector<RowId> FindByValue(ColumnId col, const Value& value) const;
+
+  /// Builds an equality hash index on `col` (used for FK join columns).
+  void BuildColumnIndex(ColumnId col);
+
+  /// Concatenation of all searchable TEXT cells of `id`, used for
+  /// full-text indexing and snippeting.
+  std::string SearchableText(RowId id) const;
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::unordered_map<Value, RowId, ValueHash> pk_index_;
+  std::unordered_map<ColumnId,
+                     std::unordered_map<Value, std::vector<RowId>, ValueHash>>
+      column_indexes_;
+};
+
+}  // namespace kws::relational
+
+#endif  // KWDB_RELATIONAL_TABLE_H_

@@ -1,0 +1,86 @@
+#include "relational/value.h"
+
+#include <functional>
+
+namespace kws::relational {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kReal:
+      return "REAL";
+    case ValueType::kText:
+      return "TEXT";
+  }
+  return "?";
+}
+
+double Value::AsNumber() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kReal:
+      return AsReal();
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kReal: {
+      std::string s = std::to_string(AsReal());
+      return s;
+    }
+    case ValueType::kText:
+      return AsText();
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  if (a == ValueType::kText || b == ValueType::kText) {
+    return a == b && AsText() == other.AsText();
+  }
+  if (a == ValueType::kNull || b == ValueType::kNull) return a == b;
+  // Numeric cross-type comparison.
+  return AsNumber() == other.AsNumber();
+}
+
+bool Value::operator<(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  const bool a_num = (a == ValueType::kInt || a == ValueType::kReal);
+  const bool b_num = (b == ValueType::kInt || b == ValueType::kReal);
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    return a == ValueType::kNull && b != ValueType::kNull;
+  }
+  if (a_num && b_num) return AsNumber() < other.AsNumber();
+  if (a_num != b_num) return a_num;  // numbers sort before text
+  return AsText() < other.AsText();
+}
+
+size_t ValueHash::operator()(const Value& v) const {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0x9E3779B9u;
+    case ValueType::kInt:
+      return std::hash<int64_t>()(v.AsInt());
+    case ValueType::kReal:
+      return std::hash<double>()(v.AsReal());
+    case ValueType::kText:
+      return std::hash<std::string>()(v.AsText());
+  }
+  return 0;
+}
+
+}  // namespace kws::relational

@@ -1,0 +1,78 @@
+#ifndef KWDB_RELATIONAL_VALUE_H_
+#define KWDB_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace kws::relational {
+
+/// Column data types supported by the embedded engine. TEXT columns are
+/// the ones keyword search matches against; INT/REAL columns feed numeric
+/// predicates (facets, Keyword++ ORDER BY mapping).
+enum class ValueType { kNull, kInt, kReal, kText };
+
+const char* ValueTypeToString(ValueType type);
+
+/// A single typed cell. Cheap to copy for INT/REAL; TEXT owns its string.
+class Value {
+ public:
+  /// Null value.
+  Value() : data_(std::monostate{}) {}
+  /// Integer value.
+  static Value Int(int64_t v) { return Value(v); }
+  /// Real value.
+  static Value Real(double v) { return Value(v); }
+  /// Text value.
+  static Value Text(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 1:
+        return ValueType::kInt;
+      case 2:
+        return ValueType::kReal;
+      case 3:
+        return ValueType::kText;
+      default:
+        return ValueType::kNull;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; the value must hold the requested type.
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsReal() const { return std::get<double>(data_); }
+  const std::string& AsText() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: INT and REAL both convert; others return 0.
+  double AsNumber() const;
+
+  /// Human-readable rendering (nulls render as "NULL").
+  std::string ToString() const;
+
+  /// Equality is type-sensitive except INT==REAL which compares numerically.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Ordering for sorting/grouping: null < numbers < text.
+  bool operator<(const Value& other) const;
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+/// Hash functor so values can key unordered containers (join indexes).
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+}  // namespace kws::relational
+
+#endif  // KWDB_RELATIONAL_VALUE_H_

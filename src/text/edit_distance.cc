@@ -1,0 +1,85 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace kws::text {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t max_dist) {
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  const size_t len_gap = la > lb ? la - lb : lb - la;
+  if (len_gap > max_dist) return max_dist + 1;
+  // Band of width 2*max_dist+1 around the diagonal.
+  const size_t kInf = max_dist + 1;
+  std::vector<size_t> prev(lb + 1, kInf);
+  std::vector<size_t> cur(lb + 1, kInf);
+  for (size_t j = 0; j <= std::min(lb, max_dist); ++j) prev[j] = j;
+  for (size_t i = 1; i <= la; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const size_t lo = (i > max_dist) ? i - max_dist : 0;
+    const size_t hi = std::min(lb, i + max_dist);
+    if (lo == 0) cur[0] = i <= max_dist ? i : kInf;
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      size_t best = prev[j - 1] + cost;  // substitute / match
+      if (prev[j] + 1 < best) best = prev[j] + 1;  // delete from a
+      if (cur[j - 1] + 1 < best) best = cur[j - 1] + 1;  // insert into a
+      cur[j] = std::min(best, kInf);
+    }
+    std::swap(prev, cur);
+    // Early exit: whole band above the bound means distance > max_dist.
+    bool all_over = true;
+    for (size_t j = lo; j <= hi; ++j) {
+      if (prev[j] <= max_dist) {
+        all_over = false;
+        break;
+      }
+    }
+    if (all_over) return kInf;
+  }
+  return std::min(prev[lb], kInf);
+}
+
+size_t DamerauEditDistance(std::string_view a, std::string_view b) {
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  // Three rolling rows: i-2, i-1, i.
+  std::vector<size_t> two(lb + 1);
+  std::vector<size_t> one(lb + 1);
+  std::vector<size_t> cur(lb + 1);
+  for (size_t j = 0; j <= lb; ++j) one[j] = j;
+  for (size_t i = 1; i <= la; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= lb; ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({one[j] + 1, cur[j - 1] + 1, one[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], two[j - 2] + 1);
+      }
+    }
+    std::swap(two, one);
+    std::swap(one, cur);
+  }
+  return one[lb];
+}
+
+}  // namespace kws::text

@@ -1,0 +1,26 @@
+#ifndef KWDB_TEXT_EDIT_DISTANCE_H_
+#define KWDB_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace kws::text {
+
+/// Levenshtein edit distance between `a` and `b` (unit costs for insert,
+/// delete, substitute). O(|a| * |b|) time, O(min(|a|,|b|)) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein: returns the edit distance if it is <= `max_dist`,
+/// otherwise returns `max_dist + 1`. Used by the query-cleaning module to
+/// enumerate confusion sets without paying the full DP when words are far
+/// apart.
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t max_dist);
+
+/// Damerau extension: like EditDistance but also counts adjacent
+/// transposition as a single edit ("datbase" -> "database" costs 1).
+size_t DamerauEditDistance(std::string_view a, std::string_view b);
+
+}  // namespace kws::text
+
+#endif  // KWDB_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,138 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/topk.h"
+
+namespace kws::text {
+
+InvertedIndex::InvertedIndex(TokenizerOptions options)
+    : tokenizer_(options) {}
+
+void InvertedIndex::AddDocument(DocId doc, std::string_view content) {
+  const std::vector<std::string> tokens = tokenizer_.Tokenize(content);
+  doc_lengths_[doc] += static_cast<uint32_t>(tokens.size());
+  for (const std::string& t : tokens) {
+    std::vector<Posting>& plist = postings_[t];
+    if (!plist.empty() && plist.back().doc == doc) {
+      ++plist.back().tf;
+    } else if (!plist.empty() && plist.back().doc > doc) {
+      // Out-of-order insertion: find or insert keeping doc order.
+      auto it = std::lower_bound(
+          plist.begin(), plist.end(), doc,
+          [](const Posting& p, DocId d) { return p.doc < d; });
+      if (it != plist.end() && it->doc == doc) {
+        ++it->tf;
+      } else {
+        plist.insert(it, Posting{doc, 1});
+      }
+    } else {
+      plist.push_back(Posting{doc, 1});
+    }
+  }
+}
+
+const std::vector<Posting>& InvertedIndex::GetPostings(
+    std::string_view term) const {
+  auto it = postings_.find(std::string(term));
+  return it == postings_.end() ? empty_ : it->second;
+}
+
+size_t InvertedIndex::DocFreq(std::string_view term) const {
+  return GetPostings(term).size();
+}
+
+double InvertedIndex::Idf(std::string_view term) const {
+  const double n = static_cast<double>(num_docs());
+  const double df = static_cast<double>(DocFreq(term));
+  return std::log(1.0 + n / (1.0 + df));
+}
+
+uint32_t InvertedIndex::DocLength(DocId doc) const {
+  auto it = doc_lengths_.find(doc);
+  return it == doc_lengths_.end() ? 0 : it->second;
+}
+
+double InvertedIndex::Score(
+    DocId doc, const std::vector<std::string>& query_terms) const {
+  double score = 0;
+  const double len = std::max<uint32_t>(DocLength(doc), 1);
+  for (const std::string& t : query_terms) {
+    const std::vector<Posting>& plist = GetPostings(t);
+    auto it = std::lower_bound(
+        plist.begin(), plist.end(), doc,
+        [](const Posting& p, DocId d) { return p.doc < d; });
+    if (it != plist.end() && it->doc == doc) {
+      const double tf = 1.0 + std::log(static_cast<double>(it->tf));
+      score += tf * Idf(t);
+    }
+  }
+  return score / std::sqrt(len);
+}
+
+std::vector<ScoredDoc> InvertedIndex::Search(std::string_view query,
+                                             size_t k) const {
+  const std::vector<std::string> terms = tokenizer_.Tokenize(query);
+  std::unordered_map<DocId, double> acc;
+  for (const std::string& t : terms) {
+    const double idf = Idf(t);
+    for (const Posting& p : GetPostings(t)) {
+      const double tf = 1.0 + std::log(static_cast<double>(p.tf));
+      acc[p.doc] += tf * idf;
+    }
+  }
+  TopK<DocId> top(k == 0 ? 1 : k);
+  if (k == 0) return {};
+  for (const auto& [doc, raw] : acc) {
+    const double len = std::max<uint32_t>(DocLength(doc), 1);
+    top.Offer(raw / std::sqrt(len), doc);
+  }
+  std::vector<ScoredDoc> out;
+  for (auto& [score, doc] : top.TakeSorted()) {
+    out.push_back(ScoredDoc{doc, score});
+  }
+  return out;
+}
+
+std::vector<ScoredDoc> InvertedIndex::SearchConjunctive(std::string_view query,
+                                                        size_t k) const {
+  const std::vector<std::string> terms = tokenizer_.Tokenize(query);
+  if (terms.empty() || k == 0) return {};
+  // Intersect postings starting from the rarest term.
+  std::vector<std::string> ordered = terms;
+  std::sort(ordered.begin(), ordered.end(),
+            [this](const std::string& a, const std::string& b) {
+              return DocFreq(a) < DocFreq(b);
+            });
+  std::vector<DocId> docs;
+  for (const Posting& p : GetPostings(ordered[0])) docs.push_back(p.doc);
+  for (size_t i = 1; i < ordered.size() && !docs.empty(); ++i) {
+    const std::vector<Posting>& plist = GetPostings(ordered[i]);
+    std::vector<DocId> kept;
+    size_t j = 0;
+    for (DocId d : docs) {
+      while (j < plist.size() && plist[j].doc < d) ++j;
+      if (j < plist.size() && plist[j].doc == d) kept.push_back(d);
+    }
+    docs.swap(kept);
+  }
+  TopK<DocId> top(k);
+  for (DocId d : docs) top.Offer(Score(d, terms), d);
+  std::vector<ScoredDoc> out;
+  for (auto& [score, doc] : top.TakeSorted()) {
+    out.push_back(ScoredDoc{doc, score});
+  }
+  return out;
+}
+
+std::vector<std::string> InvertedIndex::Vocabulary() const {
+  std::vector<std::string> out;
+  out.reserve(postings_.size());
+  for (const auto& [term, plist] : postings_) out.push_back(term);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kws::text

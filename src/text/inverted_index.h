@@ -1,0 +1,89 @@
+#ifndef KWDB_TEXT_INVERTED_INDEX_H_
+#define KWDB_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace kws::text {
+
+/// Generic document id: relational tuples, graph nodes and XML elements are
+/// all indexed through this one structure by assigning them dense ids.
+using DocId = uint32_t;
+
+/// One posting: a document and the term's frequency in it.
+struct Posting {
+  DocId doc = 0;
+  uint32_t tf = 0;
+};
+
+/// A scored document, as returned by ranked retrieval.
+struct ScoredDoc {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// Classic inverted index with TF-IDF weighting over an append-only
+/// document collection. This is the full-text substrate every keyword
+/// search module builds on (tutorial slide 144: "TF/IDF adaptation:
+/// a document -> a node or a result").
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(TokenizerOptions options = {});
+
+  /// Indexes `content` under document id `doc`. May be called repeatedly
+  /// for the same doc (fields are concatenated logically).
+  void AddDocument(DocId doc, std::string_view content);
+
+  /// Number of indexed documents.
+  size_t num_docs() const { return doc_lengths_.size(); }
+
+  /// Number of distinct terms.
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Postings for `term` (already normalized), in increasing doc order;
+  /// empty when the term is unknown.
+  const std::vector<Posting>& GetPostings(std::string_view term) const;
+
+  /// Document frequency of `term`.
+  size_t DocFreq(std::string_view term) const;
+
+  /// Smoothed inverse document frequency: ln(1 + N / (1 + df)).
+  double Idf(std::string_view term) const;
+
+  /// Number of tokens indexed for `doc` (0 for unknown docs).
+  uint32_t DocLength(DocId doc) const;
+
+  /// TF-IDF cosine-style relevance of `doc` for tokenized `query_terms`
+  /// (terms are matched conjunctively for score accumulation but missing
+  /// terms simply contribute zero).
+  double Score(DocId doc, const std::vector<std::string>& query_terms) const;
+
+  /// Top-k ranked retrieval for free-text `query` under OR semantics.
+  std::vector<ScoredDoc> Search(std::string_view query, size_t k) const;
+
+  /// As Search, but keeps only documents containing every query term
+  /// (AND semantics — the default assumed throughout the tutorial).
+  std::vector<ScoredDoc> SearchConjunctive(std::string_view query,
+                                           size_t k) const;
+
+  /// All distinct terms (useful for vocabulary-driven modules such as
+  /// query cleaning and type-ahead).
+  std::vector<std::string> Vocabulary() const;
+
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+ private:
+  Tokenizer tokenizer_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unordered_map<DocId, uint32_t> doc_lengths_;
+  std::vector<Posting> empty_;
+};
+
+}  // namespace kws::text
+
+#endif  // KWDB_TEXT_INVERTED_INDEX_H_

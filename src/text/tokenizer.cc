@@ -1,0 +1,47 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace kws::text {
+
+namespace {
+
+constexpr const char* kStopwords[] = {
+    "a",  "an", "and", "are", "as",  "at",  "be",  "by", "for", "from",
+    "in", "is", "it",  "of",  "on",  "or",  "the", "to", "with"};
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {
+  for (const char* w : kStopwords) stopwords_.insert(w);
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view input) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= options_.min_token_length &&
+        !(options_.drop_stopwords && IsStopword(current))) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char raw : input) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(options_.lowercase
+                            ? static_cast<char>(std::tolower(c))
+                            : raw);
+    } else {
+      if (!current.empty()) flush();
+    }
+  }
+  if (!current.empty()) flush();
+  return tokens;
+}
+
+bool Tokenizer::IsStopword(std::string_view word) const {
+  return stopwords_.count(std::string(word)) > 0;
+}
+
+}  // namespace kws::text

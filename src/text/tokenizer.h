@@ -1,0 +1,41 @@
+#ifndef KWDB_TEXT_TOKENIZER_H_
+#define KWDB_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace kws::text {
+
+/// Options for `Tokenizer`. Defaults match what the surveyed systems use
+/// over bibliographic text: lower-casing, alphanumeric tokens, a small
+/// English stopword list.
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool drop_stopwords = true;
+  /// Tokens shorter than this are dropped (1 keeps single letters).
+  size_t min_token_length = 1;
+};
+
+/// Splits free text into normalized keyword tokens. This is the single
+/// normalization point shared by indexing and query parsing, so a query
+/// token always compares equal to the corresponding document token.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `input`, applying the configured normalization.
+  std::vector<std::string> Tokenize(std::string_view input) const;
+
+  /// True when `word` (already lower-case) is a stopword.
+  bool IsStopword(std::string_view word) const;
+
+ private:
+  TokenizerOptions options_;
+  std::unordered_set<std::string> stopwords_;
+};
+
+}  // namespace kws::text
+
+#endif  // KWDB_TEXT_TOKENIZER_H_

@@ -1,0 +1,157 @@
+#include "text/trie.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kws::text {
+
+void Trie::Insert(std::string_view word) {
+  assert(!frozen_);
+  words_.emplace_back(word);
+}
+
+void Trie::Freeze() {
+  assert(!frozen_);
+  std::sort(words_.begin(), words_.end());
+  words_.erase(std::unique(words_.begin(), words_.end()), words_.end());
+  BuildNodes();
+  frozen_ = true;
+}
+
+void Trie::BuildNodes() {
+  nodes_.clear();
+  nodes_.push_back(Node{});
+  nodes_[0].range = {0, static_cast<uint32_t>(words_.size())};
+  struct Pending {
+    uint32_t node;
+    uint32_t depth;
+  };
+  std::vector<Pending> stack = {{0, 0}};
+  while (!stack.empty()) {
+    Pending p = stack.back();
+    stack.pop_back();
+    const WordRange range = nodes_[p.node].range;
+    // Words exactly as long as the current depth end at this node; the
+    // remainder is grouped by the character at `depth` to form children.
+    uint32_t i = range.lo;
+    while (i < range.hi && words_[i].size() == p.depth) ++i;
+    const uint32_t child_begin = static_cast<uint32_t>(nodes_.size());
+    uint16_t child_count = 0;
+    uint32_t group_start = i;
+    while (group_start < range.hi) {
+      const char c = words_[group_start][p.depth];
+      uint32_t group_end = group_start + 1;
+      while (group_end < range.hi && words_[group_end][p.depth] == c) {
+        ++group_end;
+      }
+      Node child;
+      child.label = c;
+      child.range = {group_start, group_end};
+      nodes_.push_back(child);
+      ++child_count;
+      group_start = group_end;
+    }
+    nodes_[p.node].child_begin = child_begin;
+    nodes_[p.node].child_count = child_count;
+    for (uint16_t k = 0; k < child_count; ++k) {
+      stack.push_back({child_begin + k, p.depth + 1});
+    }
+  }
+}
+
+int Trie::FindChild(uint32_t node, char c) const {
+  const Node& n = nodes_[node];
+  for (uint16_t k = 0; k < n.child_count; ++k) {
+    if (nodes_[n.child_begin + k].label == c) {
+      return static_cast<int>(n.child_begin + k);
+    }
+  }
+  return -1;
+}
+
+std::optional<uint32_t> Trie::Find(std::string_view word) const {
+  assert(frozen_);
+  auto it = std::lower_bound(words_.begin(), words_.end(), word);
+  if (it != words_.end() && *it == word) {
+    return static_cast<uint32_t>(it - words_.begin());
+  }
+  return std::nullopt;
+}
+
+WordRange Trie::PrefixRange(std::string_view prefix) const {
+  assert(frozen_);
+  uint32_t node = 0;
+  for (char c : prefix) {
+    int child = FindChild(node, c);
+    if (child < 0) return WordRange{};
+    node = static_cast<uint32_t>(child);
+  }
+  return nodes_[node].range;
+}
+
+std::vector<std::string> Trie::Complete(std::string_view prefix,
+                                        size_t limit) const {
+  WordRange r = PrefixRange(prefix);
+  std::vector<std::string> out;
+  for (uint32_t id = r.lo; id < r.hi && out.size() < limit; ++id) {
+    out.push_back(words_[id]);
+  }
+  return out;
+}
+
+std::vector<WordRange> Trie::FuzzyPrefixRanges(std::string_view prefix,
+                                               size_t max_edits) const {
+  assert(frozen_);
+  std::vector<WordRange> out;
+  std::vector<size_t> root_row(prefix.size() + 1);
+  for (size_t j = 0; j <= prefix.size(); ++j) root_row[j] = j;
+  if (root_row[prefix.size()] <= max_edits) {
+    // The empty path already matches (only when |prefix| <= max_edits).
+    out.push_back(nodes_[0].range);
+    return out;
+  }
+  FuzzyWalk(0, prefix, root_row, max_edits, out);
+  // Merge adjacent/overlapping ranges so callers see a canonical answer.
+  std::sort(out.begin(), out.end(), [](const WordRange& a, const WordRange& b) {
+    return a.lo < b.lo;
+  });
+  std::vector<WordRange> merged;
+  for (const WordRange& r : out) {
+    if (!merged.empty() && r.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, r.hi);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+void Trie::FuzzyWalk(uint32_t node, std::string_view prefix,
+                     const std::vector<size_t>& parent_row, size_t max_edits,
+                     std::vector<WordRange>& out) const {
+  const Node& n = nodes_[node];
+  for (uint16_t k = 0; k < n.child_count; ++k) {
+    const uint32_t child = n.child_begin + k;
+    const char c = nodes_[child].label;
+    std::vector<size_t> row(prefix.size() + 1);
+    row[0] = parent_row[0] + 1;
+    size_t row_min = row[0];
+    for (size_t j = 1; j <= prefix.size(); ++j) {
+      const size_t cost = (prefix[j - 1] == c) ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, parent_row[j] + 1,
+                         parent_row[j - 1] + cost});
+      row_min = std::min(row_min, row[j]);
+    }
+    if (row[prefix.size()] <= max_edits) {
+      // This node's path fuzzily matches the whole prefix: its entire
+      // vocabulary range qualifies; no need to descend.
+      out.push_back(nodes_[child].range);
+      continue;
+    }
+    if (row_min <= max_edits) {
+      FuzzyWalk(child, prefix, row, max_edits, out);
+    }
+  }
+}
+
+}  // namespace kws::text

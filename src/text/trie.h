@@ -1,0 +1,86 @@
+#ifndef KWDB_TEXT_TRIE_H_
+#define KWDB_TEXT_TRIE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kws::text {
+
+/// Half-open range [lo, hi) of word ids in a `Trie`'s sorted vocabulary.
+/// Every trie node covers a contiguous range, which is what the TASTIER
+/// type-ahead algorithm exploits: a prefix maps to one range, and candidate
+/// filtering is a range-containment test instead of a string comparison.
+struct WordRange {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  bool empty() const { return lo >= hi; }
+  uint32_t size() const { return hi - lo; }
+};
+
+/// Static trie over a vocabulary. Build once (Insert + Freeze), then query.
+///
+/// Word ids are positions in the lexicographically sorted vocabulary, so
+/// the ids under any node form the contiguous `WordRange` stored on it.
+class Trie {
+ public:
+  Trie() = default;
+
+  /// Adds a word to the vocabulary. Duplicates are collapsed. Must be
+  /// called before Freeze().
+  void Insert(std::string_view word);
+
+  /// Finalizes the structure. Queries are invalid before this call.
+  void Freeze();
+
+  bool frozen() const { return frozen_; }
+  size_t size() const { return words_.size(); }
+
+  /// The word with id `id` (id < size()).
+  const std::string& Word(uint32_t id) const { return words_[id]; }
+
+  /// Id of `word` if it is in the vocabulary.
+  std::optional<uint32_t> Find(std::string_view word) const;
+
+  /// Range of word ids having `prefix`; empty range when no word matches.
+  WordRange PrefixRange(std::string_view prefix) const;
+
+  /// Up to `limit` completions of `prefix`, in lexicographic order.
+  std::vector<std::string> Complete(std::string_view prefix,
+                                    size_t limit) const;
+
+  /// Error-tolerant prefix matching (Chaudhuri & Kaushik, SIGMOD 09):
+  /// returns the ranges of all trie nodes whose path is within edit
+  /// distance `max_edits` of `prefix` (maximal ranges only: once a node
+  /// matches, its descendants are subsumed and not reported). Words in any
+  /// returned range are completions of a misspelled prefix.
+  std::vector<WordRange> FuzzyPrefixRanges(std::string_view prefix,
+                                           size_t max_edits) const;
+
+ private:
+  struct Node {
+    // Children are stored contiguously: [child_begin, child_begin+child_count).
+    uint32_t child_begin = 0;
+    uint16_t child_count = 0;
+    char label = 0;       // edge label from the parent
+    WordRange range;      // vocabulary ids under this node
+  };
+
+  /// Index of the child of `node` labeled `c`, or -1.
+  int FindChild(uint32_t node, char c) const;
+
+  void BuildNodes();
+  void FuzzyWalk(uint32_t node, std::string_view prefix,
+                 const std::vector<size_t>& parent_row, size_t max_edits,
+                 std::vector<WordRange>& out) const;
+
+  std::vector<std::string> words_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  bool frozen_ = false;
+};
+
+}  // namespace kws::text
+
+#endif  // KWDB_TEXT_TRIE_H_

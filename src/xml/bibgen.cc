@@ -1,0 +1,51 @@
+#include "xml/bibgen.h"
+
+#include "common/random.h"
+#include "relational/dblp.h"
+
+namespace kws::xml {
+
+BibDocument MakeBibDocument(const BibOptions& options) {
+  BibDocument out;
+  Rng rng(options.seed);
+  out.vocabulary = relational::MakeVocabulary(options.vocab_size);
+  ZipfSampler zipf(options.vocab_size, options.zipf_theta);
+  const std::vector<std::string> names = relational::MakePersonNames(
+      std::max<size_t>(options.num_venues * options.papers_per_venue, 40));
+
+  XmlTree& tree = out.tree;
+  const XmlNodeId root = tree.AddElement(kNoXmlNode, "bib");
+  constexpr const char* kVenueTags[] = {"conference", "journal", "workshop"};
+  constexpr const char* kVenueNames[] = {"sigmod", "vldb",  "icde", "tods",
+                                         "tkde",   "vldbj", "webdb", "dbrank"};
+  for (size_t v = 0; v < options.num_venues; ++v) {
+    const XmlNodeId venue = tree.AddElement(root, kVenueTags[v % 3]);
+    const XmlNodeId name = tree.AddElement(venue, "name");
+    tree.AppendText(name, kVenueNames[v % std::size(kVenueNames)]);
+    const XmlNodeId year = tree.AddElement(venue, "year");
+    tree.AppendText(year, std::to_string(2000 + v % 11));
+    for (size_t p = 0; p < options.papers_per_venue; ++p) {
+      const XmlNodeId paper = tree.AddElement(venue, "paper");
+      const XmlNodeId title = tree.AddElement(paper, "title");
+      const size_t terms =
+          options.title_terms_min +
+          rng.Index(options.title_terms_max - options.title_terms_min + 1);
+      std::string title_text;
+      for (size_t t = 0; t < terms; ++t) {
+        if (t > 0) title_text += ' ';
+        title_text += out.vocabulary[zipf.Sample(rng)];
+      }
+      tree.AppendText(title, title_text);
+      const size_t mean = options.authors_per_paper;
+      const size_t count = 1 + rng.Index(2 * mean > 1 ? 2 * mean - 1 : 1);
+      for (size_t a = 0; a < count; ++a) {
+        const XmlNodeId author = tree.AddElement(paper, "author");
+        tree.AppendText(author, names[rng.Index(names.size())]);
+      }
+    }
+  }
+  tree.BuildKeywordIndex();
+  return out;
+}
+
+}  // namespace kws::xml

@@ -1,0 +1,49 @@
+#ifndef KWDB_XML_BIBGEN_H_
+#define KWDB_XML_BIBGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/tree.h"
+
+namespace kws::xml {
+
+/// Parameters of the synthetic XML bibliography used by the LCA-family
+/// experiments (tutorial slides 32-34, 137-141, 156).
+struct BibOptions {
+  uint64_t seed = 42;
+  /// Venues are split round-robin across conference/journal/workshop so
+  /// XBridge-style context clustering has several root contexts.
+  size_t num_venues = 12;
+  size_t papers_per_venue = 10;
+  /// Mean authors per paper (sampled 1 .. 2*mean-1).
+  size_t authors_per_paper = 2;
+  size_t vocab_size = 300;
+  double zipf_theta = 1.0;
+  size_t title_terms_min = 3;
+  size_t title_terms_max = 6;
+};
+
+/// The generated document plus the vocabulary (rank order = frequency
+/// order, as for the relational generator).
+struct BibDocument {
+  XmlTree tree;
+  std::vector<std::string> vocabulary;
+};
+
+/// Generates
+///
+///   <bib>
+///     <conference><name/><year/>
+///       <paper><title/><author/>...</paper>...
+///     </conference>
+///     <journal>...  <workshop>...
+///   </bib>
+///
+/// with Zipf-skewed title terms and a shared author-name pool, and builds
+/// the keyword index.
+BibDocument MakeBibDocument(const BibOptions& options = {});
+
+}  // namespace kws::xml
+
+#endif  // KWDB_XML_BIBGEN_H_

@@ -1,0 +1,119 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace kws::xml {
+
+namespace {
+
+/// Cursor over the input with the usual scanning helpers.
+struct Cursor {
+  std::string_view input;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= input.size(); }
+  char Peek() const { return input[pos]; }
+  bool Consume(char c) {
+    if (!AtEnd() && input[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(input[pos]))) {
+      ++pos;
+    }
+  }
+  std::string_view TakeName() {
+    const size_t start = pos;
+    while (!AtEnd()) {
+      const char c = input[pos];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    return input.substr(start, pos - start);
+  }
+};
+
+Status ParseElement(Cursor& cur, XmlTree& tree, XmlNodeId parent) {
+  if (!cur.Consume('<')) {
+    return Status::InvalidArgument("expected '<' at position " +
+                                   std::to_string(cur.pos));
+  }
+  const std::string_view name = cur.TakeName();
+  if (name.empty()) {
+    return Status::InvalidArgument("empty tag name at position " +
+                                   std::to_string(cur.pos));
+  }
+  const XmlNodeId node = tree.AddElement(parent, std::string(name));
+  cur.SkipSpace();
+  // Self-closing form <tag/>.
+  if (cur.Consume('/')) {
+    if (!cur.Consume('>')) {
+      return Status::InvalidArgument("malformed self-closing tag " +
+                                     std::string(name));
+    }
+    return Status::OK();
+  }
+  if (!cur.Consume('>')) {
+    return Status::InvalidArgument("expected '>' after tag " +
+                                   std::string(name));
+  }
+  // Content: interleaved text and child elements until </name>.
+  for (;;) {
+    const size_t text_start = cur.pos;
+    while (!cur.AtEnd() && cur.Peek() != '<') ++cur.pos;
+    const std::string_view raw =
+        cur.input.substr(text_start, cur.pos - text_start);
+    const std::string_view trimmed = kws::Trim(raw);
+    if (!trimmed.empty()) tree.AppendText(node, trimmed);
+    if (cur.AtEnd()) {
+      return Status::InvalidArgument("unterminated element " +
+                                     std::string(name));
+    }
+    // Closing tag?
+    if (cur.pos + 1 < cur.input.size() && cur.input[cur.pos + 1] == '/') {
+      cur.pos += 2;
+      const std::string_view close = cur.TakeName();
+      if (close != name) {
+        return Status::InvalidArgument("mismatched close tag </" +
+                                       std::string(close) + "> for <" +
+                                       std::string(name) + ">");
+      }
+      cur.SkipSpace();
+      if (!cur.Consume('>')) {
+        return Status::InvalidArgument("malformed close tag for " +
+                                       std::string(name));
+      }
+      return Status::OK();
+    }
+    KWS_RETURN_IF_ERROR(ParseElement(cur, tree, node));
+  }
+}
+
+}  // namespace
+
+Result<XmlTree> ParseXml(std::string_view input) {
+  Cursor cur{input};
+  cur.SkipSpace();
+  if (cur.AtEnd()) return Status::InvalidArgument("empty document");
+  XmlTree tree;
+  Status s = ParseElement(cur, tree, kNoXmlNode);
+  if (!s.ok()) return s;
+  cur.SkipSpace();
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing content after root element");
+  }
+  tree.BuildKeywordIndex();
+  return tree;
+}
+
+}  // namespace kws::xml

@@ -1,0 +1,20 @@
+#ifndef KWDB_XML_PARSER_H_
+#define KWDB_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace kws::xml {
+
+/// Parses a minimal XML dialect into an XmlTree: nested elements and text
+/// content only (attributes, comments, processing instructions, entities
+/// and namespaces are not supported — the synthetic corpora never emit
+/// them). Whitespace-only text is dropped. The keyword index is built on
+/// success.
+Result<XmlTree> ParseXml(std::string_view input);
+
+}  // namespace kws::xml
+
+#endif  // KWDB_XML_PARSER_H_

@@ -1,0 +1,30 @@
+#ifndef KWDB_XML_STATS_H_
+#define KWDB_XML_STATS_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "xml/tree.h"
+
+namespace kws::xml {
+
+/// Structural statistics of a document, consumed by the return-type
+/// inference (XReal/XBridge, tutorial slides 37-38) and the XSeek
+/// entity/attribute classifier (slide 51).
+struct PathStatistics {
+  /// Elements per label path ("/bib/conference/paper" -> 120).
+  std::unordered_map<std::string, size_t> path_count;
+  /// Label paths whose terminal tag occurs more than once under at least
+  /// one parent (XSeek: repeatable => candidate entity type).
+  std::unordered_map<std::string, bool> path_repeatable;
+  /// Average node depth (XBridge's proximity discount threshold).
+  double avg_depth = 0;
+  size_t total_elements = 0;
+};
+
+/// Single pass over the tree computing PathStatistics.
+PathStatistics ComputePathStatistics(const XmlTree& tree);
+
+}  // namespace kws::xml
+
+#endif  // KWDB_XML_STATS_H_

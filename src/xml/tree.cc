@@ -1,0 +1,127 @@
+#include "xml/tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kws::xml {
+
+XmlNodeId XmlTree::AddElement(XmlNodeId parent, std::string tag) {
+  const XmlNodeId id = static_cast<XmlNodeId>(tags_.size());
+  assert((parent == kNoXmlNode) == (id == 0) &&
+         "the first node (and only it) must be the root");
+  assert(parent == kNoXmlNode || parent < id);
+#ifndef NDEBUG
+  // Preorder invariant: the parent must be an ancestor-or-self of the
+  // previously added node, i.e. construction is a depth-first walk. The
+  // LCA algorithms depend on ids being document order.
+  if (id > 0) {
+    XmlNodeId probe = id - 1;
+    while (probe != parent && probe != kNoXmlNode) probe = parents_[probe];
+    assert(probe == parent && "AddElement must follow document order");
+  }
+#endif
+  tags_.push_back(std::move(tag));
+  texts_.emplace_back();
+  parents_.push_back(parent);
+  children_.emplace_back();
+  if (parent == kNoXmlNode) {
+    depths_.push_back(0);
+    deweys_.emplace_back();
+  } else {
+    depths_.push_back(depths_[parent] + 1);
+    Dewey d = deweys_[parent];
+    d.push_back(static_cast<uint32_t>(children_[parent].size()));
+    deweys_.push_back(std::move(d));
+    children_[parent].push_back(id);
+  }
+  return id;
+}
+
+void XmlTree::AppendText(XmlNodeId node, std::string_view text) {
+  if (!texts_[node].empty()) texts_[node] += ' ';
+  texts_[node] += text;
+}
+
+bool XmlTree::IsAncestorOrSelf(XmlNodeId a, XmlNodeId b) const {
+  const Dewey& da = deweys_[a];
+  const Dewey& db = deweys_[b];
+  if (da.size() > db.size()) return false;
+  return std::equal(da.begin(), da.end(), db.begin());
+}
+
+XmlNodeId XmlTree::Lca(XmlNodeId a, XmlNodeId b) const {
+  const Dewey& da = deweys_[a];
+  const Dewey& db = deweys_[b];
+  size_t common = 0;
+  const size_t limit = std::min(da.size(), db.size());
+  while (common < limit && da[common] == db[common]) ++common;
+  // Walk down from the root along the common prefix.
+  XmlNodeId node = 0;
+  for (size_t i = 0; i < common; ++i) node = children_[node][da[i]];
+  return node;
+}
+
+std::string XmlTree::LabelPath(XmlNodeId n) const {
+  std::vector<const std::string*> parts;
+  XmlNodeId cur = n;
+  while (cur != kNoXmlNode) {
+    parts.push_back(&tags_[cur]);
+    cur = parents_[cur];
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    out += '/';
+    out += **it;
+  }
+  return out;
+}
+
+void XmlTree::BuildKeywordIndex() {
+  // Subtree extents: with preorder ids, children have larger ids than
+  // their parent, so a reverse sweep folds extents upward.
+  subtree_end_.resize(tags_.size());
+  for (size_t i = tags_.size(); i > 0; --i) {
+    const XmlNodeId n = static_cast<XmlNodeId>(i - 1);
+    subtree_end_[n] = n;
+    for (XmlNodeId c : children_[n]) {
+      subtree_end_[n] = std::max(subtree_end_[n], subtree_end_[c]);
+    }
+  }
+  keyword_index_.clear();
+  for (XmlNodeId n = 0; n < texts_.size(); ++n) {
+    for (const std::string& t : tokenizer_.Tokenize(texts_[n])) {
+      std::vector<XmlNodeId>& nodes = keyword_index_[t];
+      if (nodes.empty() || nodes.back() != n) nodes.push_back(n);
+    }
+  }
+}
+
+const std::vector<XmlNodeId>& XmlTree::MatchNodes(
+    const std::string& term) const {
+  auto it = keyword_index_.find(term);
+  return it == keyword_index_.end() ? empty_ : it->second;
+}
+
+std::vector<std::string> XmlTree::Vocabulary() const {
+  std::vector<std::string> out;
+  out.reserve(keyword_index_.size());
+  for (const auto& [term, nodes] : keyword_index_) out.push_back(term);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string XmlTree::ToXmlString(XmlNodeId n, int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + tags_[n] + ">";
+  const bool leaf = children_[n].empty();
+  if (!texts_[n].empty()) out += texts_[n];
+  if (!leaf) {
+    out += '\n';
+    for (XmlNodeId c : children_[n]) out += ToXmlString(c, indent + 1);
+    out += pad;
+  }
+  out += "</" + tags_[n] + ">\n";
+  return out;
+}
+
+}  // namespace kws::xml

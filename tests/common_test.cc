@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/topk.h"
+
+namespace kws {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such table");
+  EXPECT_EQ(s.ToString(), "NotFound: no such table");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("x").code(), Status::NotFound("x").code(),
+      Status::AlreadyExists("x").code(),   Status::OutOfRange("x").code(),
+      Status::FailedPrecondition("x").code(),
+      Status::Unimplemented("x").code(),   Status::Internal("x").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+Status FailsThenPropagates() {
+  KWS_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(10), 10u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  Rng rng(42);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  // Zipf(1.0): rank 0 should get roughly 1/H(100) ~ 19% of the mass.
+  EXPECT_GT(counts[0], 20000 / 10);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(42);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 4000);
+    EXPECT_LT(c, 6000);
+  }
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("SIGMOD Paper"), "sigmod paper");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b,c", ","), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("  x  y ", " "), (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(Split("", ",").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("database", "data"));
+  EXPECT_FALSE(StartsWith("data", "database"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(TopKTest, KeepsBestK) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) top.Offer(i, i);
+  auto sorted = top.TakeSorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].second, 9);
+  EXPECT_EQ(sorted[1].second, 8);
+  EXPECT_EQ(sorted[2].second, 7);
+}
+
+TEST(TopKTest, WouldRejectMatchesOfferBehaviour) {
+  TopK<int> top(2);
+  EXPECT_FALSE(top.WouldReject(0.0));  // not yet full
+  top.Offer(5, 1);
+  top.Offer(7, 2);
+  EXPECT_TRUE(top.WouldReject(4.0));
+  EXPECT_TRUE(top.WouldReject(5.0));   // ties rejected
+  EXPECT_FALSE(top.WouldReject(6.0));
+  EXPECT_TRUE(top.Offer(6.0, 3));
+  EXPECT_EQ(top.Threshold(), 6.0);
+}
+
+TEST(TopKTest, StableForEqualScores) {
+  TopK<char> top(2);
+  top.Offer(1.0, 'a');
+  top.Offer(1.0, 'b');
+  auto sorted = top.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].second, 'a');
+  EXPECT_EQ(sorted[1].second, 'b');
+}
+
+// Property sweep: for any k and any input size, TakeSorted returns the
+// lexicographically-best k scores in nonincreasing order.
+class TopKPropertyTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(TopKPropertyTest, MatchesSortReference) {
+  const int k = std::get<0>(GetParam());
+  const int n = std::get<1>(GetParam());
+  Rng rng(static_cast<uint64_t>(k * 1000 + n));
+  TopK<int> top(static_cast<size_t>(k));
+  std::vector<double> scores;
+  for (int i = 0; i < n; ++i) {
+    double s = static_cast<double>(rng.Uniform(50));
+    scores.push_back(s);
+    top.Offer(s, i);
+  }
+  std::sort(scores.rbegin(), scores.rend());
+  auto got = top.TakeSorted();
+  ASSERT_EQ(got.size(), std::min<size_t>(k, n));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].first, scores[i]) << "at rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 5, 16),
+                       ::testing::Values(0, 1, 10, 100, 1000)));
+
+}  // namespace
+}  // namespace kws

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine/engine.h"
+#include "relational/dblp.h"
+
+namespace kws::engine {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    relational::DblpOptions opts;
+    opts.num_authors = 60;
+    opts.num_papers = 120;
+    opts.num_conferences = 8;
+    dblp_ = new relational::DblpDatabase(MakeDblpDatabase(opts));
+    engine_ = new KeywordSearchEngine(*dblp_->db);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete dblp_;
+    engine_ = nullptr;
+    dblp_ = nullptr;
+  }
+  static relational::DblpDatabase* dblp_;
+  static KeywordSearchEngine* engine_;
+};
+
+relational::DblpDatabase* EngineTest::dblp_ = nullptr;
+KeywordSearchEngine* EngineTest::engine_ = nullptr;
+
+TEST_F(EngineTest, EndToEndCnSearch) {
+  EngineResponse r = engine_->Search("keyword search");
+  EXPECT_EQ(r.cleaned_query,
+            (std::vector<std::string>{"keyword", "search"}));
+  ASSERT_FALSE(r.results.empty());
+  for (size_t i = 1; i < r.results.size(); ++i) {
+    EXPECT_GE(r.results[i - 1].score, r.results[i].score);
+  }
+  EXPECT_FALSE(r.results[0].description.empty());
+  EXPECT_FALSE(r.results[0].tuples.empty());
+}
+
+TEST_F(EngineTest, CleansTyposBeforeSearching) {
+  EngineResponse r = engine_->Search("keywrd searh");
+  EXPECT_TRUE(r.query_was_corrected);
+  EXPECT_EQ(r.cleaned_query,
+            (std::vector<std::string>{"keyword", "search"}));
+  EXPECT_FALSE(r.results.empty());
+}
+
+TEST_F(EngineTest, GraphBackendReturnsTrees) {
+  EngineOptions opts;
+  opts.backend = Backend::kDataGraph;
+  EngineResponse r = engine_->Search("keyword search", opts);
+  ASSERT_FALSE(r.results.empty());
+  EXPECT_FALSE(r.results[0].tuples.empty());
+}
+
+TEST_F(EngineTest, SuggestionsExcludeQueryTerms) {
+  EngineResponse r = engine_->Search("keyword");
+  for (const std::string& s : r.suggestions) {
+    EXPECT_NE(s, "keyword");
+  }
+}
+
+TEST_F(EngineTest, CompletionWorks) {
+  auto completions = engine_->Complete("key");
+  ASSERT_FALSE(completions.empty());
+  for (const std::string& c : completions) {
+    EXPECT_TRUE(c.starts_with("key")) << c;
+  }
+}
+
+TEST_F(EngineTest, EmptyAndGarbageQueries) {
+  EXPECT_TRUE(engine_->Search("").results.empty());
+  EngineOptions no_clean;
+  no_clean.clean_query = false;
+  EXPECT_TRUE(engine_->Search("qqqqxxxx zzzzyyyy", no_clean).results.empty());
+}
+
+}  // namespace
+}  // namespace kws::engine
+
+// ------------------------------------------------------- XML facade tests
+
+#include "core/engine/xml_engine.h"
+#include "xml/bibgen.h"
+
+namespace kws::engine {
+namespace {
+
+class XmlEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    doc_ = new xml::BibDocument(
+        xml::MakeBibDocument({.seed = 4, .num_venues = 6}));
+    engine_ = new XmlKeywordSearch(doc_->tree);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete doc_;
+    engine_ = nullptr;
+    doc_ = nullptr;
+  }
+  static xml::BibDocument* doc_;
+  static XmlKeywordSearch* engine_;
+};
+
+xml::BibDocument* XmlEngineTest::doc_ = nullptr;
+XmlKeywordSearch* XmlEngineTest::engine_ = nullptr;
+
+TEST_F(XmlEngineTest, RankedResultsWithSnippets) {
+  XmlResponse r = engine_->Search(doc_->vocabulary[0]);
+  ASSERT_FALSE(r.results.empty());
+  for (size_t i = 1; i < r.results.size(); ++i) {
+    EXPECT_GE(r.results[i - 1].score, r.results[i].score);
+  }
+  for (const XmlResult& res : r.results) {
+    EXPECT_FALSE(res.snippet.empty());
+    // The display root encloses or equals the anchor, or an ancestor.
+    EXPECT_TRUE(doc_->tree.IsAncestorOrSelf(res.display_root, res.anchor) ||
+                doc_->tree.IsAncestorOrSelf(res.anchor, res.display_root));
+  }
+  EXPECT_FALSE(r.clusters.empty());
+}
+
+TEST_F(XmlEngineTest, ElcaAtLeastAsManyAsSlca) {
+  XmlEngineOptions slca_opts;
+  slca_opts.k = 1000;
+  XmlEngineOptions elca_opts = slca_opts;
+  elca_opts.semantics = XmlSemantics::kElca;
+  const std::string q = doc_->vocabulary[0] + " " + doc_->vocabulary[1];
+  const size_t slca = engine_->Search(q, slca_opts).results.size();
+  const size_t elca = engine_->Search(q, elca_opts).results.size();
+  EXPECT_GE(elca, slca);
+}
+
+TEST_F(XmlEngineTest, EmptyAndUnmatchedQueries) {
+  EXPECT_TRUE(engine_->Search("").results.empty());
+  EXPECT_TRUE(engine_->Search("zzznope").results.empty());
+}
+
+}  // namespace
+}  // namespace kws::engine

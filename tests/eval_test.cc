@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/eval/axioms.h"
+#include "core/eval/metrics.h"
+#include "core/lca/slca.h"
+#include "xml/bibgen.h"
+#include "xml/tree.h"
+
+namespace kws::eval {
+namespace {
+
+using xml::kNoXmlNode;
+using xml::XmlNodeId;
+using xml::XmlTree;
+
+XmlTree TinyTree() {
+  XmlTree t;
+  XmlNodeId root = t.AddElement(kNoXmlNode, "conf");
+  XmlNodeId p1 = t.AddElement(root, "paper");
+  t.AppendText(t.AddElement(p1, "title"), "keyword search");
+  t.AppendText(t.AddElement(p1, "author"), "mark");
+  XmlNodeId p2 = t.AddElement(root, "paper");
+  t.AppendText(t.AddElement(p2, "title"), "query processing");
+  t.AppendText(t.AddElement(p2, "author"), "chen");
+  t.BuildKeywordIndex();
+  return t;
+}
+
+TEST(MetricsTest, ScoreResultExactMatch) {
+  XmlTree t = TinyTree();
+  // Relevant = paper1 subtree (nodes 1..3).
+  Prf prf = ScoreResult(t, 1, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(prf.f, 1.0);
+}
+
+TEST(MetricsTest, ScoreResultOverlyLargeResult) {
+  XmlTree t = TinyTree();
+  // Returning the whole conf for a paper1 ground truth: full recall, low
+  // precision (3 relevant of 7 nodes).
+  Prf prf = ScoreResult(t, 0, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_NEAR(prf.precision, 3.0 / 7.0, 1e-12);
+  EXPECT_GT(prf.f, 0);
+  EXPECT_LT(prf.f, 1);
+}
+
+TEST(MetricsTest, ScoreResultMiss) {
+  XmlTree t = TinyTree();
+  Prf prf = ScoreResult(t, 4, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.0);
+  EXPECT_DOUBLE_EQ(prf.f, 0.0);
+}
+
+TEST(MetricsTest, GeneralizedPrecision) {
+  const std::vector<double> scores = {1.0, 0.5, 0.0};
+  EXPECT_DOUBLE_EQ(GeneralizedPrecision(scores, 1), 1.0);
+  EXPECT_DOUBLE_EQ(GeneralizedPrecision(scores, 2), 0.75);
+  EXPECT_DOUBLE_EQ(GeneralizedPrecision(scores, 3), 0.5);
+  EXPECT_DOUBLE_EQ(GeneralizedPrecision(scores, 10), 0.5);  // clamped
+  EXPECT_DOUBLE_EQ(GeneralizedPrecision({}, 3), 0.0);
+  EXPECT_NEAR(AverageGeneralizedPrecision(scores), (1.0 + 0.75 + 0.5) / 3,
+              1e-12);
+}
+
+TEST(MetricsTest, SetPrf) {
+  Prf prf = SetPrf({1, 2, 3, 4}, {3, 4, 5});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);
+  EXPECT_NEAR(prf.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(SetPrf({}, {1}).f, 0.0);
+}
+
+std::vector<XmlNodeId> SlcaEngine(const XmlTree& tree,
+                                  const std::vector<std::string>& q) {
+  auto lists = lca::MatchLists(tree, q);
+  if (lists.empty()) return {};
+  return lca::SlcaBruteForce(tree, lists);
+}
+
+TEST(AxiomsTest, AppendLeafCopyKeepsOldIds) {
+  XmlTree t = TinyTree();
+  // Parent must be on the rightmost path: paper2 (node 4).
+  XmlTree t2 = AppendLeafCopy(t, 4, "note", "bonus keyword");
+  ASSERT_EQ(t2.size(), t.size() + 1);
+  for (XmlNodeId n = 0; n < t.size(); ++n) {
+    EXPECT_EQ(t2.tag(n), t.tag(n));
+    EXPECT_EQ(t2.parent(n), t.parent(n));
+  }
+  EXPECT_EQ(t2.tag(t.size()), "note");
+  EXPECT_FALSE(t2.MatchNodes("bonus").empty());
+}
+
+TEST(AxiomsTest, SlcaSatisfiesQueryConsistencyHere) {
+  XmlTree t = TinyTree();
+  auto violations = CheckQueryAxioms(SlcaEngine, t, {"keyword"}, "mark");
+  for (const auto& v : violations) {
+    EXPECT_NE(v.axiom, "query-consistency") << v.detail;
+  }
+}
+
+TEST(AxiomsTest, DetectsViolationsOfABrokenEngine) {
+  // An engine that returns the root only when the query has >= 2 keywords
+  // violates query monotonicity (results grow from 0 to 1).
+  XmlSearchFn broken = [](const XmlTree& tree,
+                          const std::vector<std::string>& q) {
+    std::vector<XmlNodeId> out;
+    (void)tree;
+    if (q.size() >= 2) out.push_back(0);
+    return out;
+  };
+  XmlTree t = TinyTree();
+  auto violations = CheckQueryAxioms(broken, t, {"zzz"}, "yyy");
+  bool mono = false, cons = false;
+  for (const auto& v : violations) {
+    mono |= (v.axiom == "query-monotonicity");
+    cons |= (v.axiom == "query-consistency");
+  }
+  EXPECT_TRUE(mono);
+  EXPECT_TRUE(cons);  // the new result does not contain "yyy"
+}
+
+TEST(AxiomsTest, SlcaViolatesDataMonotonicityOnPlantedCase) {
+  // Slide 108's point: SLCA-style semantics break some axioms. Adding a
+  // "mark" leaf inside paper2 makes paper2 an SLCA for {keyword-of-p2,
+  // mark}... and can *remove* an old result when the new node creates a
+  // deeper CA. Construct: query {processing, chen}: SLCA = paper2.
+  // Add a leaf under paper2's author containing "processing chen": the
+  // author node becomes the (single, deeper) SLCA — same count. Then the
+  // data-consistency clause must hold: new results contain the new node.
+  XmlTree t = TinyTree();
+  auto violations =
+      CheckDataAxioms(SlcaEngine, t, 6, "note", "processing chen",
+                      {"processing", "chen"});
+  for (const auto& v : violations) {
+    // The replacement result (the author) contains the new node, so no
+    // data-consistency violation; monotonicity holds (1 -> 1).
+    ADD_FAILURE() << v.axiom << ": " << v.detail;
+  }
+  // Now a case where SLCA genuinely drops results: query {mark}: SLCAs
+  // are the matching author leaf (node 3). Adding a deeper "mark" under
+  // that author... is impossible (leaf on rightmost path is node 6), so
+  // instead check on paper2's author with query {chen}: old SLCA is node
+  // 6; adding a "chen" note *under* node 6 moves the SLCA deeper; the old
+  // result disappears, the new one contains the new node -> consistent,
+  // count stable. The axiom machinery reports nothing — the point of
+  // this test is that the checkers run end-to-end on data edits.
+  auto v2 = CheckDataAxioms(SlcaEngine, t, 6, "note", "chen", {"chen"});
+  for (const auto& v : v2) {
+    EXPECT_NE(v.axiom, "data-consistency") << v.detail;
+  }
+}
+
+TEST(AxiomsTest, LargeDocumentSweep) {
+  xml::BibDocument doc = xml::MakeBibDocument({.seed = 17});
+  const std::string kw1 = doc.vocabulary[0];
+  const std::string kw2 = doc.vocabulary[1];
+  auto violations = CheckQueryAxioms(SlcaEngine, doc.tree, {kw1}, kw2);
+  // SLCA under AND semantics never violates query monotonicity: adding a
+  // keyword can only shrink the CA set... but SLCA counts can grow when
+  // one big result splits into many deeper ones — if that happens the
+  // checker must say so. Either way the checker must not crash and any
+  // violation must be one of the two query axioms.
+  for (const auto& v : violations) {
+    EXPECT_TRUE(v.axiom == "query-monotonicity" ||
+                v.axiom == "query-consistency");
+  }
+}
+
+}  // namespace
+}  // namespace kws::eval
+
+namespace kws::eval {
+namespace {
+
+TEST(MetricsTest, ToleranceToIrrelevance) {
+  // Tolerance 1: reading stops after 2 consecutive zeros.
+  const std::vector<double> scores = {1.0, 0.0, 0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(ToleranceToIrrelevance(scores, 1), 1.0 / 3.0);
+  // Tolerance 3: the whole list is read.
+  EXPECT_DOUBLE_EQ(ToleranceToIrrelevance(scores, 3), 3.0 / 5.0);
+  // Tolerance 0: stops at the first zero.
+  EXPECT_DOUBLE_EQ(ToleranceToIrrelevance(scores, 0), 0.5);
+  EXPECT_DOUBLE_EQ(ToleranceToIrrelevance({}, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace kws::eval

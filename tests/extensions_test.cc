@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/infer/precis.h"
+#include "core/infer/xpath_gen.h"
+#include "core/lca/interconnection.h"
+#include "core/lca/slca.h"
+#include "core/lca/xrank.h"
+#include "core/lca/xreal.h"
+#include "relational/dblp.h"
+#include "xml/bibgen.h"
+#include "xml/tree.h"
+
+namespace kws {
+namespace {
+
+using xml::kNoXmlNode;
+using xml::XmlNodeId;
+using xml::XmlTree;
+
+/// conf with two papers, each with authors — the XSEarch running example.
+struct InterTree {
+  XmlTree t;
+  XmlNodeId conf, p1, t1, a11, a12, p2, t2, a21;
+
+  InterTree() {
+    conf = t.AddElement(kNoXmlNode, "conf");
+    p1 = t.AddElement(conf, "paper");
+    t1 = t.AddElement(p1, "title");
+    t.AppendText(t1, "xml search");
+    a11 = t.AddElement(p1, "author");
+    t.AppendText(a11, "widom");
+    a12 = t.AddElement(p1, "author");
+    t.AppendText(a12, "chen");
+    p2 = t.AddElement(conf, "paper");
+    t2 = t.AddElement(p2, "title");
+    t.AppendText(t2, "graph mining");
+    a21 = t.AddElement(p2, "author");
+    t.AppendText(a21, "smith");
+    t.BuildKeywordIndex();
+  }
+};
+
+TEST(InterconnectionTest, SamePaperAuthorsConnected) {
+  InterTree it;
+  // author-paper-author: interior has one <paper> only.
+  EXPECT_TRUE(lca::Interconnected(it.t, it.a11, it.a12));
+  EXPECT_TRUE(lca::Interconnected(it.t, it.a11, it.t1));
+}
+
+TEST(InterconnectionTest, CrossPaperAuthorsNotConnected) {
+  InterTree it;
+  // author-paper-conf-paper-author: two <paper> interior nodes.
+  EXPECT_FALSE(lca::Interconnected(it.t, it.a11, it.a21));
+  EXPECT_FALSE(lca::Interconnected(it.t, it.t1, it.a21));
+}
+
+TEST(InterconnectionTest, SelfAndAncestor) {
+  InterTree it;
+  EXPECT_TRUE(lca::Interconnected(it.t, it.a11, it.a11));
+  EXPECT_TRUE(lca::Interconnected(it.t, it.p1, it.a11));
+}
+
+TEST(InterconnectionTest, AllPairsSearchFindsSamePaperPair) {
+  InterTree it;
+  auto lists = lca::MatchLists(it.t, {"xml", "widom"});
+  ASSERT_FALSE(lists.empty());
+  auto answers = lca::AllPairsInterconnectedSearch(it.t, lists, 10);
+  ASSERT_FALSE(answers.empty());
+  for (const auto& a : answers) {
+    EXPECT_EQ(a.root, it.p1);  // the same-paper combination only
+    EXPECT_EQ(a.matches.size(), 2u);
+  }
+  // Cross-paper combination {graph, widom} is rejected.
+  auto cross = lca::AllPairsInterconnectedSearch(
+      it.t, lca::MatchLists(it.t, {"graph", "widom"}), 10);
+  EXPECT_TRUE(cross.empty());
+}
+
+TEST(ElemRankTest, SumsToOneRootPopular) {
+  xml::BibDocument doc = xml::MakeBibDocument({.seed = 2, .num_venues = 4});
+  auto rank = lca::ElemRank(doc.tree);
+  EXPECT_NEAR(std::accumulate(rank.begin(), rank.end(), 0.0), 1.0, 1e-6);
+  // The root aggregates upward flow from its subtrees: well above the
+  // uniform share.
+  EXPECT_GT(rank[0], 1.5 / static_cast<double>(doc.tree.size()));
+}
+
+TEST(XRankResultRankingTest, DeeperMatchesDecay) {
+  InterTree it;
+  auto rank = lca::ElemRank(it.t);
+  // Rank the two papers for query {widom}: p1 contains it, p2 does not.
+  auto scored = lca::RankXmlResults(it.t, {it.p1, it.p2}, {"widom"}, rank);
+  ASSERT_EQ(scored.size(), 2u);
+  EXPECT_EQ(scored[0].root, it.p1);
+  EXPECT_GT(scored[0].score, 0.0);
+  EXPECT_EQ(scored[1].score, 0.0);
+  // Decay: scoring the author directly beats scoring its paper (one hop
+  // farther from the match).
+  auto direct = lca::RankXmlResults(it.t, {it.a11, it.p1}, {"widom"}, rank);
+  EXPECT_EQ(direct[0].root, it.a11);
+}
+
+TEST(PrecisTest, Slide52WeightExample) {
+  // person -> review -> conference with weights 0.8 * 0.9 * 0.5: the
+  // sponsor attribute's path weight is 0.36 < 0.4 -> excluded, exactly
+  // the slide's example.
+  relational::Database db;
+  relational::TableSchema person;
+  person.name = "person";
+  person.columns = {{"pid", relational::ValueType::kInt, false},
+                    {"name", relational::ValueType::kText, true}};
+  person.primary_key = 0;
+  db.CreateTable(person).value();
+  relational::TableSchema review;
+  review.name = "review";
+  review.columns = {{"rid", relational::ValueType::kInt, false},
+                    {"pid", relational::ValueType::kInt, false},
+                    {"cid", relational::ValueType::kInt, false}};
+  review.primary_key = 0;
+  db.CreateTable(review).value();
+  relational::TableSchema conf;
+  conf.name = "conference";
+  conf.columns = {{"cid", relational::ValueType::kInt, false},
+                  {"cname", relational::ValueType::kText, true},
+                  {"sponsor", relational::ValueType::kText, true}};
+  conf.primary_key = 0;
+  db.CreateTable(conf).value();
+  ASSERT_TRUE(db.AddForeignKey("review", "pid", "person", "pid").ok());
+  ASSERT_TRUE(db.AddForeignKey("review", "cid", "conference", "cid").ok());
+  db.table(0).Append({relational::Value::Int(1),
+                      relational::Value::Text("alice")}).value();
+  db.table(2).Append({relational::Value::Int(7),
+                      relational::Value::Text("icde"),
+                      relational::Value::Text("acme")}).value();
+  db.table(1).Append({relational::Value::Int(5), relational::Value::Int(1),
+                      relational::Value::Int(7)}).value();
+  db.BuildTextIndexes();
+
+  infer::SchemaWeights weights;
+  // person -> review (backward through fk0): 0.8; review -> conference
+  // (forward through fk1): 0.9. A conference attribute then multiplies an
+  // implied per-attribute factor; the slide folds 0.5 into the last hop.
+  weights.Set(0, false, 0.8);
+  weights.Set(1, true, 0.9 * 0.5);
+  infer::PrecisOptions opts;
+  opts.min_weight = 0.4;
+  opts.max_attributes = 10;
+  auto schema = PrecisAnswerSchema(db, 0, weights, opts);
+  // person.name qualifies (weight 1); review attributes qualify (0.8);
+  // conference attributes (0.36) do not.
+  bool has_person_name = false, has_conf_attr = false;
+  for (const auto& a : schema) {
+    if (a.table == 0 && a.column == 1) has_person_name = true;
+    if (a.table == 2) has_conf_attr = true;
+  }
+  EXPECT_TRUE(has_person_name);
+  EXPECT_FALSE(has_conf_attr);
+  // Raising the threshold tolerance admits the conference attributes.
+  opts.min_weight = 0.3;
+  auto wide = PrecisAnswerSchema(db, 0, weights, opts);
+  bool conf_now = false;
+  for (const auto& a : wide) conf_now |= (a.table == 2);
+  EXPECT_TRUE(conf_now);
+  // Expansion renders actual values through the path.
+  const std::string rendered = ExpandPrecisAnswer(db, 0, 0, wide);
+  EXPECT_NE(rendered.find("person.name=alice"), std::string::npos);
+  EXPECT_NE(rendered.find("conference.cname=icde"), std::string::npos);
+}
+
+TEST(PrecisTest, MaxAttributesBound) {
+  relational::DblpDatabase dblp = relational::MakeDblpDatabase();
+  auto weights = infer::SchemaWeights::FromParticipation(*dblp.db);
+  infer::PrecisOptions opts;
+  opts.max_attributes = 3;
+  opts.min_weight = 0.0;
+  auto schema = PrecisAnswerSchema(*dblp.db, dblp.paper, weights, opts);
+  EXPECT_LE(schema.size(), 3u);
+  // Weights nonincreasing.
+  for (size_t i = 1; i < schema.size(); ++i) {
+    EXPECT_GE(schema[i - 1].weight, schema[i].weight);
+  }
+}
+
+TEST(XPathGenTest, FindsTitleAuthorNesting) {
+  InterTree it;
+  auto queries = infer::GenerateXPathQueries(it.t, {"xml", "widom"});
+  ASSERT_FALSE(queries.empty());
+  // The only non-empty interpretation targets paper with title/author
+  // predicates.
+  const auto& q = queries[0];
+  EXPECT_EQ(q.target_path, "/conf/paper");
+  ASSERT_EQ(q.results.size(), 1u);
+  EXPECT_EQ(q.results[0], it.p1);
+  const std::string rendered = q.ToString({"xml", "widom"});
+  EXPECT_NE(rendered.find("title ~ 'xml'"), std::string::npos);
+  EXPECT_NE(rendered.find("author ~ 'widom'"), std::string::npos);
+}
+
+TEST(XPathGenTest, QueriesNonEmptyAndSorted) {
+  xml::BibDocument doc = xml::MakeBibDocument({.seed = 13});
+  auto queries = infer::GenerateXPathQueries(
+      doc.tree, {doc.vocabulary[0], doc.vocabulary[1]});
+  for (const auto& q : queries) {
+    EXPECT_FALSE(q.results.empty());
+    for (XmlNodeId n : q.results) {
+      EXPECT_EQ(doc.tree.LabelPath(n), q.target_path);
+    }
+  }
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_GE(queries[i - 1].probability, queries[i].probability);
+  }
+}
+
+TEST(XPathGenTest, UnmatchedKeywordYieldsNothing) {
+  InterTree it;
+  EXPECT_TRUE(infer::GenerateXPathQueries(it.t, {"xml", "zzz"}).empty());
+}
+
+}  // namespace
+}  // namespace kws
+
+namespace kws {
+namespace {
+
+TEST(ReturnTypeSketchTest, MatchesOnTheFlyInference) {
+  xml::BibDocument doc = xml::MakeBibDocument({.seed = 19});
+  lca::ReturnTypeSketch sketch(doc.tree);
+  EXPECT_GT(sketch.entries(), 0u);
+  for (const auto& q : std::vector<std::vector<std::string>>{
+           {doc.vocabulary[0]},
+           {doc.vocabulary[0], doc.vocabulary[1]},
+           {doc.vocabulary[2], doc.vocabulary[5]}}) {
+    auto live = lca::InferReturnTypes(doc.tree, q);
+    auto sketched = sketch.Infer(q);
+    ASSERT_EQ(live.size(), sketched.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      EXPECT_EQ(live[i].label_path, sketched[i].label_path) << "rank " << i;
+      EXPECT_NEAR(live[i].score, sketched[i].score, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kws

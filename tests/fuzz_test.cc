@@ -1,0 +1,304 @@
+// Failure-injection and fuzz-style property tests: feed malformed,
+// random and adversarial inputs to the parsing and query layers and
+// check the library's contracts (graceful Status errors, no crashes,
+// agreement with brute-force references on random instances).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/clean/cleaner.h"
+#include "core/cn/execute.h"
+#include "core/cn/search.h"
+#include "core/cn/semijoin.h"
+#include "graph/hub_index.h"
+#include "graph/shortest_path.h"
+#include "relational/database.h"
+#include "relational/dblp.h"
+#include "text/tokenizer.h"
+#include "xml/parser.h"
+
+namespace kws {
+namespace {
+
+// ------------------------------------------------------------ XML parser
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  const char alphabet[] = "<>/ab c\"=!-\n\t";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    const size_t len = rng.Index(60);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[rng.Index(sizeof(alphabet) - 1)]);
+    }
+    // Must either parse or return an error; never crash or hang.
+    Result<xml::XmlTree> r = xml::ParseXml(input);
+    if (r.ok()) {
+      EXPECT_GT(r.value().size(), 0u);
+    } else {
+      EXPECT_FALSE(r.status().message().empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidDocuments) {
+  Rng rng(GetParam() + 1000);
+  const std::string valid =
+      "<conf><paper><title>xml search</title><author>widom</author>"
+      "</paper><paper><title>mining</title></paper></conf>";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input = valid;
+    // 1-3 random single-character mutations.
+    const size_t edits = 1 + rng.Index(3);
+    for (size_t e = 0; e < edits; ++e) {
+      const size_t pos = rng.Index(input.size());
+      switch (rng.Index(3)) {
+        case 0:
+          input[pos] = static_cast<char>('a' + rng.Index(26));
+          break;
+        case 1:
+          input.erase(pos, 1);
+          break;
+        default:
+          input.insert(pos, 1, '<');
+      }
+    }
+    Result<xml::XmlTree> r = xml::ParseXml(input);
+    if (r.ok()) {
+      // Whatever parsed must serialize and re-parse to the same shape.
+      const std::string round = r.value().ToXmlString(0);
+      Result<xml::XmlTree> again = xml::ParseXml(round);
+      ASSERT_TRUE(again.ok()) << round;
+      EXPECT_EQ(again.value().size(), r.value().size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParserFuzzTest, ::testing::Values(1, 2, 3));
+
+// ------------------------------------------------ CN executor vs reference
+
+/// Brute-force reference: enumerate ALL row combinations of a CN and keep
+/// those whose every edge joins and every node matches its tuple set.
+std::vector<std::vector<relational::RowId>> ReferenceExecute(
+    const relational::Database& db, const cn::CandidateNetwork& network,
+    const cn::TupleSets& ts) {
+  std::vector<std::vector<relational::RowId>> out;
+  std::vector<relational::RowId> pick(network.nodes.size(), 0);
+  auto joins = [&](const cn::CnEdge& e) {
+    const relational::ForeignKey& fk = db.foreign_keys()[e.fk];
+    const relational::TupleId ref_side{
+        e.forward ? network.nodes[e.from].table : network.nodes[e.to].table,
+        e.forward ? pick[e.from] : pick[e.to]};
+    const relational::RowId other =
+        e.forward ? pick[e.to] : pick[e.from];
+    const relational::Value& v = db.table(fk.table).cell(ref_side.row,
+                                                         fk.column);
+    return v == db.table(fk.ref_table).cell(other, fk.ref_column);
+  };
+  auto rec = [&](auto&& self, size_t i) -> void {
+    if (i == network.nodes.size()) {
+      for (const cn::CnEdge& e : network.edges) {
+        if (!joins(e)) return;
+      }
+      out.push_back(pick);
+      return;
+    }
+    const auto& node = network.nodes[i];
+    for (relational::RowId r = 0; r < db.table(node.table).num_rows(); ++r) {
+      if (!ts.Matches(node.table, r, node.mask)) continue;
+      pick[i] = r;
+      self(self, i + 1);
+    }
+  };
+  rec(rec, 0);
+  return out;
+}
+
+class CnExecutorOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CnExecutorOracleTest, MatchesBruteForceJoin) {
+  relational::DblpOptions opts;
+  opts.seed = GetParam();
+  opts.num_authors = 12;
+  opts.num_papers = 18;
+  opts.num_conferences = 4;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  const std::string query = "keyword search";
+  const auto keywords = text::Tokenizer().Tokenize(query);
+  cn::TupleSets ts(*dblp.db, keywords);
+  auto cns = cn::EnumerateCandidateNetworks(*dblp.db, ts.table_masks(),
+                                            ts.full_mask(), {.max_size = 4});
+  for (const auto& network : cns) {
+    auto expected = ReferenceExecute(*dblp.db, network, ts);
+    auto got = ExecuteCn(*dblp.db, network, ts);
+    std::vector<std::vector<relational::RowId>> got_rows;
+    for (const auto& jt : got) got_rows.push_back(jt.rows);
+    std::sort(expected.begin(), expected.end());
+    std::sort(got_rows.begin(), got_rows.end());
+    EXPECT_EQ(got_rows, expected) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CnExecutorOracleTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------- query cleaner
+
+TEST(CleanerFuzzTest, ArbitraryQueriesNeverCrash) {
+  text::InvertedIndex index;
+  index.AddDocument(0, "alpha beta gamma");
+  index.AddDocument(1, "delta epsilon");
+  clean::QueryCleaner cleaner(index);
+  Rng rng(77);
+  const char alphabet[] = "abcdefgh  123!@-";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string q;
+    const size_t len = rng.Index(30);
+    for (size_t i = 0; i < len; ++i) {
+      q.push_back(alphabet[rng.Index(sizeof(alphabet) - 1)]);
+    }
+    clean::CleanedQuery cleaned = cleaner.Clean(q);
+    // Tokens in == tokens out (cleaning never drops or invents tokens).
+    EXPECT_EQ(cleaned.tokens.size(),
+              index.tokenizer().Tokenize(q).size());
+    // Segments tile the tokens exactly.
+    size_t covered = 0;
+    for (const auto& [start, len2] : cleaned.segments) {
+      EXPECT_EQ(start, covered);
+      covered += len2;
+    }
+    EXPECT_EQ(covered, cleaned.tokens.size());
+  }
+}
+
+// ----------------------------------------------------------- empty inputs
+
+TEST(EmptyDatabaseTest, SearchLayersDegradeGracefully) {
+  relational::Database db;
+  relational::TableSchema t;
+  t.name = "empty";
+  t.columns = {{"id", relational::ValueType::kInt, false},
+               {"txt", relational::ValueType::kText, true}};
+  t.primary_key = 0;
+  db.CreateTable(t).value();
+  db.BuildTextIndexes();
+  cn::CnKeywordSearch search(db);
+  EXPECT_TRUE(search.Search("anything", {.k = 5}, nullptr).empty());
+  EXPECT_TRUE(search.Search("", {.k = 5}, nullptr).empty());
+}
+
+}  // namespace
+}  // namespace kws
+
+namespace kws {
+namespace {
+
+// -------------------------------------------- inverted index vs reference
+
+/// Reference scorer: recompute TF-IDF from raw documents.
+class IndexOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexOracleTest, SearchMatchesBruteForce) {
+  Rng rng(GetParam());
+  const std::vector<std::string> words = {"ab", "cd", "ef", "gh", "ij"};
+  std::vector<std::string> docs;
+  text::InvertedIndex index;
+  for (int d = 0; d < 40; ++d) {
+    std::string content;
+    const size_t len = 1 + rng.Index(8);
+    for (size_t i = 0; i < len; ++i) {
+      if (i > 0) content += ' ';
+      content += words[rng.Index(words.size())];
+    }
+    docs.push_back(content);
+    index.AddDocument(static_cast<text::DocId>(d), content);
+  }
+  const std::string query = "ab cd";
+  const auto terms = index.tokenizer().Tokenize(query);
+  // Brute force: every doc containing every term, scored via the public
+  // Score accessor; compare the conjunctive search's membership and
+  // score ordering.
+  std::vector<std::pair<double, text::DocId>> expected;
+  for (text::DocId d = 0; d < docs.size(); ++d) {
+    bool all = true;
+    for (const std::string& t : terms) {
+      all &= docs[d].find(t) != std::string::npos;
+    }
+    if (all) expected.emplace_back(index.Score(d, terms), d);
+  }
+  auto got = index.SearchConjunctive(query, docs.size());
+  ASSERT_EQ(got.size(), expected.size());
+  std::sort(expected.begin(), expected.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].score, expected[i].first, 1e-12) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IndexOracleTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ------------------------------------------------ capped hub index bound
+
+TEST(HubIndexCappedTest, NeverUnderestimates) {
+  Rng rng(21);
+  graph::DataGraph g;
+  for (int i = 0; i < 50; ++i) g.AddNode("n", "");
+  for (int i = 1; i < 50; ++i) {
+    g.AddUndirectedEdge(static_cast<graph::NodeId>(i),
+                        static_cast<graph::NodeId>(rng.Index(i)),
+                        1.0 + rng.Index(3));
+  }
+  graph::HubDistanceIndex::Options opts;
+  opts.num_hubs = 4;
+  opts.max_radius = 3.0;  // capped: some local rows are truncated
+  graph::HubDistanceIndex index(g, opts);
+  for (int trial = 0; trial < 50; ++trial) {
+    const graph::NodeId x = static_cast<graph::NodeId>(rng.Index(50));
+    const graph::NodeId y = static_cast<graph::NodeId>(rng.Index(50));
+    const double exact = Dijkstra(g, {x}).dist[y];
+    const double est = index.Distance(x, y);
+    // Every certificate the index returns is a real path.
+    EXPECT_GE(est + 1e-9, exact) << x << "->" << y;
+  }
+}
+
+// --------------------------------------------- semijoin full-reducer law
+
+TEST(SemiJoinExactnessTest, ReducedSetsAreExactlyParticipants) {
+  relational::DblpOptions opts;
+  opts.num_authors = 25;
+  opts.num_papers = 50;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  cn::TupleSets ts(*dblp.db, {"keyword", "search"});
+  auto cns = cn::EnumerateCandidateNetworks(*dblp.db, ts.table_masks(),
+                                            ts.full_mask(), {.max_size = 4});
+  for (const auto& network : cns) {
+    auto sets = SemiJoinReduce(*dblp.db, network, ts);
+    // Participants from actual execution.
+    std::vector<std::set<relational::RowId>> participants(
+        network.nodes.size());
+    for (const auto& jt : ExecuteCn(*dblp.db, network, ts)) {
+      for (size_t i = 0; i < jt.rows.size(); ++i) {
+        participants[i].insert(jt.rows[i]);
+      }
+    }
+    for (size_t i = 0; i < sets.size(); ++i) {
+      const std::set<relational::RowId> reduced(sets[i].begin(),
+                                                sets[i].end());
+      EXPECT_EQ(reduced, participants[i]) << "node " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kws

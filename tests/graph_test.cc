@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "graph/blinks_index.h"
+#include "graph/data_graph.h"
+#include "graph/hub_index.h"
+#include "graph/pagerank.h"
+#include "graph/shortest_path.h"
+#include "relational/dblp.h"
+
+namespace kws::graph {
+namespace {
+
+/// Small line graph a -> b -> c with keyword text on the ends.
+DataGraph LineGraph() {
+  DataGraph g;
+  g.AddNode("a", "alpha start");
+  g.AddNode("b", "bridge");
+  g.AddNode("c", "omega end");
+  g.AddEdge(0, 1, 1.0, 1.0);
+  g.AddEdge(1, 2, 1.0, 1.0);
+  g.BuildKeywordIndex();
+  return g;
+}
+
+TEST(DataGraphTest, NodesEdgesAndDegrees) {
+  DataGraph g = LineGraph();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);  // two directed pairs
+  EXPECT_EQ(g.OutDegree(1), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_EQ(g.label(0), "a");
+}
+
+TEST(DataGraphTest, KeywordIndexMatchesText) {
+  DataGraph g = LineGraph();
+  EXPECT_EQ(g.MatchNodes("alpha"), (std::vector<NodeId>{0}));
+  EXPECT_EQ(g.MatchNodes("omega"), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(g.MatchNodes("nothing").empty());
+}
+
+TEST(DataGraphTest, SuppressedBackwardEdge) {
+  DataGraph g;
+  g.AddNode("a", "");
+  g.AddNode("b", "");
+  g.AddEdge(0, 1, 1.0, /*back_weight=*/0);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+}
+
+TEST(DijkstraTest, SingleSourceDistances) {
+  DataGraph g = LineGraph();
+  ShortestPaths sp = Dijkstra(g, {0});
+  EXPECT_EQ(sp.dist[0], 0.0);
+  EXPECT_EQ(sp.dist[1], 1.0);
+  EXPECT_EQ(sp.dist[2], 2.0);
+  EXPECT_EQ(sp.PathTo(2), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(DijkstraTest, MultiSourceTakesNearest) {
+  DataGraph g = LineGraph();
+  ShortestPaths sp = Dijkstra(g, {0, 2});
+  EXPECT_EQ(sp.dist[1], 1.0);
+  EXPECT_EQ(sp.dist[0], 0.0);
+  EXPECT_EQ(sp.dist[2], 0.0);
+}
+
+TEST(DijkstraTest, RespectsMaxDist) {
+  DataGraph g = LineGraph();
+  ShortestPaths sp = Dijkstra(g, {0}, Direction::kForward, 1.0);
+  EXPECT_TRUE(sp.Reachable(1));
+  EXPECT_FALSE(sp.Reachable(2));
+  EXPECT_TRUE(sp.PathTo(2).empty());
+}
+
+TEST(DijkstraTest, BackwardFollowsInEdges) {
+  DataGraph g;
+  g.AddNode("a", "");
+  g.AddNode("b", "");
+  g.AddEdge(0, 1, 3.0, /*back_weight=*/0);
+  ShortestPaths fwd = Dijkstra(g, {0}, Direction::kForward);
+  ShortestPaths bwd = Dijkstra(g, {1}, Direction::kBackward);
+  EXPECT_EQ(fwd.dist[1], 3.0);
+  EXPECT_EQ(bwd.dist[0], 3.0);
+  EXPECT_FALSE(Dijkstra(g, {1}, Direction::kForward).Reachable(0));
+}
+
+TEST(DijkstraTest, PicksCheaperOfParallelPaths) {
+  DataGraph g;
+  for (int i = 0; i < 4; ++i) g.AddNode("n", "");
+  g.AddEdge(0, 1, 1.0, 0);
+  g.AddEdge(1, 3, 1.0, 0);
+  g.AddEdge(0, 2, 0.4, 0);
+  g.AddEdge(2, 3, 0.4, 0);
+  ShortestPaths sp = Dijkstra(g, {0});
+  EXPECT_DOUBLE_EQ(sp.dist[3], 0.8);
+  EXPECT_EQ(sp.PathTo(3), (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(BfsTest, CountsHopsIgnoringWeights) {
+  DataGraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode("n", "");
+  g.AddEdge(0, 1, 100.0, 0);
+  g.AddEdge(1, 2, 100.0, 0);
+  ShortestPaths sp = Bfs(g, {0});
+  EXPECT_EQ(sp.dist[2], 2.0);
+}
+
+TEST(PageRankTest, SumsToOneAndFavorsSinks) {
+  // star: 0,1,2 all point to 3.
+  DataGraph g;
+  for (int i = 0; i < 4; ++i) g.AddNode("n", "");
+  g.AddEdge(0, 3, 1, 0);
+  g.AddEdge(1, 3, 1, 0);
+  g.AddEdge(2, 3, 1, 0);
+  auto pr = PageRank(g);
+  EXPECT_NEAR(std::accumulate(pr.begin(), pr.end(), 0.0), 1.0, 1e-6);
+  EXPECT_GT(pr[3], pr[0]);
+  EXPECT_GT(pr[3], pr[1]);
+}
+
+TEST(PageRankTest, SymmetricGraphUniform) {
+  DataGraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode("n", "");
+  g.AddUndirectedEdge(0, 1, 1);
+  g.AddUndirectedEdge(1, 2, 1);
+  g.AddUndirectedEdge(2, 0, 1);
+  auto pr = PageRank(g);
+  EXPECT_NEAR(pr[0], pr[1], 1e-9);
+  EXPECT_NEAR(pr[1], pr[2], 1e-9);
+}
+
+TEST(PageRankTest, WeightedPrefersHeavyEdge) {
+  DataGraph g;
+  for (int i = 0; i < 3; ++i) g.AddNode("n", "");
+  g.AddEdge(0, 1, 10.0, 0);
+  g.AddEdge(0, 2, 1.0, 0);
+  auto pr = WeightedPageRank(g);
+  EXPECT_GT(pr[1], pr[2]);
+}
+
+TEST(BuildDataGraphTest, DblpGraphShape) {
+  relational::DblpOptions opts;
+  opts.num_authors = 50;
+  opts.num_papers = 100;
+  opts.num_conferences = 5;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  RelationalGraph rg = BuildDataGraph(*dblp.db);
+  EXPECT_EQ(rg.graph.num_nodes(), dblp.db->TotalRows());
+  EXPECT_EQ(rg.node_to_tuple.size(), rg.graph.num_nodes());
+  // Every paper node connects forward to its conference node.
+  const relational::Table& paper = dblp.db->table(dblp.paper);
+  for (relational::RowId r = 0; r < paper.num_rows(); ++r) {
+    const NodeId pn = rg.tuple_to_node.at({dblp.paper, r});
+    bool found = false;
+    for (const Edge& e : rg.graph.Out(pn)) {
+      if (rg.node_to_tuple[e.to].table == dblp.conference) found = true;
+    }
+    EXPECT_TRUE(found) << "paper row " << r;
+  }
+}
+
+TEST(BuildDataGraphTest, BackwardEdgesExistAndAreWeighted) {
+  relational::DblpOptions opts;
+  opts.num_authors = 20;
+  opts.num_papers = 50;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  RelationalGraph rg = BuildDataGraph(*dblp.db);
+  // A conference node (referenced side) must have out-edges back to the
+  // papers referencing it, with weight >= 1 growing with in-degree.
+  const NodeId cn = rg.tuple_to_node.at({dblp.conference, 0});
+  EXPECT_GT(rg.graph.OutDegree(cn), 0u);
+  for (const Edge& e : rg.graph.Out(cn)) {
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(BuildDataGraphTest, KeywordIndexCoversAuthors) {
+  relational::DblpDatabase dblp = relational::MakeDblpDatabase();
+  RelationalGraph rg = BuildDataGraph(*dblp.db);
+  // Author 0's name tokens must match their node.
+  const NodeId an = rg.tuple_to_node.at({dblp.author, 0});
+  const std::string name = dblp.db->table(dblp.author).cell(0, 1).AsText();
+  const auto tokens = text::Tokenizer().Tokenize(name);
+  ASSERT_FALSE(tokens.empty());
+  const auto& nodes = rg.graph.MatchNodes(tokens[0]);
+  EXPECT_TRUE(std::find(nodes.begin(), nodes.end(), an) != nodes.end());
+}
+
+TEST(KeywordDistanceIndexTest, DistanceZeroAtMatch) {
+  DataGraph g = LineGraph();
+  KeywordDistanceIndex idx(g);
+  idx.IndexTerm("omega");
+  EXPECT_EQ(idx.Distance(2, "omega"), 0.0);
+  EXPECT_EQ(idx.Distance(1, "omega"), 1.0);
+  EXPECT_EQ(idx.Distance(0, "omega"), 2.0);
+}
+
+TEST(KeywordDistanceIndexTest, UnindexedTermIsInfinite) {
+  DataGraph g = LineGraph();
+  KeywordDistanceIndex idx(g);
+  EXPECT_EQ(idx.Distance(0, "omega"), kInfDist);
+}
+
+TEST(KeywordDistanceIndexTest, RadiusCapsDistance) {
+  DataGraph g = LineGraph();
+  KeywordDistanceIndex idx(g, /*max_radius=*/1.0);
+  idx.IndexTerm("omega");
+  EXPECT_EQ(idx.Distance(0, "omega"), kInfDist);
+  EXPECT_EQ(idx.Distance(1, "omega"), 1.0);
+}
+
+TEST(KeywordDistanceIndexTest, CandidateRootsSortedByCost) {
+  DataGraph g = LineGraph();
+  KeywordDistanceIndex idx(g);
+  idx.IndexTerm("alpha");
+  idx.IndexTerm("omega");
+  auto roots = idx.CandidateRoots({"alpha", "omega"});
+  ASSERT_EQ(roots.size(), 3u);
+  // Node 1 (middle) has cost 1+1=2, ends have cost 0+2=2: all equal here.
+  for (size_t i = 1; i < roots.size(); ++i) {
+    EXPECT_GE(roots[i].second, roots[i - 1].second);
+  }
+}
+
+/// Random undirected graph for oracle comparisons.
+DataGraph RandomGraph(size_t n, size_t extra_edges, Rng& rng) {
+  DataGraph g;
+  for (size_t i = 0; i < n; ++i) g.AddNode("n", "");
+  // Random spanning tree keeps it connected.
+  for (size_t i = 1; i < n; ++i) {
+    const NodeId p = static_cast<NodeId>(rng.Index(i));
+    g.AddUndirectedEdge(static_cast<NodeId>(i), p,
+                        1.0 + rng.Index(4));
+  }
+  for (size_t e = 0; e < extra_edges; ++e) {
+    const NodeId u = static_cast<NodeId>(rng.Index(n));
+    const NodeId v = static_cast<NodeId>(rng.Index(n));
+    if (u != v) g.AddUndirectedEdge(u, v, 1.0 + rng.Index(4));
+  }
+  return g;
+}
+
+class HubIndexPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HubIndexPropertyTest, AgreesWithDijkstraOnRandomGraphs) {
+  const size_t num_hubs = GetParam();
+  Rng rng(1234 + num_hubs);
+  DataGraph g = RandomGraph(60, 40, rng);
+  HubDistanceIndex::Options opts;
+  opts.num_hubs = num_hubs;
+  HubDistanceIndex index(g, opts);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId x = static_cast<NodeId>(rng.Index(g.num_nodes()));
+    const NodeId y = static_cast<NodeId>(rng.Index(g.num_nodes()));
+    const double exact = Dijkstra(g, {x}).dist[y];
+    const double est = index.Distance(x, y);
+    // The oracle never underestimates, and with unbounded radius it is
+    // exact (every shortest path decomposes at its first/last hub).
+    EXPECT_NEAR(est, exact, 1e-9) << "x=" << x << " y=" << y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HubIndexPropertyTest,
+                         ::testing::Values(1, 4, 16));
+
+TEST(HubIndexTest, StorageSmallerWithMoreHubs) {
+  Rng rng(5);
+  DataGraph g = RandomGraph(80, 80, rng);
+  HubDistanceIndex::Options few, many;
+  few.num_hubs = 2;
+  many.num_hubs = 24;
+  const size_t storage_few = HubDistanceIndex(g, few).StorageEntries();
+  const size_t storage_many = HubDistanceIndex(g, many).StorageEntries();
+  // More hubs block more paths, shrinking the per-node local rows
+  // (the whole point of Goldman's hub construction).
+  EXPECT_LT(storage_many, storage_few);
+}
+
+}  // namespace
+}  // namespace kws::graph

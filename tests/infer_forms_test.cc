@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/forms/forms.h"
+#include "core/infer/correlation.h"
+#include "core/infer/iqp.h"
+#include "relational/dblp.h"
+#include "relational/query_log.h"
+#include "relational/shop.h"
+
+namespace kws {
+namespace {
+
+using infer::JointObservation;
+
+TEST(EntropyTest, UniformAndDegenerate) {
+  EXPECT_DOUBLE_EQ(infer::Entropy({1, 1, 1, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(infer::Entropy({5}), 0.0);
+  EXPECT_DOUBLE_EQ(infer::Entropy({}), 0.0);
+  EXPECT_NEAR(infer::Entropy({2, 1, 1}), 1.5, 1e-12);
+}
+
+TEST(TotalCorrelationTest, Slide42AuthorPaperExample) {
+  // Reconstruction of tutorial slide 42: six equiprobable (author, paper)
+  // observations with marginals H(A) = 2.25, H(P) = 1.92, joint 2.58,
+  // I(A,P) = 1.59.
+  std::vector<JointObservation> joint = {
+      {"a1", "p1"}, {"a1", "p2"}, {"a2", "p1"},
+      {"a3", "p2"}, {"a4", "p3"}, {"a5", "p4"}};
+  EXPECT_NEAR(infer::TotalCorrelation(joint), 1.59, 0.01);
+}
+
+TEST(TotalCorrelationTest, Slide43EditorPaperExample) {
+  // Slide 43: two deterministic (editor, paper) pairs: H(E) = H(P) =
+  // H(E,P) = 1.0, I = 1.0, I* = f(2) * 1.0 / 1.0 = 4.
+  std::vector<JointObservation> joint = {{"e1", "p1"}, {"e2", "p2"}};
+  EXPECT_NEAR(infer::TotalCorrelation(joint), 1.0, 1e-9);
+  EXPECT_NEAR(infer::NormalizedTotalCorrelation(joint), 4.0, 1e-9);
+}
+
+TEST(TotalCorrelationTest, IndependentVariablesNearZero) {
+  // Full cross product: knowing one variable says nothing about the other.
+  std::vector<JointObservation> joint;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      joint.push_back({"a" + std::to_string(a), "b" + std::to_string(b)});
+    }
+  }
+  EXPECT_NEAR(infer::TotalCorrelation(joint), 0.0, 1e-9);
+}
+
+TEST(JoinObservationsTest, ChainOverDblp) {
+  relational::DblpOptions opts;
+  opts.num_authors = 30;
+  opts.num_papers = 60;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  // author <- writes -> paper chain: fks 1 (writes.aid) and 2 (writes.pid).
+  auto joint = infer::JoinObservations(
+      *dblp.db, {dblp.author, dblp.writes, dblp.paper}, {1, 2});
+  ASSERT_FALSE(joint.empty());
+  EXPECT_EQ(joint.size(), dblp.db->table(dblp.writes).num_rows());
+  for (const auto& o : joint) EXPECT_EQ(o.size(), 3u);
+  // Authors and papers correlate through writes.
+  EXPECT_GT(infer::TotalCorrelation(joint), 0.5);
+}
+
+TEST(ParticipationTest, WritesAlwaysParticipates) {
+  relational::DblpDatabase dblp = relational::MakeDblpDatabase();
+  // FK 1: writes.aid -> author. Every writes row references an author.
+  EXPECT_DOUBLE_EQ(infer::ParticipationRatio(*dblp.db, 1, true), 1.0);
+  // Most authors wrote something, but possibly not all.
+  const double back = infer::ParticipationRatio(*dblp.db, 1, false);
+  EXPECT_GT(back, 0.5);
+  EXPECT_LE(back, 1.0);
+  const double rel = infer::Relatedness(*dblp.db, 1);
+  EXPECT_NEAR(rel, (1.0 + back) / 2, 1e-12);
+}
+
+TEST(IqpTest, BindsBrandWordToBrandColumn) {
+  relational::ShopDatabase shop =
+      relational::MakeShopDatabase({.seed = 3, .num_products = 300});
+  relational::QueryLog log = MakeQueryLog(*shop.db, shop.product,
+                                          {.seed = 4, .num_queries = 100});
+  infer::IqpRanker ranker(*shop.db, shop.product, log);
+  // "lenovo" occurs in the brand column (and sometimes descriptions);
+  // its binding probability must peak at brand (column 2).
+  double best = 0;
+  relational::ColumnId best_col = 0;
+  for (relational::ColumnId c = 1; c < 8; ++c) {
+    const double p = ranker.BindingProbability("lenovo", c);
+    if (p > best) {
+      best = p;
+      best_col = c;
+    }
+  }
+  EXPECT_EQ(best_col, 2u);
+}
+
+TEST(IqpTest, RankReturnsOrderedInterpretations) {
+  relational::ShopDatabase shop =
+      relational::MakeShopDatabase({.seed = 3, .num_products = 200});
+  relational::QueryLog log = MakeQueryLog(*shop.db, shop.product,
+                                          {.seed = 4, .num_queries = 100});
+  infer::IqpRanker ranker(*shop.db, shop.product, log);
+  auto interps = ranker.Rank({"lenovo", "laptop"}, 5);
+  ASSERT_FALSE(interps.empty());
+  EXPECT_LE(interps.size(), 5u);
+  for (size_t i = 1; i < interps.size(); ++i) {
+    EXPECT_GE(interps[i - 1].probability, interps[i].probability);
+  }
+  // Best interpretation: lenovo -> brand (2), laptop -> category (3).
+  EXPECT_EQ(interps[0].bindings[0], 2u);
+  EXPECT_EQ(interps[0].bindings[1], 3u);
+  // Rendering mentions both columns.
+  const std::string s = interps[0].ToString(
+      shop.db->table(shop.product).schema(), {"lenovo", "laptop"});
+  EXPECT_NE(s.find("brand"), std::string::npos);
+  EXPECT_NE(s.find("category"), std::string::npos);
+}
+
+class FormsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    relational::DblpOptions opts;
+    opts.num_authors = 50;
+    opts.num_papers = 100;
+    dblp_ = new relational::DblpDatabase(MakeDblpDatabase(opts));
+  }
+  static void TearDownTestSuite() {
+    delete dblp_;
+    dblp_ = nullptr;
+  }
+  static relational::DblpDatabase* dblp_;
+};
+
+relational::DblpDatabase* FormsTest::dblp_ = nullptr;
+
+TEST_F(FormsTest, EntityQueriabilitySumsToOne) {
+  auto q = forms::EntityQueriability(*dblp_->db);
+  ASSERT_EQ(q.size(), dblp_->db->num_tables());
+  double sum = 0;
+  for (double x : q) {
+    EXPECT_GT(x, 0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST_F(FormsTest, AttributeQueriabilityFullColumns) {
+  // Every paper has a title.
+  EXPECT_DOUBLE_EQ(
+      forms::AttributeQueriability(*dblp_->db, dblp_->paper, 1), 1.0);
+}
+
+TEST_F(FormsTest, OperatorQueriabilityShapes) {
+  // Text title: projection beats aggregation.
+  const double proj = forms::OperatorQueriability(
+      *dblp_->db, dblp_->paper, 1, forms::FormOperator::kProject);
+  const double aggr = forms::OperatorQueriability(
+      *dblp_->db, dblp_->paper, 1, forms::FormOperator::kAggregate);
+  EXPECT_GT(proj, aggr);
+  // Numeric year: order-by beats projection.
+  const double order = forms::OperatorQueriability(
+      *dblp_->db, dblp_->conference, 2, forms::FormOperator::kOrderBy);
+  const double proj_year = forms::OperatorQueriability(
+      *dblp_->db, dblp_->conference, 2, forms::FormOperator::kProject);
+  EXPECT_GT(order, proj_year);
+}
+
+TEST_F(FormsTest, GeneratesAuthorWritesPaperSkeleton) {
+  auto forms_list = forms::GenerateForms(*dblp_->db, {.max_tables = 3});
+  ASSERT_FALSE(forms_list.empty());
+  bool found = false;
+  for (const auto& f : forms_list) {
+    std::vector<relational::TableId> ts = f.tables;
+    std::sort(ts.begin(), ts.end());
+    if (ts == std::vector<relational::TableId>{dblp_->author, dblp_->paper,
+                                               dblp_->writes}) {
+      found = true;
+      EXPECT_FALSE(f.fields.empty());
+    }
+  }
+  EXPECT_TRUE(found) << "author-writes-paper form missing";
+}
+
+TEST_F(FormsTest, FormsSortedByQueriability) {
+  auto forms_list = forms::GenerateForms(*dblp_->db);
+  for (size_t i = 1; i < forms_list.size(); ++i) {
+    EXPECT_GE(forms_list[i - 1].queriability, forms_list[i].queriability);
+  }
+}
+
+TEST_F(FormsTest, SearchFindsRelevantForms) {
+  auto forms_list = forms::GenerateForms(*dblp_->db);
+  forms::FormIndex index(*dblp_->db, std::move(forms_list));
+  // An author-name keyword: the variant expansion turns it into the
+  // "author" schema term (slide 57).
+  const std::string author_name =
+      dblp_->db->table(dblp_->author).cell(0, 1).AsText();
+  const std::string first = text::Tokenizer().Tokenize(author_name)[0];
+  auto ranked = index.Search(first + " paper", 10);
+  ASSERT_FALSE(ranked.empty());
+  // Top group must involve the author table.
+  bool author_in_top = false;
+  for (relational::TableId t : index.forms()[ranked[0].form].tables) {
+    author_in_top |= (t == dblp_->author);
+  }
+  EXPECT_TRUE(author_in_top);
+  // Grouping keeps every ranked form, partitioned by skeleton.
+  auto groups = index.GroupBySkeleton(ranked);
+  size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, ranked.size());
+  for (const auto& g : groups) {
+    for (const auto& rf : g) {
+      EXPECT_EQ(index.forms()[rf.form].skeleton_key,
+                index.forms()[g[0].form].skeleton_key);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kws

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/dblp.h"
+#include "relational/query_log.h"
+#include "relational/shop.h"
+#include "relational/value.h"
+
+namespace kws::relational {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value::Int(5).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Real(1.5).type(), ValueType::kReal);
+  EXPECT_EQ(Value::Text("x").type(), ValueType::kText);
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_EQ(Value::Real(1.5).AsReal(), 1.5);
+  EXPECT_EQ(Value::Text("x").AsText(), "x");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Real(3.0));
+  EXPECT_NE(Value::Int(3), Value::Real(3.5));
+  EXPECT_NE(Value::Int(3), Value::Text("3"));
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value(), Value::Int(0));
+}
+
+TEST(ValueTest, OrderingNullNumbersText) {
+  EXPECT_LT(Value(), Value::Int(0));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Int(100), Value::Text("a"));
+  EXPECT_LT(Value::Text("a"), Value::Text("b"));
+  EXPECT_LT(Value::Int(1), Value::Real(1.5));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Text("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  ValueHash h;
+  EXPECT_EQ(h(Value::Text("abc")), h(Value::Text("abc")));
+  EXPECT_EQ(h(Value::Int(42)), h(Value::Int(42)));
+}
+
+TableSchema TwoColSchema(const std::string& name) {
+  TableSchema s;
+  s.name = name;
+  s.columns = {{"id", ValueType::kInt, false}, {"txt", ValueType::kText, true}};
+  s.primary_key = 0;
+  return s;
+}
+
+TEST(TableTest, AppendAndFetch) {
+  Table t(TwoColSchema("t"));
+  auto r0 = t.Append({Value::Int(1), Value::Text("alpha")});
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0.value(), 0u);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.cell(0, 1).AsText(), "alpha");
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  Table t(TwoColSchema("t"));
+  auto r = t.Append({Value::Int(1)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, RejectsDuplicatePrimaryKey) {
+  Table t(TwoColSchema("t"));
+  ASSERT_TRUE(t.Append({Value::Int(1), Value::Text("a")}).ok());
+  auto r = t.Append({Value::Int(1), Value::Text("b")});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, FindByKey) {
+  Table t(TwoColSchema("t"));
+  t.Append({Value::Int(10), Value::Text("x")}).value();
+  t.Append({Value::Int(20), Value::Text("y")}).value();
+  EXPECT_EQ(t.FindByKey(Value::Int(20)).value(), 1u);
+  EXPECT_FALSE(t.FindByKey(Value::Int(99)).ok());
+}
+
+TEST(TableTest, FindByValueScanAndIndexAgree) {
+  Table t(TwoColSchema("t"));
+  for (int i = 0; i < 10; ++i) {
+    t.Append({Value::Int(i), Value::Text(i % 2 ? "odd" : "even")}).value();
+  }
+  auto scan = t.FindByValue(1, Value::Text("odd"));
+  t.BuildColumnIndex(1);
+  auto indexed = t.FindByValue(1, Value::Text("odd"));
+  EXPECT_EQ(scan, indexed);
+  EXPECT_EQ(scan.size(), 5u);
+}
+
+TEST(TableTest, IndexMaintainedAcrossAppend) {
+  Table t(TwoColSchema("t"));
+  t.BuildColumnIndex(1);
+  t.Append({Value::Int(1), Value::Text("z")}).value();
+  EXPECT_EQ(t.FindByValue(1, Value::Text("z")).size(), 1u);
+}
+
+TEST(TableTest, SearchableTextConcatenatesTextColumns) {
+  TableSchema s;
+  s.name = "t";
+  s.columns = {{"id", ValueType::kInt, false},
+               {"a", ValueType::kText, true},
+               {"n", ValueType::kInt, false},
+               {"b", ValueType::kText, true},
+               {"hidden", ValueType::kText, false}};
+  s.primary_key = 0;
+  Table t(s);
+  t.Append({Value::Int(1), Value::Text("hello"), Value::Int(9),
+            Value::Text("world"), Value::Text("secret")})
+      .value();
+  EXPECT_EQ(t.SearchableText(0), "hello world");
+}
+
+TEST(DatabaseTest, CreateAndFindTables) {
+  Database db;
+  EXPECT_TRUE(db.CreateTable(TwoColSchema("a")).ok());
+  EXPECT_TRUE(db.CreateTable(TwoColSchema("b")).ok());
+  EXPECT_FALSE(db.CreateTable(TwoColSchema("a")).ok());
+  EXPECT_EQ(db.num_tables(), 2u);
+  EXPECT_TRUE(db.FindTable("b").ok());
+  EXPECT_FALSE(db.FindTable("c").ok());
+}
+
+TEST(DatabaseTest, ForeignKeyValidation) {
+  Database db;
+  db.CreateTable(TwoColSchema("parent")).value();
+  TableSchema child = TwoColSchema("child");
+  child.columns.push_back({"pid", ValueType::kInt, false});
+  db.CreateTable(child).value();
+  EXPECT_TRUE(db.AddForeignKey("child", "pid", "parent", "id").ok());
+  EXPECT_FALSE(db.AddForeignKey("child", "nope", "parent", "id").ok());
+  EXPECT_FALSE(db.AddForeignKey("child", "pid", "parent", "txt").ok());
+  EXPECT_FALSE(db.AddForeignKey("ghost", "pid", "parent", "id").ok());
+}
+
+TEST(DatabaseTest, SchemaNeighborsBothDirections) {
+  Database db;
+  db.CreateTable(TwoColSchema("parent")).value();
+  TableSchema child = TwoColSchema("child");
+  child.columns.push_back({"pid", ValueType::kInt, false});
+  db.CreateTable(child).value();
+  ASSERT_TRUE(db.AddForeignKey("child", "pid", "parent", "id").ok());
+  const TableId parent_id = db.FindTable("parent").value();
+  const TableId child_id = db.FindTable("child").value();
+  ASSERT_EQ(db.SchemaNeighbors(child_id).size(), 1u);
+  EXPECT_EQ(db.SchemaNeighbors(child_id)[0].other, parent_id);
+  EXPECT_TRUE(db.SchemaNeighbors(child_id)[0].forward);
+  ASSERT_EQ(db.SchemaNeighbors(parent_id).size(), 1u);
+  EXPECT_EQ(db.SchemaNeighbors(parent_id)[0].other, child_id);
+  EXPECT_FALSE(db.SchemaNeighbors(parent_id)[0].forward);
+}
+
+class DblpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { dblp_ = new DblpDatabase(MakeDblpDatabase()); }
+  static void TearDownTestSuite() {
+    delete dblp_;
+    dblp_ = nullptr;
+  }
+  static DblpDatabase* dblp_;
+};
+
+DblpDatabase* DblpTest::dblp_ = nullptr;
+
+TEST_F(DblpTest, TablesPopulated) {
+  const Database& db = *dblp_->db;
+  EXPECT_EQ(db.table(dblp_->conference).num_rows(), 20u);
+  EXPECT_EQ(db.table(dblp_->author).num_rows(), 200u);
+  EXPECT_EQ(db.table(dblp_->paper).num_rows(), 500u);
+  EXPECT_GT(db.table(dblp_->writes).num_rows(), 400u);
+  EXPECT_GT(db.table(dblp_->cite).num_rows(), 100u);
+}
+
+TEST_F(DblpTest, ForeignKeysResolve) {
+  const Database& db = *dblp_->db;
+  // Every paper's cid refers to an existing conference.
+  const Table& paper = db.table(dblp_->paper);
+  const Table& conf = db.table(dblp_->conference);
+  for (RowId r = 0; r < paper.num_rows(); ++r) {
+    EXPECT_TRUE(conf.FindByKey(paper.cell(r, 2)).ok());
+  }
+}
+
+TEST_F(DblpTest, JoinedRowsForwardFindsReferencedRow) {
+  const Database& db = *dblp_->db;
+  // writes row 0 -> author via FK 1 (paper.cid is FK 0).
+  TupleId w{dblp_->writes, 0};
+  auto joined = db.JoinedRows(1, w, /*from_referencing=*/true);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0].table, dblp_->author);
+  EXPECT_EQ(db.table(dblp_->author).cell(joined[0].row, 0),
+            db.table(dblp_->writes).cell(0, 1));
+}
+
+TEST_F(DblpTest, JoinedRowsBackwardFindsAllReferencing) {
+  const Database& db = *dblp_->db;
+  TupleId a{dblp_->author, 0};
+  auto joined = db.JoinedRows(1, a, /*from_referencing=*/false);
+  for (const TupleId& t : joined) {
+    EXPECT_EQ(t.table, dblp_->writes);
+    EXPECT_EQ(db.table(dblp_->writes).cell(t.row, 1),
+              db.table(dblp_->author).cell(0, 0));
+  }
+}
+
+TEST_F(DblpTest, TextIndexFindsTitleTerms) {
+  const Database& db = *dblp_->db;
+  // The most frequent vocabulary term should match many papers.
+  const std::string& top_term = dblp_->vocabulary[0];
+  auto rows = db.MatchRows(dblp_->paper, top_term);
+  EXPECT_GT(rows.size(), 20u);
+  // All matched rows actually contain the term.
+  for (RowId r : rows) {
+    const std::string title = db.table(dblp_->paper).cell(r, 1).AsText();
+    EXPECT_NE(title.find(top_term), std::string::npos);
+  }
+}
+
+TEST_F(DblpTest, DeterministicAcrossRuns) {
+  DblpDatabase again = MakeDblpDatabase();
+  const Table& p1 = dblp_->db->table(dblp_->paper);
+  const Table& p2 = again.db->table(again.paper);
+  ASSERT_EQ(p1.num_rows(), p2.num_rows());
+  for (RowId r = 0; r < p1.num_rows(); r += 37) {
+    EXPECT_EQ(p1.cell(r, 1).AsText(), p2.cell(r, 1).AsText());
+  }
+}
+
+TEST_F(DblpTest, ZipfSkewVisibleInTitleTerms) {
+  const Database& db = *dblp_->db;
+  const size_t top = db.MatchRows(dblp_->paper, dblp_->vocabulary[0]).size();
+  const size_t mid = db.MatchRows(dblp_->paper, dblp_->vocabulary[100]).size();
+  EXPECT_GT(top, 2 * std::max<size_t>(mid, 1));
+}
+
+TEST(VocabularyTest, DistinctAndSized) {
+  auto v = MakeVocabulary(300);
+  EXPECT_EQ(v.size(), 300u);
+  std::set<std::string> dedup(v.begin(), v.end());
+  EXPECT_EQ(dedup.size(), 300u);
+}
+
+TEST(PersonNamesTest, DistinctAndSized) {
+  auto names = MakePersonNames(5000);
+  EXPECT_EQ(names.size(), 5000u);
+  std::set<std::string> dedup(names.begin(), names.end());
+  EXPECT_EQ(dedup.size(), 5000u);
+}
+
+TEST(ShopTest, ProductsHavePlantedCorrelations) {
+  ShopDatabase shop = MakeShopDatabase({.seed = 1, .num_products = 500});
+  const Database& db = *shop.db;
+  const Table& product = db.table(shop.product);
+  // Keyword "ibm" appears only in lenovo product descriptions.
+  auto rows = db.MatchRows(shop.product, "ibm");
+  ASSERT_FALSE(rows.empty());
+  for (RowId r : rows) {
+    EXPECT_EQ(product.cell(r, 2).AsText(), "lenovo");
+  }
+  // Keyword "small" implies small screens.
+  for (RowId r : db.MatchRows(shop.product, "small")) {
+    EXPECT_LE(product.cell(r, 4).AsReal(), 12.0);
+  }
+}
+
+TEST(EventsTest, PlantedSlide16RowsPresent) {
+  ShopDatabase events = MakeEventsDatabase(1, 50);
+  const Database& db = *events.db;
+  EXPECT_EQ(db.table(events.product).num_rows(), 56u);
+  EXPECT_FALSE(db.MatchRows(events.product, "motorcycle").empty());
+  EXPECT_FALSE(db.MatchRows(events.product, "pool").empty());
+  EXPECT_FALSE(db.MatchRows(events.product, "food").empty());
+}
+
+TEST(QueryLogTest, GeneratesWeightedPredicates) {
+  ShopDatabase shop = MakeShopDatabase({.seed = 2, .num_products = 200});
+  QueryLog log = MakeQueryLog(*shop.db, shop.product,
+                              {.seed = 3, .num_queries = 300});
+  EXPECT_EQ(log.size(), 300u);
+  size_t with_preds = 0, with_kw = 0, with_range = 0;
+  for (const LoggedQuery& q : log) {
+    with_preds += !q.predicates.empty();
+    with_kw += !q.keywords.empty();
+    for (const LoggedPredicate& p : q.predicates) {
+      if (p.lo.has_value()) {
+        ++with_range;
+        EXPECT_TRUE(p.hi.has_value());
+        EXPECT_LE(*p.lo, *p.hi);
+      } else {
+        EXPECT_TRUE(p.equals.has_value());
+      }
+    }
+  }
+  EXPECT_GT(with_preds, 150u);
+  EXPECT_GT(with_kw, 290u);
+  EXPECT_GT(with_range, 0u);
+}
+
+TEST(QueryLogTest, DeterministicForSeed) {
+  ShopDatabase shop = MakeShopDatabase({.seed = 2, .num_products = 100});
+  QueryLog a = MakeQueryLog(*shop.db, shop.product, {.seed = 9});
+  QueryLog b = MakeQueryLog(*shop.db, shop.product, {.seed = 9});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+    EXPECT_EQ(a[i].predicates.size(), b[i].predicates.size());
+  }
+}
+
+}  // namespace
+}  // namespace kws::relational

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/select/db_selection.h"
+#include "relational/database.h"
+
+namespace kws::select {
+namespace {
+
+using relational::Database;
+using relational::TableSchema;
+using relational::Value;
+using relational::ValueType;
+
+/// author(name) <- writes -> paper(title); one author "alice", one paper
+/// "encryption"; `connect` controls whether a writes row links them.
+std::unique_ptr<Database> MakeDb(bool connect) {
+  auto db = std::make_unique<Database>();
+  TableSchema a;
+  a.name = "author";
+  a.columns = {{"aid", ValueType::kInt, false},
+               {"name", ValueType::kText, true}};
+  a.primary_key = 0;
+  db->CreateTable(a).value();
+  TableSchema p;
+  p.name = "paper";
+  p.columns = {{"pid", ValueType::kInt, false},
+               {"title", ValueType::kText, true}};
+  p.primary_key = 0;
+  db->CreateTable(p).value();
+  TableSchema w;
+  w.name = "writes";
+  w.columns = {{"wid", ValueType::kInt, false},
+               {"aid", ValueType::kInt, false},
+               {"pid", ValueType::kInt, false}};
+  w.primary_key = 0;
+  db->CreateTable(w).value();
+  db->table(0).Append({Value::Int(0), Value::Text("alice")}).value();
+  db->table(0).Append({Value::Int(1), Value::Text("bob")}).value();
+  db->table(1).Append({Value::Int(0), Value::Text("encryption")}).value();
+  db->table(1).Append({Value::Int(1), Value::Text("compilers")}).value();
+  if (connect) {
+    db->table(2).Append({Value::Int(0), Value::Int(0), Value::Int(0)})
+        .value();
+  } else {
+    // alice wrote the *other* paper; encryption stays unconnected to her.
+    db->table(2).Append({Value::Int(0), Value::Int(0), Value::Int(1)})
+        .value();
+  }
+  EXPECT_TRUE(db->AddForeignKey("writes", "aid", "author", "aid").ok());
+  EXPECT_TRUE(db->AddForeignKey("writes", "pid", "paper", "pid").ok());
+  db->BuildTextIndexes();
+  return db;
+}
+
+TEST(DbSelectionTest, JoinableDatabaseRanksFirst) {
+  auto connected = MakeDb(true);
+  auto disconnected = MakeDb(false);
+  DatabaseSelector selector;
+  selector.AddDatabase("connected", connected.get());
+  selector.AddDatabase("disconnected", disconnected.get());
+  auto ranked = selector.Rank("alice encryption");
+  ASSERT_EQ(ranked.size(), 2u);
+  // Both cover both keywords...
+  EXPECT_EQ(ranked[0].keywords_covered, 2u);
+  EXPECT_EQ(ranked[1].keywords_covered, 2u);
+  // ...but only one relates them through a join.
+  EXPECT_EQ(ranked[0].name, "connected");
+  EXPECT_EQ(ranked[0].joinable_pairs, 1u);
+  EXPECT_EQ(ranked[1].joinable_pairs, 0u);
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+}
+
+TEST(DbSelectionTest, CoverageBreaksTies) {
+  auto both = MakeDb(false);
+  auto half = MakeDb(false);
+  DatabaseSelector selector;
+  selector.AddDatabase("both", both.get());
+  selector.AddDatabase("half", half.get());
+  // "alice compilers" joins in both (alice wrote compilers when
+  // connect=false); "zzz" matches nowhere: coverage dominates.
+  auto ranked = selector.Rank("alice zzz");
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].keywords_covered, 1u);
+  EXPECT_EQ(ranked[0].joinable_pairs, 0u);
+}
+
+TEST(DbSelectionTest, EmptyQueryScoresZero) {
+  auto db = MakeDb(true);
+  DatabaseSelector selector;
+  selector.AddDatabase("only", db.get());
+  auto ranked = selector.Rank("");
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].score, 0.0);
+}
+
+TEST(DbSelectionTest, DistanceBoundControlsRelationship) {
+  auto connected = MakeDb(true);
+  // A tiny radius makes even the joined pair unrelated.
+  SelectorOptions tight;
+  tight.max_distance = 0.5;
+  DatabaseSelector selector(tight);
+  selector.AddDatabase("connected", connected.get());
+  auto ranked = selector.Rank("alice encryption");
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].joinable_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace kws::select

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/cn/execute.h"
+#include "core/cn/sharing.h"
+#include "relational/dblp.h"
+
+namespace kws::cn {
+namespace {
+
+TEST(SharingTest, EmptyWorkload) {
+  SharingStats s = AnalyzeSharing({});
+  EXPECT_EQ(s.total_cns, 0u);
+  EXPECT_EQ(s.EdgeSharingRatio(), 0.0);
+  EXPECT_EQ(s.SubtreeSharingRatio(), 0.0);
+}
+
+TEST(SharingTest, IdenticalCnsShareEverything) {
+  CandidateNetwork cn;
+  cn.nodes = {{0, 1}, {1, 0}, {2, 2}};
+  cn.edges = {{1, 0, 0, true}, {1, 2, 1, true}};
+  SharingStats s = AnalyzeSharing({cn, cn, cn});
+  EXPECT_EQ(s.total_join_edges, 6u);
+  EXPECT_EQ(s.distinct_join_edges, 2u);
+  EXPECT_GT(s.EdgeSharingRatio(), 0.5);
+  // Every CN is composable from parts shared with its twins.
+  EXPECT_EQ(s.composable_cns, 3u);
+}
+
+TEST(SharingTest, DisjointCnsShareNothing) {
+  CandidateNetwork a;
+  a.nodes = {{0, 1}, {1, 0}};
+  a.edges = {{1, 0, 0, true}};
+  CandidateNetwork b;
+  b.nodes = {{2, 1}, {3, 0}};
+  b.edges = {{1, 0, 5, true}};
+  SharingStats s = AnalyzeSharing({a, b});
+  EXPECT_EQ(s.distinct_join_edges, 2u);
+  EXPECT_EQ(s.EdgeSharingRatio(), 0.0);
+  EXPECT_EQ(s.composable_cns, 0u);
+}
+
+TEST(SharingTest, RealWorkloadSharesSubstantially) {
+  // The slide-135 claim: enumerated CN workloads overlap heavily.
+  relational::DblpOptions opts;
+  opts.num_papers = 50;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  std::vector<KeywordMask> masks(dblp.db->num_tables(), 0);
+  masks[dblp.author] = 3;
+  masks[dblp.paper] = 3;
+  auto cns = EnumerateCandidateNetworks(*dblp.db, masks, 3, {.max_size = 5});
+  ASSERT_GT(cns.size(), 5u);
+  SharingStats s = AnalyzeSharing(cns);
+  EXPECT_GT(s.EdgeSharingRatio(), 0.5);
+  EXPECT_GT(s.SubtreeSharingRatio(), 0.3);
+  EXPECT_GT(s.composable_cns, s.total_cns / 2);
+  EXPECT_EQ(s.total_subtrees, 2 * s.total_join_edges);
+}
+
+}  // namespace
+}  // namespace kws::cn
+
+namespace kws::cn {
+namespace {
+
+
+class SharedCountOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SharedCountOracleTest, CountsMatchExecution) {
+  relational::DblpOptions opts;
+  opts.seed = GetParam();
+  opts.num_papers = 60;
+  opts.num_authors = 30;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  TupleSets ts(*dblp.db, {"keyword", "search"});
+  auto cns = EnumerateCandidateNetworks(*dblp.db, ts.table_masks(),
+                                        ts.full_mask(), {.max_size = 5});
+  ASSERT_FALSE(cns.empty());
+  SharedExecStats shared_stats, indep_stats;
+  auto shared = SharedCountAll(*dblp.db, cns, ts, true, &shared_stats);
+  auto indep = SharedCountAll(*dblp.db, cns, ts, false, &indep_stats);
+  ASSERT_EQ(shared.size(), cns.size());
+  EXPECT_EQ(shared, indep);
+  for (size_t i = 0; i < cns.size(); ++i) {
+    EXPECT_EQ(shared[i], ExecuteCn(*dblp.db, cns[i], ts).size())
+        << "CN " << i;
+  }
+  // Sharing must actually hit the memo and do fewer join lookups.
+  EXPECT_GT(shared_stats.memo_hits, 0u);
+  EXPECT_LT(shared_stats.join_lookups, indep_stats.join_lookups);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SharedCountOracleTest,
+                         ::testing::Values(4, 9));
+
+}  // namespace
+}  // namespace kws::cn

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/steiner/answer_tree.h"
+#include "core/steiner/banks.h"
+#include "core/steiner/semantics.h"
+#include "core/steiner/steiner_dp.h"
+#include "graph/blinks_index.h"
+#include "graph/data_graph.h"
+#include "graph/shortest_path.h"
+#include "relational/dblp.h"
+
+namespace kws::steiner {
+namespace {
+
+using graph::DataGraph;
+using graph::NodeId;
+
+/// Path a(alpha) - b - c - d(omega), plus a shortcut a - e(beta) spur.
+DataGraph PathGraph() {
+  DataGraph g;
+  g.AddNode("a", "alpha");
+  g.AddNode("b", "");
+  g.AddNode("c", "");
+  g.AddNode("d", "omega");
+  g.AddNode("e", "beta");
+  g.AddUndirectedEdge(0, 1, 1);
+  g.AddUndirectedEdge(1, 2, 1);
+  g.AddUndirectedEdge(2, 3, 1);
+  g.AddUndirectedEdge(0, 4, 1);
+  g.BuildKeywordIndex();
+  return g;
+}
+
+TEST(SteinerDpTest, PathCost) {
+  DataGraph g = PathGraph();
+  auto r = GroupSteinerTop1(g, std::vector<std::string>{"alpha", "omega"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r.value().cost, 3.0);
+  EXPECT_TRUE(IsWellFormed(r.value(), g));
+  EXPECT_EQ(r.value().nodes.size(), 4u);
+}
+
+TEST(SteinerDpTest, ThreeGroupsStar) {
+  // Star: center 0, leaves 1(x) 2(y) 3(z); optimal tree = whole star.
+  DataGraph g;
+  g.AddNode("c", "");
+  g.AddNode("l1", "x");
+  g.AddNode("l2", "y");
+  g.AddNode("l3", "z");
+  for (NodeId l = 1; l <= 3; ++l) g.AddUndirectedEdge(0, l, 1);
+  g.BuildKeywordIndex();
+  auto r = GroupSteinerTop1(g, std::vector<std::string>{"x", "y", "z"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().cost, 3.0);
+  EXPECT_TRUE(IsWellFormed(r.value(), g));
+}
+
+TEST(SteinerDpTest, GroupPicksNearestMatch) {
+  // "k" matches nodes 2 and 4; node 4 is much closer to "q" at node 3.
+  DataGraph g;
+  g.AddNode("q", "q");
+  g.AddNode("mid", "");
+  g.AddNode("far", "k");
+  g.AddNode("root", "");
+  g.AddNode("near", "k");
+  g.AddUndirectedEdge(0, 1, 5);
+  g.AddUndirectedEdge(1, 2, 5);
+  g.AddUndirectedEdge(0, 4, 1);
+  g.AddUndirectedEdge(3, 4, 1);
+  g.BuildKeywordIndex();
+  auto r = GroupSteinerTop1(g, std::vector<std::string>{"q", "k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().cost, 1.0);
+  EXPECT_EQ(r.value().keyword_nodes[1], 4u);
+}
+
+TEST(SteinerDpTest, SingleNodeCoversAllKeywords) {
+  DataGraph g;
+  g.AddNode("n", "foo bar");
+  g.BuildKeywordIndex();
+  auto r = GroupSteinerTop1(g, std::vector<std::string>{"foo", "bar"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().cost, 0.0);
+  EXPECT_EQ(r.value().nodes.size(), 1u);
+}
+
+TEST(SteinerDpTest, DisconnectedReturnsNotFound) {
+  DataGraph g;
+  g.AddNode("a", "foo");
+  g.AddNode("b", "bar");
+  g.BuildKeywordIndex();
+  auto r = GroupSteinerTop1(g, std::vector<std::string>{"foo", "bar"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SteinerDpTest, MissingKeywordReturnsNotFound) {
+  DataGraph g = PathGraph();
+  auto r = GroupSteinerTop1(g, std::vector<std::string>{"alpha", "missing"});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BanksTest, FindsPathAnswer) {
+  DataGraph g = PathGraph();
+  auto results = BanksSearch(g, {"alpha", "omega"}, {.k = 3});
+  ASSERT_FALSE(results.empty());
+  EXPECT_DOUBLE_EQ(results[0].cost, 3.0);
+  EXPECT_TRUE(IsWellFormed(results[0], g));
+  // Sorted by ascending cost.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i].cost, results[i - 1].cost);
+  }
+}
+
+TEST(BanksTest, DistinctRoots) {
+  DataGraph g = PathGraph();
+  auto results = BanksSearch(g, {"alpha", "omega"}, {.k = 10});
+  std::set<NodeId> roots;
+  for (const auto& t : results) {
+    EXPECT_TRUE(roots.insert(t.root).second) << "duplicate root";
+  }
+}
+
+TEST(BanksTest, EmptyWhenKeywordUnmatched) {
+  DataGraph g = PathGraph();
+  EXPECT_TRUE(BanksSearch(g, {"alpha", "nothing"}).empty());
+  EXPECT_TRUE(BanksSearch(g, {}).empty());
+}
+
+TEST(BanksTest, SingleKeywordZeroCostAnswers) {
+  DataGraph g = PathGraph();
+  auto results = BanksSearch(g, {"alpha"}, {.k = 5});
+  ASSERT_FALSE(results.empty());
+  EXPECT_DOUBLE_EQ(results[0].cost, 0.0);
+  EXPECT_EQ(results[0].root, 0u);
+}
+
+/// Property: BANKS I and BANKS II (bidirectional) return the same top-k
+/// cost sequence — bidirectional only changes *how* candidates are found.
+class BanksAgreementTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BanksAgreementTest, BidirectionalMatchesBackward) {
+  const size_t threshold = GetParam();
+  relational::DblpOptions opts;
+  opts.num_authors = 60;
+  opts.num_papers = 120;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  graph::RelationalGraph rg = graph::BuildDataGraph(*dblp.db);
+  const std::vector<std::string> query = {"keyword",
+                                          dblp.vocabulary[3]};
+  BanksOptions uni;
+  uni.k = 8;
+  auto a = BanksSearch(rg.graph, query, uni);
+  BanksOptions bi;
+  bi.k = 8;
+  bi.bidirectional = true;
+  bi.frequent_threshold = threshold;
+  auto b = BanksSearch(rg.graph, query, bi);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].cost, b[i].cost, 1e-9) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BanksAgreementTest,
+                         ::testing::Values(0, 5, 50, 100000));
+
+TEST(BanksTest, TreesWellFormedOnDblpGraph) {
+  relational::DblpDatabase dblp = relational::MakeDblpDatabase();
+  graph::RelationalGraph rg = graph::BuildDataGraph(*dblp.db);
+  auto results = BanksSearch(rg.graph, {"keyword", "search"}, {.k = 10});
+  ASSERT_FALSE(results.empty());
+  for (const auto& t : results) {
+    EXPECT_TRUE(IsWellFormed(t, rg.graph)) << t.ToString(rg.graph);
+    EXPECT_EQ(t.keyword_nodes.size(), 2u);
+  }
+}
+
+TEST(BanksTest, CostNeverBelowSteinerOptimum) {
+  // Distinct-root cost (sum of root->keyword paths) dominates the group
+  // Steiner cost.
+  Rng rng(3);
+  DataGraph g;
+  for (int i = 0; i < 40; ++i) {
+    g.AddNode("n", i % 7 == 0 ? "foo" : (i % 11 == 0 ? "bar" : ""));
+  }
+  for (int i = 1; i < 40; ++i) {
+    g.AddUndirectedEdge(static_cast<NodeId>(i),
+                        static_cast<NodeId>(rng.Index(i)), 1.0);
+  }
+  g.BuildKeywordIndex();
+  auto banks = BanksSearch(g, {"foo", "bar"}, {.k = 1});
+  auto steiner = GroupSteinerTop1(g, std::vector<std::string>{"foo", "bar"});
+  ASSERT_FALSE(banks.empty());
+  ASSERT_TRUE(steiner.ok());
+  EXPECT_GE(banks[0].cost, steiner.value().cost - 1e-9);
+}
+
+TEST(DistinctRootTest, MatchesBanksCosts) {
+  relational::DblpOptions opts;
+  opts.num_authors = 50;
+  opts.num_papers = 100;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  graph::RelationalGraph rg = graph::BuildDataGraph(*dblp.db);
+  graph::KeywordDistanceIndex index(rg.graph);
+  const std::vector<std::string> query = {"keyword", "search"};
+  auto via_index = DistinctRootSearch(rg.graph, index, query, 5);
+  auto via_banks = BanksSearch(rg.graph, query, {.k = 5});
+  ASSERT_EQ(via_index.size(), via_banks.size());
+  for (size_t i = 0; i < via_index.size(); ++i) {
+    EXPECT_NEAR(via_index[i].cost, via_banks[i].cost, 1e-9) << "rank " << i;
+    EXPECT_TRUE(IsWellFormed(via_index[i], rg.graph));
+  }
+}
+
+TEST(DistinctCoreTest, FewerOrEqualAnswersThanDistinctRoot) {
+  relational::DblpDatabase dblp = relational::MakeDblpDatabase();
+  graph::RelationalGraph rg = graph::BuildDataGraph(*dblp.db);
+  graph::KeywordDistanceIndex index(rg.graph);
+  const std::vector<std::string> query = {"keyword", "search"};
+  auto roots = DistinctRootSearch(rg.graph, index, query, 30);
+  auto cores = DistinctCoreSearch(rg.graph, index, query, 30);
+  std::set<std::vector<NodeId>> root_cores;
+  for (const auto& t : roots) root_cores.insert(t.Core());
+  // Distinct-core collapses same-core roots.
+  std::set<std::vector<NodeId>> core_cores;
+  for (const auto& t : cores) {
+    EXPECT_TRUE(core_cores.insert(t.Core()).second) << "duplicate core";
+  }
+}
+
+TEST(RRadiusTest, RespectsRadius) {
+  DataGraph g = PathGraph();
+  graph::KeywordDistanceIndex index(g);
+  // alpha..omega span 3 hops; no center is within radius 1 of both.
+  auto none = RRadiusSteinerSearch(g, index, {"alpha", "omega"}, 1.0, 10);
+  EXPECT_TRUE(none.empty());
+  auto some = RRadiusSteinerSearch(g, index, {"alpha", "omega"}, 2.0, 10);
+  ASSERT_FALSE(some.empty());
+  for (const auto& t : some) {
+    for (const std::string term : {"alpha", "omega"}) {
+      EXPECT_LE(index.Distance(t.root, term), 2.0);
+    }
+  }
+}
+
+TEST(AnswerTreeTest, WellFormedRejectsBrokenTrees) {
+  DataGraph g = PathGraph();
+  AnswerTree t;
+  t.root = 0;
+  t.nodes = {0, 1};
+  t.edges = {{0, 1}};
+  t.keyword_nodes = {1};
+  EXPECT_TRUE(IsWellFormed(t, g));
+  AnswerTree missing_edge = t;
+  missing_edge.nodes.push_back(3);  // node without a parent edge
+  EXPECT_FALSE(IsWellFormed(missing_edge, g));
+  AnswerTree phantom = t;
+  phantom.edges[0] = {0, 3};  // edge 0->3 does not exist
+  phantom.nodes = {0, 3};
+  EXPECT_FALSE(IsWellFormed(phantom, g));
+  AnswerTree orphan_keyword = t;
+  orphan_keyword.keyword_nodes = {4};
+  EXPECT_FALSE(IsWellFormed(orphan_keyword, g));
+}
+
+}  // namespace
+}  // namespace kws::steiner
+
+namespace kws::steiner {
+namespace {
+
+TEST(SteinerTopKTest, FirstEqualsTop1AndCostsAscend) {
+  relational::DblpOptions opts;
+  opts.num_authors = 40;
+  opts.num_papers = 80;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  graph::RelationalGraph rg = graph::BuildDataGraph(*dblp.db);
+  const std::vector<std::string> query = {"james", "keyword"};
+  auto top1 = GroupSteinerTop1(rg.graph, query);
+  auto topk = GroupSteinerTopK(rg.graph, query, 8);
+  ASSERT_TRUE(top1.ok());
+  ASSERT_FALSE(topk.empty());
+  EXPECT_DOUBLE_EQ(topk[0].cost, top1.value().cost);
+  std::set<graph::NodeId> roots;
+  for (size_t i = 0; i < topk.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(topk[i].cost, topk[i - 1].cost);
+    }
+    EXPECT_TRUE(roots.insert(topk[i].root).second) << "duplicate root";
+    EXPECT_TRUE(IsWellFormed(topk[i], rg.graph)) << topk[i].ToString(rg.graph);
+  }
+}
+
+TEST(SteinerTopKTest, EdgeCases) {
+  graph::DataGraph g;
+  g.AddNode("a", "foo");
+  g.AddNode("b", "bar");
+  g.BuildKeywordIndex();
+  // Disconnected keywords: no answers.
+  EXPECT_TRUE(GroupSteinerTopK(g, std::vector<std::string>{"foo", "bar"}, 5)
+                  .empty());
+  // k = 0.
+  EXPECT_TRUE(GroupSteinerTopK(g, std::vector<std::string>{"foo"}, 0)
+                  .empty());
+  // Single keyword: each match is a zero-cost root.
+  auto single =
+      GroupSteinerTopK(g, std::vector<std::string>{"foo"}, 5);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0].cost, 0.0);
+}
+
+}  // namespace
+}  // namespace kws::steiner

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/cn/execute.h"
+#include "core/cn/stream.h"
+#include "relational/dblp.h"
+#include "text/tokenizer.h"
+
+namespace kws::cn {
+namespace {
+
+/// Canonical key of one result for set comparisons.
+std::string ResultKey(const SearchResult& r) {
+  std::string key = std::to_string(r.cn_index) + ":";
+  for (const auto& t : r.tuples) {
+    key += std::to_string(t.table) + "." + std::to_string(t.row) + ",";
+  }
+  return key;
+}
+
+struct StreamSetup {
+  relational::DblpDatabase dblp;
+  std::vector<CandidateNetwork> cns;
+  std::unique_ptr<TupleSets> ts;
+
+  explicit StreamSetup(const std::string& query) {
+    relational::DblpOptions opts;
+    opts.num_authors = 40;
+    opts.num_papers = 80;
+    dblp = MakeDblpDatabase(opts);
+    const auto keywords = text::Tokenizer().Tokenize(query);
+    ts = std::make_unique<TupleSets>(*dblp.db, keywords);
+    cns = EnumerateCandidateNetworks(*dblp.db, ts->table_masks(),
+                                     ts->full_mask(), {.max_size = 4});
+  }
+
+  /// All batch results across the workload.
+  std::set<std::string> BatchResults() const {
+    std::set<std::string> keys;
+    for (size_t c = 0; c < cns.size(); ++c) {
+      for (const JoinedTree& jt : ExecuteCn(*dblp.db, cns[c], *ts)) {
+        SearchResult r;
+        r.cn_index = c;
+        for (uint32_t n = 0; n < cns[c].nodes.size(); ++n) {
+          r.tuples.push_back(
+              relational::TupleId{cns[c].nodes[n].table, jt.rows[n]});
+        }
+        keys.insert(ResultKey(r));
+      }
+    }
+    return keys;
+  }
+
+  /// All tuples of the database, in a seed-shuffled arrival order.
+  std::vector<relational::TupleId> ArrivalOrder(uint64_t seed) const {
+    std::vector<relational::TupleId> order;
+    for (relational::TableId t = 0; t < dblp.db->num_tables(); ++t) {
+      for (relational::RowId r = 0; r < dblp.db->table(t).num_rows(); ++r) {
+        order.push_back({t, r});
+      }
+    }
+    Rng rng(seed);
+    rng.Shuffle(order);
+    return order;
+  }
+};
+
+TEST(StreamTest, EmitsExactlyTheBatchResults) {
+  StreamSetup setup("keyword search");
+  const std::set<std::string> batch = setup.BatchResults();
+  ASSERT_FALSE(batch.empty());
+
+  StreamEvaluator eval(*setup.dblp.db, setup.cns, *setup.ts);
+  std::set<std::string> streamed;
+  for (const auto& tuple : setup.ArrivalOrder(7)) {
+    for (const SearchResult& r : eval.OnArrival(tuple)) {
+      EXPECT_TRUE(streamed.insert(ResultKey(r)).second)
+          << "duplicate emission " << ResultKey(r);
+    }
+  }
+  EXPECT_EQ(streamed, batch);
+}
+
+/// Property: emission is exactly-once and order-independent.
+class StreamOrderTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamOrderTest, OrderIndependent) {
+  StreamSetup setup("james keyword");
+  const std::set<std::string> batch = setup.BatchResults();
+  StreamEvaluator eval(*setup.dblp.db, setup.cns, *setup.ts);
+  std::set<std::string> streamed;
+  for (const auto& tuple : setup.ArrivalOrder(GetParam())) {
+    for (const SearchResult& r : eval.OnArrival(tuple)) {
+      EXPECT_TRUE(streamed.insert(ResultKey(r)).second);
+    }
+  }
+  EXPECT_EQ(streamed, batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StreamOrderTest,
+                         ::testing::Values(1, 2, 3, 42));
+
+TEST(StreamTest, ResultsRequireLastTuple) {
+  StreamSetup setup("keyword search");
+  StreamEvaluator eval(*setup.dblp.db, setup.cns, *setup.ts);
+  // Feeding a tuple twice is a no-op.
+  const relational::TupleId t{setup.dblp.paper, 0};
+  eval.OnArrival(t);
+  EXPECT_TRUE(eval.OnArrival(t).empty());
+  EXPECT_EQ(eval.arrived_count(), 1u);
+  // Results only appear once all participants arrived: with a single
+  // arrived tuple, any emitted result must be a single-node CN.
+  for (const SearchResult& r :
+       StreamEvaluator(*setup.dblp.db, setup.cns, *setup.ts).OnArrival(t)) {
+    EXPECT_EQ(r.tuples.size(), 1u);
+  }
+}
+
+TEST(StreamTest, StatsAccumulate) {
+  StreamSetup setup("keyword search");
+  StreamEvaluator eval(*setup.dblp.db, setup.cns, *setup.ts);
+  StreamStats stats;
+  for (const auto& tuple : setup.ArrivalOrder(5)) {
+    eval.OnArrival(tuple, &stats);
+  }
+  EXPECT_EQ(stats.arrivals, setup.dblp.db->TotalRows());
+  EXPECT_EQ(stats.results_emitted, setup.BatchResults().size());
+  EXPECT_GT(stats.probes, 0u);
+}
+
+}  // namespace
+}  // namespace kws::cn

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "xml/bibgen.h"
+#include "xml/parser.h"
+#include "xml/stats.h"
+#include "xml/tree.h"
+
+namespace kws::xml {
+namespace {
+
+/// conf -> (name, year, paper -> (title, author, author)).
+XmlTree SmallTree() {
+  XmlTree t;
+  const XmlNodeId conf = t.AddElement(kNoXmlNode, "conf");
+  const XmlNodeId name = t.AddElement(conf, "name");
+  t.AppendText(name, "SIGMOD");
+  const XmlNodeId year = t.AddElement(conf, "year");
+  t.AppendText(year, "2007");
+  const XmlNodeId paper = t.AddElement(conf, "paper");
+  const XmlNodeId title = t.AddElement(paper, "title");
+  t.AppendText(title, "keyword search");
+  const XmlNodeId a1 = t.AddElement(paper, "author");
+  t.AppendText(a1, "mark");
+  const XmlNodeId a2 = t.AddElement(paper, "author");
+  t.AppendText(a2, "chen");
+  t.BuildKeywordIndex();
+  return t;
+}
+
+TEST(XmlTreeTest, PreorderIdsAndDepths) {
+  XmlTree t = SmallTree();
+  EXPECT_EQ(t.size(), 7u);
+  EXPECT_EQ(t.tag(0), "conf");
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(3), 1u);  // paper
+  EXPECT_EQ(t.depth(4), 2u);  // title
+  EXPECT_EQ(t.parent(4), 3u);
+  EXPECT_EQ(t.parent(0), kNoXmlNode);
+}
+
+TEST(XmlTreeTest, DeweyEncodesChildPath) {
+  XmlTree t = SmallTree();
+  EXPECT_TRUE(t.dewey(0).empty());
+  EXPECT_EQ(t.dewey(3), (Dewey{2}));     // paper is conf's 3rd child
+  EXPECT_EQ(t.dewey(6), (Dewey{2, 2}));  // second author
+}
+
+TEST(XmlTreeTest, AncestorOrSelf) {
+  XmlTree t = SmallTree();
+  EXPECT_TRUE(t.IsAncestorOrSelf(0, 6));
+  EXPECT_TRUE(t.IsAncestorOrSelf(3, 4));
+  EXPECT_TRUE(t.IsAncestorOrSelf(3, 3));
+  EXPECT_FALSE(t.IsAncestorOrSelf(4, 3));
+  EXPECT_FALSE(t.IsAncestorOrSelf(1, 2));
+}
+
+TEST(XmlTreeTest, LcaComputations) {
+  XmlTree t = SmallTree();
+  EXPECT_EQ(t.Lca(5, 6), 3u);  // two authors -> paper
+  EXPECT_EQ(t.Lca(1, 4), 0u);  // name x title -> conf
+  EXPECT_EQ(t.Lca(3, 4), 3u);  // ancestor of the other
+  EXPECT_EQ(t.Lca(2, 2), 2u);
+}
+
+TEST(XmlTreeTest, LabelPath) {
+  XmlTree t = SmallTree();
+  EXPECT_EQ(t.LabelPath(0), "/conf");
+  EXPECT_EQ(t.LabelPath(4), "/conf/paper/title");
+}
+
+TEST(XmlTreeTest, KeywordIndexDocumentOrder) {
+  XmlTree t = SmallTree();
+  EXPECT_EQ(t.MatchNodes("mark"), (std::vector<XmlNodeId>{5}));
+  EXPECT_EQ(t.MatchNodes("keyword"), (std::vector<XmlNodeId>{4}));
+  EXPECT_TRUE(t.MatchNodes("absent").empty());
+  auto vocab = t.Vocabulary();
+  EXPECT_TRUE(std::is_sorted(vocab.begin(), vocab.end()));
+}
+
+TEST(XmlTreeTest, SerializeRoundTripThroughParser) {
+  XmlTree t = SmallTree();
+  const std::string serialized = t.ToXmlString(0);
+  Result<XmlTree> parsed = ParseXml(serialized);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const XmlTree& p = parsed.value();
+  ASSERT_EQ(p.size(), t.size());
+  for (XmlNodeId n = 0; n < t.size(); ++n) {
+    EXPECT_EQ(p.tag(n), t.tag(n));
+    EXPECT_EQ(p.text(n), t.text(n));
+    EXPECT_EQ(p.parent(n), t.parent(n));
+  }
+}
+
+TEST(XmlParserTest, ParsesNestedElements) {
+  auto r = ParseXml("<a><b>hello</b><c><d/>world</c></a>");
+  ASSERT_TRUE(r.ok());
+  const XmlTree& t = r.value();
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.tag(0), "a");
+  EXPECT_EQ(t.text(1), "hello");
+  EXPECT_EQ(t.tag(3), "d");
+  EXPECT_EQ(t.text(2), "world");
+}
+
+TEST(XmlParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("<a></a><b></b>").ok());
+  EXPECT_FALSE(ParseXml("text only").ok());
+  EXPECT_FALSE(ParseXml("<>empty</>").ok());
+}
+
+TEST(XmlParserTest, SelfClosingAndWhitespace) {
+  auto r = ParseXml("  <root>\n  <leaf/>\n  </root>  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_TRUE(r.value().text(0).empty());
+}
+
+TEST(BibGenTest, StructureMatchesSpec) {
+  BibDocument doc = MakeBibDocument({.seed = 1, .num_venues = 6,
+                                     .papers_per_venue = 5});
+  const XmlTree& t = doc.tree;
+  EXPECT_EQ(t.tag(0), "bib");
+  EXPECT_EQ(t.children(0).size(), 6u);
+  size_t conferences = 0, journals = 0, workshops = 0;
+  for (XmlNodeId v : t.children(0)) {
+    const std::string& tag = t.tag(v);
+    conferences += (tag == "conference");
+    journals += (tag == "journal");
+    workshops += (tag == "workshop");
+    // name, year, then papers
+    EXPECT_EQ(t.tag(t.children(v)[0]), "name");
+    EXPECT_EQ(t.tag(t.children(v)[1]), "year");
+    EXPECT_EQ(t.children(v).size(), 7u);
+  }
+  EXPECT_EQ(conferences, 2u);
+  EXPECT_EQ(journals, 2u);
+  EXPECT_EQ(workshops, 2u);
+}
+
+TEST(BibGenTest, DeterministicAndIndexed) {
+  BibDocument a = MakeBibDocument({.seed = 5});
+  BibDocument b = MakeBibDocument({.seed = 5});
+  ASSERT_EQ(a.tree.size(), b.tree.size());
+  for (XmlNodeId n = 0; n < a.tree.size(); n += 11) {
+    EXPECT_EQ(a.tree.text(n), b.tree.text(n));
+  }
+  // Top vocabulary term matches many title nodes.
+  EXPECT_GT(a.tree.MatchNodes(a.vocabulary[0]).size(), 5u);
+}
+
+TEST(PathStatisticsTest, CountsAndRepeatability) {
+  BibDocument doc = MakeBibDocument({.seed = 1, .num_venues = 3,
+                                     .papers_per_venue = 4});
+  PathStatistics stats = ComputePathStatistics(doc.tree);
+  EXPECT_EQ(stats.total_elements, doc.tree.size());
+  EXPECT_EQ(stats.path_count["/bib"], 1u);
+  EXPECT_EQ(stats.path_count["/bib/conference/paper"], 4u);
+  // paper repeats under a venue; name does not.
+  EXPECT_TRUE(stats.path_repeatable["/bib/conference/paper"]);
+  EXPECT_FALSE(stats.path_repeatable["/bib/conference/name"]);
+  EXPECT_GT(stats.avg_depth, 1.0);
+}
+
+TEST(PathStatisticsTest, AuthorsRepeatable) {
+  XmlTree t = SmallTree();
+  PathStatistics stats = ComputePathStatistics(t);
+  EXPECT_TRUE(stats.path_repeatable["/conf/paper/author"]);
+  EXPECT_FALSE(stats.path_repeatable["/conf/paper/title"]);
+}
+
+}  // namespace
+}  // namespace kws::xml
