@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cleaning.dir/bench_cleaning.cc.o"
+  "CMakeFiles/bench_cleaning.dir/bench_cleaning.cc.o.d"
+  "bench_cleaning"
+  "bench_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

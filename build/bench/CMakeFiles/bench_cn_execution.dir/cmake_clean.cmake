@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cn_execution.dir/bench_cn_execution.cc.o"
+  "CMakeFiles/bench_cn_execution.dir/bench_cn_execution.cc.o.d"
+  "bench_cn_execution"
+  "bench_cn_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cn_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

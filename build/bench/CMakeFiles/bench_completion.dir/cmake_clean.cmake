@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_completion.dir/bench_completion.cc.o"
+  "CMakeFiles/bench_completion.dir/bench_completion.cc.o.d"
+  "bench_completion"
+  "bench_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_differentiation.dir/bench_differentiation.cc.o"
+  "CMakeFiles/bench_differentiation.dir/bench_differentiation.cc.o.d"
+  "bench_differentiation"
+  "bench_differentiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_differentiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elca.dir/bench_elca.cc.o"
+  "CMakeFiles/bench_elca.dir/bench_elca.cc.o.d"
+  "bench_elca"
+  "bench_elca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

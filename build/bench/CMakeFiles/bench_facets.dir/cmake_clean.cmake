@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_facets.dir/bench_facets.cc.o"
+  "CMakeFiles/bench_facets.dir/bench_facets.cc.o.d"
+  "bench_facets"
+  "bench_facets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_facets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

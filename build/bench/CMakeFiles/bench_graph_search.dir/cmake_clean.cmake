@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_search.dir/bench_graph_search.cc.o"
+  "CMakeFiles/bench_graph_search.dir/bench_graph_search.cc.o.d"
+  "bench_graph_search"
+  "bench_graph_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slca.dir/bench_slca.cc.o"
+  "CMakeFiles/bench_slca.dir/bench_slca.cc.o.d"
+  "bench_slca"
+  "bench_slca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

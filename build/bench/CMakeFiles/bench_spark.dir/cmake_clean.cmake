@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spark.dir/bench_spark.cc.o"
+  "CMakeFiles/bench_spark.dir/bench_spark.cc.o.d"
+  "bench_spark"
+  "bench_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

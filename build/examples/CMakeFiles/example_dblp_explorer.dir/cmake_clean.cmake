@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dblp_explorer.dir/dblp_explorer.cc.o"
+  "CMakeFiles/example_dblp_explorer.dir/dblp_explorer.cc.o.d"
+  "example_dblp_explorer"
+  "example_dblp_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dblp_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

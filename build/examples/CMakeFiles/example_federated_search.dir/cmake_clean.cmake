@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_federated_search.dir/federated_search.cc.o"
+  "CMakeFiles/example_federated_search.dir/federated_search.cc.o.d"
+  "example_federated_search"
+  "example_federated_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_federated_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

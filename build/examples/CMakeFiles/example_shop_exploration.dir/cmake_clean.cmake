@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shop_exploration.dir/shop_exploration.cc.o"
+  "CMakeFiles/example_shop_exploration.dir/shop_exploration.cc.o.d"
+  "example_shop_exploration"
+  "example_shop_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shop_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

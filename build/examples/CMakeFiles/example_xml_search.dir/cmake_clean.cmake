@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_xml_search.dir/xml_search.cc.o"
+  "CMakeFiles/example_xml_search.dir/xml_search.cc.o.d"
+  "example_xml_search"
+  "example_xml_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_xml_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

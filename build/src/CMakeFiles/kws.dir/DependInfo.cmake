@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/kws.dir/common/random.cc.o" "gcc" "src/CMakeFiles/kws.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/kws.dir/common/status.cc.o" "gcc" "src/CMakeFiles/kws.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/kws.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/kws.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/analyze/aggregate.cc" "src/CMakeFiles/kws.dir/core/analyze/aggregate.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/analyze/aggregate.cc.o.d"
+  "/root/repo/src/core/analyze/clustering.cc" "src/CMakeFiles/kws.dir/core/analyze/clustering.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/analyze/clustering.cc.o.d"
+  "/root/repo/src/core/analyze/differentiation.cc" "src/CMakeFiles/kws.dir/core/analyze/differentiation.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/analyze/differentiation.cc.o.d"
+  "/root/repo/src/core/analyze/ranking.cc" "src/CMakeFiles/kws.dir/core/analyze/ranking.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/analyze/ranking.cc.o.d"
+  "/root/repo/src/core/analyze/snippet.cc" "src/CMakeFiles/kws.dir/core/analyze/snippet.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/analyze/snippet.cc.o.d"
+  "/root/repo/src/core/clean/cleaner.cc" "src/CMakeFiles/kws.dir/core/clean/cleaner.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/clean/cleaner.cc.o.d"
+  "/root/repo/src/core/cn/candidate_network.cc" "src/CMakeFiles/kws.dir/core/cn/candidate_network.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/cn/candidate_network.cc.o.d"
+  "/root/repo/src/core/cn/execute.cc" "src/CMakeFiles/kws.dir/core/cn/execute.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/cn/execute.cc.o.d"
+  "/root/repo/src/core/cn/search.cc" "src/CMakeFiles/kws.dir/core/cn/search.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/cn/search.cc.o.d"
+  "/root/repo/src/core/cn/semijoin.cc" "src/CMakeFiles/kws.dir/core/cn/semijoin.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/cn/semijoin.cc.o.d"
+  "/root/repo/src/core/cn/sharing.cc" "src/CMakeFiles/kws.dir/core/cn/sharing.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/cn/sharing.cc.o.d"
+  "/root/repo/src/core/cn/spark.cc" "src/CMakeFiles/kws.dir/core/cn/spark.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/cn/spark.cc.o.d"
+  "/root/repo/src/core/cn/stream.cc" "src/CMakeFiles/kws.dir/core/cn/stream.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/cn/stream.cc.o.d"
+  "/root/repo/src/core/cn/tuple_sets.cc" "src/CMakeFiles/kws.dir/core/cn/tuple_sets.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/cn/tuple_sets.cc.o.d"
+  "/root/repo/src/core/complete/tastier.cc" "src/CMakeFiles/kws.dir/core/complete/tastier.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/complete/tastier.cc.o.d"
+  "/root/repo/src/core/engine/engine.cc" "src/CMakeFiles/kws.dir/core/engine/engine.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/engine/engine.cc.o.d"
+  "/root/repo/src/core/engine/xml_engine.cc" "src/CMakeFiles/kws.dir/core/engine/xml_engine.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/engine/xml_engine.cc.o.d"
+  "/root/repo/src/core/eval/axioms.cc" "src/CMakeFiles/kws.dir/core/eval/axioms.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/eval/axioms.cc.o.d"
+  "/root/repo/src/core/eval/metrics.cc" "src/CMakeFiles/kws.dir/core/eval/metrics.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/eval/metrics.cc.o.d"
+  "/root/repo/src/core/forms/forms.cc" "src/CMakeFiles/kws.dir/core/forms/forms.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/forms/forms.cc.o.d"
+  "/root/repo/src/core/infer/correlation.cc" "src/CMakeFiles/kws.dir/core/infer/correlation.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/infer/correlation.cc.o.d"
+  "/root/repo/src/core/infer/iqp.cc" "src/CMakeFiles/kws.dir/core/infer/iqp.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/infer/iqp.cc.o.d"
+  "/root/repo/src/core/infer/precis.cc" "src/CMakeFiles/kws.dir/core/infer/precis.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/infer/precis.cc.o.d"
+  "/root/repo/src/core/infer/xpath_gen.cc" "src/CMakeFiles/kws.dir/core/infer/xpath_gen.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/infer/xpath_gen.cc.o.d"
+  "/root/repo/src/core/lca/interconnection.cc" "src/CMakeFiles/kws.dir/core/lca/interconnection.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/lca/interconnection.cc.o.d"
+  "/root/repo/src/core/lca/slca.cc" "src/CMakeFiles/kws.dir/core/lca/slca.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/lca/slca.cc.o.d"
+  "/root/repo/src/core/lca/xrank.cc" "src/CMakeFiles/kws.dir/core/lca/xrank.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/lca/xrank.cc.o.d"
+  "/root/repo/src/core/lca/xreal.cc" "src/CMakeFiles/kws.dir/core/lca/xreal.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/lca/xreal.cc.o.d"
+  "/root/repo/src/core/lca/xseek.cc" "src/CMakeFiles/kws.dir/core/lca/xseek.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/lca/xseek.cc.o.d"
+  "/root/repo/src/core/refine/cluster_expand.cc" "src/CMakeFiles/kws.dir/core/refine/cluster_expand.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/refine/cluster_expand.cc.o.d"
+  "/root/repo/src/core/refine/data_clouds.cc" "src/CMakeFiles/kws.dir/core/refine/data_clouds.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/refine/data_clouds.cc.o.d"
+  "/root/repo/src/core/refine/facets.cc" "src/CMakeFiles/kws.dir/core/refine/facets.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/refine/facets.cc.o.d"
+  "/root/repo/src/core/rewrite/keyword_pp.cc" "src/CMakeFiles/kws.dir/core/rewrite/keyword_pp.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/rewrite/keyword_pp.cc.o.d"
+  "/root/repo/src/core/rewrite/related_queries.cc" "src/CMakeFiles/kws.dir/core/rewrite/related_queries.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/rewrite/related_queries.cc.o.d"
+  "/root/repo/src/core/select/db_selection.cc" "src/CMakeFiles/kws.dir/core/select/db_selection.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/select/db_selection.cc.o.d"
+  "/root/repo/src/core/steiner/answer_tree.cc" "src/CMakeFiles/kws.dir/core/steiner/answer_tree.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/steiner/answer_tree.cc.o.d"
+  "/root/repo/src/core/steiner/banks.cc" "src/CMakeFiles/kws.dir/core/steiner/banks.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/steiner/banks.cc.o.d"
+  "/root/repo/src/core/steiner/semantics.cc" "src/CMakeFiles/kws.dir/core/steiner/semantics.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/steiner/semantics.cc.o.d"
+  "/root/repo/src/core/steiner/steiner_dp.cc" "src/CMakeFiles/kws.dir/core/steiner/steiner_dp.cc.o" "gcc" "src/CMakeFiles/kws.dir/core/steiner/steiner_dp.cc.o.d"
+  "/root/repo/src/graph/blinks_index.cc" "src/CMakeFiles/kws.dir/graph/blinks_index.cc.o" "gcc" "src/CMakeFiles/kws.dir/graph/blinks_index.cc.o.d"
+  "/root/repo/src/graph/data_graph.cc" "src/CMakeFiles/kws.dir/graph/data_graph.cc.o" "gcc" "src/CMakeFiles/kws.dir/graph/data_graph.cc.o.d"
+  "/root/repo/src/graph/hub_index.cc" "src/CMakeFiles/kws.dir/graph/hub_index.cc.o" "gcc" "src/CMakeFiles/kws.dir/graph/hub_index.cc.o.d"
+  "/root/repo/src/graph/pagerank.cc" "src/CMakeFiles/kws.dir/graph/pagerank.cc.o" "gcc" "src/CMakeFiles/kws.dir/graph/pagerank.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "src/CMakeFiles/kws.dir/graph/shortest_path.cc.o" "gcc" "src/CMakeFiles/kws.dir/graph/shortest_path.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/CMakeFiles/kws.dir/relational/database.cc.o" "gcc" "src/CMakeFiles/kws.dir/relational/database.cc.o.d"
+  "/root/repo/src/relational/dblp.cc" "src/CMakeFiles/kws.dir/relational/dblp.cc.o" "gcc" "src/CMakeFiles/kws.dir/relational/dblp.cc.o.d"
+  "/root/repo/src/relational/query_log.cc" "src/CMakeFiles/kws.dir/relational/query_log.cc.o" "gcc" "src/CMakeFiles/kws.dir/relational/query_log.cc.o.d"
+  "/root/repo/src/relational/shop.cc" "src/CMakeFiles/kws.dir/relational/shop.cc.o" "gcc" "src/CMakeFiles/kws.dir/relational/shop.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/kws.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/kws.dir/relational/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/kws.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/kws.dir/relational/value.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/CMakeFiles/kws.dir/text/edit_distance.cc.o" "gcc" "src/CMakeFiles/kws.dir/text/edit_distance.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/CMakeFiles/kws.dir/text/inverted_index.cc.o" "gcc" "src/CMakeFiles/kws.dir/text/inverted_index.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/kws.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/kws.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/trie.cc" "src/CMakeFiles/kws.dir/text/trie.cc.o" "gcc" "src/CMakeFiles/kws.dir/text/trie.cc.o.d"
+  "/root/repo/src/xml/bibgen.cc" "src/CMakeFiles/kws.dir/xml/bibgen.cc.o" "gcc" "src/CMakeFiles/kws.dir/xml/bibgen.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/kws.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/kws.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/stats.cc" "src/CMakeFiles/kws.dir/xml/stats.cc.o" "gcc" "src/CMakeFiles/kws.dir/xml/stats.cc.o.d"
+  "/root/repo/src/xml/tree.cc" "src/CMakeFiles/kws.dir/xml/tree.cc.o" "gcc" "src/CMakeFiles/kws.dir/xml/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

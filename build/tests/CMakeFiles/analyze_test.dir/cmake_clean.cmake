@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_test.dir/analyze_test.cc.o"
+  "CMakeFiles/analyze_test.dir/analyze_test.cc.o.d"
+  "analyze_test"
+  "analyze_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_forms_test.dir/infer_forms_test.cc.o"
+  "CMakeFiles/infer_forms_test.dir/infer_forms_test.cc.o.d"
+  "infer_forms_test"
+  "infer_forms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_forms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
