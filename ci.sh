@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full gate: tier-1 build + tests, then ThreadSanitizer over the
+# concurrent serving suites. Run from anywhere; paths are repo-relative.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs="$(nproc)"
+
+echo "== tier 1: configure + build + ctest (Release) =="
+cmake --preset default
+cmake --build build -j "${jobs}"
+ctest --test-dir build --output-on-failure
+
+echo "== tier 2: ThreadSanitizer (serve_test, common_test) =="
+cmake --preset tsan
+cmake --build build-tsan -j "${jobs}" --target serve_test common_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/common_test
+
+echo "CI OK"

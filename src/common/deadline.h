@@ -1,0 +1,89 @@
+#ifndef KWDB_COMMON_DEADLINE_H_
+#define KWDB_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace kws {
+
+/// A per-query execution budget: a point in wall-clock (steady) time after
+/// which cooperative cancellation points abort their loops and the facades
+/// report `StatusCode::kDeadlineExceeded`. The default-constructed value is
+/// the infinite deadline, which never expires and costs nothing to check,
+/// so deadline-oblivious callers pay no overhead.
+///
+/// Deadlines are small copyable values; threading one through an options
+/// struct shares no state, so one deadline may be inspected from many
+/// threads concurrently.
+class Deadline {
+ public:
+  /// The infinite deadline (never expires).
+  Deadline() = default;
+
+  /// Alias of the default constructor, for call-site readability.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `micros` microseconds from now. A zero budget is already
+  /// expired at the first check — useful in tests.
+  static Deadline AfterMicros(uint64_t micros) {
+    Deadline d;
+    d.finite_ = true;
+    d.at_ = Clock::now() + std::chrono::microseconds(micros);
+    return d;
+  }
+
+  /// Expires `millis` milliseconds from now.
+  static Deadline AfterMillis(uint64_t millis) {
+    return AfterMicros(millis * 1000);
+  }
+
+  bool is_infinite() const { return !finite_; }
+
+  /// True once the deadline has passed. Reads the clock; hot loops should
+  /// amortize the call through a `DeadlineChecker`.
+  bool Expired() const { return finite_ && Clock::now() >= at_; }
+
+  /// Microseconds left before expiry; +infinity for the infinite deadline,
+  /// negative once expired.
+  double RemainingMicros() const {
+    if (!finite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::micro>(at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point at_{};
+  bool finite_ = false;
+};
+
+/// Amortizes `Deadline::Expired()` for tight loops: only every `stride`-th
+/// call actually reads the clock (the first call always does, so a
+/// zero-budget deadline trips at the first cancellation point). Once
+/// expired it latches and never un-expires. Not thread-safe; make one per
+/// loop.
+class DeadlineChecker {
+ public:
+  explicit DeadlineChecker(const Deadline& deadline, uint32_t stride = 64)
+      : deadline_(deadline), stride_(stride == 0 ? 1 : stride) {}
+
+  /// The cancellation point: cheap counter bump on most calls.
+  bool Expired() {
+    if (expired_) return true;
+    if (deadline_.is_infinite()) return false;
+    if (count_++ % stride_ != 0) return false;
+    expired_ = deadline_.Expired();
+    return expired_;
+  }
+
+ private:
+  Deadline deadline_;
+  uint32_t stride_;
+  uint32_t count_ = 0;
+  bool expired_ = false;
+};
+
+}  // namespace kws
+
+#endif  // KWDB_COMMON_DEADLINE_H_

@@ -1,0 +1,110 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace kws {
+
+namespace {
+
+/// Bucket index for a value in microseconds: floor(log2(us)), clamped.
+size_t BucketIndex(double micros) {
+  if (micros < 2.0) return 0;
+  const double lg = std::log2(micros);
+  const size_t idx = static_cast<size_t>(lg);
+  return std::min(idx, LatencyHistogram::kNumBuckets - 1);
+}
+
+/// Lower edge of bucket `i` in microseconds.
+double BucketLo(size_t i) {
+  return i == 0 ? 0.0 : std::exp2(static_cast<double>(i));
+}
+
+/// Upper edge of bucket `i` in microseconds.
+double BucketHi(size_t i) { return std::exp2(static_cast<double>(i + 1)); }
+
+}  // namespace
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0 || !std::isfinite(micros)) micros = 0;
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(micros * 1000.0),
+                       std::memory_order_relaxed);
+}
+
+double LatencyHistogram::sum_micros() const {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+double LatencyHistogram::MeanMicros() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum_micros() / static_cast<double>(n);
+}
+
+double LatencyHistogram::PercentileMicros(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  // Snapshot the buckets (writers may race; each load is atomic and the
+  // result is a valid approximate snapshot).
+  std::array<uint64_t, kNumBuckets> snap;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  const double target = p * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (snap[i] == 0) continue;
+    if (static_cast<double>(seen + snap[i]) >= target) {
+      // Interpolate linearly inside this bucket.
+      const double into =
+          std::clamp((target - static_cast<double>(seen)) /
+                         static_cast<double>(snap[i]),
+                     0.0, 1.0);
+      return BucketLo(i) + into * (BucketHi(i) - BucketLo(i));
+    }
+    seen += snap[i];
+  }
+  return BucketHi(kNumBuckets - 1);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[160];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->value()));
+    out += buf;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s count=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(hist->count()),
+                  hist->MeanMicros(), hist->PercentileMicros(0.50),
+                  hist->PercentileMicros(0.95), hist->PercentileMicros(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace kws

@@ -1,0 +1,84 @@
+#ifndef KWDB_COMMON_METRICS_H_
+#define KWDB_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace kws {
+
+/// A monotonically increasing event counter. All operations are lock-free
+/// relaxed atomics: counters are safe to bump from any number of threads
+/// and reads are allowed to be slightly stale.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A fixed-bucket latency histogram over microseconds. Bucket `i` covers
+/// `[2^i, 2^(i+1))` us (bucket 0 covers `[0, 2)`), spanning sub-microsecond
+/// to ~2200 seconds in 32 buckets. Recording is a relaxed atomic increment;
+/// percentile reads interpolate within the winning bucket, so quantiles are
+/// exact to within one power of two — plenty for p50/p95/p99 tail
+/// reporting, and snapshot-consistent enough under concurrent writers.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 32;
+
+  /// Records one observation. Thread-safe.
+  void Record(double micros);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Sum of all recorded values, in microseconds.
+  double sum_micros() const;
+
+  /// Mean of all recorded values; 0 when empty.
+  double MeanMicros() const;
+
+  /// The `p`-quantile (p in [0,1]) with linear interpolation inside the
+  /// winning bucket; 0 when empty.
+  double PercentileMicros(double p) const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  /// Sum in nanoseconds so the atomic stays integral.
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+/// A named registry of counters and histograms. `GetCounter` /
+/// `GetHistogram` lazily create on first use and return stable pointers
+/// (instruments are never removed), so hot paths resolve their instruments
+/// once and then touch only atomics. Thread-safe.
+class MetricsRegistry {
+ public:
+  /// Returns the counter named `name`, creating it if needed. The pointer
+  /// stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+
+  /// Returns the histogram named `name`, creating it if needed.
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Renders every instrument as text, one per line, sorted by name:
+  /// counters as `name value`, histograms as
+  /// `name count=... mean=... p50=... p95=... p99=...` (times in us).
+  std::string RenderText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace kws
+
+#endif  // KWDB_COMMON_METRICS_H_

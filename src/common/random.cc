@@ -61,6 +61,16 @@ size_t Rng::Index(size_t size) {
   return static_cast<size_t>(Uniform(size));
 }
 
+uint64_t SplitSeed(uint64_t seed, uint64_t stream) {
+  // splitmix64 finalizer applied to an odd-multiplier combination of the
+  // pair; bijective in `stream` for fixed `seed`, so children never
+  // collide with each other.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 ZipfSampler::ZipfSampler(size_t n, double theta) {
   assert(n > 0);
   cdf_.resize(n);

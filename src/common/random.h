@@ -10,6 +10,14 @@ namespace kws {
 /// Deterministic pseudo-random generator (xorshift128+). All workload
 /// generators in the library are seeded through this class so that every
 /// test, example and benchmark is reproducible bit-for-bit.
+///
+/// Thread-safety: an `Rng` is mutable state and is NOT thread-safe; two
+/// threads drawing from one instance race on `s0_`/`s1_` and destroy
+/// reproducibility even if the race were benign. Concurrent code must give
+/// each thread its own instance, seeded with `SplitSeed(seed, stream)` so
+/// the per-thread streams are decorrelated yet fully determined by the
+/// parent seed regardless of thread scheduling (this is what the
+/// `kws::serve` load generator does).
 class Rng {
  public:
   /// Seeds the generator. Equal seeds produce equal streams.
@@ -47,6 +55,12 @@ class Rng {
   uint64_t s0_;
   uint64_t s1_;
 };
+
+/// Derives the `stream`-th child seed of `seed` (splitmix64 finalizer over
+/// the pair). Children of one seed are pairwise decorrelated and distinct
+/// from the parent, so per-worker `Rng(SplitSeed(seed, worker))` instances
+/// produce schedules independent of thread interleaving.
+uint64_t SplitSeed(uint64_t seed, uint64_t stream);
 
 /// Zipf-distributed sampler over ranks {0, 1, ..., n-1} with skew `theta`
 /// (theta = 0 is uniform; theta ~ 1 matches natural-language term skew).

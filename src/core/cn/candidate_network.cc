@@ -163,7 +163,10 @@ std::vector<CandidateNetwork> EnumerateCandidateNetworks(
     }
   }
 
+  DeadlineChecker checker(options.deadline);
   while (!queue.empty()) {
+    // Cancellation point: one check per BFS expansion (amortized).
+    if (checker.Expired()) break;
     CandidateNetwork cn = std::move(queue.front());
     queue.pop_front();
     if (IsValidFinal(cn, full_mask)) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "relational/database.h"
 
 namespace kws::cn {
@@ -64,6 +65,9 @@ struct CandidateNetwork {
 struct CnEnumOptions {
   /// Maximum number of nodes in a CN (DISCOVER's Tmax).
   size_t max_size = 5;
+  /// Cooperative cancellation: enumeration stops (returning the CNs found
+  /// so far) once the deadline expires. Infinite by default.
+  Deadline deadline = {};
 };
 
 /// Enumerates all valid candidate networks, duplicate-free, breadth-first

@@ -66,8 +66,9 @@ std::vector<JoinedTree> ExecuteCn(
     const relational::Database& db, const CandidateNetwork& cn,
     const TupleSets& ts,
     const std::vector<std::optional<relational::RowId>>& fixed, size_t limit,
-    ExecStats* stats, const RowFilter* filter) {
+    ExecStats* stats, const RowFilter* filter, const Deadline* deadline) {
   std::vector<JoinedTree> out;
+  DeadlineChecker checker(deadline == nullptr ? Deadline() : *deadline, 256);
   auto admitted = [&](relational::TableId t, relational::RowId r) {
     return filter == nullptr || (*filter)[t][r];
   };
@@ -103,6 +104,8 @@ std::vector<JoinedTree> ExecuteCn(
   // Recursive expansion over the visit plan.
   auto expand = [&](auto&& self, size_t step) -> void {
     if (out.size() >= limit) return;
+    // Cancellation point, amortized over partial states.
+    if (checker.Expired()) return;
     if (step == plan.size()) {
       JoinedTree jt;
       jt.rows = assignment;
@@ -144,7 +147,7 @@ std::vector<JoinedTree> ExecuteCn(
     assignment[root] = r;
     if (stats != nullptr) ++stats->partial_states;
     expand(expand, 1);
-    if (out.size() >= limit) break;
+    if (out.size() >= limit || checker.Expired()) break;
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/cn/candidate_network.h"
 #include "core/cn/tuple_sets.h"
 
@@ -34,12 +35,15 @@ using RowFilter = std::vector<std::vector<bool>>;
 /// optionally pins some nodes to specific rows (used by the pipelined
 /// top-k strategies to verify one candidate combination); pass an empty
 /// vector to leave all nodes unconstrained. At most `limit` results.
+/// A non-null `deadline` adds a cancellation point to the join expansion:
+/// on expiry the enumeration stops and the trees found so far are
+/// returned (the caller decides how to surface the truncation).
 std::vector<JoinedTree> ExecuteCn(
     const relational::Database& db, const CandidateNetwork& cn,
     const TupleSets& ts,
     const std::vector<std::optional<relational::RowId>>& fixed = {},
     size_t limit = SIZE_MAX, ExecStats* stats = nullptr,
-    const RowFilter* filter = nullptr);
+    const RowFilter* filter = nullptr, const Deadline* deadline = nullptr);
 
 /// Upper bound on the monotonic score of any result of `cn`: sum of the
 /// best tuple-set scores divided by CN size (the MPS bound driving the

@@ -35,10 +35,16 @@ std::vector<SearchResult> Finish(TopK<SearchResult>& top) {
 
 void RunNaive(const relational::Database& db,
               const std::vector<CandidateNetwork>& cns, const TupleSets& ts,
-              size_t k, TopK<SearchResult>& top, SearchStats* stats) {
+              size_t k, const Deadline& deadline, bool* deadline_hit,
+              TopK<SearchResult>& top, SearchStats* stats) {
   for (size_t i = 0; i < cns.size(); ++i) {
+    if (deadline.Expired()) {
+      *deadline_hit = true;
+      break;
+    }
     ExecStats es;
-    auto results = ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es);
+    auto results =
+        ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es, nullptr, &deadline);
     if (stats != nullptr) {
       ++stats->cns_evaluated;
       stats->join_lookups += es.join_lookups;
@@ -53,7 +59,8 @@ void RunNaive(const relational::Database& db,
 
 void RunSparse(const relational::Database& db,
                const std::vector<CandidateNetwork>& cns, const TupleSets& ts,
-               size_t k, TopK<SearchResult>& top, SearchStats* stats) {
+               size_t k, const Deadline& deadline, bool* deadline_hit,
+               TopK<SearchResult>& top, SearchStats* stats) {
   std::vector<std::pair<double, size_t>> order;
   for (size_t i = 0; i < cns.size(); ++i) {
     const double bound = CnScoreBound(cns[i], ts);
@@ -62,8 +69,13 @@ void RunSparse(const relational::Database& db,
   std::sort(order.rbegin(), order.rend());
   for (const auto& [bound, i] : order) {
     if (top.size() >= k && top.WouldReject(bound)) break;
+    if (deadline.Expired()) {
+      *deadline_hit = true;
+      break;
+    }
     ExecStats es;
-    auto results = ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es);
+    auto results =
+        ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es, nullptr, &deadline);
     if (stats != nullptr) {
       ++stats->cns_evaluated;
       stats->join_lookups += es.join_lookups;
@@ -78,6 +90,7 @@ void RunSparse(const relational::Database& db,
 void RunGlobalPipeline(const relational::Database& db,
                        const std::vector<CandidateNetwork>& cns,
                        const TupleSets& ts, size_t k,
+                       const Deadline& deadline, bool* deadline_hit,
                        TopK<SearchResult>& top, SearchStats* stats) {
   // Per-CN pipeline state: the keyword-node lists and visited index
   // combinations.
@@ -119,10 +132,15 @@ void RunGlobalPipeline(const relational::Database& db,
     pq.push(QueueItem{bound, i, std::move(zero)});
   }
 
+  DeadlineChecker checker(deadline, 16);
   while (!pq.empty()) {
     QueueItem item = pq.top();
     pq.pop();
     if (top.size() >= k && top.WouldReject(item.bound)) break;
+    if (checker.Expired()) {
+      *deadline_hit = true;
+      break;
+    }
     const CandidateNetwork& cn = cns[item.cn];
     CnState& st = states[item.cn];
     // Verify this combination: pin the keyword nodes, join the rest.
@@ -131,7 +149,8 @@ void RunGlobalPipeline(const relational::Database& db,
       fixed[st.kw_nodes[d]] = (*st.lists[d])[item.idx[d]].row;
     }
     ExecStats es;
-    auto results = ExecuteCn(db, cn, ts, fixed, SIZE_MAX, &es);
+    auto results =
+        ExecuteCn(db, cn, ts, fixed, SIZE_MAX, &es, nullptr, &deadline);
     if (stats != nullptr) {
       ++stats->candidates_verified;
       stats->join_lookups += es.join_lookups;
@@ -183,25 +202,41 @@ std::vector<SearchResult> CnKeywordSearch::Search(
   if (keywords.size() > 16) keywords.resize(16);
   if (keywords.empty()) return {};
 
+  bool deadline_hit = false;
+  TopK<SearchResult> top(options.k);
   TupleSets ts(db_, keywords);
+  if (options.deadline.Expired()) {
+    deadline_hit = true;
+    if (stats != nullptr) stats->deadline_hit = true;
+    if (cns_out != nullptr) cns_out->clear();
+    return {};
+  }
   CnEnumOptions enum_opts;
   enum_opts.max_size = options.max_cn_size;
+  enum_opts.deadline = options.deadline;
   std::vector<CandidateNetwork> cns = EnumerateCandidateNetworks(
       db_, ts.table_masks(), ts.full_mask(), enum_opts);
   if (stats != nullptr) stats->cns_enumerated = cns.size();
 
-  TopK<SearchResult> top(options.k);
-  switch (options.strategy) {
-    case Strategy::kNaive:
-      RunNaive(db_, cns, ts, options.k, top, stats);
-      break;
-    case Strategy::kSparse:
-      RunSparse(db_, cns, ts, options.k, top, stats);
-      break;
-    case Strategy::kGlobalPipeline:
-      RunGlobalPipeline(db_, cns, ts, options.k, top, stats);
-      break;
+  if (options.deadline.Expired()) {
+    deadline_hit = true;
+  } else {
+    switch (options.strategy) {
+      case Strategy::kNaive:
+        RunNaive(db_, cns, ts, options.k, options.deadline, &deadline_hit,
+                 top, stats);
+        break;
+      case Strategy::kSparse:
+        RunSparse(db_, cns, ts, options.k, options.deadline, &deadline_hit,
+                  top, stats);
+        break;
+      case Strategy::kGlobalPipeline:
+        RunGlobalPipeline(db_, cns, ts, options.k, options.deadline,
+                          &deadline_hit, top, stats);
+        break;
+    }
   }
+  if (stats != nullptr) stats->deadline_hit = deadline_hit;
   if (cns_out != nullptr) *cns_out = std::move(cns);
   return Finish(top);
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/cn/candidate_network.h"
 #include "core/cn/execute.h"
 #include "core/cn/tuple_sets.h"
@@ -38,6 +39,10 @@ struct SearchOptions {
   size_t k = 10;
   size_t max_cn_size = 5;
   Strategy strategy = Strategy::kSparse;
+  /// Cooperative query budget, threaded through CN enumeration and every
+  /// evaluation strategy; on expiry the search stops and returns the
+  /// best results found so far, with `SearchStats::deadline_hit` set.
+  Deadline deadline = {};
 };
 
 /// Counters for the E2 benchmark.
@@ -47,6 +52,8 @@ struct SearchStats {
   uint64_t results_materialized = 0;
   uint64_t join_lookups = 0;
   uint64_t candidates_verified = 0;  // pipeline combination checks
+  /// True when the deadline cut the search short (results are partial).
+  bool deadline_hit = false;
 };
 
 /// Schema-based relational keyword search (the DISCOVER / DISCOVER2 /

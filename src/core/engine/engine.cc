@@ -20,6 +20,13 @@ KeywordSearchEngine::KeywordSearchEngine(const relational::Database& db)
 EngineResponse KeywordSearchEngine::Search(const std::string& query,
                                            const EngineOptions& options) const {
   EngineResponse response;
+  const Deadline& deadline = options.deadline;
+  auto expired = [&] {
+    response.status =
+        Status::DeadlineExceeded("query budget exhausted; partial response");
+    return response;
+  };
+  if (deadline.Expired()) return expired();
   std::vector<std::string> tokens =
       combined_index_.tokenizer().Tokenize(query);
   if (options.clean_query) {
@@ -32,14 +39,18 @@ EngineResponse KeywordSearchEngine::Search(const std::string& query,
   response.cleaned_query = tokens;
   if (tokens.empty()) return response;
   const std::string normalized = Join(tokens, " ");
+  if (deadline.Expired()) return expired();
 
   if (options.backend == Backend::kCandidateNetworks) {
     cn::CnKeywordSearch search(db_);
     cn::SearchOptions so;
     so.k = options.k;
     so.max_cn_size = options.max_cn_size;
+    so.deadline = deadline;
+    cn::SearchStats stats;
     std::vector<cn::CandidateNetwork> cns;
-    for (const cn::SearchResult& r : search.Search(normalized, so, &cns)) {
+    for (const cn::SearchResult& r :
+         search.Search(normalized, so, &cns, &stats)) {
       EngineResult er;
       er.score = r.score;
       er.tuples = r.tuples;
@@ -49,7 +60,10 @@ EngineResponse KeywordSearchEngine::Search(const std::string& query,
       }
       response.results.push_back(std::move(er));
     }
+    if (stats.deadline_hit) return expired();
   } else {
+    // The BANKS expansion is not instrumented internally; the facade
+    // checks the budget at this stage boundary.
     steiner::BanksOptions bo;
     bo.k = options.k;
     for (const steiner::AnswerTree& t :
@@ -62,9 +76,11 @@ EngineResponse KeywordSearchEngine::Search(const std::string& query,
       er.description = t.ToString(graph_.graph);
       response.results.push_back(std::move(er));
     }
+    if (deadline.Expired()) return expired();
   }
 
   if (options.num_suggestions > 0 && !response.results.empty()) {
+    if (deadline.Expired()) return expired();
     for (const refine::SuggestedTerm& s : refine::SuggestTerms(
              combined_index_, normalized, refine::TermRanking::kRelevance,
              options.num_suggestions)) {
@@ -72,6 +88,15 @@ EngineResponse KeywordSearchEngine::Search(const std::string& query,
     }
   }
   return response;
+}
+
+std::vector<std::string> KeywordSearchEngine::Normalize(
+    const std::string& query) const {
+  std::vector<std::string> tokens =
+      combined_index_.tokenizer().Tokenize(query);
+  clean::CleanedQuery cleaned = cleaner_->Clean(query);
+  if (!cleaned.tokens.empty()) tokens = cleaned.tokens;
+  return tokens;
 }
 
 std::vector<std::string> KeywordSearchEngine::Complete(

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "core/clean/cleaner.h"
 #include "core/cn/search.h"
 #include "core/complete/tastier.h"
@@ -30,6 +32,11 @@ struct EngineOptions {
   /// Attach refinement term suggestions to the response.
   size_t num_suggestions = 5;
   size_t max_cn_size = 5;
+  /// Per-query budget. When it expires mid-pipeline the search stops at
+  /// the next cancellation point and the response carries
+  /// `StatusCode::kDeadlineExceeded` with whatever results were already
+  /// ranked. Infinite by default.
+  Deadline deadline = {};
 };
 
 /// One answer, rendered for display.
@@ -41,6 +48,9 @@ struct EngineResult {
 
 /// The full response of one query round-trip.
 struct EngineResponse {
+  /// OK for a complete answer; `kDeadlineExceeded` when the budget cut
+  /// the pipeline short (results may then be partial or empty).
+  Status status = {};
   /// The query as cleaned (equals the input tokens when cleaning is off
   /// or found nothing better).
   std::vector<std::string> cleaned_query;
@@ -67,6 +77,12 @@ class KeywordSearchEngine {
   /// Type-ahead completions for a partially typed last keyword.
   std::vector<std::string> Complete(const std::string& prefix,
                                     size_t limit = 8) const;
+
+  /// The normalized form of `query` — tokenized and run through the
+  /// noisy-channel cleaner — as used for result-cache keys in
+  /// `kws::serve` (two queries with equal normalizations have equal
+  /// responses for equal options).
+  std::vector<std::string> Normalize(const std::string& query) const;
 
   const graph::RelationalGraph& data_graph() const { return graph_; }
 

@@ -14,22 +14,32 @@ XmlKeywordSearch::XmlKeywordSearch(const xml::XmlTree& tree)
 XmlResponse XmlKeywordSearch::Search(const std::string& query,
                                      const XmlEngineOptions& options) const {
   XmlResponse response;
+  const Deadline& deadline = options.deadline;
+  auto expired = [&] {
+    response.status =
+        Status::DeadlineExceeded("query budget exhausted; partial response");
+    return response;
+  };
+  if (deadline.Expired()) return expired();
   const std::vector<std::string> keywords =
       text::Tokenizer().Tokenize(query);
   if (keywords.empty()) return response;
   const auto lists = lca::MatchLists(tree_, keywords);
   if (lists.empty()) return response;
+  if (deadline.Expired()) return expired();
 
   std::vector<xml::XmlNodeId> anchors =
       options.semantics == XmlSemantics::kSlca
-          ? lca::SlcaIndexedLookupEager(tree_, lists)
-          : lca::ElcaIndexed(tree_, lists);
+          ? lca::SlcaIndexedLookupEager(tree_, lists, nullptr, &deadline)
+          : lca::ElcaIndexed(tree_, lists, nullptr, &deadline);
+  if (deadline.Expired()) return expired();
 
   // Rank, truncate, render.
   const auto ranked =
       lca::RankXmlResults(tree_, anchors, keywords, elem_rank_);
   for (const lca::ScoredXmlResult& sr : ranked) {
     if (response.results.size() >= options.k) break;
+    if (deadline.Expired()) return expired();
     XmlResult r;
     r.anchor = sr.root;
     r.score = sr.score;
@@ -43,6 +53,7 @@ XmlResponse XmlKeywordSearch::Search(const std::string& query,
     response.results.push_back(std::move(r));
   }
   if (options.cluster) {
+    if (deadline.Expired()) return expired();
     response.clusters = analyze::ClusterByContext(tree_, anchors, keywords);
   }
   return response;

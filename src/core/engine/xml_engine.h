@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "core/analyze/clustering.h"
 #include "core/analyze/snippet.h"
 #include "core/lca/xseek.h"
@@ -22,6 +24,10 @@ struct XmlEngineOptions {
   size_t snippet_items = 4;
   /// Attach context clusters to the response.
   bool cluster = true;
+  /// Per-query budget; on expiry the pipeline stops at the next
+  /// cancellation point and the response carries
+  /// `StatusCode::kDeadlineExceeded`. Infinite by default.
+  Deadline deadline = {};
 };
 
 /// One ranked XML answer: the matched subtree, the XSeek display root,
@@ -34,6 +40,9 @@ struct XmlResult {
 };
 
 struct XmlResponse {
+  /// OK for a complete answer; `kDeadlineExceeded` when the budget cut
+  /// the pipeline short (results may then be partial or empty).
+  Status status = {};
   std::vector<XmlResult> results;
   std::vector<analyze::ResultCluster> clusters;
 };

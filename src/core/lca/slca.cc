@@ -149,11 +149,13 @@ std::vector<XmlNodeId> SlcaBruteForce(
 
 std::vector<XmlNodeId> SlcaIndexedLookupEager(
     const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
-    LcaStats* stats) {
+    LcaStats* stats, const Deadline* deadline) {
   if (lists.empty()) return {};
   const size_t anchor_list = SmallestList(lists);
+  DeadlineChecker checker(deadline == nullptr ? Deadline() : *deadline);
   std::vector<XmlNodeId> candidates;
   for (XmlNodeId v : lists[anchor_list]) {
+    if (checker.Expired()) break;  // cancellation point: partial answer
     candidates.push_back(
         LowestCaAncestor(tree, lists, anchor_list, v, stats));
   }
@@ -230,12 +232,14 @@ std::vector<XmlNodeId> ElcaBruteForce(
 
 std::vector<XmlNodeId> ElcaIndexed(
     const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
-    LcaStats* stats) {
+    LcaStats* stats, const Deadline* deadline) {
   if (lists.empty()) return {};
   const size_t k = lists.size();
   const size_t anchor_list = SmallestList(lists);
+  DeadlineChecker checker(deadline == nullptr ? Deadline() : *deadline);
   std::vector<XmlNodeId> candidates;
   for (XmlNodeId v : lists[anchor_list]) {
+    if (checker.Expired()) break;  // cancellation point: partial answer
     candidates.push_back(
         LowestCaAncestor(tree, lists, anchor_list, v, stats));
   }
@@ -257,6 +261,7 @@ std::vector<XmlNodeId> ElcaIndexed(
   };
   std::vector<XmlNodeId> out;
   for (XmlNodeId v : candidates) {
+    if (checker.Expired()) break;  // cancellation point: verified prefix
     bool elca = true;
     // CA children of v, found once.
     std::vector<XmlNodeId> ca_children;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "xml/tree.h"
 
 namespace kws::lca {
@@ -34,10 +35,13 @@ std::vector<xml::XmlNodeId> SlcaBruteForce(
 
 /// Indexed-Lookup-Eager SLCA: anchors on the smallest list, binary-searches
 /// the others, O(k * d * |Smin| * log |Smax|) (tutorial slide 138).
+/// A non-null `deadline` adds a cancellation point per anchor: on expiry
+/// the sweep stops and the answer is computed from the anchors processed
+/// so far (a subset of the true SLCA set).
 std::vector<xml::XmlNodeId> SlcaIndexedLookupEager(
     const xml::XmlTree& tree,
     const std::vector<std::vector<xml::XmlNodeId>>& lists,
-    LcaStats* stats = nullptr);
+    LcaStats* stats = nullptr, const Deadline* deadline = nullptr);
 
 /// Multiway SLCA (Sun et al., WWW 07; tutorial slide 139): like ILE but the
 /// anchor is re-chosen as the maximum of the current heads each round and
@@ -59,11 +63,13 @@ std::vector<xml::XmlNodeId> ElcaBruteForce(
 /// Index-Stack-style ELCA (Xu & Papakonstantinou, EDBT 08; tutorial
 /// slide 140): candidates are slca({v}, S2..Sk) for v in the smallest
 /// list; each candidate is verified with O(log) range counts on the match
-/// lists instead of subtree sweeps.
+/// lists instead of subtree sweeps. A non-null `deadline` adds
+/// cancellation points to the anchor sweep and the verification loop; on
+/// expiry the ELCAs confirmed so far are returned.
 std::vector<xml::XmlNodeId> ElcaIndexed(
     const xml::XmlTree& tree,
     const std::vector<std::vector<xml::XmlNodeId>>& lists,
-    LcaStats* stats = nullptr);
+    LcaStats* stats = nullptr, const Deadline* deadline = nullptr);
 
 /// JDewey-join-style ELCA (Chen & Papakonstantinou, ICDE 10; tutorial
 /// slide 141): computed bottom-up from the matches' ancestor chains

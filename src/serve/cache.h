@@ -1,0 +1,105 @@
+#ifndef KWDB_SERVE_CACHE_H_
+#define KWDB_SERVE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine/engine.h"
+#include "core/engine/xml_engine.h"
+
+namespace kws::serve {
+
+/// One cached query answer: exactly one of the two pointers is set,
+/// matching the pipeline that produced it. Entries are immutable once
+/// inserted and handed out as shared_ptr-to-const, so readers never copy
+/// the (potentially large) response and eviction never invalidates a
+/// response a client still holds.
+struct CachedResult {
+  std::shared_ptr<const engine::EngineResponse> relational;
+  std::shared_ptr<const engine::XmlResponse> xml;
+};
+
+/// Hit/miss/eviction accounting, aggregated across shards.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// A sharded LRU map from normalized query keys to cached answers.
+///
+/// Sharding: each key hashes to one shard; shards have independent locks
+/// and independent LRU lists, so concurrent lookups of different keys
+/// mostly do not contend. Capacity is split evenly across shards (each
+/// shard gets at least one slot), which bounds total entries by roughly
+/// `capacity` with per-shard rather than global LRU order — the standard
+/// serving-cache trade of exactness for lock locality.
+///
+/// A total capacity of 0 disables the cache: `Get` always misses and
+/// `Put` is a no-op (misses are still counted so hit-rate math stays
+/// honest). Thread-safe.
+class ShardedResultCache {
+ public:
+  /// `capacity` is the total entry budget across all shards.
+  ShardedResultCache(size_t capacity, size_t num_shards = 8);
+
+  ShardedResultCache(const ShardedResultCache&) = delete;
+  ShardedResultCache& operator=(const ShardedResultCache&) = delete;
+
+  /// Returns the cached answer and refreshes its recency, or nullopt.
+  std::optional<CachedResult> Get(const std::string& key);
+
+  /// Inserts or refreshes `key`, evicting the shard's LRU tail when the
+  /// shard is full. No-op when the cache is disabled.
+  void Put(const std::string& key, CachedResult value);
+
+  /// Drops every entry (stats are retained).
+  void Clear();
+
+  /// Current number of resident entries (sums shard sizes; approximate
+  /// under concurrent writers).
+  size_t size() const;
+
+  /// Aggregated accounting snapshot.
+  CacheStats stats() const;
+
+  bool enabled() const { return per_shard_capacity_ > 0; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recent. Each entry is (key, value).
+    std::list<std::pair<std::string, CachedResult>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, CachedResult>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace kws::serve
+
+#endif  // KWDB_SERVE_CACHE_H_

@@ -1,0 +1,208 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/deadline.h"
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace kws::serve {
+
+ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
+                             const engine::XmlKeywordSearch* xml,
+                             const ServeOptions& options)
+    : relational_(relational),
+      xml_(xml),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      submitted_(metrics_.GetCounter("serve.submitted")),
+      rejected_(metrics_.GetCounter("serve.rejected")),
+      completed_(metrics_.GetCounter("serve.completed")),
+      ok_(metrics_.GetCounter("serve.ok")),
+      deadline_exceeded_(metrics_.GetCounter("serve.deadline_exceeded")),
+      errors_(metrics_.GetCounter("serve.errors")),
+      cache_hits_(metrics_.GetCounter("serve.cache.hits")),
+      cache_misses_(metrics_.GetCounter("serve.cache.misses")),
+      latency_(metrics_.GetHistogram("serve.latency_micros")),
+      queue_wait_(metrics_.GetHistogram("serve.queue_wait_micros")) {
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+Status ServingEngine::Submit(QueryRequest request,
+                             std::future<QueryOutcome>* outcome) {
+  submitted_->Add();
+  Task task;
+  task.request = std::move(request);
+  std::future<QueryOutcome> fut = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      rejected_->Add();
+      return Status::FailedPrecondition("server is shut down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected_->Add();
+      return Status::ResourceExhausted(
+          "submission queue full (" +
+          std::to_string(options_.queue_capacity) + " pending)");
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  *outcome = std::move(fut);
+  return Status::OK();
+}
+
+QueryOutcome ServingEngine::Query(const QueryRequest& request) {
+  submitted_->Add();
+  return Execute(request);
+}
+
+void ServingEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  // With zero workers (admission-control tests) tasks may still be
+  // queued; fail them rather than abandoning their futures.
+  std::deque<Task> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (Task& task : leftover) {
+    QueryOutcome outcome;
+    outcome.status =
+        Status::FailedPrecondition("server shut down before execution");
+    task.promise.set_value(std::move(outcome));
+  }
+}
+
+void ServingEngine::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_wait_->Record(task.queued.ElapsedMicros());
+    task.promise.set_value(Execute(task.request));
+  }
+}
+
+std::string ServingEngine::CacheKey(const QueryRequest& request) const {
+  std::vector<std::string> tokens;
+  if (request.pipeline == Pipeline::kRelational && relational_ != nullptr) {
+    tokens = relational_->Normalize(request.query);
+  } else {
+    tokens = text::Tokenizer().Tokenize(request.query);
+  }
+  std::string key =
+      request.pipeline == Pipeline::kRelational ? "rel|" : "xml|";
+  key += Join(tokens, " ");
+  key += "|k=";
+  key += std::to_string(request.k);
+  return key;
+}
+
+QueryOutcome ServingEngine::Execute(const QueryRequest& request) {
+  QueryOutcome outcome;
+  Stopwatch watch;
+  auto finish = [&](Counter* bucket) {
+    outcome.latency_micros = watch.ElapsedMicros();
+    latency_->Record(outcome.latency_micros);
+    completed_->Add();
+    bucket->Add();
+    return std::move(outcome);
+  };
+
+  const std::string key = request.bypass_cache ? "" : CacheKey(request);
+  if (!request.bypass_cache) {
+    if (std::optional<CachedResult> hit = cache_.Get(key)) {
+      cache_hits_->Add();
+      outcome.relational = std::move(hit->relational);
+      outcome.xml = std::move(hit->xml);
+      outcome.cache_hit = true;
+      return finish(ok_);
+    }
+    cache_misses_->Add();
+  }
+
+  const Deadline deadline = request.budget_micros == 0
+                                ? Deadline::Infinite()
+                                : Deadline::AfterMicros(request.budget_micros);
+  // Deadline-aware dispatch: a budget that expired while queued (or a ~0
+  // budget) drops the query before any backend work.
+  if (deadline.Expired()) {
+    outcome.status =
+        Status::DeadlineExceeded("budget exhausted before execution");
+    return finish(deadline_exceeded_);
+  }
+  // The modeled backend fetch: in production the engines would read from
+  // storage / a remote RDBMS here; hits never reach this point.
+  if (request.simulated_io_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(request.simulated_io_micros));
+  }
+
+  CachedResult fill;
+  if (request.pipeline == Pipeline::kRelational) {
+    if (relational_ == nullptr) {
+      outcome.status =
+          Status::FailedPrecondition("no relational engine configured");
+      return finish(errors_);
+    }
+    engine::EngineOptions eo;
+    eo.k = request.k;
+    eo.deadline = deadline;
+    auto response = std::make_shared<engine::EngineResponse>(
+        relational_->Search(request.query, eo));
+    if (!response->status.ok()) {
+      outcome.status = response->status;
+      outcome.relational = std::move(response);  // partial results, if any
+      return finish(outcome.status.code() == StatusCode::kDeadlineExceeded
+                        ? deadline_exceeded_
+                        : errors_);
+    }
+    outcome.relational = std::move(response);
+    fill.relational = outcome.relational;
+  } else {
+    if (xml_ == nullptr) {
+      outcome.status = Status::FailedPrecondition("no XML engine configured");
+      return finish(errors_);
+    }
+    engine::XmlEngineOptions xo;
+    xo.k = request.k;
+    xo.deadline = deadline;
+    auto response = std::make_shared<engine::XmlResponse>(
+        xml_->Search(request.query, xo));
+    if (!response->status.ok()) {
+      outcome.status = response->status;
+      outcome.xml = std::move(response);
+      return finish(outcome.status.code() == StatusCode::kDeadlineExceeded
+                        ? deadline_exceeded_
+                        : errors_);
+    }
+    outcome.xml = std::move(response);
+    fill.xml = outcome.xml;
+  }
+  // Only complete answers are cached; deadline-truncated ones are not,
+  // so a later, better-funded retry is not poisoned by a partial entry.
+  if (!request.bypass_cache) cache_.Put(key, std::move(fill));
+  return finish(ok_);
+}
+
+}  // namespace kws::serve

@@ -1,0 +1,162 @@
+#ifndef KWDB_SERVE_SERVER_H_
+#define KWDB_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "core/engine/engine.h"
+#include "core/engine/xml_engine.h"
+#include "serve/cache.h"
+
+namespace kws::serve {
+
+/// Which facade answers the request.
+enum class Pipeline { kRelational, kXml };
+
+/// One unit of admitted work.
+struct QueryRequest {
+  std::string query;
+  Pipeline pipeline = Pipeline::kRelational;
+  /// Top-k passed through to the engine (part of the cache key).
+  size_t k = 10;
+  /// Per-query budget in microseconds; 0 means unlimited. The clock
+  /// starts when the query begins executing (queue wait excluded), which
+  /// is the serving-side "execution budget" convention.
+  uint64_t budget_micros = 0;
+  /// Skip the result cache entirely (no lookup, no fill) — used by
+  /// benchmarks to measure the cache-cold path.
+  bool bypass_cache = false;
+  /// Models the backend round-trip (storage / remote RDBMS) a cache miss
+  /// would pay in a production deployment: the worker sleeps this long
+  /// before running the engine. Cache hits skip it, which is the point
+  /// of the cache. 0 (the default) disables the simulation.
+  uint64_t simulated_io_micros = 0;
+};
+
+/// The server's answer. Responses are shared immutable objects (possibly
+/// also referenced by the cache); exactly one of `relational` / `xml` is
+/// set on success, matching the request's pipeline.
+struct QueryOutcome {
+  /// OK, kDeadlineExceeded (budget expired), kFailedPrecondition
+  /// (pipeline not configured, or the server shut down before the task
+  /// ran).
+  Status status;
+  std::shared_ptr<const engine::EngineResponse> relational;
+  std::shared_ptr<const engine::XmlResponse> xml;
+  bool cache_hit = false;
+  /// Execution latency (queue wait excluded), microseconds.
+  double latency_micros = 0;
+};
+
+struct ServeOptions {
+  /// Worker threads draining the submission queue. 0 is allowed (nothing
+  /// executes until Shutdown fails the queued work) and is only useful in
+  /// tests that exercise admission control deterministically.
+  size_t num_workers = 4;
+  /// Bound on queued-but-not-yet-running submissions; Submit rejects with
+  /// kResourceExhausted beyond it (admission control).
+  size_t queue_capacity = 64;
+  /// Total result-cache entries (0 disables caching).
+  size_t cache_capacity = 1024;
+  size_t cache_shards = 8;
+};
+
+/// The concurrent query-serving facade: a fixed worker pool pulling from a
+/// bounded submission queue, a sharded LRU result cache keyed by the
+/// normalized (tokenized + cleaned) query, per-query deadlines, and a
+/// metrics registry (counters + latency histograms).
+///
+/// Both engines run read-only searches over immutable indexes (`Search`
+/// is const and keeps no per-query state), which is what makes one engine
+/// instance safely shareable across all workers. Either engine pointer
+/// may be null; requests routed at a missing pipeline fail with
+/// kFailedPrecondition.
+///
+/// Lifecycle: workers start in the constructor; the destructor (or an
+/// explicit `Shutdown`) stops admissions, drains every queued task, and
+/// joins the pool, so no future obtained from `Submit` is ever abandoned.
+class ServingEngine {
+ public:
+  ServingEngine(const engine::KeywordSearchEngine* relational,
+                const engine::XmlKeywordSearch* xml,
+                const ServeOptions& options = {});
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Admits `request` into the queue. On success `*outcome` receives the
+  /// future the worker pool will fulfil. Rejections are synchronous:
+  /// kResourceExhausted when the queue is full, kFailedPrecondition after
+  /// shutdown.
+  Status Submit(QueryRequest request, std::future<QueryOutcome>* outcome);
+
+  /// Synchronous convenience path: executes on the calling thread with
+  /// the same cache, metrics and deadline handling, bypassing the queue
+  /// (no admission control). Deterministic replay harnesses use this.
+  QueryOutcome Query(const QueryRequest& request);
+
+  /// Stops admitting, drains the queue (with 0 workers: fails the queued
+  /// tasks), joins the pool. Idempotent.
+  void Shutdown();
+
+  /// The cache key for `request`: pipeline tag, normalized query
+  /// (tokenized, and cleaned when the relational engine is targeted),
+  /// and k. Exposed for tests.
+  std::string CacheKey(const QueryRequest& request) const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    QueryRequest request;
+    std::promise<QueryOutcome> promise;
+    /// Measures queue wait, started at submission.
+    Stopwatch queued;
+  };
+
+  void WorkerLoop();
+
+  /// The miss/hit pipeline shared by Submit-driven workers and Query.
+  QueryOutcome Execute(const QueryRequest& request);
+
+  const engine::KeywordSearchEngine* relational_;
+  const engine::XmlKeywordSearch* xml_;
+  const ServeOptions options_;
+
+  ShardedResultCache cache_;
+  MetricsRegistry metrics_;
+  // Instruments resolved once; hot paths touch only atomics.
+  Counter* submitted_;
+  Counter* rejected_;
+  Counter* completed_;
+  Counter* ok_;
+  Counter* deadline_exceeded_;
+  Counter* errors_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  LatencyHistogram* latency_;
+  LatencyHistogram* queue_wait_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kws::serve
+
+#endif  // KWDB_SERVE_SERVER_H_

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -32,8 +36,17 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
       Status::InvalidArgument("x").code(), Status::NotFound("x").code(),
       Status::AlreadyExists("x").code(),   Status::OutOfRange("x").code(),
       Status::FailedPrecondition("x").code(),
-      Status::Unimplemented("x").code(),   Status::Internal("x").code()};
-  EXPECT_EQ(codes.size(), 7u);
+      Status::Unimplemented("x").code(),   Status::Internal("x").code(),
+      Status::DeadlineExceeded("x").code(),
+      Status::ResourceExhausted("x").code()};
+  EXPECT_EQ(codes.size(), 9u);
+}
+
+TEST(StatusTest, ServingCodesRenderByName) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "ResourceExhausted: full");
 }
 
 Status FailsThenPropagates() {
@@ -135,6 +148,122 @@ TEST(ZipfTest, ThetaZeroIsUniform) {
     EXPECT_GT(c, 4000);
     EXPECT_LT(c, 6000);
   }
+}
+
+TEST(SplitSeedTest, DeterministicAndDecorrelated) {
+  EXPECT_EQ(SplitSeed(42, 0), SplitSeed(42, 0));
+  std::set<uint64_t> children;
+  for (uint64_t stream = 0; stream < 64; ++stream) {
+    children.insert(SplitSeed(42, stream));
+  }
+  EXPECT_EQ(children.size(), 64u);       // distinct per stream
+  EXPECT_EQ(children.count(42), 0u);     // distinct from the parent
+  EXPECT_NE(SplitSeed(1, 0), SplitSeed(2, 0));
+  // Child streams do not collide with each other as Rng sequences either.
+  Rng a(SplitSeed(42, 0)), b(SplitSeed(42, 1));
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingMicros()));
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  Deadline d = Deadline::AfterMicros(0);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_LE(d.RemainingMicros(), 0.0);
+}
+
+TEST(DeadlineTest, GenerousBudgetNotYetExpired) {
+  Deadline d = Deadline::AfterMillis(60000);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMicros(), 0.0);
+}
+
+TEST(DeadlineCheckerTest, FirstCallChecksClock) {
+  // A zero budget must trip at the very first cancellation point even
+  // with a large stride.
+  DeadlineChecker checker(Deadline::AfterMicros(0), /*stride=*/1024);
+  EXPECT_TRUE(checker.Expired());
+  EXPECT_TRUE(checker.Expired());  // latched
+}
+
+TEST(DeadlineCheckerTest, InfiniteNeverExpires) {
+  DeadlineChecker checker(Deadline::Infinite());
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(checker.Expired());
+}
+
+TEST(CounterTest, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(9);
+  EXPECT_EQ(c.value(), 10u);
+}
+
+TEST(LatencyHistogramTest, CountsMeanAndSum) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.MeanMicros(), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMicros(0.5), 0.0);
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum_micros(), 600.0, 1e-6);
+  EXPECT_NEAR(h.MeanMicros(), 200.0, 1e-6);
+}
+
+TEST(LatencyHistogramTest, PercentilesBracketTheData) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10);   // bucket [8, 16)
+  h.Record(5000);                              // one tail outlier
+  const double p50 = h.PercentileMicros(0.50);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LT(p50, 16.0);
+  // The p99+ tail must land in the outlier's power-of-two bucket.
+  EXPECT_GE(h.PercentileMicros(0.999), 4096.0);
+  EXPECT_LE(h.PercentileMicros(0.999), 8192.0);
+}
+
+TEST(MetricsRegistryTest, StablePointersAndRendering) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("queries");
+  EXPECT_EQ(registry.GetCounter("queries"), c);  // same instrument
+  c->Add(3);
+  registry.GetHistogram("latency")->Record(100);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("queries 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("latency count=1"), std::string::npos) << text;
+}
+
+TEST(MetricsThreadingTest, ConcurrentRecordingLosesNothing) {
+  // Exercised under TSan by ci.sh: counters and histograms must be safe
+  // to bump from many threads, and no increment may be lost.
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("hits");
+  LatencyHistogram* h = registry.GetHistogram("lat");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Add();
+        h->Record(static_cast<double>(t * 100 + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads * kPerThread));
 }
 
 TEST(StringsTest, ToLower) {

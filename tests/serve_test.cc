@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "core/engine/engine.h"
+#include "core/engine/xml_engine.h"
+#include "relational/dblp.h"
+#include "relational/query_log.h"
+#include "serve/cache.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "xml/bibgen.h"
+
+namespace kws::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ShardedResultCache unit tests.
+
+CachedResult MakeEntry(double score) {
+  auto response = std::make_shared<engine::EngineResponse>();
+  engine::EngineResult result;
+  result.score = score;
+  response->results.push_back(result);
+  CachedResult entry;
+  entry.relational = std::move(response);
+  return entry;
+}
+
+double EntryScore(const CachedResult& entry) {
+  return entry.relational->results.at(0).score;
+}
+
+TEST(ResultCacheTest, GetReturnsWhatPutStored) {
+  ShardedResultCache cache(8);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", MakeEntry(1.0));
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(EntryScore(*hit), 1.0);
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and fully predictable.
+  ShardedResultCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put("a", MakeEntry(1.0));
+  cache.Put("b", MakeEntry(2.0));
+  cache.Put("c", MakeEntry(3.0));  // evicts "a"
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheTest, GetRefreshesRecency) {
+  ShardedResultCache cache(2, 1);
+  cache.Put("a", MakeEntry(1.0));
+  cache.Put("b", MakeEntry(2.0));
+  ASSERT_TRUE(cache.Get("a").has_value());  // "b" is now the LRU tail
+  cache.Put("c", MakeEntry(3.0));           // evicts "b", not "a"
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+}
+
+TEST(ResultCacheTest, PutRefreshesExistingKey) {
+  ShardedResultCache cache(2, 1);
+  cache.Put("a", MakeEntry(1.0));
+  cache.Put("a", MakeEntry(9.0));
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(EntryScore(*hit), 9.0);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ShardedResultCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put("a", MakeEntry(1.0));
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ResultCacheTest, EvictionDoesNotInvalidateHandedOutResponses) {
+  ShardedResultCache cache(1, 1);
+  cache.Put("a", MakeEntry(1.0));
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  cache.Put("b", MakeEntry(2.0));  // evicts "a"
+  // The shared_ptr we hold keeps the evicted response alive and intact.
+  EXPECT_DOUBLE_EQ(EntryScore(*hit), 1.0);
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesButKeepsStats) {
+  ShardedResultCache cache(8);
+  cache.Put("a", MakeEntry(1.0));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared corpora for the serving tests.
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    relational::DblpOptions opts;
+    opts.num_authors = 60;
+    opts.num_papers = 120;
+    opts.num_conferences = 8;
+    dblp_ = new relational::DblpDatabase(MakeDblpDatabase(opts));
+    engine_ = new engine::KeywordSearchEngine(*dblp_->db);
+    xml::BibOptions bib;
+    bib.num_venues = 6;
+    bib.papers_per_venue = 8;
+    bib_ = new xml::BibDocument(MakeBibDocument(bib));
+    xml_engine_ = new engine::XmlKeywordSearch(bib_->tree);
+  }
+  static void TearDownTestSuite() {
+    delete xml_engine_;
+    delete bib_;
+    delete engine_;
+    delete dblp_;
+    xml_engine_ = nullptr;
+    bib_ = nullptr;
+    engine_ = nullptr;
+    dblp_ = nullptr;
+  }
+  static relational::DblpDatabase* dblp_;
+  static engine::KeywordSearchEngine* engine_;
+  static xml::BibDocument* bib_;
+  static engine::XmlKeywordSearch* xml_engine_;
+};
+
+relational::DblpDatabase* ServeTest::dblp_ = nullptr;
+engine::KeywordSearchEngine* ServeTest::engine_ = nullptr;
+xml::BibDocument* ServeTest::bib_ = nullptr;
+engine::XmlKeywordSearch* ServeTest::xml_engine_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Deadline enforcement: a ~zero budget must surface kDeadlineExceeded from
+// both pipelines, not crash and not masquerade as an empty success.
+
+TEST_F(ServeTest, RelationalZeroBudgetReturnsDeadlineExceeded) {
+  engine::EngineOptions opts;
+  opts.deadline = Deadline::AfterMicros(0);
+  engine::EngineResponse r = engine_->Search("keyword search", opts);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServeTest, XmlZeroBudgetReturnsDeadlineExceeded) {
+  engine::XmlEngineOptions opts;
+  opts.deadline = Deadline::AfterMicros(0);
+  engine::XmlResponse r = xml_engine_->Search("keyword search", opts);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServeTest, XmlElcaZeroBudgetReturnsDeadlineExceeded) {
+  engine::XmlEngineOptions opts;
+  opts.semantics = engine::XmlSemantics::kElca;
+  opts.deadline = Deadline::AfterMicros(0);
+  engine::XmlResponse r = xml_engine_->Search("keyword search", opts);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServeTest, UnlimitedBudgetIsOk) {
+  engine::EngineResponse r = engine_->Search("keyword search");
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_FALSE(r.results.empty());
+}
+
+TEST_F(ServeTest, ServerEnforcesTinyBudget) {
+  ServeOptions so;
+  so.num_workers = 1;
+  ServingEngine server(engine_, xml_engine_, so);
+  QueryRequest req;
+  req.query = "keyword search";
+  req.budget_micros = 1;
+  QueryOutcome out = server.Query(req);
+  EXPECT_EQ(out.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.metrics().GetCounter("serve.deadline_exceeded")->value(),
+            1u);
+  // A deadline-truncated answer must not poison the cache.
+  QueryOutcome again = server.Query(req);
+  EXPECT_FALSE(again.cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and lifecycle.
+
+TEST_F(ServeTest, AdmissionControlRejectsWhenQueueFull) {
+  ServeOptions so;
+  so.num_workers = 0;  // nothing drains: queue occupancy is deterministic
+  so.queue_capacity = 2;
+  ServingEngine server(engine_, xml_engine_, so);
+  QueryRequest req;
+  req.query = "keyword search";
+  std::future<QueryOutcome> f1, f2, f3;
+  EXPECT_TRUE(server.Submit(req, &f1).ok());
+  EXPECT_TRUE(server.Submit(req, &f2).ok());
+  Status rejected = server.Submit(req, &f3);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.metrics().GetCounter("serve.rejected")->value(), 1u);
+
+  server.Shutdown();
+  // Queued-but-never-run tasks fail rather than abandoning their futures.
+  EXPECT_EQ(f1.get().status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(f2.get().status.code(), StatusCode::kFailedPrecondition);
+
+  std::future<QueryOutcome> f4;
+  Status after = server.Submit(req, &f4);
+  EXPECT_EQ(after.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeTest, WorkersDrainQueueAndFulfilFutures) {
+  ServeOptions so;
+  so.num_workers = 2;
+  ServingEngine server(engine_, xml_engine_, so);
+  std::vector<std::future<QueryOutcome>> futures(8);
+  for (auto& f : futures) {
+    QueryRequest req;
+    req.query = "keyword search";
+    ASSERT_TRUE(server.Submit(req, &f).ok());
+  }
+  for (auto& f : futures) {
+    QueryOutcome out = f.get();
+    EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+    ASSERT_NE(out.relational, nullptr);
+    EXPECT_FALSE(out.relational->results.empty());
+  }
+  EXPECT_EQ(server.metrics().GetCounter("serve.completed")->value(), 8u);
+  // One miss filled the cache; the duplicates hit it.
+  EXPECT_GE(server.cache_stats().hits, 1u);
+}
+
+TEST_F(ServeTest, MissingPipelineFailsPrecondition) {
+  ServingEngine server(engine_, /*xml=*/nullptr, {});
+  QueryRequest req;
+  req.query = "keyword search";
+  req.pipeline = Pipeline::kXml;
+  EXPECT_EQ(server.Query(req).status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-key normalization: case/whitespace variants and cleanable typos
+// collapse to one key; different k does not.
+
+TEST_F(ServeTest, CacheKeyNormalizesQueryText) {
+  ServingEngine server(engine_, xml_engine_, {});
+  QueryRequest a, b, c, d;
+  a.query = "keyword search";
+  b.query = "  Keyword   SEARCH ";
+  c.query = "keywrd searh";  // cleaner fixes both typos
+  d.query = "keyword search";
+  d.k = 20;
+  EXPECT_EQ(server.CacheKey(a), server.CacheKey(b));
+  EXPECT_EQ(server.CacheKey(a), server.CacheKey(c));
+  EXPECT_NE(server.CacheKey(a), server.CacheKey(d));
+  QueryRequest x = a;
+  x.pipeline = Pipeline::kXml;
+  EXPECT_NE(server.CacheKey(a), server.CacheKey(x));
+}
+
+TEST_F(ServeTest, NormalizedVariantHitsCache) {
+  ServingEngine server(engine_, xml_engine_, {});
+  QueryRequest req;
+  req.query = "keyword search";
+  QueryOutcome first = server.Query(req);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  req.query = "Keyword  SEARCH";
+  QueryOutcome second = server.Query(req);
+  EXPECT_TRUE(second.cache_hit);
+  // Hits share the immutable response object, not a copy.
+  EXPECT_EQ(second.relational.get(), first.relational.get());
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: serving through the cache returns bit-identical answers to the
+// uncached engine, over a sweep of seeds and repeated (Zipf-skewed) issues.
+
+class ServeOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServeOracleTest, CachedAnswersMatchUncached) {
+  const uint64_t seed = GetParam();
+  relational::DblpOptions opts;
+  opts.seed = seed;
+  opts.num_authors = 40;
+  opts.num_papers = 80;
+  opts.num_conferences = 6;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  engine::KeywordSearchEngine eng(*dblp.db);
+
+  relational::QueryLogOptions lopts;
+  lopts.seed = seed;
+  lopts.num_queries = 40;
+  const std::vector<std::string> pool =
+      QueryPool(MakeQueryLog(*dblp.db, dblp.paper, lopts));
+  ASSERT_FALSE(pool.empty());
+
+  ServeOptions so;
+  so.num_workers = 1;
+  so.cache_capacity = 64;
+  ServingEngine cached(&eng, nullptr, so);
+
+  Rng rng(SplitSeed(seed, 7));
+  const ZipfSampler zipf(pool.size(), 0.9);
+  for (int i = 0; i < 60; ++i) {
+    QueryRequest req;
+    req.query = pool[zipf.Sample(rng)];
+    QueryOutcome served = cached.Query(req);
+    ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+    ASSERT_NE(served.relational, nullptr);
+
+    engine::EngineResponse direct = eng.Search(req.query);
+    ASSERT_EQ(served.relational->results.size(), direct.results.size())
+        << "query: " << req.query;
+    for (size_t r = 0; r < direct.results.size(); ++r) {
+      EXPECT_DOUBLE_EQ(served.relational->results[r].score,
+                       direct.results[r].score);
+      EXPECT_EQ(served.relational->results[r].tuples,
+                direct.results[r].tuples);
+      EXPECT_EQ(served.relational->results[r].description,
+                direct.results[r].description);
+    }
+    EXPECT_EQ(served.relational->cleaned_query, direct.cleaned_query);
+  }
+  // The skewed replay must actually have exercised the cache.
+  EXPECT_GT(cached.cache_stats().hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServeOracleTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST_F(ServeTest, XmlServingMatchesDirectSearch) {
+  ServingEngine server(engine_, xml_engine_, {});
+  QueryRequest req;
+  req.query = "keyword search";
+  req.pipeline = Pipeline::kXml;
+  QueryOutcome served = server.Query(req);
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+  ASSERT_NE(served.xml, nullptr);
+  engine::XmlResponse direct = xml_engine_->Search(req.query);
+  ASSERT_EQ(served.xml->results.size(), direct.results.size());
+  for (size_t i = 0; i < direct.results.size(); ++i) {
+    EXPECT_EQ(served.xml->results[i].anchor, direct.results[i].anchor);
+    EXPECT_EQ(served.xml->results[i].display_root,
+              direct.results[i].display_root);
+    EXPECT_DOUBLE_EQ(served.xml->results[i].score, direct.results[i].score);
+    EXPECT_EQ(served.xml->results[i].snippet, direct.results[i].snippet);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Load generator.
+
+TEST_F(ServeTest, QueryPoolDeduplicatesInLogOrder) {
+  relational::QueryLog log;
+  log.push_back({{"a", "b"}, {}, 1});
+  log.push_back({{}, {}, 1});          // empty: dropped
+  log.push_back({{"c"}, {}, 1});
+  log.push_back({{"a", "b"}, {}, 3});  // duplicate: dropped
+  EXPECT_EQ(QueryPool(log), (std::vector<std::string>{"a b", "c"}));
+}
+
+TEST_F(ServeTest, ClosedLoopAccountsEveryRequest) {
+  ServeOptions so;
+  so.num_workers = 2;
+  so.queue_capacity = 4;
+  ServingEngine server(engine_, xml_engine_, so);
+  relational::QueryLogOptions lopts;
+  lopts.num_queries = 30;
+  const std::vector<std::string> pool =
+      QueryPool(MakeQueryLog(*dblp_->db, dblp_->paper, lopts));
+  ASSERT_FALSE(pool.empty());
+
+  LoadGenOptions gen;
+  gen.num_clients = 3;
+  gen.requests_per_client = 10;
+  LoadReport report = RunClosedLoop(server, pool, gen);
+  EXPECT_EQ(report.requests, 30u);
+  EXPECT_EQ(report.ok + report.deadline_exceeded + report.failed, 30u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.ok, 30u);
+  EXPECT_EQ(server.metrics().GetCounter("serve.completed")->value(), 30u);
+  EXPECT_GT(report.qps, 0.0);
+}
+
+TEST_F(ServeTest, ClosedLoopScheduleIsSeedDeterministic) {
+  relational::QueryLogOptions lopts;
+  lopts.num_queries = 30;
+  const std::vector<std::string> pool =
+      QueryPool(MakeQueryLog(*dblp_->db, dblp_->paper, lopts));
+  ASSERT_FALSE(pool.empty());
+
+  // The per-client query schedule is a pure function of (seed, client), so
+  // two single-threaded replays against fresh servers produce identical
+  // hit counts regardless of wall-clock timing.
+  auto replay = [&]() {
+    ServeOptions so;
+    so.num_workers = 1;
+    ServingEngine server(engine_, xml_engine_, so);
+    LoadGenOptions gen;
+    gen.num_clients = 1;
+    gen.requests_per_client = 40;
+    gen.seed = 99;
+    return RunClosedLoop(server, pool, gen);
+  };
+  LoadReport a = replay();
+  LoadReport b = replay();
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_GT(a.cache_hits, 0u);  // Zipf replay repeats popular queries
+}
+
+TEST_F(ServeTest, MetricsRenderAfterServing) {
+  ServingEngine server(engine_, xml_engine_, {});
+  QueryRequest req;
+  req.query = "keyword search";
+  ASSERT_TRUE(server.Query(req).status.ok());
+  const std::string text = server.metrics().RenderText();
+  EXPECT_NE(text.find("serve.submitted 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve.latency_micros count=1"), std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace kws::serve
