@@ -17,4 +17,7 @@ cmake --build build-tsan -j "${jobs}" --target serve_test common_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/common_test
 
+echo "== tier 3: posting-kernel smoke bench (E20, < 5 s) =="
+./build/bench/bench_postings --smoke
+
 echo "CI OK"

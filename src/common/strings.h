@@ -1,11 +1,24 @@
 #ifndef KWDB_COMMON_STRINGS_H_
 #define KWDB_COMMON_STRINGS_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace kws {
+
+/// Transparent hash for heterogeneous `unordered_map`/`set` lookup: lets
+/// string-keyed containers be probed with a `std::string_view` without
+/// materializing a `std::string` per lookup (pair with
+/// `std::equal_to<>`). This is what keeps tokenization hot paths
+/// allocation-free.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Returns `s` lower-cased (ASCII only; the corpus generators emit ASCII).
 std::string ToLower(std::string_view s);

@@ -47,21 +47,12 @@ std::vector<std::pair<std::string, double>> QueryCleaner::ConfusionSet(
 size_t QueryCleaner::ConjunctiveCount(
     const std::vector<std::string>& tokens) const {
   if (tokens.empty()) return 0;
-  std::vector<text::DocId> docs;
-  for (const text::Posting& p : index_.GetPostings(tokens[0])) {
-    docs.push_back(p.doc);
+  std::vector<text::PostingSpan> spans;
+  spans.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    spans.emplace_back(index_.GetPostings(t));
   }
-  for (size_t i = 1; i < tokens.size() && !docs.empty(); ++i) {
-    const auto& plist = index_.GetPostings(tokens[i]);
-    std::vector<text::DocId> kept;
-    size_t j = 0;
-    for (text::DocId d : docs) {
-      while (j < plist.size() && plist[j].doc < d) ++j;
-      if (j < plist.size() && plist[j].doc == d) kept.push_back(d);
-    }
-    docs.swap(kept);
-  }
-  return docs.size();
+  return text::IntersectLists(spans).size();
 }
 
 CleanedQuery QueryCleaner::Clean(const std::string& raw_query) const {

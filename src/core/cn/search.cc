@@ -204,8 +204,8 @@ std::vector<SearchResult> CnKeywordSearch::Search(
 
   bool deadline_hit = false;
   TopK<SearchResult> top(options.k);
-  TupleSets ts(db_, keywords);
-  if (options.deadline.Expired()) {
+  TupleSets ts(db_, keywords, options.tuple_cache, options.deadline);
+  if (ts.truncated() || options.deadline.Expired()) {
     deadline_hit = true;
     if (stats != nullptr) stats->deadline_hit = true;
     if (cns_out != nullptr) cns_out->clear();

@@ -39,10 +39,14 @@ struct SearchOptions {
   size_t k = 10;
   size_t max_cn_size = 5;
   Strategy strategy = Strategy::kSparse;
-  /// Cooperative query budget, threaded through CN enumeration and every
-  /// evaluation strategy; on expiry the search stops and returns the
-  /// best results found so far, with `SearchStats::deadline_hit` set.
+  /// Cooperative query budget, threaded through tuple-set construction,
+  /// CN enumeration and every evaluation strategy; on expiry the search
+  /// stops and returns the best results found so far, with
+  /// `SearchStats::deadline_hit` set.
   Deadline deadline = {};
+  /// Optional shared term -> tuple-set frontier cache. Not owned; must
+  /// outlive the search. Results are identical with or without it.
+  TupleSetCache* tuple_cache = nullptr;
 };
 
 /// Counters for the E2 benchmark.

@@ -1,0 +1,99 @@
+#include "core/cn/tuple_set_cache.h"
+
+#include <cmath>
+#include <utility>
+
+namespace kws::cn {
+
+std::shared_ptr<const TermFrontier> BuildTermFrontier(
+    const relational::Database& db, std::string_view term,
+    const Deadline& deadline) {
+  const size_t num_tables = db.num_tables();
+  auto frontier = std::make_shared<TermFrontier>();
+  frontier->tables.resize(num_tables);
+  size_t total_rows = 0;
+  size_t df = 0;
+  for (relational::TableId t = 0; t < num_tables; ++t) {
+    // Cancellation point per table: a mid-build expiry discards the
+    // partial frontier entirely.
+    if (deadline.Expired()) return nullptr;
+    total_rows += db.table(t).num_rows();
+    const text::PostingList& plist = db.TextIndex(t).GetPostings(term);
+    df += plist.size();
+    TermFrontier::TableFrontier& tf = frontier->tables[t];
+    tf.rows.assign(plist.docs().begin(), plist.docs().end());
+    tf.tfs.assign(plist.tfs().begin(), plist.tfs().end());
+    frontier->num_rows += plist.size();
+  }
+  frontier->idf = std::log(1.0 + static_cast<double>(total_rows) /
+                                     (1.0 + static_cast<double>(df)));
+  return frontier;
+}
+
+TupleSetCache::TupleSetCache(const relational::Database& db, size_t capacity)
+    : db_(db), capacity_(capacity) {}
+
+void TupleSetCache::AttachCounters(Counter* hits, Counter* misses,
+                                   Counter* evictions) {
+  hit_counter_ = hits;
+  miss_counter_ = misses;
+  eviction_counter_ = evictions;
+}
+
+std::shared_ptr<const TermFrontier> TupleSetCache::Get(
+    std::string_view term, const Deadline& deadline) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(term);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (hit_counter_ != nullptr) hit_counter_->Add();
+      return it->second->frontier;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (miss_counter_ != nullptr) miss_counter_->Add();
+
+  // Build outside the lock: frontier construction walks every table's
+  // postings and must not serialize concurrent queries on other terms.
+  std::shared_ptr<const TermFrontier> frontier =
+      BuildTermFrontier(db_, term, deadline);
+  // Deadline-truncated builds are never cached (nor returned as data).
+  if (frontier == nullptr || capacity_ == 0) return frontier;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(term);
+  if (it != index_.end()) {
+    // Another thread built and inserted it first; keep the cached one so
+    // all holders share one frontier.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->frontier;
+  }
+  lru_.push_front(Entry{std::string(term), frontier});
+  index_.emplace(lru_.front().term, lru_.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().term);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (eviction_counter_ != nullptr) eviction_counter_->Add();
+  }
+  return frontier;
+}
+
+size_t TupleSetCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+TupleSetCache::Stats TupleSetCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace kws::cn

@@ -1,0 +1,123 @@
+#ifndef KWDB_CORE_CN_TUPLE_SET_CACHE_H_
+#define KWDB_CORE_CN_TUPLE_SET_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "relational/database.h"
+
+namespace kws::cn {
+
+/// The query-independent slice of a keyword's tuple sets: per table, the
+/// matching rows (ascending) with their term frequencies, plus the
+/// keyword's global smoothed IDF. Everything query-dependent — keyword
+/// masks, per-row scores, the mask partition — is recomputed per query by
+/// `TupleSets` from these frontiers with the original arithmetic, so
+/// cached and uncached queries produce bit-identical responses.
+struct TermFrontier {
+  struct TableFrontier {
+    std::vector<relational::RowId> rows;
+    std::vector<uint32_t> tfs;  // parallel to rows
+  };
+  /// Indexed by TableId.
+  std::vector<TableFrontier> tables;
+  /// log(1 + total_rows / (1 + df)), df summed over all tables.
+  double idf = 0;
+  /// Total matching rows across tables (for capacity accounting / stats).
+  size_t num_rows = 0;
+};
+
+/// Builds the frontier of `term` directly from the database's per-table
+/// text indexes. Polls `deadline` between tables and returns nullptr when
+/// it expires mid-build (the partial frontier is discarded — a truncated
+/// frontier must never be observed, let alone cached).
+std::shared_ptr<const TermFrontier> BuildTermFrontier(
+    const relational::Database& db, std::string_view term,
+    const Deadline& deadline = {});
+
+/// A term -> TermFrontier LRU cache shared across CNs within a query and
+/// across queries in `kws::serve`. The database is immutable once indexed
+/// (all data flows from the deterministic generators), so entries never
+/// need invalidation; the only eviction is the capacity bound.
+///
+/// Thread-safe: lookups and insertions take a mutex, frontiers are
+/// published as shared_ptr<const> so readers hold them lock-free, and
+/// builds run outside the lock (two threads may race to build the same
+/// term; the loser's frontier is dropped in favor of the cached one).
+///
+/// Deadline safety: a build cut short by an expired deadline yields
+/// nullptr and is NOT inserted — the same complete-answers-only rule the
+/// serve result cache follows.
+class TupleSetCache {
+ public:
+  /// Aggregate usage counters (all relaxed atomics).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t insertions = 0;
+  };
+
+  /// `capacity` bounds the number of cached terms; 0 disables caching
+  /// (every Get builds, nothing is stored).
+  TupleSetCache(const relational::Database& db, size_t capacity);
+
+  TupleSetCache(const TupleSetCache&) = delete;
+  TupleSetCache& operator=(const TupleSetCache&) = delete;
+
+  /// Mirrors hit/miss/eviction events into externally owned metrics
+  /// counters (e.g. a serve MetricsRegistry). Call before concurrent use.
+  void AttachCounters(Counter* hits, Counter* misses, Counter* evictions);
+
+  /// The frontier of `term`, from cache or built on demand. Returns
+  /// nullptr only when `deadline` expired mid-build.
+  std::shared_ptr<const TermFrontier> Get(std::string_view term,
+                                          const Deadline& deadline = {});
+
+  /// Number of cached terms.
+  size_t size() const;
+
+  size_t capacity() const { return capacity_; }
+  const relational::Database& db() const { return db_; }
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string term;
+    std::shared_ptr<const TermFrontier> frontier;
+  };
+  using LruList = std::list<Entry>;
+
+  const relational::Database& db_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  /// Most-recently-used first.
+  LruList lru_;
+  std::unordered_map<std::string, LruList::iterator, StringHash,
+                     std::equal_to<>>
+      index_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> insertions_{0};
+  Counter* hit_counter_ = nullptr;
+  Counter* miss_counter_ = nullptr;
+  Counter* eviction_counter_ = nullptr;
+};
+
+}  // namespace kws::cn
+
+#endif  // KWDB_CORE_CN_TUPLE_SET_CACHE_H_

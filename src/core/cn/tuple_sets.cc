@@ -6,7 +6,8 @@
 namespace kws::cn {
 
 TupleSets::TupleSets(const relational::Database& db,
-                     std::vector<std::string> keywords)
+                     std::vector<std::string> keywords, TupleSetCache* cache,
+                     const Deadline& deadline)
     : keywords_(std::move(keywords)) {
   const size_t num_tables = db.num_tables();
   const size_t nk = keywords_.size();
@@ -14,29 +15,36 @@ TupleSets::TupleSets(const relational::Database& db,
   row_info_.resize(num_tables);
   sets_.resize(num_tables);
 
-  // Global document frequencies for IDF.
-  size_t total_rows = 0;
-  std::vector<size_t> df(nk, 0);
-  for (relational::TableId t = 0; t < num_tables; ++t) {
-    total_rows += db.table(t).num_rows();
-    for (size_t k = 0; k < nk; ++k) {
-      df[k] += db.TextIndex(t).DocFreq(keywords_[k]);
-    }
-  }
-  idf_.resize(nk);
+  // Per-keyword frontiers — the query-independent (rows, tfs, idf)
+  // slices — from the shared cache when one is wired in. A nullptr
+  // frontier means the deadline expired mid-build: stop with no sets.
+  std::vector<std::shared_ptr<const TermFrontier>> frontiers(nk);
+  idf_.assign(nk, 0);
   for (size_t k = 0; k < nk; ++k) {
-    idf_[k] = std::log(1.0 + static_cast<double>(total_rows) /
-                                 (1.0 + static_cast<double>(df[k])));
+    frontiers[k] = cache != nullptr
+                       ? cache->Get(keywords_[k], deadline)
+                       : BuildTermFrontier(db, keywords_[k], deadline);
+    if (frontiers[k] == nullptr) {
+      truncated_ = true;
+      return;
+    }
+    idf_[k] = frontiers[k]->idf;
   }
 
   for (relational::TableId t = 0; t < num_tables; ++t) {
     auto& info = row_info_[t];
+    size_t touched = 0;
     for (size_t k = 0; k < nk; ++k) {
-      for (const text::Posting& p : db.TextIndex(t).GetPostings(keywords_[k])) {
-        RowInfo& ri = info[p.doc];
+      touched += frontiers[k]->tables[t].rows.size();
+    }
+    info.reserve(touched);
+    for (size_t k = 0; k < nk; ++k) {
+      const TermFrontier::TableFrontier& ft = frontiers[k]->tables[t];
+      for (size_t i = 0; i < ft.rows.size(); ++i) {
+        RowInfo& ri = info[ft.rows[i]];
         if (ri.tf.empty()) ri.tf.assign(nk, 0);
         ri.mask |= (1u << k);
-        ri.tf[k] = p.tf;
+        ri.tf[k] = ft.tfs[i];
         table_masks_[t] |= (1u << k);
       }
     }

@@ -5,7 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/cn/candidate_network.h"
+#include "core/cn/tuple_set_cache.h"
 #include "relational/database.h"
 
 namespace kws::cn {
@@ -28,9 +30,21 @@ struct ScoredRow {
 ///    document score.
 class TupleSets {
  public:
-  /// `keywords` must already be normalized tokens.
-  TupleSets(const relational::Database& db,
-            std::vector<std::string> keywords);
+  /// `keywords` must already be normalized tokens. When `cache` is
+  /// non-null the per-keyword frontiers (rows, tfs, idf) come from it —
+  /// shared across CNs within the query and across queries — otherwise
+  /// they are built directly. Either way the query-dependent masks and
+  /// scores are recomputed here with identical arithmetic, so responses
+  /// do not depend on whether a cache was wired in. A finite `deadline`
+  /// adds a cancellation point per keyword per table: on expiry
+  /// construction stops, `truncated()` turns true, and the object holds
+  /// no tuple sets (callers must not treat it as an empty answer).
+  TupleSets(const relational::Database& db, std::vector<std::string> keywords,
+            TupleSetCache* cache = nullptr, const Deadline& deadline = {});
+
+  /// True when the deadline expired during construction (tuple sets are
+  /// then absent, not merely empty).
+  bool truncated() const { return truncated_; }
 
   const std::vector<std::string>& keywords() const { return keywords_; }
   size_t num_keywords() const { return keywords_.size(); }
@@ -88,6 +102,7 @@ class TupleSets {
   std::vector<std::unordered_map<KeywordMask, std::vector<ScoredRow>>> sets_;
   std::vector<double> idf_;
   std::vector<ScoredRow> empty_;
+  bool truncated_ = false;
 };
 
 }  // namespace kws::cn

@@ -47,6 +47,7 @@ EngineResponse KeywordSearchEngine::Search(const std::string& query,
     so.k = options.k;
     so.max_cn_size = options.max_cn_size;
     so.deadline = deadline;
+    so.tuple_cache = options.tuple_cache;
     cn::SearchStats stats;
     std::vector<cn::CandidateNetwork> cns;
     for (const cn::SearchResult& r :

@@ -37,6 +37,10 @@ struct EngineOptions {
   /// `StatusCode::kDeadlineExceeded` with whatever results were already
   /// ranked. Infinite by default.
   Deadline deadline = {};
+  /// Optional shared term -> tuple-set frontier cache for the CN backend
+  /// (see `cn::TupleSetCache`). Not owned; must outlive the call.
+  /// Responses are identical with or without it.
+  cn::TupleSetCache* tuple_cache = nullptr;
 };
 
 /// One answer, rendered for display.
@@ -85,6 +89,10 @@ class KeywordSearchEngine {
   std::vector<std::string> Normalize(const std::string& query) const;
 
   const graph::RelationalGraph& data_graph() const { return graph_; }
+
+  /// The database this engine searches (what a `cn::TupleSetCache` must
+  /// be constructed over to be usable via `EngineOptions::tuple_cache`).
+  const relational::Database& db() const { return db_; }
 
  private:
   const relational::Database& db_;

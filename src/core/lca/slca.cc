@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "text/postings.h"
+
 namespace kws::lca {
 
 namespace {
 
+using text::PostingCursor;
+using text::PostingSpan;
 using xml::XmlNodeId;
 using xml::XmlTree;
 
@@ -18,31 +22,48 @@ size_t SmallestList(const std::vector<std::vector<XmlNodeId>>& lists) {
   return best;
 }
 
+/// One forward cursor per match list. The anchor sequences below are
+/// nondecreasing, so a cursor's SeekGE degenerates to an amortized single
+/// forward pass per list instead of a fresh O(log n) binary search from
+/// scratch per anchor.
+std::vector<PostingCursor> MakeCursors(
+    const std::vector<std::vector<XmlNodeId>>& lists) {
+  std::vector<PostingCursor> cursors;
+  cursors.reserve(lists.size());
+  for (const std::vector<XmlNodeId>& l : lists) {
+    cursors.emplace_back(PostingSpan(l));
+  }
+  return cursors;
+}
+
 /// Lowest ancestor of `anchor` containing a match of every list: for each
-/// list take the closest match left/right of the anchor (binary search),
-/// keep the deeper of the two LCAs, then the shallowest across lists.
+/// list take the closest match left/right of the anchor (one SeekGE gives
+/// both: the cursor value is the successor, the element left of the
+/// cursor the predecessor), keep the deeper of the two LCAs, then the
+/// shallowest across lists. Requires anchors to be fed in nondecreasing
+/// order for a given cursor set (cursors never move backwards).
 XmlNodeId LowestCaAncestor(const XmlTree& tree,
-                           const std::vector<std::vector<XmlNodeId>>& lists,
+                           std::vector<PostingCursor>& cursors,
                            size_t anchor_list, XmlNodeId anchor,
                            LcaStats* stats) {
   XmlNodeId candidate = anchor;
   uint32_t candidate_depth = tree.depth(anchor);
   bool first = true;
-  for (size_t i = 0; i < lists.size(); ++i) {
+  for (size_t i = 0; i < cursors.size(); ++i) {
     if (i == anchor_list) continue;
-    const std::vector<XmlNodeId>& list = lists[i];
-    auto it = std::lower_bound(list.begin(), list.end(), anchor);
+    PostingCursor& cur = cursors[i];
+    const bool has_successor = cur.SeekGE(anchor);
     if (stats != nullptr) ++stats->binary_searches;
     XmlNodeId best = xml::kNoXmlNode;
     uint32_t best_depth = 0;
-    if (it != list.end()) {
-      const XmlNodeId x = tree.Lca(anchor, *it);
+    if (has_successor) {
+      const XmlNodeId x = tree.Lca(anchor, cur.Value());
       if (stats != nullptr) ++stats->lca_computations;
       best = x;
       best_depth = tree.depth(x);
     }
-    if (it != list.begin()) {
-      const XmlNodeId x = tree.Lca(anchor, *(it - 1));
+    if (cur.pos() > 0) {
+      const XmlNodeId x = tree.Lca(anchor, cur.Predecessor());
       if (stats != nullptr) ++stats->lca_computations;
       if (best == xml::kNoXmlNode || tree.depth(x) > best_depth) {
         best = x;
@@ -96,14 +117,13 @@ std::vector<uint32_t> SubtreeCounts(
   return counts;
 }
 
-/// Matches of list i inside subtree(v), by binary search on the sorted
-/// match list.
+/// Matches of list i inside subtree(v) = the id range [v, SubtreeEnd(v)],
+/// via two skip-based seeks on the sorted match list.
 uint32_t RangeCount(const XmlTree& tree, const std::vector<XmlNodeId>& list,
                     XmlNodeId v, LcaStats* stats) {
   if (stats != nullptr) ++stats->binary_searches;
-  auto lo = std::lower_bound(list.begin(), list.end(), v);
-  auto hi = std::upper_bound(list.begin(), list.end(), tree.SubtreeEnd(v));
-  return static_cast<uint32_t>(hi - lo);
+  return static_cast<uint32_t>(
+      text::CountInRange(PostingSpan(list), v, tree.SubtreeEnd(v)));
 }
 
 }  // namespace
@@ -153,11 +173,15 @@ std::vector<XmlNodeId> SlcaIndexedLookupEager(
   if (lists.empty()) return {};
   const size_t anchor_list = SmallestList(lists);
   DeadlineChecker checker(deadline == nullptr ? Deadline() : *deadline);
+  std::vector<PostingCursor> cursors = MakeCursors(lists);
   std::vector<XmlNodeId> candidates;
+  candidates.reserve(lists[anchor_list].size());
+  // Anchors ascend (the anchor list is sorted), so the cursors only ever
+  // move forward: the whole sweep costs one amortized pass per list.
   for (XmlNodeId v : lists[anchor_list]) {
     if (checker.Expired()) break;  // cancellation point: partial answer
     candidates.push_back(
-        LowestCaAncestor(tree, lists, anchor_list, v, stats));
+        LowestCaAncestor(tree, cursors, anchor_list, v, stats));
   }
   return AntiChain(tree, std::move(candidates));
 }
@@ -167,7 +191,9 @@ std::vector<XmlNodeId> SlcaMultiway(
     LcaStats* stats) {
   if (lists.empty()) return {};
   const size_t k = lists.size();
-  std::vector<size_t> head(k, 0);
+  // Heads double as the probe cursors of LowestCaAncestor: both uses are
+  // monotone in the (strictly increasing) anchor sequence.
+  std::vector<PostingCursor> heads = MakeCursors(lists);
   std::vector<XmlNodeId> candidates;
   for (;;) {
     // Anchor: the maximum of the current heads.
@@ -175,25 +201,22 @@ std::vector<XmlNodeId> SlcaMultiway(
     size_t anchor_list = 0;
     bool exhausted = false;
     for (size_t i = 0; i < k; ++i) {
-      if (head[i] >= lists[i].size()) {
+      if (heads[i].AtEnd()) {
         exhausted = true;
         break;
       }
-      if (lists[i][head[i]] >= anchor) {
-        anchor = lists[i][head[i]];
+      if (heads[i].Value() >= anchor) {
+        anchor = heads[i].Value();
         anchor_list = i;
       }
     }
     if (exhausted) break;
     candidates.push_back(
-        LowestCaAncestor(tree, lists, anchor_list, anchor, stats));
+        LowestCaAncestor(tree, heads, anchor_list, anchor, stats));
     // Advance every head to the first match after the anchor.
     for (size_t i = 0; i < k; ++i) {
       if (stats != nullptr) ++stats->binary_searches;
-      head[i] = static_cast<size_t>(
-          std::upper_bound(lists[i].begin() + static_cast<long>(head[i]),
-                           lists[i].end(), anchor) -
-          lists[i].begin());
+      heads[i].SeekGE(anchor + 1);
     }
   }
   return AntiChain(tree, std::move(candidates));
@@ -237,11 +260,13 @@ std::vector<XmlNodeId> ElcaIndexed(
   const size_t k = lists.size();
   const size_t anchor_list = SmallestList(lists);
   DeadlineChecker checker(deadline == nullptr ? Deadline() : *deadline);
+  std::vector<PostingCursor> cursors = MakeCursors(lists);
   std::vector<XmlNodeId> candidates;
+  candidates.reserve(lists[anchor_list].size());
   for (XmlNodeId v : lists[anchor_list]) {
     if (checker.Expired()) break;  // cancellation point: partial answer
     candidates.push_back(
-        LowestCaAncestor(tree, lists, anchor_list, v, stats));
+        LowestCaAncestor(tree, cursors, anchor_list, v, stats));
   }
   // Candidates anchored on one list miss ELCAs whose anchor-list witness
   // sits under a CA child; add the ancestors of candidates that are CA —
@@ -301,14 +326,13 @@ std::vector<XmlNodeId> ElcaDeweyJoin(
     closures[i].erase(std::unique(closures[i].begin(), closures[i].end()),
                       closures[i].end());
   }
-  // CA set: the k-way merge intersection of the closures.
-  std::vector<XmlNodeId> ca = closures[0];
-  for (size_t i = 1; i < k; ++i) {
-    std::vector<XmlNodeId> kept;
-    std::set_intersection(ca.begin(), ca.end(), closures[i].begin(),
-                          closures[i].end(), std::back_inserter(kept));
-    ca = std::move(kept);
+  // CA set: the multi-way galloping intersection of the closures.
+  std::vector<PostingSpan> spans;
+  spans.reserve(k);
+  for (const std::vector<XmlNodeId>& c : closures) {
+    spans.emplace_back(c);
   }
+  const std::vector<XmlNodeId> ca = text::IntersectLists(spans);
   auto is_ca = [&](XmlNodeId v) {
     return std::binary_search(ca.begin(), ca.end(), v);
   };

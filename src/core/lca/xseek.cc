@@ -1,6 +1,6 @@
 #include "core/lca/xseek.h"
 
-#include <unordered_set>
+#include "text/postings.h"
 
 namespace kws::lca {
 
@@ -21,11 +21,12 @@ NodeCategory Classify(const xml::PathStatistics& stats,
 
 std::vector<KeywordRole> ClassifyKeywords(
     const XmlTree& tree, const std::vector<std::string>& keywords) {
-  std::unordered_set<std::string> tags;
-  for (XmlNodeId n = 0; n < tree.size(); ++n) tags.insert(tree.tag(n));
   std::vector<KeywordRole> roles;
+  roles.reserve(keywords.size());
   for (const std::string& k : keywords) {
-    roles.push_back(KeywordRole{k, tags.count(k) > 0});
+    // Tag-index probe: O(1) per keyword instead of a full-document sweep
+    // building a tag set per query.
+    roles.push_back(KeywordRole{k, !tree.TagNodes(k).empty()});
   }
   return roles;
 }
@@ -68,8 +69,14 @@ XSeekResult InferReturnNodes(const XmlTree& tree,
       const XmlNodeId end = tree.SubtreeEnd(scope);
       for (const KeywordRole& role : roles) {
         if (!role.is_tag_name) continue;
-        for (XmlNodeId n = scope; n <= end; ++n) {
-          if (tree.tag(n) == role.keyword) out.return_nodes.push_back(n);
+        // Matching descendants = the slice of the (sorted, doc-order)
+        // per-tag node list inside [scope, SubtreeEnd(scope)]: one seek
+        // plus the matches, instead of scanning the whole subtree.
+        const std::vector<XmlNodeId>& tagged = tree.TagNodes(role.keyword);
+        const text::PostingSpan span{tagged};
+        for (size_t i = text::SeekGE(span, 0, scope);
+             i < span.size && span[i] <= end; ++i) {
+          out.return_nodes.push_back(span[i]);
         }
       }
       if (!out.return_nodes.empty()) {

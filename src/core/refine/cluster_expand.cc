@@ -14,12 +14,12 @@ std::vector<text::DocId> Retrieve(const text::InvertedIndex& index,
                                   const std::vector<text::DocId>& universe) {
   std::vector<text::DocId> docs = universe;  // sorted
   for (const std::string& t : terms) {
-    const auto& plist = index.GetPostings(t);
+    text::PostingCursor cur{text::PostingSpan(index.GetPostings(t))};
     std::vector<text::DocId> kept;
-    size_t j = 0;
+    kept.reserve(docs.size());
     for (text::DocId d : docs) {
-      while (j < plist.size() && plist[j].doc < d) ++j;
-      if (j < plist.size() && plist[j].doc == d) kept.push_back(d);
+      if (!cur.SeekGE(d)) break;
+      if (cur.Value() == d) kept.push_back(d);
     }
     docs.swap(kept);
   }

@@ -27,7 +27,7 @@ std::vector<text::ScoredDoc> AllResults(const text::InvertedIndex& index,
 double TermWeight(const text::InvertedIndex& index, const std::string& term,
                   const std::vector<text::ScoredDoc>& results,
                   TermRanking ranking, uint64_t* scanned) {
-  const std::vector<text::Posting>& plist = index.GetPostings(term);
+  const text::PostingList& plist = index.GetPostings(term);
   double weight = 0;
   size_t i = 0;
   for (const text::Posting& p : plist) {

@@ -15,6 +15,10 @@ ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
     : relational_(relational),
       xml_(xml),
       options_(options),
+      tuple_cache_(relational != nullptr && options.tuple_cache_capacity > 0
+                       ? std::make_unique<cn::TupleSetCache>(
+                             relational->db(), options.tuple_cache_capacity)
+                       : nullptr),
       cache_(options.cache_capacity, options.cache_shards),
       submitted_(metrics_.GetCounter("serve.submitted")),
       rejected_(metrics_.GetCounter("serve.rejected")),
@@ -26,6 +30,12 @@ ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
       cache_misses_(metrics_.GetCounter("serve.cache.misses")),
       latency_(metrics_.GetHistogram("serve.latency_micros")),
       queue_wait_(metrics_.GetHistogram("serve.queue_wait_micros")) {
+  if (tuple_cache_ != nullptr) {
+    tuple_cache_->AttachCounters(
+        metrics_.GetCounter("serve.tuple_cache.hits"),
+        metrics_.GetCounter("serve.tuple_cache.misses"),
+        metrics_.GetCounter("serve.tuple_cache.evictions"));
+  }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -168,6 +178,7 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request) {
     engine::EngineOptions eo;
     eo.k = request.k;
     eo.deadline = deadline;
+    eo.tuple_cache = tuple_cache_.get();
     auto response = std::make_shared<engine::EngineResponse>(
         relational_->Search(request.query, eo));
     if (!response->status.ok()) {

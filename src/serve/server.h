@@ -69,6 +69,11 @@ struct ServeOptions {
   /// Total result-cache entries (0 disables caching).
   size_t cache_capacity = 1024;
   size_t cache_shards = 8;
+  /// Capacity of the shared term -> tuple-set frontier cache backing the
+  /// relational pipeline (0 disables it). Unlike the result cache it
+  /// helps even across *different* queries that share keywords, and it
+  /// is consulted on result-cache misses and bypass_cache requests alike.
+  size_t tuple_cache_capacity = 256;
 };
 
 /// The concurrent query-serving facade: a fixed worker pool pulling from a
@@ -119,6 +124,10 @@ class ServingEngine {
   CacheStats cache_stats() const { return cache_.stats(); }
   const ServeOptions& options() const { return options_; }
 
+  /// The shared tuple-set frontier cache; null when no relational engine
+  /// is configured or tuple_cache_capacity is 0. Exposed for tests.
+  cn::TupleSetCache* tuple_cache() const { return tuple_cache_.get(); }
+
  private:
   struct Task {
     QueryRequest request;
@@ -136,6 +145,9 @@ class ServingEngine {
   const engine::XmlKeywordSearch* xml_;
   const ServeOptions options_;
 
+  /// Term -> tuple-set frontier cache shared by all workers. The backing
+  /// database is immutable, so entries need no invalidation.
+  std::unique_ptr<cn::TupleSetCache> tuple_cache_;
   ShardedResultCache cache_;
   MetricsRegistry metrics_;
   // Instruments resolved once; hot paths touch only atomics.

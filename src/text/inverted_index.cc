@@ -2,41 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/topk.h"
 
 namespace kws::text {
 
+namespace {
+
+/// Initial capacity for a brand-new posting list. Term frequencies are
+/// Zipfian: most terms stay short, so a small reserve avoids the first
+/// couple of grow-reallocations without over-committing memory on the
+/// long vocabulary tail.
+constexpr size_t kInitialPostingCapacity = 4;
+
+}  // namespace
+
 InvertedIndex::InvertedIndex(TokenizerOptions options)
     : tokenizer_(options) {}
 
 void InvertedIndex::AddDocument(DocId doc, std::string_view content) {
-  const std::vector<std::string> tokens = tokenizer_.Tokenize(content);
-  doc_lengths_[doc] += static_cast<uint32_t>(tokens.size());
-  for (const std::string& t : tokens) {
-    std::vector<Posting>& plist = postings_[t];
-    if (!plist.empty() && plist.back().doc == doc) {
-      ++plist.back().tf;
-    } else if (!plist.empty() && plist.back().doc > doc) {
-      // Out-of-order insertion: find or insert keeping doc order.
-      auto it = std::lower_bound(
-          plist.begin(), plist.end(), doc,
-          [](const Posting& p, DocId d) { return p.doc < d; });
-      if (it != plist.end() && it->doc == doc) {
-        ++it->tf;
-      } else {
-        plist.insert(it, Posting{doc, 1});
-      }
-    } else {
-      plist.push_back(Posting{doc, 1});
-    }
+  if (doc_lengths_.size() <= doc) {
+    doc_lengths_.resize(doc + 1, 0);
+    doc_seen_.resize(doc + 1, false);
   }
+  if (!doc_seen_[doc]) {
+    doc_seen_[doc] = true;
+    ++num_docs_;
+  }
+  uint32_t added = 0;
+  tokenizer_.ForEachToken(content, [&](std::string_view token) {
+    ++added;
+    auto it = postings_.find(token);
+    if (it == postings_.end()) {
+      // First sighting of the term: the only place the string is copied.
+      it = postings_.emplace(std::string(token), PostingList()).first;
+      it->second.Reserve(kInitialPostingCapacity);
+    }
+    it->second.Add(doc);
+  });
+  doc_lengths_[doc] += added;
 }
 
-const std::vector<Posting>& InvertedIndex::GetPostings(
-    std::string_view term) const {
-  auto it = postings_.find(std::string(term));
+const PostingList& InvertedIndex::GetPostings(std::string_view term) const {
+  auto it = postings_.find(term);
   return it == postings_.end() ? empty_ : it->second;
 }
 
@@ -51,8 +59,7 @@ double InvertedIndex::Idf(std::string_view term) const {
 }
 
 uint32_t InvertedIndex::DocLength(DocId doc) const {
-  auto it = doc_lengths_.find(doc);
-  return it == doc_lengths_.end() ? 0 : it->second;
+  return doc < doc_lengths_.size() ? doc_lengths_[doc] : 0;
 }
 
 double InvertedIndex::Score(
@@ -60,12 +67,10 @@ double InvertedIndex::Score(
   double score = 0;
   const double len = std::max<uint32_t>(DocLength(doc), 1);
   for (const std::string& t : query_terms) {
-    const std::vector<Posting>& plist = GetPostings(t);
-    auto it = std::lower_bound(
-        plist.begin(), plist.end(), doc,
-        [](const Posting& p, DocId d) { return p.doc < d; });
-    if (it != plist.end() && it->doc == doc) {
-      const double tf = 1.0 + std::log(static_cast<double>(it->tf));
+    const PostingList& plist = GetPostings(t);
+    const size_t i = SeekGE(PostingSpan(plist), 0, doc);
+    if (i < plist.size() && plist.doc(i) == doc) {
+      const double tf = 1.0 + std::log(static_cast<double>(plist.tf(i)));
       score += tf * Idf(t);
     }
   }
@@ -100,24 +105,12 @@ std::vector<ScoredDoc> InvertedIndex::SearchConjunctive(std::string_view query,
                                                         size_t k) const {
   const std::vector<std::string> terms = tokenizer_.Tokenize(query);
   if (terms.empty() || k == 0) return {};
-  // Intersect postings starting from the rarest term.
-  std::vector<std::string> ordered = terms;
-  std::sort(ordered.begin(), ordered.end(),
-            [this](const std::string& a, const std::string& b) {
-              return DocFreq(a) < DocFreq(b);
-            });
-  std::vector<DocId> docs;
-  for (const Posting& p : GetPostings(ordered[0])) docs.push_back(p.doc);
-  for (size_t i = 1; i < ordered.size() && !docs.empty(); ++i) {
-    const std::vector<Posting>& plist = GetPostings(ordered[i]);
-    std::vector<DocId> kept;
-    size_t j = 0;
-    for (DocId d : docs) {
-      while (j < plist.size() && plist[j].doc < d) ++j;
-      if (j < plist.size() && plist[j].doc == d) kept.push_back(d);
-    }
-    docs.swap(kept);
+  std::vector<PostingSpan> spans;
+  spans.reserve(terms.size());
+  for (const std::string& t : terms) {
+    spans.emplace_back(GetPostings(t));
   }
+  const std::vector<DocId> docs = IntersectLists(spans);
   TopK<DocId> top(k);
   for (DocId d : docs) top.Offer(Score(d, terms), d);
   std::vector<ScoredDoc> out;

@@ -7,19 +7,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/strings.h"
+#include "text/postings.h"
 #include "text/tokenizer.h"
 
 namespace kws::text {
-
-/// Generic document id: relational tuples, graph nodes and XML elements are
-/// all indexed through this one structure by assigning them dense ids.
-using DocId = uint32_t;
-
-/// One posting: a document and the term's frequency in it.
-struct Posting {
-  DocId doc = 0;
-  uint32_t tf = 0;
-};
 
 /// A scored document, as returned by ranked retrieval.
 struct ScoredDoc {
@@ -31,23 +23,31 @@ struct ScoredDoc {
 /// document collection. This is the full-text substrate every keyword
 /// search module builds on (tutorial slide 144: "TF/IDF adaptation:
 /// a document -> a node or a result").
+///
+/// Postings are flat columnar `PostingList`s (strictly increasing doc
+/// array + parallel tf array + block skip pointers), so retrieval builds
+/// on the `SeekGE` / galloping-intersection kernels of `text/postings.h`
+/// instead of per-term linear scans.
 class InvertedIndex {
  public:
   explicit InvertedIndex(TokenizerOptions options = {});
 
   /// Indexes `content` under document id `doc`. May be called repeatedly
-  /// for the same doc (fields are concatenated logically).
+  /// for the same doc (fields are concatenated logically). Tokens stream
+  /// through `Tokenizer::ForEachToken`; a term's string is copied only
+  /// the first time the term is seen.
   void AddDocument(DocId doc, std::string_view content);
 
   /// Number of indexed documents.
-  size_t num_docs() const { return doc_lengths_.size(); }
+  size_t num_docs() const { return num_docs_; }
 
   /// Number of distinct terms.
   size_t num_terms() const { return postings_.size(); }
 
   /// Postings for `term` (already normalized), in increasing doc order;
-  /// empty when the term is unknown.
-  const std::vector<Posting>& GetPostings(std::string_view term) const;
+  /// empty when the term is unknown. Heterogeneous lookup: no string is
+  /// materialized for the probe.
+  const PostingList& GetPostings(std::string_view term) const;
 
   /// Document frequency of `term`.
   size_t DocFreq(std::string_view term) const;
@@ -68,6 +68,8 @@ class InvertedIndex {
 
   /// As Search, but keeps only documents containing every query term
   /// (AND semantics — the default assumed throughout the tutorial).
+  /// Candidate docs come from the multi-way galloping intersection
+  /// kernel, so the cost tracks the rarest term, not the corpus.
   std::vector<ScoredDoc> SearchConjunctive(std::string_view query,
                                            size_t k) const;
 
@@ -79,9 +81,17 @@ class InvertedIndex {
 
  private:
   Tokenizer tokenizer_;
-  std::unordered_map<std::string, std::vector<Posting>> postings_;
-  std::unordered_map<DocId, uint32_t> doc_lengths_;
-  std::vector<Posting> empty_;
+  std::unordered_map<std::string, PostingList, StringHash, std::equal_to<>>
+      postings_;
+  /// Dense doc id -> indexed token count. Docs are dense by construction
+  /// (rows, graph nodes, XML preorder ids), so a flat array beats a hash
+  /// map on the per-row scoring paths.
+  std::vector<uint32_t> doc_lengths_;
+  /// Tracks which dense ids have been added, so `num_docs()` counts
+  /// documents (including empty ones), not array capacity.
+  std::vector<bool> doc_seen_;
+  size_t num_docs_ = 0;
+  PostingList empty_;
 };
 
 }  // namespace kws::text

@@ -1,0 +1,196 @@
+#ifndef KWDB_TEXT_POSTINGS_H_
+#define KWDB_TEXT_POSTINGS_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+namespace kws::text {
+
+/// Generic document id: relational tuples, graph nodes and XML elements
+/// are all indexed through the same posting machinery by assigning them
+/// dense ids. XML node ids are preorder ids, so "sorted by DocId" is
+/// document order there too.
+using DocId = uint32_t;
+
+/// One posting, as handed out by the value-iteration API. The storage
+/// below is columnar (struct-of-arrays); `Posting` is the row view.
+struct Posting {
+  DocId doc = 0;
+  uint32_t tf = 0;
+};
+
+/// Flat columnar posting storage for one term: a strictly increasing doc
+/// array, a parallel term-frequency array, and block skip pointers
+/// (`skips()[b]` = last doc id of block `b`, blocks of `kSkipBlockSize`
+/// docs). The skip table is maintained incrementally on in-order appends
+/// and rebuilt on the rare out-of-order insert, so it is always
+/// consistent and the structure is safely shareable read-only across
+/// threads once built.
+///
+/// Invariant: `docs()` is strictly increasing — `Add` asserts it in debug
+/// builds, and every seek primitive below relies on it.
+class PostingList {
+ public:
+  /// Docs per skip block. 64 keeps a block in one cache line and makes
+  /// the skip table ~1.5% of the doc array.
+  static constexpr size_t kSkipBlockSize = 64;
+
+  /// Records one occurrence of the term in `doc`. Repeated calls for the
+  /// current last doc bump its tf in place (the common case: tokens of
+  /// one document arrive together). A doc id below the current tail is
+  /// inserted in order (and bumps tf if present) — rare, and it pays an
+  /// O(n) insert plus a skip-table rebuild.
+  void Add(DocId doc);
+
+  /// Pre-sizes the arrays for `expected` postings.
+  void Reserve(size_t expected) {
+    docs_.reserve(expected);
+    tfs_.reserve(expected);
+  }
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  DocId doc(size_t i) const { return docs_[i]; }
+  uint32_t tf(size_t i) const { return tfs_[i]; }
+  Posting operator[](size_t i) const { return Posting{docs_[i], tfs_[i]}; }
+
+  const std::vector<DocId>& docs() const { return docs_; }
+  const std::vector<uint32_t>& tfs() const { return tfs_; }
+  const std::vector<DocId>& skips() const { return skips_; }
+
+  /// Value iterator so call sites keep the idiomatic
+  /// `for (const Posting& p : index.GetPostings(term))` loop over the
+  /// columnar storage.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Posting;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Posting*;
+    using reference = Posting;
+
+    const_iterator(const PostingList* list, size_t i) : list_(list), i_(i) {}
+    Posting operator*() const { return (*list_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const PostingList* list_;
+    size_t i_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+
+ private:
+  void RebuildSkips();
+
+  std::vector<DocId> docs_;
+  std::vector<uint32_t> tfs_;
+  std::vector<DocId> skips_;
+};
+
+/// A non-owning view of a sorted doc-id array, with an optional skip
+/// table. This is the common currency of the seek/intersect/union
+/// kernels: inverted-index postings, XML keyword match lists and XML tag
+/// lists all wrap into it without copying.
+struct PostingSpan {
+  const DocId* data = nullptr;
+  size_t size = 0;
+  /// Optional block-last-doc table (blocks of PostingList::kSkipBlockSize);
+  /// null means the kernels fall back to pure galloping.
+  const DocId* skips = nullptr;
+  size_t num_skips = 0;
+
+  PostingSpan() = default;
+  /// Wraps a plain sorted vector (no skip table).
+  explicit PostingSpan(const std::vector<DocId>& v)
+      : data(v.data()), size(v.size()) {}
+  /// Wraps a PostingList including its skip table.
+  explicit PostingSpan(const PostingList& list)
+      : data(list.docs().data()),
+        size(list.size()),
+        skips(list.skips().data()),
+        num_skips(list.skips().size()) {}
+
+  bool empty() const { return size == 0; }
+  DocId operator[](size_t i) const { return data[i]; }
+};
+
+/// Reference seek: linear scan from `from` to the first index whose doc
+/// is >= `target` (`span.size` when none). The oracle the fast kernels
+/// are fuzz-tested against, and the "linear scan" baseline of E20.
+size_t SeekGELinear(const PostingSpan& span, size_t from, DocId target);
+
+/// Skip-based galloping seek: first index in `[from, size)` whose doc is
+/// >= `target`, in O(log gap) where gap is the distance advanced. Uses
+/// the skip table to jump whole blocks when present, then gallops and
+/// binary-searches within the narrowed range. Never looks left of `from`.
+size_t SeekGE(const PostingSpan& span, size_t from, DocId target);
+
+/// A stateful forward cursor over one posting span. `SeekGE` never moves
+/// backwards, which is what turns the SLCA/ELCA "smallest next match"
+/// probe sequence into one amortized forward pass per list.
+class PostingCursor {
+ public:
+  PostingCursor() = default;
+  explicit PostingCursor(PostingSpan span) : span_(span) {}
+
+  bool AtEnd() const { return pos_ >= span_.size; }
+  /// Current doc id; requires !AtEnd().
+  DocId Value() const { return span_.data[pos_]; }
+  size_t pos() const { return pos_; }
+  const PostingSpan& span() const { return span_; }
+
+  void Advance() { ++pos_; }
+
+  /// Positions the cursor at the first element >= `target` at or after
+  /// the current position; returns false (cursor at end) when no such
+  /// element exists. Monotone: targets below the current value are
+  /// answered in O(1) without moving.
+  bool SeekGE(DocId target) {
+    pos_ = text::SeekGE(span_, pos_, target);
+    return pos_ < span_.size;
+  }
+
+  /// Doc id immediately left of the cursor (the largest doc < the last
+  /// SeekGE target when the cursor just sought); requires pos() > 0.
+  DocId Predecessor() const { return span_.data[pos_ - 1]; }
+
+ private:
+  PostingSpan span_;
+  size_t pos_ = 0;
+};
+
+/// Number of elements of `span` in the inclusive doc range [lo, hi],
+/// via two skip-based seeks.
+size_t CountInRange(const PostingSpan& span, DocId lo, DocId hi);
+
+/// Multi-way intersection of sorted lists by cooperative galloping: the
+/// candidate doc is raised to the max of the per-list successors until
+/// all lists agree. Runs in O(k * |smallest| * log |largest| / ...) —
+/// sublinear in the long lists when lengths are skewed. Empty input
+/// (`lists.empty()`) yields the empty set.
+std::vector<DocId> IntersectLists(const std::vector<PostingSpan>& lists);
+
+/// Reference intersection: pairwise linear merge (the oracle / baseline).
+std::vector<DocId> IntersectListsLinear(const std::vector<PostingSpan>& lists);
+
+/// Multi-way union (deduplicated) by repeated min-scan over the cursors;
+/// k is small everywhere we union, so no heap is used.
+std::vector<DocId> UnionLists(const std::vector<PostingSpan>& lists);
+
+/// Reference union: pairwise linear merge (the oracle / baseline).
+std::vector<DocId> UnionListsLinear(const std::vector<PostingSpan>& lists);
+
+}  // namespace kws::text
+
+#endif  // KWDB_TEXT_POSTINGS_H_

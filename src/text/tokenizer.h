@@ -1,10 +1,13 @@
 #ifndef KWDB_TEXT_TOKENIZER_H_
 #define KWDB_TEXT_TOKENIZER_H_
 
+#include <cctype>
 #include <string>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
+
+#include "common/strings.h"
 
 namespace kws::text {
 
@@ -28,12 +31,41 @@ class Tokenizer {
   /// Tokenizes `input`, applying the configured normalization.
   std::vector<std::string> Tokenize(std::string_view input) const;
 
-  /// True when `word` (already lower-case) is a stopword.
+  /// Streaming tokenization: invokes `fn(std::string_view token)` for each
+  /// normalized token without materializing a `std::vector<std::string>`.
+  /// The view is only valid during the callback (it aliases an internal
+  /// buffer that is reused between tokens) — copy it if it must outlive
+  /// the call. This is the allocation-free path index construction uses.
+  template <typename Fn>
+  void ForEachToken(std::string_view input, Fn&& fn) const {
+    std::string current;
+    auto flush = [&] {
+      if (current.size() >= options_.min_token_length &&
+          !(options_.drop_stopwords && IsStopword(current))) {
+        fn(std::string_view(current));
+      }
+      current.clear();
+    };
+    for (char raw : input) {
+      unsigned char c = static_cast<unsigned char>(raw);
+      if (std::isalnum(c)) {
+        current.push_back(options_.lowercase
+                              ? static_cast<char>(std::tolower(c))
+                              : raw);
+      } else {
+        if (!current.empty()) flush();
+      }
+    }
+    if (!current.empty()) flush();
+  }
+
+  /// True when `word` (already lower-case) is a stopword. Heterogeneous
+  /// lookup: no string is materialized.
   bool IsStopword(std::string_view word) const;
 
  private:
   TokenizerOptions options_;
-  std::unordered_set<std::string> stopwords_;
+  std::unordered_set<std::string, StringHash, std::equal_to<>> stopwords_;
 };
 
 }  // namespace kws::text

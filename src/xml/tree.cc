@@ -21,6 +21,9 @@ XmlNodeId XmlTree::AddElement(XmlNodeId parent, std::string tag) {
   }
 #endif
   tags_.push_back(std::move(tag));
+  // Ids are assigned in ascending preorder, so appending keeps every
+  // per-tag node list sorted in document order for free.
+  tag_index_[tags_.back()].push_back(id);
   texts_.emplace_back();
   parents_.push_back(parent);
   children_.emplace_back();
@@ -89,17 +92,27 @@ void XmlTree::BuildKeywordIndex() {
   }
   keyword_index_.clear();
   for (XmlNodeId n = 0; n < texts_.size(); ++n) {
-    for (const std::string& t : tokenizer_.Tokenize(texts_[n])) {
-      std::vector<XmlNodeId>& nodes = keyword_index_[t];
+    tokenizer_.ForEachToken(texts_[n], [&](std::string_view t) {
+      auto it = keyword_index_.find(t);
+      if (it == keyword_index_.end()) {
+        it = keyword_index_.emplace(std::string(t), std::vector<XmlNodeId>())
+                 .first;
+      }
+      std::vector<XmlNodeId>& nodes = it->second;
       if (nodes.empty() || nodes.back() != n) nodes.push_back(n);
-    }
+    });
   }
 }
 
 const std::vector<XmlNodeId>& XmlTree::MatchNodes(
-    const std::string& term) const {
+    std::string_view term) const {
   auto it = keyword_index_.find(term);
   return it == keyword_index_.end() ? empty_ : it->second;
+}
+
+const std::vector<XmlNodeId>& XmlTree::TagNodes(std::string_view tag) const {
+  auto it = tag_index_.find(tag);
+  return it == tag_index_.end() ? empty_ : it->second;
 }
 
 std::vector<std::string> XmlTree::Vocabulary() const {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/strings.h"
 #include "text/tokenizer.h"
 
 namespace kws::xml {
@@ -67,7 +68,15 @@ class XmlTree {
   void BuildKeywordIndex();
 
   /// Nodes directly containing `term`; sorted in document order.
-  const std::vector<XmlNodeId>& MatchNodes(const std::string& term) const;
+  /// Heterogeneous lookup: no string is materialized for the probe.
+  const std::vector<XmlNodeId>& MatchNodes(std::string_view term) const;
+
+  /// Nodes whose tag is exactly `tag`; sorted in document order.
+  /// Maintained incrementally by AddElement (preorder ids ascend), so it
+  /// is available before BuildKeywordIndex. This is what lets query
+  /// classification and return-node inference probe tags in O(log n)
+  /// instead of sweeping every node.
+  const std::vector<XmlNodeId>& TagNodes(std::string_view tag) const;
 
   /// All distinct indexed terms.
   std::vector<std::string> Vocabulary() const;
@@ -82,7 +91,12 @@ class XmlTree {
   std::vector<std::vector<XmlNodeId>> children_;
   std::vector<uint32_t> depths_;
   std::vector<Dewey> deweys_;
-  std::unordered_map<std::string, std::vector<XmlNodeId>> keyword_index_;
+  std::unordered_map<std::string, std::vector<XmlNodeId>, StringHash,
+                     std::equal_to<>>
+      keyword_index_;
+  std::unordered_map<std::string, std::vector<XmlNodeId>, StringHash,
+                     std::equal_to<>>
+      tag_index_;
   std::vector<XmlNodeId> subtree_end_;
   std::vector<XmlNodeId> empty_;
   text::Tokenizer tokenizer_;

@@ -1,0 +1,284 @@
+// Oracle tests for the posting-list kernels: every fast primitive
+// (skip/gallop SeekGE, cursor, multi-way intersection/union, range count)
+// is compared against its brute-force linear reference over random seeds
+// and adversarial shapes (empty, one element, all-equal positions,
+// disjoint ranges, 1:10000 length skew), following the fuzz_test.cc
+// pattern.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "text/postings.h"
+
+namespace kws::text {
+namespace {
+
+// ------------------------------------------------------- shape generators
+
+/// A random strictly increasing doc array of `len` elements drawn from
+/// [0, universe). A `len` above `universe` is clamped to it (the fully
+/// dense list — itself a useful adversarial shape).
+std::vector<DocId> RandomSortedList(Rng& rng, size_t len, uint32_t universe) {
+  len = std::min<size_t>(len, universe);
+  std::set<DocId> s;
+  while (s.size() < len) {
+    s.insert(static_cast<DocId>(rng.Uniform(universe)));
+  }
+  return std::vector<DocId>(s.begin(), s.end());
+}
+
+PostingList MakeList(const std::vector<DocId>& docs) {
+  PostingList list;
+  for (DocId d : docs) list.Add(d);
+  return list;
+}
+
+// --------------------------------------------------------------- PostingList
+
+TEST(PostingListTest, AddBumpsTfForRepeatedDoc) {
+  PostingList list;
+  list.Add(7);
+  list.Add(7);
+  list.Add(9);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.doc(0), 7u);
+  EXPECT_EQ(list.tf(0), 2u);
+  EXPECT_EQ(list.tf(1), 1u);
+}
+
+TEST(PostingListTest, OutOfOrderInsertKeepsOrderAndSkips) {
+  PostingList list;
+  for (DocId d = 0; d < 200; d += 2) list.Add(d);
+  list.Add(131);  // out of order
+  list.Add(131);  // now a tf bump via the ordered-insert path
+  ASSERT_EQ(list.size(), 101u);
+  EXPECT_TRUE(std::is_sorted(list.docs().begin(), list.docs().end()));
+  // Skip table must be consistent after the rebuild: block b's entry is
+  // the last doc of block b.
+  const size_t bs = PostingList::kSkipBlockSize;
+  ASSERT_EQ(list.skips().size(), (list.size() + bs - 1) / bs);
+  for (size_t b = 0; b < list.skips().size(); ++b) {
+    const size_t last = std::min((b + 1) * bs, list.size()) - 1;
+    EXPECT_EQ(list.skips()[b], list.doc(last)) << "block " << b;
+  }
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(list.docs().begin(), list.docs().end(), 131) -
+      list.docs().begin());
+  EXPECT_EQ(list.tf(i), 2u);
+}
+
+TEST(PostingListTest, IncrementalSkipsMatchRebuild) {
+  Rng rng(7);
+  PostingList list;
+  DocId next = 0;
+  for (int i = 0; i < 1000; ++i) {
+    next += static_cast<DocId>(1 + rng.Uniform(5));
+    list.Add(next);
+  }
+  const size_t bs = PostingList::kSkipBlockSize;
+  ASSERT_EQ(list.skips().size(), (list.size() + bs - 1) / bs);
+  for (size_t b = 0; b < list.skips().size(); ++b) {
+    const size_t last = std::min((b + 1) * bs, list.size()) - 1;
+    EXPECT_EQ(list.skips()[b], list.doc(last)) << "block " << b;
+  }
+}
+
+TEST(PostingListTest, ValueIterationMatchesColumns) {
+  PostingList list;
+  list.Add(3);
+  list.Add(3);
+  list.Add(8);
+  size_t i = 0;
+  for (const Posting& p : list) {
+    EXPECT_EQ(p.doc, list.doc(i));
+    EXPECT_EQ(p.tf, list.tf(i));
+    ++i;
+  }
+  EXPECT_EQ(i, list.size());
+}
+
+// ------------------------------------------------------------------ SeekGE
+
+class SeekFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeekFuzzTest, SeekGEMatchesLinearOracle) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = rng.Uniform(300);
+    const uint32_t universe = 1 + static_cast<uint32_t>(rng.Uniform(2000));
+    const std::vector<DocId> docs = RandomSortedList(rng, len, universe);
+    const PostingList list = MakeList(docs);
+    // Probe both the skip-table span and the bare vector span.
+    const PostingSpan spans[] = {PostingSpan(list), PostingSpan(docs)};
+    for (const PostingSpan& span : spans) {
+      for (int probe = 0; probe < 40; ++probe) {
+        const size_t from = rng.Uniform(len + 2);
+        const DocId target = static_cast<DocId>(rng.Uniform(universe + 2));
+        EXPECT_EQ(SeekGE(span, from, target),
+                  SeekGELinear(span, from, target))
+            << "len=" << len << " from=" << from << " target=" << target;
+      }
+      // Boundary targets.
+      EXPECT_EQ(SeekGE(span, 0, 0), SeekGELinear(span, 0, 0));
+      EXPECT_EQ(SeekGE(span, 0, UINT32_MAX),
+                SeekGELinear(span, 0, UINT32_MAX));
+    }
+  }
+}
+
+TEST_P(SeekFuzzTest, CursorMatchesLowerBoundOnMonotoneProbes) {
+  Rng rng(GetParam() + 500);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t len = 1 + rng.Uniform(400);
+    const std::vector<DocId> docs = RandomSortedList(rng, len, 5000);
+    const PostingList list = MakeList(docs);
+    PostingCursor cur{PostingSpan(list)};
+    // Nondecreasing probe sequence, as the LCA algorithms issue.
+    DocId target = 0;
+    size_t prev_pos = 0;
+    for (int probe = 0; probe < 60; ++probe) {
+      target += static_cast<DocId>(rng.Uniform(200));
+      const bool found = cur.SeekGE(target);
+      const auto it = std::lower_bound(docs.begin(), docs.end(), target);
+      EXPECT_EQ(found, it != docs.end());
+      EXPECT_EQ(cur.pos(), static_cast<size_t>(it - docs.begin()));
+      // Forward-only: the cursor never moves backwards.
+      EXPECT_GE(cur.pos(), prev_pos);
+      prev_pos = cur.pos();
+      if (cur.pos() > 0) {
+        EXPECT_EQ(cur.Predecessor(), *(it - 1));
+      }
+    }
+  }
+}
+
+TEST_P(SeekFuzzTest, CountInRangeMatchesStdCount) {
+  Rng rng(GetParam() + 900);
+  for (int trial = 0; trial < 150; ++trial) {
+    const size_t len = rng.Uniform(300);
+    const std::vector<DocId> docs = RandomSortedList(rng, len, 1000);
+    const PostingList list = MakeList(docs);
+    const DocId a = static_cast<DocId>(rng.Uniform(1100));
+    const DocId b = static_cast<DocId>(rng.Uniform(1100));
+    const DocId lo = std::min(a, b), hi = std::max(a, b);
+    const size_t expected = static_cast<size_t>(
+        std::count_if(docs.begin(), docs.end(),
+                      [&](DocId d) { return d >= lo && d <= hi; }));
+    EXPECT_EQ(CountInRange(PostingSpan(list), lo, hi), expected);
+    EXPECT_EQ(CountInRange(PostingSpan(list), hi, lo),
+              lo == hi ? expected : 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeekFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+// ------------------------------------------------- intersection and union
+
+class SetOpFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SetOpFuzzTest, IntersectMatchesLinearOracle) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 120; ++trial) {
+    const size_t num_lists = 2 + rng.Uniform(4);  // 2..5 lists
+    std::vector<std::vector<DocId>> docs(num_lists);
+    std::vector<PostingList> lists(num_lists);
+    for (size_t i = 0; i < num_lists; ++i) {
+      docs[i] = RandomSortedList(rng, rng.Uniform(200), 400);
+      lists[i] = MakeList(docs[i]);
+    }
+    std::vector<PostingSpan> spans;
+    for (const PostingList& l : lists) spans.emplace_back(l);
+    EXPECT_EQ(IntersectLists(spans), IntersectListsLinear(spans));
+  }
+}
+
+TEST_P(SetOpFuzzTest, UnionMatchesLinearOracle) {
+  Rng rng(GetParam() + 250);
+  for (int trial = 0; trial < 120; ++trial) {
+    const size_t num_lists = 1 + rng.Uniform(5);
+    std::vector<std::vector<DocId>> docs(num_lists);
+    std::vector<PostingList> lists(num_lists);
+    for (size_t i = 0; i < num_lists; ++i) {
+      docs[i] = RandomSortedList(rng, rng.Uniform(150), 300);
+      lists[i] = MakeList(docs[i]);
+    }
+    std::vector<PostingSpan> spans;
+    for (const PostingList& l : lists) spans.emplace_back(l);
+    EXPECT_EQ(UnionLists(spans), UnionListsLinear(spans));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetOpFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+// ------------------------------------------------------ adversarial shapes
+
+TEST(SetOpShapeTest, EmptyInputs) {
+  EXPECT_TRUE(IntersectLists({}).empty());
+  EXPECT_TRUE(UnionLists({}).empty());
+  const std::vector<DocId> some = {1, 5, 9};
+  const std::vector<DocId> none;
+  std::vector<PostingSpan> spans{PostingSpan(some), PostingSpan(none)};
+  EXPECT_TRUE(IntersectLists(spans).empty());
+  EXPECT_EQ(UnionLists(spans), some);
+}
+
+TEST(SetOpShapeTest, SingleElementLists) {
+  const std::vector<DocId> a = {42};
+  const std::vector<DocId> b = {42};
+  const std::vector<DocId> c = {41};
+  EXPECT_EQ(IntersectLists({PostingSpan(a), PostingSpan(b)}),
+            std::vector<DocId>{42});
+  EXPECT_TRUE(IntersectLists({PostingSpan(a), PostingSpan(c)}).empty());
+  EXPECT_EQ(UnionLists({PostingSpan(a), PostingSpan(c)}),
+            (std::vector<DocId>{41, 42}));
+}
+
+TEST(SetOpShapeTest, IdenticalLists) {
+  std::vector<DocId> a;
+  for (DocId d = 0; d < 500; d += 3) a.push_back(d);
+  std::vector<PostingSpan> spans{PostingSpan(a), PostingSpan(a),
+                                 PostingSpan(a)};
+  EXPECT_EQ(IntersectLists(spans), a);
+  EXPECT_EQ(UnionLists(spans), a);
+}
+
+TEST(SetOpShapeTest, DisjointRanges) {
+  std::vector<DocId> lo, hi;
+  for (DocId d = 0; d < 100; ++d) lo.push_back(d);
+  for (DocId d = 10000; d < 10100; ++d) hi.push_back(d);
+  std::vector<PostingSpan> spans{PostingSpan(lo), PostingSpan(hi)};
+  EXPECT_TRUE(IntersectLists(spans).empty());
+  EXPECT_EQ(UnionLists(spans).size(), 200u);
+}
+
+TEST(SetOpShapeTest, ExtremeSkew1To10000) {
+  // A 3-element needle against a 30000-element haystack: the galloping
+  // kernel must match the linear oracle exactly (and, by construction,
+  // touch only O(log) of the long list per needle element).
+  std::vector<DocId> needle = {1, 14999, 29998};
+  std::vector<DocId> haystack;
+  haystack.reserve(30000);
+  for (DocId d = 0; d < 30000; ++d) haystack.push_back(d);
+  const PostingList hay_list = MakeList(haystack);
+  std::vector<PostingSpan> spans{PostingSpan(needle), PostingSpan(hay_list)};
+  EXPECT_EQ(IntersectLists(spans), needle);
+  EXPECT_EQ(IntersectLists(spans), IntersectListsLinear(spans));
+}
+
+TEST(SetOpShapeTest, MaxDocIdBoundary) {
+  const std::vector<DocId> a = {0, UINT32_MAX};
+  const std::vector<DocId> b = {UINT32_MAX};
+  EXPECT_EQ(IntersectLists({PostingSpan(a), PostingSpan(b)}),
+            std::vector<DocId>{UINT32_MAX});
+  EXPECT_EQ(UnionLists({PostingSpan(a), PostingSpan(b)}), a);
+  EXPECT_EQ(CountInRange(PostingSpan(a), 0, UINT32_MAX), 2u);
+}
+
+}  // namespace
+}  // namespace kws::text

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "core/cn/tuple_set_cache.h"
+#include "core/cn/tuple_sets.h"
 #include "core/engine/engine.h"
 #include "core/engine/xml_engine.h"
 #include "relational/dblp.h"
@@ -426,6 +428,130 @@ TEST_F(ServeTest, ClosedLoopScheduleIsSeedDeterministic) {
   EXPECT_EQ(a.ok, b.ok);
   EXPECT_EQ(a.cache_hits, b.cache_hits);
   EXPECT_GT(a.cache_hits, 0u);  // Zipf replay repeats popular queries
+}
+
+// ---------------------------------------------------------------------------
+// Tuple-set frontier cache: term-level reuse across queries, capacity
+// bounds, and the complete-answers-only rule under deadlines.
+
+TEST_F(ServeTest, TupleCacheHitsAcrossQueriesSharingTerms) {
+  ServeOptions so;
+  so.num_workers = 1;
+  so.cache_capacity = 0;  // isolate the tuple cache from the result cache
+  ServingEngine server(engine_, xml_engine_, so);
+  ASSERT_NE(server.tuple_cache(), nullptr);
+
+  QueryRequest req;
+  req.query = "keyword search";
+  ASSERT_TRUE(server.Query(req).status.ok());
+  const uint64_t misses_after_first =
+      server.metrics().GetCounter("serve.tuple_cache.misses")->value();
+  EXPECT_GT(misses_after_first, 0u);
+  EXPECT_EQ(server.metrics().GetCounter("serve.tuple_cache.hits")->value(),
+            0u);
+
+  // A *different* query sharing the term "keyword": the result cache
+  // cannot help (different key), the term cache must.
+  req.query = "keyword";
+  ASSERT_TRUE(server.Query(req).status.ok());
+  EXPECT_GT(server.metrics().GetCounter("serve.tuple_cache.hits")->value(),
+            0u);
+  EXPECT_EQ(server.metrics().GetCounter("serve.tuple_cache.misses")->value(),
+            misses_after_first);
+}
+
+TEST_F(ServeTest, TupleCacheRepeatQueryIsAllHits) {
+  ServeOptions so;
+  so.num_workers = 1;
+  so.cache_capacity = 0;
+  ServingEngine server(engine_, xml_engine_, so);
+  QueryRequest req;
+  req.query = "keyword search";
+  ASSERT_TRUE(server.Query(req).status.ok());
+  const uint64_t misses =
+      server.metrics().GetCounter("serve.tuple_cache.misses")->value();
+  ASSERT_TRUE(server.Query(req).status.ok());
+  // The repeat resolved every term from the cache: no new misses.
+  EXPECT_EQ(server.metrics().GetCounter("serve.tuple_cache.misses")->value(),
+            misses);
+  EXPECT_GE(server.metrics().GetCounter("serve.tuple_cache.hits")->value(),
+            misses);
+}
+
+TEST_F(ServeTest, TupleCacheCapacityBoundEvicts) {
+  ServeOptions so;
+  so.num_workers = 1;
+  so.cache_capacity = 0;
+  so.tuple_cache_capacity = 1;  // a two-term query must evict
+  ServingEngine server(engine_, xml_engine_, so);
+  QueryRequest req;
+  req.query = "keyword search";
+  ASSERT_TRUE(server.Query(req).status.ok());
+  EXPECT_GE(
+      server.metrics().GetCounter("serve.tuple_cache.evictions")->value(),
+      1u);
+  ASSERT_NE(server.tuple_cache(), nullptr);
+  EXPECT_EQ(server.tuple_cache()->size(), 1u);
+}
+
+TEST_F(ServeTest, TupleCacheDisabledByZeroCapacity) {
+  ServeOptions so;
+  so.num_workers = 1;
+  so.tuple_cache_capacity = 0;
+  ServingEngine server(engine_, xml_engine_, so);
+  EXPECT_EQ(server.tuple_cache(), nullptr);
+  // Queries still work, just without term reuse.
+  QueryRequest req;
+  req.query = "keyword search";
+  EXPECT_TRUE(server.Query(req).status.ok());
+}
+
+TEST_F(ServeTest, TupleCacheNeverStoresDeadlineTruncatedBuilds) {
+  cn::TupleSetCache cache(*dblp_->db, 8);
+  // An already-expired deadline aborts the frontier build: the caller
+  // gets nullptr and nothing is inserted.
+  EXPECT_EQ(cache.Get("keyword", Deadline::AfterMicros(0)), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // The same term with budget builds and caches a complete frontier.
+  auto frontier = cache.Get("keyword");
+  ASSERT_NE(frontier, nullptr);
+  EXPECT_GT(frontier->num_rows, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+
+  // And the truncated attempt did not poison it: a re-Get hits.
+  EXPECT_EQ(cache.Get("keyword"), frontier);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(ServeTest, TupleSetsIdenticalWithAndWithoutCache) {
+  // The cached path must reproduce the uncached TupleSets bit for bit:
+  // same masks, same scores, same set contents.
+  const std::vector<std::string> keywords = {"keyword", "search"};
+  cn::TupleSets plain(*dblp_->db, keywords);
+  cn::TupleSetCache cache(*dblp_->db, 8);
+  cn::TupleSets warm(*dblp_->db, keywords, &cache);   // fills the cache
+  cn::TupleSets cached(*dblp_->db, keywords, &cache);  // all hits
+  EXPECT_GT(cache.stats().hits, 0u);
+  for (size_t k = 0; k < keywords.size(); ++k) {
+    EXPECT_DOUBLE_EQ(plain.Idf(k), cached.Idf(k));
+  }
+  const size_t num_tables = dblp_->db->num_tables();
+  for (relational::TableId t = 0; t < num_tables; ++t) {
+    ASSERT_EQ(plain.table_mask(t), cached.table_mask(t));
+    for (cn::KeywordMask mask = 1; mask < (1u << keywords.size()); ++mask) {
+      const auto& a = plain.Get(t, mask);
+      const auto& b = cached.Get(t, mask);
+      ASSERT_EQ(a.size(), b.size()) << "t=" << t << " mask=" << mask;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].row, b[i].row);
+        EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+      }
+    }
+  }
 }
 
 TEST_F(ServeTest, MetricsRenderAfterServing) {
