@@ -11,13 +11,15 @@ cmake --preset default
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure
 
-echo "== tier 2: ThreadSanitizer (serve_test, common_test) =="
+echo "== tier 2: ThreadSanitizer (serve_test, common_test, cn_parallel_test) =="
 cmake --preset tsan
-cmake --build build-tsan -j "${jobs}" --target serve_test common_test
+cmake --build build-tsan -j "${jobs}" --target serve_test common_test cn_parallel_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/common_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cn_parallel_test
 
-echo "== tier 3: posting-kernel smoke bench (E20, < 5 s) =="
+echo "== tier 3: smoke benches (E20 postings, E21 parallel CN; < 10 s) =="
 ./build/bench/bench_postings --smoke
+./build/bench/bench_cn_parallel --smoke
 
 echo "CI OK"

@@ -1,0 +1,122 @@
+#ifndef KWDB_COMMON_CONCURRENT_TOPK_H_
+#define KWDB_COMMON_CONCURRENT_TOPK_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/topk.h"
+
+namespace kws {
+
+/// Thread-safe bounded best-k collector: one mutex-guarded
+/// `OrderedTopK<T, Better>` shard per worker plus a lock-free score
+/// threshold for early-termination probes.
+///
+/// Determinism contract: `TakeSorted` returns the k best items under
+/// `Better` out of *everything offered*, regardless of which shard each
+/// item went to and of how offers interleaved. Each shard keeps the k
+/// best of its own subset, so any item a full shard drops is ranked
+/// below k items of that shard alone — it can never be in the global
+/// top-k. This is what makes parallel CN execution bit-identical to the
+/// serial path (see core/cn/search.cc).
+///
+/// `T` must expose a `double score` member equal to the `score` passed
+/// to `Offer`, and `Better` must be a strict total order whose *primary*
+/// key is that score, descending: `Better(a, b)` implies
+/// a.score >= b.score. The threshold logic relies on both.
+template <typename T, typename Better>
+class ConcurrentTopK {
+ public:
+  /// `k` and `num_shards` must be positive. Use one shard per worker and
+  /// pass the worker index to `Offer`, so shard mutexes are uncontended.
+  ConcurrentTopK(size_t k, size_t num_shards) : k_(k) {
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(k));
+    }
+  }
+
+  /// Offers `item`, whose primary sort key is `score`, to shard
+  /// `shard_index % num_shards`. Thread-safe, including concurrent offers
+  /// to the same shard. Returns true when the shard retained the item.
+  bool Offer(size_t shard_index, double score, T item) {
+    // An item strictly below the threshold is outranked by k items of
+    // some single shard; skip the lock. Ties must still be inserted —
+    // the tie-break key is not part of the snapshot.
+    if (score < threshold_.load(std::memory_order_acquire)) return false;
+    Shard& shard = *shards_[shard_index % shards_.size()];
+    double shard_worst = -std::numeric_limits<double>::infinity();
+    bool kept = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      kept = shard.top.Offer(std::move(item));
+      if (shard.top.Full()) shard_worst = ScoreOf(shard.top.Worst());
+    }
+    if (shard_worst > -std::numeric_limits<double>::infinity()) {
+      RaiseThreshold(shard_worst);
+    }
+    return kept;
+  }
+
+  /// Conservative early-termination probe: true only when no item scoring
+  /// `score` can possibly reach the final top-k. The threshold is a
+  /// monotonically nondecreasing lower bound on the final k-th best
+  /// score, so a producer whose remaining candidates are bounded by a
+  /// rejected score may stop for good (the `kSparse` break).
+  bool WouldReject(double score) const {
+    return score < threshold_.load(std::memory_order_acquire);
+  }
+
+  /// The current threshold snapshot: -infinity until some shard fills,
+  /// then the best full-shard k-th score seen so far. Exposed for tests.
+  double ThresholdScore() const {
+    return threshold_.load(std::memory_order_acquire);
+  }
+
+  /// Merges the shards and returns the k best items, best-ranked first.
+  /// Not thread-safe: call after all offering workers have joined.
+  /// Empties the collector.
+  std::vector<T> TakeSorted() {
+    std::vector<T> all;
+    for (auto& shard : shards_) {
+      for (T& item : shard->top.TakeSorted()) all.push_back(std::move(item));
+    }
+    Better better;
+    std::sort(all.begin(), all.end(), better);
+    if (all.size() > k_) all.resize(k_);
+    return all;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t k) : top(k) {}
+    std::mutex mu;
+    OrderedTopK<T, Better> top;
+  };
+
+  static double ScoreOf(const T& item) { return item.score; }
+
+  /// Lock-free max: the threshold only ever rises.
+  void RaiseThreshold(double candidate) {
+    double cur = threshold_.load(std::memory_order_relaxed);
+    while (candidate > cur &&
+           !threshold_.compare_exchange_weak(cur, candidate,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  size_t k_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<double> threshold_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace kws
+
+#endif  // KWDB_COMMON_CONCURRENT_TOPK_H_

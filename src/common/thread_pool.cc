@@ -1,0 +1,55 @@
+#include "common/thread_pool.h"
+
+namespace kws {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunOnAll(const std::function<void(size_t)>& fn) {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    ++epoch_;
+    running_ = threads_.size();
+  }
+  start_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || epoch_ != seen; });
+      if (epoch_ == seen) return;  // stopping_ with no pending region
+      seen = epoch_;
+      fn = fn_;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace kws

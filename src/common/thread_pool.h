@@ -1,0 +1,68 @@
+#ifndef KWDB_COMMON_THREAD_POOL_H_
+#define KWDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kws {
+
+/// A fixed pool of worker threads executing SPMD-style "parallel
+/// regions": `RunOnAll(fn)` runs `fn(worker_index)` once on every worker
+/// concurrently and returns when all of them have finished. Regions are
+/// cheap to repeat (one condition-variable round trip per region), so a
+/// caller can alternate serial coordination with parallel batches — the
+/// batched global-pipeline CN strategy does exactly that.
+///
+/// Deterministic work partitioning is the caller's job and the library
+/// convention is static striding: worker `w` of `size()` workers owns the
+/// items `i` with `i % size() == w` of a deterministically ordered work
+/// list, so the item→worker assignment is a pure function of the list and
+/// the thread count, never of scheduling. Per-worker randomness must use
+/// `Rng(SplitSeed(seed, w))` (see `common/random.h`).
+///
+/// Workers run the provided function as-is; on library paths it must not
+/// throw (the `kws::Status` convention) and must handle its own
+/// synchronization for any shared state it touches.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. A pool of size 0 is allowed: RunOnAll
+  /// is then a no-op (callers pick the serial path instead).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers. Must not race with a concurrent RunOnAll.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Runs `fn(worker_index)` on every worker and blocks until the last
+  /// one returns. Not reentrant: one region at a time, driven from one
+  /// coordinating thread.
+  void RunOnAll(const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t index);
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  /// The current region's body; valid while `running_ > 0`.
+  const std::function<void(size_t)>* fn_ = nullptr;
+  /// Incremented per region; workers compare against their last seen
+  /// value, so a finished worker never re-runs the same region.
+  uint64_t epoch_ = 0;
+  /// Workers that have not yet finished the current region.
+  size_t running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace kws
+
+#endif  // KWDB_COMMON_THREAD_POOL_H_

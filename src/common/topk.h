@@ -88,6 +88,70 @@ class TopK {
   std::priority_queue<Entry, std::vector<Entry>, MinOrder> heap_;
 };
 
+/// Bounded best-k collector under a caller-supplied strict total order:
+/// `Better(a, b)` is true when `a` ranks strictly above `b`, and every
+/// pair of distinct items must be ordered. Unlike `TopK`, whose
+/// equal-score tie-break is insertion order, the retained set and the
+/// `TakeSorted` output are pure functions of the *multiset* of offered
+/// items — independent of offer order. That order-independence is what
+/// lets the parallel CN search return bit-identical results to the
+/// serial path (common/concurrent_topk.h merges one of these per shard).
+template <typename T, typename Better>
+class OrderedTopK {
+ public:
+  /// `k` must be positive.
+  explicit OrderedTopK(size_t k) : k_(k) {}
+
+  /// Keeps `item` iff the collector is not yet full or `item` ranks above
+  /// the current worst retained item (which is then evicted).
+  bool Offer(T item) {
+    if (heap_.size() < k_) {
+      heap_.push(std::move(item));
+      return true;
+    }
+    if (better_(item, heap_.top())) {
+      heap_.pop();
+      heap_.push(std::move(item));
+      return true;
+    }
+    return false;
+  }
+
+  /// True when `probe` could not enter: full and `probe` does not rank
+  /// above the worst retained item. For sound early termination, pass the
+  /// *best-ranked* hypothetical item a producer could still generate
+  /// (e.g. a score upper bound with the smallest possible tie-break key).
+  bool WouldReject(const T& probe) const {
+    return Full() && !better_(probe, heap_.top());
+  }
+
+  bool Full() const { return heap_.size() >= k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// The worst retained item; only meaningful when non-empty.
+  const T& Worst() const { return heap_.top(); }
+
+  /// Extracts the retained items, best-ranked first. Empties the
+  /// collector.
+  std::vector<T> TakeSorted() {
+    std::vector<T> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::sort(out.begin(), out.end(), better_);
+    return out;
+  }
+
+ private:
+  size_t k_;
+  /// priority_queue keeps the Compare-maximum on top; with Compare =
+  /// Better ("ranks above"), the top is the worst-ranked retained item.
+  Better better_;
+  std::priority_queue<T, std::vector<T>, Better> heap_;
+};
+
 }  // namespace kws
 
 #endif  // KWDB_COMMON_TOPK_H_

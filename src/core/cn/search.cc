@@ -1,15 +1,27 @@
 #include "core/cn/search.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <optional>
 #include <queue>
 #include <set>
+#include <thread>
+#include <utility>
 
+#include "common/concurrent_topk.h"
+#include "common/thread_pool.h"
 #include "common/topk.h"
 #include "text/tokenizer.h"
 
 namespace kws::cn {
 
 namespace {
+
+/// Serial collector: exact k-best under the deterministic result order.
+using ResultTopK = OrderedTopK<SearchResult, SearchResultOrder>;
+/// Parallel collector: one shard per worker, same selection function.
+using SharedTopK = ConcurrentTopK<SearchResult, SearchResultOrder>;
 
 /// Converts one joined tree into a SearchResult.
 SearchResult MakeResult(size_t cn_index, const CandidateNetwork& cn,
@@ -25,89 +37,133 @@ SearchResult MakeResult(size_t cn_index, const CandidateNetwork& cn,
   return r;
 }
 
-std::vector<SearchResult> Finish(TopK<SearchResult>& top) {
-  std::vector<SearchResult> out;
-  for (auto& [score, result] : top.TakeSorted()) {
-    out.push_back(std::move(result));
-  }
-  return out;
+/// The best-ranked hypothetical result CN `cn_index` could still produce
+/// under score bound `bound`: an empty tuple list compares below any real
+/// one, so when the collector rejects this probe it rejects every real
+/// result the CN could yield — the sound early-termination test under the
+/// tie-aware total order.
+SearchResult BoundProbe(size_t cn_index, double bound) {
+  SearchResult probe;
+  probe.cn_index = cn_index;
+  probe.score = bound;
+  return probe;
 }
 
-void RunNaive(const relational::Database& db,
-              const std::vector<CandidateNetwork>& cns, const TupleSets& ts,
-              size_t k, const Deadline& deadline, bool* deadline_hit,
-              TopK<SearchResult>& top, SearchStats* stats) {
-  for (size_t i = 0; i < cns.size(); ++i) {
-    if (deadline.Expired()) {
-      *deadline_hit = true;
-      break;
-    }
-    ExecStats es;
-    auto results =
-        ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es, nullptr, &deadline);
-    if (stats != nullptr) {
-      ++stats->cns_evaluated;
-      stats->join_lookups += es.join_lookups;
-      stats->results_materialized += es.results;
-    }
-    for (const JoinedTree& jt : results) {
-      top.Offer(jt.score, MakeResult(i, cns[i], jt));
-    }
+/// The modeled per-CN RDBMS round-trip; see
+/// SearchOptions::simulated_cn_io_micros.
+void SimulateCnIo(uint64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
   }
-  (void)k;
 }
 
-void RunSparse(const relational::Database& db,
-               const std::vector<CandidateNetwork>& cns, const TupleSets& ts,
-               size_t k, const Deadline& deadline, bool* deadline_hit,
-               TopK<SearchResult>& top, SearchStats* stats) {
+void AddExec(const ExecStats& es, SearchStats* stats) {
+  if (stats == nullptr) return;
+  stats->join_lookups += es.join_lookups;
+  stats->results_materialized += es.results;
+}
+
+/// CNs in (bound descending, index ascending) order, dead CNs (bound 0)
+/// dropped — the kSparse evaluation order. The explicit index tie-break
+/// keeps tied-bound CNs in index order, matching kNaive and the parallel
+/// merge (a reversed sort here used to flip them).
+std::vector<std::pair<double, size_t>> SparseOrder(
+    const std::vector<CandidateNetwork>& cns, const TupleSets& ts) {
   std::vector<std::pair<double, size_t>> order;
   for (size_t i = 0; i < cns.size(); ++i) {
     const double bound = CnScoreBound(cns[i], ts);
     if (bound > 0) order.emplace_back(bound, i);
   }
-  std::sort(order.rbegin(), order.rend());
-  for (const auto& [bound, i] : order) {
-    if (top.size() >= k && top.WouldReject(bound)) break;
-    if (deadline.Expired()) {
+  std::sort(order.begin(), order.end(),
+            [](const std::pair<double, size_t>& a,
+               const std::pair<double, size_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Serial strategies (num_threads == 1; also the oracle the parallel paths
+// must match bit for bit).
+
+void RunNaive(const relational::Database& db,
+              const std::vector<CandidateNetwork>& cns, const TupleSets& ts,
+              const SearchOptions& options, bool* deadline_hit,
+              ResultTopK& top, SearchStats* stats) {
+  for (size_t i = 0; i < cns.size(); ++i) {
+    if (options.deadline.Expired()) {
       *deadline_hit = true;
       break;
     }
+    SimulateCnIo(options.simulated_cn_io_micros);
     ExecStats es;
-    auto results =
-        ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es, nullptr, &deadline);
-    if (stats != nullptr) {
-      ++stats->cns_evaluated;
-      stats->join_lookups += es.join_lookups;
-      stats->results_materialized += es.results;
-    }
+    auto results = ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es, nullptr,
+                             &options.deadline);
+    if (stats != nullptr) ++stats->cns_evaluated;
+    AddExec(es, stats);
     for (const JoinedTree& jt : results) {
-      top.Offer(jt.score, MakeResult(i, cns[i], jt));
+      top.Offer(MakeResult(i, cns[i], jt));
     }
   }
 }
 
-void RunGlobalPipeline(const relational::Database& db,
-                       const std::vector<CandidateNetwork>& cns,
-                       const TupleSets& ts, size_t k,
-                       const Deadline& deadline, bool* deadline_hit,
-                       TopK<SearchResult>& top, SearchStats* stats) {
-  // Per-CN pipeline state: the keyword-node lists and visited index
-  // combinations.
-  struct CnState {
-    std::vector<uint32_t> kw_nodes;
-    std::vector<const std::vector<ScoredRow>*> lists;
-    std::set<std::vector<size_t>> visited;
-  };
-  std::vector<CnState> states(cns.size());
-  struct QueueItem {
-    double bound;
-    size_t cn;
-    std::vector<size_t> idx;
-    bool operator<(const QueueItem& o) const { return bound < o.bound; }
-  };
-  std::priority_queue<QueueItem> pq;
+void RunSparse(const relational::Database& db,
+               const std::vector<CandidateNetwork>& cns, const TupleSets& ts,
+               const SearchOptions& options, bool* deadline_hit,
+               ResultTopK& top, SearchStats* stats) {
+  const auto order = SparseOrder(cns, ts);
+  for (const auto& [bound, i] : order) {
+    // Sound break: every remaining entry has (bound', i') ranked at or
+    // below this probe, so a rejection here is a rejection of them all.
+    if (top.WouldReject(BoundProbe(i, bound))) break;
+    if (options.deadline.Expired()) {
+      *deadline_hit = true;
+      break;
+    }
+    SimulateCnIo(options.simulated_cn_io_micros);
+    ExecStats es;
+    auto results = ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es, nullptr,
+                             &options.deadline);
+    if (stats != nullptr) ++stats->cns_evaluated;
+    AddExec(es, stats);
+    for (const JoinedTree& jt : results) {
+      top.Offer(MakeResult(i, cns[i], jt));
+    }
+  }
+}
 
+// ---------------------------------------------------------------------------
+// Global pipeline: shared admission machinery for the serial and batched
+// parallel variants.
+
+/// Per-CN pipeline state: the keyword-node lists and visited index
+/// combinations.
+struct CnState {
+  std::vector<uint32_t> kw_nodes;
+  std::vector<const std::vector<ScoredRow>*> lists;
+  std::set<std::vector<size_t>> visited;
+  /// True when the CN entered the combination queue. Dead CNs (some
+  /// tuple-set list empty) may have pushed a few kw_nodes before the
+  /// empty list was found; only admitted CNs count as evaluated.
+  bool admitted = false;
+};
+
+struct QueueItem {
+  double bound;
+  size_t cn;
+  std::vector<size_t> idx;
+  bool operator<(const QueueItem& o) const { return bound < o.bound; }
+};
+
+using CombinationQueue = std::priority_queue<QueueItem>;
+
+/// Builds the per-CN states and seeds the queue with each live CN's
+/// best (all-zeros) combination.
+std::vector<CnState> InitPipeline(const std::vector<CandidateNetwork>& cns,
+                                  const TupleSets& ts,
+                                  CombinationQueue& pq) {
+  std::vector<CnState> states(cns.size());
   for (size_t i = 0; i < cns.size(); ++i) {
     CnState& st = states[i];
     bool dead = false;
@@ -129,55 +185,225 @@ void RunGlobalPipeline(const relational::Database& db,
     }
     bound /= static_cast<double>(cns[i].size());
     st.visited.insert(zero);
+    st.admitted = true;
     pq.push(QueueItem{bound, i, std::move(zero)});
   }
+  return states;
+}
 
-  DeadlineChecker checker(deadline, 16);
+/// Pushes `item`'s unvisited successors (advance one dimension each).
+/// Expansion depends only on the tuple-set lists, never on verification
+/// results, so the parallel variant can expand at admission time.
+void ExpandSuccessors(const CandidateNetwork& cn, CnState& st,
+                      const QueueItem& item, CombinationQueue& pq) {
+  for (size_t d = 0; d < item.idx.size(); ++d) {
+    if (item.idx[d] + 1 >= st.lists[d]->size()) continue;
+    std::vector<size_t> next = item.idx;
+    ++next[d];
+    if (!st.visited.insert(next).second) continue;
+    double bound = 0;
+    for (size_t d2 = 0; d2 < next.size(); ++d2) {
+      bound += (*st.lists[d2])[next[d2]].score;
+    }
+    bound /= static_cast<double>(cn.size());
+    pq.push(QueueItem{bound, item.cn, std::move(next)});
+  }
+}
+
+/// Verifies one combination: pin the keyword nodes, join the rest.
+std::vector<JoinedTree> VerifyCombination(const relational::Database& db,
+                                          const CandidateNetwork& cn,
+                                          const CnState& st,
+                                          const QueueItem& item,
+                                          const TupleSets& ts,
+                                          const Deadline& deadline,
+                                          ExecStats* es) {
+  std::vector<std::optional<relational::RowId>> fixed(cn.nodes.size());
+  for (size_t d = 0; d < st.kw_nodes.size(); ++d) {
+    fixed[st.kw_nodes[d]] = (*st.lists[d])[item.idx[d]].row;
+  }
+  return ExecuteCn(db, cn, ts, fixed, SIZE_MAX, es, nullptr, &deadline);
+}
+
+void CountAdmitted(const std::vector<CnState>& states, SearchStats* stats) {
+  if (stats == nullptr) return;
+  for (const CnState& st : states) {
+    stats->cns_evaluated += st.admitted;
+  }
+}
+
+void RunGlobalPipeline(const relational::Database& db,
+                       const std::vector<CandidateNetwork>& cns,
+                       const TupleSets& ts, const SearchOptions& options,
+                       bool* deadline_hit, ResultTopK& top,
+                       SearchStats* stats) {
+  CombinationQueue pq;
+  std::vector<CnState> states = InitPipeline(cns, ts, pq);
+
+  DeadlineChecker checker(options.deadline, 16);
   while (!pq.empty()) {
     QueueItem item = pq.top();
     pq.pop();
-    if (top.size() >= k && top.WouldReject(item.bound)) break;
+    if (top.WouldReject(BoundProbe(item.cn, item.bound))) {
+      // Everything still queued is bounded by item.bound. Strictly below
+      // the worst retained score nothing can enter: stop for good. On a
+      // score tie the rejection hinged on this CN's index, and an
+      // equal-bound combination from a lower-index CN may still be
+      // queued — drop this item (its successors are ranked at or below
+      // the rejected probe) and keep scanning.
+      if (item.bound < top.Worst().score) break;
+      continue;
+    }
     if (checker.Expired()) {
       *deadline_hit = true;
       break;
     }
     const CandidateNetwork& cn = cns[item.cn];
     CnState& st = states[item.cn];
-    // Verify this combination: pin the keyword nodes, join the rest.
-    std::vector<std::optional<relational::RowId>> fixed(cn.nodes.size());
-    for (size_t d = 0; d < st.kw_nodes.size(); ++d) {
-      fixed[st.kw_nodes[d]] = (*st.lists[d])[item.idx[d]].row;
-    }
+    SimulateCnIo(options.simulated_cn_io_micros);
     ExecStats es;
     auto results =
-        ExecuteCn(db, cn, ts, fixed, SIZE_MAX, &es, nullptr, &deadline);
-    if (stats != nullptr) {
-      ++stats->candidates_verified;
-      stats->join_lookups += es.join_lookups;
-      stats->results_materialized += es.results;
-    }
+        VerifyCombination(db, cn, st, item, ts, options.deadline, &es);
+    if (stats != nullptr) ++stats->candidates_verified;
+    AddExec(es, stats);
     for (const JoinedTree& jt : results) {
-      top.Offer(jt.score, MakeResult(item.cn, cn, jt));
+      top.Offer(MakeResult(item.cn, cn, jt));
     }
-    // Successors: advance one dimension each.
-    for (size_t d = 0; d < item.idx.size(); ++d) {
-      if (item.idx[d] + 1 >= st.lists[d]->size()) continue;
-      std::vector<size_t> next = item.idx;
-      ++next[d];
-      if (!st.visited.insert(next).second) continue;
-      double bound = 0;
-      for (size_t d2 = 0; d2 < next.size(); ++d2) {
-        bound += (*st.lists[d2])[next[d2]].score;
+    ExpandSuccessors(cn, st, item, pq);
+  }
+  CountAdmitted(states, stats);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel strategies. Work lists are deterministically ordered and
+// statically strided (worker w owns items i with i % num_workers == w);
+// all pruning is sound under SearchResultOrder, so the merged top-k is
+// bit-identical to the serial path for every thread count.
+
+void RunNaiveParallel(const relational::Database& db,
+                      const std::vector<CandidateNetwork>& cns,
+                      const TupleSets& ts, const SearchOptions& options,
+                      ThreadPool& pool, SharedTopK& top,
+                      std::atomic<bool>& deadline_hit,
+                      std::vector<SearchStats>& worker_stats) {
+  const size_t stride = pool.size();
+  pool.RunOnAll([&](size_t w) {
+    SearchStats& ws = worker_stats[w];
+    for (size_t i = w; i < cns.size(); i += stride) {
+      if (options.deadline.Expired()) {
+        deadline_hit.store(true, std::memory_order_relaxed);
+        break;
       }
-      bound /= static_cast<double>(cn.size());
-      pq.push(QueueItem{bound, item.cn, std::move(next)});
+      SimulateCnIo(options.simulated_cn_io_micros);
+      ExecStats es;
+      auto results = ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es, nullptr,
+                               &options.deadline);
+      ++ws.cns_evaluated;
+      AddExec(es, &ws);
+      for (const JoinedTree& jt : results) {
+        top.Offer(w, jt.score, MakeResult(i, cns[i], jt));
+      }
     }
-  }
-  if (stats != nullptr) {
-    for (const CnState& st : states) {
-      stats->cns_evaluated += !st.kw_nodes.empty();
+  });
+}
+
+void RunSparseParallel(const relational::Database& db,
+                       const std::vector<CandidateNetwork>& cns,
+                       const TupleSets& ts, const SearchOptions& options,
+                       ThreadPool& pool, SharedTopK& top,
+                       std::atomic<bool>& deadline_hit,
+                       std::vector<SearchStats>& worker_stats) {
+  const auto order = SparseOrder(cns, ts);
+  const size_t stride = pool.size();
+  pool.RunOnAll([&](size_t w) {
+    SearchStats& ws = worker_stats[w];
+    for (size_t p = w; p < order.size(); p += stride) {
+      const auto& [bound, i] = order[p];
+      // The shared threshold only rises and never rejects score ties,
+      // so once this worker's (descending) bounds fall below it nothing
+      // the worker still owns can reach the final top-k: stop.
+      if (top.WouldReject(bound)) break;
+      if (options.deadline.Expired()) {
+        deadline_hit.store(true, std::memory_order_relaxed);
+        break;
+      }
+      SimulateCnIo(options.simulated_cn_io_micros);
+      ExecStats es;
+      auto results = ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es, nullptr,
+                               &options.deadline);
+      ++ws.cns_evaluated;
+      AddExec(es, &ws);
+      for (const JoinedTree& jt : results) {
+        top.Offer(w, jt.score, MakeResult(i, cns[i], jt));
+      }
     }
+  });
+}
+
+void RunGlobalPipelineParallel(const relational::Database& db,
+                               const std::vector<CandidateNetwork>& cns,
+                               const TupleSets& ts,
+                               const SearchOptions& options,
+                               ThreadPool& pool, SharedTopK& top,
+                               std::atomic<bool>& deadline_hit,
+                               std::vector<SearchStats>& worker_stats,
+                               SearchStats* stats) {
+  CombinationQueue pq;
+  std::vector<CnState> states = InitPipeline(cns, ts, pq);
+
+  // Serial admission, parallel verification: combinations are admitted
+  // (and their successors expanded) in waves of batch_size, then each
+  // wave's ExecuteCn verifications fan out over the pool. Between waves
+  // the collector is quiescent, so the admission decisions — and with
+  // them candidates_verified — are deterministic for a fixed thread
+  // count; admitting a wave at a time only ever verifies combinations
+  // the serial path might also have verified before its threshold rose.
+  DeadlineChecker checker(options.deadline, 16);
+  const size_t stride = pool.size();
+  const size_t batch_size = stride * 4;
+  std::vector<QueueItem> batch;
+  bool stop = false;
+  while (!pq.empty() && !stop) {
+    batch.clear();
+    while (!pq.empty() && batch.size() < batch_size) {
+      QueueItem item = pq.top();
+      pq.pop();
+      // The score-only threshold never rejects ties, so a rejection
+      // bounds everything left in the queue strictly: stop for good.
+      if (top.WouldReject(item.bound)) {
+        stop = true;
+        break;
+      }
+      if (checker.Expired()) {
+        deadline_hit.store(true, std::memory_order_relaxed);
+        stop = true;
+        break;
+      }
+      ExpandSuccessors(cns[item.cn], states[item.cn], item, pq);
+      batch.push_back(std::move(item));
+    }
+    if (batch.empty()) break;
+    pool.RunOnAll([&](size_t w) {
+      SearchStats& ws = worker_stats[w];
+      for (size_t p = w; p < batch.size(); p += stride) {
+        const QueueItem& item = batch[p];
+        if (options.deadline.Expired()) {
+          deadline_hit.store(true, std::memory_order_relaxed);
+          break;
+        }
+        SimulateCnIo(options.simulated_cn_io_micros);
+        ExecStats es;
+        auto results = VerifyCombination(db, cns[item.cn], states[item.cn],
+                                         item, ts, options.deadline, &es);
+        ++ws.candidates_verified;
+        AddExec(es, &ws);
+        for (const JoinedTree& jt : results) {
+          top.Offer(w, jt.score, MakeResult(item.cn, cns[item.cn], jt));
+        }
+      }
+    });
   }
+  CountAdmitted(states, stats);
 }
 
 }  // namespace
@@ -203,7 +429,6 @@ std::vector<SearchResult> CnKeywordSearch::Search(
   if (keywords.empty()) return {};
 
   bool deadline_hit = false;
-  TopK<SearchResult> top(options.k);
   TupleSets ts(db_, keywords, options.tuple_cache, options.deadline);
   if (ts.truncated() || options.deadline.Expired()) {
     deadline_hit = true;
@@ -218,27 +443,57 @@ std::vector<SearchResult> CnKeywordSearch::Search(
       db_, ts.table_masks(), ts.full_mask(), enum_opts);
   if (stats != nullptr) stats->cns_enumerated = cns.size();
 
+  const size_t num_threads = std::max<size_t>(1, options.num_threads);
+  std::vector<SearchResult> ranked;
   if (options.deadline.Expired()) {
     deadline_hit = true;
-  } else {
+  } else if (num_threads == 1) {
+    ResultTopK top(options.k);
     switch (options.strategy) {
       case Strategy::kNaive:
-        RunNaive(db_, cns, ts, options.k, options.deadline, &deadline_hit,
-                 top, stats);
+        RunNaive(db_, cns, ts, options, &deadline_hit, top, stats);
         break;
       case Strategy::kSparse:
-        RunSparse(db_, cns, ts, options.k, options.deadline, &deadline_hit,
-                  top, stats);
+        RunSparse(db_, cns, ts, options, &deadline_hit, top, stats);
         break;
       case Strategy::kGlobalPipeline:
-        RunGlobalPipeline(db_, cns, ts, options.k, options.deadline,
-                          &deadline_hit, top, stats);
+        RunGlobalPipeline(db_, cns, ts, options, &deadline_hit, top, stats);
         break;
     }
+    ranked = top.TakeSorted();
+  } else {
+    ThreadPool pool(num_threads);
+    SharedTopK top(options.k, num_threads);
+    std::atomic<bool> hit{false};
+    std::vector<SearchStats> worker_stats(num_threads);
+    switch (options.strategy) {
+      case Strategy::kNaive:
+        RunNaiveParallel(db_, cns, ts, options, pool, top, hit,
+                         worker_stats);
+        break;
+      case Strategy::kSparse:
+        RunSparseParallel(db_, cns, ts, options, pool, top, hit,
+                          worker_stats);
+        break;
+      case Strategy::kGlobalPipeline:
+        RunGlobalPipelineParallel(db_, cns, ts, options, pool, top, hit,
+                                  worker_stats, stats);
+        break;
+    }
+    if (stats != nullptr) {
+      for (const SearchStats& ws : worker_stats) {
+        stats->cns_evaluated += ws.cns_evaluated;
+        stats->results_materialized += ws.results_materialized;
+        stats->join_lookups += ws.join_lookups;
+        stats->candidates_verified += ws.candidates_verified;
+      }
+    }
+    if (hit.load(std::memory_order_relaxed)) deadline_hit = true;
+    ranked = top.TakeSorted();
   }
   if (stats != nullptr) stats->deadline_hit = deadline_hit;
   if (cns_out != nullptr) *cns_out = std::move(cns);
-  return Finish(top);
+  return ranked;
 }
 
 }  // namespace kws::cn

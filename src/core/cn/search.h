@@ -35,6 +35,20 @@ struct SearchResult {
   double score = 0;
 };
 
+/// The deterministic result order: score descending, then cn_index
+/// ascending, then tuples ascending (lexicographic). This is a strict
+/// total order over distinct results, so the ranked list — ties included
+/// — is a pure function of the result *set*: identical across the three
+/// strategies and across serial and parallel execution, which is the
+/// invariant the parallel-vs-serial oracle test enforces.
+struct SearchResultOrder {
+  bool operator()(const SearchResult& a, const SearchResult& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.cn_index != b.cn_index) return a.cn_index < b.cn_index;
+    return a.tuples < b.tuples;
+  }
+};
+
 struct SearchOptions {
   size_t k = 10;
   size_t max_cn_size = 5;
@@ -47,12 +61,33 @@ struct SearchOptions {
   /// Optional shared term -> tuple-set frontier cache. Not owned; must
   /// outlive the search. Results are identical with or without it.
   TupleSetCache* tuple_cache = nullptr;
+  /// Worker threads for CN evaluation. 1 (the default) runs the serial
+  /// path — no pool, no atomics. n > 1 evaluates independent CNs (for
+  /// kGlobalPipeline: candidate combinations) concurrently over the
+  /// shared tuple sets into a `ConcurrentTopK`, with static striding
+  /// (worker w owns items i with i % n == w). Results are bit-identical
+  /// to the serial path for every thread count; the work counters in
+  /// SearchStats stay exact sums of the work done, but under kSparse /
+  /// kGlobalPipeline how much work the shared score threshold prunes may
+  /// vary with thread count.
+  size_t num_threads = 1;
+  /// Models the per-CN backend round-trip a DISCOVER-style deployment
+  /// pays against its RDBMS (one SQL statement per CN): each CN
+  /// evaluation sleeps this long before joining. E21 uses it to measure
+  /// worker-pool overlap on a single-core host, mirroring
+  /// `serve::QueryRequest::simulated_io_micros`. 0 (the default)
+  /// disables the simulation.
+  uint64_t simulated_cn_io_micros = 0;
 };
 
 /// Counters for the E2 benchmark.
 struct SearchStats {
   size_t cns_enumerated = 0;
-  size_t cns_evaluated = 0;       // CNs actually joined (fully or partially)
+  /// CNs actually admitted to evaluation: joined (fully or partially) by
+  /// kNaive/kSparse, or entered into the combination queue by
+  /// kGlobalPipeline. A CN whose tuple-set list turns out empty is dead
+  /// and never counts, even when earlier keyword nodes had rows.
+  size_t cns_evaluated = 0;
   uint64_t results_materialized = 0;
   uint64_t join_lookups = 0;
   uint64_t candidates_verified = 0;  // pipeline combination checks

@@ -48,6 +48,7 @@ EngineResponse KeywordSearchEngine::Search(const std::string& query,
     so.max_cn_size = options.max_cn_size;
     so.deadline = deadline;
     so.tuple_cache = options.tuple_cache;
+    so.num_threads = options.num_threads;
     cn::SearchStats stats;
     std::vector<cn::CandidateNetwork> cns;
     for (const cn::SearchResult& r :

@@ -41,6 +41,11 @@ struct EngineOptions {
   /// (see `cn::TupleSetCache`). Not owned; must outlive the call.
   /// Responses are identical with or without it.
   cn::TupleSetCache* tuple_cache = nullptr;
+  /// Worker threads for the CN backend's evaluation phase (see
+  /// `cn::SearchOptions::num_threads`). 1 (the default) keeps the serial
+  /// path; any value yields bit-identical responses. Ignored by the
+  /// data-graph backend.
+  size_t num_threads = 1;
 };
 
 /// One answer, rendered for display.

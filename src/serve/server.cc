@@ -49,6 +49,12 @@ Status ServingEngine::Submit(QueryRequest request,
   submitted_->Add();
   Task task;
   task.request = std::move(request);
+  // Anchor the budget now: queue wait counts against it, so a request
+  // that starves in the queue is dropped at dequeue instead of running
+  // with a fresh budget long after the caller gave up.
+  task.deadline = task.request.budget_micros == 0
+                      ? Deadline::Infinite()
+                      : Deadline::AfterMicros(task.request.budget_micros);
   std::future<QueryOutcome> fut = task.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -109,7 +115,7 @@ void ServingEngine::WorkerLoop() {
       queue_.pop_front();
     }
     queue_wait_->Record(task.queued.ElapsedMicros());
-    task.promise.set_value(Execute(task.request));
+    task.promise.set_value(Execute(task.request, task.deadline));
   }
 }
 
@@ -129,6 +135,13 @@ std::string ServingEngine::CacheKey(const QueryRequest& request) const {
 }
 
 QueryOutcome ServingEngine::Execute(const QueryRequest& request) {
+  return Execute(request, request.budget_micros == 0
+                              ? Deadline::Infinite()
+                              : Deadline::AfterMicros(request.budget_micros));
+}
+
+QueryOutcome ServingEngine::Execute(const QueryRequest& request,
+                                    const Deadline& deadline) {
   QueryOutcome outcome;
   Stopwatch watch;
   auto finish = [&](Counter* bucket) {
@@ -151,9 +164,6 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request) {
     cache_misses_->Add();
   }
 
-  const Deadline deadline = request.budget_micros == 0
-                                ? Deadline::Infinite()
-                                : Deadline::AfterMicros(request.budget_micros);
   // Deadline-aware dispatch: a budget that expired while queued (or a ~0
   // budget) drops the query before any backend work.
   if (deadline.Expired()) {
@@ -179,6 +189,7 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request) {
     eo.k = request.k;
     eo.deadline = deadline;
     eo.tuple_cache = tuple_cache_.get();
+    eo.num_threads = options_.search_threads;
     auto response = std::make_shared<engine::EngineResponse>(
         relational_->Search(request.query, eo));
     if (!response->status.ok()) {

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -29,9 +30,13 @@ struct QueryRequest {
   Pipeline pipeline = Pipeline::kRelational;
   /// Top-k passed through to the engine (part of the cache key).
   size_t k = 10;
-  /// Per-query budget in microseconds; 0 means unlimited. The clock
-  /// starts when the query begins executing (queue wait excluded), which
-  /// is the serving-side "execution budget" convention.
+  /// Per-query budget in microseconds; 0 means unlimited. For queued
+  /// work the clock starts at admission (`Submit`), so time spent waiting
+  /// in the queue counts against the budget and a request whose budget
+  /// expired while queued is dropped with kDeadlineExceeded before any
+  /// backend work — the end-to-end latency bound a caller actually
+  /// experiences. For the synchronous `Query` path the clock starts at
+  /// the call, which is the same instant.
   uint64_t budget_micros = 0;
   /// Skip the result cache entirely (no lookup, no fill) — used by
   /// benchmarks to measure the cache-cold path.
@@ -74,6 +79,11 @@ struct ServeOptions {
   /// helps even across *different* queries that share keywords, and it
   /// is consulted on result-cache misses and bypass_cache requests alike.
   size_t tuple_cache_capacity = 256;
+  /// Intra-query worker threads for the relational CN backend (see
+  /// `cn::SearchOptions::num_threads`); responses are bit-identical for
+  /// any value. 1 (the default) keeps per-query execution serial, the
+  /// right choice when `num_workers` already saturates the cores.
+  size_t search_threads = 1;
 };
 
 /// The concurrent query-serving facade: a fixed worker pool pulling from a
@@ -134,12 +144,20 @@ class ServingEngine {
     std::promise<QueryOutcome> promise;
     /// Measures queue wait, started at submission.
     Stopwatch queued;
+    /// The request's budget anchored at admission time, so queue wait
+    /// counts against it (infinite when budget_micros == 0).
+    Deadline deadline;
   };
 
   void WorkerLoop();
 
-  /// The miss/hit pipeline shared by Submit-driven workers and Query.
+  /// Anchors `request`'s budget at the moment of the call, then runs the
+  /// deadline-aware pipeline. The synchronous `Query` path.
   QueryOutcome Execute(const QueryRequest& request);
+
+  /// The miss/hit pipeline shared by Submit-driven workers (deadline
+  /// anchored at Submit) and Query (anchored at the call).
+  QueryOutcome Execute(const QueryRequest& request, const Deadline& deadline);
 
   const engine::KeywordSearchEngine* relational_;
   const engine::XmlKeywordSearch* xml_;

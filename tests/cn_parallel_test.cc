@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/concurrent_topk.h"
+#include "common/deadline.h"
+#include "common/thread_pool.h"
+#include "common/topk.h"
+#include "core/cn/candidate_network.h"
+#include "core/cn/search.h"
+#include "core/cn/tuple_sets.h"
+#include "relational/database.h"
+#include "relational/dblp.h"
+#include "text/tokenizer.h"
+
+namespace kws::cn {
+namespace {
+
+// ----------------------------------------------------- ConcurrentTopK unit
+
+struct Item {
+  double score = 0;
+  int id = 0;
+};
+
+struct ItemOrder {
+  bool operator()(const Item& a, const Item& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  }
+};
+
+std::vector<Item> MakeItems(size_t n) {
+  // Deterministic scores with plenty of exact ties (score = id % 17).
+  std::vector<Item> items;
+  items.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    items.push_back(Item{static_cast<double>(i % 17), static_cast<int>(i)});
+  }
+  return items;
+}
+
+void ExpectSameItems(const std::vector<Item>& got,
+                     const std::vector<Item>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
+    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+  }
+}
+
+TEST(ConcurrentTopKTest, MatchesOrderedTopKSingleThread) {
+  const auto items = MakeItems(200);
+  OrderedTopK<Item, ItemOrder> reference(10);
+  ConcurrentTopK<Item, ItemOrder> concurrent(10, 4);
+  for (size_t i = 0; i < items.size(); ++i) {
+    reference.Offer(items[i]);
+    concurrent.Offer(i, items[i].score, items[i]);  // round-robin shards
+  }
+  ExpectSameItems(concurrent.TakeSorted(), reference.TakeSorted());
+}
+
+TEST(ConcurrentTopKTest, MatchesOrderedTopKUnderConcurrentOffers) {
+  const auto items = MakeItems(5000);
+  OrderedTopK<Item, ItemOrder> reference(16);
+  for (const Item& item : items) reference.Offer(item);
+  const auto want = reference.TakeSorted();
+  for (const size_t threads : {2u, 4u, 8u}) {
+    ConcurrentTopK<Item, ItemOrder> concurrent(16, threads);
+    ThreadPool pool(threads);
+    pool.RunOnAll([&](size_t w) {
+      for (size_t i = w; i < items.size(); i += threads) {
+        concurrent.Offer(w, items[i].score, items[i]);
+      }
+    });
+    ExpectSameItems(concurrent.TakeSorted(), want);
+  }
+}
+
+TEST(ConcurrentTopKTest, ThresholdIsLowerBoundAndNeverRejectsTies) {
+  const auto items = MakeItems(300);
+  ConcurrentTopK<Item, ItemOrder> concurrent(8, 2);
+  for (size_t i = 0; i < items.size(); ++i) {
+    concurrent.Offer(i % 2, items[i].score, items[i]);
+  }
+  auto best = concurrent.TakeSorted();
+  ASSERT_EQ(best.size(), 8u);
+  const double kth = best.back().score;
+  // A fresh collector replays the offers so the threshold is live.
+  ConcurrentTopK<Item, ItemOrder> replay(8, 2);
+  for (size_t i = 0; i < items.size(); ++i) {
+    replay.Offer(i % 2, items[i].score, items[i]);
+  }
+  EXPECT_LE(replay.ThresholdScore(), kth);
+  // Exact ties with the final k-th score must never be rejected (their
+  // tie-break key might still beat the retained worst).
+  EXPECT_FALSE(replay.WouldReject(kth));
+  EXPECT_TRUE(replay.WouldReject(-1.0));
+}
+
+// ----------------------------------------------- parallel-vs-serial oracle
+
+void ExpectSameResults(const std::vector<SearchResult>& got,
+                       const std::vector<SearchResult>& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].score, want[i].score) << context << " rank " << i;
+    EXPECT_EQ(got[i].cn_index, want[i].cn_index) << context << " rank " << i;
+    EXPECT_EQ(got[i].tuples, want[i].tuples) << context << " rank " << i;
+  }
+}
+
+/// Bit-identical results for every strategy and thread count, per seed.
+class ParallelOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelOracleTest, ParallelMatchesSerialBitForBit) {
+  relational::DblpOptions opts;
+  opts.seed = GetParam();
+  opts.num_authors = 40;
+  opts.num_papers = 80;
+  opts.num_conferences = 6;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  CnKeywordSearch search(*dblp.db);
+  const std::vector<std::string> queries = {"keyword search",
+                                            "database query", "xml"};
+  const Strategy strategies[] = {Strategy::kNaive, Strategy::kSparse,
+                                 Strategy::kGlobalPipeline};
+  for (const std::string& query : queries) {
+    for (Strategy strategy : strategies) {
+      SearchOptions so;
+      so.k = 10;
+      so.max_cn_size = 4;
+      so.strategy = strategy;
+      SearchStats serial_stats;
+      const auto serial = search.Search(query, so, nullptr, &serial_stats);
+      EXPECT_FALSE(serial_stats.deadline_hit);
+      for (const size_t threads : {2u, 4u, 8u}) {
+        so.num_threads = threads;
+        SearchStats stats;
+        const auto parallel = search.Search(query, so, nullptr, &stats);
+        const std::string context = query + " / " +
+                                    StrategyToString(strategy) + " / " +
+                                    std::to_string(threads) + " threads";
+        ExpectSameResults(parallel, serial, context);
+        EXPECT_FALSE(stats.deadline_hit) << context;
+        EXPECT_EQ(stats.cns_enumerated, serial_stats.cns_enumerated)
+            << context;
+        if (strategy == Strategy::kNaive) {
+          // No pruning anywhere: the parallel work counters are exact and
+          // equal to the serial ones.
+          EXPECT_EQ(stats.cns_evaluated, serial_stats.cns_evaluated)
+              << context;
+          EXPECT_EQ(stats.results_materialized,
+                    serial_stats.results_materialized)
+              << context;
+          EXPECT_EQ(stats.join_lookups, serial_stats.join_lookups) << context;
+        }
+        if (strategy == Strategy::kGlobalPipeline) {
+          // Admission is serial in both variants: the admitted-CN count
+          // is thread-count independent.
+          EXPECT_EQ(stats.cns_evaluated, serial_stats.cns_evaluated)
+              << context;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelOracleTest,
+                         ::testing::Values(3, 17, 29, 71));
+
+/// The three strategies agree on the full ranked list — scores, CN
+/// indices and tuples, ties included — thanks to the shared total order
+/// (the kSparse reversed-pair sort used to flip tied-bound CNs).
+class StrategyTieBreakOracleTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(StrategyTieBreakOracleTest, IdenticalRankedListsAcrossStrategies) {
+  relational::DblpOptions opts;
+  opts.seed = GetParam();
+  opts.num_authors = 30;
+  opts.num_papers = 60;
+  opts.num_conferences = 5;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  CnKeywordSearch search(*dblp.db);
+  for (const std::string& query :
+       {std::string("keyword search"), std::string("database")}) {
+    SearchOptions so;
+    so.k = 20;
+    so.max_cn_size = 4;
+    so.strategy = Strategy::kNaive;
+    const auto naive = search.Search(query, so, nullptr);
+    so.strategy = Strategy::kSparse;
+    const auto sparse = search.Search(query, so, nullptr);
+    so.strategy = Strategy::kGlobalPipeline;
+    const auto pipeline = search.Search(query, so, nullptr);
+    ExpectSameResults(sparse, naive, query + " sparse-vs-naive");
+    ExpectSameResults(pipeline, naive, query + " pipeline-vs-naive");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StrategyTieBreakOracleTest,
+                         ::testing::Values(5, 23, 42, 97));
+
+TEST(ParallelDeadlineTest, ExpiredBudgetIsIdenticalAcrossThreadCounts) {
+  relational::DblpDatabase dblp = relational::MakeDblpDatabase({});
+  CnKeywordSearch search(*dblp.db);
+  for (const size_t threads : {1u, 2u, 8u}) {
+    SearchOptions so;
+    so.k = 10;
+    so.strategy = Strategy::kSparse;
+    so.num_threads = threads;
+    so.deadline = Deadline::AfterMicros(0);
+    SearchStats stats;
+    const auto results = search.Search("keyword search", so, nullptr, &stats);
+    EXPECT_TRUE(results.empty()) << threads << " threads";
+    EXPECT_TRUE(stats.deadline_hit) << threads << " threads";
+  }
+}
+
+// ------------------------------------------- dead-CN stats regression (E2)
+
+using relational::Database;
+using relational::TableSchema;
+using relational::Value;
+using relational::ValueType;
+
+/// author/paper/writes with rows such that, for the query
+/// "widom xml data", CNs of the shape author{widom} - writes -
+/// paper{xml,data} are enumerated (paper matches xml and data in
+/// *separate* rows, so the table mask admits the node) yet dead (the
+/// combined tuple set is empty). The empty node sits after the live
+/// author node in node order — exactly the shape the old
+/// !kw_nodes.empty() test miscounted as evaluated.
+struct TinyDb {
+  std::unique_ptr<Database> db;
+  relational::TableId author = 0, paper = 0, writes = 0;
+
+  TinyDb() : db(std::make_unique<Database>()) {
+    TableSchema a;
+    a.name = "author";
+    a.columns = {{"aid", ValueType::kInt, false},
+                 {"name", ValueType::kText, true}};
+    a.primary_key = 0;
+    author = db->CreateTable(a).value();
+    TableSchema p;
+    p.name = "paper";
+    p.columns = {{"pid", ValueType::kInt, false},
+                 {"title", ValueType::kText, true}};
+    p.primary_key = 0;
+    paper = db->CreateTable(p).value();
+    TableSchema w;
+    w.name = "writes";
+    w.columns = {{"wid", ValueType::kInt, false},
+                 {"aid", ValueType::kInt, false},
+                 {"pid", ValueType::kInt, false}};
+    w.primary_key = 0;
+    writes = db->CreateTable(w).value();
+
+    auto& at = db->table(author);
+    at.Append({Value::Int(0), Value::Text("widom")}).value();
+    auto& pt = db->table(paper);
+    pt.Append({Value::Int(0), Value::Text("xml keyword")}).value();
+    pt.Append({Value::Int(1), Value::Text("data mining")}).value();
+    auto& wt = db->table(writes);
+    wt.Append({Value::Int(0), Value::Int(0), Value::Int(0)}).value();
+    wt.Append({Value::Int(1), Value::Int(0), Value::Int(1)}).value();
+
+    EXPECT_TRUE(db->AddForeignKey("writes", "aid", "author", "aid").ok());
+    EXPECT_TRUE(db->AddForeignKey("writes", "pid", "paper", "pid").ok());
+    db->BuildTextIndexes();
+  }
+};
+
+TEST(SearchStatsTest, PipelineCountsOnlyAdmittedCns) {
+  TinyDb tiny;
+  const std::string query = "widom xml data";
+  const auto keywords = text::Tokenizer().Tokenize(query);
+  TupleSets ts(*tiny.db, keywords);
+  const auto cns = EnumerateCandidateNetworks(*tiny.db, ts.table_masks(),
+                                              ts.full_mask(), {.max_size = 4});
+  ASSERT_FALSE(cns.empty());
+
+  // Brute-force admission: a CN is live iff every non-free node's tuple
+  // set is non-empty.
+  size_t live = 0;
+  bool overcount_possible = false;
+  for (const auto& cn : cns) {
+    bool dead = false;
+    bool earlier_nonempty = false;
+    bool dead_after_nonempty = false;
+    for (const auto& node : cn.nodes) {
+      if (node.free()) continue;
+      if (ts.Get(node.table, node.mask).empty()) {
+        dead = true;
+        if (earlier_nonempty) dead_after_nonempty = true;
+      } else {
+        earlier_nonempty = true;
+      }
+    }
+    live += !dead;
+    // The regression shape: keyword nodes were already pushed when the
+    // empty list surfaced, which the old !kw_nodes.empty() test counted.
+    overcount_possible |= dead_after_nonempty;
+  }
+  ASSERT_TRUE(overcount_possible)
+      << "workload no longer exhibits the dead-CN overcount shape";
+
+  CnKeywordSearch search(*tiny.db);
+  SearchOptions so;
+  so.k = 10;
+  so.max_cn_size = 4;
+  so.strategy = Strategy::kGlobalPipeline;
+  SearchStats stats;
+  search.Search(query, so, nullptr, &stats);
+  EXPECT_EQ(stats.cns_enumerated, cns.size());
+  EXPECT_EQ(stats.cns_evaluated, live);
+}
+
+}  // namespace
+}  // namespace kws::cn

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <string>
@@ -11,6 +12,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "common/topk.h"
 
 namespace kws {
@@ -355,6 +357,65 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, TopKPropertyTest,
     ::testing::Combine(::testing::Values(1, 2, 5, 16),
                        ::testing::Values(0, 1, 10, 100, 1000)));
+
+struct IntOrder {
+  bool operator()(int a, int b) const { return a > b; }
+};
+
+TEST(OrderedTopKTest, RetainedSetIsOfferOrderIndependent) {
+  const std::vector<int> forward = {5, 1, 9, 3, 9, 7, 1, 8};
+  std::vector<int> backward(forward.rbegin(), forward.rend());
+  OrderedTopK<int, IntOrder> a(4), b(4);
+  for (int v : forward) a.Offer(v);
+  for (int v : backward) b.Offer(v);
+  EXPECT_EQ(a.TakeSorted(), b.TakeSorted());
+}
+
+TEST(OrderedTopKTest, WouldRejectIsExactlyOfferFailure) {
+  OrderedTopK<int, IntOrder> top(3);
+  for (int v : {10, 20, 30, 25}) top.Offer(v);
+  // Retained: {30, 25, 20}; worst is 20.
+  EXPECT_EQ(top.Worst(), 20);
+  EXPECT_TRUE(top.WouldReject(20));  // equal does not rank above
+  EXPECT_TRUE(top.WouldReject(5));
+  EXPECT_FALSE(top.WouldReject(21));
+}
+
+TEST(ThreadPoolTest, RunOnAllCoversEveryWorkerIndexOnce) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.RunOnAll([&](size_t w) { hits[w].fetch_add(1); });
+  for (size_t w = 0; w < 4; ++w) EXPECT_EQ(hits[w].load(), 1);
+}
+
+TEST(ThreadPoolTest, RegionsAreRepeatableAndBlockUntilDone) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  for (int region = 0; region < 50; ++region) {
+    pool.RunOnAll([&](size_t w) { sum.fetch_add(static_cast<int>(w) + 1); });
+  }
+  // Each region adds 1 + 2 + 3; RunOnAll returning proves completion.
+  EXPECT_EQ(sum.load(), 50 * 6);
+}
+
+TEST(ThreadPoolTest, StaticStridingPartitionsAllItems) {
+  ThreadPool pool(4);
+  const size_t n = 103;
+  std::vector<std::atomic<int>> seen(n);
+  pool.RunOnAll([&](size_t w) {
+    for (size_t i = w; i < n; i += pool.size()) seen[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i].load(), 1) << "item " << i;
+}
+
+TEST(ThreadPoolTest, EmptyPoolRunOnAllIsANoOp) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  bool ran = false;
+  pool.RunOnAll([&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
 
 }  // namespace
 }  // namespace kws

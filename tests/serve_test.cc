@@ -200,6 +200,76 @@ TEST_F(ServeTest, ServerEnforcesTinyBudget) {
   EXPECT_FALSE(again.cache_hit);
 }
 
+TEST_F(ServeTest, BudgetExpiredWhileQueuedDropsBeforeBackendWork) {
+  // One worker, pinned down by a long modeled-IO request: the second
+  // request starves in the queue past its budget. Its deadline is
+  // anchored at Submit, so the worker must drop it at dequeue with
+  // kDeadlineExceeded — before any backend work (null response) — rather
+  // than granting it a fresh budget when it finally runs.
+  ServeOptions so;
+  so.num_workers = 1;
+  ServingEngine server(engine_, xml_engine_, so);
+  QueryRequest blocker;
+  blocker.query = "keyword search";
+  blocker.bypass_cache = true;
+  blocker.simulated_io_micros = 60'000;
+  QueryRequest starved;
+  starved.query = "database query";
+  starved.bypass_cache = true;
+  starved.budget_micros = 5'000;
+  std::future<QueryOutcome> f1, f2;
+  ASSERT_TRUE(server.Submit(blocker, &f1).ok());
+  ASSERT_TRUE(server.Submit(starved, &f2).ok());
+  EXPECT_TRUE(f1.get().status.ok());
+  QueryOutcome out = f2.get();
+  EXPECT_EQ(out.status.code(), StatusCode::kDeadlineExceeded);
+  // Dropped at dispatch, not truncated mid-search: no partial response.
+  EXPECT_EQ(out.relational, nullptr);
+  EXPECT_GE(server.metrics().GetCounter("serve.deadline_exceeded")->value(),
+            1u);
+}
+
+TEST_F(ServeTest, SynchronousQueryBudgetStartsAtTheCall) {
+  // The Query path has no queue: a generous budget anchored at the call
+  // must let the same request succeed.
+  ServeOptions so;
+  so.num_workers = 1;
+  ServingEngine server(engine_, xml_engine_, so);
+  QueryRequest req;
+  req.query = "keyword search";
+  req.budget_micros = 10'000'000;
+  QueryOutcome out = server.Query(req);
+  EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+}
+
+TEST_F(ServeTest, SearchThreadsProduceIdenticalResponses) {
+  auto run = [&](size_t threads) {
+    ServeOptions so;
+    so.num_workers = 1;
+    so.search_threads = threads;
+    ServingEngine server(engine_, xml_engine_, so);
+    QueryRequest req;
+    req.query = "keyword search";
+    req.bypass_cache = true;
+    return server.Query(req);
+  };
+  const QueryOutcome serial = run(1);
+  const QueryOutcome parallel = run(4);
+  ASSERT_TRUE(serial.status.ok());
+  ASSERT_TRUE(parallel.status.ok());
+  ASSERT_NE(serial.relational, nullptr);
+  ASSERT_NE(parallel.relational, nullptr);
+  ASSERT_EQ(serial.relational->results.size(),
+            parallel.relational->results.size());
+  for (size_t i = 0; i < serial.relational->results.size(); ++i) {
+    const auto& a = serial.relational->results[i];
+    const auto& b = parallel.relational->results[i];
+    EXPECT_EQ(a.score, b.score) << "rank " << i;
+    EXPECT_EQ(a.tuples, b.tuples) << "rank " << i;
+    EXPECT_EQ(a.description, b.description) << "rank " << i;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Admission control and lifecycle.
 
