@@ -1,24 +1,35 @@
 #!/usr/bin/env bash
-# The full gate: tier-1 build + tests, then ThreadSanitizer over the
-# concurrent serving suites. Run from anywhere; paths are repo-relative.
+# The full gate: kwslint, tier-1 build + tests, ASan/UBSan over the full
+# suite, ThreadSanitizer over the concurrent serving suites, then the
+# smoke benches. Run from anywhere; paths are repo-relative.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc)"
 
-echo "== tier 1: configure + build + ctest (Release) =="
+echo "== tier 0: kwslint (invariant checker) =="
 cmake --preset default
+cmake --build build -j "${jobs}" --target kwslint
+./build/tools/kwslint .
+
+echo "== tier 1: build + ctest (Release) =="
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure
 
-echo "== tier 2: ThreadSanitizer (serve_test, common_test, cn_parallel_test) =="
+echo "== tier 2: ASan+UBSan (full ctest, Debug, contracts live) =="
+cmake --preset asan
+cmake --build build-asan -j "${jobs}"
+ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+  ctest --test-dir build-asan --output-on-failure
+
+echo "== tier 3: ThreadSanitizer (serve_test, common_test, cn_parallel_test) =="
 cmake --preset tsan
 cmake --build build-tsan -j "${jobs}" --target serve_test common_test cn_parallel_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/common_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cn_parallel_test
 
-echo "== tier 3: smoke benches (E20 postings, E21 parallel CN; < 10 s) =="
+echo "== tier 4: smoke benches (E20 postings, E21 parallel CN; < 10 s) =="
 ./build/bench/bench_postings --smoke
 ./build/bench/bench_cn_parallel --smoke
 

@@ -1,0 +1,20 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kws::internal {
+
+void CheckFailed(const char* kind, const char* expr, const char* file,
+                 int line, const std::string& detail) {
+  if (detail.empty()) {
+    std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  } else {
+    std::fprintf(stderr, "%s failed: %s (%s) at %s:%d\n", kind, expr,
+                 detail.c_str(), file, line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace kws::internal

@@ -1,0 +1,90 @@
+#ifndef KWDB_COMMON_CHECK_H_
+#define KWDB_COMMON_CHECK_H_
+
+#include <cstddef>
+#include <string>
+
+namespace kws::internal {
+
+/// Prints "<kind> failed: <expr> (<detail>) at <file>:<line>" to stderr and
+/// aborts. The out-of-line definition keeps the call sites tiny and keeps
+/// <cstdio> out of every header that checks something.
+[[noreturn]] void CheckFailed(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& detail = std::string());
+
+/// Full strictly-increasing sweep used by KWS_DCHECK_SORTED. Returns the
+/// index of the first adjacent inversion, or SIZE_MAX when sorted.
+template <typename C>
+size_t FirstInversion(const C& c) {
+  size_t i = 1;
+  for (auto it = c.begin(); it != c.end(); ++it, ++i) {
+    auto next = it;
+    ++next;
+    if (next == c.end()) break;
+    if (!(*it < *next)) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace kws::internal
+
+/// KWS_CHECK: always-on contract check (Release included). Use it where a
+/// violated precondition would otherwise read uninitialized storage or
+/// corrupt an index — the process aborts with a source location instead.
+#define KWS_CHECK(cond)                                                \
+  ((cond) ? (void)0                                                    \
+          : ::kws::internal::CheckFailed("KWS_CHECK", #cond, __FILE__, \
+                                         __LINE__))
+
+/// KWS_CHECK with an extra human-readable detail string (e.g. the Status
+/// being ignored). `detail` may be a std::string or anything convertible.
+#define KWS_CHECK_MSG(cond, detail)                                    \
+  ((cond) ? (void)0                                                    \
+          : ::kws::internal::CheckFailed("KWS_CHECK", #cond, __FILE__, \
+                                         __LINE__, (detail)))
+
+#ifndef NDEBUG
+
+/// Debug/sanitizer-build contract check; compiles out in Release (tier 1)
+/// but is live under the `asan` preset, whose Debug build keeps NDEBUG
+/// undefined so every KWS_DCHECK runs under ASan/UBSan.
+#define KWS_DCHECK(cond) KWS_CHECK(cond)
+#define KWS_DCHECK_MSG(cond, detail) KWS_CHECK_MSG(cond, detail)
+
+/// Verifies a whole container is strictly increasing (the posting-list /
+/// preorder-id contract). O(n): call it at sites that restructure the
+/// container (out-of-order insert, rebuild), not on the hot append path —
+/// appends use KWS_DCHECK_SORTED_APPEND below, whose O(1) suffix check is
+/// the inductive form of the same invariant.
+#define KWS_DCHECK_SORTED(container)                                          \
+  do {                                                                        \
+    const size_t kws_inv_ = ::kws::internal::FirstInversion(container);       \
+    if (kws_inv_ != static_cast<size_t>(-1)) {                                \
+      ::kws::internal::CheckFailed(                                           \
+          "KWS_DCHECK_SORTED", #container, __FILE__, __LINE__,                \
+          "not strictly increasing at index " + std::to_string(kws_inv_));    \
+    }                                                                         \
+  } while (false)
+
+/// O(1) append-form of the strictly-increasing contract: `value` may be
+/// appended to `container` only if it exceeds the current tail. By
+/// induction with KWS_DCHECK_SORTED this keeps the container sorted
+/// without an O(n) sweep per append.
+#define KWS_DCHECK_SORTED_APPEND(container, value)                        \
+  KWS_DCHECK_MSG((container).empty() || (container).back() < (value),     \
+                 "append would break strict ordering")
+
+#else  // NDEBUG
+
+// Unevaluated-operand expansions: no codegen, but the condition still
+// name-checks, so variables used only in checks don't trip -Wunused.
+#define KWS_DCHECK(cond) ((void)sizeof((cond) ? 1 : 0))
+#define KWS_DCHECK_MSG(cond, detail) ((void)sizeof((cond) ? 1 : 0))
+#define KWS_DCHECK_SORTED(container) ((void)sizeof(&(container)))
+#define KWS_DCHECK_SORTED_APPEND(container, value) \
+  ((void)sizeof((container).empty() || (container).back() < (value)))
+
+#endif  // NDEBUG
+
+#endif  // KWDB_COMMON_CHECK_H_

@@ -96,7 +96,7 @@ class ConcurrentTopK {
  private:
   struct Shard {
     explicit Shard(size_t k) : top(k) {}
-    std::mutex mu;
+    std::mutex mu;  // kwslint: allow(mutex-style) -- struct member
     OrderedTopK<T, Better> top;
   };
 

@@ -1,8 +1,9 @@
 #include "common/random.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace kws {
 
@@ -31,7 +32,7 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::Uniform(uint64_t bound) {
-  assert(bound > 0);
+  KWS_DCHECK(bound > 0);
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = -bound % bound;
   for (;;) {
@@ -41,7 +42,7 @@ uint64_t Rng::Uniform(uint64_t bound) {
 }
 
 int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  KWS_DCHECK(lo <= hi);
   return lo + static_cast<int64_t>(
                   Uniform(static_cast<uint64_t>(hi - lo) + 1));
 }
@@ -57,7 +58,7 @@ bool Rng::Chance(double p) {
 }
 
 size_t Rng::Index(size_t size) {
-  assert(size > 0);
+  KWS_DCHECK(size > 0);
   return static_cast<size_t>(Uniform(size));
 }
 
@@ -72,7 +73,7 @@ uint64_t SplitSeed(uint64_t seed, uint64_t stream) {
 }
 
 ZipfSampler::ZipfSampler(size_t n, double theta) {
-  assert(n > 0);
+  KWS_DCHECK(n > 0);
   cdf_.resize(n);
   double sum = 0;
   for (size_t i = 0; i < n; ++i) {

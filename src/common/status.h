@@ -1,10 +1,11 @@
 #ifndef KWDB_COMMON_STATUS_H_
 #define KWDB_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace kws {
 
@@ -92,8 +93,10 @@ class Status {
 
 /// A value-or-error wrapper: either holds a `T` or an error `Status`.
 ///
-/// Accessing the value of an errored Result is a programming error and is
-/// checked with assert in debug builds.
+/// Accessing the value of an errored Result is a programming error. It is
+/// checked with an always-on KWS_CHECK that prints the carried Status, so
+/// Release and sanitizer builds fail loudly instead of reading an empty
+/// optional's storage.
 template <typename T>
 class Result {
  public:
@@ -102,23 +105,25 @@ class Result {
 
   /// Implicit construction from an error status. `status.ok()` is forbidden.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    KWS_DCHECK_MSG(!status_.ok(),
+                   "Result constructed from OK status without value");
   }
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
-  /// Returns the contained value; the Result must be ok().
+  /// Returns the contained value; the Result must be ok(). Calling this on
+  /// an errored Result aborts (in every build type) with the error Status.
   const T& value() const& {
-    assert(ok());
+    KWS_CHECK_MSG(ok(), status_.ToString());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    KWS_CHECK_MSG(ok(), status_.ToString());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    KWS_CHECK_MSG(ok(), status_.ToString());
     return std::move(*value_);
   }
 

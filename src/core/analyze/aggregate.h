@@ -20,6 +20,7 @@ struct AggregateGroup {
   /// Number of bound (non-*) attributes — higher is more specific.
   size_t specificity = 0;
 
+  /// Renders the group key and metrics for snippet display.
   std::string ToString(const relational::Database& db,
                        relational::TableId table,
                        const std::vector<relational::ColumnId>& columns) const;
@@ -44,6 +45,7 @@ struct CubeCell {
   size_t support = 0;
   double avg_relevance = 0;
 
+  /// Renders the cluster label and aggregate relevance.
   std::string ToString(const relational::Database& db,
                        relational::TableId table,
                        const std::vector<relational::ColumnId>& columns) const;

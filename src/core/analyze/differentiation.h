@@ -29,6 +29,7 @@ using FeatureSet = std::vector<Feature>;
 /// (Liu et al., VLDB 09; tutorial slides 149-153).
 double DegreeOfDifferentiation(const std::vector<FeatureSet>& selection);
 
+/// Tuning knobs for the greedy/local-search feature differentiation.
 struct DifferentiationOptions {
   /// Maximum features kept per result (the "concise" bound).
   size_t max_features = 3;

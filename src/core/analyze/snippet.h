@@ -16,6 +16,7 @@ struct SnippetItem {
   enum class Reason { kKeyword, kKey, kEntity, kDominantFeature } reason;
 };
 
+/// Tuning knobs for greedy snippet construction.
 struct SnippetOptions {
   /// Maximum items in a snippet (the "concise" constraint; the exact
   /// optimization is NP-hard, this module is the standard greedy).

@@ -22,6 +22,7 @@ struct CleanedQuery {
   bool has_results = false;
 };
 
+/// Tuning knobs for the noisy-channel query cleaner.
 struct CleanerOptions {
   /// Maximum edit distance for confusion sets.
   size_t max_edits = 2;

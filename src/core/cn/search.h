@@ -25,6 +25,7 @@ enum class Strategy {
   kGlobalPipeline,
 };
 
+/// Stable display name for a search strategy (e.g. "SingleTopK").
 const char* StrategyToString(Strategy s);
 
 /// A final ranked answer.
@@ -49,6 +50,7 @@ struct SearchResultOrder {
   }
 };
 
+/// Tuning knobs for candidate-network keyword search.
 struct SearchOptions {
   size_t k = 10;
   size_t max_cn_size = 5;

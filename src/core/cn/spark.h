@@ -46,8 +46,10 @@ enum class SparkAlgorithm {
   kBlockPipeline,
 };
 
+/// Stable display name for a SPARK algorithm variant.
 const char* SparkAlgorithmToString(SparkAlgorithm a);
 
+/// Tuning knobs for the SPARK top-k executors.
 struct SparkOptions {
   size_t k = 10;
   size_t max_cn_size = 5;
@@ -57,6 +59,7 @@ struct SparkOptions {
   size_t block_size = 8;
 };
 
+/// Work counters reported by one SPARK execution.
 struct SparkStats {
   size_t cns_enumerated = 0;
   uint64_t candidates_scored = 0;   // exact score computations
@@ -69,6 +72,7 @@ class SparkSearch {
  public:
   explicit SparkSearch(const relational::Database& db) : db_(db) {}
 
+  /// Runs SPARK-ranked keyword search; top `k` results in score order.
   std::vector<SearchResult> Search(const std::string& query,
                                    const SparkOptions& options,
                                    std::vector<CandidateNetwork>* cns_out,

@@ -25,6 +25,7 @@ namespace kws::cn {
 /// `TupleSets` from these frontiers with the original arithmetic, so
 /// cached and uncached queries produce bit-identical responses.
 struct TermFrontier {
+  /// Matching rows (with term frequencies) of one table.
   struct TableFrontier {
     std::vector<relational::RowId> rows;
     std::vector<uint32_t> tfs;  // parallel to rows
@@ -90,6 +91,7 @@ class TupleSetCache {
   size_t capacity() const { return capacity_; }
   const relational::Database& db() const { return db_; }
 
+  /// Hit/miss/eviction counters accumulated since construction.
   Stats stats() const;
 
  private:

@@ -24,6 +24,7 @@ enum class Backend {
   kDataGraph,
 };
 
+/// Tuning knobs for the relational keyword-search facade.
 struct EngineOptions {
   size_t k = 10;
   Backend backend = Backend::kCandidateNetworks;

@@ -17,6 +17,7 @@ namespace kws::engine {
 /// Which LCA-family semantics the XML engine answers with.
 enum class XmlSemantics { kSlca, kElca };
 
+/// Tuning knobs for the XML keyword-search facade.
 struct XmlEngineOptions {
   size_t k = 10;
   XmlSemantics semantics = XmlSemantics::kSlca;
@@ -39,6 +40,7 @@ struct XmlResult {
   std::string snippet;
 };
 
+/// Everything the XML facade returns for one query.
 struct XmlResponse {
   /// OK for a complete answer; `kDeadlineExceeded` when the budget cut
   /// the pipeline short (results may then be partial or empty).
@@ -56,6 +58,8 @@ class XmlKeywordSearch {
   /// engine and must have its keyword index built.
   explicit XmlKeywordSearch(const xml::XmlTree& tree);
 
+  /// Answers `query` over the indexed tree; honors options.deadline
+  /// by returning partial results with kDeadlineExceeded.
   XmlResponse Search(const std::string& query,
                      const XmlEngineOptions& options = {}) const;
 

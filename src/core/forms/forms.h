@@ -36,6 +36,7 @@ struct QueryForm {
   std::string ToString(const relational::Database& db) const;
 };
 
+/// Size caps for offline query-form generation.
 struct FormGenOptions {
   size_t max_tables = 3;
   size_t max_fields = 4;
@@ -72,11 +73,13 @@ std::vector<QueryForm> GenerateForms(const relational::Database& db,
 /// rows match them, and the union of all variants' hits is ranked.
 class FormIndex {
  public:
+  /// One keyword-matched form with its queriability-weighted score.
   struct RankedForm {
     size_t form = 0;  // index into forms()
     double score = 0;
   };
 
+  /// Indexes `forms` over `db` for keyword-to-form lookup.
   FormIndex(const relational::Database& db, std::vector<QueryForm> forms);
 
   const std::vector<QueryForm>& forms() const { return forms_; }

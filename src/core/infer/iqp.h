@@ -17,6 +17,7 @@ struct Interpretation {
   std::vector<relational::ColumnId> bindings;
   double probability = 0;
 
+  /// Renders the predicate and its posterior probability.
   std::string ToString(const relational::TableSchema& schema,
                        const std::vector<std::string>& keywords) const;
 };
@@ -28,6 +29,7 @@ struct Interpretation {
 /// empty, flat priors with data-driven likelihoods are used.
 class IqpRanker {
  public:
+  /// Builds term statistics for `table` so queries can be ranked.
   IqpRanker(const relational::Database& db, relational::TableId table,
             const relational::QueryLog& log);
 

@@ -46,6 +46,7 @@ struct PrecisAttribute {
   double weight = 0;
 };
 
+/// Tuning knobs for Precis-style result-attribute expansion.
 struct PrecisOptions {
   /// Maximum number of attributes in a result (slide 52 constraint 1).
   size_t max_attributes = 8;

@@ -26,6 +26,7 @@ struct XPathQuery {
   std::string ToString(const std::vector<std::string>& keywords) const;
 };
 
+/// Size caps for keyword-to-XPath query generation.
 struct XPathGenOptions {
   /// Bindings kept per keyword before combination.
   size_t bindings_per_keyword = 4;

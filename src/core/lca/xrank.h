@@ -28,6 +28,7 @@ struct ScoredXmlResult {
   double score = 0;
 };
 
+/// Tuning knobs for XRank result-root scoring.
 struct XRankOptions {
   /// Per-edge decay applied to a match's ElemRank as it propagates from
   /// the match node up to the result root (XRank's decay factor).

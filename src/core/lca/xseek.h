@@ -15,6 +15,7 @@ namespace kws::lca {
 /// and a *connection* otherwise.
 enum class NodeCategory { kEntity, kAttribute, kConnection };
 
+/// Buckets a node by its path statistics (XSeek entity inference).
 NodeCategory Classify(const xml::PathStatistics& stats,
                       const std::string& label_path, bool has_text,
                       bool is_leaf);

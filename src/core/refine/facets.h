@@ -18,7 +18,9 @@ struct FacetCondition {
   std::optional<double> lo;
   std::optional<double> hi;
 
+  /// True when `row`'s facet column falls inside this bucket.
   bool Matches(const relational::Table& table, relational::RowId row) const;
+  /// Renders the bucket bounds with the facet column's name.
   std::string ToString(const relational::TableSchema& schema) const;
 };
 
@@ -46,6 +48,7 @@ enum class FacetCostModel {
   kFacetor,
 };
 
+/// Size/shape caps for facet-tree construction.
 struct FacetTreeOptions {
   size_t max_depth = 3;
   /// Cap on conditions per facet (top values by result frequency).

@@ -13,6 +13,7 @@ namespace kws::rewrite {
 /// A structured predicate a keyword maps to (Keyword++, Xin et al.
 /// VLDB 10; tutorial slides 95-100).
 struct MappedPredicate {
+  /// How the predicate translates into SQL.
   enum class Kind {
     kEquals,     // categorical: column = value
     kOrderAsc,   // non-quantitative "small": ORDER BY column ASC
@@ -25,6 +26,7 @@ struct MappedPredicate {
   /// Differential significance (higher = stronger mapping).
   double score = 0;
 
+  /// Renders the rewritten terms and their score.
   std::string ToString(const relational::TableSchema& schema) const;
 };
 

@@ -22,6 +22,7 @@ struct DatabaseScore {
   size_t joinable_pairs = 0;
 };
 
+/// Tuning knobs for keyword-relationship database selection.
 struct SelectorOptions {
   /// Maximum join distance for two keywords to count as related (the
   /// keyword-relationship radius of Yu et al.).

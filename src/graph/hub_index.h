@@ -21,6 +21,7 @@ namespace kws::graph {
 /// BuildDataGraph, which materializes both directions).
 class HubDistanceIndex {
  public:
+  /// Size/precision trade-offs for the hub distance index.
   struct Options {
     /// Number of hubs (top in-degree nodes).
     size_t num_hubs = 16;

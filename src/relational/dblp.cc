@@ -1,7 +1,8 @@
 #include "relational/dblp.h"
 
-#include <cassert>
 #include <iterator>
+
+#include "common/check.h"
 
 namespace kws::relational {
 
@@ -229,15 +230,15 @@ DblpDatabase MakeDblpDatabase(const DblpOptions& options) {
   // --- Keys & indexes --------------------------------------------------
   Status s;
   s = db.AddForeignKey("paper", "cid", "conference", "cid");
-  assert(s.ok());
+  KWS_CHECK_MSG(s.ok(), s.ToString());
   s = db.AddForeignKey("writes", "aid", "author", "aid");
-  assert(s.ok());
+  KWS_CHECK_MSG(s.ok(), s.ToString());
   s = db.AddForeignKey("writes", "pid", "paper", "pid");
-  assert(s.ok());
+  KWS_CHECK_MSG(s.ok(), s.ToString());
   s = db.AddForeignKey("cite", "citing", "paper", "pid");
-  assert(s.ok());
+  KWS_CHECK_MSG(s.ok(), s.ToString());
   s = db.AddForeignKey("cite", "cited", "paper", "pid");
-  assert(s.ok());
+  KWS_CHECK_MSG(s.ok(), s.ToString());
   (void)s;
 
   db.BuildTextIndexes();

@@ -31,6 +31,7 @@ struct LoggedQuery {
   uint32_t count = 1;
 };
 
+/// A workload: logged queries in submission order.
 using QueryLog = std::vector<LoggedQuery>;
 
 /// Options for the synthetic query-log generator.

@@ -31,6 +31,7 @@ struct TupleId {
   }
 };
 
+/// Hash functor so TupleId keys unordered containers.
 struct TupleIdHash {
   size_t operator()(const TupleId& t) const {
     return (static_cast<size_t>(t.table) << 32) ^ t.row;

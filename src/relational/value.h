@@ -13,6 +13,7 @@ namespace kws::relational {
 /// predicates (facets, Keyword++ ORDER BY mapping).
 enum class ValueType { kNull, kInt, kReal, kText };
 
+/// Stable display name for a value type (e.g. "int").
 const char* ValueTypeToString(ValueType type);
 
 /// A single typed cell. Cheap to copy for INT/REAL; TEXT owns its string.
@@ -70,6 +71,7 @@ class Value {
 
 /// Hash functor so values can key unordered containers (join indexes).
 struct ValueHash {
+  /// Hashes by type tag and payload (text by content).
   size_t operator()(const Value& v) const;
 };
 

@@ -81,7 +81,7 @@ class ShardedResultCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    std::mutex mu;  // kwslint: allow(mutex-style) -- struct member
     /// Front = most recent. Each entry is (key, value).
     std::list<std::pair<std::string, CachedResult>> lru;
     std::unordered_map<

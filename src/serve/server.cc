@@ -87,7 +87,7 @@ void ServingEngine::Shutdown() {
     stopping_ = true;
   }
   cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : workers_) w.join();  // kwslint: allow(raw-thread)
   workers_.clear();
   // With zero workers (admission-control tests) tasks may still be
   // queued; fail them rather than abandoning their futures.

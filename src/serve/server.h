@@ -63,6 +63,7 @@ struct QueryOutcome {
   double latency_micros = 0;
 };
 
+/// Tuning knobs for the concurrent query server.
 struct ServeOptions {
   /// Worker threads draining the submission queue. 0 is allowed (nothing
   /// executes until Shutdown fails the queued work) and is only useful in
@@ -102,9 +103,12 @@ struct ServeOptions {
 /// joins the pool, so no future obtained from `Submit` is ever abandoned.
 class ServingEngine {
  public:
+  /// Wraps the (optional) relational and XML engines; spawns
+  /// options.worker_threads queue workers.
   ServingEngine(const engine::KeywordSearchEngine* relational,
                 const engine::XmlKeywordSearch* xml,
                 const ServeOptions& options = {});
+  /// Drains the queue and joins the worker pool.
   ~ServingEngine();
 
   ServingEngine(const ServingEngine&) = delete;
@@ -184,7 +188,9 @@ class ServingEngine {
   std::condition_variable cv_;
   std::deque<Task> queue_;
   bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  // The server IS a worker pool: it owns long-lived threads draining a
+  // cv-guarded queue, which ThreadPool's fork-join RunOnAll cannot model.
+  std::vector<std::thread> workers_;  // kwslint: allow(raw-thread)
 };
 
 }  // namespace kws::serve

@@ -30,6 +30,7 @@ struct ScoredDoc {
 /// instead of per-term linear scans.
 class InvertedIndex {
  public:
+  /// An empty index; documents are tokenized with `options`.
   explicit InvertedIndex(TokenizerOptions options = {});
 
   /// Indexes `content` under document id `doc`. May be called repeatedly

@@ -1,6 +1,9 @@
 #include "text/postings.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/check.h"
 
 namespace kws::text {
 
@@ -20,9 +23,12 @@ void PostingList::Add(DocId doc) {
     docs_.insert(it, doc);
     tfs_.insert(tfs_.begin() + static_cast<long>(idx), 1);
     RebuildSkips();
+    // The insert restructured the array: audit the whole ordering (this
+    // path is already O(n), so the sweep doesn't change its complexity).
+    KWS_DCHECK_SORTED(docs_);
     return;
   }
-  assert(docs_.empty() || doc > docs_.back());
+  KWS_DCHECK_SORTED_APPEND(docs_, doc);
   docs_.push_back(doc);
   tfs_.push_back(1);
   // The new doc is the last element of its block: extend or update the
@@ -41,6 +47,39 @@ void PostingList::RebuildSkips() {
   for (size_t i = 0; i < docs_.size(); i += kSkipBlockSize) {
     skips_.push_back(docs_[std::min(i + kSkipBlockSize, docs_.size()) - 1]);
   }
+  // Block-last docs inherit strict ordering from docs_; a violation here
+  // means the rebuild itself (or the input array) is corrupt.
+  KWS_DCHECK_SORTED(skips_);
+}
+
+Status PostingList::Validate() const {
+  if (tfs_.size() != docs_.size()) {
+    return Status::Internal("tf array size " + std::to_string(tfs_.size()) +
+                            " != doc array size " +
+                            std::to_string(docs_.size()));
+  }
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    if (i > 0 && docs_[i - 1] >= docs_[i]) {
+      return Status::Internal("docs not strictly increasing at index " +
+                              std::to_string(i));
+    }
+    if (tfs_[i] == 0) {
+      return Status::Internal("zero tf at index " + std::to_string(i));
+    }
+  }
+  const size_t blocks = (docs_.size() + kSkipBlockSize - 1) / kSkipBlockSize;
+  if (skips_.size() != blocks) {
+    return Status::Internal("skip table has " + std::to_string(skips_.size()) +
+                            " blocks, expected " + std::to_string(blocks));
+  }
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t last = std::min((b + 1) * kSkipBlockSize, docs_.size()) - 1;
+    if (skips_[b] != docs_[last]) {
+      return Status::Internal("skip entry " + std::to_string(b) +
+                              " != last doc of its block");
+    }
+  }
+  return Status::OK();
 }
 
 size_t SeekGELinear(const PostingSpan& span, size_t from, DocId target) {

@@ -1,11 +1,12 @@
 #ifndef KWDB_TEXT_POSTINGS_H_
 #define KWDB_TEXT_POSTINGS_H_
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
 #include <vector>
+
+#include "common/status.h"
 
 namespace kws::text {
 
@@ -61,6 +62,13 @@ class PostingList {
   const std::vector<DocId>& docs() const { return docs_; }
   const std::vector<uint32_t>& tfs() const { return tfs_; }
   const std::vector<DocId>& skips() const { return skips_; }
+
+  /// Full structural audit: docs strictly increasing, tf array parallel
+  /// with every tf >= 1, and the skip table exactly the per-block last
+  /// docs. O(n); compiled in every build (oracle tests call it after each
+  /// fuzz mutation batch — the KWS_DCHECK_SORTED contract macros inside
+  /// Add cover debug/sanitizer builds at mutation granularity).
+  Status Validate() const;
 
   /// Value iterator so call sites keep the idiomatic
   /// `for (const Posting& p : index.GetPostings(term))` loop over the

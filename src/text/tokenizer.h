@@ -26,6 +26,7 @@ struct TokenizerOptions {
 /// token always compares equal to the corresponding document token.
 class Tokenizer {
  public:
+  /// A tokenizer applying `options` (case folding, stopwords, stems).
   explicit Tokenizer(TokenizerOptions options = {});
 
   /// Tokenizes `input`, applying the configured normalization.

@@ -1,17 +1,18 @@
 #include "text/trie.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace kws::text {
 
 void Trie::Insert(std::string_view word) {
-  assert(!frozen_);
+  KWS_DCHECK(!frozen_);
   words_.emplace_back(word);
 }
 
 void Trie::Freeze() {
-  assert(!frozen_);
+  KWS_DCHECK(!frozen_);
   std::sort(words_.begin(), words_.end());
   words_.erase(std::unique(words_.begin(), words_.end()), words_.end());
   BuildNodes();
@@ -70,7 +71,7 @@ int Trie::FindChild(uint32_t node, char c) const {
 }
 
 std::optional<uint32_t> Trie::Find(std::string_view word) const {
-  assert(frozen_);
+  KWS_DCHECK(frozen_);
   auto it = std::lower_bound(words_.begin(), words_.end(), word);
   if (it != words_.end() && *it == word) {
     return static_cast<uint32_t>(it - words_.begin());
@@ -79,7 +80,7 @@ std::optional<uint32_t> Trie::Find(std::string_view word) const {
 }
 
 WordRange Trie::PrefixRange(std::string_view prefix) const {
-  assert(frozen_);
+  KWS_DCHECK(frozen_);
   uint32_t node = 0;
   for (char c : prefix) {
     int child = FindChild(node, c);
@@ -101,7 +102,7 @@ std::vector<std::string> Trie::Complete(std::string_view prefix,
 
 std::vector<WordRange> Trie::FuzzyPrefixRanges(std::string_view prefix,
                                                size_t max_edits) const {
-  assert(frozen_);
+  KWS_DCHECK(frozen_);
   std::vector<WordRange> out;
   std::vector<size_t> root_row(prefix.size() + 1);
   for (size_t j = 0; j <= prefix.size(); ++j) root_row[j] = j;

@@ -1,15 +1,17 @@
 #include "xml/tree.h"
 
 #include <algorithm>
-#include <cassert>
+#include <string>
+
+#include "common/check.h"
 
 namespace kws::xml {
 
 XmlNodeId XmlTree::AddElement(XmlNodeId parent, std::string tag) {
   const XmlNodeId id = static_cast<XmlNodeId>(tags_.size());
-  assert((parent == kNoXmlNode) == (id == 0) &&
-         "the first node (and only it) must be the root");
-  assert(parent == kNoXmlNode || parent < id);
+  KWS_DCHECK_MSG((parent == kNoXmlNode) == (id == 0),
+                 "the first node (and only it) must be the root");
+  KWS_DCHECK(parent == kNoXmlNode || parent < id);
 #ifndef NDEBUG
   // Preorder invariant: the parent must be an ancestor-or-self of the
   // previously added node, i.e. construction is a depth-first walk. The
@@ -17,13 +19,16 @@ XmlNodeId XmlTree::AddElement(XmlNodeId parent, std::string tag) {
   if (id > 0) {
     XmlNodeId probe = id - 1;
     while (probe != parent && probe != kNoXmlNode) probe = parents_[probe];
-    assert(probe == parent && "AddElement must follow document order");
+    KWS_DCHECK_MSG(probe == parent, "AddElement must follow document order");
   }
 #endif
   tags_.push_back(std::move(tag));
   // Ids are assigned in ascending preorder, so appending keeps every
-  // per-tag node list sorted in document order for free.
-  tag_index_[tags_.back()].push_back(id);
+  // per-tag node list sorted in document order for free; the append-form
+  // sorted contract pins that down at every insertion.
+  std::vector<XmlNodeId>& tag_list = tag_index_[tags_.back()];
+  KWS_DCHECK_SORTED_APPEND(tag_list, id);
+  tag_list.push_back(id);
   texts_.emplace_back();
   parents_.push_back(parent);
   children_.emplace_back();
@@ -35,6 +40,7 @@ XmlNodeId XmlTree::AddElement(XmlNodeId parent, std::string tag) {
     Dewey d = deweys_[parent];
     d.push_back(static_cast<uint32_t>(children_[parent].size()));
     deweys_.push_back(std::move(d));
+    KWS_DCHECK_SORTED_APPEND(children_[parent], id);
     children_[parent].push_back(id);
   }
   return id;
@@ -135,6 +141,53 @@ std::string XmlTree::ToXmlString(XmlNodeId n, int indent) const {
   }
   out += "</" + tags_[n] + ">\n";
   return out;
+}
+
+Status XmlTree::ValidatePreorder() const {
+  const size_t n = tags_.size();
+  if (n == 0) return Status::OK();
+  if (parents_[0] != kNoXmlNode) {
+    return Status::Internal("node 0 is not a root");
+  }
+  for (XmlNodeId i = 1; i < n; ++i) {
+    if (parents_[i] == kNoXmlNode) {
+      return Status::Internal("second root at node " + std::to_string(i));
+    }
+    if (parents_[i] >= i) {
+      return Status::Internal("parent " + std::to_string(parents_[i]) +
+                              " does not precede child " + std::to_string(i));
+    }
+  }
+  for (XmlNodeId i = 0; i < n; ++i) {
+    const std::vector<XmlNodeId>& kids = children_[i];
+    for (size_t k = 1; k < kids.size(); ++k) {
+      if (kids[k - 1] >= kids[k]) {
+        return Status::Internal("children of " + std::to_string(i) +
+                                " not strictly increasing");
+      }
+    }
+  }
+  // Ids must be exactly the depth-first (document-order) numbering: an
+  // explicit DFS from the root re-derives them and compares.
+  std::vector<XmlNodeId> stack = {0};
+  XmlNodeId next = 0;
+  while (!stack.empty()) {
+    const XmlNodeId node = stack.back();
+    stack.pop_back();
+    if (node != next) {
+      return Status::Internal("node " + std::to_string(node) +
+                              " visited at preorder position " +
+                              std::to_string(next));
+    }
+    ++next;
+    const std::vector<XmlNodeId>& kids = children_[node];
+    for (size_t k = kids.size(); k > 0; --k) stack.push_back(kids[k - 1]);
+  }
+  if (next != n) {
+    return Status::Internal(std::to_string(n - next) +
+                            " nodes unreachable from the root");
+  }
+  return Status::OK();
 }
 
 }  // namespace kws::xml

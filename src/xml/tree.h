@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "common/strings.h"
 #include "text/tokenizer.h"
 
@@ -83,6 +84,14 @@ class XmlTree {
 
   /// Serializes the subtree rooted at `n` (whole document for the root).
   std::string ToXmlString(XmlNodeId n, int indent = 0) const;
+
+  /// Full structural audit of the preorder-id invariant: parents precede
+  /// children, child lists are strictly increasing, and a depth-first walk
+  /// from the root reproduces the ids 0..size-1 in order (i.e. ids ARE
+  /// document order). O(n); compiled in every build — oracle tests call it
+  /// after building random trees, complementing the per-AddElement
+  /// KWS_DCHECK contract checks active in debug/sanitizer builds.
+  Status ValidatePreorder() const;
 
  private:
   std::vector<std::string> tags_;

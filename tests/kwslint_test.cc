@@ -1,0 +1,322 @@
+// Fixture-driven tests for the kwslint rule engine: each known-bad
+// snippet must trip exactly its rule, and the allow()/file-allow()
+// suppression comments must silence it again. The binary's exit code
+// contract (nonzero on findings) is pinned through LintFiles, which is
+// what main() returns.
+
+#include "kwslint/rules.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "kwslint/source.h"
+
+namespace kws::lint {
+namespace {
+
+std::vector<Diagnostic> Lint(const std::string& path,
+                             const std::string& content) {
+  return RunRules(SourceFile::Parse(path, content));
+}
+
+size_t CountRule(const std::vector<Diagnostic>& diags,
+                 const std::string& rule) {
+  size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+// --- raw-random -----------------------------------------------------------
+
+TEST(KwslintRawRandom, FlagsEveryBannedSeedSource) {
+  const std::string bad =
+      "#include <cstdlib>\n"
+      "int F() {\n"
+      "  srand(42);\n"
+      "  std::random_device rd;\n"
+      "  auto seed = time(nullptr);\n"
+      "  return std::rand();\n"
+      "}\n";
+  std::vector<Diagnostic> diags = Lint("src/core/foo.cc", bad);
+  EXPECT_EQ(CountRule(diags, "raw-random"), 4u);
+}
+
+TEST(KwslintRawRandom, RngImplementationIsExempt) {
+  EXPECT_EQ(CountRule(Lint("src/common/random.cc", "int x = std::rand();\n"),
+                      "raw-random"),
+            0u);
+}
+
+TEST(KwslintRawRandom, AppliesToTestsAndBenches) {
+  EXPECT_EQ(CountRule(Lint("tests/foo_test.cc", "int x = std::rand();\n"),
+                      "raw-random"),
+            1u);
+  EXPECT_EQ(CountRule(Lint("bench/bench_foo.cc", "std::mt19937 gen;\n"),
+                      "raw-random"),
+            1u);
+}
+
+// --- no-throw -------------------------------------------------------------
+
+TEST(KwslintNoThrow, FlagsThrowOnLibraryPathsOnly) {
+  const std::string bad = "void F() { throw 42; }\n";
+  EXPECT_EQ(CountRule(Lint("src/core/foo.cc", bad), "no-throw"), 1u);
+  // Tests may throw (gtest itself does).
+  EXPECT_EQ(CountRule(Lint("tests/foo_test.cc", bad), "no-throw"), 0u);
+}
+
+TEST(KwslintNoThrow, IgnoresCommentsAndStrings) {
+  const std::string ok =
+      "// may throw in spirit\n"
+      "const char* kMsg = \"never throw\";\n";
+  EXPECT_EQ(CountRule(Lint("src/core/foo.cc", ok), "no-throw"), 0u);
+}
+
+// --- raw-thread -----------------------------------------------------------
+
+TEST(KwslintRawThread, FlagsNakedThreadAsyncDetach) {
+  const std::string bad =
+      "void F() {\n"
+      "  std::thread t([] {});\n"
+      "  t.detach();\n"
+      "  auto fut = std::async(G);\n"
+      "}\n";
+  EXPECT_EQ(CountRule(Lint("src/core/foo.cc", bad), "raw-thread"), 3u);
+  // The rule holds in tests too: deterministic schedules need the pool.
+  EXPECT_EQ(CountRule(Lint("tests/foo_test.cc", bad), "raw-thread"), 3u);
+}
+
+TEST(KwslintRawThread, ThreadPoolImplementationIsExempt) {
+  EXPECT_EQ(CountRule(Lint("src/common/thread_pool.cc",
+                           "std::thread t([] {});\n"),
+                      "raw-thread"),
+            0u);
+}
+
+// --- no-iostream ----------------------------------------------------------
+
+TEST(KwslintNoIostream, FlagsCoutCerrInSrcOnly) {
+  const std::string bad =
+      "void F() { std::cout << 1; std::cerr << 2; }\n";
+  EXPECT_EQ(CountRule(Lint("src/core/foo.cc", bad), "no-iostream"), 2u);
+  // Benches and examples print; that is their job.
+  EXPECT_EQ(CountRule(Lint("bench/bench_foo.cc", bad), "no-iostream"), 0u);
+  EXPECT_EQ(CountRule(Lint("examples/demo.cc", bad), "no-iostream"), 0u);
+}
+
+// --- doc-comment ----------------------------------------------------------
+
+std::string Header(const std::string& body) {
+  return "#ifndef KWDB_FOO_BAR_H_\n#define KWDB_FOO_BAR_H_\n" + body +
+         "#endif  // KWDB_FOO_BAR_H_\n";
+}
+
+TEST(KwslintDocComment, FlagsUndocumentedPublicFunction) {
+  std::vector<Diagnostic> diags = Lint(
+      "src/foo/bar.h", Header("namespace kws::foo {\n"
+                              "int Undocumented(int x);\n"
+                              "/// Documented.\n"
+                              "int Documented(int x);\n"
+                              "}  // namespace kws::foo\n"));
+  ASSERT_EQ(CountRule(diags, "doc-comment"), 1u);
+  EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(KwslintDocComment, PublicClassScopeOnly) {
+  std::vector<Diagnostic> diags = Lint(
+      "src/foo/bar.h", Header("namespace kws::foo {\n"
+                              "/// A widget.\n"
+                              "class Widget {\n"
+                              " public:\n"
+                              "  Widget() = default;\n"     // exempt
+                              "  void Hidden();\n"          // fires
+                              "  /// Doc'd.\n"
+                              "  void Shown();\n"
+                              "  int trivial() const { return x_; }\n"
+                              " private:\n"
+                              "  void Secret();\n"          // private: exempt
+                              "  int x_ = 0;\n"
+                              "};\n"
+                              "}  // namespace kws::foo\n"));
+  ASSERT_EQ(CountRule(diags, "doc-comment"), 1u);
+  EXPECT_EQ(diags[0].line, 8);
+}
+
+TEST(KwslintDocComment, FlagsUndocumentedTypeAndAlias) {
+  std::vector<Diagnostic> diags = Lint(
+      "src/foo/bar.h", Header("namespace kws::foo {\n"
+                              "struct Options {\n"
+                              "  int k = 10;\n"
+                              "};\n"
+                              "using Id = unsigned;\n"
+                              "}  // namespace kws::foo\n"));
+  EXPECT_EQ(CountRule(diags, "doc-comment"), 2u);
+}
+
+TEST(KwslintDocComment, SrcHeadersOnlyAndMembersExempt) {
+  // Same undocumented function in a test header: not checked.
+  EXPECT_EQ(CountRule(Lint("tests/util.h",
+                           "#ifndef KWDB_TESTS_UTIL_H_\n"
+                           "#define KWDB_TESTS_UTIL_H_\n"
+                           "int Undocumented(int x);\n"
+                           "#endif  // KWDB_TESTS_UTIL_H_\n"),
+                      "doc-comment"),
+            0u);
+  // Data members and std::function-typed fields are not declarations the
+  // rule covers (the '(' in the template argument must not confuse it).
+  EXPECT_EQ(CountRule(Lint("src/foo/bar.h",
+                           Header("namespace kws::foo {\n"
+                                  "/// S.\n"
+                                  "struct S {\n"
+                                  "  int count = 0;\n"
+                                  "  std::function<void(int)> hook;\n"
+                                  "};\n"
+                                  "}  // namespace kws::foo\n")),
+                      "doc-comment"),
+            0u);
+}
+
+TEST(KwslintDocComment, FlagsUndocumentedMacro) {
+  std::vector<Diagnostic> diags = Lint(
+      "src/foo/bar.h",
+      Header("#define KWS_FOO(x) ((x) + 1)\n"
+             "/// Documented macro.\n"
+             "#define KWS_BAR(x) ((x) - 1)\n"));
+  ASSERT_EQ(CountRule(diags, "doc-comment"), 1u);
+  EXPECT_EQ(diags[0].line, 3);  // KWS_FOO; the guard #define is exempt
+}
+
+// --- header-guard ---------------------------------------------------------
+
+TEST(KwslintHeaderGuard, FlagsWrongGuardPragmaOnceAndBadFilename) {
+  EXPECT_EQ(CountRule(Lint("src/foo/bar.h",
+                           "#ifndef WRONG_GUARD_H_\n"
+                           "#define WRONG_GUARD_H_\n"
+                           "#endif\n"),
+                      "header-guard"),
+            1u);
+  EXPECT_GE(CountRule(Lint("src/foo/bar.h", "#pragma once\nint x;\n"),
+                      "header-guard"),
+            1u);
+  EXPECT_EQ(CountRule(Lint("src/foo/BadName.cc", "int x;\n"), "header-guard"),
+            1u);
+  EXPECT_EQ(CountRule(Lint("src/foo/bar.h", Header("")), "header-guard"), 0u);
+}
+
+TEST(KwslintHeaderGuard, GuardNameTracksPath) {
+  // src/ is stripped; other top dirs are kept (bench_util.h convention).
+  EXPECT_EQ(CountRule(Lint("bench/util.h",
+                           "#ifndef KWDB_BENCH_UTIL_H_\n"
+                           "#define KWDB_BENCH_UTIL_H_\n"
+                           "#endif  // KWDB_BENCH_UTIL_H_\n"),
+                      "header-guard"),
+            0u);
+}
+
+// --- mutex-style ----------------------------------------------------------
+
+TEST(KwslintMutexStyle, FlagsBadFieldNameAndManualLock) {
+  std::vector<Diagnostic> diags = Lint(
+      "src/foo/bar.h", Header("namespace kws::foo {\n"
+                              "/// C.\n"
+                              "class C {\n"
+                              " private:\n"
+                              "  std::mutex lock_;\n"       // bad name
+                              "  std::mutex mu_;\n"         // fine
+                              "  mutable std::mutex big_mu_;\n"  // fine
+                              "};\n"
+                              "}  // namespace kws::foo\n"));
+  EXPECT_EQ(CountRule(diags, "mutex-style"), 1u);
+
+  EXPECT_EQ(CountRule(Lint("src/foo/bar.cc",
+                           "void F() {\n"
+                           "  mu_.lock();\n"
+                           "  mu_.unlock();\n"
+                           "}\n"),
+                      "mutex-style"),
+            2u);
+  // RAII guards are the blessed pattern.
+  EXPECT_EQ(CountRule(Lint("src/foo/bar.cc",
+                           "void F() { std::lock_guard<std::mutex> "
+                           "lock(mu_); }\n"),
+                      "mutex-style"),
+            0u);
+}
+
+// --- suppression ----------------------------------------------------------
+
+TEST(KwslintSuppression, TrailingAllowSilencesThatLineOnly) {
+  const std::string body =
+      "void F() {\n"
+      "  std::thread a([] {});  // kwslint: allow(raw-thread)\n"
+      "  std::thread b([] {});\n"
+      "}\n";
+  std::vector<Diagnostic> diags = Lint("src/core/foo.cc", body);
+  ASSERT_EQ(CountRule(diags, "raw-thread"), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(KwslintSuppression, AllowListTakesMultipleRules) {
+  const std::string body =
+      "void F() { std::thread t([] { throw 1; }); }"
+      "  // kwslint: allow(raw-thread, no-throw)\n";
+  EXPECT_TRUE(Lint("src/core/foo.cc", body).empty());
+}
+
+TEST(KwslintSuppression, FileAllowSilencesWholeFile) {
+  const std::string body =
+      "// kwslint: file-allow(raw-thread)\n"
+      "void F() {\n"
+      "  std::thread a([] {});\n"
+      "  std::thread b([] {});\n"
+      "}\n";
+  EXPECT_EQ(CountRule(Lint("src/core/foo.cc", body), "raw-thread"), 0u);
+}
+
+TEST(KwslintSuppression, AllowDoesNotSilenceOtherRules) {
+  const std::string body =
+      "void F() { throw 1; }  // kwslint: allow(raw-thread)\n";
+  EXPECT_EQ(CountRule(Lint("src/core/foo.cc", body), "no-throw"), 1u);
+}
+
+// --- engine contract ------------------------------------------------------
+
+TEST(KwslintEngine, ExitCodeIsNonzeroIffFindings) {
+  std::vector<Diagnostic> diags;
+  EXPECT_EQ(LintFiles({{"src/core/ok.cc", "int x = 0;\n"}}, &diags), 0);
+  EXPECT_TRUE(diags.empty());
+  // One seeded violation per rule family; every fixture must fail.
+  const std::vector<std::pair<std::string, std::string>> seeded = {
+      {"src/core/a.cc", "void F() { srand(1); }\n"},
+      {"src/core/b.cc", "void F() { throw 1; }\n"},
+      {"src/core/c.cc", "void F() { std::thread t([] {}); }\n"},
+      {"src/core/d.cc", "void F() { std::cout << 1; }\n"},
+      {"src/foo/e.h", Header("namespace kws::foo {\nint G(int);\n}\n")},
+      {"src/foo/f.h", "#pragma once\n"},
+      {"src/core/g.cc", "void F() { mu_.lock(); }\n"},
+  };
+  for (const auto& fixture : seeded) {
+    std::vector<Diagnostic> d;
+    EXPECT_EQ(LintFiles({fixture}, &d), 1) << fixture.first;
+    EXPECT_FALSE(d.empty()) << fixture.first;
+  }
+}
+
+TEST(KwslintEngine, FormatIsFileLineRuleMessage) {
+  Diagnostic d{"src/foo.cc", 12, "no-throw", "boom"};
+  EXPECT_EQ(FormatDiagnostic(d), "src/foo.cc:12: no-throw: boom");
+}
+
+TEST(KwslintEngine, RuleIdsAreStable) {
+  const std::vector<std::string> ids = RuleIds();
+  EXPECT_EQ(ids.size(), 7u);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "doc-comment"), ids.end());
+}
+
+}  // namespace
+}  // namespace kws::lint

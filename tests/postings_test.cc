@@ -101,6 +101,26 @@ TEST(PostingListTest, ValueIterationMatchesColumns) {
   EXPECT_EQ(i, list.size());
 }
 
+class PostingFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PostingFuzzTest, ValidateHoldsUnderMixedOrderAdds) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    PostingList list;
+    const int n = 1 + static_cast<int>(rng.Uniform(300));
+    for (int i = 0; i < n; ++i) {
+      // Mostly ascending appends with occasional out-of-order inserts and
+      // duplicate docs, so both Add paths and the skip rebuild are hit.
+      list.Add(static_cast<DocId>(rng.Uniform(128)));
+    }
+    const Status s = list.Validate();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostingFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
 // ------------------------------------------------------------------ SeekGE
 
 class SeekFuzzTest : public ::testing::TestWithParam<uint64_t> {};

@@ -154,6 +154,26 @@ TEST(BibGenTest, DeterministicAndIndexed) {
   EXPECT_GT(a.tree.MatchNodes(a.vocabulary[0]).size(), 5u);
 }
 
+class BibGenFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BibGenFuzzTest, GeneratedTreesAreValidPreorder) {
+  const uint64_t seed = GetParam();
+  BibDocument doc = MakeBibDocument({.seed = seed,
+                                     .num_venues = 3 + seed % 5,
+                                     .papers_per_venue = 2 + seed % 7});
+  Status s = doc.tree.ValidatePreorder();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+
+  // Parser output must satisfy the same structural contract.
+  auto parsed = ParseXml(doc.tree.ToXmlString(0));
+  ASSERT_TRUE(parsed.ok());
+  s = parsed.value().ValidatePreorder();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BibGenFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
 TEST(PathStatisticsTest, CountsAndRepeatability) {
   BibDocument doc = MakeBibDocument({.seed = 1, .num_venues = 3,
                                      .papers_per_venue = 4});

@@ -1,0 +1,94 @@
+// kwslint: the project's invariant checker.
+//
+// Tokenizes every .h/.cc under src/, tests/, bench/ and examples/ and
+// enforces the conventions CLAUDE.md documents as machine-checked rules
+// (deterministic seeding, no-throw library paths, ThreadPool-only
+// concurrency, Status-not-iostream error reporting, Doxygen on public
+// API, include-guard style, mutex hygiene).
+//
+// Usage:
+//   kwslint [--list-rules] [root]
+//     root: repository root to lint (default ".").
+//
+// Exit code 0 when the tree is clean, 1 when any rule fired, 2 on usage
+// or I/O errors. Diagnostics go to stdout as "file:line: rule: message".
+// Suppressions: trailing "// kwslint: allow(<rule>)" on the offending
+// line, or "// kwslint: file-allow(<rule>)" anywhere in the file.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kwslint/rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// The subtrees kwslint owns. tools/ itself is exempt: the linter prints
+/// to stdout and walks the filesystem, which the library rules forbid.
+constexpr const char* kLintedDirs[] = {"src", "tests", "bench", "examples"};
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& r : kws::lint::RuleIds()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: kwslint [--list-rules] [root]\n";
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "kwslint: unknown flag '" << arg << "'\n";
+      return 2;
+    }
+    root = arg;
+  }
+
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const char* dir : kLintedDirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      if (!in) {
+        std::cerr << "kwslint: cannot read " << entry.path() << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      // Repo-relative path with forward slashes, as the rules expect.
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      files.emplace_back(rel, buf.str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<kws::lint::Diagnostic> diags;
+  const int rc = kws::lint::LintFiles(files, &diags);
+  for (const kws::lint::Diagnostic& d : diags) {
+    std::cout << kws::lint::FormatDiagnostic(d) << "\n";
+  }
+  std::cout << "kwslint: " << files.size() << " files, " << diags.size()
+            << " finding" << (diags.size() == 1 ? "" : "s") << "\n";
+  return rc;
+}

@@ -1,0 +1,586 @@
+#include "kwslint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string_view>
+
+namespace kws::lint {
+
+namespace {
+
+void Emit(const SourceFile& f, int line, const char* rule, std::string msg,
+          std::vector<Diagnostic>* out) {
+  if (f.Allowed(rule, line)) return;
+  out->push_back(Diagnostic{f.path(), line, rule, std::move(msg)});
+}
+
+bool TokenIs(const std::vector<Token>& toks, size_t i, std::string_view s) {
+  return i < toks.size() && toks[i].text == s;
+}
+
+/// True when tokens[i] is preceded by `std::` (member-access qualified).
+bool PrecededByStd(const std::vector<Token>& toks, size_t i) {
+  return i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std";
+}
+
+/// True when tokens[i] is preceded by `.` or `->` (a method call).
+bool PrecededByMemberAccess(const std::vector<Token>& toks, size_t i) {
+  if (i >= 1 && toks[i - 1].text == ".") return true;
+  return i >= 2 && toks[i - 1].text == ">" && toks[i - 2].text == "-";
+}
+
+// --- raw-random -----------------------------------------------------------
+
+void CheckRawRandom(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (f.PathStartsWith("src/common/random.")) return;
+  const std::vector<Token>& toks = f.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "srand") {
+      Emit(f, toks[i].line, "raw-random",
+           "srand seeds global state; all randomness must flow through "
+           "kws::Rng with an explicit seed",
+           out);
+    } else if (t == "random_device" || t == "mt19937" || t == "mt19937_64" ||
+               t == "default_random_engine") {
+      Emit(f, toks[i].line, "raw-random",
+           "std::" + t + " breaks deterministic replay; use kws::Rng / "
+           "SplitSeed instead",
+           out);
+    } else if (t == "rand" &&
+               (PrecededByStd(toks, i) || TokenIs(toks, i + 1, "("))) {
+      Emit(f, toks[i].line, "raw-random",
+           "rand() is nondeterministic across runs; use kws::Rng", out);
+    } else if (t == "time" && TokenIs(toks, i + 1, "(") &&
+               (TokenIs(toks, i + 2, "nullptr") ||
+                TokenIs(toks, i + 2, "NULL") || TokenIs(toks, i + 2, "0")) &&
+               TokenIs(toks, i + 3, ")")) {
+      Emit(f, toks[i].line, "raw-random",
+           "wall-clock seeds make runs irreproducible; use an explicit "
+           "kws::Rng seed",
+           out);
+    }
+  }
+}
+
+// --- no-throw -------------------------------------------------------------
+
+void CheckNoThrow(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (f.TopDir() != "src") return;
+  for (const Token& t : f.tokens()) {
+    if (t.text == "throw") {
+      Emit(f, t.line, "no-throw",
+           "library paths do not throw; return kws::Status / kws::Result",
+           out);
+    }
+  }
+}
+
+// --- raw-thread -----------------------------------------------------------
+
+void CheckRawThread(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (f.PathStartsWith("src/common/thread_pool.")) return;
+  const std::vector<Token>& toks = f.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if ((t == "thread" || t == "jthread" || t == "async") &&
+        PrecededByStd(toks, i)) {
+      Emit(f, toks[i].line, "raw-thread",
+           "std::" + t + " outside ThreadPool loses the SplitSeed-per-"
+           "worker determinism contract; use kws::ThreadPool",
+           out);
+    } else if (t == "detach" && PrecededByMemberAccess(toks, i) &&
+               TokenIs(toks, i + 1, "(")) {
+      Emit(f, toks[i].line, "raw-thread",
+           "detached threads outlive their pool and break deterministic "
+           "shutdown; join via kws::ThreadPool",
+           out);
+    }
+  }
+}
+
+// --- no-iostream ----------------------------------------------------------
+
+void CheckNoIostream(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (f.TopDir() != "src") return;
+  const std::vector<Token>& toks = f.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if ((t == "cout" || t == "cerr" || t == "clog") &&
+        PrecededByStd(toks, i)) {
+      Emit(f, toks[i].line, "no-iostream",
+           "library code reports through kws::Status / kws::Metrics, not "
+           "std::" + t,
+           out);
+    }
+  }
+}
+
+// --- header-guard ---------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string rel = path;
+  if (rel.rfind("src/", 0) == 0) rel = rel.substr(4);
+  std::string guard = "KWDB_";
+  for (char c : rel) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+/// Splits a preprocessor line into (directive, first argument).
+std::pair<std::string, std::string> ParseDirective(const std::string& code) {
+  std::string directive;
+  std::string arg;
+  size_t i = code.find('#');
+  if (i == std::string::npos) return {directive, arg};
+  ++i;
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i]))) {
+    ++i;
+  }
+  while (i < code.size() &&
+         (std::isalnum(static_cast<unsigned char>(code[i])) ||
+          code[i] == '_')) {
+    directive += code[i++];
+  }
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i]))) {
+    ++i;
+  }
+  while (i < code.size() &&
+         (std::isalnum(static_cast<unsigned char>(code[i])) ||
+          code[i] == '_')) {
+    arg += code[i++];
+  }
+  return {directive, arg};
+}
+
+void CheckHeaderGuard(const SourceFile& f, std::vector<Diagnostic>* out) {
+  // Filename style applies to every linted file.
+  const std::string& path = f.path();
+  size_t slash = path.rfind('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  bool snake = true;
+  size_t dot = base.rfind('.');
+  for (char c : base.substr(0, dot)) {
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '_')) {
+      snake = false;
+    }
+  }
+  if (!snake) {
+    Emit(f, 1, "header-guard",
+         "filename '" + base + "' is not snake_case", out);
+  }
+
+  if (!f.IsHeader()) return;
+  const std::string guard = ExpectedGuard(path);
+  int ifndef_line = 0;
+  int pp_index = 0;  // among non-continuation preprocessor lines
+  bool guard_ok = true;
+  for (size_t li = 0; li < f.lines().size(); ++li) {
+    const Line& line = f.lines()[li];
+    if (!line.preprocessor) continue;
+    std::string_view code(line.code);
+    if (code.find('#') == std::string_view::npos) continue;  // continuation
+    auto [directive, arg] = ParseDirective(line.code);
+    if (directive == "pragma" && arg == "once") {
+      Emit(f, static_cast<int>(li) + 1, "header-guard",
+           "#pragma once drifts from the project's #ifndef " + guard +
+               " guard convention",
+           out);
+    }
+    if (pp_index == 0) {
+      ifndef_line = static_cast<int>(li) + 1;
+      if (directive != "ifndef" || arg != guard) {
+        Emit(f, ifndef_line, "header-guard",
+             "first directive must be '#ifndef " + guard + "'", out);
+        guard_ok = false;
+      }
+    } else if (pp_index == 1 && guard_ok) {
+      if (directive != "define" || arg != guard) {
+        Emit(f, static_cast<int>(li) + 1, "header-guard",
+             "'#ifndef " + guard + "' must be followed by '#define " +
+                 guard + "'",
+             out);
+      }
+    }
+    ++pp_index;
+  }
+  if (pp_index == 0) {
+    Emit(f, 1, "header-guard", "missing include guard '#ifndef " + guard + "'",
+         out);
+  }
+}
+
+// --- mutex-style ----------------------------------------------------------
+
+bool MutexNameOk(const std::string& name) {
+  if (name == "mu_") return true;
+  return name.size() >= 4 &&
+         name.compare(name.size() - 4, 4, "_mu_") == 0;
+}
+
+void CheckMutexStyle(const SourceFile& f, std::vector<Diagnostic>* out) {
+  const std::vector<Token>& toks = f.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    // Field naming: `std::mutex name;` declarations in headers (locals in
+    // .cc bodies are scoped and unexported, so only headers are checked).
+    if (f.IsHeader() &&
+        (t == "mutex" || t == "shared_mutex" || t == "recursive_mutex") &&
+        PrecededByStd(toks, i) && i + 2 < toks.size()) {
+      const Token& name = toks[i + 1];
+      bool is_decl = !name.text.empty() &&
+                     (std::isalpha(static_cast<unsigned char>(name.text[0])) ||
+                      name.text[0] == '_') &&
+                     TokenIs(toks, i + 2, ";");
+      if (is_decl && !MutexNameOk(name.text)) {
+        Emit(f, name.line, "mutex-style",
+             "mutex field '" + name.text +
+                 "' must be named 'mu_' or end in '_mu_' so guarded state "
+                 "is greppable",
+             out);
+      }
+    }
+    // Manual lock()/unlock(): RAII guards only.
+    if ((t == "lock" || t == "unlock") && PrecededByMemberAccess(toks, i) &&
+        TokenIs(toks, i + 1, "(") && TokenIs(toks, i + 2, ")")) {
+      Emit(f, toks[i].line, "mutex-style",
+           "manual " + t + "() pairs leak on early return; use "
+           "std::lock_guard or std::scoped_lock",
+           out);
+    }
+  }
+}
+
+// --- doc-comment ----------------------------------------------------------
+
+/// Collapses whitespace runs in `s` to single spaces and trims.
+std::string NormalizeWs(const std::string& s) {
+  std::string out;
+  bool pending_space = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) out += ' ';
+    pending_space = false;
+    out += c;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (char c : s) {
+    if (c == ' ') {
+      if (!cur.empty()) words.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) words.push_back(cur);
+  return words;
+}
+
+/// Removes template-argument lists `<...>` so a `(` reliably signals a
+/// function declaration (`std::function<void()> f;` must not look like
+/// one). `operator<`/`<<`/`<=` are kept literal.
+std::string StripAngles(const std::string& s) {
+  std::string out;
+  int depth = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    bool after_operator =
+        i >= 8 && s.compare(i - 8, 8, "operator") == 0;
+    if (c == '<' && !after_operator) {
+      ++depth;
+      continue;
+    }
+    if (c == '<' && after_operator && depth == 0) {
+      out += c;
+      continue;
+    }
+    if (c == '>' && depth > 0 && (i == 0 || s[i - 1] != '-')) {
+      --depth;
+      continue;
+    }
+    if (depth == 0) out += c;
+  }
+  return out;
+}
+
+/// Skips a leading `template <...>` prefix of a normalized statement.
+std::string SkipTemplatePrefix(const std::string& s) {
+  if (s.rfind("template", 0) != 0) return s;
+  size_t i = s.find('<');
+  if (i == std::string::npos) return s;
+  int depth = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>' && --depth == 0) {
+      ++i;
+      break;
+    }
+  }
+  while (i < s.size() && s[i] == ' ') ++i;
+  return s.substr(i);
+}
+
+const std::set<std::string>& DeclQualifiers() {
+  static const std::set<std::string> kQuals = {
+      "inline",   "static",   "constexpr", "consteval", "constinit",
+      "virtual",  "explicit", "extern",    "mutable",   "const",
+  };
+  return kQuals;
+}
+
+/// First word of `s` that is not a qualifier or `[[attribute]]`.
+std::string FirstKeyword(const std::string& s) {
+  for (const std::string& w : SplitWords(s)) {
+    if (DeclQualifiers().count(w) != 0) continue;
+    if (w.rfind("[[", 0) == 0) continue;
+    return w;
+  }
+  return std::string();
+}
+
+/// True when the line immediately above `stmt_line` (1-based) carries a
+/// Doxygen comment.
+bool HasDocAbove(const SourceFile& f, int stmt_line) {
+  int idx = stmt_line - 2;  // 0-based index of the preceding line
+  return idx >= 0 && f.lines()[static_cast<size_t>(idx)].doxygen;
+}
+
+struct Ctx {
+  enum Kind { kNamespace, kClass, kOpaque };
+  Kind kind;
+  bool public_access;
+};
+
+void CheckDocComment(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (f.TopDir() != "src" || !f.IsHeader()) return;
+
+  // Macros: every first #define of a name needs a doc, guards excepted.
+  std::set<std::string> seen_macros;
+  for (size_t li = 0; li < f.lines().size(); ++li) {
+    const Line& line = f.lines()[li];
+    if (!line.preprocessor) continue;
+    if (line.code.find('#') == std::string::npos) continue;
+    auto [directive, arg] = ParseDirective(line.code);
+    if (directive != "define" || arg.empty()) continue;
+    if (arg.size() >= 3 && arg.compare(arg.size() - 3, 3, "_H_") == 0) {
+      continue;  // include guard
+    }
+    if (!seen_macros.insert(arg).second) continue;  // #else redefinition
+    int probe = static_cast<int>(li) - 1;
+    while (probe >= 0 && f.lines()[static_cast<size_t>(probe)].preprocessor) {
+      --probe;
+    }
+    if (probe < 0 || !f.lines()[static_cast<size_t>(probe)].doxygen) {
+      Emit(f, static_cast<int>(li) + 1, "doc-comment",
+           "public macro " + arg + " needs a /// doc comment", out);
+    }
+  }
+
+  // Statement machine over the blanked code view. Preprocessor lines are
+  // invisible to it (their braces/semicolons are not code structure).
+  std::vector<Ctx> stack;
+  std::string stmt;
+  int stmt_line = 0;
+  int paren = 0;
+
+  auto at_public_scope = [&]() {
+    if (stack.empty()) return true;  // file scope
+    const Ctx& top = stack.back();
+    if (top.kind == Ctx::kNamespace) return true;
+    return top.kind == Ctx::kClass && top.public_access;
+  };
+  auto at_namespace_scope = [&]() {
+    return stack.empty() || stack.back().kind == Ctx::kNamespace;
+  };
+  auto reset_stmt = [&]() {
+    stmt.clear();
+    stmt_line = 0;
+  };
+
+  auto require_doc = [&](int line, const std::string& what) {
+    if (line > 0 && !HasDocAbove(f, line)) {
+      Emit(f, line, "doc-comment",
+           "public " + what + " needs a /// doc comment", out);
+    }
+  };
+
+  auto end_statement = [&]() {
+    std::string norm = NormalizeWs(stmt);
+    const int line = stmt_line;
+    reset_stmt();
+    if (norm.empty() || !at_public_scope()) return;
+    if (norm.find("= default") != std::string::npos ||
+        norm.find("=default") != std::string::npos ||
+        norm.find("= delete") != std::string::npos ||
+        norm.find("=delete") != std::string::npos) {
+      return;
+    }
+    norm = SkipTemplatePrefix(norm);
+    const std::string kw = FirstKeyword(norm);
+    if (kw == "friend" || kw == "static_assert" || kw.empty()) return;
+    if (kw == "using" || kw == "typedef") {
+      // Type aliases are API at namespace scope; class-scope usings
+      // (iterator traits, base-ctor pulls) are implementation detail.
+      if (at_namespace_scope()) require_doc(line, "type alias");
+      return;
+    }
+    if (kw == "class" || kw == "struct" || kw == "enum" || kw == "union" ||
+        kw == "namespace") {
+      return;  // forward declaration
+    }
+    // Function declaration iff a '(' survives template-stripping and no
+    // '=' precedes it (that would be a variable initializer calling a
+    // function, e.g. `constexpr double kInf = f();`); data members and
+    // variables are exempt.
+    const std::string stripped = StripAngles(norm);
+    const size_t paren_pos = stripped.find('(');
+    const size_t eq = stripped.find('=');
+    if (paren_pos != std::string::npos &&
+        (eq == std::string::npos || paren_pos < eq)) {
+      require_doc(line, "function declaration");
+    }
+  };
+
+  auto classify_open = [&]() {
+    std::string norm = SkipTemplatePrefix(NormalizeWs(stmt));
+    const int line = stmt_line;
+    reset_stmt();
+    const std::string kw = FirstKeyword(norm);
+    if (kw == "namespace" || norm.rfind("extern", 0) == 0 || kw.empty()) {
+      stack.push_back(Ctx{Ctx::kNamespace, true});
+      return;
+    }
+    if (kw == "class" || kw == "struct" || kw == "enum" || kw == "union") {
+      if (at_public_scope() && line > 0 && !HasDocAbove(f, line)) {
+        Emit(f, line, "doc-comment",
+             "public type definition needs a /// doc comment", out);
+      }
+      if (kw == "class") {
+        stack.push_back(Ctx{Ctx::kClass, false});
+      } else if (kw == "struct") {
+        stack.push_back(Ctx{Ctx::kClass, true});
+      } else {
+        stack.push_back(Ctx{Ctx::kOpaque, false});
+      }
+      return;
+    }
+    stack.push_back(Ctx{Ctx::kOpaque, false});  // function body, init, ...
+  };
+
+  for (size_t li = 0; li < f.lines().size(); ++li) {
+    const Line& line = f.lines()[li];
+    if (line.preprocessor) continue;
+    const int lineno = static_cast<int>(li) + 1;
+    const std::string& code = line.code;
+    for (size_t i = 0; i < code.size(); ++i) {
+      const char c = code[i];
+      if (!stack.empty() && stack.back().kind == Ctx::kOpaque) {
+        if (c == '{') stack.push_back(Ctx{Ctx::kOpaque, false});
+        if (c == '}') stack.pop_back();
+        continue;
+      }
+      if (c == '(') {
+        ++paren;
+        stmt += c;
+        continue;
+      }
+      if (c == ')') {
+        --paren;
+        stmt += c;
+        continue;
+      }
+      if (c == '{' && paren == 0) {
+        classify_open();
+        continue;
+      }
+      if (c == '{') {  // brace inside parens: lambda body / brace-init
+        stack.push_back(Ctx{Ctx::kOpaque, false});
+        continue;
+      }
+      if (c == '}') {
+        if (!stack.empty()) stack.pop_back();
+        reset_stmt();
+        continue;
+      }
+      if (c == ';' && paren == 0) {
+        end_statement();
+        continue;
+      }
+      if (c == ':' && !stack.empty() && stack.back().kind == Ctx::kClass &&
+          (i + 1 >= code.size() || code[i + 1] != ':') &&
+          (i == 0 || code[i - 1] != ':')) {
+        std::string norm = NormalizeWs(stmt);
+        if (norm == "public" || norm == "private" || norm == "protected") {
+          stack.back().public_access = norm == "public";
+          reset_stmt();
+          continue;
+        }
+      }
+      if (stmt_line == 0 && !std::isspace(static_cast<unsigned char>(c))) {
+        stmt_line = lineno;
+      }
+      stmt += c;
+    }
+    if (!stmt.empty()) stmt += ' ';  // line break inside a statement
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> RuleIds() {
+  return {"raw-random",  "no-throw",     "raw-thread", "no-iostream",
+          "doc-comment", "header-guard", "mutex-style"};
+}
+
+std::vector<Diagnostic> RunRules(const SourceFile& file) {
+  std::vector<Diagnostic> out;
+  CheckRawRandom(file, &out);
+  CheckNoThrow(file, &out);
+  CheckRawThread(file, &out);
+  CheckNoIostream(file, &out);
+  CheckDocComment(file, &out);
+  CheckHeaderGuard(file, &out);
+  CheckMutexStyle(file, &out);
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return out;
+}
+
+int LintFiles(const std::vector<std::pair<std::string, std::string>>& files,
+              std::vector<Diagnostic>* out) {
+  bool clean = true;
+  for (const auto& [path, content] : files) {
+    SourceFile f = SourceFile::Parse(path, content);
+    std::vector<Diagnostic> diags = RunRules(f);
+    if (!diags.empty()) clean = false;
+    out->insert(out->end(), diags.begin(), diags.end());
+  }
+  return clean ? 0 : 1;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  return d.path + ":" + std::to_string(d.line) + ": " + d.rule + ": " +
+         d.message;
+}
+
+}  // namespace kws::lint

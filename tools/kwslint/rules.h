@@ -1,0 +1,45 @@
+#ifndef KWDB_TOOLS_KWSLINT_RULES_H_
+#define KWDB_TOOLS_KWSLINT_RULES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kwslint/source.h"
+
+namespace kws::lint {
+
+/// One lint finding, printed as "<path>:<line>: <rule>: <message>".
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// The rule ids, in reporting order:
+///   raw-random   — nondeterministic seed/generator outside kws::Rng
+///   no-throw     — `throw` on a src/ library path (use kws::Status)
+///   raw-thread   — std::thread/std::async/detach outside ThreadPool
+///   no-iostream  — std::cout/std::cerr in src/ (return Status instead)
+///   doc-comment  — undocumented public declaration in a src/ header
+///   header-guard — wrong include-guard name, #pragma once, bad filename
+///   mutex-style  — mutex field not named *_mu_/mu_, or manual lock()
+std::vector<std::string> RuleIds();
+
+/// Runs every rule over `file`, honoring `// kwslint: allow(rule)` and
+/// `// kwslint: file-allow(rule)` suppressions. Diagnostics come back in
+/// line order.
+std::vector<Diagnostic> RunRules(const SourceFile& file);
+
+/// Lints a batch of (repo-relative path, content) pairs. Appends findings
+/// to `out` and returns the process exit code: 0 when clean, 1 otherwise.
+int LintFiles(const std::vector<std::pair<std::string, std::string>>& files,
+              std::vector<Diagnostic>* out);
+
+/// Renders `d` in the canonical "file:line: rule-id: message" form.
+std::string FormatDiagnostic(const Diagnostic& d);
+
+}  // namespace kws::lint
+
+#endif  // KWDB_TOOLS_KWSLINT_RULES_H_

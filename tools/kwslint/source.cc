@@ -1,0 +1,260 @@
+#include "kwslint/source.h"
+
+#include <cctype>
+
+namespace kws::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Splits `content` into lines without their newline terminators.
+std::vector<std::string> SplitLines(std::string_view content) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < content.size()) out.emplace_back(content.substr(start));
+      break;
+    }
+    std::string_view line = content.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    out.emplace_back(line);
+    start = nl + 1;
+  }
+  return out;
+}
+
+/// Parses the rule list out of `comment` after `marker`, e.g.
+/// "kwslint: allow(no-throw, raw-thread)" -> {"no-throw", "raw-thread"}.
+std::set<std::string> ParseRuleList(std::string_view comment,
+                                    std::string_view marker) {
+  std::set<std::string> out;
+  size_t pos = comment.find(marker);
+  if (pos == std::string_view::npos) return out;
+  pos += marker.size();
+  size_t close = comment.find(')', pos);
+  if (close == std::string_view::npos) return out;
+  std::string_view list = comment.substr(pos, close - pos);
+  while (!list.empty()) {
+    size_t comma = list.find(',');
+    std::string_view item = Trim(list.substr(0, comma));
+    if (!item.empty()) out.emplace(item);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+SourceFile SourceFile::Parse(std::string path, std::string_view content) {
+  SourceFile f;
+  f.path_ = std::move(path);
+  std::vector<std::string> raw_lines = SplitLines(content);
+  f.lines_.reserve(raw_lines.size());
+
+  bool in_block_comment = false;
+  bool block_is_doxygen = false;
+  bool pp_continuation = false;
+
+  for (std::string& raw : raw_lines) {
+    Line line;
+    line.raw = std::move(raw);
+    line.code.assign(line.raw.size(), ' ');
+    const std::string& s = line.raw;
+
+    bool continued_doxygen = in_block_comment && block_is_doxygen;
+    size_t i = 0;
+    while (i < s.size()) {
+      if (in_block_comment) {
+        size_t end = s.find("*/", i);
+        size_t stop = end == std::string::npos ? s.size() : end + 2;
+        line.comment.append(s, i, stop - i);
+        if (end == std::string::npos) {
+          i = s.size();
+        } else {
+          i = end + 2;
+          in_block_comment = false;
+        }
+        continue;
+      }
+      char c = s[i];
+      if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+        line.comment.append(s, i, s.size() - i);
+        i = s.size();
+        continue;
+      }
+      if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+        in_block_comment = true;
+        block_is_doxygen = i + 2 < s.size() && s[i + 2] == '*';
+        size_t end = s.find("*/", i + 2);
+        size_t stop = end == std::string::npos ? s.size() : end + 2;
+        line.comment.append(s, i, stop - i);
+        if (end == std::string::npos) {
+          i = s.size();
+        } else {
+          i = end + 2;
+          in_block_comment = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        // Raw string literal? Look back for the R prefix.
+        bool raw_literal = i > 0 && s[i - 1] == 'R';
+        line.code[i] = '"';
+        ++i;
+        if (raw_literal) {
+          // R"delim( ... )delim" — find the opening paren, then the
+          // closing sequence. Multi-line raw strings are not handled
+          // (none exist in this tree); treat end-of-line as terminator.
+          size_t open = s.find('(', i);
+          std::string delim =
+              open == std::string::npos ? "" : s.substr(i, open - i);
+          std::string closer = ")" + delim + "\"";
+          size_t end = open == std::string::npos ? std::string::npos
+                                                 : s.find(closer, open + 1);
+          i = end == std::string::npos ? s.size() : end + closer.size();
+        } else {
+          while (i < s.size()) {
+            if (s[i] == '\\') {
+              i += 2;
+              continue;
+            }
+            if (s[i] == '"') {
+              line.code[i] = '"';
+              ++i;
+              break;
+            }
+            ++i;
+          }
+        }
+        continue;
+      }
+      if (c == '\'') {
+        line.code[i] = '\'';
+        ++i;
+        while (i < s.size()) {
+          if (s[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (s[i] == '\'') {
+            line.code[i] = '\'';
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      line.code[i] = c;
+      ++i;
+    }
+
+    std::string_view code_trim = Trim(line.code);
+    line.comment_only = code_trim.empty() && !line.comment.empty();
+    std::string_view raw_trim = Trim(line.raw);
+    line.doxygen =
+        line.comment_only &&
+        (raw_trim.substr(0, 3) == "///" || raw_trim.substr(0, 3) == "/**" ||
+         continued_doxygen);
+    line.preprocessor =
+        pp_continuation || (!code_trim.empty() && code_trim.front() == '#');
+    pp_continuation =
+        line.preprocessor && !code_trim.empty() && code_trim.back() == '\\';
+
+    f.lines_.push_back(std::move(line));
+  }
+
+  // Tokenize the code view and collect suppressions.
+  for (size_t li = 0; li < f.lines_.size(); ++li) {
+    const Line& line = f.lines_[li];
+    const int lineno = static_cast<int>(li) + 1;
+    const std::string& code = line.code;
+    size_t i = 0;
+    while (i < code.size()) {
+      char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token t;
+      t.line = lineno;
+      t.col = static_cast<int>(i);
+      if (IsIdentStart(c)) {
+        size_t j = i;
+        while (j < code.size() && IsIdentChar(code[j])) ++j;
+        t.text = code.substr(i, j - i);
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        while (j < code.size() &&
+               (IsIdentChar(code[j]) || code[j] == '.' || code[j] == '\'')) {
+          ++j;
+        }
+        t.text = code.substr(i, j - i);
+        i = j;
+      } else if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+        t.text = "::";
+        i += 2;
+      } else {
+        t.text.assign(1, c);
+        ++i;
+      }
+      f.tokens_.push_back(std::move(t));
+    }
+
+    if (line.comment.find("kwslint:") != std::string::npos) {
+      for (const std::string& r :
+           ParseRuleList(line.comment, "file-allow(")) {
+        f.file_allows_.insert(r);
+      }
+      // Make sure plain allow( does not re-match the tail of file-allow(.
+      std::string c2 = line.comment;
+      size_t fa = c2.find("file-allow(");
+      if (fa != std::string::npos) c2.erase(fa, 11);
+      for (const std::string& r : ParseRuleList(c2, "allow(")) {
+        f.line_allows_[lineno].insert(r);
+      }
+    }
+  }
+  return f;
+}
+
+bool SourceFile::Allowed(const std::string& rule, int line) const {
+  if (file_allows_.count(rule) != 0) return true;
+  auto it = line_allows_.find(line);
+  return it != line_allows_.end() && it->second.count(rule) != 0;
+}
+
+std::string SourceFile::TopDir() const {
+  size_t slash = path_.find('/');
+  return slash == std::string::npos ? std::string() : path_.substr(0, slash);
+}
+
+bool SourceFile::IsHeader() const {
+  return path_.size() >= 2 && path_.compare(path_.size() - 2, 2, ".h") == 0;
+}
+
+bool SourceFile::PathStartsWith(std::string_view prefix) const {
+  return path_.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace kws::lint

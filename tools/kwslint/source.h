@@ -1,0 +1,77 @@
+#ifndef KWDB_TOOLS_KWSLINT_SOURCE_H_
+#define KWDB_TOOLS_KWSLINT_SOURCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kws::lint {
+
+/// One physical source line, split into the views the rules consume.
+struct Line {
+  /// The original text (no trailing newline).
+  std::string raw;
+  /// `raw` with comment text and string/char-literal contents blanked to
+  /// spaces, preserving column positions. Rules match code against this so
+  /// a `std::thread` inside a comment or string never fires.
+  std::string code;
+  /// Text of the comment on this line (from its `//` or within `/* */`),
+  /// empty when the line has no comment.
+  std::string comment;
+  /// True when the line holds nothing but whitespace and/or comment.
+  bool comment_only = false;
+  /// True for a comment-only line that is part of a Doxygen block: starts
+  /// with `///` or `/**`, or continues a `/** */` block.
+  bool doxygen = false;
+  /// True when the first non-space code character is `#` (or the line
+  /// continues a preceding backslash-continued directive).
+  bool preprocessor = false;
+};
+
+/// One lexical token of the blanked code view.
+struct Token {
+  std::string text;
+  int line = 0;  ///< 1-based.
+  int col = 0;   ///< 0-based byte offset.
+};
+
+/// A parsed file plus its suppression annotations.
+///
+/// Suppressions: a trailing `// kwslint: allow(<rule>)` comment silences
+/// `<rule>` on that line; a `// kwslint: file-allow(<rule>)` comment
+/// anywhere (conventionally at the top) silences it for the whole file.
+class SourceFile {
+ public:
+  /// Parses `content` (the text of the file at repo-relative `path`,
+  /// forward slashes) into line views, tokens and suppressions.
+  static SourceFile Parse(std::string path, std::string_view content);
+
+  const std::string& path() const { return path_; }
+  const std::vector<Line>& lines() const { return lines_; }
+  /// Identifier/number/punctuation tokens of the code view, in order.
+  /// `::` is fused into one token; other punctuation is one char each.
+  const std::vector<Token>& tokens() const { return tokens_; }
+
+  /// True when `rule` is suppressed at `line` (1-based), either by a
+  /// trailing allow() on that line or a file-level file-allow().
+  bool Allowed(const std::string& rule, int line) const;
+
+  /// Top-level directory of `path` ("src", "tests", "bench", "examples").
+  std::string TopDir() const;
+  bool IsHeader() const;
+  /// True when `path` starts with `prefix` (e.g. "src/common/random.").
+  bool PathStartsWith(std::string_view prefix) const;
+
+ private:
+  std::string path_;
+  std::vector<Line> lines_;
+  std::vector<Token> tokens_;
+  std::set<std::string> file_allows_;
+  std::map<int, std::set<std::string>> line_allows_;
+};
+
+}  // namespace kws::lint
+
+#endif  // KWDB_TOOLS_KWSLINT_SOURCE_H_
