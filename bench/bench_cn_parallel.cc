@@ -222,9 +222,10 @@ void RunExperiment() {
 }  // namespace kws::bench
 
 int main(int argc, char** argv) {
+  kws::bench::ParseJsonFlag(&argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) kws::bench::g_smoke = true;
   }
   kws::bench::RunExperiment();
-  return 0;
+  return kws::bench::FlushJson() ? 0 : 1;
 }

@@ -502,13 +502,14 @@ BENCHMARK(BM_Intersect)->Arg(0)->Arg(1);
 }  // namespace kws::bench
 
 int main(int argc, char** argv) {
+  kws::bench::ParseJsonFlag(&argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) kws::bench::g_smoke = true;
   }
   kws::bench::RunExperiment();
-  if (kws::bench::g_smoke) return 0;
+  if (kws::bench::g_smoke) return kws::bench::FlushJson() ? 0 : 1;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  return 0;
+  return kws::bench::FlushJson() ? 0 : 1;
 }

@@ -1,0 +1,227 @@
+// E22: per-query tracing overhead — the cost of the kws::trace
+// instrumentation on E21's CN workload, the price of rendering a trace,
+// and the serve-layer sampler.
+//
+// Series:
+//   E22.1 search overhead: the same query sweep in three configurations —
+//         disabled_a / disabled_b (tracer == nullptr; the production
+//         default, measured twice so their delta is the noise floor the
+//         <3% disabled-overhead claim is judged against) and enabled (a
+//         fresh Tracer per query, every span and counter recorded). The
+//         enabled delta is measured against the faster disabled pass;
+//         kNaive is the worst case (a cn.eval span per candidate
+//         network), kSparse carries aggregate counters only.
+//   E22.2 render cost: span count, RenderTree/RenderJson output size and
+//         rendering time for one traced query per strategy.
+//   E22.3 serve sampler: trace_sample_every_n over a synchronous query
+//         stream — sampled count, slow-query-log occupancy, and that
+//         exactly the sampled entries carry a rendered trace.
+//
+// Every enabled run is checked bit-for-bit against the disabled results:
+// tracing must never change an answer.
+//
+// `--smoke` shrinks the sweep to a <5 s run (the ci.sh gate); absolute
+// numbers are then meaningless but every code path still executes.
+//
+// Expected shape: the disabled path adds one well-predicted null check
+// per call site, so disabled_a vs disabled_b should be statistically
+// indistinguishable (<3%); enabled tracing pays one arena push + a few
+// string copies per span, well under 15% even on kNaive.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+#include "core/cn/search.h"
+#include "core/engine/engine.h"
+#include "relational/dblp.h"
+#include "serve/server.h"
+
+namespace kws::bench {
+namespace {
+
+bool g_smoke = false;
+
+using cn::CnKeywordSearch;
+using cn::SearchOptions;
+using cn::SearchResult;
+using cn::Strategy;
+
+struct Workload {
+  relational::DblpDatabase dblp;
+  std::vector<std::string> queries;
+};
+
+Workload MakeWorkload() {
+  // E21's corpus: compact rows, schema-driven CN counts — the regime
+  // where per-CN span overhead is most visible.
+  relational::DblpOptions opts;
+  opts.num_authors = 24;
+  opts.num_papers = 48;
+  opts.num_conferences = 6;
+  Workload w{relational::MakeDblpDatabase(opts), {}};
+  w.queries = {"keyword search database", "query data index",
+               "data mining system",      "xml query processing",
+               "search index database",   "query optimization system"};
+  if (g_smoke) w.queries.resize(3);
+  return w;
+}
+
+/// Dies loudly when tracing changes an answer.
+void CheckIdentical(const std::vector<SearchResult>& base,
+                    const std::vector<SearchResult>& traced,
+                    const char* context) {
+  bool same = base.size() == traced.size();
+  for (size_t i = 0; same && i < base.size(); ++i) {
+    same = base[i].score == traced[i].score &&
+           base[i].cn_index == traced[i].cn_index &&
+           base[i].tuples == traced[i].tuples;
+  }
+  if (!same) {
+    std::fprintf(stderr, "E22 FATAL: traced results diverge (%s)\n", context);
+    std::abort();
+  }
+}
+
+/// One full query sweep; returns elapsed ms. With `traced`, a fresh
+/// Tracer serves each query (the Explain configuration).
+double Sweep(const CnKeywordSearch& search, const Workload& w,
+             Strategy strategy, bool traced,
+             std::vector<std::vector<SearchResult>>* oracle) {
+  Stopwatch watch;
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    SearchOptions so;
+    so.k = 10;
+    so.max_cn_size = 4;
+    so.strategy = strategy;
+    trace::Tracer tracer;
+    if (traced) so.tracer = &tracer;
+    auto results = search.Search(w.queries[q], so, nullptr, nullptr);
+    if (oracle == nullptr) continue;
+    if (!traced && oracle->size() <= q) {
+      oracle->push_back(std::move(results));
+    } else if (traced) {
+      CheckIdentical((*oracle)[q], results, w.queries[q].c_str());
+    }
+  }
+  return watch.ElapsedMillis();
+}
+
+void OverheadSeries(const CnKeywordSearch& search, const Workload& w) {
+  Banner("E22.1", "tracing overhead on the E21 CN workload");
+  const size_t reps = g_smoke ? 2 : 10;
+  TablePrinter table({"strategy", "mode", "best_ms", "delta_pct"});
+  for (Strategy strategy : {Strategy::kNaive, Strategy::kSparse}) {
+    std::vector<std::vector<SearchResult>> oracle;
+    // Warmup pass also seeds the identity oracle.
+    Sweep(search, w, strategy, false, &oracle);
+    double disabled_a = 1e300, disabled_b = 1e300, enabled = 1e300;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      // Interleave the modes so clock drift hits all three equally.
+      disabled_a = std::min(disabled_a, Sweep(search, w, strategy, false,
+                                              nullptr));
+      enabled = std::min(enabled, Sweep(search, w, strategy, true, &oracle));
+      disabled_b = std::min(disabled_b, Sweep(search, w, strategy, false,
+                                              nullptr));
+    }
+    const double base = std::min(disabled_a, disabled_b);
+    const char* name = cn::StrategyToString(strategy);
+    table.Row({name, "disabled_a", Fmt(disabled_a),
+               Fmt((disabled_a - base) / base * 100.0)});
+    table.Row({name, "disabled_b", Fmt(disabled_b),
+               Fmt((disabled_b - base) / base * 100.0)});
+    table.Row({name, "enabled", Fmt(enabled),
+               Fmt((enabled - base) / base * 100.0)});
+  }
+}
+
+void RenderSeries(const CnKeywordSearch& search, const Workload& w) {
+  Banner("E22.2", "trace rendering: span count, output size, render time");
+  const size_t reps = g_smoke ? 3 : 20;
+  TablePrinter table(
+      {"strategy", "spans", "tree_bytes", "json_bytes", "render_us"});
+  for (Strategy strategy : {Strategy::kNaive, Strategy::kSparse}) {
+    trace::Tracer tracer;
+    SearchOptions so;
+    so.k = 10;
+    so.max_cn_size = 4;
+    so.strategy = strategy;
+    so.tracer = &tracer;
+    search.Search(w.queries[0], so, nullptr, nullptr);
+    double best_us = 1e300;
+    std::string tree;
+    std::string json;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      Stopwatch watch;
+      tree = tracer.RenderTree();
+      json = tracer.RenderJson();
+      best_us = std::min(best_us, watch.ElapsedMicros());
+    }
+    table.Row({cn::StrategyToString(strategy),
+               Fmt(static_cast<uint64_t>(tracer.spans().size())),
+               Fmt(static_cast<uint64_t>(tree.size())),
+               Fmt(static_cast<uint64_t>(json.size())), Fmt(best_us)});
+  }
+}
+
+void SamplerSeries(const Workload& w) {
+  Banner("E22.3", "serve-layer deterministic trace sampler");
+  engine::KeywordSearchEngine rel(*w.dblp.db);
+  serve::ServeOptions so;
+  so.num_workers = 0;  // synchronous Query() path only
+  so.trace_sample_every_n = 3;
+  so.slow_query_log_capacity = 64;
+  serve::ServingEngine server(&rel, nullptr, so);
+  const size_t n = g_smoke ? 9 : 18;
+  for (size_t i = 0; i < n; ++i) {
+    serve::QueryRequest req;
+    req.query = w.queries[i % w.queries.size()];
+    req.bypass_cache = true;  // every run executes: sampler sees them all
+    server.Query(req);
+  }
+  size_t with_trace = 0;
+  size_t sampled = 0;
+  const std::vector<serve::SlowQueryEntry> log = server.SlowQueries();
+  for (const serve::SlowQueryEntry& e : log) {
+    if (e.sampled) ++sampled;
+    if (!e.trace.empty()) ++with_trace;
+  }
+  if (sampled != with_trace || sampled != (n + 2) / 3) {
+    std::fprintf(stderr, "E22 FATAL: sampler nondeterministic\n");
+    std::abort();
+  }
+  server.Shutdown();
+  TablePrinter table(
+      {"queries", "sample_every", "sampled", "log_entries", "with_trace"});
+  table.Row({Fmt(static_cast<uint64_t>(n)), Fmt(static_cast<uint64_t>(3)),
+             Fmt(static_cast<uint64_t>(sampled)),
+             Fmt(static_cast<uint64_t>(log.size())),
+             Fmt(static_cast<uint64_t>(with_trace))});
+}
+
+void RunExperiment() {
+  std::printf("E22: per-query tracing overhead%s\n", g_smoke ? " (smoke)" : "");
+  Workload w = MakeWorkload();
+  CnKeywordSearch search(*w.dblp.db);
+  OverheadSeries(search, w);
+  RenderSeries(search, w);
+  SamplerSeries(w);
+}
+
+}  // namespace
+}  // namespace kws::bench
+
+int main(int argc, char** argv) {
+  kws::bench::ParseJsonFlag(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) kws::bench::g_smoke = true;
+  }
+  kws::bench::RunExperiment();
+  return kws::bench::FlushJson() ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace kws {
 
@@ -21,6 +22,20 @@ class Counter {
 
  private:
   std::atomic<uint64_t> value_{0};
+};
+
+/// One occupied histogram bucket, with its microsecond bounds resolved so
+/// consumers (dashboards, CI trend lines) need no knowledge of the
+/// power-of-two bucketing scheme.
+struct HistogramBucket {
+  /// Bucket index in [0, LatencyHistogram::kNumBuckets).
+  size_t index = 0;
+  /// Inclusive lower edge, microseconds.
+  double lo_micros = 0;
+  /// Exclusive upper edge, microseconds.
+  double hi_micros = 0;
+  /// Observations recorded into this bucket.
+  uint64_t count = 0;
 };
 
 /// A fixed-bucket latency histogram over microseconds. Bucket `i` covers
@@ -48,6 +63,12 @@ class LatencyHistogram {
   /// winning bucket; 0 when empty.
   double PercentileMicros(double p) const;
 
+  /// The occupied buckets (count > 0) in index order, each an atomic load
+  /// — a valid approximate snapshot under concurrent writers. Raw
+  /// distribution data for exporters that want more than pre-picked
+  /// percentiles.
+  std::vector<HistogramBucket> BucketSnapshot() const;
+
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
@@ -72,6 +93,14 @@ class MetricsRegistry {
   /// counters as `name value`, histograms as
   /// `name count=... mean=... p50=... p95=... p99=...` (times in us).
   std::string RenderText() const;
+
+  /// Renders every instrument as one JSON object with a fixed key order:
+  /// `{"counters":{name:value,...},"histograms":{name:{count, sum_micros,
+  /// mean_micros, p50_micros, p95_micros, p99_micros, buckets:[{index,
+  /// lo_micros, hi_micros, count},...]},...}}`. Names sort
+  /// lexicographically (std::map order), buckets by index, times are
+  /// `%.3f` microseconds — byte-stable for a given set of recordings.
+  std::string RenderJson() const;
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,359 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace kws::trace {
+
+namespace {
+
+constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+/// Accumulates `delta` into the counter named `name`, creating it in
+/// first-touch position if absent.
+void Accumulate(std::vector<TraceCounter>* counters, std::string_view name,
+                uint64_t delta) {
+  for (TraceCounter& c : *counters) {
+    if (c.name == name) {
+      c.value += delta;
+      return;
+    }
+  }
+  counters->push_back(TraceCounter{std::string(name), delta});
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+/// JSON string escaping. Span/counter names are controlled identifiers,
+/// but the renderer must stay correct for any input.
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendCountersJson(std::string* out,
+                        const std::vector<TraceCounter>& counters) {
+  *out += "\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendJsonString(out, counters[i].name);
+    out->push_back(':');
+    AppendU64(out, counters[i].value);
+  }
+  out->push_back('}');
+}
+
+void AppendEventsJson(std::string* out, const std::vector<std::string>& evts) {
+  *out += "\"events\":[";
+  for (size_t i = 0; i < evts.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendJsonString(out, evts[i]);
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+size_t Tracer::BeginSpan(std::string_view name) {
+  const size_t index = spans_.size();
+  spans_.push_back(Span{});
+  spans_.back().name = std::string(name);
+  if (open_.empty()) {
+    roots_.push_back(index);
+  } else {
+    spans_[open_.back().index].children.push_back(index);
+  }
+  open_.push_back(OpenSpan{index, Stopwatch()});
+  return index;
+}
+
+void Tracer::EndSpan() {
+  KWS_DCHECK_MSG(!open_.empty(), "EndSpan with no open span");
+  if (open_.empty()) return;
+  spans_[open_.back().index].micros =
+      static_cast<uint64_t>(open_.back().clock.ElapsedMicros());
+  open_.pop_back();
+}
+
+void Tracer::EndSpan(uint64_t micros) {
+  KWS_DCHECK_MSG(!open_.empty(), "EndSpan with no open span");
+  if (open_.empty()) return;
+  spans_[open_.back().index].micros = micros;
+  open_.pop_back();
+}
+
+void Tracer::AddCounter(std::string_view name, uint64_t delta) {
+  if (open_.empty()) {
+    Accumulate(&counters_, name, delta);
+  } else {
+    Accumulate(&spans_[open_.back().index].counters, name, delta);
+  }
+}
+
+void Tracer::AddEvent(std::string_view name) {
+  if (open_.empty()) {
+    events_.push_back(std::string(name));
+  } else {
+    spans_[open_.back().index].events.push_back(std::string(name));
+  }
+}
+
+void Tracer::SetSortKey(uint64_t key) {
+  KWS_DCHECK_MSG(!open_.empty(), "SetSortKey with no open span");
+  if (open_.empty()) return;
+  spans_[open_.back().index].sort_key = key;
+}
+
+size_t Tracer::CopySubtree(const Tracer& src, size_t src_index,
+                           size_t dst_parent) {
+  const size_t index = spans_.size();
+  {
+    const Span& s = src.spans_[src_index];
+    Span copy;
+    copy.name = s.name;
+    copy.micros = s.micros;
+    copy.sort_key = s.sort_key;
+    copy.counters = s.counters;
+    copy.events = s.events;
+    spans_.push_back(std::move(copy));
+  }
+  if (dst_parent == kNoParent) {
+    roots_.push_back(index);
+  } else {
+    spans_[dst_parent].children.push_back(index);
+  }
+  // Child list sizes are small; recursion depth equals span nesting depth.
+  // Re-index into src.spans_ each iteration: spans_ may reallocate.
+  const size_t num_children = src.spans_[src_index].children.size();
+  for (size_t i = 0; i < num_children; ++i) {
+    CopySubtree(src, src.spans_[src_index].children[i], index);
+  }
+  return index;
+}
+
+void Tracer::MergeWorkers(std::vector<Tracer>* workers) {
+  // Reference to a worker root: ordered by (sort_key, name), stable on
+  // (worker index, root position) for ties.
+  struct RootRef {
+    uint64_t sort_key;
+    const std::string* name;
+    size_t worker;
+    size_t root;
+  };
+  std::vector<RootRef> refs;
+  for (size_t w = 0; w < workers->size(); ++w) {
+    const Tracer& t = (*workers)[w];
+    KWS_DCHECK_MSG(t.open_.empty(), "MergeWorkers with open worker spans");
+    for (size_t r : t.roots_) {
+      refs.push_back(RootRef{t.spans_[r].sort_key, &t.spans_[r].name, w, r});
+    }
+    // Trace-level annotations fold onto the current span (or this trace).
+    for (const TraceCounter& c : t.counters_) AddCounter(c.name, c.value);
+    for (const std::string& e : t.events_) AddEvent(e);
+  }
+  std::stable_sort(refs.begin(), refs.end(),
+                   [](const RootRef& a, const RootRef& b) {
+                     if (a.sort_key != b.sort_key) return a.sort_key < b.sort_key;
+                     return *a.name < *b.name;
+                   });
+  const size_t parent = open_.empty() ? kNoParent : open_.back().index;
+  for (const RootRef& ref : refs) {
+    CopySubtree((*workers)[ref.worker], ref.root, parent);
+  }
+}
+
+std::string Tracer::RenderTree() const {
+  std::string out;
+  for (const TraceCounter& c : counters_) {
+    out += c.name;
+    out += "=";
+    AppendU64(&out, c.value);
+    out += "\n";
+  }
+  for (const std::string& e : events_) {
+    out += "! ";
+    out += e;
+    out += "\n";
+  }
+  // Iterative preorder with explicit depth, children in stored order.
+  struct Frame {
+    size_t index;
+    size_t depth;
+  };
+  std::vector<Frame> stack;
+  for (size_t i = roots_.size(); i > 0; --i) {
+    stack.push_back(Frame{roots_[i - 1], 0});
+  }
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Span& s = spans_[f.index];
+    out.append(2 * f.depth, ' ');
+    out += s.name;
+    out += "  ";
+    AppendU64(&out, s.micros);
+    out += "us";
+    if (!s.counters.empty()) {
+      out += "  [";
+      for (size_t i = 0; i < s.counters.size(); ++i) {
+        if (i > 0) out += " ";
+        out += s.counters[i].name;
+        out += "=";
+        AppendU64(&out, s.counters[i].value);
+      }
+      out += "]";
+    }
+    out += "\n";
+    for (const std::string& e : s.events) {
+      out.append(2 * (f.depth + 1), ' ');
+      out += "! ";
+      out += e;
+      out += "\n";
+    }
+    for (size_t i = s.children.size(); i > 0; --i) {
+      stack.push_back(Frame{s.children[i - 1], f.depth + 1});
+    }
+  }
+  return out;
+}
+
+std::string Tracer::RenderJson() const {
+  std::string out;
+  // Fixed key order: name, micros, sort_key, counters, events, spans;
+  // empty collections and zero sort keys are omitted.
+  struct Writer {
+    const Tracer& t;
+    void Span(std::string* o, size_t index) const {
+      const trace::Span& s = t.spans_[index];
+      *o += "{\"name\":";
+      AppendJsonString(o, s.name);
+      *o += ",\"micros\":";
+      AppendU64(o, s.micros);
+      if (s.sort_key != 0) {
+        *o += ",\"sort_key\":";
+        AppendU64(o, s.sort_key);
+      }
+      if (!s.counters.empty()) {
+        o->push_back(',');
+        AppendCountersJson(o, s.counters);
+      }
+      if (!s.events.empty()) {
+        o->push_back(',');
+        AppendEventsJson(o, s.events);
+      }
+      if (!s.children.empty()) {
+        *o += ",\"spans\":[";
+        for (size_t i = 0; i < s.children.size(); ++i) {
+          if (i > 0) o->push_back(',');
+          Span(o, s.children[i]);
+        }
+        o->push_back(']');
+      }
+      o->push_back('}');
+    }
+  };
+  const Writer writer{*this};
+  out.push_back('{');
+  bool first = true;
+  if (!counters_.empty()) {
+    AppendCountersJson(&out, counters_);
+    first = false;
+  }
+  if (!events_.empty()) {
+    if (!first) out.push_back(',');
+    AppendEventsJson(&out, events_);
+    first = false;
+  }
+  if (!first) out.push_back(',');
+  out += "\"spans\":[";
+  for (size_t i = 0; i < roots_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    writer.Span(&out, roots_[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::StructureSignature(bool with_values) const {
+  std::string out;
+  const auto annotations = [&](const std::vector<TraceCounter>& counters,
+                               const std::vector<std::string>& events) {
+    if (!counters.empty()) {
+      out += "{";
+      for (size_t i = 0; i < counters.size(); ++i) {
+        if (i > 0) out += ",";
+        out += counters[i].name;
+        if (with_values) {
+          out += "=";
+          AppendU64(&out, counters[i].value);
+        }
+      }
+      out += "}";
+    }
+    if (!events.empty()) {
+      out += "<";
+      for (size_t i = 0; i < events.size(); ++i) {
+        if (i > 0) out += ",";
+        out += events[i];
+      }
+      out += ">";
+    }
+  };
+  // Recursive lambda over the arena; depth equals span nesting depth.
+  const auto walk = [&](const auto& self, size_t index) -> void {
+    const Span& s = spans_[index];
+    out += s.name;
+    annotations(s.counters, s.events);
+    if (!s.children.empty()) {
+      out += "(";
+      for (size_t i = 0; i < s.children.size(); ++i) {
+        if (i > 0) out += ";";
+        self(self, s.children[i]);
+      }
+      out += ")";
+    }
+  };
+  out += "@";
+  annotations(counters_, events_);
+  for (size_t i = 0; i < roots_.size(); ++i) {
+    if (i > 0) out += ";";
+    walk(walk, roots_[i]);
+  }
+  return out;
+}
+
+}  // namespace kws::trace

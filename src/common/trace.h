@@ -1,0 +1,205 @@
+#ifndef KWDB_COMMON_TRACE_H_
+#define KWDB_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace kws::trace {
+
+/// A named integer annotation on a span ("rows", "cache_hits", ...).
+/// Counters with the same name on the same span accumulate.
+struct TraceCounter {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// One node of the per-query span tree. Spans live in the owning
+/// `Tracer`'s arena and reference their children by arena index, so the
+/// tree can grow without invalidating parent handles.
+struct Span {
+  /// Dotted lowercase identifier, e.g. "cn.tuple_sets" (kwslint's
+  /// metric-name rule checks literals at call sites).
+  std::string name;
+  /// Wall-clock duration. The only nondeterministic field: renderers
+  /// order by structure, never by time.
+  uint64_t micros = 0;
+  /// Deterministic merge key for spans produced by parallel workers
+  /// (e.g. the CN index); 0 for spans opened in program order.
+  uint64_t sort_key = 0;
+  /// Accumulated counters, in first-touch order.
+  std::vector<TraceCounter> counters;
+  /// Point events ("cn.deadline.hit", ...), in emission order.
+  std::vector<std::string> events;
+  /// Arena indices of child spans, in open order (post-merge: sorted).
+  std::vector<size_t> children;
+};
+
+/// Per-query execution trace collector: a tree of timed spans with typed
+/// annotations, an EXPLAIN ANALYZE-style text renderer and a stable JSON
+/// renderer.
+///
+/// Design rules (see DESIGN.md "Observability"):
+///  - Nullable everywhere: instrumented call sites take `Tracer* = nullptr`
+///    and pay exactly one branch when tracing is off. Use the free helpers
+///    `AddCounter`/`AddEvent` or the RAII `TraceSpan` so the null check is
+///    written once.
+///  - NOT thread-safe: one Tracer per query (or per worker). Parallel code
+///    gives each worker its own Tracer and folds them back with
+///    `MergeWorkers`, which orders spans by (sort_key, name) so the merged
+///    structure is independent of thread count and interleaving.
+///  - Deterministic structure: span names, nesting, counter values and
+///    events must not depend on wall-clock time or thread count; only
+///    `micros` may vary run to run. `StructureSignature` canonicalizes
+///    exactly the deterministic part, and tests diff it across runs.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  /// Movable so worker tracers can be collected into a vector.
+  Tracer(Tracer&&) = default;
+  Tracer& operator=(Tracer&&) = default;
+
+  /// Opens a span as a child of the innermost open span (or as a root)
+  /// and starts its clock. Returns the arena index (a stable handle).
+  size_t BeginSpan(std::string_view name);
+
+  /// Closes the innermost open span, recording its measured duration.
+  void EndSpan();
+
+  /// Closes the innermost open span with an explicit duration instead of
+  /// the measured one. Tests use this to build byte-stable golden JSON.
+  void EndSpan(uint64_t micros);
+
+  /// Adds `delta` to counter `name` on the innermost open span (on the
+  /// trace itself when no span is open).
+  void AddCounter(std::string_view name, uint64_t delta);
+
+  /// Appends event `name` to the innermost open span (to the trace itself
+  /// when no span is open).
+  void AddEvent(std::string_view name);
+
+  /// Sets the deterministic merge key of the innermost open span.
+  void SetSortKey(uint64_t key);
+
+  /// Folds per-worker tracers into the innermost open span: every
+  /// worker's root spans become children here, ordered by
+  /// (sort_key, name) with a stable tie-break, and every worker's
+  /// trace-level counters/events accumulate onto the current span. The
+  /// result is independent of worker count and scheduling as long as
+  /// (sort_key, name) pairs are distinct per logical unit of work.
+  void MergeWorkers(std::vector<Tracer>* workers);
+
+  /// True when at least one span is open.
+  bool InSpan() const { return !open_.empty(); }
+
+  /// Human-readable EXPLAIN ANALYZE-style tree, two-space indentation:
+  /// `name  <micros>us  [k=v ...]` plus `! event` lines.
+  std::string RenderTree() const;
+
+  /// Machine-readable JSON with a fixed key order
+  /// (name, micros, sort_key, counters, events, spans); empty collections
+  /// are omitted so output is minimal and byte-stable for a given trace.
+  std::string RenderJson() const;
+
+  /// Canonical string of the deterministic part of the trace: names,
+  /// nesting, events, and (when `with_values`) counter values — never
+  /// durations. Two traces of the same logical execution must compare
+  /// equal regardless of thread count.
+  std::string StructureSignature(bool with_values) const;
+
+  /// Read-only span arena (tests inspect shapes directly).
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Arena indices of the root spans, in open (or merged) order.
+  const std::vector<size_t>& roots() const { return roots_; }
+
+  /// Trace-level counters (recorded with no span open).
+  const std::vector<TraceCounter>& counters() const { return counters_; }
+
+  /// Trace-level events (recorded with no span open).
+  const std::vector<std::string>& events() const { return events_; }
+
+ private:
+  /// An open span: its arena index plus its running clock.
+  struct OpenSpan {
+    size_t index;
+    Stopwatch clock;
+  };
+
+  /// Deep-copies arena subtree `src_index` of `src` under `dst_parent`
+  /// (appends to roots_ when `dst_parent` is npos-like SIZE_MAX).
+  size_t CopySubtree(const Tracer& src, size_t src_index, size_t dst_parent);
+
+  std::vector<Span> spans_;
+  std::vector<size_t> roots_;
+  std::vector<OpenSpan> open_;
+  std::vector<TraceCounter> counters_;
+  std::vector<std::string> events_;
+};
+
+/// Null-checked counter helper: one branch when `tracer` is off.
+inline void AddCounter(Tracer* tracer, std::string_view name, uint64_t delta) {
+  if (tracer != nullptr) tracer->AddCounter(name, delta);
+}
+
+/// Null-checked event helper: one branch when `tracer` is off.
+inline void AddEvent(Tracer* tracer, std::string_view name) {
+  if (tracer != nullptr) tracer->AddEvent(name);
+}
+
+/// RAII span guard. With a null tracer every member is a single branch,
+/// which is the whole disabled-overhead story:
+///
+///   void Phase(trace::Tracer* tracer) {
+///     trace::TraceSpan span(tracer, "cn.tuple_sets");
+///     span.AddCounter("terms", terms.size());
+///   }
+class TraceSpan {
+ public:
+  /// Opens `name` on `tracer` (no-op when `tracer` is null).
+  TraceSpan(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+    if (tracer_ != nullptr) tracer_->BeginSpan(name);
+  }
+
+  ~TraceSpan() { Close(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span now (idempotent; the destructor then does nothing).
+  void Close() {
+    if (tracer_ != nullptr) tracer_->EndSpan();
+    tracer_ = nullptr;
+  }
+
+  /// Adds to a counter on this span (valid while open).
+  void AddCounter(std::string_view name, uint64_t delta) {
+    if (tracer_ != nullptr) tracer_->AddCounter(name, delta);
+  }
+
+  /// Appends an event to this span (valid while open).
+  void AddEvent(std::string_view name) {
+    if (tracer_ != nullptr) tracer_->AddEvent(name);
+  }
+
+  /// Sets this span's deterministic merge key (valid while open).
+  void SetSortKey(uint64_t key) {
+    if (tracer_ != nullptr) tracer_->SetSortKey(key);
+  }
+
+  /// The underlying tracer (null when disabled or after Close).
+  Tracer* tracer() const { return tracer_; }
+
+ private:
+  Tracer* tracer_;
+};
+
+}  // namespace kws::trace
+
+#endif  // KWDB_COMMON_TRACE_H_

@@ -150,6 +150,7 @@ std::vector<CandidateNetwork> EnumerateCandidateNetworks(
     KeywordMask full_mask, const CnEnumOptions& options) {
   std::vector<CandidateNetwork> result;
   if (full_mask == 0) return result;
+  trace::TraceSpan span(options.tracer, "cn.enumerate");
   std::unordered_set<std::string> seen;
   std::unordered_set<std::string> emitted;
   std::deque<CandidateNetwork> queue;
@@ -162,11 +163,17 @@ std::vector<CandidateNetwork> EnumerateCandidateNetworks(
       if (seen.insert(cn.CanonicalKey()).second) queue.push_back(cn);
     }
   }
+  span.AddCounter("seeds", queue.size());
 
+  uint64_t expansions = 0;
   DeadlineChecker checker(options.deadline);
   while (!queue.empty()) {
     // Cancellation point: one check per BFS expansion (amortized).
-    if (checker.Expired()) break;
+    if (checker.Expired()) {
+      span.AddEvent("cn.deadline.hit");
+      break;
+    }
+    ++expansions;
     CandidateNetwork cn = std::move(queue.front());
     queue.pop_front();
     if (IsValidFinal(cn, full_mask)) {
@@ -202,6 +209,9 @@ std::vector<CandidateNetwork> EnumerateCandidateNetworks(
               if (a.size() != b.size()) return a.size() < b.size();
               return a.CanonicalKey() < b.CanonicalKey();
             });
+  span.AddCounter("expansions", expansions);
+  span.AddCounter("candidates_seen", seen.size());
+  span.AddCounter("cns", result.size());
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/trace.h"
 #include "relational/database.h"
 
 namespace kws::cn {
@@ -68,6 +69,9 @@ struct CnEnumOptions {
   /// Cooperative cancellation: enumeration stops (returning the CNs found
   /// so far) once the deadline expires. Infinite by default.
   Deadline deadline = {};
+  /// Optional per-query tracer: wraps enumeration in a `cn.enumerate`
+  /// span with seed/expansion/dedup counters. Not owned; may be null.
+  trace::Tracer* tracer = nullptr;
 };
 
 /// Enumerates all valid candidate networks, duplicate-free, breadth-first

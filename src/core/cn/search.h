@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/trace.h"
 #include "core/cn/candidate_network.h"
 #include "core/cn/execute.h"
 #include "core/cn/tuple_sets.h"
@@ -80,9 +81,22 @@ struct SearchOptions {
   /// `serve::QueryRequest::simulated_io_micros`. 0 (the default)
   /// disables the simulation.
   uint64_t simulated_cn_io_micros = 0;
+  /// Optional per-query execution tracer (not owned; must outlive the
+  /// search). When set, the search wraps each phase in spans
+  /// (`cn.tuple_sets`, `cn.enumerate`, `cn.execute.<strategy>`,
+  /// `cn.topk`) with work counters; kNaive additionally gets one
+  /// `cn.eval` span per CN, merged deterministically from the parallel
+  /// workers. Span *structure* (names, nesting, events) is independent
+  /// of `num_threads` for every strategy; under kSparse /
+  /// kGlobalPipeline the aggregate counter *values* may vary with thread
+  /// count exactly like the SearchStats they mirror.
+  trace::Tracer* tracer = nullptr;
 };
 
-/// Counters for the E2 benchmark.
+/// Counters for the E2 benchmark. `Search` value-initializes the caller's
+/// struct on entry and fills it on *every* exit path — including an empty
+/// query, empty tuple sets and an immediately-expired deadline — so a
+/// reused stats object never carries values from a previous search.
 struct SearchStats {
   size_t cns_enumerated = 0;
   /// CNs actually admitted to evaluation: joined (fully or partially) by

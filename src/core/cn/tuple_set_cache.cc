@@ -7,7 +7,7 @@ namespace kws::cn {
 
 std::shared_ptr<const TermFrontier> BuildTermFrontier(
     const relational::Database& db, std::string_view term,
-    const Deadline& deadline) {
+    const Deadline& deadline, trace::Tracer* tracer) {
   const size_t num_tables = db.num_tables();
   auto frontier = std::make_shared<TermFrontier>();
   frontier->tables.resize(num_tables);
@@ -27,6 +27,8 @@ std::shared_ptr<const TermFrontier> BuildTermFrontier(
   }
   frontier->idf = std::log(1.0 + static_cast<double>(total_rows) /
                                      (1.0 + static_cast<double>(df)));
+  trace::AddCounter(tracer, "cn.frontier.built", 1);
+  trace::AddCounter(tracer, "cn.frontier.rows", frontier->num_rows);
   return frontier;
 }
 
@@ -41,7 +43,7 @@ void TupleSetCache::AttachCounters(Counter* hits, Counter* misses,
 }
 
 std::shared_ptr<const TermFrontier> TupleSetCache::Get(
-    std::string_view term, const Deadline& deadline) {
+    std::string_view term, const Deadline& deadline, trace::Tracer* tracer) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(term);
@@ -49,16 +51,20 @@ std::shared_ptr<const TermFrontier> TupleSetCache::Get(
       lru_.splice(lru_.begin(), lru_, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (hit_counter_ != nullptr) hit_counter_->Add();
+      // The tracer belongs to the calling query, not the shared cache, so
+      // annotating under the lock is safe and race-free.
+      trace::AddCounter(tracer, "cn.tuple_cache.hits", 1);
       return it->second->frontier;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (miss_counter_ != nullptr) miss_counter_->Add();
+  trace::AddCounter(tracer, "cn.tuple_cache.misses", 1);
 
   // Build outside the lock: frontier construction walks every table's
   // postings and must not serialize concurrent queries on other terms.
   std::shared_ptr<const TermFrontier> frontier =
-      BuildTermFrontier(db_, term, deadline);
+      BuildTermFrontier(db_, term, deadline, tracer);
   // Deadline-truncated builds are never cached (nor returned as data).
   if (frontier == nullptr || capacity_ == 0) return frontier;
 

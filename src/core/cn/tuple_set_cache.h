@@ -14,6 +14,7 @@
 #include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "relational/database.h"
 
 namespace kws::cn {
@@ -41,10 +42,11 @@ struct TermFrontier {
 /// Builds the frontier of `term` directly from the database's per-table
 /// text indexes. Polls `deadline` between tables and returns nullptr when
 /// it expires mid-build (the partial frontier is discarded — a truncated
-/// frontier must never be observed, let alone cached).
+/// frontier must never be observed, let alone cached). A non-null `tracer`
+/// records the rows materialized (`cn.frontier.rows`/`cn.frontier.built`).
 std::shared_ptr<const TermFrontier> BuildTermFrontier(
     const relational::Database& db, std::string_view term,
-    const Deadline& deadline = {});
+    const Deadline& deadline = {}, trace::Tracer* tracer = nullptr);
 
 /// A term -> TermFrontier LRU cache shared across CNs within a query and
 /// across queries in `kws::serve`. The database is immutable once indexed
@@ -81,9 +83,13 @@ class TupleSetCache {
   void AttachCounters(Counter* hits, Counter* misses, Counter* evictions);
 
   /// The frontier of `term`, from cache or built on demand. Returns
-  /// nullptr only when `deadline` expired mid-build.
+  /// nullptr only when `deadline` expired mid-build. A non-null `tracer`
+  /// (always the caller's per-query tracer, never shared) attributes the
+  /// lookup (`cn.tuple_cache.hits` / `cn.tuple_cache.misses`) to the
+  /// query's current span.
   std::shared_ptr<const TermFrontier> Get(std::string_view term,
-                                          const Deadline& deadline = {});
+                                          const Deadline& deadline = {},
+                                          trace::Tracer* tracer = nullptr);
 
   /// Number of cached terms.
   size_t size() const;

@@ -7,10 +7,12 @@ namespace kws::cn {
 
 TupleSets::TupleSets(const relational::Database& db,
                      std::vector<std::string> keywords, TupleSetCache* cache,
-                     const Deadline& deadline)
+                     const Deadline& deadline, trace::Tracer* tracer)
     : keywords_(std::move(keywords)) {
+  trace::TraceSpan span(tracer, "cn.tuple_sets");
   const size_t num_tables = db.num_tables();
   const size_t nk = keywords_.size();
+  span.AddCounter("terms", nk);
   table_masks_.assign(num_tables, 0);
   row_info_.resize(num_tables);
   sets_.resize(num_tables);
@@ -20,16 +22,20 @@ TupleSets::TupleSets(const relational::Database& db,
   // frontier means the deadline expired mid-build: stop with no sets.
   std::vector<std::shared_ptr<const TermFrontier>> frontiers(nk);
   idf_.assign(nk, 0);
+  size_t frontier_rows = 0;
   for (size_t k = 0; k < nk; ++k) {
     frontiers[k] = cache != nullptr
-                       ? cache->Get(keywords_[k], deadline)
-                       : BuildTermFrontier(db, keywords_[k], deadline);
+                       ? cache->Get(keywords_[k], deadline, tracer)
+                       : BuildTermFrontier(db, keywords_[k], deadline, tracer);
     if (frontiers[k] == nullptr) {
       truncated_ = true;
+      span.AddEvent("cn.deadline.hit");
       return;
     }
     idf_[k] = frontiers[k]->idf;
+    frontier_rows += frontiers[k]->num_rows;
   }
+  span.AddCounter("frontier_rows", frontier_rows);
 
   for (relational::TableId t = 0; t < num_tables; ++t) {
     auto& info = row_info_[t];

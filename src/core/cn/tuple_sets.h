@@ -38,9 +38,12 @@ class TupleSets {
   /// do not depend on whether a cache was wired in. A finite `deadline`
   /// adds a cancellation point per keyword per table: on expiry
   /// construction stops, `truncated()` turns true, and the object holds
-  /// no tuple sets (callers must not treat it as an empty answer).
+  /// no tuple sets (callers must not treat it as an empty answer). A
+  /// non-null `tracer` wraps the build in a `cn.tuple_sets` span with
+  /// term/row counters and cache hit/miss attribution.
   TupleSets(const relational::Database& db, std::vector<std::string> keywords,
-            TupleSetCache* cache = nullptr, const Deadline& deadline = {});
+            TupleSetCache* cache = nullptr, const Deadline& deadline = {},
+            trace::Tracer* tracer = nullptr);
 
   /// True when the deadline expired during construction (tuple sets are
   /// then absent, not merely empty).

@@ -20,21 +20,29 @@ KeywordSearchEngine::KeywordSearchEngine(const relational::Database& db)
 EngineResponse KeywordSearchEngine::Search(const std::string& query,
                                            const EngineOptions& options) const {
   EngineResponse response;
+  trace::Tracer* const tracer = options.trace;
+  trace::TraceSpan search_span(tracer, "engine.search");
   const Deadline& deadline = options.deadline;
   auto expired = [&] {
+    trace::AddEvent(tracer, "engine.deadline.hit");
     response.status =
         Status::DeadlineExceeded("query budget exhausted; partial response");
     return response;
   };
   if (deadline.Expired()) return expired();
-  std::vector<std::string> tokens =
-      combined_index_.tokenizer().Tokenize(query);
-  if (options.clean_query) {
-    clean::CleanedQuery cleaned = cleaner_->Clean(query);
-    if (!cleaned.tokens.empty()) {
-      response.query_was_corrected = (cleaned.tokens != tokens);
-      tokens = cleaned.tokens;
+  std::vector<std::string> tokens;
+  {
+    trace::TraceSpan clean_span(tracer, "engine.clean");
+    tokens = combined_index_.tokenizer().Tokenize(query);
+    if (options.clean_query) {
+      clean::CleanedQuery cleaned = cleaner_->Clean(query);
+      if (!cleaned.tokens.empty()) {
+        response.query_was_corrected = (cleaned.tokens != tokens);
+        tokens = cleaned.tokens;
+      }
     }
+    clean_span.AddCounter("tokens", tokens.size());
+    clean_span.AddCounter("corrected", response.query_was_corrected ? 1 : 0);
   }
   response.cleaned_query = tokens;
   if (tokens.empty()) return response;
@@ -49,6 +57,7 @@ EngineResponse KeywordSearchEngine::Search(const std::string& query,
     so.deadline = deadline;
     so.tuple_cache = options.tuple_cache;
     so.num_threads = options.num_threads;
+    so.tracer = tracer;
     cn::SearchStats stats;
     std::vector<cn::CandidateNetwork> cns;
     for (const cn::SearchResult& r :
@@ -66,6 +75,7 @@ EngineResponse KeywordSearchEngine::Search(const std::string& query,
   } else {
     // The BANKS expansion is not instrumented internally; the facade
     // checks the budget at this stage boundary.
+    trace::TraceSpan banks_span(tracer, "engine.banks");
     steiner::BanksOptions bo;
     bo.k = options.k;
     for (const steiner::AnswerTree& t :
@@ -78,18 +88,35 @@ EngineResponse KeywordSearchEngine::Search(const std::string& query,
       er.description = t.ToString(graph_.graph);
       response.results.push_back(std::move(er));
     }
+    banks_span.AddCounter("results", response.results.size());
+    banks_span.Close();
     if (deadline.Expired()) return expired();
   }
 
   if (options.num_suggestions > 0 && !response.results.empty()) {
     if (deadline.Expired()) return expired();
+    trace::TraceSpan suggest_span(tracer, "engine.suggest");
     for (const refine::SuggestedTerm& s : refine::SuggestTerms(
              combined_index_, normalized, refine::TermRanking::kRelevance,
              options.num_suggestions)) {
       response.suggestions.push_back(s.term);
     }
+    suggest_span.AddCounter("suggestions", response.suggestions.size());
   }
+  search_span.AddCounter("results", response.results.size());
   return response;
+}
+
+ExplainResult KeywordSearchEngine::Explain(const std::string& query,
+                                           const EngineOptions& options) const {
+  ExplainResult out;
+  trace::Tracer tracer;
+  EngineOptions traced = options;
+  traced.trace = &tracer;
+  out.response = Search(query, traced);
+  out.tree = tracer.RenderTree();
+  out.json = tracer.RenderJson();
+  return out;
 }
 
 std::vector<std::string> KeywordSearchEngine::Normalize(

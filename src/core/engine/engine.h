@@ -7,6 +7,7 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/clean/cleaner.h"
 #include "core/cn/search.h"
 #include "core/complete/tastier.h"
@@ -47,6 +48,12 @@ struct EngineOptions {
   /// path; any value yields bit-identical responses. Ignored by the
   /// data-graph backend.
   size_t num_threads = 1;
+  /// Optional per-query execution tracer (not owned, nullable — call
+  /// sites pay one branch when unset). Produces an `engine.search` span
+  /// with `engine.clean`, the backend (`cn.search` / `engine.banks`) and
+  /// `engine.suggest` as children. Declared last, fully qualified: the
+  /// member name shadows namespace `kws::trace` for later declarations.
+  kws::trace::Tracer* trace = nullptr;
 };
 
 /// One answer, rendered for display.
@@ -70,6 +77,17 @@ struct EngineResponse {
   std::vector<std::string> suggestions;
 };
 
+/// An `EngineResponse` bundled with its rendered execution trace — the
+/// EXPLAIN ANALYZE counterpart of `Search`.
+struct ExplainResult {
+  EngineResponse response;
+  /// Human-readable span tree (`trace::Tracer::RenderTree`).
+  std::string tree;
+  /// Machine-readable form with stable key order
+  /// (`trace::Tracer::RenderJson`).
+  std::string json;
+};
+
 /// The facade wiring the tutorial's pipeline end to end: query cleaning ->
 /// structure search (CN or data graph) -> result rendering -> refinement
 /// suggestions. This is the one-stop API the examples use.
@@ -82,6 +100,11 @@ class KeywordSearchEngine {
 
   /// Runs a keyword query through the pipeline.
   EngineResponse Search(const std::string& query,
+                        const EngineOptions& options = {}) const;
+
+  /// Runs `query` under a fresh tracer (any `options.trace` is ignored)
+  /// and returns the response together with its rendered trace.
+  ExplainResult Explain(const std::string& query,
                         const EngineOptions& options = {}) const;
 
   /// Type-ahead completions for a partially typed last keyword.

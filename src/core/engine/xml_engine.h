@@ -6,6 +6,7 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/analyze/clustering.h"
 #include "core/analyze/snippet.h"
 #include "core/lca/xseek.h"
@@ -29,6 +30,12 @@ struct XmlEngineOptions {
   /// cancellation point and the response carries
   /// `StatusCode::kDeadlineExceeded`. Infinite by default.
   Deadline deadline = {};
+  /// Optional per-query tracer (not owned, may be null). A non-null
+  /// tracer records an `xml.search` span tree covering match-list
+  /// resolution, the LCA sweep, ranking, per-result rendering, and
+  /// clustering. Fully qualified: the member name shadows the
+  /// `kws::trace` namespace in later declarations.
+  kws::trace::Tracer* trace = nullptr;
 };
 
 /// One ranked XML answer: the matched subtree, the XSeek display root,
@@ -49,6 +56,16 @@ struct XmlResponse {
   std::vector<analyze::ResultCluster> clusters;
 };
 
+/// An XML response plus the rendered execution trace that produced it.
+struct XmlExplainResult {
+  /// The ordinary search response.
+  XmlResponse response;
+  /// `Tracer::RenderTree()` of the query's span tree.
+  std::string tree;
+  /// `Tracer::RenderJson()` of the same trace.
+  std::string json;
+};
+
 /// The XML pipeline facade (tutorial's XSeek demo, slides 17-18): SLCA or
 /// ELCA retrieval -> ElemRank scoring -> XSeek return-node inference ->
 /// snippets -> context clustering.
@@ -62,6 +79,12 @@ class XmlKeywordSearch {
   /// by returning partial results with kDeadlineExceeded.
   XmlResponse Search(const std::string& query,
                      const XmlEngineOptions& options = {}) const;
+
+  /// Runs `Search` with a fresh tracer and returns the response together
+  /// with its rendered trace (tree + JSON). Any tracer already set in
+  /// `options` is replaced for the traced run.
+  XmlExplainResult Explain(const std::string& query,
+                           const XmlEngineOptions& options = {}) const;
 
  private:
   const xml::XmlTree& tree_;

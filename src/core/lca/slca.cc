@@ -126,6 +126,48 @@ uint32_t RangeCount(const XmlTree& tree, const std::vector<XmlNodeId>& list,
       text::CountInRange(PostingSpan(list), v, tree.SubtreeEnd(v)));
 }
 
+/// Span guard for the indexed LCA algorithms: routes stats through a
+/// local struct when only the tracer needs them, and turns this call's
+/// LcaStats *growth* into span counters — callers are allowed to pass
+/// stats accumulated across calls, so only deltas are traced.
+class LcaSpan {
+ public:
+  LcaSpan(trace::Tracer* tracer, const char* name, LcaStats* stats)
+      : span_(tracer, name),
+        st_(stats != nullptr ? stats
+                             : (tracer != nullptr ? &local_ : nullptr)),
+        base_(st_ != nullptr ? *st_ : LcaStats{}) {}
+
+  /// The stats sink the algorithm should record into (may be null).
+  LcaStats* stats() { return st_; }
+
+  /// Extra algorithm-specific counter on the span.
+  void AddCounter(const char* name, uint64_t value) {
+    span_.AddCounter(name, value);
+  }
+
+  /// Point event on the span (e.g. a deadline expiry).
+  void AddEvent(const char* name) { span_.AddEvent(name); }
+
+  /// Annotates the span with the stats deltas and the result count.
+  void Finish(size_t results) {
+    if (st_ == nullptr || span_.tracer() == nullptr) return;
+    span_.AddCounter("lca_computations",
+                     st_->lca_computations - base_.lca_computations);
+    span_.AddCounter("binary_searches",
+                     st_->binary_searches - base_.binary_searches);
+    span_.AddCounter("nodes_visited",
+                     st_->nodes_visited - base_.nodes_visited);
+    span_.AddCounter("results", results);
+  }
+
+ private:
+  trace::TraceSpan span_;
+  LcaStats local_;
+  LcaStats* st_;
+  LcaStats base_;
+};
+
 }  // namespace
 
 std::vector<std::vector<XmlNodeId>> MatchLists(
@@ -169,8 +211,9 @@ std::vector<XmlNodeId> SlcaBruteForce(
 
 std::vector<XmlNodeId> SlcaIndexedLookupEager(
     const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
-    LcaStats* stats, const Deadline* deadline) {
+    LcaStats* stats, const Deadline* deadline, trace::Tracer* tracer) {
   if (lists.empty()) return {};
+  LcaSpan span(tracer, "lca.slca_ile", stats);
   const size_t anchor_list = SmallestList(lists);
   DeadlineChecker checker(deadline == nullptr ? Deadline() : *deadline);
   std::vector<PostingCursor> cursors = MakeCursors(lists);
@@ -179,17 +222,25 @@ std::vector<XmlNodeId> SlcaIndexedLookupEager(
   // Anchors ascend (the anchor list is sorted), so the cursors only ever
   // move forward: the whole sweep costs one amortized pass per list.
   for (XmlNodeId v : lists[anchor_list]) {
-    if (checker.Expired()) break;  // cancellation point: partial answer
+    if (checker.Expired()) {  // cancellation point: partial answer
+      span.AddEvent("lca.deadline.hit");
+      break;
+    }
     candidates.push_back(
-        LowestCaAncestor(tree, cursors, anchor_list, v, stats));
+        LowestCaAncestor(tree, cursors, anchor_list, v, span.stats()));
   }
-  return AntiChain(tree, std::move(candidates));
+  span.AddCounter("anchors", candidates.size());
+  std::vector<XmlNodeId> out = AntiChain(tree, std::move(candidates));
+  span.Finish(out.size());
+  return out;
 }
 
 std::vector<XmlNodeId> SlcaMultiway(
     const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
-    LcaStats* stats) {
+    LcaStats* stats, trace::Tracer* tracer) {
   if (lists.empty()) return {};
+  LcaSpan span(tracer, "lca.slca_multiway", stats);
+  LcaStats* const st = span.stats();
   const size_t k = lists.size();
   // Heads double as the probe cursors of LowestCaAncestor: both uses are
   // monotone in the (strictly increasing) anchor sequence.
@@ -212,14 +263,17 @@ std::vector<XmlNodeId> SlcaMultiway(
     }
     if (exhausted) break;
     candidates.push_back(
-        LowestCaAncestor(tree, heads, anchor_list, anchor, stats));
+        LowestCaAncestor(tree, heads, anchor_list, anchor, st));
     // Advance every head to the first match after the anchor.
     for (size_t i = 0; i < k; ++i) {
-      if (stats != nullptr) ++stats->binary_searches;
+      if (st != nullptr) ++st->binary_searches;
       heads[i].SeekGE(anchor + 1);
     }
   }
-  return AntiChain(tree, std::move(candidates));
+  span.AddCounter("anchors", candidates.size());
+  std::vector<XmlNodeId> out = AntiChain(tree, std::move(candidates));
+  span.Finish(out.size());
+  return out;
 }
 
 std::vector<XmlNodeId> ElcaBruteForce(
@@ -255,8 +309,10 @@ std::vector<XmlNodeId> ElcaBruteForce(
 
 std::vector<XmlNodeId> ElcaIndexed(
     const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
-    LcaStats* stats, const Deadline* deadline) {
+    LcaStats* stats, const Deadline* deadline, trace::Tracer* tracer) {
   if (lists.empty()) return {};
+  LcaSpan span(tracer, "lca.elca_indexed", stats);
+  LcaStats* const st = span.stats();
   const size_t k = lists.size();
   const size_t anchor_list = SmallestList(lists);
   DeadlineChecker checker(deadline == nullptr ? Deadline() : *deadline);
@@ -264,10 +320,14 @@ std::vector<XmlNodeId> ElcaIndexed(
   std::vector<XmlNodeId> candidates;
   candidates.reserve(lists[anchor_list].size());
   for (XmlNodeId v : lists[anchor_list]) {
-    if (checker.Expired()) break;  // cancellation point: partial answer
+    if (checker.Expired()) {  // cancellation point: partial answer
+      span.AddEvent("lca.deadline.hit");
+      break;
+    }
     candidates.push_back(
-        LowestCaAncestor(tree, cursors, anchor_list, v, stats));
+        LowestCaAncestor(tree, cursors, anchor_list, v, st));
   }
+  span.AddCounter("anchors", candidates.size());
   // Candidates anchored on one list miss ELCAs whose anchor-list witness
   // sits under a CA child; add the ancestors of candidates that are CA —
   // ELCAs are always CA, and every ELCA is the lowest CA ancestor of one
@@ -280,13 +340,16 @@ std::vector<XmlNodeId> ElcaIndexed(
 
   auto is_ca = [&](XmlNodeId v) {
     for (size_t i = 0; i < k; ++i) {
-      if (RangeCount(tree, lists[i], v, stats) == 0) return false;
+      if (RangeCount(tree, lists[i], v, st) == 0) return false;
     }
     return true;
   };
   std::vector<XmlNodeId> out;
   for (XmlNodeId v : candidates) {
-    if (checker.Expired()) break;  // cancellation point: verified prefix
+    if (checker.Expired()) {  // cancellation point: verified prefix
+      span.AddEvent("lca.deadline.hit");
+      break;
+    }
     bool elca = true;
     // CA children of v, found once.
     std::vector<XmlNodeId> ca_children;
@@ -294,21 +357,25 @@ std::vector<XmlNodeId> ElcaIndexed(
       if (is_ca(c)) ca_children.push_back(c);
     }
     for (size_t i = 0; i < k && elca; ++i) {
-      uint32_t remaining = RangeCount(tree, lists[i], v, stats);
+      uint32_t remaining = RangeCount(tree, lists[i], v, st);
       for (XmlNodeId c : ca_children) {
-        remaining -= RangeCount(tree, lists[i], c, stats);
+        remaining -= RangeCount(tree, lists[i], c, st);
       }
       elca = remaining > 0;
     }
     if (elca) out.push_back(v);
   }
+  span.AddCounter("candidates", candidates.size());
+  span.Finish(out.size());
   return out;
 }
 
 std::vector<XmlNodeId> ElcaDeweyJoin(
     const XmlTree& tree, const std::vector<std::vector<XmlNodeId>>& lists,
-    LcaStats* stats) {
+    LcaStats* stats, trace::Tracer* tracer) {
   if (lists.empty()) return {};
+  LcaSpan span(tracer, "lca.elca_dewey", stats);
+  LcaStats* const st = span.stats();
   const size_t k = lists.size();
   // Ancestor closure per keyword: every Dewey prefix of every match.
   std::vector<std::vector<XmlNodeId>> closures(k);
@@ -317,7 +384,7 @@ std::vector<XmlNodeId> ElcaDeweyJoin(
       XmlNodeId cur = m;
       for (;;) {
         closures[i].push_back(cur);
-        if (stats != nullptr) ++stats->nodes_visited;
+        if (st != nullptr) ++st->nodes_visited;
         if (cur == 0) break;
         cur = tree.parent(cur);
       }
@@ -345,14 +412,16 @@ std::vector<XmlNodeId> ElcaDeweyJoin(
     }
     bool elca = true;
     for (size_t i = 0; i < k && elca; ++i) {
-      uint32_t remaining = RangeCount(tree, lists[i], v, stats);
+      uint32_t remaining = RangeCount(tree, lists[i], v, st);
       for (XmlNodeId c : ca_children) {
-        remaining -= RangeCount(tree, lists[i], c, stats);
+        remaining -= RangeCount(tree, lists[i], c, st);
       }
       elca = remaining > 0;
     }
     if (elca) out.push_back(v);
   }
+  span.AddCounter("ca_nodes", ca.size());
+  span.Finish(out.size());
   return out;
 }
 

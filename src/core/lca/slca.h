@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/trace.h"
 #include "xml/tree.h"
 
 namespace kws::lca {
@@ -37,20 +38,24 @@ std::vector<xml::XmlNodeId> SlcaBruteForce(
 /// the others, O(k * d * |Smin| * log |Smax|) (tutorial slide 138).
 /// A non-null `deadline` adds a cancellation point per anchor: on expiry
 /// the sweep stops and the answer is computed from the anchors processed
-/// so far (a subset of the true SLCA set).
+/// so far (a subset of the true SLCA set). A non-null `tracer` wraps the
+/// sweep in an `lca.slca_ile` span carrying this call's anchor count and
+/// LcaStats deltas.
 std::vector<xml::XmlNodeId> SlcaIndexedLookupEager(
     const xml::XmlTree& tree,
     const std::vector<std::vector<xml::XmlNodeId>>& lists,
-    LcaStats* stats = nullptr, const Deadline* deadline = nullptr);
+    LcaStats* stats = nullptr, const Deadline* deadline = nullptr,
+    trace::Tracer* tracer = nullptr);
 
 /// Multiway SLCA (Sun et al., WWW 07; tutorial slide 139): like ILE but the
 /// anchor is re-chosen as the maximum of the current heads each round and
 /// whole subtrees are skipped after each candidate, reducing anchor count
-/// when matches cluster.
+/// when matches cluster. A non-null `tracer` wraps the sweep in an
+/// `lca.slca_multiway` span (anchor count + LcaStats deltas).
 std::vector<xml::XmlNodeId> SlcaMultiway(
     const xml::XmlTree& tree,
     const std::vector<std::vector<xml::XmlNodeId>>& lists,
-    LcaStats* stats = nullptr);
+    LcaStats* stats = nullptr, trace::Tracer* tracer = nullptr);
 
 /// Reference ELCA (XRank, Guo et al. SIGMOD 03; tutorial slide 34): nodes
 /// that still contain every keyword after excluding the keyword matches
@@ -65,21 +70,25 @@ std::vector<xml::XmlNodeId> ElcaBruteForce(
 /// list; each candidate is verified with O(log) range counts on the match
 /// lists instead of subtree sweeps. A non-null `deadline` adds
 /// cancellation points to the anchor sweep and the verification loop; on
-/// expiry the ELCAs confirmed so far are returned.
+/// expiry the ELCAs confirmed so far are returned. A non-null `tracer`
+/// wraps the run in an `lca.elca_indexed` span (anchor/candidate counts +
+/// LcaStats deltas).
 std::vector<xml::XmlNodeId> ElcaIndexed(
     const xml::XmlTree& tree,
     const std::vector<std::vector<xml::XmlNodeId>>& lists,
-    LcaStats* stats = nullptr, const Deadline* deadline = nullptr);
+    LcaStats* stats = nullptr, const Deadline* deadline = nullptr,
+    trace::Tracer* tracer = nullptr);
 
 /// JDewey-join-style ELCA (Chen & Papakonstantinou, ICDE 10; tutorial
 /// slide 141): computed bottom-up from the matches' ancestor chains
 /// (Dewey prefixes) — the CA set is the intersection of the per-keyword
 /// ancestor closures, verified with range counts. O(sum |Si| * d) work to
-/// build the closures, independent of document size.
+/// build the closures, independent of document size. A non-null `tracer`
+/// wraps the run in an `lca.elca_dewey` span (CA count + LcaStats deltas).
 std::vector<xml::XmlNodeId> ElcaDeweyJoin(
     const xml::XmlTree& tree,
     const std::vector<std::vector<xml::XmlNodeId>>& lists,
-    LcaStats* stats = nullptr);
+    LcaStats* stats = nullptr, trace::Tracer* tracer = nullptr);
 
 }  // namespace kws::lca
 

@@ -34,7 +34,8 @@ std::vector<KeywordRole> ClassifyKeywords(
 XSeekResult InferReturnNodes(const XmlTree& tree,
                              const xml::PathStatistics& stats,
                              const std::vector<std::string>& keywords,
-                             XmlNodeId anchor) {
+                             XmlNodeId anchor, trace::Tracer* tracer) {
+  trace::TraceSpan span(tracer, "lca.xseek");
   XSeekResult out;
   const std::vector<KeywordRole> roles = ClassifyKeywords(tree, keywords);
 
@@ -42,7 +43,9 @@ XSeekResult InferReturnNodes(const XmlTree& tree,
   XmlNodeId root = anchor;
   XmlNodeId cur = anchor;
   bool found_entity = false;
+  uint64_t classified = 0;
   for (;;) {
+    ++classified;
     const NodeCategory cat =
         Classify(stats, tree.LabelPath(cur), !tree.text(cur).empty(),
                  tree.children(cur).empty());
@@ -56,6 +59,7 @@ XSeekResult InferReturnNodes(const XmlTree& tree,
   }
   if (!found_entity) root = anchor;
   out.result_root = root;
+  span.AddCounter("classified", classified);
 
   // Explicit return nodes: keywords that name tags select the matching
   // descendants of the result root; when the nearest entity does not
@@ -81,6 +85,7 @@ XSeekResult InferReturnNodes(const XmlTree& tree,
       }
       if (!out.return_nodes.empty()) {
         out.result_root = scope;
+        span.AddCounter("return_nodes", out.return_nodes.size());
         return out;
       }
       if (scope == 0) break;
@@ -96,6 +101,7 @@ XSeekResult InferReturnNodes(const XmlTree& tree,
                  tree.children(c).empty());
     if (cat == NodeCategory::kAttribute) out.return_nodes.push_back(c);
   }
+  span.AddCounter("return_nodes", out.return_nodes.size());
   return out;
 }
 

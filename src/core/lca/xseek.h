@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "xml/stats.h"
 #include "xml/tree.h"
 
@@ -42,10 +43,13 @@ struct XSeekResult {
 ///    descendants of (or nearest to) the anchor;
 ///  - otherwise return the nearest entity ancestor-or-self of the anchor
 ///    (the "implicit" return node), falling back to the anchor itself.
+/// A non-null `tracer` wraps the inference in an `lca.xseek` span
+/// (classified nodes + return-node count).
 XSeekResult InferReturnNodes(const xml::XmlTree& tree,
                              const xml::PathStatistics& stats,
                              const std::vector<std::string>& keywords,
-                             xml::XmlNodeId anchor);
+                             xml::XmlNodeId anchor,
+                             trace::Tracer* tracer = nullptr);
 
 /// Classifies the query's keywords against the tree's tag vocabulary.
 std::vector<KeywordRole> ClassifyKeywords(

@@ -28,6 +28,7 @@ ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
       errors_(metrics_.GetCounter("serve.errors")),
       cache_hits_(metrics_.GetCounter("serve.cache.hits")),
       cache_misses_(metrics_.GetCounter("serve.cache.misses")),
+      trace_sampled_(metrics_.GetCounter("serve.trace.sampled")),
       latency_(metrics_.GetHistogram("serve.latency_micros")),
       queue_wait_(metrics_.GetHistogram("serve.queue_wait_micros")) {
   if (tuple_cache_ != nullptr) {
@@ -114,8 +115,9 @@ void ServingEngine::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    queue_wait_->Record(task.queued.ElapsedMicros());
-    task.promise.set_value(Execute(task.request, task.deadline));
+    const double queue_wait = task.queued.ElapsedMicros();
+    queue_wait_->Record(queue_wait);
+    task.promise.set_value(Execute(task.request, task.deadline, queue_wait));
   }
 }
 
@@ -141,20 +143,42 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request) {
 }
 
 QueryOutcome ServingEngine::Execute(const QueryRequest& request,
-                                    const Deadline& deadline) {
+                                    const Deadline& deadline,
+                                    double queue_wait_micros) {
   QueryOutcome outcome;
   Stopwatch watch;
+  // Deterministic trace sampler: execution order alone decides which
+  // queries get a tracer, independent of worker scheduling.
+  const uint64_t sequence =
+      exec_sequence_.fetch_add(1, std::memory_order_relaxed);
+  const bool sampled = options_.trace_sample_every_n > 0 &&
+                       sequence % options_.trace_sample_every_n == 0;
+  if (sampled) trace_sampled_->Add();
+  trace::Tracer tracer;
+  trace::Tracer* const tp = sampled ? &tracer : nullptr;
+  trace::TraceSpan query_span(tp, "serve.query");
+  if (queue_wait_micros > 0) {
+    query_span.AddCounter("queue_wait_micros",
+                          static_cast<uint64_t>(queue_wait_micros));
+  }
   auto finish = [&](Counter* bucket) {
     outcome.latency_micros = watch.ElapsedMicros();
     latency_->Record(outcome.latency_micros);
     completed_->Add();
     bucket->Add();
+    query_span.Close();
+    RecordSlowQuery(request, outcome, sequence, queue_wait_micros, sampled,
+                    sampled ? tracer.RenderTree() : std::string());
     return std::move(outcome);
   };
 
   const std::string key = request.bypass_cache ? "" : CacheKey(request);
   if (!request.bypass_cache) {
-    if (std::optional<CachedResult> hit = cache_.Get(key)) {
+    trace::TraceSpan lookup_span(tp, "serve.cache.lookup");
+    std::optional<CachedResult> hit = cache_.Get(key);
+    lookup_span.AddCounter("hit", hit.has_value() ? 1 : 0);
+    lookup_span.Close();
+    if (hit.has_value()) {
       cache_hits_->Add();
       outcome.relational = std::move(hit->relational);
       outcome.xml = std::move(hit->xml);
@@ -167,6 +191,7 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request,
   // Deadline-aware dispatch: a budget that expired while queued (or a ~0
   // budget) drops the query before any backend work.
   if (deadline.Expired()) {
+    trace::AddEvent(tp, "serve.deadline.hit");
     outcome.status =
         Status::DeadlineExceeded("budget exhausted before execution");
     return finish(deadline_exceeded_);
@@ -178,9 +203,11 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request,
         std::chrono::microseconds(request.simulated_io_micros));
   }
 
+  trace::TraceSpan exec_span(tp, "serve.execute");
   CachedResult fill;
   if (request.pipeline == Pipeline::kRelational) {
     if (relational_ == nullptr) {
+      exec_span.Close();
       outcome.status =
           Status::FailedPrecondition("no relational engine configured");
       return finish(errors_);
@@ -190,11 +217,13 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request,
     eo.deadline = deadline;
     eo.tuple_cache = tuple_cache_.get();
     eo.num_threads = options_.search_threads;
+    eo.trace = tp;
     auto response = std::make_shared<engine::EngineResponse>(
         relational_->Search(request.query, eo));
     if (!response->status.ok()) {
       outcome.status = response->status;
       outcome.relational = std::move(response);  // partial results, if any
+      exec_span.Close();
       return finish(outcome.status.code() == StatusCode::kDeadlineExceeded
                         ? deadline_exceeded_
                         : errors_);
@@ -203,17 +232,20 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request,
     fill.relational = outcome.relational;
   } else {
     if (xml_ == nullptr) {
+      exec_span.Close();
       outcome.status = Status::FailedPrecondition("no XML engine configured");
       return finish(errors_);
     }
     engine::XmlEngineOptions xo;
     xo.k = request.k;
     xo.deadline = deadline;
+    xo.trace = tp;
     auto response = std::make_shared<engine::XmlResponse>(
         xml_->Search(request.query, xo));
     if (!response->status.ok()) {
       outcome.status = response->status;
       outcome.xml = std::move(response);
+      exec_span.Close();
       return finish(outcome.status.code() == StatusCode::kDeadlineExceeded
                         ? deadline_exceeded_
                         : errors_);
@@ -221,10 +253,42 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request,
     outcome.xml = std::move(response);
     fill.xml = outcome.xml;
   }
+  exec_span.Close();
   // Only complete answers are cached; deadline-truncated ones are not,
   // so a later, better-funded retry is not poisoned by a partial entry.
   if (!request.bypass_cache) cache_.Put(key, std::move(fill));
   return finish(ok_);
+}
+
+void ServingEngine::RecordSlowQuery(const QueryRequest& request,
+                                    const QueryOutcome& outcome,
+                                    uint64_t sequence,
+                                    double queue_wait_micros, bool sampled,
+                                    std::string trace_text) {
+  if (options_.slow_query_log_capacity == 0) return;
+  const bool slow = outcome.latency_micros >=
+                    static_cast<double>(options_.slow_query_micros);
+  if (!slow && !sampled) return;
+  SlowQueryEntry entry;
+  entry.sequence = sequence;
+  entry.query = request.query;
+  entry.pipeline = request.pipeline;
+  entry.latency_micros = outcome.latency_micros;
+  entry.queue_wait_micros = queue_wait_micros;
+  entry.code = outcome.status.code();
+  entry.cache_hit = outcome.cache_hit;
+  entry.sampled = sampled;
+  entry.trace = std::move(trace_text);
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_log_.push_back(std::move(entry));
+  while (slow_log_.size() > options_.slow_query_log_capacity) {
+    slow_log_.pop_front();
+  }
+}
+
+std::vector<SlowQueryEntry> ServingEngine::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return {slow_log_.begin(), slow_log_.end()};
 }
 
 }  // namespace kws::serve

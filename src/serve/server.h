@@ -1,6 +1,7 @@
 #ifndef KWDB_SERVE_SERVER_H_
 #define KWDB_SERVE_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -15,6 +16,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "core/engine/engine.h"
 #include "core/engine/xml_engine.h"
 #include "serve/cache.h"
@@ -85,6 +87,37 @@ struct ServeOptions {
   /// any value. 1 (the default) keeps per-query execution serial, the
   /// right choice when `num_workers` already saturates the cores.
   size_t search_threads = 1;
+  /// Trace every Nth executed query (0 disables sampling). The sampler
+  /// is a deterministic execution-sequence counter — query 0, N, 2N, ...
+  /// in execution order carry a full per-query trace, independent of
+  /// which worker runs them. Sampled queries always enter the slow-query
+  /// log with their rendered trace attached.
+  size_t trace_sample_every_n = 0;
+  /// Latency threshold for the slow-query log, microseconds. The default
+  /// 0 logs every completed query (the log is always on; its capacity
+  /// bounds the cost).
+  uint64_t slow_query_micros = 0;
+  /// Ring-buffer capacity of the slow-query log; the oldest entry is
+  /// evicted first. 0 disables the log entirely.
+  size_t slow_query_log_capacity = 32;
+};
+
+/// One completed query retained in the slow-query ring buffer.
+struct SlowQueryEntry {
+  /// Execution-order sequence number (shared with the trace sampler).
+  uint64_t sequence = 0;
+  std::string query;
+  Pipeline pipeline = Pipeline::kRelational;
+  double latency_micros = 0;
+  /// Queue wait before execution (0 for the synchronous `Query` path).
+  double queue_wait_micros = 0;
+  /// Final status code of the outcome.
+  StatusCode code = StatusCode::kOk;
+  bool cache_hit = false;
+  /// True when the deterministic sampler traced this query.
+  bool sampled = false;
+  /// `Tracer::RenderTree()` of the query's trace; empty unless sampled.
+  std::string trace;
 };
 
 /// The concurrent query-serving facade: a fixed worker pool pulling from a
@@ -142,6 +175,12 @@ class ServingEngine {
   /// is configured or tuple_cache_capacity is 0. Exposed for tests.
   cn::TupleSetCache* tuple_cache() const { return tuple_cache_.get(); }
 
+  /// Snapshot of the slow-query ring buffer, oldest entry first. Holds
+  /// at most `ServeOptions::slow_query_log_capacity` completed queries
+  /// whose latency reached `slow_query_micros`, plus every sampled query
+  /// (with its rendered trace).
+  std::vector<SlowQueryEntry> SlowQueries() const;
+
  private:
   struct Task {
     QueryRequest request;
@@ -161,7 +200,17 @@ class ServingEngine {
 
   /// The miss/hit pipeline shared by Submit-driven workers (deadline
   /// anchored at Submit) and Query (anchored at the call).
-  QueryOutcome Execute(const QueryRequest& request, const Deadline& deadline);
+  /// `queue_wait_micros` is the time the task spent queued (0 on the
+  /// synchronous path); it is recorded in the slow-query log.
+  QueryOutcome Execute(const QueryRequest& request, const Deadline& deadline,
+                       double queue_wait_micros = 0);
+
+  /// Appends a completed query to the slow-query ring buffer when it
+  /// qualifies (latency >= slow_query_micros, or sampled).
+  void RecordSlowQuery(const QueryRequest& request,
+                       const QueryOutcome& outcome, uint64_t sequence,
+                       double queue_wait_micros, bool sampled,
+                       std::string trace_text);
 
   const engine::KeywordSearchEngine* relational_;
   const engine::XmlKeywordSearch* xml_;
@@ -181,8 +230,17 @@ class ServingEngine {
   Counter* errors_;
   Counter* cache_hits_;
   Counter* cache_misses_;
+  Counter* trace_sampled_;
   LatencyHistogram* latency_;
   LatencyHistogram* queue_wait_;
+
+  /// Execution-order sequence driving the deterministic trace sampler
+  /// and stamped into slow-query entries.
+  std::atomic<uint64_t> exec_sequence_{0};
+
+  /// Guards the slow-query ring buffer only (never held with mu_).
+  mutable std::mutex slow_mu_;
+  std::deque<SlowQueryEntry> slow_log_;
 
   std::mutex mu_;
   std::condition_variable cv_;

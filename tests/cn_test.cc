@@ -341,6 +341,63 @@ TEST(SearchStatsTest, SparseEvaluatesFewerCnsThanNaive) {
             naive_stats.results_materialized);
 }
 
+/// Garbage-filled stats handed to an early-returning Search must come
+/// back fully reset: Search value-initializes `*stats` on entry, so no
+/// exit path can leak a previous query's numbers.
+SearchStats GarbageStats() {
+  SearchStats s;
+  s.cns_enumerated = 111;
+  s.cns_evaluated = 222;
+  s.results_materialized = 333;
+  s.join_lookups = 444;
+  s.candidates_verified = 555;
+  s.deadline_hit = true;
+  return s;
+}
+
+TEST(SearchStatsTest, EmptyQueryResetsReusedStats) {
+  MiniDb mini;
+  CnKeywordSearch search(*mini.db);
+  SearchStats stats = GarbageStats();
+  EXPECT_TRUE(search.Search("", {}, nullptr, &stats).empty());
+  EXPECT_EQ(stats.cns_enumerated, 0u);
+  EXPECT_EQ(stats.cns_evaluated, 0u);
+  EXPECT_EQ(stats.results_materialized, 0u);
+  EXPECT_EQ(stats.join_lookups, 0u);
+  EXPECT_EQ(stats.candidates_verified, 0u);
+  EXPECT_FALSE(stats.deadline_hit);
+}
+
+TEST(SearchStatsTest, NoMatchQueryResetsReusedStats) {
+  MiniDb mini;
+  CnKeywordSearch search(*mini.db);
+  SearchStats stats = GarbageStats();
+  EXPECT_TRUE(
+      search.Search("zzzznothing qqqqnomatch", {}, nullptr, &stats).empty());
+  EXPECT_EQ(stats.cns_evaluated, 0u);
+  EXPECT_EQ(stats.results_materialized, 0u);
+  EXPECT_FALSE(stats.deadline_hit);
+}
+
+TEST(SearchStatsTest, ExpiredDeadlineResetsStatsThenMarksTheHit) {
+  MiniDb mini;
+  CnKeywordSearch search(*mini.db);
+  for (Strategy strategy :
+       {Strategy::kNaive, Strategy::kSparse, Strategy::kGlobalPipeline}) {
+    SearchStats stats = GarbageStats();
+    SearchOptions so;
+    so.strategy = strategy;
+    so.deadline = Deadline::AfterMicros(0);
+    search.Search("widom xml", so, nullptr, &stats);
+    EXPECT_TRUE(stats.deadline_hit) << StrategyToString(strategy);
+    // Everything else restarted from zero, so no counter can still carry
+    // the garbage watermark.
+    EXPECT_LT(stats.results_materialized, 333u) << StrategyToString(strategy);
+    EXPECT_LT(stats.join_lookups, 444u) << StrategyToString(strategy);
+    EXPECT_LT(stats.candidates_verified, 555u) << StrategyToString(strategy);
+  }
+}
+
 /// Property: SPARK algorithms agree with the naive reference.
 class SparkAgreementTest : public ::testing::TestWithParam<const char*> {};
 

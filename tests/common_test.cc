@@ -268,6 +268,96 @@ TEST(MetricsThreadingTest, ConcurrentRecordingLosesNothing) {
   EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads * kPerThread));
 }
 
+TEST(LatencyHistogramTest, BucketSnapshotListsOccupiedBucketsInOrder) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.BucketSnapshot().empty());
+  h.Record(1);     // [0, 2)    -> bucket 0
+  h.Record(3);     // [2, 4)    -> bucket 1
+  h.Record(3);
+  h.Record(1000);  // [512, 1024) -> bucket 9
+  const std::vector<HistogramBucket> s = h.BucketSnapshot();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].index, 0u);
+  EXPECT_EQ(s[0].lo_micros, 0.0);
+  EXPECT_EQ(s[0].hi_micros, 2.0);
+  EXPECT_EQ(s[0].count, 1u);
+  EXPECT_EQ(s[1].index, 1u);
+  EXPECT_EQ(s[1].lo_micros, 2.0);
+  EXPECT_EQ(s[1].hi_micros, 4.0);
+  EXPECT_EQ(s[1].count, 2u);
+  EXPECT_EQ(s[2].index, 9u);
+  EXPECT_EQ(s[2].lo_micros, 512.0);
+  EXPECT_EQ(s[2].hi_micros, 1024.0);
+  EXPECT_EQ(s[2].count, 1u);
+}
+
+TEST(MetricsRegistryTest, RenderJsonHasStableShapeAndSortedNames) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.RenderJson(), "{\"counters\":{},\"histograms\":{}}");
+  // Insert out of order: rendering sorts by name.
+  registry.GetCounter("serve.misses")->Add(2);
+  registry.GetCounter("serve.hits")->Add(1);
+  registry.GetHistogram("serve.latency_micros")->Record(100);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(
+      json.find("\"counters\":{\"serve.hits\":1,\"serve.misses\":2}"),
+      std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"histograms\":{\"serve.latency_micros\":{\"count\":1,"
+                      "\"sum_micros\":100.000"),
+            std::string::npos)
+      << json;
+  // 100us lands in bucket 6 ([64, 128)); only occupied buckets render.
+  EXPECT_NE(json.find("\"buckets\":[{\"index\":6,\"lo_micros\":64.000,"
+                      "\"hi_micros\":128.000,\"count\":1}]"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // The JSON exporter must not disturb the text rendering.
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("serve.hits 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve.latency_micros count=1"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsThreadingTest, RenderWhileRecordingIsSafe) {
+  // Exercised under TSan by ci.sh: both renderers run concurrently with
+  // writers (the serve metrics endpoint vs live traffic) and must only
+  // ever see valid snapshots.
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("hits");
+  LatencyHistogram* h = registry.GetHistogram("lat");
+  constexpr int kWriters = 3;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;  // kwslint: allow(raw-thread) TSan fixture
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Add();
+        h->Record(static_cast<double>(t * 50 + 1));
+        // Writers also race instrument creation against the renderers.
+        registry.GetCounter("writer." + std::to_string(t))->Add();
+      }
+    });
+  }
+  std::string json;
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    json = registry.RenderJson();
+    text = registry.RenderText();
+  }
+  for (auto& t : threads) t.join();
+  json = registry.RenderJson();
+  text = registry.RenderText();
+  const std::string want =
+      "\"hits\":" + std::to_string(kWriters * kPerThread);
+  EXPECT_NE(json.find(want), std::string::npos);
+  EXPECT_NE(text.find("hits " + std::to_string(kWriters * kPerThread)),
+            std::string::npos);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kWriters * kPerThread));
+}
+
 TEST(StringsTest, ToLower) {
   EXPECT_EQ(ToLower("SIGMOD Paper"), "sigmod paper");
   EXPECT_EQ(ToLower(""), "");

@@ -248,6 +248,57 @@ TEST(KwslintMutexStyle, FlagsBadFieldNameAndManualLock) {
             0u);
 }
 
+// --- metric-name ----------------------------------------------------------
+
+TEST(KwslintMetricName, FlagsNonDottedLowercaseNames) {
+  const std::string bad =
+      "void F(MetricsRegistry* m, trace::Tracer* t) {\n"
+      "  m->GetCounter(\"Serve.Submitted\");\n"       // uppercase
+      "  m->GetHistogram(\"serve latency\");\n"       // space
+      "  t->BeginSpan(\"cn-search\");\n"              // dash
+      "  t->AddCounter(\"results!\", 1);\n"           // punctuation
+      "  t->AddEvent(\"\");\n"                        // empty
+      "}\n";
+  EXPECT_EQ(CountRule(Lint("src/serve/foo.cc", bad), "metric-name"), 5u);
+}
+
+TEST(KwslintMetricName, AcceptsDottedLowercaseAndSkipsNonLiterals) {
+  const std::string good =
+      "void F(MetricsRegistry* m, trace::Tracer* t, const char* dyn) {\n"
+      "  m->GetCounter(\"serve.cache.hits\");\n"
+      "  m->GetHistogram(\"serve.latency_micros\");\n"
+      "  t->BeginSpan(\"cn.execute.naive\");\n"
+      "  t->AddCounter(\"frontier_rows\", 42);\n"
+      "  t->BeginSpan(dyn);\n"  // non-literal: not checked
+      "  trace::TraceSpan span(t, \"cn.topk\");\n"
+      "}\n";
+  EXPECT_EQ(CountRule(Lint("src/serve/foo.cc", good), "metric-name"), 0u);
+}
+
+TEST(KwslintMetricName, ChecksTraceSpanDeclarations) {
+  const std::string bad =
+      "void F(trace::Tracer* t) {\n"
+      "  trace::TraceSpan span(t, \"CN.TopK\");\n"
+      "}\n";
+  std::vector<Diagnostic> diags = Lint("src/core/foo.cc", bad);
+  ASSERT_EQ(CountRule(diags, "metric-name"), 1u);
+  EXPECT_EQ(diags[0].line, 2);
+  // Declarations without a literal (headers, pointer params) are silent.
+  EXPECT_EQ(CountRule(Lint("src/core/foo.h",
+                           Header("namespace kws::core {\n"
+                                  "/// S.\n"
+                                  "struct S { trace::TraceSpan* span; };\n"
+                                  "}\n")),
+                      "metric-name"),
+            0u);
+}
+
+TEST(KwslintMetricName, AppliesToTestsAndBenches) {
+  const std::string bad = "void F(T* t) { t->AddEvent(\"Bad Name\"); }\n";
+  EXPECT_EQ(CountRule(Lint("tests/foo_test.cc", bad), "metric-name"), 1u);
+  EXPECT_EQ(CountRule(Lint("bench/bench_foo.cc", bad), "metric-name"), 1u);
+}
+
 // --- suppression ----------------------------------------------------------
 
 TEST(KwslintSuppression, TrailingAllowSilencesThatLineOnly) {
@@ -299,6 +350,7 @@ TEST(KwslintEngine, ExitCodeIsNonzeroIffFindings) {
       {"src/foo/e.h", Header("namespace kws::foo {\nint G(int);\n}\n")},
       {"src/foo/f.h", "#pragma once\n"},
       {"src/core/g.cc", "void F() { mu_.lock(); }\n"},
+      {"src/core/h.cc", "void F(T* t) { t->AddEvent(\"Bad Name\"); }\n"},
   };
   for (const auto& fixture : seeded) {
     std::vector<Diagnostic> d;
@@ -314,8 +366,9 @@ TEST(KwslintEngine, FormatIsFileLineRuleMessage) {
 
 TEST(KwslintEngine, RuleIdsAreStable) {
   const std::vector<std::string> ids = RuleIds();
-  EXPECT_EQ(ids.size(), 7u);
+  EXPECT_EQ(ids.size(), 8u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "doc-comment"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "metric-name"), ids.end());
 }
 
 }  // namespace

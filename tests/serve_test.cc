@@ -624,6 +624,116 @@ TEST_F(ServeTest, TupleSetsIdenticalWithAndWithoutCache) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Slow-query log and the deterministic trace sampler.
+
+TEST_F(ServeTest, SlowQueryLogIsOldestFirstWithIncreasingSequence) {
+  ServeOptions so;
+  so.num_workers = 0;
+  // slow_query_micros = 0 (the default): every completed query is logged.
+  ServingEngine server(engine_, xml_engine_, so);
+  const std::vector<std::string> queries = {"keyword search", "database query",
+                                            "xml data"};
+  for (const std::string& q : queries) {
+    QueryRequest req;
+    req.query = q;
+    req.bypass_cache = true;
+    ASSERT_TRUE(server.Query(req).status.ok()) << q;
+  }
+  const std::vector<SlowQueryEntry> log = server.SlowQueries();
+  ASSERT_EQ(log.size(), queries.size());
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].sequence, i);
+    EXPECT_EQ(log[i].query, queries[i]);
+    EXPECT_EQ(log[i].queue_wait_micros, 0.0);  // synchronous path
+    EXPECT_FALSE(log[i].cache_hit);
+    EXPECT_FALSE(log[i].sampled);   // sampler off
+    EXPECT_TRUE(log[i].trace.empty());
+    EXPECT_EQ(log[i].code, StatusCode::kOk);
+    EXPECT_GT(log[i].latency_micros, 0.0);
+  }
+  server.Shutdown();
+}
+
+TEST_F(ServeTest, SlowQueryLogCapacityEvictsOldestEntries) {
+  ServeOptions so;
+  so.num_workers = 0;
+  so.slow_query_log_capacity = 2;
+  ServingEngine server(engine_, xml_engine_, so);
+  for (int i = 0; i < 5; ++i) {
+    QueryRequest req;
+    req.query = "keyword search";
+    req.bypass_cache = true;
+    ASSERT_TRUE(server.Query(req).status.ok());
+  }
+  const std::vector<SlowQueryEntry> log = server.SlowQueries();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].sequence, 3u);
+  EXPECT_EQ(log[1].sequence, 4u);
+  server.Shutdown();
+}
+
+TEST_F(ServeTest, SlowQueryThresholdAndZeroCapacityFilter) {
+  // An unreachable latency threshold keeps the log empty...
+  ServeOptions so;
+  so.num_workers = 0;
+  so.slow_query_micros = 1'000'000'000'000ull;
+  {
+    ServingEngine server(engine_, xml_engine_, so);
+    QueryRequest req;
+    req.query = "keyword search";
+    ASSERT_TRUE(server.Query(req).status.ok());
+    EXPECT_TRUE(server.SlowQueries().empty());
+    server.Shutdown();
+  }
+  // ...and capacity 0 disables the log even for sampled queries.
+  so.slow_query_micros = 0;
+  so.slow_query_log_capacity = 0;
+  so.trace_sample_every_n = 1;
+  {
+    ServingEngine server(engine_, xml_engine_, so);
+    QueryRequest req;
+    req.query = "keyword search";
+    ASSERT_TRUE(server.Query(req).status.ok());
+    EXPECT_TRUE(server.SlowQueries().empty());
+    server.Shutdown();
+  }
+}
+
+TEST_F(ServeTest, TraceSamplingIsDeterministicByExecutionSequence) {
+  ServeOptions so;
+  so.num_workers = 0;
+  so.trace_sample_every_n = 4;
+  so.slow_query_log_capacity = 64;
+  ServingEngine server(engine_, xml_engine_, so);
+  for (int i = 0; i < 12; ++i) {
+    QueryRequest req;
+    req.query = "keyword search";
+    req.bypass_cache = true;
+    ASSERT_TRUE(server.Query(req).status.ok());
+  }
+  const std::vector<SlowQueryEntry> log = server.SlowQueries();
+  ASSERT_EQ(log.size(), 12u);
+  size_t sampled = 0;
+  for (const SlowQueryEntry& e : log) {
+    const bool expect_sampled = e.sequence % 4 == 0;
+    EXPECT_EQ(e.sampled, expect_sampled) << "sequence " << e.sequence;
+    if (e.sampled) {
+      ++sampled;
+      // Sampled entries carry the rendered span tree of their execution.
+      EXPECT_NE(e.trace.find("serve.query"), std::string::npos);
+      EXPECT_NE(e.trace.find("serve.execute"), std::string::npos);
+      EXPECT_NE(e.trace.find("engine.search"), std::string::npos);
+    } else {
+      EXPECT_TRUE(e.trace.empty());
+    }
+  }
+  EXPECT_EQ(sampled, 3u);  // sequences 0, 4, 8
+  const std::string text = server.metrics().RenderText();
+  EXPECT_NE(text.find("serve.trace.sampled 3"), std::string::npos) << text;
+  server.Shutdown();
+}
+
 TEST_F(ServeTest, MetricsRenderAfterServing) {
   ServingEngine server(engine_, xml_engine_, {});
   QueryRequest req;

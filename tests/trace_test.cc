@@ -1,0 +1,404 @@
+// Tests for kws::trace: span-tree arena semantics, the renderers' golden
+// output (byte-exact via the explicit-duration EndSpan overload), the
+// deterministic worker merge, and the end-to-end oracle that a traced
+// query's span *structure* is identical serial vs parallel for every
+// strategy, seed and thread count — only durations may differ.
+
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kws::trace {
+namespace {
+
+TEST(TracerTest, SpanTreeShapeAndArenaHandles) {
+  Tracer t;
+  EXPECT_FALSE(t.InSpan());
+  const size_t a = t.BeginSpan("a");
+  EXPECT_TRUE(t.InSpan());
+  const size_t b = t.BeginSpan("b");
+  t.EndSpan();
+  const size_t c = t.BeginSpan("c");
+  t.EndSpan();
+  t.EndSpan();
+  const size_t d = t.BeginSpan("d");
+  t.EndSpan();
+  EXPECT_FALSE(t.InSpan());
+
+  ASSERT_EQ(t.spans().size(), 4u);
+  EXPECT_EQ(t.roots(), (std::vector<size_t>{a, d}));
+  EXPECT_EQ(t.spans()[a].children, (std::vector<size_t>{b, c}));
+  EXPECT_TRUE(t.spans()[b].children.empty());
+  EXPECT_EQ(t.spans()[a].name, "a");
+  EXPECT_EQ(t.spans()[d].name, "d");
+}
+
+TEST(TracerTest, CountersAccumulateByNameInFirstTouchOrder) {
+  Tracer t;
+  t.BeginSpan("s");
+  t.AddCounter("rows", 3);
+  t.AddCounter("hits", 1);
+  t.AddCounter("rows", 2);
+  t.EndSpan();
+  const Span& s = t.spans()[0];
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].name, "rows");
+  EXPECT_EQ(s.counters[0].value, 5u);
+  EXPECT_EQ(s.counters[1].name, "hits");
+  EXPECT_EQ(s.counters[1].value, 1u);
+}
+
+TEST(TracerTest, AnnotationsWithoutOpenSpanLandOnTheTrace) {
+  Tracer t;
+  t.AddCounter("queries", 1);
+  t.AddEvent("warmup");
+  t.BeginSpan("s");
+  t.AddEvent("hit");
+  t.EndSpan();
+  t.AddCounter("queries", 1);
+  ASSERT_EQ(t.counters().size(), 1u);
+  EXPECT_EQ(t.counters()[0].value, 2u);
+  EXPECT_EQ(t.events(), (std::vector<std::string>{"warmup"}));
+  EXPECT_EQ(t.spans()[0].events, (std::vector<std::string>{"hit"}));
+}
+
+/// The fixture both golden tests share: explicit durations make the
+/// output byte-stable.
+Tracer GoldenTrace() {
+  Tracer t;
+  t.AddCounter("queries", 1);
+  t.AddEvent("warmup");
+  t.BeginSpan("a");
+  t.AddCounter("rows", 3);
+  t.AddCounter("rows", 2);
+  t.BeginSpan("b");
+  t.AddEvent("hit");
+  t.EndSpan(7);
+  t.EndSpan(40);
+  return t;
+}
+
+TEST(TracerTest, RenderTreeGolden) {
+  EXPECT_EQ(GoldenTrace().RenderTree(),
+            "queries=1\n"
+            "! warmup\n"
+            "a  40us  [rows=5]\n"
+            "  b  7us\n"
+            "    ! hit\n");
+}
+
+TEST(TracerTest, RenderJsonGolden) {
+  EXPECT_EQ(GoldenTrace().RenderJson(),
+            "{\"counters\":{\"queries\":1},\"events\":[\"warmup\"],"
+            "\"spans\":[{\"name\":\"a\",\"micros\":40,"
+            "\"counters\":{\"rows\":5},"
+            "\"spans\":[{\"name\":\"b\",\"micros\":7,"
+            "\"events\":[\"hit\"]}]}]}");
+}
+
+TEST(TracerTest, RenderJsonSortKeyAndEscaping) {
+  Tracer t;
+  t.BeginSpan("s");
+  t.SetSortKey(9);
+  // Renderers must stay correct for arbitrary event payloads even though
+  // call-site literals are linted.
+  t.AddEvent("q\"uote\\back\nline");  // kwslint: allow(metric-name) escaping fixture
+  t.EndSpan(1);
+  EXPECT_EQ(t.RenderJson(),
+            "{\"spans\":[{\"name\":\"s\",\"micros\":1,\"sort_key\":9,"
+            "\"events\":[\"q\\\"uote\\\\back\\nline\"]}]}");
+}
+
+TEST(TracerTest, StructureSignatureTogglesValuesNeverDurations) {
+  const Tracer t = GoldenTrace();
+  EXPECT_EQ(t.StructureSignature(true),
+            "@{queries=1}<warmup>a{rows=5}(b<hit>)");
+  EXPECT_EQ(t.StructureSignature(false), "@{queries}<warmup>a{rows}(b<hit>)");
+  // Same structure, different duration: signatures unchanged.
+  Tracer slow;
+  slow.AddCounter("queries", 1);
+  slow.AddEvent("warmup");
+  slow.BeginSpan("a");
+  slow.AddCounter("rows", 5);
+  slow.BeginSpan("b");
+  slow.AddEvent("hit");
+  slow.EndSpan(999999);
+  slow.EndSpan(123456);
+  EXPECT_EQ(slow.StructureSignature(true), t.StructureSignature(true));
+}
+
+/// Distributes `units` logical spans (sort_key = unit index) over
+/// `workers` tracers by static striding, the parallel-search pattern.
+std::vector<Tracer> MakeWorkers(size_t units, size_t workers) {
+  std::vector<Tracer> out(workers);
+  for (size_t i = 0; i < units; ++i) {
+    Tracer& w = out[i % workers];
+    w.BeginSpan("cn.eval");
+    w.SetSortKey(i);
+    w.AddCounter("results", i + 1);
+    w.EndSpan(0);
+  }
+  return out;
+}
+
+TEST(TracerTest, MergeWorkersIsThreadCountIndependent) {
+  std::string baseline;
+  for (const size_t workers : {1u, 2u, 3u, 8u}) {
+    Tracer parent;
+    parent.BeginSpan("cn.execute.naive");
+    std::vector<Tracer> w = MakeWorkers(6, workers);
+    parent.MergeWorkers(&w);
+    parent.EndSpan(0);
+    const std::string sig = parent.StructureSignature(true);
+    if (baseline.empty()) {
+      baseline = sig;
+      // Merged children are sort_key-ordered under the open span.
+      const Span& root = parent.spans()[parent.roots()[0]];
+      ASSERT_EQ(root.children.size(), 6u);
+      for (size_t i = 0; i < root.children.size(); ++i) {
+        EXPECT_EQ(parent.spans()[root.children[i]].sort_key, i);
+      }
+    } else {
+      EXPECT_EQ(sig, baseline) << workers << " workers";
+    }
+  }
+}
+
+TEST(TracerTest, MergeWorkersFoldsTraceLevelAnnotations) {
+  Tracer parent;
+  parent.BeginSpan("exec");
+  std::vector<Tracer> workers(2);
+  workers[0].AddCounter("join_lookups", 3);
+  workers[1].AddCounter("join_lookups", 4);
+  workers[1].AddEvent("cn.deadline.hit");
+  parent.MergeWorkers(&workers);
+  parent.EndSpan(0);
+  const Span& exec = parent.spans()[parent.roots()[0]];
+  ASSERT_EQ(exec.counters.size(), 1u);
+  EXPECT_EQ(exec.counters[0].value, 7u);
+  EXPECT_EQ(exec.events, (std::vector<std::string>{"cn.deadline.hit"}));
+}
+
+TEST(TraceSpanTest, NullTracerIsANoOpEverywhere) {
+  TraceSpan span(nullptr, "s");
+  span.AddCounter("rows", 1);
+  span.AddEvent("hit");
+  span.SetSortKey(3);
+  EXPECT_EQ(span.tracer(), nullptr);
+  span.Close();  // still a no-op
+  AddCounter(nullptr, "rows", 1);
+  AddEvent(nullptr, "hit");
+}
+
+TEST(TraceSpanTest, CloseIsIdempotentAndDisarmsTheDestructor) {
+  Tracer t;
+  {
+    TraceSpan span(&t, "s");
+    EXPECT_TRUE(t.InSpan());
+    span.Close();
+    EXPECT_FALSE(t.InSpan());
+    span.Close();  // second close must not touch the tracer
+    EXPECT_EQ(span.tracer(), nullptr);
+  }  // destructor after explicit Close: no double EndSpan
+  EXPECT_FALSE(t.InSpan());
+  ASSERT_EQ(t.spans().size(), 1u);
+}
+
+}  // namespace
+}  // namespace kws::trace
+
+// ------------------------------------------ CN search structure oracle
+
+#include "common/deadline.h"
+#include "core/cn/search.h"
+#include "relational/dblp.h"
+
+namespace kws::cn {
+namespace {
+
+/// Span structure must be bit-identical serial vs parallel for every
+/// strategy; kNaive additionally pins every counter value (its per-CN
+/// work is exact), while kSparse/kGlobalPipeline aggregate counters whose
+/// values legitimately vary with thread count (like their SearchStats).
+class TraceStructureOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceStructureOracleTest, StructureIdenticalAcrossThreadCounts) {
+  relational::DblpOptions opts;
+  opts.seed = GetParam();
+  opts.num_authors = 30;
+  opts.num_papers = 60;
+  opts.num_conferences = 5;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  CnKeywordSearch search(*dblp.db);
+  for (const std::string& query :
+       {std::string("keyword search"), std::string("database query")}) {
+    for (Strategy strategy :
+         {Strategy::kNaive, Strategy::kSparse, Strategy::kGlobalPipeline}) {
+      const bool with_values = strategy == Strategy::kNaive;
+      std::string serial_sig;
+      std::vector<SearchResult> serial_results;
+      for (const size_t threads : {1u, 2u, 4u, 8u}) {
+        SearchOptions so;
+        so.k = 10;
+        so.max_cn_size = 4;
+        so.strategy = strategy;
+        so.num_threads = threads;
+        trace::Tracer tracer;
+        so.tracer = &tracer;
+        const auto results = search.Search(query, so, nullptr, nullptr);
+        EXPECT_FALSE(tracer.InSpan());
+        const std::string context = query + " / " +
+                                    StrategyToString(strategy) + " / " +
+                                    std::to_string(threads) + " threads";
+        if (threads == 1) {
+          serial_sig = tracer.StructureSignature(with_values);
+          serial_results = results;
+          EXPECT_NE(serial_sig.find("cn.search"), std::string::npos)
+              << context;
+          EXPECT_NE(serial_sig.find("cn.tuple_sets"), std::string::npos)
+              << context;
+          EXPECT_NE(serial_sig.find("cn.enumerate"), std::string::npos)
+              << context;
+          EXPECT_NE(serial_sig.find("cn.topk"), std::string::npos) << context;
+        } else {
+          EXPECT_EQ(tracer.StructureSignature(with_values), serial_sig)
+              << context;
+          // Tracing must never perturb the answer either.
+          ASSERT_EQ(results.size(), serial_results.size()) << context;
+          for (size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(results[i].score, serial_results[i].score) << context;
+            EXPECT_EQ(results[i].cn_index, serial_results[i].cn_index)
+                << context;
+            EXPECT_EQ(results[i].tuples, serial_results[i].tuples) << context;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TraceStructureOracleTest,
+                         ::testing::Values(3, 17, 29, 71));
+
+TEST(TraceStructureTest, TracedAndUntracedRunsAgreeBitForBit) {
+  relational::DblpDatabase dblp = relational::MakeDblpDatabase({});
+  CnKeywordSearch search(*dblp.db);
+  SearchOptions plain;
+  plain.k = 10;
+  plain.max_cn_size = 4;
+  SearchStats plain_stats;
+  const auto want = search.Search("keyword search", plain, nullptr,
+                                  &plain_stats);
+  SearchOptions traced = plain;
+  trace::Tracer tracer;
+  traced.tracer = &tracer;
+  SearchStats traced_stats;
+  const auto got = search.Search("keyword search", traced, nullptr,
+                                 &traced_stats);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].score, want[i].score);
+    EXPECT_EQ(got[i].tuples, want[i].tuples);
+  }
+  EXPECT_EQ(traced_stats.cns_enumerated, plain_stats.cns_enumerated);
+  EXPECT_EQ(traced_stats.cns_evaluated, plain_stats.cns_evaluated);
+  EXPECT_EQ(traced_stats.join_lookups, plain_stats.join_lookups);
+  EXPECT_FALSE(tracer.spans().empty());
+}
+
+TEST(TraceStructureTest, ExpiredDeadlineEmitsDeadlineEvent) {
+  relational::DblpDatabase dblp = relational::MakeDblpDatabase({});
+  CnKeywordSearch search(*dblp.db);
+  SearchOptions so;
+  so.k = 10;
+  so.deadline = Deadline::AfterMicros(0);
+  trace::Tracer tracer;
+  so.tracer = &tracer;
+  SearchStats stats;
+  const auto results = search.Search("keyword search", so, nullptr, &stats);
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(stats.deadline_hit);
+  EXPECT_NE(tracer.StructureSignature(false).find("cn.deadline.hit"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace kws::cn
+
+// ----------------------------------------------- Explain facade, engines
+
+#include "core/engine/engine.h"
+#include "core/engine/xml_engine.h"
+#include "xml/bibgen.h"
+
+namespace kws::engine {
+namespace {
+
+TEST(ExplainTest, RelationalEngineExplainCarriesTheFullSpanTree) {
+  relational::DblpOptions opts;
+  opts.num_authors = 24;
+  opts.num_papers = 48;
+  opts.num_conferences = 6;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  KeywordSearchEngine engine(*dblp.db);
+
+  const EngineResponse plain = engine.Search("keyword search");
+  const ExplainResult explained = engine.Explain("keyword search");
+  ASSERT_EQ(explained.response.results.size(), plain.results.size());
+  for (size_t i = 0; i < plain.results.size(); ++i) {
+    EXPECT_EQ(explained.response.results[i].score, plain.results[i].score);
+    EXPECT_EQ(explained.response.results[i].tuples, plain.results[i].tuples);
+  }
+  for (const char* span : {"engine.search", "engine.clean", "cn.search",
+                           "cn.tuple_sets", "cn.enumerate", "cn.topk"}) {
+    EXPECT_NE(explained.tree.find(span), std::string::npos) << span;
+    EXPECT_NE(explained.json.find(span), std::string::npos) << span;
+  }
+  EXPECT_EQ(explained.json.front(), '{');
+  EXPECT_EQ(explained.json.back(), '}');
+}
+
+TEST(ExplainTest, XmlEngineExplainCoversLcaAndRenderStages) {
+  xml::BibDocument doc = xml::MakeBibDocument({.seed = 4, .num_venues = 6});
+  XmlKeywordSearch engine(doc.tree);
+  const std::string query = doc.vocabulary[0];
+
+  const XmlResponse plain = engine.Search(query);
+  const XmlExplainResult explained = engine.Explain(query);
+  ASSERT_EQ(explained.response.results.size(), plain.results.size());
+  for (size_t i = 0; i < plain.results.size(); ++i) {
+    EXPECT_EQ(explained.response.results[i].anchor, plain.results[i].anchor);
+    EXPECT_EQ(explained.response.results[i].score, plain.results[i].score);
+  }
+  for (const char* span :
+       {"xml.search", "xml.match_lists", "lca.slca_ile", "xml.rank",
+        "xml.render", "lca.xseek", "xml.cluster"}) {
+    EXPECT_NE(explained.tree.find(span), std::string::npos) << span;
+  }
+
+  // ELCA semantics routes through the other LCA kernel.
+  XmlEngineOptions elca;
+  elca.semantics = XmlSemantics::kElca;
+  const XmlExplainResult elca_explained = engine.Explain(query, elca);
+  EXPECT_NE(elca_explained.tree.find("lca.elca_indexed"), std::string::npos);
+}
+
+TEST(ExplainTest, ExplainIsDeterministicModuloDurations) {
+  xml::BibDocument doc = xml::MakeBibDocument({.seed = 9, .num_venues = 5});
+  XmlKeywordSearch engine(doc.tree);
+  XmlEngineOptions opts;
+  trace::Tracer first;
+  trace::Tracer second;
+  opts.trace = &first;
+  engine.Search(doc.vocabulary[1], opts);
+  opts.trace = &second;
+  engine.Search(doc.vocabulary[1], opts);
+  EXPECT_EQ(first.StructureSignature(true), second.StructureSignature(true));
+}
+
+}  // namespace
+}  // namespace kws::engine

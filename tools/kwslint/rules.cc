@@ -542,11 +542,87 @@ void CheckDocComment(const SourceFile& f, std::vector<Diagnostic>* out) {
   }
 }
 
+// --- metric-name ----------------------------------------------------------
+
+/// The registry/tracer entry points whose first string-literal argument
+/// is a metric or span name.
+const std::set<std::string>& MetricNameCalls() {
+  static const std::set<std::string> kCalls = {
+      "GetCounter", "GetHistogram", "BeginSpan",
+      "TraceSpan",  "AddCounter",   "AddEvent",
+  };
+  return kCalls;
+}
+
+bool MetricNameOk(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (!(std::islower(u) || std::isdigit(u) || c == '_' || c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsIdentToken(const Token& t) {
+  return !t.text.empty() &&
+         (std::isalpha(static_cast<unsigned char>(t.text[0])) ||
+          t.text[0] == '_');
+}
+
+void CheckMetricName(const SourceFile& f, std::vector<Diagnostic>* out) {
+  const std::vector<Token>& toks = f.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (MetricNameCalls().count(toks[i].text) == 0) continue;
+    // Call forms: `Name(...)`, or the RAII declaration
+    // `TraceSpan var(tracer, "name")` with the variable between.
+    size_t open = i + 1;
+    if (TokenIs(toks, open, "(")) {
+      // direct call
+    } else if (toks[i].text == "TraceSpan" && open < toks.size() &&
+               IsIdentToken(toks[open]) && TokenIs(toks, open + 1, "(")) {
+      ++open;
+    } else {
+      continue;  // declaration, pointer type, forward reference, ...
+    }
+    // The name is the call's first string literal. The code view blanks
+    // literal interiors, so a literal is two consecutive `"` tokens; the
+    // raw text between their columns (same physical line only) is the
+    // name. Stop at end-of-line or statement end: a multi-line call with
+    // the literal elsewhere is simply not checked.
+    for (size_t j = open + 1;
+         j < toks.size() && toks[j].line == toks[open].line; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == ";") break;
+      if (t != "\"") continue;
+      if (j + 1 >= toks.size() || toks[j + 1].text != "\"" ||
+          toks[j + 1].line != toks[j].line) {
+        break;  // unterminated on this line (continuation); skip
+      }
+      const std::string& raw =
+          f.lines()[static_cast<size_t>(toks[j].line) - 1].raw;
+      const size_t begin = static_cast<size_t>(toks[j].col) + 1;
+      const size_t end = static_cast<size_t>(toks[j + 1].col);
+      const std::string name = raw.substr(begin, end - begin);
+      if (!MetricNameOk(name)) {
+        Emit(f, toks[j].line, "metric-name",
+             "metric/span name \"" + name +
+                 "\" must be dotted lowercase ([a-z0-9_.]+) so dashboards "
+                 "and the trace renderer can rely on one naming scheme",
+             out);
+      }
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> RuleIds() {
-  return {"raw-random",  "no-throw",     "raw-thread", "no-iostream",
-          "doc-comment", "header-guard", "mutex-style"};
+  return {"raw-random",   "no-throw",     "raw-thread",
+          "no-iostream",  "doc-comment",  "header-guard",
+          "mutex-style",  "metric-name"};
 }
 
 std::vector<Diagnostic> RunRules(const SourceFile& file) {
@@ -558,6 +634,7 @@ std::vector<Diagnostic> RunRules(const SourceFile& file) {
   CheckDocComment(file, &out);
   CheckHeaderGuard(file, &out);
   CheckMutexStyle(file, &out);
+  CheckMetricName(file, &out);
   std::sort(out.begin(), out.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.line != b.line) return a.line < b.line;

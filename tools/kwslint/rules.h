@@ -25,6 +25,9 @@ struct Diagnostic {
 ///   doc-comment  — undocumented public declaration in a src/ header
 ///   header-guard — wrong include-guard name, #pragma once, bad filename
 ///   mutex-style  — mutex field not named *_mu_/mu_, or manual lock()
+///   metric-name  — metric/span name literal not dotted lowercase
+///                  ([a-z0-9_.]+) in GetCounter/GetHistogram/TraceSpan/
+///                  BeginSpan/AddCounter/AddEvent calls
 std::vector<std::string> RuleIds();
 
 /// Runs every rule over `file`, honoring `// kwslint: allow(rule)` and
