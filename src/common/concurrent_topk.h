@@ -7,6 +7,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -46,20 +47,29 @@ class ConcurrentTopK {
   /// `shard_index % num_shards`. Thread-safe, including concurrent offers
   /// to the same shard. Returns true when the shard retained the item.
   bool Offer(size_t shard_index, double score, T item) {
-    // An item strictly below the threshold is outranked by k items of
-    // some single shard; skip the lock. Ties must still be inserted —
-    // the tie-break key is not part of the snapshot.
+    // An item strictly below the threshold is outranked by k offered
+    // items; skip the locks. Ties must still be inserted — the tie-break
+    // key is not part of the snapshot.
     if (score < threshold_.load(std::memory_order_acquire)) return false;
     Shard& shard = *shards_[shard_index % shards_.size()];
-    double shard_worst = -std::numeric_limits<double>::infinity();
     bool kept = false;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       kept = shard.top.Offer(std::move(item));
-      if (shard.top.Full()) shard_worst = ScoreOf(shard.top.Worst());
     }
-    if (shard_worst > -std::numeric_limits<double>::infinity()) {
-      RaiseThreshold(shard_worst);
+    // The score board tracks the k best scores across *all* shards, so
+    // the threshold reaches the k-th best offered score — the same value
+    // the serial OrderedTopK path terminates on — even when no single
+    // shard ever fills.
+    double board_worst = -std::numeric_limits<double>::infinity();
+    {
+      std::lock_guard<std::mutex> lock(board_mu_);
+      board_.insert(score);
+      if (board_.size() > k_) board_.erase(board_.begin());
+      if (board_.size() == k_) board_worst = *board_.begin();
+    }
+    if (board_worst > -std::numeric_limits<double>::infinity()) {
+      RaiseThreshold(board_worst);
     }
     return kept;
   }
@@ -73,8 +83,9 @@ class ConcurrentTopK {
     return score < threshold_.load(std::memory_order_acquire);
   }
 
-  /// The current threshold snapshot: -infinity until some shard fills,
-  /// then the best full-shard k-th score seen so far. Exposed for tests.
+  /// The current threshold snapshot: -infinity until k items have been
+  /// offered, then the k-th best offered score seen so far. Exposed for
+  /// tests.
   double ThresholdScore() const {
     return threshold_.load(std::memory_order_acquire);
   }
@@ -100,8 +111,6 @@ class ConcurrentTopK {
     OrderedTopK<T, Better> top;
   };
 
-  static double ScoreOf(const T& item) { return item.score; }
-
   /// Lock-free max: the threshold only ever rises.
   void RaiseThreshold(double candidate) {
     double cur = threshold_.load(std::memory_order_relaxed);
@@ -114,6 +123,10 @@ class ConcurrentTopK {
 
   size_t k_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex board_mu_;
+  /// The k best scores offered so far (all shards combined); its minimum,
+  /// once full, is the sharpest sound threshold.
+  std::multiset<double> board_;
   std::atomic<double> threshold_{-std::numeric_limits<double>::infinity()};
 };
 

@@ -463,9 +463,11 @@ const char* StrategyToString(Strategy s) {
   return "?";
 }
 
-std::vector<SearchResult> CnKeywordSearch::Search(
-    const std::string& query, const SearchOptions& options,
-    std::vector<CandidateNetwork>* cns_out, SearchStats* stats) const {
+std::vector<SearchResult> EvaluateCns(const relational::Database& db,
+                                      const std::vector<CandidateNetwork>& cns,
+                                      const TupleSets& ts,
+                                      const SearchOptions& options,
+                                      SearchStats* stats) {
   // Every exit path publishes a complete stats set: value-initialize the
   // caller's struct up front so early returns never leave stale values
   // from a previous search behind.
@@ -476,35 +478,10 @@ std::vector<SearchResult> CnKeywordSearch::Search(
   SearchStats local_stats;
   SearchStats* const st =
       stats != nullptr ? stats : (tracer != nullptr ? &local_stats : nullptr);
-
-  text::Tokenizer tokenizer;
-  std::vector<std::string> keywords = tokenizer.Tokenize(query);
-  if (keywords.size() > 16) keywords.resize(16);
-  if (keywords.empty()) {
-    if (cns_out != nullptr) cns_out->clear();
-    return {};
-  }
-
-  trace::TraceSpan search_span(tracer, "cn.search");
-  search_span.AddCounter("keywords", keywords.size());
-
-  bool deadline_hit = false;
-  TupleSets ts(db_, keywords, options.tuple_cache, options.deadline, tracer);
-  if (ts.truncated() || options.deadline.Expired()) {
-    search_span.AddEvent("cn.deadline.hit");
-    if (st != nullptr) st->deadline_hit = true;
-    if (cns_out != nullptr) cns_out->clear();
-    return {};
-  }
-  CnEnumOptions enum_opts;
-  enum_opts.max_size = options.max_cn_size;
-  enum_opts.deadline = options.deadline;
-  enum_opts.tracer = tracer;
-  std::vector<CandidateNetwork> cns = EnumerateCandidateNetworks(
-      db_, ts.table_masks(), ts.full_mask(), enum_opts);
   if (st != nullptr) st->cns_enumerated = cns.size();
 
   const size_t num_threads = std::max<size_t>(1, options.num_threads);
+  bool deadline_hit = false;
   std::vector<SearchResult> ranked;
   if (options.deadline.Expired()) {
     deadline_hit = true;
@@ -513,13 +490,13 @@ std::vector<SearchResult> CnKeywordSearch::Search(
     ResultTopK top(options.k);
     switch (options.strategy) {
       case Strategy::kNaive:
-        RunNaive(db_, cns, ts, options, &deadline_hit, top, st, tracer);
+        RunNaive(db, cns, ts, options, &deadline_hit, top, st, tracer);
         break;
       case Strategy::kSparse:
-        RunSparse(db_, cns, ts, options, &deadline_hit, top, st);
+        RunSparse(db, cns, ts, options, &deadline_hit, top, st);
         break;
       case Strategy::kGlobalPipeline:
-        RunGlobalPipeline(db_, cns, ts, options, &deadline_hit, top, st);
+        RunGlobalPipeline(db, cns, ts, options, &deadline_hit, top, st);
         break;
     }
     AnnotateExec(&exec_span, st);
@@ -541,15 +518,15 @@ std::vector<SearchResult> CnKeywordSearch::Search(
             : 0);
     switch (options.strategy) {
       case Strategy::kNaive:
-        RunNaiveParallel(db_, cns, ts, options, pool, top, hit, worker_stats,
+        RunNaiveParallel(db, cns, ts, options, pool, top, hit, worker_stats,
                          worker_tracers.empty() ? nullptr : &worker_tracers);
         break;
       case Strategy::kSparse:
-        RunSparseParallel(db_, cns, ts, options, pool, top, hit,
+        RunSparseParallel(db, cns, ts, options, pool, top, hit,
                           worker_stats);
         break;
       case Strategy::kGlobalPipeline:
-        RunGlobalPipelineParallel(db_, cns, ts, options, pool, top, hit,
+        RunGlobalPipelineParallel(db, cns, ts, options, pool, top, hit,
                                   worker_stats, st);
         break;
     }
@@ -573,8 +550,87 @@ std::vector<SearchResult> CnKeywordSearch::Search(
     ranked = top.TakeSorted();
     topk_span.AddCounter("results", ranked.size());
   }
-  if (deadline_hit) search_span.AddEvent("cn.deadline.hit");
   if (st != nullptr) st->deadline_hit = deadline_hit;
+  return ranked;
+}
+
+void EvaluateCnsSparseToSink(
+    const relational::Database& db, const std::vector<CandidateNetwork>& cns,
+    const TupleSets& ts, const SearchOptions& options,
+    const std::function<bool(double)>& would_reject,
+    const std::function<void(SearchResult)>& emit, SearchStats* stats) {
+  if (stats != nullptr) {
+    *stats = SearchStats{};
+    stats->cns_enumerated = cns.size();
+  }
+  if (options.deadline.Expired()) {
+    if (stats != nullptr) stats->deadline_hit = true;
+    return;
+  }
+  // Same loop as RunSparse, with the caller's collector standing in for
+  // the private top-k: the probe is the bare bound (the collector's
+  // threshold is score-primary and tie-keeping, so no tie-break key is
+  // needed), and results stream out instead of being ranked here.
+  const auto order = SparseOrder(cns, ts);
+  for (const auto& [bound, i] : order) {
+    if (would_reject(bound)) break;
+    if (options.deadline.Expired()) {
+      if (stats != nullptr) stats->deadline_hit = true;
+      break;
+    }
+    SimulateCnIo(options.simulated_cn_io_micros);
+    ExecStats es;
+    auto results = ExecuteCn(db, cns[i], ts, {}, SIZE_MAX, &es, nullptr,
+                             &options.deadline);
+    if (stats != nullptr) ++stats->cns_evaluated;
+    AddExec(es, stats);
+    for (const JoinedTree& jt : results) {
+      emit(MakeResult(i, cns[i], jt));
+    }
+  }
+}
+
+std::vector<SearchResult> CnKeywordSearch::Search(
+    const std::string& query, const SearchOptions& options,
+    std::vector<CandidateNetwork>* cns_out, SearchStats* stats) const {
+  if (stats != nullptr) *stats = SearchStats{};
+  trace::Tracer* const tracer = options.tracer;
+  // EvaluateCns reports deadline expiry through the stats, and the trace
+  // mirrors them, so tracing needs a stats object even when the caller
+  // passed none.
+  SearchStats local_stats;
+  SearchStats* const st =
+      stats != nullptr ? stats : (tracer != nullptr ? &local_stats : nullptr);
+
+  text::Tokenizer tokenizer;
+  std::vector<std::string> keywords = tokenizer.Tokenize(query);
+  if (keywords.size() > 16) keywords.resize(16);
+  if (keywords.empty()) {
+    if (cns_out != nullptr) cns_out->clear();
+    return {};
+  }
+
+  trace::TraceSpan search_span(tracer, "cn.search");
+  search_span.AddCounter("keywords", keywords.size());
+
+  TupleSets ts(db_, keywords, options.tuple_cache, options.deadline, tracer);
+  if (ts.truncated() || options.deadline.Expired()) {
+    search_span.AddEvent("cn.deadline.hit");
+    if (st != nullptr) st->deadline_hit = true;
+    if (cns_out != nullptr) cns_out->clear();
+    return {};
+  }
+  CnEnumOptions enum_opts;
+  enum_opts.max_size = options.max_cn_size;
+  enum_opts.deadline = options.deadline;
+  enum_opts.tracer = tracer;
+  std::vector<CandidateNetwork> cns = EnumerateCandidateNetworks(
+      db_, ts.table_masks(), ts.full_mask(), enum_opts);
+
+  std::vector<SearchResult> ranked = EvaluateCns(db_, cns, ts, options, st);
+  if (st != nullptr && st->deadline_hit) {
+    search_span.AddEvent("cn.deadline.hit");
+  }
   if (cns_out != nullptr) *cns_out = std::move(cns);
   return ranked;
 }

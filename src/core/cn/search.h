@@ -1,6 +1,7 @@
 #ifndef KWDB_CORE_CN_SEARCH_H_
 #define KWDB_CORE_CN_SEARCH_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -110,6 +111,43 @@ struct SearchStats {
   /// True when the deadline cut the search short (results are partial).
   bool deadline_hit = false;
 };
+
+/// Evaluates an already-enumerated CN list over already-built tuple sets
+/// and returns the ranked top-k — the back half of `CnKeywordSearch::
+/// Search`, exposed so a coordinator can enumerate once and evaluate the
+/// same list against many tuple-set builds (`kws::shard` evaluates one
+/// global CN list per shard). Honors `options.strategy`, `options.k`,
+/// `options.num_threads`, `options.deadline` and `options.tracer`
+/// (emitting the `cn.execute.<strategy>` / `cn.topk` spans); ignores
+/// `options.tuple_cache` (the tuple sets are the caller's). `stats`, when
+/// non-null, is value-initialized and fully filled, with
+/// `cns_enumerated = cns.size()`; deadline expiry sets
+/// `stats->deadline_hit` but emits no trace event — the caller owns the
+/// enclosing span and its `<layer>.deadline.hit` event.
+std::vector<SearchResult> EvaluateCns(const relational::Database& db,
+                                      const std::vector<CandidateNetwork>& cns,
+                                      const TupleSets& ts,
+                                      const SearchOptions& options,
+                                      SearchStats* stats = nullptr);
+
+/// kSparse evaluation against a caller-owned collector: CNs run in
+/// (bound descending, index ascending) order, `would_reject(bound)` is
+/// consulted before each CN (a `true` stops the whole scan — the sparse
+/// break), and every materialized result is handed to `emit` instead of
+/// a private top-k. This is how a scatter-gather coordinator shares one
+/// early-termination threshold across shard evaluations (`kws::shard`):
+/// sound whenever the caller's threshold is a monotone nondecreasing
+/// lower bound on its final k-th best score and `would_reject` keeps
+/// score ties (`ConcurrentTopK::WouldReject` is both). Honors
+/// `options.deadline` and `options.simulated_cn_io_micros`; ignores
+/// `options.strategy`, `options.k` and `options.num_threads` (the
+/// collector owns selection). `stats` follows the `EvaluateCns` contract.
+void EvaluateCnsSparseToSink(
+    const relational::Database& db, const std::vector<CandidateNetwork>& cns,
+    const TupleSets& ts, const SearchOptions& options,
+    const std::function<bool(double)>& would_reject,
+    const std::function<void(SearchResult)>& emit,
+    SearchStats* stats = nullptr);
 
 /// Schema-based relational keyword search (the DISCOVER / DISCOVER2 /
 /// SPARK family's front half): enumerate CNs once per query, then answer

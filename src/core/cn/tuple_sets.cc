@@ -7,7 +7,8 @@ namespace kws::cn {
 
 TupleSets::TupleSets(const relational::Database& db,
                      std::vector<std::string> keywords, TupleSetCache* cache,
-                     const Deadline& deadline, trace::Tracer* tracer)
+                     const Deadline& deadline, trace::Tracer* tracer,
+                     const std::vector<double>* idf_override)
     : keywords_(std::move(keywords)) {
   trace::TraceSpan span(tracer, "cn.tuple_sets");
   const size_t num_tables = db.num_tables();
@@ -32,7 +33,8 @@ TupleSets::TupleSets(const relational::Database& db,
       span.AddEvent("cn.deadline.hit");
       return;
     }
-    idf_[k] = frontiers[k]->idf;
+    idf_[k] = idf_override != nullptr ? (*idf_override)[k]
+                                      : frontiers[k]->idf;
     frontier_rows += frontiers[k]->num_rows;
   }
   span.AddCounter("frontier_rows", frontier_rows);

@@ -40,10 +40,16 @@ class TupleSets {
   /// construction stops, `truncated()` turns true, and the object holds
   /// no tuple sets (callers must not treat it as an empty answer). A
   /// non-null `tracer` wraps the build in a `cn.tuple_sets` span with
-  /// term/row counters and cache hit/miss attribution.
+  /// term/row counters and cache hit/miss attribution. A non-null
+  /// `idf_override` (one value per keyword) replaces the locally computed
+  /// IDFs in every score: `kws::shard` passes corpus-wide IDFs here so a
+  /// shard scores its rows exactly as the combined corpus would — when
+  /// the override equals the local values the scores are bit-identical
+  /// to the default.
   TupleSets(const relational::Database& db, std::vector<std::string> keywords,
             TupleSetCache* cache = nullptr, const Deadline& deadline = {},
-            trace::Tracer* tracer = nullptr);
+            trace::Tracer* tracer = nullptr,
+            const std::vector<double>* idf_override = nullptr);
 
   /// True when the deadline expired during construction (tuple sets are
   /// then absent, not merely empty).

@@ -12,7 +12,7 @@ void DatabaseSelector::AddDatabase(const std::string& name,
   auto entry = std::make_unique<Entry>();
   entry->name = name;
   entry->db = db;
-  entry->graph = graph::BuildDataGraph(*db);
+  entry->graph = graph::BuildDataGraph(*db, options_.graph_options);
   entry->index = std::make_unique<graph::KeywordDistanceIndex>(
       entry->graph.graph, options_.max_distance);
   entries_.push_back(std::move(entry));
@@ -23,16 +23,19 @@ std::vector<DatabaseScore> DatabaseSelector::Rank(
   const std::vector<std::string> keywords =
       text::Tokenizer().Tokenize(query);
   std::vector<DatabaseScore> out;
-  for (const auto& entry : entries_) {
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    const auto& entry = entries_[e];
     DatabaseScore ds;
     ds.name = entry->name;
+    ds.index = e;
     const graph::DataGraph& g = entry->graph.graph;
     // Coverage: ln(1 + matches) per keyword.
     double coverage = 0;
-    for (const std::string& k : keywords) {
-      const size_t matches = g.MatchNodes(k).size();
+    for (size_t ki = 0; ki < keywords.size(); ++ki) {
+      const size_t matches = g.MatchNodes(keywords[ki]).size();
       if (matches > 0) {
         ++ds.keywords_covered;
+        if (ki < 32) ds.covered_mask |= (1u << ki);
         coverage += std::log(1.0 + static_cast<double>(matches));
       }
     }
@@ -61,10 +64,13 @@ std::vector<DatabaseScore> DatabaseSelector::Rank(
     ds.score = coverage + options_.relationship_weight * relationship;
     out.push_back(std::move(ds));
   }
+  // Registration index breaks score ties: a pure function of AddDatabase
+  // order, unlike names (callers may register duplicates) — shard pruning
+  // built on this ranking must be reproducible everywhere.
   std::sort(out.begin(), out.end(),
             [](const DatabaseScore& a, const DatabaseScore& b) {
               if (a.score != b.score) return a.score > b.score;
-              return a.name < b.name;
+              return a.index < b.index;
             });
   return out;
 }

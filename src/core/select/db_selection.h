@@ -14,9 +14,18 @@ namespace kws::select {
 /// Per-database score breakdown.
 struct DatabaseScore {
   std::string name;
+  /// Registration index of the database (AddDatabase order). Equal-score
+  /// databases rank in this order, so rankings — and any pruning built on
+  /// them — are reproducible across platforms and std::sort
+  /// implementations.
+  size_t index = 0;
   double score = 0;
   /// Coverage part: how many query keywords match at all.
   size_t keywords_covered = 0;
+  /// Bit i set when query keyword i (tokenized order, first 32 only)
+  /// matches somewhere in the database. `kws::shard` compares these masks
+  /// across shards to prune shards that miss a keyword every answer needs.
+  uint32_t covered_mask = 0;
   /// Relationship part: how many keyword pairs are joinable within the
   /// distance bound.
   size_t joinable_pairs = 0;
@@ -29,6 +38,11 @@ struct SelectorOptions {
   double max_distance = 4.0;
   /// Weight of the relationship part vs the coverage part.
   double relationship_weight = 2.0;
+  /// Edge weights for the per-database data graphs. The default
+  /// (degree-weighted backward edges) matches BANKS II ranking; pruning
+  /// that needs `Distance` to bound *hop* counts (`kws::shard`) must set
+  /// `degree_weighted_backward = false` for unit weights.
+  graph::GraphBuildOptions graph_options = {};
 };
 
 /// Keyword-based selection of relational databases (Yu et al.,

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/check.h"
 #include "common/deadline.h"
 #include "common/strings.h"
 #include "text/tokenizer.h"
@@ -12,8 +13,15 @@ namespace kws::serve {
 ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
                              const engine::XmlKeywordSearch* xml,
                              const ServeOptions& options)
+    : ServingEngine(relational, xml, nullptr, options) {}
+
+ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
+                             const engine::XmlKeywordSearch* xml,
+                             const shard::ShardedEngine* sharded,
+                             const ServeOptions& options)
     : relational_(relational),
       xml_(xml),
+      sharded_(sharded),
       options_(options),
       tuple_cache_(relational != nullptr && options.tuple_cache_capacity > 0
                        ? std::make_unique<cn::TupleSetCache>(
@@ -31,6 +39,11 @@ ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
       trace_sampled_(metrics_.GetCounter("serve.trace.sampled")),
       latency_(metrics_.GetHistogram("serve.latency_micros")),
       queue_wait_(metrics_.GetHistogram("serve.queue_wait_micros")) {
+  KWS_CHECK_MSG(options_.num_shards == 0 ||
+                    (sharded_ != nullptr &&
+                     sharded_->num_shards() == options_.num_shards),
+                "ServeOptions::num_shards must match the attached "
+                "ShardedEngine");
   if (tuple_cache_ != nullptr) {
     tuple_cache_->AttachCounters(
         metrics_.GetCounter("serve.tuple_cache.hits"),
@@ -123,13 +136,20 @@ void ServingEngine::WorkerLoop() {
 
 std::string ServingEngine::CacheKey(const QueryRequest& request) const {
   std::vector<std::string> tokens;
-  if (request.pipeline == Pipeline::kRelational && relational_ != nullptr) {
+  std::string key;
+  if (request.pipeline == Pipeline::kRelational && UseShardedBackend()) {
+    // Sharded normalization skips the cleaner, so the key space is
+    // tagged apart from the unsharded relational one.
+    tokens = sharded_->Normalize(request.query);
+    key = "shard|";
+  } else if (request.pipeline == Pipeline::kRelational &&
+             relational_ != nullptr) {
     tokens = relational_->Normalize(request.query);
+    key = "rel|";
   } else {
     tokens = text::Tokenizer().Tokenize(request.query);
+    key = request.pipeline == Pipeline::kRelational ? "rel|" : "xml|";
   }
-  std::string key =
-      request.pipeline == Pipeline::kRelational ? "rel|" : "xml|";
   key += Join(tokens, " ");
   key += "|k=";
   key += std::to_string(request.k);
@@ -205,7 +225,37 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request,
 
   trace::TraceSpan exec_span(tp, "serve.execute");
   CachedResult fill;
-  if (request.pipeline == Pipeline::kRelational) {
+  if (request.pipeline == Pipeline::kRelational && UseShardedBackend()) {
+    shard::ShardedSearchOptions so;
+    so.k = request.k;
+    so.deadline = deadline;
+    so.num_threads = options_.search_threads;
+    so.tracer = tp;
+    shard::ShardedResponse sr = sharded_->Search(request.query, so);
+    // Repackage as the relational response shape so callers and the
+    // result cache are backend-agnostic.
+    auto response = std::make_shared<engine::EngineResponse>();
+    response->status = sr.status;
+    response->cleaned_query = sr.keywords;
+    response->results.reserve(sr.results.size());
+    for (size_t i = 0; i < sr.results.size(); ++i) {
+      engine::EngineResult rr;
+      rr.score = sr.results[i].score;
+      rr.tuples = std::move(sr.results[i].tuples);
+      rr.description = std::move(sr.descriptions[i]);
+      response->results.push_back(std::move(rr));
+    }
+    if (!response->status.ok()) {
+      outcome.status = response->status;
+      outcome.relational = std::move(response);  // partial results, if any
+      exec_span.Close();
+      return finish(outcome.status.code() == StatusCode::kDeadlineExceeded
+                        ? deadline_exceeded_
+                        : errors_);
+    }
+    outcome.relational = std::move(response);
+    fill.relational = outcome.relational;
+  } else if (request.pipeline == Pipeline::kRelational) {
     if (relational_ == nullptr) {
       exec_span.Close();
       outcome.status =

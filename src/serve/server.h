@@ -20,6 +20,7 @@
 #include "core/engine/engine.h"
 #include "core/engine/xml_engine.h"
 #include "serve/cache.h"
+#include "shard/sharded_engine.h"
 
 namespace kws::serve {
 
@@ -85,8 +86,15 @@ struct ServeOptions {
   /// Intra-query worker threads for the relational CN backend (see
   /// `cn::SearchOptions::num_threads`); responses are bit-identical for
   /// any value. 1 (the default) keeps per-query execution serial, the
-  /// right choice when `num_workers` already saturates the cores.
+  /// right choice when `num_workers` already saturates the cores. When a
+  /// sharded backend is routed (`num_shards > 0`) this is the scatter
+  /// thread count instead (`shard::ShardedSearchOptions::num_threads`).
   size_t search_threads = 1;
+  /// Routes relational queries to the attached `shard::ShardedEngine`
+  /// when > 0 (must then equal that engine's shard count; responses are
+  /// bit-identical to the unsharded engine's ranked results). 0 (the
+  /// default) serves relational queries from the unsharded engine.
+  size_t num_shards = 0;
   /// Trace every Nth executed query (0 disables sampling). The sampler
   /// is a deterministic execution-sequence counter — query 0, N, 2N, ...
   /// in execution order carry a full per-query trace, independent of
@@ -141,6 +149,14 @@ class ServingEngine {
   ServingEngine(const engine::KeywordSearchEngine* relational,
                 const engine::XmlKeywordSearch* xml,
                 const ServeOptions& options = {});
+
+  /// As above, additionally attaching a sharded relational backend.
+  /// `options.num_shards > 0` routes relational queries to it (and must
+  /// equal `sharded->num_shards()`; checked).
+  ServingEngine(const engine::KeywordSearchEngine* relational,
+                const engine::XmlKeywordSearch* xml,
+                const shard::ShardedEngine* sharded,
+                const ServeOptions& options);
   /// Drains the queue and joins the worker pool.
   ~ServingEngine();
 
@@ -212,8 +228,14 @@ class ServingEngine {
                        double queue_wait_micros, bool sampled,
                        std::string trace_text);
 
+  /// True when relational queries go to the sharded backend.
+  bool UseShardedBackend() const {
+    return sharded_ != nullptr && options_.num_shards > 0;
+  }
+
   const engine::KeywordSearchEngine* relational_;
   const engine::XmlKeywordSearch* xml_;
+  const shard::ShardedEngine* sharded_;
   const ServeOptions options_;
 
   /// Term -> tuple-set frontier cache shared by all workers. The backing

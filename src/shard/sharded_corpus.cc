@@ -1,0 +1,176 @@
+#include "shard/sharded_corpus.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace kws::shard {
+
+namespace {
+
+using relational::ColumnId;
+using relational::Database;
+using relational::ForeignKey;
+using relational::RowId;
+using relational::TableId;
+using relational::Value;
+using relational::ValueType;
+
+/// Size of shard `s` when `total` items are split across `n` shards:
+/// remainder items go to the lowest-index shards, and every shard gets at
+/// least one so its tables are never degenerate.
+size_t ShardSlice(size_t total, size_t s, size_t n) {
+  const size_t base = total / n;
+  const size_t size = base + (s < total % n ? 1 : 0);
+  return size == 0 ? 1 : size;
+}
+
+/// For table `t`, which table's key-offset each key-carrying column
+/// shifts by: the table itself for the primary key, the referenced table
+/// for foreign-key columns.
+std::unordered_map<ColumnId, TableId> KeyColumns(const Database& db,
+                                                 TableId t) {
+  std::unordered_map<ColumnId, TableId> out;
+  out.emplace(db.table(t).schema().primary_key, t);
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    if (fk.table != t) continue;
+    auto [it, inserted] = out.emplace(fk.column, fk.ref_table);
+    // A column that is both the primary key and a foreign key would need
+    // two different offsets; the generators never produce one.
+    KWS_CHECK_MSG(inserted || it->second == fk.ref_table,
+                  "conflicting key offsets for one column");
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardedCorpus MergeParts(
+    std::vector<std::unique_ptr<Database>> parts) {
+  KWS_CHECK_MSG(!parts.empty(), "MergeParts needs at least one part");
+  const Database& proto = *parts[0];
+  const size_t num_tables = proto.num_tables();
+  const size_t n = parts.size();
+  for (const auto& part : parts) {
+    KWS_CHECK_MSG(part->num_tables() == num_tables,
+                  "part schemas differ in table count");
+    for (TableId t = 0; t < num_tables; ++t) {
+      KWS_CHECK_MSG(part->table(t).name() == proto.table(t).name(),
+                    "part schemas differ in table names");
+      KWS_CHECK_MSG(part->table(t).num_columns() == proto.table(t).num_columns(),
+                    "part schemas differ in column count");
+    }
+  }
+
+  // Per-part, per-table key offset: the cumulative key span (max key + 1)
+  // of the same table in earlier parts, making every key globally unique
+  // while preserving within-part key order.
+  std::vector<std::vector<int64_t>> key_base(n,
+                                             std::vector<int64_t>(num_tables));
+  std::vector<int64_t> next_base(num_tables, 0);
+  for (size_t s = 0; s < n; ++s) {
+    for (TableId t = 0; t < num_tables; ++t) {
+      key_base[s][t] = next_base[t];
+      const relational::Table& table = parts[s]->table(t);
+      const ColumnId pk = table.schema().primary_key;
+      int64_t max_key = -1;
+      for (RowId r = 0; r < table.num_rows(); ++r) {
+        const Value& v = table.cell(r, pk);
+        KWS_CHECK_MSG(v.type() == ValueType::kInt,
+                      "shard merge requires INT primary keys");
+        if (v.AsInt() > max_key) max_key = v.AsInt();
+      }
+      next_base[t] += max_key + 1;
+    }
+  }
+
+  ShardedCorpus out;
+  out.combined = std::make_unique<Database>();
+  for (TableId t = 0; t < num_tables; ++t) {
+    out.combined->CreateTable(proto.table(t).schema()).value();
+  }
+  out.shards.reserve(n);
+  out.row_offsets.assign(n, std::vector<RowId>(num_tables, 0));
+  for (size_t s = 0; s < n; ++s) {
+    auto shard_db = std::make_unique<Database>();
+    for (TableId t = 0; t < num_tables; ++t) {
+      shard_db->CreateTable(proto.table(t).schema()).value();
+    }
+    for (TableId t = 0; t < num_tables; ++t) {
+      out.row_offsets[s][t] =
+          static_cast<RowId>(out.combined->table(t).num_rows());
+      const auto key_cols = KeyColumns(proto, t);
+      const relational::Table& src = parts[s]->table(t);
+      for (RowId r = 0; r < src.num_rows(); ++r) {
+        relational::Row row = src.row(r);
+        for (const auto& [col, base_table] : key_cols) {
+          const Value& v = row[col];
+          if (v.is_null()) continue;
+          KWS_CHECK_MSG(v.type() == ValueType::kInt,
+                        "shard merge requires INT key columns");
+          row[col] = Value::Int(v.AsInt() + key_base[s][base_table]);
+        }
+        shard_db->table(t).Append(row).value();
+        out.combined->table(t).Append(std::move(row)).value();
+      }
+    }
+    out.shards.push_back(std::move(shard_db));
+  }
+
+  // Keys and indexes last, mirroring the generators' order (data, then
+  // foreign keys, then text indexes).
+  for (const ForeignKey& fk : proto.foreign_keys()) {
+    const std::string& table = proto.table(fk.table).name();
+    const std::string& column =
+        proto.table(fk.table).schema().columns[fk.column].name;
+    const std::string& ref_table = proto.table(fk.ref_table).name();
+    const std::string& ref_column =
+        proto.table(fk.ref_table).schema().columns[fk.ref_column].name;
+    for (auto& shard_db : out.shards) {
+      Status st = shard_db->AddForeignKey(table, column, ref_table,
+                                          ref_column);
+      KWS_CHECK_MSG(st.ok(), st.ToString());
+    }
+    Status st =
+        out.combined->AddForeignKey(table, column, ref_table, ref_column);
+    KWS_CHECK_MSG(st.ok(), st.ToString());
+  }
+  for (auto& shard_db : out.shards) shard_db->BuildTextIndexes();
+  out.combined->BuildTextIndexes();
+  return out;
+}
+
+ShardedCorpus MakeShardedDblp(const relational::DblpOptions& options,
+                              size_t num_shards) {
+  KWS_CHECK_MSG(num_shards > 0, "num_shards must be positive");
+  std::vector<std::unique_ptr<Database>> parts;
+  parts.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    relational::DblpOptions sub = options;
+    sub.seed = SplitSeed(options.seed, s);
+    sub.num_conferences = ShardSlice(options.num_conferences, s, num_shards);
+    sub.num_authors = ShardSlice(options.num_authors, s, num_shards);
+    sub.num_papers = ShardSlice(options.num_papers, s, num_shards);
+    parts.push_back(std::move(relational::MakeDblpDatabase(sub).db));
+  }
+  return MergeParts(std::move(parts));
+}
+
+ShardedCorpus MakeShardedShop(const relational::ShopOptions& options,
+                              size_t num_shards) {
+  KWS_CHECK_MSG(num_shards > 0, "num_shards must be positive");
+  std::vector<std::unique_ptr<Database>> parts;
+  parts.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    relational::ShopOptions sub = options;
+    sub.seed = SplitSeed(options.seed, s);
+    sub.num_products = ShardSlice(options.num_products, s, num_shards);
+    parts.push_back(std::move(relational::MakeShopDatabase(sub).db));
+  }
+  return MergeParts(std::move(parts));
+}
+
+}  // namespace kws::shard

@@ -1,0 +1,68 @@
+#ifndef KWDB_SHARD_SHARDED_CORPUS_H_
+#define KWDB_SHARD_SHARDED_CORPUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/dblp.h"
+#include "relational/shop.h"
+
+namespace kws::shard {
+
+/// A corpus partitioned into N schema-identical shard databases plus the
+/// equivalent unsharded database — the oracle every sharded search must
+/// match bit for bit.
+///
+/// Construction guarantees (see `MergeParts`):
+///  - Primary-key values are remapped to be globally unique, and every
+///    foreign-key column is shifted by its *referenced* table's offset,
+///    so joins in the combined database never cross a shard boundary:
+///    each combined result lives entirely inside one shard, and the
+///    shards collectively produce exactly the combined result set.
+///  - Combined tables concatenate the shard tables in shard order, so
+///    local row ids map to combined ("global") ids by adding
+///    `row_offsets[shard][table]` — a per-table monotone offset, which
+///    keeps tuple orderings and tie-breaks aligned between the two views.
+///  - Cell values (remapped keys included) are identical in the shard and
+///    combined views, so `Database::TupleToString` renders the same text
+///    either way, and searchable text — hence tf, document length, and
+///    per-table df — is untouched by the remap.
+struct ShardedCorpus {
+  /// The shard databases, schema-identical, jointly holding every row of
+  /// `combined` exactly once.
+  std::vector<std::unique_ptr<relational::Database>> shards;
+  /// The unsharded equivalent (same rows, same values, same order).
+  std::unique_ptr<relational::Database> combined;
+  /// `row_offsets[s][t]`: combined row id of shard `s`'s row 0 in table
+  /// `t` (the number of table-`t` rows owned by shards before `s`).
+  std::vector<std::vector<relational::RowId>> row_offsets;
+
+  /// Number of shards.
+  size_t num_shards() const { return shards.size(); }
+};
+
+/// Rebuilds independently generated, schema-identical part databases into
+/// a `ShardedCorpus`: remaps primary-key and foreign-key values by
+/// per-table offsets (keys must be INT columns), appends the remapped
+/// rows to fresh per-shard databases and to one combined database in
+/// shard order, then re-adds the foreign keys and builds text indexes in
+/// the generators' order. Aborts (KWS_CHECK) on schema mismatches or
+/// non-INT key columns.
+ShardedCorpus MergeParts(
+    std::vector<std::unique_ptr<relational::Database>> parts);
+
+/// A DBLP corpus split into `num_shards` independently generated
+/// sub-corpora (seed `SplitSeed(options.seed, shard)`, entity counts
+/// divided evenly, shared vocabulary and skew), merged via `MergeParts`.
+ShardedCorpus MakeShardedDblp(const relational::DblpOptions& options,
+                              size_t num_shards);
+
+/// The shop catalog split into `num_shards` sub-catalogs; see
+/// `MakeShardedDblp`.
+ShardedCorpus MakeShardedShop(const relational::ShopOptions& options,
+                              size_t num_shards);
+
+}  // namespace kws::shard
+
+#endif  // KWDB_SHARD_SHARDED_CORPUS_H_

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/select/db_selection.h"
+#include "graph/data_graph.h"
+#include "relational/database.h"
+#include "relational/dblp.h"
+#include "text/tokenizer.h"
+
+namespace kws::select {
+namespace {
+
+// Brute-force reference for DatabaseSelector over one database: coverage
+// by tokenizing every node text directly, joinability by BFS over the
+// unit-weight data graph — no keyword index, no distance index.
+struct BruteScore {
+  size_t keywords_covered = 0;
+  uint32_t covered_mask = 0;
+  size_t joinable_pairs = 0;
+  double score = 0;
+};
+
+BruteScore BruteForceScore(const relational::Database& db,
+                           const std::vector<std::string>& keywords,
+                           double max_distance,
+                           double relationship_weight) {
+  graph::GraphBuildOptions go;
+  go.degree_weighted_backward = false;  // unit weights: distance == hops
+  const graph::RelationalGraph rg = graph::BuildDataGraph(db, go);
+  const graph::DataGraph& g = rg.graph;
+  text::Tokenizer tokenizer;
+
+  // matches[k] = nodes whose tokenized text contains keyword k.
+  std::vector<std::vector<bool>> matches(
+      keywords.size(), std::vector<bool>(g.num_nodes(), false));
+  std::vector<size_t> match_count(keywords.size(), 0);
+  for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+    const std::vector<std::string> tokens = tokenizer.Tokenize(g.text(n));
+    for (size_t k = 0; k < keywords.size(); ++k) {
+      if (std::find(tokens.begin(), tokens.end(), keywords[k]) !=
+          tokens.end()) {
+        matches[k][n] = true;
+        ++match_count[k];
+      }
+    }
+  }
+
+  BruteScore out;
+  double coverage = 0;
+  for (size_t k = 0; k < keywords.size(); ++k) {
+    if (match_count[k] > 0) {
+      ++out.keywords_covered;
+      if (k < 32) out.covered_mask |= (1u << k);
+      coverage += std::log(1.0 + static_cast<double>(match_count[k]));
+    }
+  }
+
+  // BFS hop distances from the match set of keyword i; pair (i, j) is
+  // joinable when some j-match lies within max_distance hops.
+  const size_t radius = static_cast<size_t>(max_distance);
+  double relationship = 0;
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    std::vector<size_t> dist(g.num_nodes(), g.num_nodes() + 1);
+    std::deque<graph::NodeId> frontier;
+    for (graph::NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (matches[i][n]) {
+        dist[n] = 0;
+        frontier.push_back(n);
+      }
+    }
+    while (!frontier.empty()) {
+      const graph::NodeId n = frontier.front();
+      frontier.pop_front();
+      if (dist[n] == radius) continue;
+      for (const graph::Edge& e : g.Out(n)) {
+        if (dist[e.to] > dist[n] + 1) {
+          dist[e.to] = dist[n] + 1;
+          frontier.push_back(e.to);
+        }
+      }
+    }
+    for (size_t j = i + 1; j < keywords.size(); ++j) {
+      bool related = false;
+      for (graph::NodeId n = 0; n < g.num_nodes() && !related; ++n) {
+        related = matches[j][n] && dist[n] <= radius;
+      }
+      if (related) {
+        ++out.joinable_pairs;
+        relationship += 1.0;
+      }
+    }
+  }
+  out.score = coverage + relationship_weight * relationship;
+  return out;
+}
+
+/// Selector scores equal the brute-force reference for every registered
+/// database, over random corpora and a mixed query set.
+class SelectionOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelectionOracleTest, RankMatchesBruteForce) {
+  const uint64_t seed = GetParam();
+  std::vector<std::unique_ptr<relational::Database>> dbs;
+  for (size_t i = 0; i < 3; ++i) {
+    relational::DblpOptions opts;
+    opts.seed = seed + i;
+    opts.num_conferences = 4;
+    opts.num_authors = 12;
+    opts.num_papers = 25;
+    dbs.push_back(std::move(relational::MakeDblpDatabase(opts).db));
+  }
+
+  SelectorOptions so;
+  so.max_distance = 3.0;
+  so.graph_options.degree_weighted_backward = false;
+  DatabaseSelector selector(so);
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    selector.AddDatabase("db-" + std::to_string(i), dbs[i].get());
+  }
+
+  const std::vector<std::string> queries = {
+      "keyword search", "database query processing",
+      "hristidis papakonstantinou", "xml zzz_nowhere"};
+  for (const std::string& query : queries) {
+    const std::vector<std::string> keywords =
+        text::Tokenizer().Tokenize(query);
+    const std::vector<DatabaseScore> ranked = selector.Rank(query);
+    ASSERT_EQ(ranked.size(), dbs.size()) << query;
+    for (const DatabaseScore& ds : ranked) {
+      const BruteScore want = BruteForceScore(
+          *dbs[ds.index], keywords, so.max_distance, so.relationship_weight);
+      const std::string context = query + " / " + ds.name;
+      EXPECT_EQ(ds.keywords_covered, want.keywords_covered) << context;
+      EXPECT_EQ(ds.covered_mask, want.covered_mask) << context;
+      EXPECT_EQ(ds.joinable_pairs, want.joinable_pairs) << context;
+      EXPECT_DOUBLE_EQ(ds.score, want.score) << context;
+    }
+    // Best first under the strict (score desc, registration index asc)
+    // order — no equal-score pair may appear index-inverted.
+    for (size_t i = 1; i < ranked.size(); ++i) {
+      EXPECT_TRUE(ranked[i - 1].score > ranked[i].score ||
+                  (ranked[i - 1].score == ranked[i].score &&
+                   ranked[i - 1].index < ranked[i].index))
+          << query << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SelectionOracleTest,
+                         ::testing::Values(2, 13, 41, 67));
+
+}  // namespace
+}  // namespace kws::select

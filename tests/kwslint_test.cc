@@ -293,6 +293,33 @@ TEST(KwslintMetricName, ChecksTraceSpanDeclarations) {
             0u);
 }
 
+TEST(KwslintMetricName, ChecksLiteralOnTheContinuationLine) {
+  // The common clang-format wrap: the literal lands on the line after
+  // the open paren and is still checked.
+  const std::string bad =
+      "void F(trace::Tracer* t) {\n"
+      "  trace::TraceSpan span(t,\n"
+      "                        \"CN.TopK\");\n"
+      "}\n";
+  std::vector<Diagnostic> diags = Lint("src/core/foo.cc", bad);
+  ASSERT_EQ(CountRule(diags, "metric-name"), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+  const std::string good =
+      "void F(MetricsRegistry* m) {\n"
+      "  m->GetCounter(\n"
+      "      \"serve.tuple_cache.evictions\");\n"
+      "}\n";
+  EXPECT_EQ(CountRule(Lint("src/serve/foo.cc", good), "metric-name"), 0u);
+  // A literal more than one line below the open paren stays unchecked.
+  const std::string far =
+      "void F(trace::Tracer* t) {\n"
+      "  t->AddEvent(\n"
+      "      //\n"
+      "      \"Bad Name\");\n"
+      "}\n";
+  EXPECT_EQ(CountRule(Lint("src/core/foo.cc", far), "metric-name"), 0u);
+}
+
 TEST(KwslintMetricName, AppliesToTestsAndBenches) {
   const std::string bad = "void F(T* t) { t->AddEvent(\"Bad Name\"); }\n";
   EXPECT_EQ(CountRule(Lint("tests/foo_test.cc", bad), "metric-name"), 1u);

@@ -87,6 +87,34 @@ TEST(DbSelectionTest, CoverageBreaksTies) {
   EXPECT_EQ(ranked[0].joinable_pairs, 0u);
 }
 
+TEST(DbSelectionTest, EqualScoresRankInRegistrationOrder) {
+  // Two identical databases score exactly equal; registration order must
+  // decide the ranking, not the (reverse-sorted here) names.
+  auto a = MakeDb(true);
+  auto b = MakeDb(true);
+  DatabaseSelector selector;
+  selector.AddDatabase("zeta", a.get());
+  selector.AddDatabase("alpha", b.get());
+  auto ranked = selector.Rank("alice encryption");
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].score, ranked[1].score);
+  EXPECT_EQ(ranked[0].name, "zeta");
+  EXPECT_EQ(ranked[0].index, 0u);
+  EXPECT_EQ(ranked[1].name, "alpha");
+  EXPECT_EQ(ranked[1].index, 1u);
+}
+
+TEST(DbSelectionTest, CoveredMaskTracksKeywordPositions) {
+  auto db = MakeDb(true);
+  DatabaseSelector selector;
+  selector.AddDatabase("only", db.get());
+  // Keyword 0 ("zzz") matches nowhere, keyword 1 ("alice") does.
+  auto ranked = selector.Rank("zzz alice");
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].covered_mask, 0x2u);
+  EXPECT_EQ(ranked[0].keywords_covered, 1u);
+}
+
 TEST(DbSelectionTest, EmptyQueryScoresZero) {
   auto db = MakeDb(true);
   DatabaseSelector selector;

@@ -15,6 +15,8 @@
 #include "serve/cache.h"
 #include "serve/loadgen.h"
 #include "serve/server.h"
+#include "shard/sharded_corpus.h"
+#include "shard/sharded_engine.h"
 #include "xml/bibgen.h"
 
 namespace kws::serve {
@@ -743,6 +745,99 @@ TEST_F(ServeTest, MetricsRenderAfterServing) {
   EXPECT_NE(text.find("serve.submitted 1"), std::string::npos) << text;
   EXPECT_NE(text.find("serve.latency_micros count=1"), std::string::npos)
       << text;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded relational backend behind the server.
+
+class ShardedServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    relational::DblpOptions opts;
+    opts.num_authors = 40;
+    opts.num_papers = 80;
+    opts.num_conferences = 6;
+    corpus_ = new shard::ShardedCorpus(shard::MakeShardedDblp(opts, 4));
+    sharded_ = new shard::ShardedEngine(*corpus_);
+  }
+  static void TearDownTestSuite() {
+    delete sharded_;
+    delete corpus_;
+    sharded_ = nullptr;
+    corpus_ = nullptr;
+  }
+  static ServeOptions ShardedOptions() {
+    ServeOptions so;
+    so.num_workers = 1;
+    so.num_shards = 4;
+    return so;
+  }
+  static shard::ShardedCorpus* corpus_;
+  static shard::ShardedEngine* sharded_;
+};
+
+shard::ShardedCorpus* ShardedServeTest::corpus_ = nullptr;
+shard::ShardedEngine* ShardedServeTest::sharded_ = nullptr;
+
+TEST_F(ShardedServeTest, RoutesRelationalQueriesToTheShardedEngine) {
+  ServingEngine server(nullptr, nullptr, sharded_, ShardedOptions());
+  QueryRequest req;
+  req.query = "keyword search";
+  const QueryOutcome out = server.Query(req);
+  ASSERT_TRUE(out.status.ok());
+  ASSERT_NE(out.relational, nullptr);
+  // The served response is the sharded engine's answer, repackaged.
+  shard::ShardedSearchOptions sso;
+  sso.k = req.k;
+  const shard::ShardedResponse want = sharded_->Search(req.query, sso);
+  EXPECT_EQ(out.relational->cleaned_query, want.keywords);
+  ASSERT_EQ(out.relational->results.size(), want.results.size());
+  for (size_t i = 0; i < want.results.size(); ++i) {
+    EXPECT_EQ(out.relational->results[i].score, want.results[i].score);
+    EXPECT_EQ(out.relational->results[i].tuples, want.results[i].tuples);
+    EXPECT_EQ(out.relational->results[i].description, want.descriptions[i]);
+  }
+}
+
+TEST_F(ShardedServeTest, ShardedAnswersAreCachedUnderADistinctKeySpace) {
+  ServingEngine server(nullptr, nullptr, sharded_, ShardedOptions());
+  QueryRequest req;
+  req.query = "keyword search";
+  const std::string key = server.CacheKey(req);
+  EXPECT_EQ(key.rfind("shard|", 0), 0u) << key;
+  EXPECT_FALSE(server.Query(req).cache_hit);
+  EXPECT_TRUE(server.Query(req).cache_hit);
+}
+
+TEST_F(ShardedServeTest, TinyBudgetIsPartialAndNotCached) {
+  ServingEngine server(nullptr, nullptr, sharded_, ShardedOptions());
+  QueryRequest req;
+  req.query = "keyword search";
+  req.budget_micros = 1;
+  const QueryOutcome out = server.Query(req);
+  EXPECT_EQ(out.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(server.Query(req).cache_hit);
+}
+
+TEST_F(ShardedServeTest, ZeroNumShardsIgnoresTheAttachedEngine) {
+  relational::DblpOptions opts;
+  opts.num_authors = 40;
+  opts.num_papers = 80;
+  opts.num_conferences = 6;
+  const relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  const engine::KeywordSearchEngine unsharded(*dblp.db);
+  ServeOptions so;
+  so.num_workers = 1;
+  so.num_shards = 0;
+  ServingEngine server(&unsharded, nullptr, sharded_, so);
+  QueryRequest req;
+  req.query = "keyword search";
+  EXPECT_EQ(server.CacheKey(req).rfind("rel|", 0), 0u);
+  const QueryOutcome out = server.Query(req);
+  ASSERT_TRUE(out.status.ok());
+  // Served by the unsharded engine: its cleaned query, its results.
+  EXPECT_EQ(out.relational->cleaned_query,
+            unsharded.Search(req.query).cleaned_query);
 }
 
 }  // namespace

@@ -589,10 +589,12 @@ void CheckMetricName(const SourceFile& f, std::vector<Diagnostic>* out) {
     // The name is the call's first string literal. The code view blanks
     // literal interiors, so a literal is two consecutive `"` tokens; the
     // raw text between their columns (same physical line only) is the
-    // name. Stop at end-of-line or statement end: a multi-line call with
-    // the literal elsewhere is simply not checked.
+    // name. The scan covers the open paren's line and the next one (the
+    // common clang-format wrap that puts the literal on a continuation
+    // line); a longer multi-line call with the literal further down is
+    // simply not checked.
     for (size_t j = open + 1;
-         j < toks.size() && toks[j].line == toks[open].line; ++j) {
+         j < toks.size() && toks[j].line - toks[open].line <= 1; ++j) {
       const std::string& t = toks[j].text;
       if (t == ";") break;
       if (t != "\"") continue;
