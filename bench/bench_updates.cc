@@ -1,0 +1,183 @@
+// E24 — Continual top-k under live inserts (the write path added for
+// stale-result serving: Database::ApplyInserts, TupleSets::ApplyInserts,
+// cn::ContinualQuery, and the serve layer's epoch/invalidation protocol).
+//
+// Series: (1) insert absorption cost — incremental index + tuple-set
+// maintenance vs a from-scratch rebuild after every batch, over a batch
+// size sweep; (2) the staleness window of a standing query — delta
+// propagation (OnInsertBatch) vs recomputing the registration, with the
+// probe/rescore work counters; (3) serve-layer write invalidation —
+// touched-term tuple-cache drops and the epoch bump defeating stale
+// result-cache hits. Expected shape: incremental absorption beats the
+// rebuild by a widening margin as the corpus grows; propagation keeps the
+// staleness window well under recomputation for small batches.
+//
+// `--smoke` shrinks the sweep to a <5 s run (the ci.sh gate); absolute
+// times then mean little, but every series still runs end to end.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/cn/continual.h"
+#include "core/cn/tuple_sets.h"
+#include "core/engine/engine.h"
+#include "relational/dblp.h"
+#include "serve/server.h"
+
+namespace kws::bench {
+namespace {
+
+bool g_smoke = false;
+
+relational::DblpOptions CorpusOptions() {
+  relational::DblpOptions opts;
+  opts.num_papers = g_smoke ? 300 : 1500;
+  opts.num_authors = g_smoke ? 120 : 500;
+  opts.num_conferences = 12;
+  return opts;
+}
+
+relational::DblpInsertOptions BatchOptions(uint64_t seed, size_t papers) {
+  relational::DblpInsertOptions opts;
+  opts.seed = seed;
+  opts.num_papers = papers;
+  opts.num_authors = papers / 4 + 1;
+  return opts;
+}
+
+std::vector<std::string> Keywords(const relational::DblpDatabase& dblp) {
+  return {dblp.vocabulary[0], dblp.vocabulary[1]};
+}
+
+// Series 1: absorbing a batch incrementally vs rebuilding from scratch.
+void AbsorptionSeries() {
+  Banner("E24.1", "insert absorption: incremental vs from-scratch rebuild");
+  TablePrinter table({"batch_rows", "apply_ms", "ts_apply_ms", "rebuild_ms",
+                      "ts_fresh_ms", "speedup"});
+  const std::vector<size_t> batch_papers =
+      g_smoke ? std::vector<size_t>{8, 32} : std::vector<size_t>{8, 32, 128};
+  for (const size_t papers : batch_papers) {
+    // Two identical corpora: one takes the incremental path, the other
+    // replays the same rows through the bulk rebuild.
+    relational::DblpDatabase live = MakeDblpDatabase(CorpusOptions());
+    relational::DblpDatabase ref = MakeDblpDatabase(CorpusOptions());
+    cn::TupleSets live_ts(*live.db, Keywords(live));
+    const size_t batches = g_smoke ? 3 : 8;
+    double apply_ms = 0, ts_apply_ms = 0, rebuild_ms = 0, ts_fresh_ms = 0;
+    size_t batch_rows = 0;
+    for (size_t b = 0; b < batches; ++b) {
+      const std::vector<relational::RowInsert> batch =
+          MakeDblpInsertBatch(live, BatchOptions(900 + b, papers));
+      batch_rows += batch.size();
+
+      Stopwatch apply_sw;
+      const Result<relational::WriteReport> applied =
+          live.db->ApplyInserts(batch);
+      apply_ms += apply_sw.ElapsedMillis();
+      Stopwatch ts_sw;
+      (void)live_ts.ApplyInserts(*live.db, applied.value().inserted);
+      ts_apply_ms += ts_sw.ElapsedMillis();
+
+      for (const relational::RowInsert& ins : batch) {
+        relational::Row row = ins.row;
+        (void)ref.db->table(ins.table).Append(std::move(row));
+      }
+      Stopwatch rebuild_sw;
+      ref.db->BuildTextIndexes();
+      rebuild_ms += rebuild_sw.ElapsedMillis();
+      Stopwatch fresh_sw;
+      const cn::TupleSets fresh(*ref.db, Keywords(ref));
+      ts_fresh_ms += fresh_sw.ElapsedMillis();
+    }
+    const double incremental = apply_ms + ts_apply_ms;
+    const double rebuilt = rebuild_ms + ts_fresh_ms;
+    table.Row({Fmt(batch_rows / batches), Fmt(apply_ms), Fmt(ts_apply_ms),
+               Fmt(rebuild_ms), Fmt(ts_fresh_ms),
+               Fmt(incremental > 0 ? rebuilt / incremental : 0.0)});
+  }
+}
+
+// Series 2: the staleness window of a standing top-k query.
+void StalenessSeries() {
+  Banner("E24.2", "standing query: delta propagation vs recomputation");
+  TablePrinter table({"batch", "inserts", "propagate_ms", "recompute_ms",
+                      "trees_added", "rescored", "probes"});
+  relational::DblpDatabase dblp = MakeDblpDatabase(CorpusOptions());
+  relational::Database& db = *dblp.db;
+  cn::ContinualQuery standing(db, Keywords(dblp));
+  const size_t batches = g_smoke ? 3 : 6;
+  for (size_t b = 0; b < batches; ++b) {
+    const Result<relational::WriteReport> applied = db.ApplyInserts(
+        MakeDblpInsertBatch(dblp, BatchOptions(700 + b, g_smoke ? 8 : 32)));
+    cn::ContinualStats stats;
+    Stopwatch propagate_sw;
+    (void)standing.OnInsertBatch(applied.value().inserted, {}, &stats);
+    const double propagate_ms = propagate_sw.ElapsedMillis();
+    // The alternative a serving stack without delta propagation pays:
+    // re-register (re-enumerate + fully re-evaluate) after every batch.
+    Stopwatch recompute_sw;
+    const cn::ContinualQuery recomputed(db, Keywords(dblp));
+    const double recompute_ms = recompute_sw.ElapsedMillis();
+    table.Row({Fmt(b), Fmt(stats.inserts), Fmt(propagate_ms),
+               Fmt(recompute_ms), Fmt(stats.trees_added),
+               Fmt(stats.rescored), Fmt(stats.probes)});
+  }
+}
+
+// Series 3: serve-layer invalidation — what one announced write costs
+// and invalidates.
+void InvalidationSeries() {
+  Banner("E24.3", "serve: per-write invalidation and epoch bump");
+  TablePrinter table({"write", "touched_terms", "tuple_drops", "epoch",
+                      "notify_ms", "requery_hit"});
+  relational::DblpDatabase dblp = MakeDblpDatabase(CorpusOptions());
+  relational::Database& db = *dblp.db;
+  const engine::KeywordSearchEngine engine(db);
+  serve::ServeOptions so;
+  so.num_workers = 0;  // synchronous Query path: deterministic timing
+  serve::ServingEngine server(&engine, nullptr, so);
+  serve::QueryRequest req;
+  req.query = dblp.vocabulary[0] + " " + dblp.vocabulary[1];
+
+  const size_t writes = g_smoke ? 2 : 4;
+  for (size_t w = 0; w < writes; ++w) {
+    (void)server.Query(req);  // warm both caches under the current epoch
+    const uint64_t drops_before =
+        server.tuple_cache()->stats().invalidations;
+    const Result<relational::WriteReport> applied = db.ApplyInserts(
+        MakeDblpInsertBatch(dblp, BatchOptions(500 + w, g_smoke ? 8 : 32)));
+    Stopwatch notify_sw;
+    server.NotifyWrite(applied.value());
+    const double notify_ms = notify_sw.ElapsedMillis();
+    const serve::QueryOutcome requery = server.Query(req);
+    table.Row(
+        {Fmt(w), Fmt(applied.value().touched_terms.size()),
+         Fmt(server.tuple_cache()->stats().invalidations - drops_before),
+         Fmt(server.data_epoch()), Fmt(notify_ms),
+         Fmt(static_cast<uint64_t>(requery.cache_hit ? 1 : 0))});
+  }
+}
+
+void RunExperiment() {
+  std::printf("E24: continual top-k and cache invalidation under live "
+              "inserts%s\n",
+              g_smoke ? " (smoke)" : "");
+  AbsorptionSeries();
+  StalenessSeries();
+  InvalidationSeries();
+}
+
+}  // namespace
+}  // namespace kws::bench
+
+int main(int argc, char** argv) {
+  kws::bench::ParseJsonFlag(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) kws::bench::g_smoke = true;
+  }
+  kws::bench::RunExperiment();
+  return kws::bench::FlushJson() ? 0 : 1;
+}

@@ -22,24 +22,26 @@ cmake --build build-asan -j "${jobs}"
 ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
   ctest --test-dir build-asan --output-on-failure
 
-echo "== tier 3: ThreadSanitizer (serve, common, cn_parallel, trace, shard) =="
+echo "== tier 3: ThreadSanitizer (serve, common, cn_parallel, trace, shard, update) =="
 cmake --preset tsan
 cmake --build build-tsan -j "${jobs}" --target serve_test common_test \
-  cn_parallel_test trace_test shard_test
+  cn_parallel_test trace_test shard_test update_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/common_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cn_parallel_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/trace_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/update_test
 
-echo "== tier 4: smoke benches + JSON export (E20..E23; < 20 s) =="
+echo "== tier 4: smoke benches + JSON export (E20..E24; < 25 s) =="
 mkdir -p bench-out
 ./build/bench/bench_postings --smoke --json=bench-out/E20.json
 ./build/bench/bench_cn_parallel --smoke --json=bench-out/E21.json
 ./build/bench/bench_trace --smoke --json=bench-out/E22.json
 ./build/bench/bench_sharding --smoke --json=bench-out/E23.json
+./build/bench/bench_updates --smoke --json=bench-out/E24.json
 for f in bench-out/E20.json bench-out/E21.json bench-out/E22.json \
-         bench-out/E23.json; do
+         bench-out/E23.json bench-out/E24.json; do
   [ -s "$f" ] || { echo "missing bench JSON: $f"; exit 1; }
 done
 

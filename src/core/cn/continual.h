@@ -1,0 +1,138 @@
+#ifndef KWDB_CORE_CN_CONTINUAL_H_
+#define KWDB_CORE_CN_CONTINUAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "core/cn/candidate_network.h"
+#include "core/cn/search.h"
+#include "core/cn/stream.h"
+#include "core/cn/tuple_sets.h"
+#include "relational/database.h"
+
+namespace kws::cn {
+
+/// Tuning knobs for a registered continual query.
+struct ContinualOptions {
+  /// Answer size of `TopK()` (the full result set is retained
+  /// internally; see ContinualQuery).
+  size_t k = 10;
+  /// CN enumeration bound (DISCOVER's Tmax).
+  size_t max_cn_size = 5;
+  /// Worker threads probing one insert batch (static striding over the
+  /// batch; results are bit-identical for every value). 1 runs serial.
+  size_t num_threads = 1;
+};
+
+/// Counters for the E24 benchmark and the update oracle tests.
+struct ContinualStats {
+  uint64_t batches = 0;
+  uint64_t inserts = 0;
+  uint64_t probes = 0;
+  uint64_t join_lookups = 0;
+  /// New joined trees discovered by probing (after batch-level dedup).
+  uint64_t trees_added = 0;
+  /// Existing trees rescored under the batch's refreshed IDFs.
+  uint64_t rescored = 0;
+  /// Batches that widened a table's keyword mask and forced CN
+  /// re-enumeration + full re-evaluation instead of delta propagation.
+  uint64_t full_rebuilds = 0;
+};
+
+/// A standing top-k keyword query under live inserts — the continual
+/// top-k layer of "Efficient Continual Top-k Keyword Search in Relational
+/// Databases" grafted onto the DISCOVER pipeline: register once, then
+/// propagate each applied insert batch as a delta instead of recomputing
+/// the query.
+///
+/// Mechanics per batch (`OnInsertBatch`): the evaluator's tuple sets
+/// absorb the batch (`TupleSets::ApplyInserts`), every new tuple is
+/// marked arrived and probed with the `StreamEvaluator` probe — fixing
+/// the new tuple at each CN node position it can occupy finds exactly the
+/// joined trees that contain at least one new tuple — and the previously
+/// stored trees are rescored under the refreshed IDFs (an insert moves
+/// the corpus totals, so every score drifts even when no new tree
+/// appears). If the batch widens some table's keyword mask the CN
+/// workload itself changes, and the query falls back to re-enumeration
+/// plus full re-evaluation for that batch.
+///
+/// The full result set (not just k) is retained: IDF drift can promote a
+/// result from rank k+1 to the top-k at any later batch, so a pruned
+/// store could not stay bit-identical to recomputation. `TopK()` answers
+/// are bit-identical to a from-scratch search after every batch, for
+/// every seed x batch size x thread count (tests/update_test.cc).
+class ContinualQuery {
+ public:
+  /// Registers the query: enumerates its CNs, builds tuple sets and
+  /// fully evaluates the current database. `keywords` must already be
+  /// normalized tokens (the serve layer normalizes). The database must
+  /// outlive the query; writers must apply inserts before calling
+  /// OnInsertBatch and must not mutate the database concurrently with
+  /// any method of this class.
+  ContinualQuery(const relational::Database& db,
+                 std::vector<std::string> keywords,
+                 const ContinualOptions& options = {});
+
+  /// Propagates one applied insert batch (`WriteReport::inserted`) into
+  /// the standing results. A finite `deadline` adds cancellation points
+  /// through tuple-set absorption, probing and re-evaluation; on expiry
+  /// the standing state is incomplete, the query turns `stale()` and
+  /// every later call fails with kFailedPrecondition until `Rebuild()`.
+  Status OnInsertBatch(const std::vector<relational::TupleId>& inserted,
+                       const Deadline& deadline = {},
+                       ContinualStats* stats = nullptr);
+
+  /// The current top-k under `SearchResultOrder` (score desc, cn_index
+  /// asc, tuples asc) — the same ranked list a fresh search over the
+  /// current database would return.
+  std::vector<SearchResult> TopK() const;
+
+  /// Every standing result, ranked. `SearchResult::cn_index` refers into
+  /// `cns()`.
+  const std::vector<SearchResult>& results() const { return results_; }
+
+  /// The current CN workload (re-enumerated when a batch widens a
+  /// table's keyword mask).
+  const std::vector<CandidateNetwork>& cns() const { return eval_->cns(); }
+
+  /// The query's live tuple sets (exposed for the oracle tests).
+  const TupleSets& tuple_sets() const { return eval_->tuple_sets(); }
+
+  /// True after a deadline cut a propagation short; the standing results
+  /// are then untrusted until `Rebuild()` succeeds.
+  bool stale() const { return stale_; }
+
+  /// Recovers from a stale state (or refreshes unconditionally) by
+  /// re-enumerating and re-evaluating from the current database.
+  Status Rebuild(const Deadline& deadline = {});
+
+ private:
+  /// Re-enumerates CNs from the current table masks, replaces the
+  /// evaluator and fully re-evaluates every CN. `ts` is the (already
+  /// up-to-date) tuple sets to adopt.
+  Status RebuildWorkload(TupleSets ts, const Deadline& deadline);
+
+  /// Evaluates every CN of the current workload from scratch into
+  /// `results_` (sorted).
+  Status EvaluateAll(const Deadline& deadline);
+
+  /// Recomputes every stored result's score from the current tuple sets
+  /// with the exact ExecuteCn arithmetic (sum of non-free node scores in
+  /// node order, divided by CN size).
+  void RescoreAll();
+
+  const relational::Database& db_;
+  std::vector<std::string> keywords_;
+  ContinualOptions options_;
+  std::unique_ptr<StreamEvaluator> eval_;
+  /// All standing results, sorted by SearchResultOrder.
+  std::vector<SearchResult> results_;
+  bool stale_ = false;
+};
+
+}  // namespace kws::cn
+
+#endif  // KWDB_CORE_CN_CONTINUAL_H_

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "core/cn/candidate_network.h"
 #include "core/cn/execute.h"
 #include "core/cn/search.h"
@@ -29,6 +31,11 @@ struct StreamStats {
 /// evaluator tracks which have "arrived" and restricts joins to them. On
 /// each arrival it probes, for every CN and every node position the new
 /// tuple can occupy, the joins completed by that tuple.
+///
+/// Live inserts: the arrival bitmap grows on demand (`MarkArrived` /
+/// `OnArrival` accept rows appended to the database after construction),
+/// and `ContinualQuery` reuses the same probe (`Probe`) to propagate
+/// insert batches into standing top-k results.
 class StreamEvaluator {
  public:
   /// `cns` is the fixed workload (typically EnumerateCandidateNetworks
@@ -37,13 +44,56 @@ class StreamEvaluator {
   StreamEvaluator(const relational::Database& db,
                   std::vector<CandidateNetwork> cns, TupleSets ts);
 
-  /// Feeds one tuple; returns the joined trees completed by it (each
-  /// result's tuples have all arrived, and the new tuple participates).
+  /// Feeds one tuple: marks it arrived and appends the joined trees it
+  /// completes to `*out` (each result's tuples have all arrived, and the
+  /// new tuple participates). A duplicate arrival is a no-op. A finite
+  /// `deadline` adds a cancellation point per probe execution (the
+  /// long-running-loop convention): on expiry the trees found so far are
+  /// still appended and kDeadlineExceeded is returned — the emission is
+  /// PARTIAL for this arrival (the tuple stays arrived; trees missed here
+  /// are not re-emitted later), so callers owning exactly-once contracts
+  /// must treat the stream as broken and rebuild.
+  Status OnArrival(relational::TupleId tuple, std::vector<SearchResult>* out,
+                   StreamStats* stats = nullptr, const Deadline& deadline = {});
+
+  /// Convenience wrapper: infinite deadline, results by value (the
+  /// original E16 interface).
   std::vector<SearchResult> OnArrival(relational::TupleId tuple,
                                       StreamStats* stats = nullptr);
 
+  /// Marks `tuple` arrived without probing; returns true when it was not
+  /// arrived yet. Grows the arrival bitmap when the database has grown
+  /// past its construction-time size (live inserts). `ContinualQuery`
+  /// marks a whole insert batch before probing so trees joining several
+  /// new tuples are visible to each member's probe.
+  bool MarkArrived(relational::TupleId tuple);
+
+  /// Marks every current row of every table arrived (a standing query
+  /// registers against the full database, then streams inserts).
+  void MarkAllArrived();
+
+  /// Appends to `*out` the joined trees that `tuple` completes among the
+  /// arrived rows, without changing any state; `tuple` itself must have
+  /// arrived. Within the call the same tree reachable through different
+  /// node positions is deduplicated; across calls the caller owns
+  /// deduplication. Const and safe to call concurrently from several
+  /// threads (the arrival bitmap and tuple sets are read-only here).
+  /// Deadline semantics match `OnArrival`.
+  Status Probe(relational::TupleId tuple, std::vector<SearchResult>* out,
+               StreamStats* stats = nullptr,
+               const Deadline& deadline = {}) const;
+
   /// Number of tuples arrived so far.
   uint64_t arrived_count() const { return arrived_count_; }
+
+  /// The fixed CN workload (`SearchResult::cn_index` refers into it).
+  const std::vector<CandidateNetwork>& cns() const { return cns_; }
+
+  /// The evaluator's private tuple sets. The mutable overload exists for
+  /// a continual-query owner that calls `TupleSets::ApplyInserts`
+  /// between batches; it must not be used concurrently with `Probe`.
+  TupleSets& tuple_sets() { return ts_; }
+  const TupleSets& tuple_sets() const { return ts_; }
 
  private:
   const relational::Database& db_;

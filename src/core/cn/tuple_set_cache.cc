@@ -1,6 +1,5 @@
 #include "core/cn/tuple_set_cache.h"
 
-#include <cmath>
 #include <utility>
 
 namespace kws::cn {
@@ -11,22 +10,17 @@ std::shared_ptr<const TermFrontier> BuildTermFrontier(
   const size_t num_tables = db.num_tables();
   auto frontier = std::make_shared<TermFrontier>();
   frontier->tables.resize(num_tables);
-  size_t total_rows = 0;
-  size_t df = 0;
   for (relational::TableId t = 0; t < num_tables; ++t) {
     // Cancellation point per table: a mid-build expiry discards the
     // partial frontier entirely.
     if (deadline.Expired()) return nullptr;
-    total_rows += db.table(t).num_rows();
     const text::PostingList& plist = db.TextIndex(t).GetPostings(term);
-    df += plist.size();
+    frontier->df += plist.size();
     TermFrontier::TableFrontier& tf = frontier->tables[t];
     tf.rows.assign(plist.docs().begin(), plist.docs().end());
     tf.tfs.assign(plist.tfs().begin(), plist.tfs().end());
     frontier->num_rows += plist.size();
   }
-  frontier->idf = std::log(1.0 + static_cast<double>(total_rows) /
-                                     (1.0 + static_cast<double>(df)));
   trace::AddCounter(tracer, "cn.frontier.built", 1);
   trace::AddCounter(tracer, "cn.frontier.rows", frontier->num_rows);
   return frontier;
@@ -88,6 +82,20 @@ std::shared_ptr<const TermFrontier> TupleSetCache::Get(
   return frontier;
 }
 
+size_t TupleSetCache::Invalidate(const std::vector<std::string>& terms) {
+  size_t dropped = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& term : terms) {
+    auto it = index_.find(term);
+    if (it == index_.end()) continue;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++dropped;
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
 size_t TupleSetCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return index_.size();
@@ -99,6 +107,7 @@ TupleSetCache::Stats TupleSetCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -21,10 +21,18 @@ namespace kws::cn {
 
 /// The query-independent slice of a keyword's tuple sets: per table, the
 /// matching rows (ascending) with their term frequencies, plus the
-/// keyword's global smoothed IDF. Everything query-dependent — keyword
+/// keyword's document frequency. Everything query-dependent — keyword
 /// masks, per-row scores, the mask partition — is recomputed per query by
 /// `TupleSets` from these frontiers with the original arithmetic, so
 /// cached and uncached queries produce bit-identical responses.
+///
+/// The frontier deliberately stores the raw document frequency, not the
+/// IDF: the smoothed IDF `log(1 + total_rows / (1 + df))` depends on the
+/// database's *total* row count, which every insert changes even for
+/// terms the insert never touches. `TupleSets` derives the IDF at build
+/// time from `df` and the live `Database::TotalRows()`, so a cached
+/// frontier of an untouched term stays exactly valid across writes and
+/// term-targeted invalidation (`TupleSetCache::Invalidate`) is sound.
 struct TermFrontier {
   /// Matching rows (with term frequencies) of one table.
   struct TableFrontier {
@@ -33,8 +41,8 @@ struct TermFrontier {
   };
   /// Indexed by TableId.
   std::vector<TableFrontier> tables;
-  /// log(1 + total_rows / (1 + df)), df summed over all tables.
-  double idf = 0;
+  /// Document frequency: matching documents summed over all tables.
+  size_t df = 0;
   /// Total matching rows across tables (for capacity accounting / stats).
   size_t num_rows = 0;
 };
@@ -49,9 +57,17 @@ std::shared_ptr<const TermFrontier> BuildTermFrontier(
     const Deadline& deadline = {}, trace::Tracer* tracer = nullptr);
 
 /// A term -> TermFrontier LRU cache shared across CNs within a query and
-/// across queries in `kws::serve`. The database is immutable once indexed
-/// (all data flows from the deterministic generators), so entries never
-/// need invalidation; the only eviction is the capacity bound.
+/// across queries in `kws::serve`. The database is append-only but NOT
+/// immutable: `relational::Database::ApplyInserts` grows postings in
+/// place, so a resident frontier of a touched term goes stale the moment
+/// a batch lands. The invalidation protocol (see serve/server.h for the
+/// full sequence) is term-targeted: after each applied batch the owner
+/// calls `Invalidate` with the batch's `WriteReport::touched_terms`,
+/// which drops exactly those entries. Untouched entries remain exactly
+/// valid — an append never changes existing rows or tfs, and IDFs are
+/// derived per query from the live row totals (see TermFrontier::df) —
+/// so nothing else needs to be dropped. Eviction otherwise remains the
+/// capacity bound only.
 ///
 /// Thread-safe: lookups and insertions take a mutex, frontiers are
 /// published as shared_ptr<const> so readers hold them lock-free, and
@@ -69,6 +85,8 @@ class TupleSetCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t insertions = 0;
+    /// Entries dropped by `Invalidate` (write-driven, not capacity).
+    uint64_t invalidations = 0;
   };
 
   /// `capacity` bounds the number of cached terms; 0 disables caching
@@ -90,6 +108,16 @@ class TupleSetCache {
   std::shared_ptr<const TermFrontier> Get(std::string_view term,
                                           const Deadline& deadline = {},
                                           trace::Tracer* tracer = nullptr);
+
+  /// Drops the cached frontiers of exactly `terms` (terms not resident
+  /// are ignored); returns how many entries were dropped. Called by the
+  /// serve layer with a write batch's `touched_terms` after the batch has
+  /// been applied, so the next lookup of an affected term rebuilds its
+  /// frontier from the updated postings. Thread-safe; in-flight readers
+  /// holding a dropped frontier keep their shared_ptr alive, which is
+  /// staleness-safe for them (their query was keyed before the write's
+  /// epoch bump — see the protocol in serve/server.h).
+  size_t Invalidate(const std::vector<std::string>& terms);
 
   /// Number of cached terms.
   size_t size() const;
@@ -121,6 +149,7 @@ class TupleSetCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> invalidations_{0};
   Counter* hit_counter_ = nullptr;
   Counter* miss_counter_ = nullptr;
   Counter* eviction_counter_ = nullptr;

@@ -2,14 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "text/postings.h"
 
 namespace kws::cn {
+
+namespace {
+
+/// The smoothed IDF shared by construction and incremental maintenance;
+/// one expression so both paths produce bit-identical doubles.
+double SmoothedIdf(double total_rows, size_t df) {
+  return std::log(1.0 + total_rows / (1.0 + static_cast<double>(df)));
+}
+
+}  // namespace
 
 TupleSets::TupleSets(const relational::Database& db,
                      std::vector<std::string> keywords, TupleSetCache* cache,
                      const Deadline& deadline, trace::Tracer* tracer,
                      const std::vector<double>* idf_override)
-    : keywords_(std::move(keywords)) {
+    : keywords_(std::move(keywords)),
+      has_idf_override_(idf_override != nullptr) {
   trace::TraceSpan span(tracer, "cn.tuple_sets");
   const size_t num_tables = db.num_tables();
   const size_t nk = keywords_.size();
@@ -18,11 +33,12 @@ TupleSets::TupleSets(const relational::Database& db,
   row_info_.resize(num_tables);
   sets_.resize(num_tables);
 
-  // Per-keyword frontiers — the query-independent (rows, tfs, idf)
+  // Per-keyword frontiers — the query-independent (rows, tfs, df)
   // slices — from the shared cache when one is wired in. A nullptr
   // frontier means the deadline expired mid-build: stop with no sets.
   std::vector<std::shared_ptr<const TermFrontier>> frontiers(nk);
   idf_.assign(nk, 0);
+  const double total_rows = static_cast<double>(db.TotalRows());
   size_t frontier_rows = 0;
   for (size_t k = 0; k < nk; ++k) {
     frontiers[k] = cache != nullptr
@@ -33,8 +49,13 @@ TupleSets::TupleSets(const relational::Database& db,
       span.AddEvent("cn.deadline.hit");
       return;
     }
+    // The IDF is derived here from the frontier's document frequency and
+    // the LIVE total row count, never stored in the frontier: that is
+    // what keeps cached frontiers of untouched terms exactly valid
+    // across inserts (the insert changed total_rows, not their rows).
     idf_[k] = idf_override != nullptr ? (*idf_override)[k]
-                                      : frontiers[k]->idf;
+                                      : SmoothedIdf(total_rows,
+                                                    frontiers[k]->df);
     frontier_rows += frontiers[k]->num_rows;
   }
   span.AddCounter("frontier_rows", frontier_rows);
@@ -56,6 +77,81 @@ TupleSets::TupleSets(const relational::Database& db,
         table_masks_[t] |= (1u << k);
       }
     }
+  }
+  if (!RescoreAndRebuildSets(db, deadline)) {
+    truncated_ = true;
+    span.AddEvent("cn.deadline.hit");
+  }
+}
+
+Status TupleSets::ApplyInserts(
+    const relational::Database& db,
+    const std::vector<relational::TupleId>& inserted,
+    const Deadline& deadline) {
+  KWS_CHECK_MSG(!has_idf_override_,
+                "ApplyInserts is unsupported on idf_override tuple sets "
+                "(the shard coordinator rebuilds per-shard sets instead)");
+  if (truncated_) {
+    return Status::FailedPrecondition(
+        "ApplyInserts on truncated tuple sets; rebuild them first");
+  }
+  const size_t nk = keywords_.size();
+  DeadlineChecker checker(deadline);
+
+  // Refresh every keyword's IDF from the live postings: the insert grew
+  // the corpus, which moves total_rows (and so every IDF), not only the
+  // touched terms'.
+  const double total_rows = static_cast<double>(db.TotalRows());
+  for (size_t k = 0; k < nk; ++k) {
+    size_t df = 0;
+    for (relational::TableId t = 0; t < db.num_tables(); ++t) {
+      df += db.TextIndex(t).GetPostings(keywords_[k]).size();
+    }
+    idf_[k] = SmoothedIdf(total_rows, df);
+  }
+
+  // Masks and term frequencies of the new rows, via stateless
+  // random-access postings probes (existing rows are untouched by an
+  // append, so their tf vectors stay valid).
+  for (const relational::TupleId& tuple : inserted) {
+    if (checker.Expired()) {
+      truncated_ = true;
+      return Status::DeadlineExceeded("deadline expired absorbing inserts");
+    }
+    RowInfo ri;
+    ri.tf.assign(nk, 0);
+    for (size_t k = 0; k < nk; ++k) {
+      const text::PostingList& plist =
+          db.TextIndex(tuple.table).GetPostings(keywords_[k]);
+      const text::PostingSpan span(plist);
+      const size_t pos = text::SeekGE(span, 0, tuple.row);
+      if (pos < span.size && span[pos] == tuple.row) {
+        ri.mask |= (1u << k);
+        ri.tf[k] = plist.tf(pos);
+      }
+    }
+    if (ri.mask == 0) continue;
+    table_masks_[tuple.table] |= ri.mask;
+    row_info_[tuple.table][tuple.row] = std::move(ri);
+  }
+
+  // Every stored score embeds the IDFs, so rescore all matching rows and
+  // rebuild the sorted per-mask sets.
+  if (!RescoreAndRebuildSets(db, deadline)) {
+    truncated_ = true;
+    return Status::DeadlineExceeded("deadline expired rescoring tuple sets");
+  }
+  return Status::OK();
+}
+
+bool TupleSets::RescoreAndRebuildSets(const relational::Database& db,
+                                      const Deadline& deadline) {
+  const size_t nk = keywords_.size();
+  for (relational::TableId t = 0; t < db.num_tables(); ++t) {
+    // Cancellation point per table, matching construction granularity.
+    if (deadline.Expired()) return false;
+    auto& info = row_info_[t];
+    sets_[t].clear();
     // Monotonic per-tuple score: sum over matched keywords of
     // (1 + ln tf) * idf, normalized by sqrt(doc length).
     for (auto& [row, ri] : info) {
@@ -78,6 +174,7 @@ TupleSets::TupleSets(const relational::Database& db,
                 });
     }
   }
+  return true;
 }
 
 const std::vector<ScoredRow>& TupleSets::Get(relational::TableId t,

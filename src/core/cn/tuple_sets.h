@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/status.h"
 #include "core/cn/candidate_network.h"
 #include "core/cn/tuple_set_cache.h"
 #include "relational/database.h"
@@ -51,8 +52,25 @@ class TupleSets {
             trace::Tracer* tracer = nullptr,
             const std::vector<double>* idf_override = nullptr);
 
-  /// True when the deadline expired during construction (tuple sets are
-  /// then absent, not merely empty).
+  /// Incrementally absorbs a batch of live inserts that has already been
+  /// applied to `db` (the same database this object was built from):
+  /// computes the new rows' keyword masks and term frequencies by probing
+  /// the updated postings, refreshes every keyword's IDF from the live
+  /// document frequencies (inserts grow the corpus, which shifts ALL
+  /// IDFs, not just the touched terms'), rescores every matching row and
+  /// rebuilds the sorted tuple sets. The resulting state is bit-identical
+  /// to constructing fresh TupleSets over the post-insert database — the
+  /// oracle `tests/update_test.cc` enforces. Unsupported (checked) on
+  /// objects built with `idf_override` (sharded tuple sets are rebuilt by
+  /// their coordinator instead). A finite `deadline` adds cancellation
+  /// points; on expiry the object becomes `truncated()` (unusable, not
+  /// partially updated) and kDeadlineExceeded is returned.
+  Status ApplyInserts(const relational::Database& db,
+                      const std::vector<relational::TupleId>& inserted,
+                      const Deadline& deadline = {});
+
+  /// True when the deadline expired during construction or ApplyInserts
+  /// (tuple sets are then absent, not merely empty).
   bool truncated() const { return truncated_; }
 
   const std::vector<std::string>& keywords() const { return keywords_; }
@@ -97,6 +115,13 @@ class TupleSets {
   double Idf(size_t k) const { return idf_[k]; }
 
  private:
+  /// Recomputes every matching row's score from the current tf / idf
+  /// state and rebuilds the sorted per-mask tuple sets. Returns false
+  /// when `deadline` expired mid-rebuild (state is then incomplete and
+  /// the caller must mark the object truncated).
+  bool RescoreAndRebuildSets(const relational::Database& db,
+                             const Deadline& deadline);
+
   struct RowInfo {
     KeywordMask mask = 0;
     double score = 0;
@@ -112,6 +137,9 @@ class TupleSets {
   std::vector<double> idf_;
   std::vector<ScoredRow> empty_;
   bool truncated_ = false;
+  /// True when the constructor took an idf_override; ApplyInserts cannot
+  /// refresh overridden IDFs and refuses (checked).
+  bool has_idf_override_ = false;
 };
 
 }  // namespace kws::cn

@@ -1,5 +1,11 @@
 #include "relational/database.h"
 
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
 namespace kws::relational {
 
 Result<TableId> Database::CreateTable(TableSchema schema) {
@@ -85,6 +91,57 @@ void Database::BuildTextIndexes() {
     }
     text_indexes_.push_back(std::move(index));
   }
+}
+
+Result<WriteReport> Database::ApplyInserts(std::vector<RowInsert> batch) {
+  KWS_CHECK_MSG(text_indexes_.size() == tables_.size(),
+                "ApplyInserts requires BuildTextIndexes to have run");
+  // Validate the whole batch up front so a rejected batch leaves the
+  // database (rows, indexes, epoch) completely untouched.
+  std::unordered_map<TableId, std::unordered_set<Value, ValueHash>> batch_pks;
+  for (const RowInsert& ins : batch) {
+    if (ins.table >= tables_.size()) {
+      return Status::InvalidArgument("insert into unknown table id " +
+                                     std::to_string(ins.table));
+    }
+    const Table& t = *tables_[ins.table];
+    if (ins.row.size() != t.num_columns()) {
+      return Status::InvalidArgument("row arity mismatch for table " +
+                                     t.name());
+    }
+    const Value& pk = ins.row[t.schema().primary_key];
+    if (pk.is_null()) {
+      return Status::InvalidArgument("null primary key for table " + t.name());
+    }
+    if (t.FindByKey(pk).ok() || !batch_pks[ins.table].insert(pk).second) {
+      return Status::AlreadyExists("duplicate primary key " + pk.ToString() +
+                                   " for table " + t.name());
+    }
+  }
+
+  WriteReport report;
+  report.inserted.reserve(batch.size());
+  std::set<std::string> touched;
+  for (RowInsert& ins : batch) {
+    const TableId t = ins.table;
+    Result<RowId> rid = tables_[t]->Append(std::move(ins.row));
+    KWS_CHECK_MSG(rid.ok(), rid.status().ToString());  // pre-validated
+    report.inserted.push_back(TupleId{t, rid.value()});
+    const std::string content = tables_[t]->SearchableText(rid.value());
+    // Mirrors BuildTextIndexes: rows without searchable text are not
+    // registered as documents, so the incremental index state stays
+    // bit-identical to a from-scratch rebuild.
+    if (content.empty()) continue;
+    text_indexes_[t]->AddDocument(rid.value(), content);
+    text_indexes_[t]->tokenizer().ForEachToken(
+        content, [&touched](std::string_view token) {
+          touched.emplace(token);
+        });
+  }
+  if (!report.inserted.empty()) ++epoch_;
+  report.epoch = epoch_;
+  report.touched_terms.assign(touched.begin(), touched.end());
+  return report;
 }
 
 std::vector<RowId> Database::MatchRows(TableId table_id,

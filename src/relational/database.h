@@ -24,6 +24,29 @@ struct SchemaEdge {
   bool forward = false;
 };
 
+/// One row to append to `table` as part of a write batch.
+struct RowInsert {
+  TableId table = 0;
+  Row row;
+};
+
+/// What one applied insert batch changed — the currency of the
+/// invalidation protocol: the writer hands this to `kws::serve::
+/// ServingEngine::NotifyWrite` (and to any registered `cn::
+/// ContinualQuery`) so caches and standing results catch up with the
+/// database.
+struct WriteReport {
+  /// The database's data epoch after the batch (see Database::epoch()).
+  uint64_t epoch = 0;
+  /// The new tuples, in application order; row ids are monotone per
+  /// table (appends never renumber existing rows).
+  std::vector<TupleId> inserted;
+  /// Sorted, deduplicated normalized tokens of the inserted rows'
+  /// searchable text: exactly the terms whose postings (and document
+  /// frequencies) the batch changed.
+  std::vector<std::string> touched_terms;
+};
+
 /// The embedded database: catalog of tables, foreign keys, the schema
 /// graph, and per-table full-text indexes over searchable columns.
 ///
@@ -61,9 +84,30 @@ class Database {
   /// Total number of rows across all tables.
   size_t TotalRows() const;
 
-  /// (Re)builds the per-table full-text indexes. Must be called after
-  /// loading data and before keyword queries.
+  /// (Re)builds the per-table full-text indexes from scratch. Must be
+  /// called after bulk loading and before keyword queries; after that,
+  /// `ApplyInserts` maintains the indexes incrementally (this rebuild
+  /// stays the bulk path and the oracle tests' reference).
   void BuildTextIndexes();
+
+  /// Applies a batch of live inserts: appends every row (monotone row
+  /// ids), maintains the primary-key / FK column indexes via
+  /// `Table::Append`, and extends the full-text indexes incrementally —
+  /// row ids arrive in increasing order per table, so postings stay on
+  /// the O(1) strictly-increasing append path. The whole batch is
+  /// validated first (table ids, arity, non-null and unique primary
+  /// keys, including uniqueness within the batch); a rejected batch
+  /// leaves the database and its epoch untouched. A non-empty applied
+  /// batch bumps the data epoch. Requires `BuildTextIndexes` to have
+  /// run. Not thread-safe: the caller must exclude concurrent readers
+  /// while applying (the serve protocol quiesces queries around writes;
+  /// see serve/server.h).
+  Result<WriteReport> ApplyInserts(std::vector<RowInsert> batch);
+
+  /// Monotone data epoch: the number of non-empty insert batches applied
+  /// so far. `kws::serve` tags this into its cache keys so a cached
+  /// answer can never be served across a write.
+  uint64_t epoch() const { return epoch_; }
 
   /// Full-text index of `table_id` (BuildTextIndexes must have run).
   const text::InvertedIndex& TextIndex(TableId table_id) const {
@@ -90,6 +134,7 @@ class Database {
   std::vector<ForeignKey> fks_;
   std::vector<std::vector<SchemaEdge>> schema_adjacency_;
   std::vector<std::unique_ptr<text::InvertedIndex>> text_indexes_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace kws::relational

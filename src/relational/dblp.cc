@@ -245,4 +245,81 @@ DblpDatabase MakeDblpDatabase(const DblpOptions& options) {
   return out;
 }
 
+std::vector<RowInsert> MakeDblpInsertBatch(const DblpDatabase& dblp,
+                                           const DblpInsertOptions& options) {
+  const Database& db = *dblp.db;
+  KWS_CHECK_MSG(!dblp.vocabulary.empty(),
+                "insert batches draw titles from the base vocabulary");
+  Rng rng(options.seed);
+  std::vector<RowInsert> batch;
+
+  const size_t nauth = db.table(dblp.author).num_rows();
+  const size_t npaper = db.table(dblp.paper).num_rows();
+  const size_t nconf = db.table(dblp.conference).num_rows();
+  // The generator's pks equal the row index, so the next free pk of each
+  // table is its current row count (holds inductively across batches).
+  int64_t wid = static_cast<int64_t>(db.table(dblp.writes).num_rows());
+  int64_t clid = static_cast<int64_t>(db.table(dblp.cite).num_rows());
+
+  // New authors first: the papers' writes rows may reference them.
+  const std::vector<std::string> names =
+      MakePersonNames(nauth + options.num_authors);
+  for (size_t i = 0; i < options.num_authors; ++i) {
+    RowInsert ins;
+    ins.table = dblp.author;
+    ins.row = {Value::Int(static_cast<int64_t>(nauth + i)),
+               Value::Text(names[nauth + i])};
+    batch.push_back(std::move(ins));
+  }
+
+  ZipfSampler zipf(dblp.vocabulary.size(), options.zipf_theta);
+  const size_t author_pool = nauth + options.num_authors;
+  for (size_t i = 0; i < options.num_papers; ++i) {
+    const int64_t pid = static_cast<int64_t>(npaper + i);
+    const size_t terms = options.title_terms_min +
+                         rng.Index(options.title_terms_max -
+                                   options.title_terms_min + 1);
+    std::string title;
+    for (size_t t = 0; t < terms; ++t) {
+      if (t > 0) title += ' ';
+      title += dblp.vocabulary[zipf.Sample(rng)];
+    }
+    RowInsert paper;
+    paper.table = dblp.paper;
+    paper.row = {Value::Int(pid), Value::Text(title),
+                 Value::Int(static_cast<int64_t>(rng.Index(nconf)))};
+    batch.push_back(std::move(paper));
+
+    // Distinct authors for the new paper, drawn from the grown pool.
+    const size_t mean = options.authors_per_paper;
+    const size_t count = 1 + rng.Index(2 * mean > 1 ? 2 * mean - 1 : 1);
+    std::vector<int64_t> chosen;
+    for (size_t a = 0; a < count; ++a) {
+      const int64_t aid = static_cast<int64_t>(rng.Index(author_pool));
+      bool dup = false;
+      for (int64_t c : chosen) dup |= (c == aid);
+      if (dup) continue;
+      chosen.push_back(aid);
+      RowInsert w;
+      w.table = dblp.writes;
+      w.row = {Value::Int(wid++), Value::Int(aid), Value::Int(pid)};
+      batch.push_back(std::move(w));
+    }
+
+    // Citations out of the new paper: any already-present or
+    // earlier-in-batch paper. The range [0, npaper + i) excludes pid, so
+    // self-citation cannot occur.
+    if (npaper + i == 0) continue;
+    const size_t cites = rng.Index(2 * options.cites_per_paper + 1);
+    for (size_t c = 0; c < cites; ++c) {
+      RowInsert ci;
+      ci.table = dblp.cite;
+      ci.row = {Value::Int(clid++), Value::Int(pid),
+                Value::Int(static_cast<int64_t>(rng.Index(npaper + i)))};
+      batch.push_back(std::move(ci));
+    }
+  }
+  return batch;
+}
+
 }  // namespace kws::relational

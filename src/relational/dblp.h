@@ -66,6 +66,37 @@ std::vector<std::string> MakeVocabulary(size_t n);
 /// size `n`, all distinct.
 std::vector<std::string> MakePersonNames(size_t n);
 
+/// Parameters of one synthetic insert batch built against an existing
+/// DBLP database (see MakeDblpInsertBatch). Defaults give a small batch
+/// suitable for the update oracle tests; the E24 benchmark scales them.
+struct DblpInsertOptions {
+  uint64_t seed = 43;
+  /// New papers appended (each brings its writes and cite rows).
+  size_t num_papers = 8;
+  /// New authors appended before the papers; authorship of the new
+  /// papers draws from the grown author pool.
+  size_t num_authors = 2;
+  /// Mean number of authors per new paper (>=1; sampled 1..2*mean-1).
+  size_t authors_per_paper = 2;
+  /// Mean citations out of each new paper.
+  size_t cites_per_paper = 1;
+  /// Terms per new title (uniform in [min,max]), drawn Zipf-skewed from
+  /// the database's existing vocabulary.
+  size_t title_terms_min = 3;
+  size_t title_terms_max = 7;
+  double zipf_theta = 1.0;
+};
+
+/// Builds one deterministic, foreign-key-closed insert batch against the
+/// CURRENT state of `dblp` — new authors first, then papers with their
+/// writes and cite rows — ready to feed to `Database::ApplyInserts`.
+/// Primary keys continue the generator's pk == row-index invariant, so
+/// batches (with distinct seeds) can be generated and applied back to
+/// back; citations target any already-present or earlier-in-batch paper,
+/// never the citing paper itself.
+std::vector<RowInsert> MakeDblpInsertBatch(
+    const DblpDatabase& dblp, const DblpInsertOptions& options = {});
+
 }  // namespace kws::relational
 
 #endif  // KWDB_RELATIONAL_DBLP_H_

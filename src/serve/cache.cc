@@ -5,15 +5,20 @@
 
 namespace kws::serve {
 
-ShardedResultCache::ShardedResultCache(size_t capacity, size_t num_shards) {
+ShardedResultCache::ShardedResultCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity) {
   num_shards = std::max<size_t>(1, num_shards);
   // Don't spread a tiny capacity over more shards than it has slots.
   if (capacity > 0) num_shards = std::min(num_shards, capacity);
-  per_shard_capacity_ = capacity == 0 ? 0 : (capacity + num_shards - 1) /
-                                                num_shards;
+  // Exact split: the per-shard capacities must sum to `capacity`, never
+  // round up (ceil division let capacity 9 over 8 shards admit 16
+  // resident entries — nearly double the configured budget).
+  const size_t base = capacity / num_shards;
+  const size_t extra = capacity % num_shards;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (i < extra ? 1 : 0);
   }
 }
 
@@ -51,7 +56,7 @@ void ShardedResultCache::Put(const std::string& key, CachedResult value) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (shard.lru.size() >= per_shard_capacity_) {
+  if (shard.lru.size() >= shard.capacity) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);

@@ -44,10 +44,19 @@ struct CacheStats {
 ///
 /// Sharding: each key hashes to one shard; shards have independent locks
 /// and independent LRU lists, so concurrent lookups of different keys
-/// mostly do not contend. Capacity is split evenly across shards (each
-/// shard gets at least one slot), which bounds total entries by roughly
-/// `capacity` with per-shard rather than global LRU order — the standard
-/// serving-cache trade of exactness for lock locality.
+/// mostly do not contend. Capacity is split exactly across shards —
+/// floor(capacity / shards) slots each, the remainder distributed one
+/// slot apiece to the first shards, and never more shards than slots —
+/// so the per-shard capacities sum to exactly `capacity` and resident
+/// entries can never exceed the configured budget. LRU order is
+/// per-shard rather than global — the standard serving-cache trade of
+/// exactness for lock locality.
+///
+/// Invalidation: entries are only dropped by capacity eviction or
+/// `Clear`. Staleness under writes is handled ABOVE this cache: the
+/// serving engine tags the data epoch into every relational cache key
+/// (see `ServingEngine::CacheKey`), so entries keyed before a write
+/// become unreachable the moment the epoch bumps and age out via LRU.
 ///
 /// A total capacity of 0 disables the cache: `Get` always misses and
 /// `Put` is a no-op (misses are still counted so hit-rate math stays
@@ -77,11 +86,16 @@ class ShardedResultCache {
   /// Aggregated accounting snapshot.
   CacheStats stats() const;
 
-  bool enabled() const { return per_shard_capacity_ > 0; }
+  bool enabled() const { return capacity_ > 0; }
+
+  /// The configured total entry budget.
+  size_t capacity() const { return capacity_; }
 
  private:
   struct Shard {
     std::mutex mu;  // kwslint: allow(mutex-style) -- struct member
+    /// This shard's slice of the total budget (slices sum to capacity_).
+    size_t capacity = 0;
     /// Front = most recent. Each entry is (key, value).
     std::list<std::pair<std::string, CachedResult>> lru;
     std::unordered_map<
@@ -92,7 +106,7 @@ class ShardedResultCache {
 
   Shard& ShardFor(const std::string& key);
 
-  size_t per_shard_capacity_ = 0;
+  size_t capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

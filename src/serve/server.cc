@@ -37,6 +37,9 @@ ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
       cache_hits_(metrics_.GetCounter("serve.cache.hits")),
       cache_misses_(metrics_.GetCounter("serve.cache.misses")),
       trace_sampled_(metrics_.GetCounter("serve.trace.sampled")),
+      writes_notified_(metrics_.GetCounter("serve.writes.notified")),
+      tuple_entries_invalidated_(
+          metrics_.GetCounter("serve.tuple_cache.invalidated")),
       latency_(metrics_.GetHistogram("serve.latency_micros")),
       queue_wait_(metrics_.GetHistogram("serve.queue_wait_micros")) {
   KWS_CHECK_MSG(options_.num_shards == 0 ||
@@ -137,23 +140,83 @@ void ServingEngine::WorkerLoop() {
 std::string ServingEngine::CacheKey(const QueryRequest& request) const {
   std::vector<std::string> tokens;
   std::string key;
+  if (request.pipeline == Pipeline::kRelational) {
+    // Relational answers depend on the mutable database: the epoch tag
+    // makes every pre-write entry unreachable after a NotifyWrite. XML
+    // keys stay untagged — relational writes cannot change XML answers.
+    key = "e" + std::to_string(data_epoch()) + "|";
+  }
   if (request.pipeline == Pipeline::kRelational && UseShardedBackend()) {
     // Sharded normalization skips the cleaner, so the key space is
     // tagged apart from the unsharded relational one.
     tokens = sharded_->Normalize(request.query);
-    key = "shard|";
+    key += "shard|";
   } else if (request.pipeline == Pipeline::kRelational &&
              relational_ != nullptr) {
     tokens = relational_->Normalize(request.query);
-    key = "rel|";
+    key += "rel|";
   } else {
+    // The raw tokenizer normalizes differently from the engine's cleaner
+    // (no spell correction / stopword policy), so the relational
+    // fallback gets its own tag — sharing `rel|` would let the two key
+    // spaces collide on the same query text.
     tokens = text::Tokenizer().Tokenize(request.query);
-    key = request.pipeline == Pipeline::kRelational ? "rel|" : "xml|";
+    key += request.pipeline == Pipeline::kRelational ? "relraw|" : "xml|";
   }
   key += Join(tokens, " ");
   key += "|k=";
   key += std::to_string(request.k);
   return key;
+}
+
+void ServingEngine::NotifyWrite(const relational::WriteReport& report) {
+  writes_notified_->Add();
+  // Order matters: drop stale frontiers and refresh standing queries
+  // BEFORE publishing the epoch, so a query keyed under the new epoch
+  // can never read — or cache — pre-write state.
+  if (tuple_cache_ != nullptr) {
+    tuple_entries_invalidated_->Add(
+        tuple_cache_->Invalidate(report.touched_terms));
+  }
+  {
+    std::lock_guard<std::mutex> lock(standing_mu_);
+    for (std::unique_ptr<cn::ContinualQuery>& q : standing_) {
+      if (q->stale()) continue;  // untrusted until its owner rebuilds
+      const Status s = q->OnInsertBatch(report.inserted);
+      (void)s;  // infinite deadline: propagation cannot be cut short
+    }
+  }
+  data_epoch_.store(report.epoch, std::memory_order_release);
+}
+
+Result<uint64_t> ServingEngine::RegisterQuery(const std::string& query,
+                                              size_t k) {
+  if (relational_ == nullptr) {
+    return Status::FailedPrecondition("no relational engine configured");
+  }
+  cn::ContinualOptions co;
+  co.k = k;
+  co.num_threads = options_.search_threads;
+  auto standing = std::make_unique<cn::ContinualQuery>(
+      relational_->db(), relational_->Normalize(query), co);
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  standing_.push_back(std::move(standing));
+  return static_cast<uint64_t>(standing_.size() - 1);
+}
+
+Result<std::vector<cn::SearchResult>> ServingEngine::StandingResults(
+    uint64_t id) const {
+  std::lock_guard<std::mutex> lock(standing_mu_);
+  if (id >= standing_.size()) {
+    return Status::NotFound("unknown standing query id " +
+                            std::to_string(id));
+  }
+  const cn::ContinualQuery& q = *standing_[id];
+  if (q.stale()) {
+    return Status::FailedPrecondition(
+        "standing query is stale (a propagation was cut short)");
+  }
+  return q.TopK();
 }
 
 QueryOutcome ServingEngine::Execute(const QueryRequest& request) {

@@ -17,8 +17,10 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "core/cn/continual.h"
 #include "core/engine/engine.h"
 #include "core/engine/xml_engine.h"
+#include "relational/database.h"
 #include "serve/cache.h"
 #include "shard/sharded_engine.h"
 
@@ -133,11 +135,30 @@ struct SlowQueryEntry {
 /// normalized (tokenized + cleaned) query, per-query deadlines, and a
 /// metrics registry (counters + latency histograms).
 ///
-/// Both engines run read-only searches over immutable indexes (`Search`
-/// is const and keeps no per-query state), which is what makes one engine
-/// instance safely shareable across all workers. Either engine pointer
-/// may be null; requests routed at a missing pipeline fail with
-/// kFailedPrecondition.
+/// Both engines run read-only searches (`Search` is const and keeps no
+/// per-query state), which is what makes one engine instance safely
+/// shareable across all workers. Either engine pointer may be null;
+/// requests routed at a missing pipeline fail with kFailedPrecondition.
+///
+/// Writes: the backing relational database is NOT immutable — it accepts
+/// live insert batches via `relational::Database::ApplyInserts`. The
+/// write protocol the server relies on:
+///
+///   1. The writer quiesces searches (no Search may run concurrently with
+///      ApplyInserts; the engines do not lock the database).
+///   2. The writer applies the batch and obtains a `WriteReport`.
+///   3. The writer calls `NotifyWrite(report)` BEFORE admitting new
+///      queries. NotifyWrite (a) drops exactly the touched terms from the
+///      shared tuple-set frontier cache, (b) propagates the batch into
+///      every registered standing query, then (c) publishes the new data
+///      epoch — in that order, so a query admitted after the epoch bump
+///      can never cache a stale frontier under the new epoch.
+///
+/// Result-cache invalidation is by unreachability: every relational cache
+/// key carries the data epoch (`CacheKey`), so pre-write entries are
+/// never hit again after the bump and age out via LRU. XML keys are not
+/// epoch-tagged — relational writes cannot affect XML answers, and those
+/// hits deliberately survive the bump.
 ///
 /// Lifecycle: workers start in the constructor; the destructor (or an
 /// explicit `Shutdown`) stops admissions, drains every queued task, and
@@ -180,8 +201,39 @@ class ServingEngine {
 
   /// The cache key for `request`: pipeline tag, normalized query
   /// (tokenized, and cleaned when the relational engine is targeted),
-  /// and k. Exposed for tests.
+  /// and k. Relational keys additionally carry the current data epoch
+  /// (`e<epoch>|...`) so a write makes every pre-write relational entry
+  /// unreachable; the raw-tokenizer fallback used when no relational
+  /// engine is configured is tagged `relraw|`, a key space distinct from
+  /// the engine-cleaned `rel|` one (the same query text can normalize
+  /// differently under the two, so they must never collide). Exposed for
+  /// tests.
   std::string CacheKey(const QueryRequest& request) const;
+
+  /// Ingests one applied write batch (see the class doc for the full
+  /// protocol): drops the touched terms from the tuple-set frontier
+  /// cache, propagates the batch into every registered standing query,
+  /// then publishes `report.epoch` as the serving data epoch. Must not
+  /// run concurrently with another NotifyWrite.
+  void NotifyWrite(const relational::WriteReport& report);
+
+  /// The data epoch last published by `NotifyWrite` (0 before any write).
+  uint64_t data_epoch() const {
+    return data_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Registers `query` as a standing continual top-k query against the
+  /// relational database: it is answered once now and kept current by
+  /// every later `NotifyWrite`. Returns the query's id for
+  /// `StandingResults`. Fails with kFailedPrecondition when no relational
+  /// engine is configured.
+  Result<uint64_t> RegisterQuery(const std::string& query, size_t k = 10);
+
+  /// The registered query's current top-k — identical to re-running it
+  /// from scratch over the post-write database. kNotFound for an unknown
+  /// id; kFailedPrecondition when a deadline cut a propagation short and
+  /// the standing state is untrusted.
+  Result<std::vector<cn::SearchResult>> StandingResults(uint64_t id) const;
 
   MetricsRegistry& metrics() { return metrics_; }
   CacheStats cache_stats() const { return cache_.stats(); }
@@ -238,8 +290,11 @@ class ServingEngine {
   const shard::ShardedEngine* sharded_;
   const ServeOptions options_;
 
-  /// Term -> tuple-set frontier cache shared by all workers. The backing
-  /// database is immutable, so entries need no invalidation.
+  /// Term -> tuple-set frontier cache shared by all workers. Under
+  /// writes, `NotifyWrite` drops exactly the entries whose term appears
+  /// in a new tuple; untouched-term frontiers stay exactly valid because
+  /// they store raw document frequencies (IDF is derived from the live
+  /// corpus size at tuple-set build time, not baked into the entry).
   std::unique_ptr<cn::TupleSetCache> tuple_cache_;
   ShardedResultCache cache_;
   MetricsRegistry metrics_;
@@ -253,8 +308,18 @@ class ServingEngine {
   Counter* cache_hits_;
   Counter* cache_misses_;
   Counter* trace_sampled_;
+  Counter* writes_notified_;
+  Counter* tuple_entries_invalidated_;
   LatencyHistogram* latency_;
   LatencyHistogram* queue_wait_;
+
+  /// The data epoch last ingested by NotifyWrite; tagged into every
+  /// relational cache key.
+  std::atomic<uint64_t> data_epoch_{0};
+
+  /// Guards the standing-query registry (never held with mu_).
+  mutable std::mutex standing_mu_;
+  std::vector<std::unique_ptr<cn::ContinualQuery>> standing_;
 
   /// Execution-order sequence driving the deterministic trace sampler
   /// and stamped into slow-query entries.

@@ -804,7 +804,8 @@ TEST_F(ShardedServeTest, ShardedAnswersAreCachedUnderADistinctKeySpace) {
   QueryRequest req;
   req.query = "keyword search";
   const std::string key = server.CacheKey(req);
-  EXPECT_EQ(key.rfind("shard|", 0), 0u) << key;
+  // Epoch tag first (no writes yet -> epoch 0), then the sharded tag.
+  EXPECT_EQ(key.rfind("e0|shard|", 0), 0u) << key;
   EXPECT_FALSE(server.Query(req).cache_hit);
   EXPECT_TRUE(server.Query(req).cache_hit);
 }
@@ -832,7 +833,7 @@ TEST_F(ShardedServeTest, ZeroNumShardsIgnoresTheAttachedEngine) {
   ServingEngine server(&unsharded, nullptr, sharded_, so);
   QueryRequest req;
   req.query = "keyword search";
-  EXPECT_EQ(server.CacheKey(req).rfind("rel|", 0), 0u);
+  EXPECT_EQ(server.CacheKey(req).rfind("e0|rel|", 0), 0u);
   const QueryOutcome out = server.Query(req);
   ASSERT_TRUE(out.status.ok());
   // Served by the unsharded engine: its cleaned query, its results.
