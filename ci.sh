@@ -1,28 +1,52 @@
 #!/usr/bin/env bash
 # The full gate: kwslint, tier-1 build + tests, ASan/UBSan over the full
 # suite, ThreadSanitizer over the concurrent serving suites, then the
-# smoke benches. Run from anywhere; paths are repo-relative.
+# smoke benches. Run from anywhere; paths are repo-relative. Each tier's
+# wall-clock is recorded and a timing summary prints at the end.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc)"
 
-echo "== tier 0: kwslint (invariant checker) =="
+tier_names=()
+tier_secs=()
+tier_start=${SECONDS}
+tier_begin() {
+  tier_start=${SECONDS}
+  echo "== $1 =="
+}
+tier_end() {
+  tier_names+=("$1")
+  tier_secs+=("$((SECONDS - tier_start))")
+}
+
+tier_begin "tier 0: kwslint (invariant checker, JSON export)"
 cmake --preset default
 cmake --build build -j "${jobs}" --target kwslint
-./build/tools/kwslint .
+mkdir -p bench-out
+# Fails (exit 1) on any non-baselined finding; the JSON snapshot rides
+# along in bench-out/ with the experiment exports. On failure re-run in
+# text mode so the log shows readable file:line diagnostics.
+if ! ./build/tools/kwslint . --format=json > bench-out/kwslint.json; then
+  echo "kwslint found non-baselined findings:"
+  ./build/tools/kwslint . || true
+  exit 1
+fi
+tier_end "tier 0 kwslint"
 
-echo "== tier 1: build + ctest (Release) =="
+tier_begin "tier 1: build + ctest (Release)"
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure
+tier_end "tier 1 build+ctest"
 
-echo "== tier 2: ASan+UBSan (full ctest, Debug, contracts live) =="
+tier_begin "tier 2: ASan+UBSan (full ctest, Debug, contracts live)"
 cmake --preset asan
 cmake --build build-asan -j "${jobs}"
 ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
   ctest --test-dir build-asan --output-on-failure
+tier_end "tier 2 asan/ubsan"
 
-echo "== tier 3: ThreadSanitizer (serve, common, cn_parallel, trace, shard, update) =="
+tier_begin "tier 3: ThreadSanitizer (serve, common, cn_parallel, trace, shard, update)"
 cmake --preset tsan
 cmake --build build-tsan -j "${jobs}" --target serve_test common_test \
   cn_parallel_test trace_test shard_test update_test
@@ -32,9 +56,9 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cn_parallel_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/trace_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/update_test
+tier_end "tier 3 tsan"
 
-echo "== tier 4: smoke benches + JSON export (E20..E24; < 25 s) =="
-mkdir -p bench-out
+tier_begin "tier 4: smoke benches + JSON export (E20..E24; < 25 s)"
 ./build/bench/bench_postings --smoke --json=bench-out/E20.json
 ./build/bench/bench_cn_parallel --smoke --json=bench-out/E21.json
 ./build/bench/bench_trace --smoke --json=bench-out/E22.json
@@ -44,5 +68,10 @@ for f in bench-out/E20.json bench-out/E21.json bench-out/E22.json \
          bench-out/E23.json bench-out/E24.json; do
   [ -s "$f" ] || { echo "missing bench JSON: $f"; exit 1; }
 done
+tier_end "tier 4 benches"
 
+echo "== timings =="
+for i in "${!tier_names[@]}"; do
+  printf '%-22s %4ss\n' "${tier_names[$i]}" "${tier_secs[$i]}"
+done
 echo "CI OK"

@@ -35,7 +35,10 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// The OK status carries no message and no allocation. Error statuses carry
 /// a code and a free-form message describing the failure.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures; discard
+/// explicitly with `(void)` when a call is genuinely best-effort.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -96,9 +99,9 @@ class Status {
 /// Accessing the value of an errored Result is a programming error. It is
 /// checked with an always-on KWS_CHECK that prints the carried Status, so
 /// Release and sanitizer builds fail loudly instead of reading an empty
-/// optional's storage.
+/// optional's storage. [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -115,7 +115,7 @@ Status ContinualQuery::OnInsertBatch(
   // more new tuples is visible to each member's probe (deduped below).
   std::vector<relational::TupleId> fresh;
   fresh.reserve(inserted.size());
-  for (const relational::TupleId& tuple : inserted) {
+  for (const relational::TupleId& tuple : inserted) {  // bounded by batch size -- kwslint: allow(deadline-loop)
     if (eval_->MarkArrived(tuple)) fresh.push_back(tuple);
   }
   if (ts.table_masks() != old_masks) {
@@ -155,7 +155,7 @@ Status ContinualQuery::OnInsertBatch(
         if (!ps.ok()) expired.store(true, std::memory_order_relaxed);
       }
     });
-    for (size_t w = 0; w < pool.size(); ++w) {
+    for (size_t w = 0; w < pool.size(); ++w) {  // bounded by thread count -- kwslint: allow(deadline-loop)
       for (SearchResult& r : per_worker[w]) found.push_back(std::move(r));
       probe_stats.probes += per_stats[w].probes;
       probe_stats.join_lookups += per_stats[w].join_lookups;
@@ -179,7 +179,7 @@ Status ContinualQuery::OnInsertBatch(
   // are bitwise-equal results, so which copy survives cannot matter.
   std::set<std::pair<size_t, std::vector<relational::TupleId>>> seen;
   std::vector<SearchResult> unique_trees;
-  for (SearchResult& r : found) {
+  for (SearchResult& r : found) {  // dedup of already-produced probes -- kwslint: allow(deadline-loop)
     if (seen.emplace(r.cn_index, r.tuples).second) {
       unique_trees.push_back(std::move(r));
     }
@@ -189,7 +189,7 @@ Status ContinualQuery::OnInsertBatch(
   // trees; the probed trees were scored against the post-insert tuple
   // sets already.
   RescoreAll();
-  for (SearchResult& r : unique_trees) results_.push_back(std::move(r));
+  for (SearchResult& r : unique_trees) results_.push_back(std::move(r));  // bounded by batch output -- kwslint: allow(deadline-loop)
   std::sort(results_.begin(), results_.end(), SearchResultOrder{});
   if (stats != nullptr) {
     stats->trees_added += results_.size() - old_count;

@@ -86,6 +86,7 @@ std::vector<JoinedTree> ExecuteCn(
     }
   } else if (!root_node.free()) {
     for (const ScoredRow& sr : ts.Get(root_node.table, root_node.mask)) {
+      if (checker.Expired()) break;  // root set is O(matched rows)
       if (admitted(root_node.table, sr.row)) root_rows.push_back(sr.row);
     }
   } else {
@@ -93,6 +94,7 @@ std::vector<JoinedTree> ExecuteCn(
     // enumerator never emits; scan as a fallback.
     for (relational::RowId r = 0; r < db.table(root_node.table).num_rows();
          ++r) {
+      if (checker.Expired()) break;  // full-table scan
       if (ts.Matches(root_node.table, r, 0) &&
           admitted(root_node.table, r)) {
         root_rows.push_back(r);
@@ -110,7 +112,7 @@ std::vector<JoinedTree> ExecuteCn(
       JoinedTree jt;
       jt.rows = assignment;
       double sum = 0;
-      for (uint32_t i = 0; i < cn.nodes.size(); ++i) {
+      for (uint32_t i = 0; i < cn.nodes.size(); ++i) {  // bounded by CN size -- kwslint: allow(deadline-loop)
         if (!cn.nodes[i].free()) {
           sum += ts.RowScore(cn.nodes[i].table, assignment[i]);
         }
@@ -130,6 +132,7 @@ std::vector<JoinedTree> ExecuteCn(
     if (stats != nullptr) ++stats->join_lookups;
     for (const relational::TupleId& cand :
          db.JoinedRows(edge.fk, parent_tuple, from_referencing)) {
+      if (checker.Expired()) return;  // fan-out can be O(rows) per edge
       if (!ts.Matches(node.table, cand.row, node.mask)) continue;
       if (!admitted(node.table, cand.row)) continue;
       if (vs.node < fixed.size() && fixed[vs.node].has_value() &&

@@ -253,7 +253,7 @@ std::vector<JoinedTree> VerifyCombination(const relational::Database& db,
                                           const Deadline& deadline,
                                           ExecStats* es) {
   std::vector<std::optional<relational::RowId>> fixed(cn.nodes.size());
-  for (size_t d = 0; d < st.kw_nodes.size(); ++d) {
+  for (size_t d = 0; d < st.kw_nodes.size(); ++d) {  // bounded by keyword count; ExecuteCn below polls -- kwslint: allow(deadline-loop)
     fixed[st.kw_nodes[d]] = (*st.lists[d])[item.idx[d]].row;
   }
   return ExecuteCn(db, cn, ts, fixed, SIZE_MAX, es, nullptr, &deadline);

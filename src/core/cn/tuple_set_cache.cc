@@ -73,7 +73,7 @@ std::shared_ptr<const TermFrontier> TupleSetCache::Get(
   lru_.push_front(Entry{std::string(term), frontier});
   index_.emplace(lru_.front().term, lru_.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
-  while (index_.size() > capacity_) {
+  while (index_.size() > capacity_) {  // LRU eviction, bounded by one overflow entry -- kwslint: allow(deadline-loop)
     index_.erase(lru_.back().term);
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);

@@ -102,7 +102,7 @@ Status TupleSets::ApplyInserts(
   // the corpus, which moves total_rows (and so every IDF), not only the
   // touched terms'.
   const double total_rows = static_cast<double>(db.TotalRows());
-  for (size_t k = 0; k < nk; ++k) {
+  for (size_t k = 0; k < nk; ++k) {  // keywords x tables, must finish for IDF consistency -- kwslint: allow(deadline-loop)
     size_t df = 0;
     for (relational::TableId t = 0; t < db.num_tables(); ++t) {
       df += db.TextIndex(t).GetPostings(keywords_[k]).size();

@@ -238,8 +238,13 @@ std::vector<FormIndex::RankedForm> FormIndex::Search(const std::string& query,
       s = std::max(s, d.score);
     }
   }
+  // TopK breaks score ties by insertion order, so offer from a sorted
+  // snapshot: iterating the unordered map directly would make the
+  // retained set hash-order-dependent at tied scores.
+  std::vector<std::pair<size_t, double>> by_form(best.begin(), best.end());
+  std::sort(by_form.begin(), by_form.end());
   TopK<size_t> top(k);
-  for (const auto& [form, score] : best) top.Offer(score, form);
+  for (const auto& [form, score] : by_form) top.Offer(score, form);
   std::vector<RankedForm> out;
   for (auto& [score, form] : top.TakeSorted()) {
     out.push_back(RankedForm{form, score});

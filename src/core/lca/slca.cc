@@ -339,7 +339,7 @@ std::vector<XmlNodeId> ElcaIndexed(
                    candidates.end());
 
   auto is_ca = [&](XmlNodeId v) {
-    for (size_t i = 0; i < k; ++i) {
+    for (size_t i = 0; i < k; ++i) {  // bounded by keyword count; caller loop polls -- kwslint: allow(deadline-loop)
       if (RangeCount(tree, lists[i], v, st) == 0) return false;
     }
     return true;

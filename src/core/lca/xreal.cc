@@ -36,7 +36,7 @@ std::vector<ReturnType> InferReturnTypes(
     ++instances[tree.LabelPath(n)];
   }
   std::vector<ReturnType> out;
-  for (const auto& [path, row] : f) {
+  for (const auto& [path, row] : f) {  // out gets a strict total sort (score, path) below -- kwslint: allow(unordered-iteration)
     if (instances[path] < min_instances) continue;
     double score = 0;
     bool all = true;
@@ -80,7 +80,7 @@ ReturnTypeSketch::ReturnTypeSketch(const xml::XmlTree& tree) {
 std::vector<ReturnType> ReturnTypeSketch::Infer(
     const std::vector<std::string>& keywords, size_t min_instances) const {
   std::vector<ReturnType> out;
-  for (const auto& [path, terms] : f_) {
+  for (const auto& [path, terms] : f_) {  // out gets a strict total sort (score, path) below -- kwslint: allow(unordered-iteration)
     auto iit = instances_.find(path);
     if (iit == instances_.end() || iit->second < min_instances) continue;
     double score = 0;
@@ -106,7 +106,7 @@ std::vector<ReturnType> ReturnTypeSketch::Infer(
 
 size_t ReturnTypeSketch::entries() const {
   size_t total = 0;
-  for (const auto& [path, terms] : f_) total += terms.size();
+  for (const auto& [path, terms] : f_) total += terms.size();  // order-independent sum -- kwslint: allow(unordered-iteration)
   return total;
 }
 

@@ -59,21 +59,22 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   /// Registers a new table; name must be unique. Returns its TableId.
-  Result<TableId> CreateTable(TableSchema schema);
+  [[nodiscard]] Result<TableId> CreateTable(TableSchema schema);
 
   /// Declares a foreign key; both sides must name existing columns, and
   /// the referenced column must be its table's primary key. Builds the
   /// join index on the referencing column.
-  Status AddForeignKey(const std::string& table, const std::string& column,
-                       const std::string& ref_table,
-                       const std::string& ref_column);
+  [[nodiscard]] Status AddForeignKey(const std::string& table,
+                                     const std::string& column,
+                                     const std::string& ref_table,
+                                     const std::string& ref_column);
 
   size_t num_tables() const { return tables_.size(); }
   Table& table(TableId id) { return *tables_[id]; }
   const Table& table(TableId id) const { return *tables_[id]; }
 
   /// Table by name.
-  Result<TableId> FindTable(const std::string& name) const;
+  [[nodiscard]] Result<TableId> FindTable(const std::string& name) const;
 
   const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
 
@@ -102,7 +103,7 @@ class Database {
   /// run. Not thread-safe: the caller must exclude concurrent readers
   /// while applying (the serve protocol quiesces queries around writes;
   /// see serve/server.h).
-  Result<WriteReport> ApplyInserts(std::vector<RowInsert> batch);
+  [[nodiscard]] Result<WriteReport> ApplyInserts(std::vector<RowInsert> batch);
 
   /// Monotone data epoch: the number of non-empty insert batches applied
   /// so far. `kws::serve` tags this into its cache keys so a cached

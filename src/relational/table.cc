@@ -18,7 +18,7 @@ Result<RowId> Table::Append(Row row) {
   }
   const RowId id = static_cast<RowId>(rows_.size());
   // Maintain any secondary indexes built before this append.
-  for (auto& [col, index] : column_indexes_) {
+  for (auto& [col, index] : column_indexes_) {  // independent per-column updates -- kwslint: allow(unordered-iteration)
     index[row[col]].push_back(id);
   }
   rows_.push_back(std::move(row));

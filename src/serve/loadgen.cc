@@ -85,12 +85,12 @@ LoadReport RunClosedLoop(ServingEngine& server,
 
   // Load-generator clients deliberately model independent outside
   // callers, each on its own SplitSeed stream; they are not pool work.
-  std::vector<std::thread> clients;  // kwslint: allow(raw-thread)
+  std::vector<std::thread> clients;  // independent outside callers, not pool work -- kwslint: allow(raw-thread)
   clients.reserve(options.num_clients);
   for (size_t c = 0; c < options.num_clients; ++c) {
     clients.emplace_back(client, c);
   }
-  for (std::thread& t : clients) t.join();  // kwslint: allow(raw-thread)
+  for (std::thread& t : clients) t.join();  // joins the client threads above -- kwslint: allow(raw-thread)
 
   report.wall_millis = wall.ElapsedMillis();
   report.qps = report.wall_millis == 0

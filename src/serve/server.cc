@@ -104,7 +104,7 @@ void ServingEngine::Shutdown() {
     stopping_ = true;
   }
   cv_.notify_all();
-  for (std::thread& w : workers_) w.join();  // kwslint: allow(raw-thread)
+  for (std::thread& w : workers_) w.join();  // long-lived server workers, not pool work -- kwslint: allow(raw-thread)
   workers_.clear();
   // With zero workers (admission-control tests) tasks may still be
   // queued; fail them rather than abandoning their futures.
@@ -301,7 +301,7 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request,
     response->status = sr.status;
     response->cleaned_query = sr.keywords;
     response->results.reserve(sr.results.size());
-    for (size_t i = 0; i < sr.results.size(); ++i) {
+    for (size_t i = 0; i < sr.results.size(); ++i) {  // repackages an already-computed result -- kwslint: allow(deadline-loop)
       engine::EngineResult rr;
       rr.score = sr.results[i].score;
       rr.tuples = std::move(sr.results[i].tuples);

@@ -188,7 +188,8 @@ class ServingEngine {
   /// future the worker pool will fulfil. Rejections are synchronous:
   /// kResourceExhausted when the queue is full, kFailedPrecondition after
   /// shutdown.
-  Status Submit(QueryRequest request, std::future<QueryOutcome>* outcome);
+  [[nodiscard]] Status Submit(QueryRequest request,
+                              std::future<QueryOutcome>* outcome);
 
   /// Synchronous convenience path: executes on the calling thread with
   /// the same cache, metrics and deadline handling, bypassing the queue
@@ -227,13 +228,15 @@ class ServingEngine {
   /// every later `NotifyWrite`. Returns the query's id for
   /// `StandingResults`. Fails with kFailedPrecondition when no relational
   /// engine is configured.
-  Result<uint64_t> RegisterQuery(const std::string& query, size_t k = 10);
+  [[nodiscard]] Result<uint64_t> RegisterQuery(const std::string& query,
+                                               size_t k = 10);
 
   /// The registered query's current top-k — identical to re-running it
   /// from scratch over the post-write database. kNotFound for an unknown
   /// id; kFailedPrecondition when a deadline cut a propagation short and
   /// the standing state is untrusted.
-  Result<std::vector<cn::SearchResult>> StandingResults(uint64_t id) const;
+  [[nodiscard]] Result<std::vector<cn::SearchResult>> StandingResults(
+      uint64_t id) const;
 
   MetricsRegistry& metrics() { return metrics_; }
   CacheStats cache_stats() const { return cache_.stats(); }
@@ -335,7 +338,7 @@ class ServingEngine {
   bool stopping_ = false;
   // The server IS a worker pool: it owns long-lived threads draining a
   // cv-guarded queue, which ThreadPool's fork-join RunOnAll cannot model.
-  std::vector<std::thread> workers_;  // kwslint: allow(raw-thread)
+  std::vector<std::thread> workers_;  // cv-draining pool ThreadPool cannot model -- kwslint: allow(raw-thread)
 };
 
 }  // namespace kws::serve

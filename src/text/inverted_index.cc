@@ -90,7 +90,12 @@ std::vector<ScoredDoc> InvertedIndex::Search(std::string_view query,
   }
   TopK<DocId> top(k == 0 ? 1 : k);
   if (k == 0) return {};
-  for (const auto& [doc, raw] : acc) {
+  // TopK breaks score ties by insertion order, so offer in doc-id order:
+  // iterating the unordered accumulator directly would make tied-score
+  // results hash-order-dependent.
+  std::vector<std::pair<DocId, double>> by_doc(acc.begin(), acc.end());
+  std::sort(by_doc.begin(), by_doc.end());
+  for (const auto& [doc, raw] : by_doc) {
     const double len = std::max<uint32_t>(DocLength(doc), 1);
     top.Offer(raw / std::sqrt(len), doc);
   }
@@ -123,7 +128,7 @@ std::vector<ScoredDoc> InvertedIndex::SearchConjunctive(std::string_view query,
 std::vector<std::string> InvertedIndex::Vocabulary() const {
   std::vector<std::string> out;
   out.reserve(postings_.size());
-  for (const auto& [term, plist] : postings_) out.push_back(term);
+  for (const auto& [term, plist] : postings_) out.push_back(term);  // sorted right below -- kwslint: allow(unordered-iteration)
   std::sort(out.begin(), out.end());
   return out;
 }

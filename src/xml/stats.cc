@@ -13,7 +13,7 @@ PathStatistics ComputePathStatistics(const XmlTree& tree) {
     // Repeatability: count same-tag children under this parent.
     std::unordered_map<std::string, size_t> tag_counts;
     for (XmlNodeId c : tree.children(n)) ++tag_counts[tree.tag(c)];
-    for (const auto& [tag, count] : tag_counts) {
+    for (const auto& [tag, count] : tag_counts) {  // independent per-tag OR-updates -- kwslint: allow(unordered-iteration)
       const std::string child_path = path + "/" + tag;
       bool& repeatable = stats.path_repeatable[child_path];
       repeatable = repeatable || (count > 1);

@@ -124,7 +124,7 @@ const std::vector<XmlNodeId>& XmlTree::TagNodes(std::string_view tag) const {
 std::vector<std::string> XmlTree::Vocabulary() const {
   std::vector<std::string> out;
   out.reserve(keyword_index_.size());
-  for (const auto& [term, nodes] : keyword_index_) out.push_back(term);
+  for (const auto& [term, nodes] : keyword_index_) out.push_back(term);  // sorted right below -- kwslint: allow(unordered-iteration)
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -254,7 +254,7 @@ TEST(MetricsThreadingTest, ConcurrentRecordingLosesNothing) {
   LatencyHistogram* h = registry.GetHistogram("lat");
   constexpr int kThreads = 4;
   constexpr int kPerThread = 5000;
-  std::vector<std::thread> threads;  // kwslint: allow(raw-thread)
+  std::vector<std::thread> threads;  // stresses raw contention on purpose -- kwslint: allow(raw-thread)
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kPerThread; ++i) {

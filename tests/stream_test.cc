@@ -109,7 +109,7 @@ TEST(StreamTest, ResultsRequireLastTuple) {
   StreamEvaluator eval(*setup.dblp.db, setup.cns, *setup.ts);
   // Feeding a tuple twice is a no-op.
   const relational::TupleId t{setup.dblp.paper, 0};
-  eval.OnArrival(t);
+  (void)eval.OnArrival(t);
   EXPECT_TRUE(eval.OnArrival(t).empty());
   EXPECT_EQ(eval.arrived_count(), 1u);
   // Results only appear once all participants arrived: with a single
@@ -125,7 +125,7 @@ TEST(StreamTest, StatsAccumulate) {
   StreamEvaluator eval(*setup.dblp.db, setup.cns, *setup.ts);
   StreamStats stats;
   for (const auto& tuple : setup.ArrivalOrder(5)) {
-    eval.OnArrival(tuple, &stats);
+    (void)eval.OnArrival(tuple, &stats);
   }
   EXPECT_EQ(stats.arrivals, setup.dblp.db->TotalRows());
   EXPECT_EQ(stats.results_emitted, setup.BatchResults().size());

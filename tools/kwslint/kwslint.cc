@@ -1,29 +1,46 @@
 // kwslint: the project's invariant checker.
 //
-// Tokenizes every .h/.cc under src/, tests/, bench/ and examples/ and
-// enforces the conventions CLAUDE.md documents as machine-checked rules
-// (deterministic seeding, no-throw library paths, ThreadPool-only
-// concurrency, Status-not-iostream error reporting, Doxygen on public
-// API, include-guard style, mutex hygiene).
+// A two-pass, project-wide analysis engine. Pass 1 parses every .h/.cc
+// under src/, tests/, bench/ and examples/ and builds a cross-file model
+// (src/ include graph, an index of kws::Status/Result-returning
+// functions, per-file unordered-container declarations). Pass 2 runs the
+// token rules (deterministic seeding, no-throw library paths,
+// ThreadPool-only concurrency, Status-not-iostream error reporting,
+// Doxygen on public API, include-guard style, mutex hygiene, metric
+// naming) plus the semantic rules (status-discard, unordered-iteration,
+// deadline-loop, allow-justification, include-cycle).
 //
 // Usage:
-//   kwslint [--list-rules] [root]
+//   kwslint [--list-rules] [--format=text|json|sarif] [--jobs=N]
+//           [--baseline=FILE | --no-baseline] [root]
 //     root: repository root to lint (default ".").
 //
-// Exit code 0 when the tree is clean, 1 when any rule fired, 2 on usage
-// or I/O errors. Diagnostics go to stdout as "file:line: rule: message".
-// Suppressions: trailing "// kwslint: allow(<rule>)" on the offending
-// line, or "// kwslint: file-allow(<rule>)" anywhere in the file.
+// --jobs fans the parse and rule passes out over a kws::ThreadPool with
+// static striding; diagnostics are byte-identical for every jobs value.
+// The baseline (default <root>/tools/kwslint/baseline.txt when present)
+// holds tolerated pre-existing findings as `path: rule` lines; baselined
+// findings are counted but do not fail the run.
+//
+// Exit code 0 when the tree is clean (after baselining), 1 when any
+// non-baselined finding fired, 2 on usage or I/O errors. Text diagnostics
+// go to stdout as "file:line: rule: message"; --format=json|sarif emits
+// one machine-readable document on stdout instead. Suppressions: trailing
+// "// kwslint: allow(<rule>)" on the offending line, or "// kwslint:
+// file-allow(<rule>)" anywhere in the file — both need a justification in
+// the same comment (the allow-justification rule enforces it).
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "kwslint/output.h"
 #include "kwslint/rules.h"
 
 namespace fs = std::filesystem;
@@ -39,10 +56,29 @@ bool IsSourceFile(const fs::path& p) {
   return ext == ".h" || ext == ".cc";
 }
 
+int DefaultJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(8u, std::max(1u, hw)));
+}
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string format = "text";
+  std::string baseline_path;
+  bool baseline_explicit = false;
+  bool no_baseline = false;
+  int jobs = DefaultJobs();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -52,8 +88,35 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: kwslint [--list-rules] [root]\n";
+      std::cout << "usage: kwslint [--list-rules] [--format=text|json|sarif]"
+                   " [--jobs=N] [--baseline=FILE | --no-baseline] [root]\n";
       return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "kwslint: unknown format '" << format
+                  << "' (want text, json or sarif)\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + 7);
+      if (jobs < 1 || jobs > 64) {
+        std::cerr << "kwslint: --jobs must be in [1, 64]\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      baseline_explicit = true;
+      continue;
+    }
+    if (arg == "--no-baseline") {
+      no_baseline = true;
+      continue;
     }
     if (!arg.empty() && arg[0] == '-') {
       std::cerr << "kwslint: unknown flag '" << arg << "'\n";
@@ -68,27 +131,58 @@ int main(int argc, char** argv) {
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
-      std::ifstream in(entry.path(), std::ios::binary);
-      if (!in) {
+      std::string content;
+      if (!ReadFile(entry.path(), &content)) {
         std::cerr << "kwslint: cannot read " << entry.path() << "\n";
         return 2;
       }
-      std::ostringstream buf;
-      buf << in.rdbuf();
       // Repo-relative path with forward slashes, as the rules expect.
       const std::string rel =
           fs::relative(entry.path(), root).generic_string();
-      files.emplace_back(rel, buf.str());
+      files.emplace_back(rel, std::move(content));
     }
   }
-  std::sort(files.begin(), files.end());
 
-  std::vector<kws::lint::Diagnostic> diags;
-  const int rc = kws::lint::LintFiles(files, &diags);
-  for (const kws::lint::Diagnostic& d : diags) {
-    std::cout << kws::lint::FormatDiagnostic(d) << "\n";
+  std::vector<kws::lint::Diagnostic> diags =
+      kws::lint::LintProject(files, jobs);
+
+  kws::lint::Baseline baseline;
+  if (!no_baseline) {
+    if (!baseline_explicit) {
+      baseline_path =
+          (fs::path(root) / "tools" / "kwslint" / "baseline.txt")
+              .generic_string();
+    }
+    std::string text;
+    if (ReadFile(baseline_path, &text)) {
+      std::string error;
+      if (!kws::lint::Baseline::Parse(text, &baseline, &error)) {
+        std::cerr << "kwslint: " << baseline_path << ": " << error << "\n";
+        return 2;
+      }
+    } else if (baseline_explicit) {
+      std::cerr << "kwslint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
   }
-  std::cout << "kwslint: " << files.size() << " files, " << diags.size()
-            << " finding" << (diags.size() == 1 ? "" : "s") << "\n";
-  return rc;
+
+  size_t suppressed = 0;
+  diags = kws::lint::ApplyBaseline(diags, baseline, &suppressed);
+
+  if (format == "json") {
+    std::cout << kws::lint::RenderJson(diags, files.size(), suppressed);
+  } else if (format == "sarif") {
+    std::cout << kws::lint::RenderSarif(diags);
+  } else {
+    for (const kws::lint::Diagnostic& d : diags) {
+      std::cout << kws::lint::FormatDiagnostic(d) << "\n";
+    }
+    std::cout << "kwslint: " << files.size() << " files, " << diags.size()
+              << " finding" << (diags.size() == 1 ? "" : "s");
+    if (suppressed != 0) {
+      std::cout << " (+" << suppressed << " baselined)";
+    }
+    std::cout << "\n";
+  }
+  return diags.empty() ? 0 : 1;
 }

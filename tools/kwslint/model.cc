@@ -1,0 +1,162 @@
+#include "kwslint/model.h"
+
+#include <cctype>
+#include <functional>
+
+namespace kws::lint {
+
+namespace {
+
+bool IsIdent(const Token& t) {
+  return !t.text.empty() &&
+         (std::isalpha(static_cast<unsigned char>(t.text[0])) ||
+          t.text[0] == '_');
+}
+
+/// Skips a balanced `<...>` starting at `i` (which must point at `<`).
+/// Returns the index one past the matching `>`, or `toks.size()` when
+/// unbalanced.
+size_t SkipAngles(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].text == "<") ++depth;
+    if (toks[i].text == ">" && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// Indexes `Status Foo(` / `Result<T> Foo(` / `Status Class::Foo(`
+/// declaration heads in `f`'s token stream into `out`. Only PascalCase
+/// names are recorded (see the class comment in model.h).
+void IndexStatusFunctions(const SourceFile& f, std::set<std::string>* out) {
+  const std::vector<Token>& toks = f.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t != "Status" && t != "Result") continue;
+    // `obj.Status(...)` / `x->Result` are member accesses, not types.
+    if (i >= 1 && (toks[i - 1].text == "." ||
+                   (i >= 2 && toks[i - 1].text == ">" &&
+                    toks[i - 2].text == "-"))) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (t == "Result") {
+      if (j >= toks.size() || toks[j].text != "<") continue;
+      j = SkipAngles(toks, j);
+    }
+    // Declarator: ident (:: ident)* followed by '('. The last identifier
+    // is the function name.
+    if (j >= toks.size() || !IsIdent(toks[j])) continue;
+    std::string name = toks[j].text;
+    ++j;
+    while (j + 1 < toks.size() && toks[j].text == "::" &&
+           IsIdent(toks[j + 1])) {
+      name = toks[j + 1].text;
+      j += 2;
+    }
+    if (j >= toks.size() || toks[j].text != "(") continue;
+    if (!std::isupper(static_cast<unsigned char>(name[0]))) continue;
+    out->insert(name);
+  }
+}
+
+/// Indexes declared unordered-container names (`std::unordered_map<...>
+/// name`, members, locals and reference parameters alike) into `out`.
+void IndexUnorderedDecls(const SourceFile& f, std::set<std::string>* out) {
+  const std::vector<Token>& toks = f.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t != "unordered_map" && t != "unordered_set" &&
+        t != "unordered_multimap" && t != "unordered_multiset") {
+      continue;
+    }
+    size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") continue;
+    j = SkipAngles(toks, j);
+    // Declarator prefix: cv/ref/pointer tokens before the name.
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j < toks.size() && IsIdent(toks[j])) out->insert(toks[j].text);
+  }
+}
+
+/// Extracts `#include "..."` targets from a raw line (the code view blanks
+/// string interiors, so the path must come from `raw`).
+bool ParseQuotedInclude(const std::string& raw, std::string* inc) {
+  size_t h = raw.find('#');
+  if (h == std::string::npos) return false;
+  size_t k = raw.find("include", h);
+  if (k == std::string::npos) return false;
+  size_t open = raw.find('"', k);
+  if (open == std::string::npos) return false;
+  size_t close = raw.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  *inc = raw.substr(open + 1, close - open - 1);
+  return true;
+}
+
+}  // namespace
+
+ProjectModel ProjectModel::Build(const std::vector<SourceFile>& files) {
+  ProjectModel m;
+  std::set<std::string> known_paths;
+  for (const SourceFile& f : files) known_paths.insert(f.path());
+
+  for (const SourceFile& f : files) {
+    if (f.TopDir() == "src") {
+      IndexStatusFunctions(f, &m.status_functions_);
+    }
+    std::set<std::string>& decls = m.unordered_decls_[f.path()];
+    IndexUnorderedDecls(f, &decls);
+
+    if (f.TopDir() != "src") continue;
+    std::vector<IncludeEdge>& edges = m.includes_[f.path()];
+    for (size_t li = 0; li < f.lines().size(); ++li) {
+      const Line& line = f.lines()[li];
+      if (!line.preprocessor) continue;
+      std::string inc;
+      if (!ParseQuotedInclude(line.raw, &inc)) continue;
+      // Project includes are src/-relative ("common/status.h").
+      const std::string target = "src/" + inc;
+      if (known_paths.count(target) == 0) continue;
+      edges.push_back(IncludeEdge{target, static_cast<int>(li) + 1});
+    }
+  }
+
+  // Close unordered_decls_ over the include graph: a .cc sees the members
+  // its (transitive) src/ headers declare. Iterative DFS per file keeps
+  // this deterministic and cycle-safe.
+  for (const SourceFile& f : files) {
+    std::set<std::string> visible = m.unordered_decls_[f.path()];
+    std::set<std::string> visited = {f.path()};
+    std::vector<std::string> stack = {f.path()};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      auto it = m.includes_.find(cur);
+      if (it == m.includes_.end()) continue;
+      for (const IncludeEdge& e : it->second) {
+        if (!visited.insert(e.target).second) continue;
+        auto d = m.unordered_decls_.find(e.target);
+        if (d != m.unordered_decls_.end()) {
+          visible.insert(d->second.begin(), d->second.end());
+        }
+        stack.push_back(e.target);
+      }
+    }
+    m.visible_unordered_[f.path()] = std::move(visible);
+  }
+  return m;
+}
+
+const std::set<std::string>& ProjectModel::UnorderedNamesVisible(
+    const std::string& path) const {
+  static const std::set<std::string> kEmpty;
+  auto it = visible_unordered_.find(path);
+  return it == visible_unordered_.end() ? kEmpty : it->second;
+}
+
+}  // namespace kws::lint

@@ -1,0 +1,77 @@
+#ifndef KWDB_TOOLS_KWSLINT_MODEL_H_
+#define KWDB_TOOLS_KWSLINT_MODEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kwslint/source.h"
+
+namespace kws::lint {
+
+/// One `#include "..."` edge of the src/ include graph.
+struct IncludeEdge {
+  /// Repo-relative path of the included file (e.g. "src/common/status.h").
+  std::string target;
+  /// 1-based line of the #include directive in the including file.
+  int line = 0;
+};
+
+/// The cross-file model built by pass 1 of the two-pass engine. It is a
+/// pure function of the parsed file set, so building it once up front and
+/// sharing it read-only across rule workers is race-free.
+///
+/// Three indexes back the semantic rules:
+///  - the src/ include graph (include-cycle, and visibility for
+///    unordered-iteration),
+///  - a name index of functions returning kws::Status / kws::Result<T>
+///    (status-discard). The index is name-based, not overload-aware: a
+///    PascalCase identifier declared anywhere with a Status/Result return
+///    type marks every call to that name. Lowercase identifiers are never
+///    indexed (Google style makes those variables), which keeps
+///    constructor-style variable declarations `Status s(code, msg)` out.
+///  - per-file unordered-container declarations (`std::unordered_map<...>
+///    name`), members and locals alike (unordered-iteration).
+class ProjectModel {
+ public:
+  /// Builds the model from every parsed file. Deterministic: depends only
+  /// on file contents and paths, never on scan order.
+  static ProjectModel Build(const std::vector<SourceFile>& files);
+
+  /// True when `name` is declared somewhere with a Status/Result return.
+  bool IsStatusFunction(const std::string& name) const {
+    return status_functions_.count(name) != 0;
+  }
+
+  /// Names declared as unordered containers in `path` itself or in any
+  /// src/ header it transitively includes. Returns an empty set for
+  /// unknown paths.
+  const std::set<std::string>& UnorderedNamesVisible(
+      const std::string& path) const;
+
+  /// The src/ include graph: includer path -> edges, targets restricted to
+  /// files present in the lint set. Edges are in directive order.
+  const std::map<std::string, std::vector<IncludeEdge>>& IncludeGraph()
+      const {
+    return includes_;
+  }
+
+  /// All indexed Status/Result-returning function names (for tooling).
+  const std::set<std::string>& StatusFunctions() const {
+    return status_functions_;
+  }
+
+ private:
+  std::set<std::string> status_functions_;
+  std::map<std::string, std::vector<IncludeEdge>> includes_;
+  /// Per-file declared unordered-container names.
+  std::map<std::string, std::set<std::string>> unordered_decls_;
+  /// unordered_decls_ closed over the include graph, precomputed so rule
+  /// workers only read.
+  std::map<std::string, std::set<std::string>> visible_unordered_;
+};
+
+}  // namespace kws::lint
+
+#endif  // KWDB_TOOLS_KWSLINT_MODEL_H_

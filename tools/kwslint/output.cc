@@ -1,0 +1,153 @@
+#include "kwslint/output.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace kws::lint {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+bool Baseline::Parse(const std::string& text, Baseline* out,
+                     std::string* error) {
+  size_t start = 0;
+  int lineno = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    const std::string line = Trim(
+        nl == std::string::npos ? text.substr(start)
+                                : text.substr(start, nl - start));
+    start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t colon = line.rfind(": ");
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 2 >= line.size()) {
+      if (error != nullptr) {
+        *error = "baseline line " + std::to_string(lineno) +
+                 ": expected 'path: rule', got '" + line + "'";
+      }
+      return false;
+    }
+    out->entries_.insert(line.substr(0, colon) + "|" +
+                         Trim(line.substr(colon + 2)));
+  }
+  return true;
+}
+
+std::vector<Diagnostic> ApplyBaseline(const std::vector<Diagnostic>& diags,
+                                      const Baseline& baseline,
+                                      size_t* suppressed) {
+  std::vector<Diagnostic> kept;
+  kept.reserve(diags.size());
+  for (const Diagnostic& d : diags) {
+    if (baseline.Matches(d)) {
+      if (suppressed != nullptr) ++*suppressed;
+    } else {
+      kept.push_back(d);
+    }
+  }
+  return kept;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<Diagnostic>& diags,
+                       size_t file_count, size_t baseline_suppressed) {
+  std::string out;
+  out += "{\n";
+  out += "  \"tool\": \"kwslint\",\n";
+  out += "  \"version\": 2,\n";
+  out += "  \"files\": " + std::to_string(file_count) + ",\n";
+  out += "  \"baseline_suppressed\": " +
+         std::to_string(baseline_suppressed) + ",\n";
+  out += "  \"findings\": [";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"path\": \"" + JsonEscape(d.path) +
+           "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"" +
+           JsonEscape(d.rule) + "\", \"message\": \"" +
+           JsonEscape(d.message) + "\"}";
+  }
+  out += diags.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string RenderSarif(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  out += "{\n";
+  out +=
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [{\n";
+  out += "    \"tool\": {\"driver\": {\"name\": \"kwslint\", ";
+  out += "\"rules\": [";
+  const std::vector<std::string> ids = RuleIds();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"id\": \"" + JsonEscape(ids[i]) + "\"}";
+  }
+  out += "]}},\n";
+  out += "    \"results\": [";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "      {\"ruleId\": \"" + JsonEscape(d.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           JsonEscape(d.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           JsonEscape(d.path) + "\"}, \"region\": {\"startLine\": " +
+           std::to_string(d.line) + "}}}]}";
+  }
+  out += diags.empty() ? "]\n" : "\n    ]\n";
+  out += "  }]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace kws::lint

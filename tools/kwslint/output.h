@@ -1,0 +1,55 @@
+#ifndef KWDB_TOOLS_KWSLINT_OUTPUT_H_
+#define KWDB_TOOLS_KWSLINT_OUTPUT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kwslint/rules.h"
+
+namespace kws::lint {
+
+/// A checked-in set of tolerated pre-existing findings, so new rules can
+/// land with their backlog burned down incrementally instead of blocking
+/// CI. Each non-comment line is `path: rule` and suppresses every finding
+/// of that rule in that file (line numbers drift too fast to pin).
+class Baseline {
+ public:
+  /// Parses baseline text. Lines are `path: rule`; blank lines and lines
+  /// starting with `#` are ignored. Returns false on a malformed line.
+  static bool Parse(const std::string& text, Baseline* out,
+                    std::string* error);
+
+  /// True when `d` is covered by a baseline entry.
+  bool Matches(const Diagnostic& d) const {
+    return entries_.count(d.path + "|" + d.rule) != 0;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::set<std::string> entries_;
+};
+
+/// Splits `diags` into kept findings (returned) and baseline-suppressed
+/// ones (counted into `*suppressed`). Order is preserved.
+std::vector<Diagnostic> ApplyBaseline(const std::vector<Diagnostic>& diags,
+                                      const Baseline& baseline,
+                                      size_t* suppressed);
+
+/// Renders findings as one deterministic JSON object:
+/// `{"tool":"kwslint","files":N,"findings":[...],"baseline_suppressed":M}`.
+/// Byte-stable: a pure function of the arguments.
+std::string RenderJson(const std::vector<Diagnostic>& diags,
+                       size_t file_count, size_t baseline_suppressed);
+
+/// Renders findings as a minimal SARIF 2.1.0 log (one run, one driver,
+/// every rule id registered, one result per finding). Byte-stable.
+std::string RenderSarif(const std::vector<Diagnostic>& diags);
+
+/// Escapes `s` for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace kws::lint
+
+#endif  // KWDB_TOOLS_KWSLINT_OUTPUT_H_

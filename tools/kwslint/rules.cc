@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <functional>
+#include <map>
 #include <set>
 #include <string_view>
+
+#include "common/thread_pool.h"
 
 namespace kws::lint {
 
@@ -589,13 +593,20 @@ void CheckMetricName(const SourceFile& f, std::vector<Diagnostic>* out) {
     // The name is the call's first string literal. The code view blanks
     // literal interiors, so a literal is two consecutive `"` tokens; the
     // raw text between their columns (same physical line only) is the
-    // name. The scan covers the open paren's line and the next one (the
-    // common clang-format wrap that puts the literal on a continuation
-    // line); a longer multi-line call with the literal further down is
-    // simply not checked.
-    for (size_t j = open + 1;
-         j < toks.size() && toks[j].line - toks[open].line <= 1; ++j) {
+    // name. The scan runs to the call's matching close paren, so a
+    // literal any number of wrapped lines below the open paren is still
+    // checked (three-line clang-format wraps used to slip through).
+    int call_depth = 1;
+    for (size_t j = open + 1; j < toks.size() && call_depth > 0; ++j) {
       const std::string& t = toks[j].text;
+      if (t == "(") {
+        ++call_depth;
+        continue;
+      }
+      if (t == ")") {
+        --call_depth;
+        continue;
+      }
       if (t == ";") break;
       if (t != "\"") continue;
       if (j + 1 >= toks.size() || toks[j + 1].text != "\"" ||
@@ -619,15 +630,368 @@ void CheckMetricName(const SourceFile& f, std::vector<Diagnostic>* out) {
   }
 }
 
-}  // namespace
+// --- status-discard -------------------------------------------------------
 
-std::vector<std::string> RuleIds() {
-  return {"raw-random",   "no-throw",     "raw-thread",
-          "no-iostream",  "doc-comment",  "header-guard",
-          "mutex-style",  "metric-name"};
+/// Finds bare expression statements `chain.Foo(...);` where `Foo` is in
+/// the model's Status/Result return-type index. The compiler's
+/// [[nodiscard]] on Status/Result is the authoritative check; this rule
+/// lets CI catch the same defect without a compile.
+void CheckStatusDiscard(const SourceFile& f, const ProjectModel& model,
+                        std::vector<Diagnostic>* out) {
+  const std::vector<Token>& toks = f.tokens();
+  bool stmt_start = true;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == ";" || t == "{" || t == "}") {
+      stmt_start = true;
+      continue;
+    }
+    if (!stmt_start) continue;
+    stmt_start = false;
+    if (!IsIdentToken(toks[i])) continue;
+    // Parse the access chain `ident (('.'|'->'|'::') ident)*`; the last
+    // identifier names the called function. Two adjacent identifiers
+    // (`return Foo`, `Status s`) end the chain before the call, so
+    // consumed results never match.
+    size_t j = i;
+    std::string last = toks[j].text;
+    while (true) {
+      if ((TokenIs(toks, j + 1, ".") || TokenIs(toks, j + 1, "::")) &&
+          j + 2 < toks.size() && IsIdentToken(toks[j + 2])) {
+        j += 2;
+        last = toks[j].text;
+        continue;
+      }
+      if (TokenIs(toks, j + 1, "-") && TokenIs(toks, j + 2, ">") &&
+          j + 3 < toks.size() && IsIdentToken(toks[j + 3])) {
+        j += 3;
+        last = toks[j].text;
+        continue;
+      }
+      break;
+    }
+    if (!TokenIs(toks, j + 1, "(")) continue;
+    if (!model.IsStatusFunction(last)) continue;
+    // Discarded iff the statement ends right after the call's close paren.
+    int depth = 0;
+    size_t k = j + 1;
+    for (; k < toks.size(); ++k) {
+      if (toks[k].text == "(") ++depth;
+      if (toks[k].text == ")" && --depth == 0) break;
+    }
+    if (k < toks.size() && TokenIs(toks, k + 1, ";")) {
+      Emit(f, toks[j].line, "status-discard",
+           last + "() returns kws::Status/Result; check it, propagate it, "
+           "or discard explicitly with (void)",
+           out);
+    }
+  }
 }
 
-std::vector<Diagnostic> RunRules(const SourceFile& file) {
+// --- unordered-iteration --------------------------------------------------
+
+void CheckUnorderedIteration(const SourceFile& f, const ProjectModel& model,
+                             std::vector<Diagnostic>* out) {
+  if (f.TopDir() != "src") return;
+  const std::set<std::string>& names = model.UnorderedNamesVisible(f.path());
+  if (names.empty()) return;
+  const std::vector<Token>& toks = f.tokens();
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text != "for" || !TokenIs(toks, i + 1, "(")) continue;
+    // Range-for: `for ( decl : expr )` — find the depth-1 ':' (the
+    // tokenizer fuses '::', so scope operators never match) and the
+    // matching close paren.
+    int depth = 0;
+    size_t colon = 0;
+    size_t close = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") {
+        ++depth;
+      } else if (t == ")") {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (t == ":" && depth == 1 && colon == 0) {
+        colon = j;
+      }
+    }
+    if (colon == 0 || close == 0 || close <= colon + 1) continue;
+    // Only a range expression that is a plain id-expression (possibly a
+    // member chain) can be resolved against the declaration index; calls
+    // and subscripts yield values the index does not describe.
+    const Token& range_end = toks[close - 1];
+    if (!IsIdentToken(range_end)) continue;
+    if (names.count(range_end.text) == 0) continue;
+    Emit(f, range_end.line, "unordered-iteration",
+         "range-for over unordered container '" + range_end.text +
+             "' is iteration-order nondeterministic; iterate a sorted "
+             "snapshot on result paths (or justify with an allow)",
+         out);
+  }
+}
+
+// --- deadline-loop --------------------------------------------------------
+
+/// Flags outermost while/for loops inside a .cc function definition that
+/// takes a Deadline/DeadlineChecker parameter when the loop neither polls
+/// nor forwards any deadline-ish local/parameter. Nested loops inherit
+/// the enclosing loop's verdict (an outer poll bounds them).
+void CheckDeadlineLoop(const SourceFile& f, std::vector<Diagnostic>* out) {
+  if (f.TopDir() != "src" || f.IsHeader()) return;
+  const std::vector<Token>& toks = f.tokens();
+  const size_t n = toks.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (toks[i].text != "{") continue;
+    // A function definition: `( params )` [qualifiers] `{`.
+    size_t p = i;
+    while (p > 0 && (toks[p - 1].text == "const" ||
+                     toks[p - 1].text == "noexcept" ||
+                     toks[p - 1].text == "override" ||
+                     toks[p - 1].text == "mutable")) {
+      --p;
+    }
+    if (p == 0 || toks[p - 1].text != ")") continue;
+    size_t open = n;
+    int d = 0;
+    for (size_t k = p; k-- > 0;) {
+      if (toks[k].text == ")") ++d;
+      if (toks[k].text == "(" && --d == 0) {
+        open = k;
+        break;
+      }
+    }
+    if (open == n || open == 0) continue;
+    const std::string& before = toks[open - 1].text;
+    if (before == "if" || before == "for" || before == "while" ||
+        before == "switch" || before == "catch") {
+      continue;
+    }
+    bool has_deadline = false;
+    for (size_t k = open + 1; k + 1 < p; ++k) {
+      if (toks[k].text == "Deadline" || toks[k].text == "DeadlineChecker") {
+        has_deadline = true;
+        break;
+      }
+    }
+    if (!has_deadline) continue;
+    size_t body_end = n;
+    int bd = 0;
+    for (size_t k = i; k < n; ++k) {
+      if (toks[k].text == "{") ++bd;
+      if (toks[k].text == "}" && --bd == 0) {
+        body_end = k;
+        break;
+      }
+    }
+    if (body_end == n) continue;
+    // Deadline-ish names: parameters plus locals declared in the body
+    // (`DeadlineChecker checker(...)`). `Expired` covers member fields.
+    std::set<std::string> names = {"Expired"};
+    auto collect = [&](size_t from, size_t to) {
+      for (size_t k = from; k < to; ++k) {
+        if (toks[k].text != "Deadline" &&
+            toks[k].text != "DeadlineChecker") {
+          continue;
+        }
+        size_t m = k + 1;
+        while (m < to && (toks[m].text == "&" || toks[m].text == "*" ||
+                          toks[m].text == "const")) {
+          ++m;
+        }
+        if (m < to && IsIdentToken(toks[m])) names.insert(toks[m].text);
+      }
+    };
+    collect(open + 1, p - 1);
+    collect(i + 1, body_end);
+    // Walk the body's outermost loops.
+    for (size_t k = i + 1; k < body_end; ++k) {
+      const std::string& t = toks[k].text;
+      if ((t != "while" && t != "for") || !TokenIs(toks, k + 1, "(")) {
+        continue;
+      }
+      size_t hdr_end = n;
+      int hd = 0;
+      for (size_t m = k + 1; m < body_end; ++m) {
+        if (toks[m].text == "(") ++hd;
+        if (toks[m].text == ")" && --hd == 0) {
+          hdr_end = m;
+          break;
+        }
+      }
+      if (hdr_end == n) break;
+      size_t loop_end = hdr_end;
+      if (TokenIs(toks, hdr_end + 1, "{")) {
+        int ld = 0;
+        for (size_t m = hdr_end + 1; m < body_end; ++m) {
+          if (toks[m].text == "{") ++ld;
+          if (toks[m].text == "}" && --ld == 0) {
+            loop_end = m;
+            break;
+          }
+        }
+      } else {
+        while (loop_end < body_end && toks[loop_end].text != ";") {
+          ++loop_end;
+        }
+      }
+      bool polls = false;
+      for (size_t m = k; m <= loop_end && m < body_end; ++m) {
+        if (names.count(toks[m].text) != 0) {
+          polls = true;
+          break;
+        }
+      }
+      if (!polls) {
+        Emit(f, toks[k].line, "deadline-loop",
+             "loop in a Deadline-taking function never polls or forwards "
+             "the deadline; add a DeadlineChecker cancellation point (or "
+             "justify with an allow if provably bounded)",
+             out);
+      }
+      k = loop_end;
+    }
+    i = body_end;
+  }
+}
+
+// --- allow-justification --------------------------------------------------
+
+void CheckAllowJustification(const SourceFile& f,
+                             std::vector<Diagnostic>* out) {
+  for (size_t li = 0; li < f.lines().size(); ++li) {
+    const std::string& c = f.lines()[li].comment;
+    if (c.find("kwslint:") == std::string::npos) continue;
+    if (c.find("allow(") == std::string::npos) continue;
+    // Strip every `kwslint: [file-]allow(...)` annotation; whatever word
+    // content remains is the justification.
+    std::string rest = c;
+    size_t pos;
+    while ((pos = rest.find("kwslint:")) != std::string::npos) {
+      size_t close = rest.find(')', pos);
+      if (close == std::string::npos) {
+        rest.erase(pos);
+        break;
+      }
+      rest.erase(pos, close - pos + 1);
+    }
+    bool has_word = false;
+    for (char ch : rest) {
+      if (std::isalnum(static_cast<unsigned char>(ch))) {
+        has_word = true;
+        break;
+      }
+    }
+    if (!has_word) {
+      Emit(f, static_cast<int>(li) + 1, "allow-justification",
+           "kwslint allow() needs a short justification in the same "
+           "comment (e.g. `// benches need wall-clock -- kwslint: "
+           "allow(raw-random)`)",
+           out);
+    }
+  }
+}
+
+}  // namespace
+
+// --- include-cycle --------------------------------------------------------
+
+void CheckIncludeCycles(const std::vector<SourceFile>& files,
+                        const ProjectModel& model,
+                        std::vector<Diagnostic>* out) {
+  const std::map<std::string, std::vector<IncludeEdge>>& g =
+      model.IncludeGraph();
+  // Tarjan SCC, visiting roots in sorted path order so component
+  // discovery (and thus reporting) is deterministic.
+  std::map<std::string, int> index;
+  std::map<std::string, int> low;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> cycles;
+  int counter = 0;
+  std::function<void(const std::string&)> dfs = [&](const std::string& v) {
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    auto it = g.find(v);
+    if (it != g.end()) {
+      for (const IncludeEdge& e : it->second) {
+        if (index.count(e.target) == 0) {
+          dfs(e.target);
+          low[v] = std::min(low[v], low[e.target]);
+        } else if (on_stack.count(e.target) != 0) {
+          low[v] = std::min(low[v], index[e.target]);
+        }
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<std::string> scc;
+      while (true) {
+        std::string w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      bool self_loop = false;
+      if (scc.size() == 1 && it != g.end()) {
+        for (const IncludeEdge& e : it->second) {
+          if (e.target == v) self_loop = true;
+        }
+      }
+      if (scc.size() > 1 || self_loop) {
+        std::sort(scc.begin(), scc.end());
+        cycles.push_back(std::move(scc));
+      }
+    }
+  };
+  for (const auto& [node, edges] : g) {
+    (void)edges;
+    if (index.count(node) == 0) dfs(node);
+  }
+
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) by_path[f.path()] = &f;
+  for (const std::vector<std::string>& scc : cycles) {
+    const std::string& rep = scc.front();
+    std::set<std::string> members(scc.begin(), scc.end());
+    // Anchor the diagnostic on rep's first #include into the component.
+    int line = 1;
+    auto it = g.find(rep);
+    if (it != g.end()) {
+      for (const IncludeEdge& e : it->second) {
+        if (members.count(e.target) != 0) {
+          line = e.line;
+          break;
+        }
+      }
+    }
+    std::string chain;
+    for (const std::string& m : scc) chain += m + " -> ";
+    chain += rep;
+    Diagnostic d{rep, line, "include-cycle",
+                 "src/ include cycle: " + chain +
+                     "; break it with a forward declaration or an "
+                     "interface split"};
+    auto fit = by_path.find(rep);
+    if (fit != by_path.end() && fit->second->Allowed(d.rule, line)) continue;
+    out->push_back(std::move(d));
+  }
+}
+
+std::vector<std::string> RuleIds() {
+  return {"raw-random",     "no-throw",
+          "raw-thread",     "no-iostream",
+          "doc-comment",    "header-guard",
+          "mutex-style",    "metric-name",
+          "status-discard", "unordered-iteration",
+          "deadline-loop",  "allow-justification",
+          "include-cycle"};
+}
+
+std::vector<Diagnostic> RunRules(const SourceFile& file,
+                                 const ProjectModel& model) {
   std::vector<Diagnostic> out;
   CheckRawRandom(file, &out);
   CheckNoThrow(file, &out);
@@ -637,6 +1001,10 @@ std::vector<Diagnostic> RunRules(const SourceFile& file) {
   CheckHeaderGuard(file, &out);
   CheckMutexStyle(file, &out);
   CheckMetricName(file, &out);
+  CheckStatusDiscard(file, model, &out);
+  CheckUnorderedIteration(file, model, &out);
+  CheckDeadlineLoop(file, &out);
+  CheckAllowJustification(file, &out);
   std::sort(out.begin(), out.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.line != b.line) return a.line < b.line;
@@ -645,16 +1013,70 @@ std::vector<Diagnostic> RunRules(const SourceFile& file) {
   return out;
 }
 
+std::vector<Diagnostic> RunRules(const SourceFile& file) {
+  return RunRules(file, ProjectModel::Build({file}));
+}
+
+std::vector<Diagnostic> LintProject(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    int jobs) {
+  std::vector<std::pair<std::string, std::string>> sorted = files;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+
+  // Pass 0: parse. Static striding (item i -> worker i % size) makes the
+  // file->worker assignment a pure function of the sorted list, and each
+  // worker writes only its own slots, so no synchronization is needed.
+  std::vector<SourceFile> parsed(n);
+  auto parse_stride = [&](size_t w, size_t stride) {
+    for (size_t i = w; i < n; i += stride) {
+      parsed[i] = SourceFile::Parse(sorted[i].first, sorted[i].second);
+    }
+  };
+  if (jobs > 1) {
+    ThreadPool pool(static_cast<size_t>(jobs));
+    pool.RunOnAll([&](size_t w) { parse_stride(w, pool.size()); });
+  } else {
+    parse_stride(0, 1);
+  }
+
+  // Pass 1: the cross-file model (serial; cheap token scans).
+  const ProjectModel model = ProjectModel::Build(parsed);
+
+  // Pass 2: per-file rules, same deterministic striding.
+  std::vector<std::vector<Diagnostic>> per(n);
+  auto rules_stride = [&](size_t w, size_t stride) {
+    for (size_t i = w; i < n; i += stride) {
+      per[i] = RunRules(parsed[i], model);
+    }
+  };
+  if (jobs > 1) {
+    ThreadPool pool(static_cast<size_t>(jobs));
+    pool.RunOnAll([&](size_t w) { rules_stride(w, pool.size()); });
+  } else {
+    rules_stride(0, 1);
+  }
+
+  std::vector<Diagnostic> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.insert(out.end(), per[i].begin(), per[i].end());
+  }
+  CheckIncludeCycles(parsed, model, &out);
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return out;
+}
+
 int LintFiles(const std::vector<std::pair<std::string, std::string>>& files,
               std::vector<Diagnostic>* out) {
-  bool clean = true;
-  for (const auto& [path, content] : files) {
-    SourceFile f = SourceFile::Parse(path, content);
-    std::vector<Diagnostic> diags = RunRules(f);
-    if (!diags.empty()) clean = false;
-    out->insert(out->end(), diags.begin(), diags.end());
-  }
-  return clean ? 0 : 1;
+  std::vector<Diagnostic> diags = LintProject(files, /*jobs=*/1);
+  out->insert(out->end(), diags.begin(), diags.end());
+  return diags.empty() ? 0 : 1;
 }
 
 std::string FormatDiagnostic(const Diagnostic& d) {
