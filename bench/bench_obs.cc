@@ -1,0 +1,231 @@
+// E25: operational-telemetry overhead — the cost of the kws::obs
+// windowed instruments on the serve hot path, instrument micro-costs,
+// and the price of rendering a Statusz document.
+//
+// Series:
+//   E25.1 instrument micro-costs: ns/op for a cumulative Counter::Add
+//         and LatencyHistogram::Record vs their windowed counterparts
+//         (same-window bumps; rotation is amortized across windows), and
+//         the disabled path (a null instrument pointer behind one
+//         well-predicted check — the kws::trace convention).
+//   E25.2 serve hot-path overhead: the same synchronous query stream
+//         against two ServingEngines — windowed_metrics off measured
+//         twice (off_a / off_b; their delta is the noise floor) and on.
+//         The `on` delta against the faster off pass is the number the
+//         <=3% acceptance criterion judges; answers are checked
+//         identical across configurations.
+//   E25.3 snapshot cost: Statusz() and TelemetryRegistry::RenderJson()
+//         document size and render time on a warmed server.
+//
+// `--smoke` shrinks the sweep to a <5 s run (the ci.sh gate); absolute
+// numbers are then meaningless but every code path still executes.
+//
+// Expected shape: windowed bumps are one clock read + two relaxed
+// fetch_adds beyond the cumulative pair, tens of ns; the serve hot path
+// is dominated by search itself, so on-vs-off lands inside the noise
+// floor (<3%).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "core/engine/engine.h"
+#include "obs/clock.h"
+#include "obs/telemetry.h"
+#include "obs/windowed.h"
+#include "relational/dblp.h"
+#include "serve/server.h"
+
+namespace kws::bench {
+namespace {
+
+bool g_smoke = false;
+
+struct Workload {
+  relational::DblpDatabase dblp;
+  std::vector<std::string> queries;
+};
+
+Workload MakeWorkload() {
+  relational::DblpOptions opts;
+  opts.num_authors = 24;
+  opts.num_papers = 48;
+  opts.num_conferences = 6;
+  Workload w{relational::MakeDblpDatabase(opts), {}};
+  w.queries = {"keyword search database", "query data index",
+               "data mining system",      "xml query processing",
+               "search index database",   "query optimization system"};
+  if (g_smoke) w.queries.resize(3);
+  return w;
+}
+
+// --------------------------------------------------------------- E25.1
+
+void MicroSeries() {
+  Banner("E25.1", "instrument micro-costs (ns per operation)");
+  const uint64_t ops = g_smoke ? 200'000 : 2'000'000;
+  TablePrinter table({"instrument", "ops", "ns_per_op"});
+  const auto time_ns = [&](auto&& body) {
+    Stopwatch watch;
+    for (uint64_t i = 0; i < ops; ++i) body(i);
+    return watch.ElapsedMicros() * 1000.0 / static_cast<double>(ops);
+  };
+
+  Counter counter;
+  table.Row({"counter.add", Fmt(ops),
+             Fmt(time_ns([&](uint64_t) { counter.Add(); }))});
+
+  LatencyHistogram hist;
+  table.Row({"histogram.record", Fmt(ops),
+             Fmt(time_ns([&](uint64_t i) {
+               hist.Record(static_cast<double>(i % 1000));
+             }))});
+
+  obs::WindowedCounter wcounter(nullptr, {});
+  table.Row({"windowed_counter.add", Fmt(ops),
+             Fmt(time_ns([&](uint64_t) { wcounter.Add(); }))});
+
+  obs::WindowedHistogram whist(nullptr, {});
+  table.Row({"windowed_histogram.record", Fmt(ops),
+             Fmt(time_ns([&](uint64_t i) {
+               whist.Record(static_cast<double>(i % 1000));
+             }))});
+
+  // The disabled path: the null-pointer guard the serve hot path pays
+  // when windowed_metrics is off.
+  obs::WindowedCounter* disabled = nullptr;
+  volatile uint64_t sink = 0;
+  table.Row({"disabled_null_check", Fmt(ops),
+             Fmt(time_ns([&](uint64_t i) {
+               if (disabled != nullptr) disabled->Add();
+               sink = sink + i;
+             }))});
+
+  // Rotation cost: every add lands in a fresh window (worst case — the
+  // mutex path on every bump).
+  obs::ManualClock clock;
+  obs::WindowOptions wo;
+  wo.window_micros = 1;
+  obs::WindowedCounter rotating(&clock, wo);
+  table.Row({"windowed_counter.rotating", Fmt(ops),
+             Fmt(time_ns([&](uint64_t) {
+               clock.AdvanceMicros(1);
+               rotating.Add();
+             }))});
+}
+
+// --------------------------------------------------------------- E25.2
+
+/// One synchronous query sweep; returns elapsed ms and (first time)
+/// collects per-query result counts as the identity oracle.
+double Sweep(serve::ServingEngine* server, const Workload& w,
+             std::vector<size_t>* oracle) {
+  Stopwatch watch;
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    serve::QueryRequest req;
+    req.query = w.queries[q];
+    req.bypass_cache = true;  // every run executes the full pipeline
+    const serve::QueryOutcome out = server->Query(req);
+    const size_t results =
+        out.relational != nullptr ? out.relational->results.size() : 0;
+    if (oracle == nullptr) continue;
+    if (oracle->size() <= q) {
+      oracle->push_back(results);
+    } else if ((*oracle)[q] != results) {
+      std::fprintf(stderr, "E25 FATAL: telemetry changed an answer\n");
+      std::abort();
+    }
+  }
+  return watch.ElapsedMillis();
+}
+
+void ServeOverheadSeries(const Workload& w) {
+  Banner("E25.2", "windowed telemetry overhead on the serve hot path");
+  engine::KeywordSearchEngine rel(*w.dblp.db);
+  const size_t reps = g_smoke ? 2 : 10;
+  serve::ServeOptions off_opts;
+  off_opts.num_workers = 0;  // synchronous Query(): no queue noise
+  off_opts.windowed_metrics = false;
+  serve::ServingEngine off_server(&rel, nullptr, off_opts);
+  serve::ServeOptions on_opts;
+  on_opts.num_workers = 0;
+  on_opts.windowed_metrics = true;
+  serve::ServingEngine on_server(&rel, nullptr, on_opts);
+
+  std::vector<size_t> oracle;
+  Sweep(&off_server, w, &oracle);  // warmup + identity oracle
+  double off_a = 1e300;
+  double off_b = 1e300;
+  double on = 1e300;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    // Interleave so clock drift hits all three equally.
+    off_a = std::min(off_a, Sweep(&off_server, w, nullptr));
+    on = std::min(on, Sweep(&on_server, w, &oracle));
+    off_b = std::min(off_b, Sweep(&off_server, w, nullptr));
+  }
+  const double base = std::min(off_a, off_b);
+  TablePrinter table({"mode", "best_ms", "delta_pct"});
+  table.Row({"off_a", Fmt(off_a), Fmt((off_a - base) / base * 100.0)});
+  table.Row({"off_b", Fmt(off_b), Fmt((off_b - base) / base * 100.0)});
+  table.Row({"on", Fmt(on), Fmt((on - base) / base * 100.0)});
+}
+
+// --------------------------------------------------------------- E25.3
+
+void SnapshotSeries(const Workload& w) {
+  Banner("E25.3", "statusz and telemetry render cost");
+  engine::KeywordSearchEngine rel(*w.dblp.db);
+  serve::ServeOptions so;
+  so.num_workers = 0;
+  serve::ServingEngine server(&rel, nullptr, so);
+  for (const std::string& q : w.queries) {
+    serve::QueryRequest req;
+    req.query = q;
+    server.Query(req);
+  }
+  const size_t reps = g_smoke ? 20 : 200;
+  double statusz_us = 1e300;
+  double render_us = 1e300;
+  std::string statusz;
+  std::string telemetry;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Stopwatch watch;
+    statusz = server.Statusz();
+    statusz_us = std::min(statusz_us, watch.ElapsedMicros());
+    watch.Reset();
+    telemetry = server.telemetry().RenderJson();
+    render_us = std::min(render_us, watch.ElapsedMicros());
+  }
+  TablePrinter table({"document", "bytes", "best_us"});
+  table.Row({"statusz", Fmt(static_cast<uint64_t>(statusz.size())),
+             Fmt(statusz_us)});
+  table.Row({"telemetry_json", Fmt(static_cast<uint64_t>(telemetry.size())),
+             Fmt(render_us)});
+}
+
+void RunExperiment() {
+  std::printf("E25: operational-telemetry overhead%s\n",
+              g_smoke ? " (smoke)" : "");
+  Workload w = MakeWorkload();
+  MicroSeries();
+  ServeOverheadSeries(w);
+  SnapshotSeries(w);
+}
+
+}  // namespace
+}  // namespace kws::bench
+
+int main(int argc, char** argv) {
+  kws::bench::ParseJsonFlag(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) kws::bench::g_smoke = true;
+  }
+  kws::bench::RunExperiment();
+  return kws::bench::FlushJson() ? 0 : 1;
+}

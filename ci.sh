@@ -46,27 +46,40 @@ ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
   ctest --test-dir build-asan --output-on-failure
 tier_end "tier 2 asan/ubsan"
 
-tier_begin "tier 3: ThreadSanitizer (serve, common, cn_parallel, trace, shard, update)"
+tier_begin "tier 3: ThreadSanitizer (serve, common, cn_parallel, trace, shard, update, obs)"
 cmake --preset tsan
 cmake --build build-tsan -j "${jobs}" --target serve_test common_test \
-  cn_parallel_test trace_test shard_test update_test
+  cn_parallel_test trace_test shard_test update_test obs_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/common_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cn_parallel_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/trace_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/update_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
 tier_end "tier 3 tsan"
 
-tier_begin "tier 4: smoke benches + JSON export (E20..E24; < 25 s)"
+tier_begin "tier 4: smoke benches + JSON export + benchdiff gate (E20..E25)"
+cmake --build build -j "${jobs}" --target benchdiff
 ./build/bench/bench_postings --smoke --json=bench-out/E20.json
 ./build/bench/bench_cn_parallel --smoke --json=bench-out/E21.json
 ./build/bench/bench_trace --smoke --json=bench-out/E22.json
 ./build/bench/bench_sharding --smoke --json=bench-out/E23.json
 ./build/bench/bench_updates --smoke --json=bench-out/E24.json
+./build/bench/bench_obs --smoke --json=bench-out/E25.json
+# Every export must exist and parse as a bench JSON document.
 for f in bench-out/E20.json bench-out/E21.json bench-out/E22.json \
-         bench-out/E23.json bench-out/E24.json; do
+         bench-out/E23.json bench-out/E24.json bench-out/E25.json; do
   [ -s "$f" ] || { echo "missing bench JSON: $f"; exit 1; }
+  ./build/tools/benchdiff --check "$f"
+done
+# The perf-regression gate: structural drift always fails; smoke-run
+# timings are noisy, so the ratio band is generous — a real regression
+# is an order-of-magnitude event, not a 2x one. Refresh workflow: rerun
+# the smoke benches and copy bench-out/E*.json over bench/baselines/.
+for f in E20 E21 E22 E23 E24 E25; do
+  ./build/tools/benchdiff --tolerance=5.0 \
+    "bench/baselines/${f}.json" "bench-out/${f}.json"
 done
 tier_end "tier 4 benches"
 

@@ -1,6 +1,7 @@
 // Serving-layer walkthrough: a worker pool answering concurrent keyword
-// queries over the DBLP corpus, with the result cache, per-query budgets
-// and the metrics snapshot.
+// queries over the DBLP corpus, with the result cache, per-query budgets,
+// the metrics snapshot, and the operational-telemetry surface (windowed
+// metrics + the Statusz health document).
 
 #include <cstdio>
 #include <future>
@@ -68,5 +69,19 @@ int main() {
 
   // --- What the server counted. ----------------------------------------
   std::printf("\nmetrics snapshot:\n%s", server.metrics().RenderText().c_str());
+
+  // --- The operational-telemetry surface. -------------------------------
+  // The windowed instruments answer "what is happening *now*": totals
+  // over the retained ring of windows, decaying to zero when traffic
+  // stops — unlike the cumulative counters above. One JSON document
+  // carries both sides.
+  std::printf("\ntelemetry (cumulative + windowed):\n%s\n",
+              server.telemetry().RenderJson().c_str());
+
+  // Statusz is the single-call health snapshot an operator (or a
+  // dashboard scraper) reads: queue depth, in-flight count, rejection and
+  // deadline rates with their recent windowed counterparts, per-shard
+  // result-cache occupancy, epoch lag, and the slow-query-ring digest.
+  std::printf("\nstatusz:\n%s\n", server.Statusz().c_str());
   return 0;
 }

@@ -48,6 +48,25 @@ class LatencyHistogram {
  public:
   static constexpr size_t kNumBuckets = 32;
 
+  /// Bucket index for a value in microseconds: floor(log2(us)), clamped
+  /// to the bucket range. Shared with the windowed histograms
+  /// (`kws::obs`) so every histogram in the system buckets identically.
+  static size_t BucketIndexFor(double micros);
+
+  /// Inclusive lower edge of bucket `i`, microseconds.
+  static double BucketLowerMicros(size_t i);
+
+  /// Exclusive upper edge of bucket `i`, microseconds.
+  static double BucketUpperMicros(size_t i);
+
+  /// The `p`-quantile of an arbitrary bucket-count array laid out under
+  /// this class's bucketing scheme, with linear interpolation inside the
+  /// winning bucket; 0 when the counts sum to zero. The building block
+  /// behind `PercentileMicros` here and the windowed merge in
+  /// `kws::obs::WindowedHistogram`.
+  static double PercentileOfBuckets(
+      const std::array<uint64_t, kNumBuckets>& counts, double p);
+
   /// Records one observation. Thread-safe.
   void Record(double micros);
 

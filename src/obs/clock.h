@@ -1,0 +1,72 @@
+#ifndef KWDB_OBS_CLOCK_H_
+#define KWDB_OBS_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace kws::obs {
+
+/// The time source behind every windowed instrument (`kws::obs`). All
+/// operational telemetry reads time through an injected Clock rather
+/// than a global: production code uses `DefaultClock()` (a process-wide
+/// steady clock), tests inject a `ManualClock` so windowed readings —
+/// which windows are live, which have expired — are byte-reproducible.
+///
+/// The clock is monotone by contract: `NowMicros` must never decrease.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary fixed origin; monotone.
+  virtual uint64_t NowMicros() const = 0;
+};
+
+/// Monotone wall clock over std::chrono::steady_clock — the production
+/// time source. Stateless; one shared instance (`DefaultClock`) serves
+/// the whole process.
+class SteadyClock : public Clock {
+ public:
+  /// Microseconds since the steady clock's epoch.
+  uint64_t NowMicros() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// The process-wide steady clock, used whenever no clock is injected.
+inline const Clock* DefaultClock() {
+  static const SteadyClock kClock;
+  return &kClock;
+}
+
+/// A hand-advanced clock for deterministic tests: time moves only when
+/// the test says so, so window rotation in `WindowedCounter` /
+/// `WindowedHistogram` happens at exactly the chosen instants and every
+/// windowed reading (and rendered JSON) is byte-reproducible.
+/// Thread-safe: readers may race an `AdvanceMicros`, they just observe
+/// the old or the new instant.
+class ManualClock : public Clock {
+ public:
+  /// Starts the clock at `start_micros`.
+  explicit ManualClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  /// The instant last set or advanced to.
+  uint64_t NowMicros() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// Moves time forward by `micros`.
+  void AdvanceMicros(uint64_t micros) {
+    now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+}  // namespace kws::obs
+
+#endif  // KWDB_OBS_CLOCK_H_

@@ -1,0 +1,83 @@
+#ifndef KWDB_OBS_TELEMETRY_H_
+#define KWDB_OBS_TELEMETRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/metrics.h"
+#include "obs/clock.h"
+#include "obs/windowed.h"
+
+namespace kws::obs {
+
+/// The operational-telemetry registry: a cumulative `kws::MetricsRegistry`
+/// plus windowed instruments over one injected clock, rendered together
+/// into one byte-stable JSON document. Windowed instruments answer the
+/// "right now" questions (QPS, recent hit rate, recent p99) the
+/// cumulative side cannot; a metric that exists on both sides reuses the
+/// SAME dotted name — the render keeps the two namespaces apart.
+///
+/// Like `MetricsRegistry`, instruments are created lazily, never
+/// removed, and returned as stable pointers, so hot paths resolve each
+/// instrument once and then touch only atomics. Thread-safe.
+class TelemetryRegistry {
+ public:
+  /// `clock` must outlive the registry; nullptr selects `DefaultClock()`.
+  /// Every windowed instrument created here shares `windows`.
+  explicit TelemetryRegistry(const Clock* clock = nullptr,
+                             const WindowOptions& windows = {});
+
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  /// The cumulative side (counters + latency histograms).
+  MetricsRegistry& cumulative() { return cumulative_; }
+
+  /// Const view of the cumulative side.
+  const MetricsRegistry& cumulative() const { return cumulative_; }
+
+  /// Passthrough to `cumulative().GetCounter`.
+  Counter* GetCounter(const std::string& name);
+
+  /// Passthrough to `cumulative().GetHistogram`.
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// The windowed counter named `name`, created on first use. The
+  /// pointer stays valid for the registry's lifetime.
+  WindowedCounter* GetWindowedCounter(const std::string& name);
+
+  /// The windowed histogram named `name`, created on first use.
+  WindowedHistogram* GetWindowedHistogram(const std::string& name);
+
+  /// The injected clock (shared by every windowed instrument).
+  const Clock& clock() const { return *clock_; }
+
+  /// The window configuration shared by every windowed instrument.
+  const WindowOptions& windows() const { return windows_; }
+
+  /// One JSON document holding every instrument, cumulative and
+  /// windowed, with a fixed key order: the `MetricsRegistry::RenderJson`
+  /// shape extended with a `windowed` object —
+  /// `{"counters":{...},"histograms":{...},"windowed":{"window_micros":
+  /// W,"num_windows":N,"counters":{name:{total,in_windows,rate_per_sec,
+  /// windows:[...]},...},"histograms":{name:{count,in_windows,
+  /// mean_micros,p50_micros,p95_micros,p99_micros},...}}}`. Names sort
+  /// lexicographically, floats are `%.3f` — byte-stable for a given
+  /// clock instant and set of recordings (exactly reproducible under a
+  /// `ManualClock`).
+  std::string RenderJson() const;
+
+ private:
+  const Clock* clock_;
+  const WindowOptions windows_;
+  MetricsRegistry cumulative_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<WindowedCounter>> counters_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> histograms_;
+};
+
+}  // namespace kws::obs
+
+#endif  // KWDB_OBS_TELEMETRY_H_

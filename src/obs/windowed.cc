@@ -1,0 +1,163 @@
+#include "obs/windowed.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kws::obs {
+
+namespace {
+
+/// Slots in the ring: one per retained window plus one spare, so the
+/// slot being recycled for the new current window is never one a reader
+/// still counts as live.
+size_t RingSize(const WindowOptions& options) {
+  return options.num_windows + 1;
+}
+
+}  // namespace
+
+WindowedCounter::WindowedCounter(const Clock* clock,
+                                 const WindowOptions& options)
+    : clock_(clock != nullptr ? clock : DefaultClock()),
+      options_(options),
+      ring_(RingSize(options_)) {
+  KWS_CHECK_MSG(options_.num_windows >= 1, "num_windows must be >= 1");
+  KWS_CHECK_MSG(options_.window_micros >= 1, "window_micros must be >= 1");
+}
+
+WindowedCounter::Slot* WindowedCounter::AcquireSlot(uint64_t epoch) {
+  Slot& slot = ring_[epoch % ring_.size()];
+  const uint64_t tag = epoch + 1;
+  uint64_t cur = slot.tag.load(std::memory_order_acquire);
+  if (cur == tag) return &slot;
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  cur = slot.tag.load(std::memory_order_relaxed);
+  if (cur > tag) return nullptr;  // rotated past this epoch already
+  if (cur != tag) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.tag.store(tag, std::memory_order_release);
+  }
+  return &slot;
+}
+
+void WindowedCounter::Add(uint64_t n) {
+  total_.fetch_add(n, std::memory_order_relaxed);
+  const uint64_t epoch = clock_->NowMicros() / options_.window_micros;
+  Slot* slot = AcquireSlot(epoch);
+  if (slot == nullptr) return;  // laggard past a full ring rotation
+  slot->count.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t WindowedCounter::TotalInWindows() const {
+  uint64_t sum = 0;
+  for (uint64_t c : WindowSnapshot()) sum += c;
+  return sum;
+}
+
+std::vector<uint64_t> WindowedCounter::WindowSnapshot() const {
+  const uint64_t now_epoch = clock_->NowMicros() / options_.window_micros;
+  std::vector<uint64_t> out(options_.num_windows, 0);
+  for (size_t j = 0; j < options_.num_windows; ++j) {
+    if (j > now_epoch) break;  // windows before the clock origin
+    const uint64_t epoch = now_epoch - j;
+    const Slot& slot = ring_[epoch % ring_.size()];
+    if (slot.tag.load(std::memory_order_acquire) != epoch + 1) continue;
+    out[options_.num_windows - 1 - j] =
+        slot.count.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double WindowedCounter::RatePerSecond() const {
+  const double span_seconds =
+      static_cast<double>(options_.num_windows) *
+      static_cast<double>(options_.window_micros) / 1e6;
+  return static_cast<double>(TotalInWindows()) / span_seconds;
+}
+
+WindowedHistogram::WindowedHistogram(const Clock* clock,
+                                     const WindowOptions& options)
+    : clock_(clock != nullptr ? clock : DefaultClock()),
+      options_(options),
+      ring_(RingSize(options_)) {
+  KWS_CHECK_MSG(options_.num_windows >= 1, "num_windows must be >= 1");
+  KWS_CHECK_MSG(options_.window_micros >= 1, "window_micros must be >= 1");
+}
+
+WindowedHistogram::Slot* WindowedHistogram::AcquireSlot(uint64_t epoch) {
+  Slot& slot = ring_[epoch % ring_.size()];
+  const uint64_t tag = epoch + 1;
+  uint64_t cur = slot.tag.load(std::memory_order_acquire);
+  if (cur == tag) return &slot;
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  cur = slot.tag.load(std::memory_order_relaxed);
+  if (cur > tag) return nullptr;  // rotated past this epoch already
+  if (cur != tag) {
+    slot.count.store(0, std::memory_order_relaxed);
+    slot.sum_nanos.store(0, std::memory_order_relaxed);
+    for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+    slot.tag.store(tag, std::memory_order_release);
+  }
+  return &slot;
+}
+
+void WindowedHistogram::Record(double micros) {
+  if (micros < 0 || !std::isfinite(micros)) micros = 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t epoch = clock_->NowMicros() / options_.window_micros;
+  Slot* slot = AcquireSlot(epoch);
+  if (slot == nullptr) return;  // laggard past a full ring rotation
+  slot->buckets[LatencyHistogram::BucketIndexFor(micros)].fetch_add(
+      1, std::memory_order_relaxed);
+  slot->count.fetch_add(1, std::memory_order_relaxed);
+  slot->sum_nanos.fetch_add(static_cast<uint64_t>(micros * 1000.0),
+                            std::memory_order_relaxed);
+}
+
+void WindowedHistogram::MergeWindows(
+    std::array<uint64_t, LatencyHistogram::kNumBuckets>* out,
+    uint64_t* count, uint64_t* sum_nanos) const {
+  out->fill(0);
+  *count = 0;
+  *sum_nanos = 0;
+  const uint64_t now_epoch = clock_->NowMicros() / options_.window_micros;
+  for (size_t j = 0; j < options_.num_windows; ++j) {
+    if (j > now_epoch) break;  // windows before the clock origin
+    const uint64_t epoch = now_epoch - j;
+    const Slot& slot = ring_[epoch % ring_.size()];
+    if (slot.tag.load(std::memory_order_acquire) != epoch + 1) continue;
+    *count += slot.count.load(std::memory_order_relaxed);
+    *sum_nanos += slot.sum_nanos.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      (*out)[i] += slot.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t WindowedHistogram::CountInWindows() const {
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> merged;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  MergeWindows(&merged, &count, &sum);
+  return count;
+}
+
+double WindowedHistogram::MeanMicros() const {
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> merged;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  MergeWindows(&merged, &count, &sum);
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / 1000.0 / static_cast<double>(count);
+}
+
+double WindowedHistogram::PercentileMicros(double p) const {
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> merged;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  MergeWindows(&merged, &count, &sum);
+  return LatencyHistogram::PercentileOfBuckets(merged, p);
+}
+
+}  // namespace kws::obs

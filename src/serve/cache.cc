@@ -38,11 +38,13 @@ std::optional<CachedResult> ShardedResultCache::Get(const std::string& key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return std::nullopt;
   }
   // Refresh recency: splice the entry to the front of the LRU list.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   return it->second->second;
 }
 
@@ -81,6 +83,21 @@ size_t ShardedResultCache::size() const {
     total += shard->lru.size();
   }
   return total;
+}
+
+std::vector<ShardCacheStats> ShardedResultCache::PerShardStats() const {
+  std::vector<ShardCacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    ShardCacheStats s;
+    s.capacity = shard->capacity;
+    s.size = shard->lru.size();
+    s.hits = shard->hits;
+    s.misses = shard->misses;
+    out.push_back(s);
+  }
+  return out;
 }
 
 CacheStats ShardedResultCache::stats() const {

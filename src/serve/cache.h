@@ -26,6 +26,24 @@ struct CachedResult {
   std::shared_ptr<const engine::XmlResponse> xml;
 };
 
+/// One shard's occupancy and traffic, for `ServingEngine::Statusz` — a
+/// skewed shard (hot keys hashing together, one shard thrashing) is
+/// invisible in the aggregated `CacheStats`.
+struct ShardCacheStats {
+  /// This shard's slice of the total entry budget.
+  size_t capacity = 0;
+  /// Resident entries.
+  size_t size = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
 /// Hit/miss/eviction accounting, aggregated across shards.
 struct CacheStats {
   uint64_t hits = 0;
@@ -86,6 +104,14 @@ class ShardedResultCache {
   /// Aggregated accounting snapshot.
   CacheStats stats() const;
 
+  /// Per-shard occupancy and hit/miss traffic, in shard order. A miss on
+  /// a disabled cache (capacity 0) belongs to no shard and appears only
+  /// in the aggregated `stats()`.
+  std::vector<ShardCacheStats> PerShardStats() const;
+
+  /// Number of shards backing the cache (>= 1 even when disabled).
+  size_t num_shards() const { return shards_.size(); }
+
   bool enabled() const { return capacity_ > 0; }
 
   /// The configured total entry budget.
@@ -96,6 +122,9 @@ class ShardedResultCache {
     std::mutex mu;  // kwslint: allow(mutex-style) -- struct member
     /// This shard's slice of the total budget (slices sum to capacity_).
     size_t capacity = 0;
+    /// Per-shard traffic (guarded by mu; Get already holds it).
+    uint64_t hits = 0;
+    uint64_t misses = 0;
     /// Front = most recent. Each entry is (key, value).
     std::list<std::pair<std::string, CachedResult>> lru;
     std::unordered_map<

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
@@ -9,6 +10,21 @@
 #include "text/tokenizer.h"
 
 namespace kws::serve {
+
+namespace {
+
+/// Windowed-instrument bumps behind the disabled-path convention: one
+/// well-predicted null check when `ServeOptions::windowed_metrics` is
+/// off, never a heavier guard.
+inline void WAdd(obs::WindowedCounter* c, uint64_t n = 1) {
+  if (c != nullptr) c->Add(n);
+}
+
+inline void WRecord(obs::WindowedHistogram* h, double micros) {
+  if (h != nullptr) h->Record(micros);
+}
+
+}  // namespace
 
 ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
                              const engine::XmlKeywordSearch* xml,
@@ -28,20 +44,45 @@ ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
                              relational->db(), options.tuple_cache_capacity)
                        : nullptr),
       cache_(options.cache_capacity, options.cache_shards),
-      submitted_(metrics_.GetCounter("serve.submitted")),
-      rejected_(metrics_.GetCounter("serve.rejected")),
-      completed_(metrics_.GetCounter("serve.completed")),
-      ok_(metrics_.GetCounter("serve.ok")),
-      deadline_exceeded_(metrics_.GetCounter("serve.deadline_exceeded")),
-      errors_(metrics_.GetCounter("serve.errors")),
-      cache_hits_(metrics_.GetCounter("serve.cache.hits")),
-      cache_misses_(metrics_.GetCounter("serve.cache.misses")),
-      trace_sampled_(metrics_.GetCounter("serve.trace.sampled")),
-      writes_notified_(metrics_.GetCounter("serve.writes.notified")),
+      telemetry_(options.clock, options.windows),
+      submitted_(telemetry_.GetCounter("serve.submitted")),
+      rejected_(telemetry_.GetCounter("serve.rejected")),
+      completed_(telemetry_.GetCounter("serve.completed")),
+      ok_(telemetry_.GetCounter("serve.ok")),
+      deadline_exceeded_(telemetry_.GetCounter("serve.deadline_exceeded")),
+      errors_(telemetry_.GetCounter("serve.errors")),
+      cache_hits_(telemetry_.GetCounter("serve.cache.hits")),
+      cache_misses_(telemetry_.GetCounter("serve.cache.misses")),
+      trace_sampled_(telemetry_.GetCounter("serve.trace.sampled")),
+      writes_notified_(telemetry_.GetCounter("serve.writes.notified")),
       tuple_entries_invalidated_(
-          metrics_.GetCounter("serve.tuple_cache.invalidated")),
-      latency_(metrics_.GetHistogram("serve.latency_micros")),
-      queue_wait_(metrics_.GetHistogram("serve.queue_wait_micros")) {
+          telemetry_.GetCounter("serve.tuple_cache.invalidated")),
+      latency_(telemetry_.GetHistogram("serve.latency_micros")),
+      queue_wait_(telemetry_.GetHistogram("serve.queue_wait_micros")),
+      w_submitted_(options.windowed_metrics
+                       ? telemetry_.GetWindowedCounter("serve.submitted")
+                       : nullptr),
+      w_rejected_(options.windowed_metrics
+                      ? telemetry_.GetWindowedCounter("serve.rejected")
+                      : nullptr),
+      w_completed_(options.windowed_metrics
+                       ? telemetry_.GetWindowedCounter("serve.completed")
+                       : nullptr),
+      w_deadline_exceeded_(
+          options.windowed_metrics
+              ? telemetry_.GetWindowedCounter("serve.deadline_exceeded")
+              : nullptr),
+      w_cache_hits_(options.windowed_metrics
+                        ? telemetry_.GetWindowedCounter("serve.cache.hits")
+                        : nullptr),
+      w_cache_misses_(options.windowed_metrics
+                          ? telemetry_.GetWindowedCounter("serve.cache.misses")
+                          : nullptr),
+      w_latency_(options.windowed_metrics
+                     ? telemetry_.GetWindowedHistogram("serve.latency_micros")
+                     : nullptr),
+      clock_(&telemetry_.clock()),
+      start_micros_(clock_->NowMicros()) {
   KWS_CHECK_MSG(options_.num_shards == 0 ||
                     (sharded_ != nullptr &&
                      sharded_->num_shards() == options_.num_shards),
@@ -49,9 +90,9 @@ ServingEngine::ServingEngine(const engine::KeywordSearchEngine* relational,
                 "ShardedEngine");
   if (tuple_cache_ != nullptr) {
     tuple_cache_->AttachCounters(
-        metrics_.GetCounter("serve.tuple_cache.hits"),
-        metrics_.GetCounter("serve.tuple_cache.misses"),
-        metrics_.GetCounter("serve.tuple_cache.evictions"));
+        telemetry_.GetCounter("serve.tuple_cache.hits"),
+        telemetry_.GetCounter("serve.tuple_cache.misses"),
+        telemetry_.GetCounter("serve.tuple_cache.evictions"));
   }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
@@ -64,6 +105,7 @@ ServingEngine::~ServingEngine() { Shutdown(); }
 Status ServingEngine::Submit(QueryRequest request,
                              std::future<QueryOutcome>* outcome) {
   submitted_->Add();
+  WAdd(w_submitted_);
   Task task;
   task.request = std::move(request);
   // Anchor the budget now: queue wait counts against it, so a request
@@ -77,10 +119,12 @@ Status ServingEngine::Submit(QueryRequest request,
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       rejected_->Add();
+      WAdd(w_rejected_);
       return Status::FailedPrecondition("server is shut down");
     }
     if (queue_.size() >= options_.queue_capacity) {
       rejected_->Add();
+      WAdd(w_rejected_);
       return Status::ResourceExhausted(
           "submission queue full (" +
           std::to_string(options_.queue_capacity) + " pending)");
@@ -94,6 +138,7 @@ Status ServingEngine::Submit(QueryRequest request,
 
 QueryOutcome ServingEngine::Query(const QueryRequest& request) {
   submitted_->Add();
+  WAdd(w_submitted_);
   return Execute(request);
 }
 
@@ -171,6 +216,11 @@ std::string ServingEngine::CacheKey(const QueryRequest& request) const {
 
 void ServingEngine::NotifyWrite(const relational::WriteReport& report) {
   writes_notified_->Add();
+  // Record the incoming epoch before any invalidation work: the span
+  // where `last_write_epoch_ > data_epoch_` is exactly the window where
+  // the write is applied but not yet serving-visible, which Statusz
+  // reports as the epoch lag.
+  last_write_epoch_.store(report.epoch, std::memory_order_release);
   // Order matters: drop stale frontiers and refresh standing queries
   // BEFORE publishing the epoch, so a query keyed under the new epoch
   // can never read — or cache — pre-write state.
@@ -230,6 +280,7 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request,
                                     double queue_wait_micros) {
   QueryOutcome outcome;
   Stopwatch watch;
+  inflight_.fetch_add(1, std::memory_order_relaxed);
   // Deterministic trace sampler: execution order alone decides which
   // queries get a tracer, independent of worker scheduling.
   const uint64_t sequence =
@@ -247,8 +298,12 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request,
   auto finish = [&](Counter* bucket) {
     outcome.latency_micros = watch.ElapsedMicros();
     latency_->Record(outcome.latency_micros);
+    WRecord(w_latency_, outcome.latency_micros);
     completed_->Add();
+    WAdd(w_completed_);
     bucket->Add();
+    if (bucket == deadline_exceeded_) WAdd(w_deadline_exceeded_);
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
     query_span.Close();
     RecordSlowQuery(request, outcome, sequence, queue_wait_micros, sampled,
                     sampled ? tracer.RenderTree() : std::string());
@@ -263,12 +318,14 @@ QueryOutcome ServingEngine::Execute(const QueryRequest& request,
     lookup_span.Close();
     if (hit.has_value()) {
       cache_hits_->Add();
+      WAdd(w_cache_hits_);
       outcome.relational = std::move(hit->relational);
       outcome.xml = std::move(hit->xml);
       outcome.cache_hit = true;
       return finish(ok_);
     }
     cache_misses_->Add();
+    WAdd(w_cache_misses_);
   }
 
   // Deadline-aware dispatch: a budget that expired while queued (or a ~0
@@ -402,6 +459,206 @@ void ServingEngine::RecordSlowQuery(const QueryRequest& request,
 std::vector<SlowQueryEntry> ServingEngine::SlowQueries() const {
   std::lock_guard<std::mutex> lock(slow_mu_);
   return {slow_log_.begin(), slow_log_.end()};
+}
+
+std::string ServingEngine::Statusz() const {
+  std::string out;
+  char buf[128];
+  const auto append_f = [&](const char* key, double v) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.3f", key, v);
+    out += buf;
+  };
+  const auto append_u = [&](const char* key, uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%llu", key,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  const auto ratio = [](uint64_t num, uint64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+
+  const uint64_t now = clock_->NowMicros();
+  const uint64_t submitted = submitted_->value();
+  const uint64_t completed = completed_->value();
+  const uint64_t rejected = rejected_->value();
+  const uint64_t deadline_exceeded = deadline_exceeded_->value();
+
+  out += "{";
+  append_u("uptime_micros", now - start_micros_);
+  out += ",\"queue\":{";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    append_u("depth", queue_.size());
+  }
+  out += ",";
+  append_u("capacity", options_.queue_capacity);
+  out += ",";
+  append_u("workers", options_.num_workers);
+  out += ",";
+  append_u("inflight", inflight_.load(std::memory_order_relaxed));
+  out += "},\"requests\":{";
+  append_u("submitted", submitted);
+  out += ",";
+  append_u("completed", completed);
+  out += ",";
+  append_u("ok", ok_->value());
+  out += ",";
+  append_u("rejected", rejected);
+  out += ",";
+  append_u("deadline_exceeded", deadline_exceeded);
+  out += ",";
+  append_u("errors", errors_->value());
+  out += ",";
+  append_f("rejection_rate", ratio(rejected, submitted));
+  out += ",";
+  append_f("deadline_rate", ratio(deadline_exceeded, completed));
+  out += ",\"recent\":{";
+  // The windowed view: rates over the retained windows only, decaying
+  // to zero when traffic stops. All zeros when windowed_metrics is off.
+  const uint64_t rw_submitted =
+      w_submitted_ != nullptr ? w_submitted_->TotalInWindows() : 0;
+  const uint64_t rw_completed =
+      w_completed_ != nullptr ? w_completed_->TotalInWindows() : 0;
+  const uint64_t rw_rejected =
+      w_rejected_ != nullptr ? w_rejected_->TotalInWindows() : 0;
+  const uint64_t rw_deadline =
+      w_deadline_exceeded_ != nullptr ? w_deadline_exceeded_->TotalInWindows()
+                                      : 0;
+  append_u("submitted", rw_submitted);
+  out += ",";
+  append_u("completed", rw_completed);
+  out += ",";
+  append_f("qps", w_completed_ != nullptr ? w_completed_->RatePerSecond()
+                                          : 0.0);
+  out += ",";
+  append_f("rejection_rate", ratio(rw_rejected, rw_submitted));
+  out += ",";
+  append_f("deadline_rate", ratio(rw_deadline, rw_completed));
+  out += "}},\"latency\":{";
+  append_u("count", latency_->count());
+  out += ",";
+  append_f("mean_micros", latency_->MeanMicros());
+  out += ",";
+  append_f("p50_micros", latency_->PercentileMicros(0.50));
+  out += ",";
+  append_f("p95_micros", latency_->PercentileMicros(0.95));
+  out += ",";
+  append_f("p99_micros", latency_->PercentileMicros(0.99));
+  out += ",\"recent\":{";
+  append_u("count", w_latency_ != nullptr ? w_latency_->CountInWindows() : 0);
+  out += ",";
+  append_f("p50_micros",
+           w_latency_ != nullptr ? w_latency_->PercentileMicros(0.50) : 0.0);
+  out += ",";
+  append_f("p99_micros",
+           w_latency_ != nullptr ? w_latency_->PercentileMicros(0.99) : 0.0);
+  out += "}},\"result_cache\":{";
+  const CacheStats cs = cache_.stats();
+  append_u("capacity", cache_.capacity());
+  out += ",";
+  append_u("size", cache_.size());
+  out += ",";
+  append_u("hits", cs.hits);
+  out += ",";
+  append_u("misses", cs.misses);
+  out += ",";
+  append_f("hit_rate", cs.HitRate());
+  out += ",";
+  append_u("insertions", cs.insertions);
+  out += ",";
+  append_u("evictions", cs.evictions);
+  out += ",";
+  const uint64_t rw_hits =
+      w_cache_hits_ != nullptr ? w_cache_hits_->TotalInWindows() : 0;
+  const uint64_t rw_misses =
+      w_cache_misses_ != nullptr ? w_cache_misses_->TotalInWindows() : 0;
+  append_f("recent_hit_rate", ratio(rw_hits, rw_hits + rw_misses));
+  out += ",\"shards\":[";
+  const std::vector<ShardCacheStats> shard_stats = cache_.PerShardStats();
+  for (size_t i = 0; i < shard_stats.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{";
+    append_u("capacity", shard_stats[i].capacity);
+    out += ",";
+    append_u("size", shard_stats[i].size);
+    out += ",";
+    append_u("hits", shard_stats[i].hits);
+    out += ",";
+    append_u("misses", shard_stats[i].misses);
+    out += ",";
+    append_f("hit_rate", shard_stats[i].HitRate());
+    out += "}";
+  }
+  out += "]},\"tuple_cache\":{";
+  if (tuple_cache_ != nullptr) {
+    const cn::TupleSetCache::Stats ts = tuple_cache_->stats();
+    out += "\"configured\":true,";
+    append_u("capacity", tuple_cache_->capacity());
+    out += ",";
+    append_u("size", tuple_cache_->size());
+    out += ",";
+    append_u("hits", ts.hits);
+    out += ",";
+    append_u("misses", ts.misses);
+    out += ",";
+    append_f("hit_rate", ratio(ts.hits, ts.hits + ts.misses));
+    out += ",";
+    append_u("insertions", ts.insertions);
+    out += ",";
+    append_u("evictions", ts.evictions);
+    out += ",";
+    append_u("invalidations", ts.invalidations);
+  } else {
+    out += "\"configured\":false";
+  }
+  out += "},\"epochs\":{";
+  const uint64_t published = data_epoch();
+  const uint64_t last_write =
+      last_write_epoch_.load(std::memory_order_acquire);
+  append_u("published", published);
+  out += ",";
+  append_u("last_write", last_write);
+  out += ",";
+  append_u("lag", last_write > published ? last_write - published : 0);
+  out += ",";
+  append_u("writes_notified", writes_notified_->value());
+  out += ",";
+  append_u("tuple_entries_invalidated", tuple_entries_invalidated_->value());
+  out += "},";
+  {
+    std::lock_guard<std::mutex> lock(standing_mu_);
+    append_u("standing_queries", standing_.size());
+  }
+  out += ",\"slow_queries\":{";
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    append_u("capacity", options_.slow_query_log_capacity);
+    out += ",";
+    append_u("entries", slow_log_.size());
+    out += ",";
+    append_u("threshold_micros", options_.slow_query_micros);
+    out += ",";
+    uint64_t sampled = 0;
+    uint64_t deadline_hits = 0;
+    double max_latency = 0;
+    uint64_t last_sequence = 0;
+    for (const SlowQueryEntry& e : slow_log_) {
+      sampled += e.sampled ? 1 : 0;
+      deadline_hits += e.code == StatusCode::kDeadlineExceeded ? 1 : 0;
+      if (e.latency_micros > max_latency) max_latency = e.latency_micros;
+      last_sequence = e.sequence;
+    }
+    append_u("sampled", sampled);
+    out += ",";
+    append_u("deadline_exceeded", deadline_hits);
+    out += ",";
+    append_f("max_latency_micros", max_latency);
+    out += ",";
+    append_u("last_sequence", last_sequence);
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace kws::serve

@@ -20,6 +20,7 @@
 #include "core/cn/continual.h"
 #include "core/engine/engine.h"
 #include "core/engine/xml_engine.h"
+#include "obs/telemetry.h"
 #include "relational/database.h"
 #include "serve/cache.h"
 #include "shard/sharded_engine.h"
@@ -110,6 +111,18 @@ struct ServeOptions {
   /// Ring-buffer capacity of the slow-query log; the oldest entry is
   /// evicted first. 0 disables the log entirely.
   size_t slow_query_log_capacity = 32;
+  /// Time source for the windowed telemetry and `Statusz` (not owned;
+  /// must outlive the server). nullptr selects the process-wide steady
+  /// clock; tests inject an `obs::ManualClock` so windowed readings and
+  /// Statusz documents are byte-reproducible.
+  const obs::Clock* clock = nullptr;
+  /// Window shape of the windowed instruments (width x retained count).
+  obs::WindowOptions windows;
+  /// Turns the windowed instruments off entirely: the hot path then pays
+  /// one well-predicted null check per event (the kws::trace disabled
+  /// convention), and Statusz `recent` readings render as zeros. The
+  /// cumulative instruments are always on.
+  bool windowed_metrics = true;
 };
 
 /// One completed query retained in the slow-query ring buffer.
@@ -238,9 +251,28 @@ class ServingEngine {
   [[nodiscard]] Result<std::vector<cn::SearchResult>> StandingResults(
       uint64_t id) const;
 
-  MetricsRegistry& metrics() { return metrics_; }
+  /// The cumulative instruments (counters + latency histograms).
+  MetricsRegistry& metrics() { return telemetry_.cumulative(); }
+
+  /// The full telemetry surface: cumulative + windowed instruments and
+  /// the combined `RenderJson`.
+  obs::TelemetryRegistry& telemetry() { return telemetry_; }
+
   CacheStats cache_stats() const { return cache_.stats(); }
   const ServeOptions& options() const { return options_; }
+
+  /// One operational health snapshot as a JSON document with fixed key
+  /// order: queue depth and in-flight count, request counters with
+  /// lifetime and recent (windowed) rejection/deadline rates and QPS,
+  /// lifetime and recent latency percentiles, per-shard result-cache
+  /// occupancy and hit rates, tuple-cache stats, published data epoch
+  /// vs. the last write's epoch (the write-visibility lag), standing-
+  /// query count, and a slow-query-ring digest. Floats are `%.3f`;
+  /// byte-deterministic under an injected `obs::ManualClock` for a given
+  /// operation history (latency histograms are real-time measurements,
+  /// so documents from executed queries pin shape, not exact latency
+  /// bytes). Safe to call at any time from any thread.
+  std::string Statusz() const;
 
   /// The shared tuple-set frontier cache; null when no relational engine
   /// is configured or tuple_cache_capacity is 0. Exposed for tests.
@@ -300,7 +332,7 @@ class ServingEngine {
   /// corpus size at tuple-set build time, not baked into the entry).
   std::unique_ptr<cn::TupleSetCache> tuple_cache_;
   ShardedResultCache cache_;
-  MetricsRegistry metrics_;
+  obs::TelemetryRegistry telemetry_;
   // Instruments resolved once; hot paths touch only atomics.
   Counter* submitted_;
   Counter* rejected_;
@@ -315,6 +347,31 @@ class ServingEngine {
   Counter* tuple_entries_invalidated_;
   LatencyHistogram* latency_;
   LatencyHistogram* queue_wait_;
+  // The windowed mirrors ("what is happening right now"); all null when
+  // `ServeOptions::windowed_metrics` is off — the hot path pays one null
+  // check per event, mirroring the kws::trace disabled convention.
+  obs::WindowedCounter* w_submitted_;
+  obs::WindowedCounter* w_rejected_;
+  obs::WindowedCounter* w_completed_;
+  obs::WindowedCounter* w_deadline_exceeded_;
+  obs::WindowedCounter* w_cache_hits_;
+  obs::WindowedCounter* w_cache_misses_;
+  obs::WindowedHistogram* w_latency_;
+
+  /// The clock behind uptime and the windowed instruments (never null).
+  const obs::Clock* clock_;
+  /// `clock_->NowMicros()` at construction, for Statusz uptime.
+  uint64_t start_micros_;
+
+  /// Queries currently executing (admitted by a worker or the
+  /// synchronous path, not yet finished).
+  std::atomic<uint64_t> inflight_{0};
+
+  /// The epoch of the last WriteReport handed to NotifyWrite, recorded
+  /// BEFORE invalidation/propagation begin — `last_write_epoch_ >
+  /// data_epoch_` is exactly the window where a write is applied but not
+  /// yet serving-visible (the epoch lag Statusz reports).
+  std::atomic<uint64_t> last_write_epoch_{0};
 
   /// The data epoch last ingested by NotifyWrite; tagged into every
   /// relational cache key.
@@ -332,7 +389,9 @@ class ServingEngine {
   mutable std::mutex slow_mu_;
   std::deque<SlowQueryEntry> slow_log_;
 
-  std::mutex mu_;
+  /// Guards the queue and lifecycle flags; mutable so Statusz (const)
+  /// can read the queue depth.
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Task> queue_;
   bool stopping_ = false;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/concurrent_topk.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/cn/candidate_network.h"
@@ -50,6 +52,11 @@ ShardedEngine::ShardedEngine(const ShardedCorpus& corpus,
       tuple_caches_.push_back(std::make_unique<cn::TupleSetCache>(
           db, options_.tuple_cache_capacity));
     }
+    const std::string prefix = "shard.s" + std::to_string(s);
+    shard_searched_.push_back(metrics_.GetCounter(prefix + ".searched"));
+    shard_pruned_.push_back(metrics_.GetCounter(prefix + ".pruned"));
+    shard_gather_micros_.push_back(
+        metrics_.GetHistogram(prefix + ".gather_micros"));
   }
 }
 
@@ -123,6 +130,9 @@ ShardedResponse ShardedEngine::Search(
   }
   pruned_->Add(stats.shards_pruned);
   fanout_->Add(stats.shards_searched);
+  for (size_t s = 0; s < n; ++s) {
+    if (stats.shard_pruned[s]) shard_pruned_[s]->Add();
+  }
 
   // Corpus-wide keyword statistics from summed per-shard integers: the
   // global IDFs (identical doubles to the combined database's
@@ -170,7 +180,7 @@ ShardedResponse ShardedEngine::Search(
   std::vector<char> shard_hit(n, 0);
   trace::TraceSpan scatter_span(tracer, "shard.scatter");
   scatter_span.AddCounter("fanout", stats.shards_searched);
-  const auto run_shard = [&](size_t s) {
+  const auto eval_shard = [&](size_t s) {
     // The tighter of the global deadline and the per-shard budget,
     // anchored when this shard's evaluation starts.
     Deadline shard_deadline = options.deadline;
@@ -241,6 +251,12 @@ ShardedResponse ShardedEngine::Search(
     stats.shard_results[s] = offered;
     stats.shard_cns_evaluated[s] = sstats.cns_evaluated;
   };
+  const auto run_shard = [&](size_t s) {
+    const Stopwatch shard_watch;
+    eval_shard(s);
+    shard_searched_[s]->Add();
+    shard_gather_micros_[s]->Record(shard_watch.ElapsedMicros());
+  };
   if (options.num_threads <= 1 || searched.size() <= 1) {
     for (size_t s : searched) run_shard(s);
   } else {
@@ -288,6 +304,79 @@ ShardedResponse ShardedEngine::Search(
         "shard search budget exhausted (results may be partial)");
   }
   return resp;
+}
+
+std::string ShardedEngine::Statusz() const {
+  std::string out;
+  char buf[128];
+  const auto append_f = [&](const char* key, double v) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.3f", key, v);
+    out += buf;
+  };
+  const auto append_u = [&](const char* key, uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%llu", key,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+
+  out += "{";
+  append_u("shards", corpus_.num_shards());
+  out += ",";
+  append_u("total_rows", total_rows_);
+  out += ",";
+  append_u("queries", queries_->value());
+  out += ",";
+  append_u("fanout", fanout_->value());
+  out += ",";
+  append_u("pruned", pruned_->value());
+  out += ",";
+  append_u("deadline_hits", deadline_hits_->value());
+  out += ",\"per_shard\":[";
+  for (size_t s = 0; s < corpus_.num_shards(); ++s) {
+    if (s > 0) out += ",";
+    out += "{";
+    append_u("rows", corpus_.shards[s]->TotalRows());
+    out += ",";
+    append_u("searched", shard_searched_[s]->value());
+    out += ",";
+    append_u("pruned", shard_pruned_[s]->value());
+    out += ",\"tuple_cache\":{";
+    const cn::TupleSetCache* const cache =
+        tuple_caches_.empty() ? nullptr : tuple_caches_[s].get();
+    out += "\"configured\":";
+    out += cache != nullptr ? "true" : "false";
+    if (cache != nullptr) {
+      const cn::TupleSetCache::Stats cs = cache->stats();
+      out += ",";
+      append_u("capacity", cache->capacity());
+      out += ",";
+      append_u("size", cache->size());
+      out += ",";
+      append_u("hits", cs.hits);
+      out += ",";
+      append_u("misses", cs.misses);
+      out += ",";
+      append_u("insertions", cs.insertions);
+      out += ",";
+      append_u("evictions", cs.evictions);
+      out += ",";
+      append_u("invalidations", cs.invalidations);
+    }
+    out += "},\"gather\":{";
+    const LatencyHistogram& h = *shard_gather_micros_[s];
+    append_u("count", h.count());
+    out += ",";
+    append_f("mean_micros", h.MeanMicros());
+    out += ",";
+    append_f("p50_micros", h.PercentileMicros(0.50));
+    out += ",";
+    append_f("p95_micros", h.PercentileMicros(0.95));
+    out += ",";
+    append_f("p99_micros", h.PercentileMicros(0.99));
+    out += "}}";
+  }
+  out += "]}";
+  return out;
 }
 
 ShardedExplainResult ShardedEngine::Explain(

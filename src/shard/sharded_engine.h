@@ -168,8 +168,19 @@ class ShardedEngine {
   const ShardedCorpus& corpus() const { return corpus_; }
 
   /// Engine-lifetime counters: `shard.queries`, `shard.fanout`,
-  /// `shard.pruned`, `shard.deadline.hits`.
+  /// `shard.pruned`, `shard.deadline.hits`, plus per-shard instruments
+  /// `shard.s<i>.searched` / `shard.s<i>.pruned` (selection skipped the
+  /// shard) and the `shard.s<i>.gather_micros` histogram (the shard's
+  /// evaluation latency as seen by the gather).
   MetricsRegistry& metrics() const { return metrics_; }
+
+  /// One operational health snapshot as a JSON document with fixed key
+  /// order: engine-lifetime counters, then one object per shard — row
+  /// count, searched/pruned counts, tuple-cache stats, and the gather
+  /// latency histogram (count, mean, p50/p95/p99). Floats are `%.3f`;
+  /// the document is a pure function of the instruments' current values.
+  /// Safe to call at any time from any thread.
+  std::string Statusz() const;
 
  private:
   const ShardedCorpus& corpus_;
@@ -186,6 +197,11 @@ class ShardedEngine {
   Counter* fanout_;
   Counter* pruned_;
   Counter* deadline_hits_;
+  // Per-shard instruments (index = shard), resolved at construction so
+  // scatter workers touch only atomics.
+  std::vector<Counter*> shard_searched_;
+  std::vector<Counter*> shard_pruned_;
+  std::vector<LatencyHistogram*> shard_gather_micros_;
 };
 
 }  // namespace kws::shard

@@ -1,0 +1,239 @@
+// Unit tests for the benchdiff parser and diff engine — in particular
+// the CI acceptance story: a synthetically-injected perf regression must
+// produce an error finding, and schedule-dependent count columns must
+// never fire.
+
+#include <string>
+#include <vector>
+
+#include "benchdiff/diff.h"
+#include "gtest/gtest.h"
+
+namespace kws::benchdiff {
+namespace {
+
+/// A well-formed two-experiment export in the bench_util JsonExport
+/// schema.
+const char kBaseline[] =
+    R"({"experiments":[)"
+    R"({"id":"E20","title":"serving throughput","headers":)"
+    R"(["workers","qps","p50 ms","p99 ms","cns evaluated"],)"
+    R"("rows":[[1,100.0,5.0,20.0,1234],[4,350.0,6.0,25.0,4321]]},)"
+    R"({"id":"E21","title":"shard scatter","headers":)"
+    R"(["shards","total ms","speedup"],)"
+    R"("rows":[["1",80.0,1.0],["4",25.0,3.2]]})"
+    R"(]})";
+
+/// Builds a copy of kBaseline with one numeric cell replaced. `from` and
+/// `to` are exact-token substitutions, so tests inject drift precisely.
+std::string Patched(const std::string& from, const std::string& to) {
+  std::string doc = kBaseline;
+  const size_t pos = doc.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  doc.replace(pos, from.size(), to);
+  return doc;
+}
+
+TEST(BenchdiffParse, RoundTripsSchema) {
+  const auto parsed = ParseReport(kBaseline);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const BenchReport& report = parsed.value();
+  ASSERT_EQ(report.experiments.size(), 2u);
+  EXPECT_EQ(report.experiments[0].id, "E20");
+  EXPECT_EQ(report.experiments[0].title, "serving throughput");
+  ASSERT_EQ(report.experiments[0].headers.size(), 5u);
+  ASSERT_EQ(report.experiments[0].rows.size(), 2u);
+  EXPECT_TRUE(report.experiments[0].rows[0][1].is_number);
+  EXPECT_DOUBLE_EQ(report.experiments[0].rows[0][1].number, 100.0);
+  // E21's first column is strings ("1", "4"), not numbers.
+  EXPECT_FALSE(report.experiments[1].rows[0][0].is_number);
+  EXPECT_EQ(report.experiments[1].rows[0][0].text, "1");
+}
+
+TEST(BenchdiffParse, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseReport("").ok());
+  EXPECT_FALSE(ParseReport("garbage").ok());
+  EXPECT_FALSE(ParseReport(R"({"experiments":[)").ok());
+  EXPECT_FALSE(ParseReport(R"({"wrong":[]})").ok());
+  // Row wider than the header list.
+  EXPECT_FALSE(ParseReport(R"({"experiments":[{"id":"E1","title":"t",)"
+                           R"("headers":["a"],"rows":[[1,2]]}]})")
+                   .ok());
+  // Missing id.
+  EXPECT_FALSE(ParseReport(R"({"experiments":[{"title":"t",)"
+                           R"("headers":["a"],"rows":[[1]]}]})")
+                   .ok());
+  // Duplicate experiment id.
+  EXPECT_FALSE(
+      ParseReport(R"({"experiments":[)"
+                  R"({"id":"E1","title":"t","headers":["a"],"rows":[[1]]},)"
+                  R"({"id":"E1","title":"t","headers":["a"],"rows":[[1]]})"
+                  R"(]})")
+          .ok());
+  // Trailing content after the document.
+  EXPECT_FALSE(ParseReport(R"({"experiments":[]}x)").ok());
+}
+
+TEST(BenchdiffHeaders, PerfColumnsAreUnitTokens) {
+  EXPECT_TRUE(IsPerfHeader("p50 ms"));
+  EXPECT_TRUE(IsPerfHeader("total ms"));
+  EXPECT_TRUE(IsPerfHeader("us/op"));
+  EXPECT_TRUE(IsPerfHeader("qps"));
+  EXPECT_TRUE(IsPerfHeader("speedup"));
+  EXPECT_TRUE(IsPerfHeader("build sec"));
+  // Token match, not substring match: "terms" must not read as "ms".
+  EXPECT_FALSE(IsPerfHeader("terms"));
+  EXPECT_FALSE(IsPerfHeader("cns evaluated"));
+  EXPECT_FALSE(IsPerfHeader("cache misses"));
+  EXPECT_FALSE(IsPerfHeader("results"));
+}
+
+TEST(BenchdiffDiff, IdenticalReportsAreClean) {
+  const auto base = ParseReport(kBaseline);
+  ASSERT_TRUE(base.ok());
+  const std::vector<Finding> findings =
+      DiffReports(base.value(), base.value(), DiffOptions{});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(BenchdiffDiff, InjectedLatencyRegressionFails) {
+  const auto base = ParseReport(kBaseline);
+  // p99 of the 1-worker row: 20.0 -> 90.0 ms, far past tolerance 1.5.
+  const auto cur = ParseReport(Patched("20.0", "90.0"));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(cur.ok());
+  const std::vector<Finding> findings =
+      DiffReports(base.value(), cur.value(), DiffOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].experiment, "E20");
+  EXPECT_EQ(findings[0].rule, "perf-regression");
+  EXPECT_TRUE(findings[0].error);
+}
+
+TEST(BenchdiffDiff, InjectedThroughputDropFails) {
+  const auto base = ParseReport(kBaseline);
+  // qps of the 4-worker row: 350 -> 100, a 3.5x throughput drop.
+  const auto cur = ParseReport(Patched("350.0", "100.0"));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(cur.ok());
+  const std::vector<Finding> findings =
+      DiffReports(base.value(), cur.value(), DiffOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "perf-regression");
+  EXPECT_TRUE(findings[0].error);
+}
+
+TEST(BenchdiffDiff, ToleranceBandAbsorbsNoise) {
+  const auto base = ParseReport(kBaseline);
+  // 20.0 -> 25.0 ms is a 1.25x drift, inside the default 1.5x band.
+  const auto cur = ParseReport(Patched("20.0", "25.0"));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(cur.ok());
+  EXPECT_TRUE(DiffReports(base.value(), cur.value(), DiffOptions{}).empty());
+  // A generous band (the ci.sh setting) absorbs even a 3x drift.
+  const auto cur3 = ParseReport(Patched("20.0", "60.0"));
+  ASSERT_TRUE(cur3.ok());
+  DiffOptions generous;
+  generous.tolerance = 5.0;
+  EXPECT_TRUE(
+      DiffReports(base.value(), cur3.value(), generous).empty());
+}
+
+TEST(BenchdiffDiff, ScheduleDependentCountsAreIgnored) {
+  const auto base = ParseReport(kBaseline);
+  // "cns evaluated" is a work counter: 1234 -> 999999 must not fire.
+  const auto cur = ParseReport(Patched("1234", "999999"));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(cur.ok());
+  EXPECT_TRUE(DiffReports(base.value(), cur.value(), DiffOptions{}).empty());
+}
+
+TEST(BenchdiffDiff, ImprovementIsANoteNotAnError) {
+  const auto base = ParseReport(kBaseline);
+  // p99: 20.0 -> 5.0 ms, 4x better.
+  const auto cur = ParseReport(Patched("20.0", "5.0"));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(cur.ok());
+  const std::vector<Finding> findings =
+      DiffReports(base.value(), cur.value(), DiffOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "perf-improvement");
+  EXPECT_FALSE(findings[0].error);
+}
+
+TEST(BenchdiffDiff, StructuralDriftIsAnError) {
+  const auto base = ParseReport(kBaseline);
+  ASSERT_TRUE(base.ok());
+  // Missing experiment: current has only E20.
+  const auto only_e20 = ParseReport(
+      R"({"experiments":[{"id":"E20","title":"serving throughput",)"
+      R"("headers":["workers","qps","p50 ms","p99 ms","cns evaluated"],)"
+      R"("rows":[[1,100.0,5.0,20.0,1234],[4,350.0,6.0,25.0,4321]]}]})");
+  ASSERT_TRUE(only_e20.ok());
+  std::vector<Finding> findings =
+      DiffReports(base.value(), only_e20.value(), DiffOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].experiment, "E21");
+  EXPECT_EQ(findings[0].rule, "missing-experiment");
+  EXPECT_TRUE(findings[0].error);
+
+  // Changed header: "p99 ms" renamed.
+  const auto renamed = ParseReport(Patched("p99 ms", "p99_ms"));
+  ASSERT_TRUE(renamed.ok());
+  findings = DiffReports(base.value(), renamed.value(), DiffOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "header-mismatch");
+
+  // Changed string label.
+  const auto relabeled = ParseReport(Patched(R"(["1",80.0)", R"(["2",80.0)"));
+  ASSERT_TRUE(relabeled.ok());
+  findings = DiffReports(base.value(), relabeled.value(), DiffOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "cell-mismatch");
+
+  // Dropped row.
+  const auto fewer = ParseReport(
+      Patched(R"([["1",80.0,1.0],["4",25.0,3.2]])", R"([["1",80.0,1.0]])"));
+  ASSERT_TRUE(fewer.ok());
+  findings = DiffReports(base.value(), fewer.value(), DiffOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "row-count");
+}
+
+TEST(BenchdiffDiff, NewExperimentIsANote) {
+  const auto base = ParseReport(
+      R"({"experiments":[{"id":"E20","title":"serving throughput",)"
+      R"("headers":["workers","qps","p50 ms","p99 ms","cns evaluated"],)"
+      R"("rows":[[1,100.0,5.0,20.0,1234],[4,350.0,6.0,25.0,4321]]}]})");
+  const auto cur = ParseReport(kBaseline);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(cur.ok());
+  const std::vector<Finding> findings =
+      DiffReports(base.value(), cur.value(), DiffOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].experiment, "E21");
+  EXPECT_EQ(findings[0].rule, "new-experiment");
+  EXPECT_FALSE(findings[0].error);
+}
+
+TEST(BenchdiffRender, TextAndJsonAreStable) {
+  const auto base = ParseReport(kBaseline);
+  const auto cur = ParseReport(Patched("20.0", "90.0"));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(cur.ok());
+  const std::vector<Finding> findings =
+      DiffReports(base.value(), cur.value(), DiffOptions{});
+  const std::string text = RenderText("cur.json", findings);
+  EXPECT_EQ(text,
+            "cur.json: E20: perf-regression: row 0 column 'p99 ms': "
+            "20.000 -> 90.000 (4.500x worse, tolerance 1.500x)\n");
+  const std::string json = RenderJson("cur.json", findings);
+  EXPECT_EQ(json,
+            "{\"file\":\"cur.json\",\"findings\":[{\"experiment\":\"E20\","
+            "\"rule\":\"perf-regression\",\"error\":true,\"message\":"
+            "\"row 0 column 'p99 ms': 20.000 -> 90.000 (4.500x worse, "
+            "tolerance 1.500x)\"}]}");
+}
+
+}  // namespace
+}  // namespace kws::benchdiff

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <set>
@@ -319,6 +320,65 @@ TEST(MetricsRegistryTest, RenderJsonHasStableShapeAndSortedNames) {
   EXPECT_NE(text.find("serve.hits 1"), std::string::npos) << text;
   EXPECT_NE(text.find("serve.latency_micros count=1"), std::string::npos)
       << text;
+}
+
+TEST(MetricsRegistryTest, RenderJsonGoldenBytes) {
+  // Dashboards and the benchdiff gate key off this document: the full
+  // rendering is pinned byte for byte, so any format change is a
+  // deliberate golden update.
+  MetricsRegistry registry;
+  registry.GetCounter("serve.hits")->Add(3);
+  registry.GetHistogram("serve.latency_micros")->Record(100);
+  registry.GetHistogram("serve.latency_micros")->Record(100);
+  EXPECT_EQ(
+      registry.RenderJson(),
+      "{\"counters\":{\"serve.hits\":3},"
+      "\"histograms\":{\"serve.latency_micros\":{"
+      "\"count\":2,\"sum_micros\":200.000,\"mean_micros\":100.000,"
+      "\"p50_micros\":96.000,\"p95_micros\":124.800,\"p99_micros\":127.360,"
+      "\"buckets\":[{\"index\":6,\"lo_micros\":64.000,"
+      "\"hi_micros\":128.000,\"count\":2}]}}}");
+}
+
+TEST(LatencyHistogramTest, PercentileEdgeCases) {
+  // Empty: every percentile is 0.
+  LatencyHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.PercentileMicros(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.PercentileMicros(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.PercentileMicros(1.0), 0.0);
+
+  // Single occupied bucket: percentiles interpolate inside [lo, hi) and
+  // never leave it.
+  LatencyHistogram single;
+  single.Record(100);  // bucket 6 = [64, 128)
+  for (double p : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const double v = single.PercentileMicros(p);
+    EXPECT_GE(v, 64.0) << p;
+    EXPECT_LE(v, 128.0) << p;
+  }
+  EXPECT_LT(single.PercentileMicros(0.25), single.PercentileMicros(0.75));
+
+  // Bucket 0 covers [0, 2): sub-microsecond and zero observations land
+  // there and interpolate from a lower edge of 0.
+  LatencyHistogram tiny;
+  tiny.Record(0);
+  tiny.Record(0.5);
+  const double p50 = tiny.PercentileMicros(0.5);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LT(p50, 2.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketLowerMicros(0), 0.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperMicros(0), 2.0);
+  EXPECT_EQ(LatencyHistogram::BucketIndexFor(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndexFor(1.99), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndexFor(2.0), 1u);
+
+  // The static bucket-array form agrees with the instance method.
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> counts{};
+  counts[6] = 1;
+  EXPECT_DOUBLE_EQ(LatencyHistogram::PercentileOfBuckets(counts, 0.5),
+                   single.PercentileMicros(0.5));
+  std::array<uint64_t, LatencyHistogram::kNumBuckets> none{};
+  EXPECT_DOUBLE_EQ(LatencyHistogram::PercentileOfBuckets(none, 0.99), 0.0);
 }
 
 TEST(MetricsThreadingTest, RenderWhileRecordingIsSafe) {

@@ -277,6 +277,24 @@ TEST(KwslintMetricName, AcceptsDottedLowercaseAndSkipsNonLiterals) {
   EXPECT_EQ(CountRule(Lint("src/serve/foo.cc", good), "metric-name"), 0u);
 }
 
+TEST(KwslintMetricName, CoversWindowedInstrumentGetters) {
+  // The windowed registry entry points are checked exactly like the
+  // cumulative ones.
+  const std::string bad =
+      "void F(obs::TelemetryRegistry* t) {\n"
+      "  t->GetWindowedCounter(\"Serve.Submitted\");\n"
+      "  t->GetWindowedHistogram(\"serve latency\");\n"
+      "}\n";
+  EXPECT_EQ(CountRule(Lint("src/serve/foo.cc", bad), "metric-name"), 2u);
+  const std::string good =
+      "void F(obs::TelemetryRegistry* t, const std::string& dyn) {\n"
+      "  t->GetWindowedCounter(\"serve.submitted\");\n"
+      "  t->GetWindowedHistogram(\"serve.latency_micros\");\n"
+      "  t->GetWindowedCounter(dyn);\n"  // non-literal: not checked
+      "}\n";
+  EXPECT_EQ(CountRule(Lint("src/serve/foo.cc", good), "metric-name"), 0u);
+}
+
 TEST(KwslintMetricName, ChecksTraceSpanDeclarations) {
   const std::string bad =
       "void F(trace::Tracer* t) {\n"

@@ -841,5 +841,49 @@ TEST_F(ShardedServeTest, ZeroNumShardsIgnoresTheAttachedEngine) {
             unsharded.Search(req.query).cleaned_query);
 }
 
+// ---------------------------------------------------------------------------
+// Statusz: the health snapshot tracks writes and epochs.
+
+TEST(ServingStatuszEpochsTest, ReportsWriteEpochsAndNotifications) {
+  relational::DblpOptions opts;
+  opts.num_authors = 30;
+  opts.num_papers = 60;
+  opts.num_conferences = 6;
+  relational::DblpDatabase dblp = MakeDblpDatabase(opts);
+  const engine::KeywordSearchEngine engine(*dblp.db);
+  ServeOptions so;
+  so.num_workers = 1;
+  ServingEngine server(&engine, /*xml=*/nullptr, so);
+
+  std::string doc = server.Statusz();
+  EXPECT_NE(doc.find("\"epochs\":{\"published\":0,\"last_write\":0,"
+                     "\"lag\":0,\"writes_notified\":0"),
+            std::string::npos)
+      << doc;
+
+  // One write round-trip: apply the batch, hand the report to the server.
+  relational::DblpInsertOptions batch_opts;
+  batch_opts.seed = 5;
+  batch_opts.num_papers = 3;
+  const std::vector<relational::RowInsert> batch =
+      MakeDblpInsertBatch(dblp, batch_opts);
+  const Result<relational::WriteReport> applied =
+      dblp.db->ApplyInserts(batch);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  server.NotifyWrite(applied.value());
+
+  doc = server.Statusz();
+  // Published and last-write epochs agree again (lag closes once
+  // NotifyWrite finishes), and the notification was counted.
+  EXPECT_NE(doc.find("\"epochs\":{\"published\":1,\"last_write\":1,"
+                     "\"lag\":0,\"writes_notified\":1"),
+            std::string::npos)
+      << doc;
+  // New cache keys carry the published epoch.
+  QueryRequest req;
+  req.query = "keyword search";
+  EXPECT_EQ(server.CacheKey(req).rfind("e1|rel|", 0), 0u);
+}
+
 }  // namespace
 }  // namespace kws::serve

@@ -282,5 +282,57 @@ TEST(ShardTraceTest, ExplainRendersScatterGatherSpans) {
   ExpectSameResults(explained.response.results, direct.results, "explain");
 }
 
+// ------------------------------------------------------------- statusz
+
+TEST(ShardStatuszTest, ReportsPerShardCountersAndGatherLatency) {
+  const size_t shards = 3;
+  const ShardedCorpus corpus = MakeShardedDblp(SmallDblp(17), shards);
+  const ShardedEngine engine(corpus);
+
+  // Fresh engine: one per_shard object per shard, all counters zero.
+  std::string doc = engine.Statusz();
+  EXPECT_NE(doc.find("\"shards\":3"), std::string::npos) << doc;
+  size_t objects = 0;
+  for (size_t pos = 0; (pos = doc.find("{\"rows\":", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++objects;
+  }
+  EXPECT_EQ(objects, shards) << doc;
+  EXPECT_NE(doc.find("\"queries\":0"), std::string::npos) << doc;
+
+  ShardedSearchOptions sso;
+  sso.prune = true;
+  const ShardedResponse resp = engine.Search("keyword search", sso);
+  ASSERT_TRUE(resp.status.ok());
+
+  // The per-shard instruments agree with the response's own stats.
+  uint64_t searched = 0;
+  uint64_t pruned = 0;
+  uint64_t gathered = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const std::string prefix = "shard.s" + std::to_string(s);
+    searched += engine.metrics().GetCounter(prefix + ".searched")->value();
+    pruned += engine.metrics().GetCounter(prefix + ".pruned")->value();
+    gathered +=
+        engine.metrics().GetHistogram(prefix + ".gather_micros")->count();
+  }
+  EXPECT_EQ(searched, resp.stats.shards_searched);
+  EXPECT_EQ(pruned, resp.stats.shards_pruned);
+  // Every searched shard recorded exactly one gather latency sample.
+  EXPECT_EQ(gathered, resp.stats.shards_searched);
+
+  doc = engine.Statusz();
+  EXPECT_NE(doc.find("\"queries\":1"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"gather\":{\"count\":"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"tuple_cache\":{\"configured\":true"),
+            std::string::npos)
+      << doc;
+  // Two identical calls with no traffic in between are byte-identical
+  // except the gather means/percentiles never change without traffic —
+  // i.e. fully identical.
+  EXPECT_EQ(doc, engine.Statusz());
+}
+
 }  // namespace
 }  // namespace kws::shard

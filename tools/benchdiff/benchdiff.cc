@@ -1,0 +1,143 @@
+// benchdiff: the CI perf-regression gate over bench JSON exports.
+//
+// Every bench binary mirrors its printed tables into one JSON document
+// per experiment (`--json=<path>`, schema
+// `{"experiments":[{"id","title","headers","rows"}]}`). benchdiff
+// compares such a document against a checked-in baseline
+// (bench/baselines/E*.json): structural drift — a missing experiment,
+// changed headers, a changed row count, or a changed string cell — is an
+// error, and numeric cells in time/throughput columns (headers with a
+// `ms`/`us`/`ns`/`sec`/`qps`/`speedup` token) are ratio-checked against a
+// tolerance band. Count-like columns are ignored: under kSparse the work
+// counters are schedule-dependent by design. A current value *better*
+// than baseline beyond the band is a note, not an error — refresh the
+// baseline when it sticks.
+//
+// Usage:
+//   benchdiff --check FILE...                 validate export schema only
+//   benchdiff [--tolerance=X] [--format=text|json] BASELINE CURRENT
+//
+// Exit code 0 when clean (notes allowed), 1 when any check failed or any
+// error finding fired, 2 on usage or I/O errors. Text diagnostics go to
+// stdout as "file: experiment: rule: message" ordered by (experiment,
+// rule, message); --format=json emits one machine-readable document.
+//
+// Baseline refresh workflow: run the bench with --json, eyeball the
+// diff output, then copy bench-out/E*.json over bench/baselines/.
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchdiff/diff.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: benchdiff --check FILE...\n"
+      << "       benchdiff [--tolerance=X] [--format=text|json] "
+         "BASELINE CURRENT\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::string format = "text";
+  double tolerance = 1.5;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check_only = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return Usage();
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      char* end = nullptr;
+      tolerance = std::strtod(arg.c_str() + 12, &end);
+      if (end == nullptr || *end != '\0' || tolerance <= 1.0) {
+        std::cerr << "benchdiff: --tolerance must be a number > 1\n";
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (check_only) {
+    if (files.empty()) return Usage();
+    int bad = 0;
+    for (const std::string& path : files) {
+      std::string text;
+      if (!ReadFile(path, &text)) {
+        std::cerr << "benchdiff: cannot read " << path << "\n";
+        return 2;
+      }
+      const auto parsed = kws::benchdiff::ParseReport(text);
+      if (!parsed.ok()) {
+        std::cout << path << ": check: " << parsed.status().message() << "\n";
+        ++bad;
+      } else if (parsed.value().experiments.empty()) {
+        std::cout << path << ": check: document has no experiments\n";
+        ++bad;
+      }
+    }
+    return bad > 0 ? 1 : 0;
+  }
+
+  if (files.size() != 2) return Usage();
+  std::string base_text;
+  std::string cur_text;
+  if (!ReadFile(files[0], &base_text)) {
+    std::cerr << "benchdiff: cannot read " << files[0] << "\n";
+    return 2;
+  }
+  if (!ReadFile(files[1], &cur_text)) {
+    std::cerr << "benchdiff: cannot read " << files[1] << "\n";
+    return 2;
+  }
+  const auto base = kws::benchdiff::ParseReport(base_text);
+  if (!base.ok()) {
+    std::cerr << "benchdiff: " << files[0] << ": "
+              << base.status().message() << "\n";
+    return 2;
+  }
+  const auto cur = kws::benchdiff::ParseReport(cur_text);
+  if (!cur.ok()) {
+    std::cerr << "benchdiff: " << files[1] << ": " << cur.status().message()
+              << "\n";
+    return 2;
+  }
+
+  kws::benchdiff::DiffOptions options;
+  options.tolerance = tolerance;
+  const std::vector<kws::benchdiff::Finding> findings =
+      kws::benchdiff::DiffReports(base.value(), cur.value(), options);
+  if (format == "json") {
+    std::cout << kws::benchdiff::RenderJson(files[1], findings) << "\n";
+  } else {
+    std::cout << kws::benchdiff::RenderText(files[1], findings);
+  }
+  for (const kws::benchdiff::Finding& f : findings) {
+    if (f.error) return 1;
+  }
+  return 0;
+}

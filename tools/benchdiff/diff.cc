@@ -1,0 +1,429 @@
+#include "benchdiff/diff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace kws::benchdiff {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON reader, just enough for the bench
+// export schema. No exceptions: every step reports through Status.
+// ---------------------------------------------------------------------------
+
+/// Cursor over the input document.
+struct Reader {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos >= text.size();
+  }
+
+  /// Peeks the next non-whitespace character ('\0' at end).
+  char Peek() {
+    SkipWs();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != c) {
+      return Status::InvalidArgument("expected '" + std::string(1, c) +
+                                     "' at offset " + std::to_string(pos));
+    }
+    ++pos;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    KWS_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u':
+            // The exporter never emits \u escapes; accept and keep the
+            // raw text so foreign documents still parse.
+            *out += "\\u";
+            break;
+          default:
+            return Status::InvalidArgument("bad escape at offset " +
+                                           std::to_string(pos - 1));
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Status ParseNumber(Cell* out) {
+    SkipWs();
+    const size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return Status::InvalidArgument("expected number at offset " +
+                                     std::to_string(pos));
+    }
+    out->is_number = true;
+    out->text = text.substr(start, pos - start);
+    char* end = nullptr;
+    out->number = std::strtod(out->text.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad number '" + out->text + "'");
+    }
+    return Status::OK();
+  }
+
+  /// Parses one cell value: string or number (the only kinds the
+  /// exporter writes into rows).
+  Status ParseCell(Cell* out) {
+    if (Peek() == '"') {
+      out->is_number = false;
+      return ParseString(&out->text);
+    }
+    return ParseNumber(out);
+  }
+};
+
+Status ParseExperiment(Reader* r, Experiment* exp) {
+  KWS_RETURN_IF_ERROR(r->Expect('{'));
+  bool first = true;
+  bool saw_id = false;
+  bool saw_headers = false;
+  bool saw_rows = false;
+  while (r->Peek() != '}') {
+    if (!first) KWS_RETURN_IF_ERROR(r->Expect(','));
+    first = false;
+    std::string key;
+    KWS_RETURN_IF_ERROR(r->ParseString(&key));
+    KWS_RETURN_IF_ERROR(r->Expect(':'));
+    if (key == "id") {
+      KWS_RETURN_IF_ERROR(r->ParseString(&exp->id));
+      saw_id = true;
+    } else if (key == "title") {
+      KWS_RETURN_IF_ERROR(r->ParseString(&exp->title));
+    } else if (key == "headers") {
+      KWS_RETURN_IF_ERROR(r->Expect('['));
+      while (r->Peek() != ']') {
+        if (!exp->headers.empty()) KWS_RETURN_IF_ERROR(r->Expect(','));
+        std::string h;
+        KWS_RETURN_IF_ERROR(r->ParseString(&h));
+        exp->headers.push_back(std::move(h));
+      }
+      KWS_RETURN_IF_ERROR(r->Expect(']'));
+      saw_headers = true;
+    } else if (key == "rows") {
+      KWS_RETURN_IF_ERROR(r->Expect('['));
+      while (r->Peek() != ']') {
+        if (!exp->rows.empty()) KWS_RETURN_IF_ERROR(r->Expect(','));
+        std::vector<Cell> row;
+        KWS_RETURN_IF_ERROR(r->Expect('['));
+        while (r->Peek() != ']') {
+          if (!row.empty()) KWS_RETURN_IF_ERROR(r->Expect(','));
+          Cell cell;
+          KWS_RETURN_IF_ERROR(r->ParseCell(&cell));
+          row.push_back(std::move(cell));
+        }
+        KWS_RETURN_IF_ERROR(r->Expect(']'));
+        exp->rows.push_back(std::move(row));
+      }
+      KWS_RETURN_IF_ERROR(r->Expect(']'));
+      saw_rows = true;
+    } else {
+      return Status::InvalidArgument("unknown experiment key '" + key + "'");
+    }
+  }
+  KWS_RETURN_IF_ERROR(r->Expect('}'));
+  if (!saw_id || !saw_headers || !saw_rows) {
+    return Status::InvalidArgument("experiment missing id/headers/rows");
+  }
+  if (exp->id.empty()) {
+    return Status::InvalidArgument("experiment with empty id");
+  }
+  for (size_t i = 0; i < exp->rows.size(); ++i) {
+    if (exp->rows[i].size() != exp->headers.size()) {
+      return Status::InvalidArgument(
+          exp->id + ": row " + std::to_string(i) + " has " +
+          std::to_string(exp->rows[i].size()) + " cells, headers have " +
+          std::to_string(exp->headers.size()));
+    }
+  }
+  return Status::OK();
+}
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+}
+
+/// Orders findings for byte-stable output.
+bool FindingLess(const Finding& a, const Finding& b) {
+  if (a.experiment != b.experiment) return a.experiment < b.experiment;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+/// Columns whose ratio-check direction is "bigger is better".
+bool IsThroughputToken(const std::string& token) {
+  return token == "qps" || token == "speedup" || token == "throughput";
+}
+
+/// Columns measured in time units ("smaller is better").
+bool IsTimeToken(const std::string& token) {
+  return token == "ms" || token == "us" || token == "ns" ||
+         token == "micros" || token == "millis" || token == "nanos" ||
+         token == "sec" || token == "secs";
+}
+
+/// Splits `header` into lowercase `[a-z0-9]+` tokens.
+std::vector<std::string> HeaderTokens(const std::string& header) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : header) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) != 0) {
+      cur += static_cast<char>(std::tolower(u));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+/// -1: smaller is better (time), +1: bigger is better (throughput),
+/// 0: not a perf column.
+int PerfDirection(const std::string& header) {
+  for (const std::string& t : HeaderTokens(header)) {
+    if (IsTimeToken(t)) return -1;
+    if (IsThroughputToken(t)) return 1;
+  }
+  return 0;
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+Result<BenchReport> ParseReport(const std::string& json) {
+  Reader r{json};
+  BenchReport report;
+  KWS_RETURN_IF_ERROR(r.Expect('{'));
+  std::string key;
+  KWS_RETURN_IF_ERROR(r.ParseString(&key));
+  if (key != "experiments") {
+    return Status::InvalidArgument("expected top-level key 'experiments'");
+  }
+  KWS_RETURN_IF_ERROR(r.Expect(':'));
+  KWS_RETURN_IF_ERROR(r.Expect('['));
+  while (r.Peek() != ']') {
+    if (!report.experiments.empty()) KWS_RETURN_IF_ERROR(r.Expect(','));
+    Experiment exp;
+    KWS_RETURN_IF_ERROR(ParseExperiment(&r, &exp));
+    report.experiments.push_back(std::move(exp));
+  }
+  KWS_RETURN_IF_ERROR(r.Expect(']'));
+  KWS_RETURN_IF_ERROR(r.Expect('}'));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing content after document");
+  }
+  std::set<std::string> ids;
+  for (const Experiment& exp : report.experiments) {
+    if (!ids.insert(exp.id).second) {
+      return Status::InvalidArgument("duplicate experiment id '" + exp.id +
+                                     "'");
+    }
+  }
+  return report;
+}
+
+bool IsPerfHeader(const std::string& header) {
+  return PerfDirection(header) != 0;
+}
+
+std::vector<Finding> DiffReports(const BenchReport& baseline,
+                                 const BenchReport& current,
+                                 const DiffOptions& options) {
+  std::vector<Finding> findings;
+  const double tol = options.tolerance > 1.0 ? options.tolerance : 1.0;
+  std::map<std::string, const Experiment*> cur_by_id;
+  for (const Experiment& exp : current.experiments) {
+    cur_by_id[exp.id] = &exp;
+  }
+  std::set<std::string> base_ids;
+  for (const Experiment& base : baseline.experiments) {
+    base_ids.insert(base.id);
+    const auto it = cur_by_id.find(base.id);
+    if (it == cur_by_id.end()) {
+      findings.push_back({base.id, "missing-experiment",
+                          "experiment present in baseline but not in current",
+                          true});
+      continue;
+    }
+    const Experiment& cur = *it->second;
+    if (cur.headers != base.headers) {
+      findings.push_back({base.id, "header-mismatch",
+                          "column headers changed; refresh the baseline",
+                          true});
+      continue;
+    }
+    if (cur.rows.size() != base.rows.size()) {
+      findings.push_back(
+          {base.id, "row-count",
+           "baseline has " + std::to_string(base.rows.size()) +
+               " rows, current has " + std::to_string(cur.rows.size()),
+           true});
+      continue;
+    }
+    for (size_t r = 0; r < base.rows.size(); ++r) {
+      for (size_t c = 0; c < base.headers.size(); ++c) {
+        const Cell& b = base.rows[r][c];
+        const Cell& n = cur.rows[r][c];
+        const std::string where = "row " + std::to_string(r) + " column '" +
+                                  base.headers[c] + "'";
+        if (b.is_number != n.is_number) {
+          findings.push_back({base.id, "cell-type",
+                              where + ": cell changed kind ('" + b.text +
+                                  "' vs '" + n.text + "')",
+                              true});
+          continue;
+        }
+        if (!b.is_number) {
+          // String cells are labels and parameter columns: any change is
+          // structural drift.
+          if (b.text != n.text) {
+            findings.push_back({base.id, "cell-mismatch",
+                                where + ": '" + b.text + "' became '" +
+                                    n.text + "'",
+                                true});
+          }
+          continue;
+        }
+        const int dir = PerfDirection(base.headers[c]);
+        if (dir == 0) continue;  // count-like / schedule-dependent
+        const double bv = b.number;
+        const double nv = n.number;
+        if (std::abs(bv) < options.min_value &&
+            std::abs(nv) < options.min_value) {
+          continue;  // both under the noise floor
+        }
+        if (bv <= 0 || nv <= 0) continue;  // no meaningful ratio
+        // Normalize so `ratio > tol` always means "worse".
+        const double ratio = dir < 0 ? nv / bv : bv / nv;
+        if (ratio > tol) {
+          findings.push_back(
+              {base.id, "perf-regression",
+               where + ": " + FmtDouble(bv) + " -> " + FmtDouble(nv) +
+                   " (" + FmtDouble(ratio) + "x worse, tolerance " +
+                   FmtDouble(tol) + "x)",
+               true});
+        } else if (1.0 / ratio > tol) {
+          findings.push_back(
+              {base.id, "perf-improvement",
+               where + ": " + FmtDouble(bv) + " -> " + FmtDouble(nv) +
+                   " (" + FmtDouble(1.0 / ratio) +
+                   "x better; consider refreshing the baseline)",
+               false});
+        }
+      }
+    }
+  }
+  for (const Experiment& exp : current.experiments) {
+    if (base_ids.count(exp.id) == 0) {
+      findings.push_back({exp.id, "new-experiment",
+                          "experiment not in baseline; add it on the next "
+                          "baseline refresh",
+                          false});
+    }
+  }
+  std::sort(findings.begin(), findings.end(), FindingLess);
+  return findings;
+}
+
+std::string RenderText(const std::string& file,
+                       const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += file;
+    out += ": ";
+    out += f.experiment;
+    out += ": ";
+    out += f.rule;
+    out += ": ";
+    out += f.message;
+    if (!f.error) out += " [note]";
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderJson(const std::string& file,
+                       const std::vector<Finding>& findings) {
+  std::string out = "{\"file\":\"";
+  AppendEscaped(file, &out);
+  out += "\",\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ',';
+    out += "{\"experiment\":\"";
+    AppendEscaped(f.experiment, &out);
+    out += "\",\"rule\":\"";
+    AppendEscaped(f.rule, &out);
+    out += "\",\"error\":";
+    out += f.error ? "true" : "false";
+    out += ",\"message\":\"";
+    AppendEscaped(f.message, &out);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace kws::benchdiff

@@ -1,0 +1,95 @@
+#ifndef KWDB_TOOLS_BENCHDIFF_DIFF_H_
+#define KWDB_TOOLS_BENCHDIFF_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kws::benchdiff {
+
+/// One table cell from a bench JSON export. `JsonExport::WriteCell` emits
+/// numeric-looking cells as JSON numbers and everything else as strings;
+/// the parser preserves that distinction because the diff treats them
+/// differently (labels are structural, numbers may be perf-checked).
+struct Cell {
+  bool is_number = false;
+  double number = 0;
+  /// The cell's text form: the original string for string cells, the raw
+  /// number token for numeric cells (for diagnostics).
+  std::string text;
+};
+
+/// One experiment table (`{"id","title","headers","rows"}`).
+struct Experiment {
+  std::string id;
+  std::string title;
+  std::vector<std::string> headers;
+  std::vector<std::vector<Cell>> rows;
+};
+
+/// A parsed `--json=` export: `{"experiments":[...]}`.
+struct BenchReport {
+  std::vector<Experiment> experiments;
+};
+
+/// Parses one bench JSON export. Fails with `kInvalidArgument` on
+/// malformed JSON or on documents that do not follow the export schema
+/// (missing keys, non-array rows, a row wider than its header list, a
+/// duplicate experiment id).
+Result<BenchReport> ParseReport(const std::string& json);
+
+/// One diff (or `--check`) diagnostic. `rule` is a stable dashed id in
+/// kwslint style; `error` findings fail the run, notes (currently only
+/// `perf-improvement`) are informational.
+struct Finding {
+  /// Experiment id the finding is about (empty for whole-file problems).
+  std::string experiment;
+  std::string rule;
+  std::string message;
+  bool error = true;
+};
+
+/// Diff tuning knobs.
+struct DiffOptions {
+  /// Allowed ratio band for perf columns: current vs baseline must stay
+  /// within [1/tolerance, tolerance]. Must be > 1.
+  double tolerance = 1.5;
+  /// Values whose baseline and current magnitudes are both below this
+  /// floor are skipped (timer noise dominates tiny measurements).
+  double min_value = 1e-3;
+};
+
+/// True when `header` names a performance column the diff ratio-checks:
+/// one of its `[a-z0-9]+` tokens (lowercased) is a time/throughput unit
+/// (`ms`, `us`, `ns`, `micros`, `millis`, `sec`, `qps`, `speedup`).
+/// Count-like columns (results, CNs evaluated, cache hits) never match —
+/// under kSparse those are schedule-dependent by design.
+bool IsPerfHeader(const std::string& header);
+
+/// Compares `current` against `baseline`. Structural drift — a baseline
+/// experiment missing from current, changed headers, changed row count,
+/// or a changed *string* cell (labels and parameter columns) — is an
+/// error. Numeric cells in perf columns (see `IsPerfHeader`) are
+/// ratio-checked against `options.tolerance`: slower/lower-throughput
+/// beyond the band is a `perf-regression` error, faster beyond the band
+/// is a `perf-improvement` note (refresh the baseline). All other
+/// numeric cells are ignored. Experiments only in `current` are a note.
+/// Findings are ordered by (experiment, rule, message).
+std::vector<Finding> DiffReports(const BenchReport& baseline,
+                                 const BenchReport& current,
+                                 const DiffOptions& options);
+
+/// Renders findings in kwslint text style, one per line:
+/// `<file>: <experiment>: <rule>: <message>`.
+std::string RenderText(const std::string& file,
+                       const std::vector<Finding>& findings);
+
+/// Renders findings as one byte-stable JSON document:
+/// `{"file":...,"findings":[{"experiment","rule","error","message"},...]}`.
+std::string RenderJson(const std::string& file,
+                       const std::vector<Finding>& findings);
+
+}  // namespace kws::benchdiff
+
+#endif  // KWDB_TOOLS_BENCHDIFF_DIFF_H_

@@ -552,8 +552,9 @@ void CheckDocComment(const SourceFile& f, std::vector<Diagnostic>* out) {
 /// is a metric or span name.
 const std::set<std::string>& MetricNameCalls() {
   static const std::set<std::string> kCalls = {
-      "GetCounter", "GetHistogram", "BeginSpan",
-      "TraceSpan",  "AddCounter",   "AddEvent",
+      "GetCounter",         "GetHistogram", "GetWindowedCounter",
+      "GetWindowedHistogram", "BeginSpan",  "TraceSpan",
+      "AddCounter",         "AddEvent",
   };
   return kCalls;
 }
